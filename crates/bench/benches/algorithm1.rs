@@ -1,0 +1,41 @@
+//! E10 — cost of the analyses themselves as predicates grow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use uniqueness::core::algorithm1::{algorithm1, Algorithm1Options};
+use uniqueness::core::analysis::unique_projection;
+use uniqueness::plan::{bind_query, BoundSpec};
+use uniqueness::sql::parse_query;
+
+fn spec_with_conjuncts(n: usize) -> BoundSpec {
+    let db = uniqueness::catalog::sample::supplier_schema().unwrap();
+    let cols = ["SNO", "SNAME", "SCITY", "BUDGET", "STATUS"];
+    let pred: Vec<String> = (0..n)
+        .map(|i| format!("S.{} = :H{}", cols[i % cols.len()], i))
+        .collect();
+    let sql = format!(
+        "SELECT DISTINCT S.SCITY FROM SUPPLIER S WHERE {}",
+        pred.join(" AND ")
+    );
+    bind_query(db.catalog(), &parse_query(&sql).unwrap())
+        .unwrap()
+        .as_spec()
+        .unwrap()
+        .clone()
+}
+
+fn bench_analyses(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_analysis_cost");
+    for n in [4usize, 16, 64] {
+        let spec = spec_with_conjuncts(n);
+        group.bench_with_input(BenchmarkId::new("algorithm1", n), &n, |b, _| {
+            b.iter(|| algorithm1(&spec, &Algorithm1Options::default()).unique)
+        });
+        group.bench_with_input(BenchmarkId::new("fd_closure", n), &n, |b, _| {
+            b.iter(|| unique_projection(&spec).unique)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_analyses);
+criterion_main!(benches);

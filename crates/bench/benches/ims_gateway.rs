@@ -1,0 +1,40 @@
+//! E7/E8 — Example 10 on the DL/I simulator: join vs nested program.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use uniqueness::ims::gateway::{exists_strategy, join_strategy};
+use uniqueness::ims::sample::{synthetic, SHARED_OEM_PNO};
+
+fn bench_key_probe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_ims_key_probe");
+    group.sample_size(20);
+    for suppliers in [1_000usize, 10_000] {
+        let db = synthetic(suppliers, 8, 500, 4).unwrap();
+        group.bench_with_input(BenchmarkId::new("join", suppliers), &suppliers, |b, _| {
+            b.iter(|| join_strategy(&db, "PNO", 500i64).unwrap())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("nested", suppliers),
+            &suppliers,
+            |b, _| b.iter(|| exists_strategy(&db, "PNO", 500i64).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_nonkey_probe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_ims_nonkey_probe");
+    group.sample_size(20);
+    for parts in [16usize, 64] {
+        let db = synthetic(1_000, parts, 500, 0).unwrap();
+        group.bench_with_input(BenchmarkId::new("join", parts), &parts, |b, _| {
+            b.iter(|| join_strategy(&db, "OEM-PNO", SHARED_OEM_PNO).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("nested", parts), &parts, |b, _| {
+            b.iter(|| exists_strategy(&db, "OEM-PNO", SHARED_OEM_PNO).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_key_probe, bench_nonkey_probe);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E6 — Theorem 3 / Corollary 2: sort-merge INTERSECT vs the EXISTS
+//! rewrite.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use uniq_bench::{scaled_session, E6_QUERY};
+use uniqueness::plan::HostVars;
+
+fn bench_intersect(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_intersect_to_exists");
+    group.sample_size(20);
+    let hv = HostVars::new();
+    for suppliers in [2_000usize, 20_000] {
+        let session = scaled_session(suppliers, 2);
+        group.bench_with_input(
+            BenchmarkId::new("sort_merge", suppliers),
+            &suppliers,
+            |b, _| b.iter(|| session.query_unoptimized(E6_QUERY, &hv).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("rewritten", suppliers),
+            &suppliers,
+            |b, _| b.iter(|| session.query(E6_QUERY).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_intersect);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! E9 — Example 11 on the pointer-based object store.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use uniqueness::oodb::sample::synthetic;
+use uniqueness::oodb::{nested_strategy, pointer_strategy};
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_oodb_strategies");
+    group.sample_size(20);
+    let suppliers = 10_000usize;
+    let (store, classes) = synthetic(suppliers, 4, 500).unwrap();
+    for pct in [1u32, 50] {
+        let hi = (suppliers as i64) * pct as i64 / 100;
+        group.bench_with_input(BenchmarkId::new("pointer", pct), &pct, |b, _| {
+            b.iter(|| pointer_strategy(&store, &classes, 500, 1, hi).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("nested", pct), &pct, |b, _| {
+            b.iter(|| nested_strategy(&store, &classes, 500, 1, hi).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

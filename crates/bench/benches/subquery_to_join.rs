@@ -1,0 +1,41 @@
+//! E4/E5 — Theorem 2 / Corollary 1: nested-loop EXISTS vs the rewritten
+//! join plan.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use uniq_bench::{scaled_session, E4_QUERY, E5_QUERY};
+use uniqueness::plan::HostVars;
+
+fn bench_theorem_2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_subquery_to_join");
+    // The nested-loop baseline is intentionally slow (that is the point);
+    // keep sampling cheap.
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(8));
+    let hv = HostVars::new();
+    for parts in [4usize, 16] {
+        let session = scaled_session(2_000, parts);
+        group.bench_with_input(BenchmarkId::new("nested", parts), &parts, |b, _| {
+            b.iter(|| session.query_unoptimized(E4_QUERY, &hv).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("rewritten", parts), &parts, |b, _| {
+            b.iter(|| session.query(E4_QUERY).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_corollary_1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_corollary_1");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(8));
+    let hv = HostVars::new();
+    let session = scaled_session(1_000, 8);
+    group.bench_function("nested", |b| {
+        b.iter(|| session.query_unoptimized(E5_QUERY, &hv).unwrap())
+    });
+    group.bench_function("rewritten", |b| b.iter(|| session.query(E5_QUERY).unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_theorem_2, bench_corollary_1);
+criterion_main!(benches);

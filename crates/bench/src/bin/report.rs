@@ -1,0 +1,544 @@
+//! Regenerate every experiment table of `EXPERIMENTS.md`.
+//!
+//! Usage:
+//! ```text
+//! cargo run -p uniq-bench --bin report --release            # all experiments
+//! cargo run -p uniq-bench --bin report --release -- e2 e7   # a subset
+//! ```
+
+use std::collections::HashMap;
+use uniq_bench::{fmt_duration, median_time, scaled_session, E2_QUERY, E4_QUERY, E5_QUERY};
+use uniqueness::core::algorithm1::{algorithm1, Algorithm1Options};
+use uniqueness::core::analysis::unique_projection;
+use uniqueness::core::pipeline::OptimizerOptions;
+use uniqueness::engine::{DistinctMethod, ExecOptions, Session};
+use uniqueness::ims;
+use uniqueness::oodb;
+use uniqueness::plan::{bind_query, HostVars};
+use uniqueness::sql::parse_query;
+use uniqueness::types::Value;
+use uniqueness::workload::{generate_corpus, CorpusStats};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
+    let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
+    let runs = 5;
+
+    if want("e1") {
+        e1_paper_examples();
+    }
+    if want("e2") {
+        e2_distinct_removal(runs);
+    }
+    if want("e3") {
+        e3_corpus();
+    }
+    if want("e4") {
+        e4_subquery_to_join(runs);
+    }
+    if want("e5") {
+        e5_corollary_1(runs);
+    }
+    if want("e6") {
+        e6_intersect(runs);
+    }
+    if want("e7") {
+        e7_ims_key();
+    }
+    if want("e8") {
+        e8_ims_nonkey();
+    }
+    if want("e9") {
+        e9_oodb();
+    }
+    if want("e10") {
+        e10_analysis_cost();
+    }
+    if want("e11") {
+        e11_setop_semantics();
+    }
+    if want("e12") {
+        e12_distinct_methods(runs);
+    }
+    if want("e13") {
+        e13_join_elimination(runs);
+    }
+}
+
+fn header(id: &str, title: &str) {
+    println!("\n================================================================");
+    println!("{id}: {title}");
+    println!("================================================================");
+}
+
+/// E1 — the paper's worked examples through both analyses.
+fn e1_paper_examples() {
+    header("E1", "paper examples 1/2/4-6 through Algorithm 1 and the FD test");
+    let db = uniqueness::catalog::sample::supplier_schema().unwrap();
+    let cases: &[(&str, &str, bool)] = &[
+        (
+            "Ex.1",
+            "SELECT DISTINCT S.SNO, P.PNO, P.PNAME FROM SUPPLIER S, PARTS P \
+             WHERE S.SNO = P.SNO AND P.COLOR = 'RED'",
+            true,
+        ),
+        (
+            "Ex.2",
+            "SELECT DISTINCT S.SNAME, P.PNO, P.PNAME FROM SUPPLIER S, PARTS P \
+             WHERE S.SNO = P.SNO AND P.COLOR = 'RED'",
+            false,
+        ),
+        (
+            "Ex.4/5",
+            "SELECT DISTINCT S.SNO, SNAME, P.PNO, PNAME FROM SUPPLIER S, PARTS P \
+             WHERE P.SNO = :SUPPLIER-NO AND S.SNO = P.SNO",
+            true,
+        ),
+        (
+            "Ex.6",
+            "SELECT DISTINCT S.SNO, PNO, PNAME, P.COLOR FROM SUPPLIER S, PARTS P \
+             WHERE S.SNAME = :SUPPLIER-NAME AND S.SNO = P.SNO",
+            true,
+        ),
+    ];
+    println!("{:<8} {:>6} {:>8} {:>8} {:>8}", "example", "paper", "Alg.1", "FD", "agree");
+    for (name, sql, paper_unique) in cases {
+        let bound = bind_query(db.catalog(), &parse_query(sql).unwrap()).unwrap();
+        let spec = bound.as_spec().unwrap();
+        let a1 = algorithm1(spec, &Algorithm1Options::default()).unique;
+        let fd = unique_projection(spec).unique;
+        println!(
+            "{:<8} {:>6} {:>8} {:>8} {:>8}",
+            name,
+            if *paper_unique { "YES" } else { "NO" },
+            if a1 { "YES" } else { "NO" },
+            if fd { "YES" } else { "NO" },
+            if fd == *paper_unique { "✓" } else { "✗" }
+        );
+    }
+    println!("(paper column = the verdict the paper derives for the example)");
+}
+
+/// E2 — cost of a redundant DISTINCT across result sizes.
+fn e2_distinct_removal(runs: usize) {
+    header("E2", "redundant DISTINCT removal: skip the result sort (Theorem 1)");
+    println!(
+        "{:>10} {:>10} {:>12} {:>12} {:>9} {:>14}",
+        "suppliers", "result", "with sort", "rewritten", "speedup", "comparisons"
+    );
+    for suppliers in [1_000usize, 5_000, 20_000, 60_000] {
+        let session = scaled_session(suppliers, 5);
+        let hv = HostVars::new();
+        let base = session.query_unoptimized(E2_QUERY, &hv).unwrap();
+        let t_base = median_time(runs, || session.query_unoptimized(E2_QUERY, &hv).unwrap());
+        let t_opt = median_time(runs, || session.query(E2_QUERY).unwrap());
+        println!(
+            "{:>10} {:>10} {:>12} {:>12} {:>8.2}x {:>14}",
+            suppliers,
+            base.rows.len(),
+            fmt_duration(t_base),
+            fmt_duration(t_opt),
+            t_base.as_secs_f64() / t_opt.as_secs_f64(),
+            base.stats.sort_comparisons
+        );
+    }
+}
+
+/// E3 — corpus audit: how many CASE-tool DISTINCTs are provably redundant.
+fn e3_corpus() {
+    header("E3", "corpus audit: redundant DISTINCT detection (§5.1)");
+    let corpus = generate_corpus(2024, 500, 6).unwrap();
+    let stats = CorpusStats::of(&corpus);
+    println!("queries                         : {}", stats.total);
+    println!("provably unique (FD closure)    : {}", stats.fd_yes);
+    println!("provably unique (Algorithm 1)   : {}", stats.alg1_yes);
+    println!("observed duplicating            : {}", stats.with_duplicates);
+    println!("soundness violations            : {}", stats.unsound);
+    // Detection cost.
+    let db = uniqueness::catalog::sample::supplier_schema().unwrap();
+    let bound: Vec<_> = corpus
+        .iter()
+        .map(|q| {
+            bind_query(db.catalog(), &parse_query(&q.sql).unwrap()).unwrap()
+        })
+        .collect();
+    let t_alg1 = median_time(3, || {
+        bound
+            .iter()
+            .filter(|b| {
+                algorithm1(b.as_spec().unwrap(), &Algorithm1Options::default()).unique
+            })
+            .count()
+    });
+    let t_fd = median_time(3, || {
+        bound
+            .iter()
+            .filter(|b| unique_projection(b.as_spec().unwrap()).unique)
+            .count()
+    });
+    println!(
+        "analysis cost for all {} queries: Algorithm 1 {}, FD test {}",
+        stats.total,
+        fmt_duration(t_alg1),
+        fmt_duration(t_fd)
+    );
+}
+
+/// E4 — Theorem 2: EXISTS → join beats the nested-loop subquery.
+fn e4_subquery_to_join(runs: usize) {
+    header("E4", "subquery → join (Theorem 2): nested-loop EXISTS vs hash join");
+    println!(
+        "{:>10} {:>12} {:>12} {:>12} {:>9}",
+        "suppliers", "parts/sup", "nested", "rewritten", "speedup"
+    );
+    for (suppliers, parts) in [(500usize, 4usize), (2_000, 4), (2_000, 16), (8_000, 8)] {
+        let session = scaled_session(suppliers, parts);
+        let hv = HostVars::new();
+        let base = session.query_unoptimized(E4_QUERY, &hv).unwrap();
+        let opt = session.query(E4_QUERY).unwrap();
+        assert_eq!(base.rows.len(), opt.rows.len());
+        let t_base = median_time(runs, || session.query_unoptimized(E4_QUERY, &hv).unwrap());
+        let t_opt = median_time(runs, || session.query(E4_QUERY).unwrap());
+        println!(
+            "{:>10} {:>12} {:>12} {:>12} {:>8.2}x",
+            suppliers,
+            parts,
+            fmt_duration(t_base),
+            fmt_duration(t_opt),
+            t_base.as_secs_f64() / t_opt.as_secs_f64()
+        );
+    }
+}
+
+/// E5 — Corollary 1: ALL → DISTINCT-join rewrite, red-selectivity sweep.
+fn e5_corollary_1(runs: usize) {
+    header("E5", "subquery → DISTINCT join (Corollary 1), red-fraction sweep");
+    println!(
+        "{:>8} {:>10} {:>12} {:>12} {:>9}",
+        "red %", "result", "nested", "rewritten", "speedup"
+    );
+    for red in [0.05f64, 0.3, 0.8] {
+        let cfg = uniqueness::workload::ScaleConfig {
+            suppliers: 4_000,
+            parts_per_supplier: 8,
+            red_fraction: red,
+            ..Default::default()
+        };
+        let db = uniqueness::workload::scaled_database(&cfg).unwrap();
+        let session = Session {
+            db,
+            optimizer: OptimizerOptions::relational(),
+            exec: ExecOptions::default(),
+        };
+        let hv = HostVars::new();
+        let base = session.query_unoptimized(E5_QUERY, &hv).unwrap();
+        let opt = session.query(E5_QUERY).unwrap();
+        assert_eq!(base.rows.len(), opt.rows.len());
+        let t_base = median_time(runs, || session.query_unoptimized(E5_QUERY, &hv).unwrap());
+        let t_opt = median_time(runs, || session.query(E5_QUERY).unwrap());
+        println!(
+            "{:>8.0} {:>10} {:>12} {:>12} {:>8.2}x",
+            red * 100.0,
+            base.rows.len(),
+            fmt_duration(t_base),
+            fmt_duration(t_opt),
+            t_base.as_secs_f64() / t_opt.as_secs_f64()
+        );
+    }
+}
+
+/// E6 — Theorem 3: INTERSECT → EXISTS avoids sorting both operands; plus
+/// the null-semantics counter-example for the naive (Starburst Rule 8)
+/// rewrite.
+fn e6_intersect(runs: usize) {
+    header("E6", "INTERSECT → EXISTS (Theorem 3 / Corollary 2)");
+    println!(
+        "{:>10} {:>12} {:>12} {:>9} {:>14} {:>14}",
+        "suppliers", "sort-merge", "rewritten", "speedup", "sorted (base)", "sorted (rw)"
+    );
+    for suppliers in [1_000usize, 10_000, 40_000] {
+        let session = scaled_session(suppliers, 2);
+        let hv = HostVars::new();
+        let base = session.query_unoptimized(uniq_bench::E6_QUERY, &hv).unwrap();
+        let opt = session.query(uniq_bench::E6_QUERY).unwrap();
+        assert_eq!(base.rows.len(), opt.rows.len());
+        let t_base = median_time(runs, || {
+            session.query_unoptimized(uniq_bench::E6_QUERY, &hv).unwrap()
+        });
+        let t_opt = median_time(runs, || session.query(uniq_bench::E6_QUERY).unwrap());
+        println!(
+            "{:>10} {:>12} {:>12} {:>8.2}x {:>14} {:>14}",
+            suppliers,
+            fmt_duration(t_base),
+            fmt_duration(t_opt),
+            t_base.as_secs_f64() / t_opt.as_secs_f64(),
+            base.stats.rows_sorted,
+            opt.stats.rows_sorted
+        );
+    }
+    println!(
+        "(the claim is about avoided sorting of both operands: the rewritten plan \
+         sorts only its final — much smaller — result; wall-clock parity here is \
+         the in-memory hash join materialization offsetting the sort savings)"
+    );
+
+    // The null pitfall (paper: Starburst Rule 8 is wrong without it).
+    let mut s = Session::new(uniqueness::catalog::Database::new());
+    s.run_script(
+        "CREATE TABLE L (K INTEGER NOT NULL, X INTEGER, PRIMARY KEY (K));
+         CREATE TABLE R2 (K INTEGER NOT NULL, X INTEGER, PRIMARY KEY (K));
+         INSERT INTO L VALUES (1, NULL);
+         INSERT INTO R2 VALUES (9, NULL);",
+    )
+    .unwrap();
+    let correct = s
+        .query("SELECT ALL L.X FROM L INTERSECT SELECT ALL R2.X FROM R2")
+        .unwrap();
+    // The naive rewrite with a plain equi-predicate loses the NULL match.
+    let naive = s
+        .query_unoptimized(
+            "SELECT ALL L.X FROM L WHERE EXISTS (SELECT * FROM R2 WHERE R2.X = L.X)",
+            &HostVars::new(),
+        )
+        .unwrap();
+    println!(
+        "\nnull-semantics check: INTERSECT finds {} row(s) [{}], naive equi-EXISTS \
+         rewrite finds {} — the =̇ correlation predicate is required.",
+        correct.rows.len(),
+        correct
+            .rows
+            .first()
+            .map(|r| r[0].to_string())
+            .unwrap_or_default(),
+        naive.rows.len()
+    );
+    assert_eq!(correct.rows, vec![vec![Value::Null]]);
+    assert!(naive.rows.is_empty());
+}
+
+/// E7 — Example 10, key-qualified: DL/I calls halved.
+fn e7_ims_key() {
+    header("E7", "IMS Example 10: DL/I calls, join vs nested strategy (key probe)");
+    println!(
+        "{:>10} {:>12} {:>14} {:>14} {:>8}",
+        "suppliers", "parts/sup", "join calls", "nested calls", "ratio"
+    );
+    for (suppliers, parts) in [(100usize, 8usize), (1_000, 8), (10_000, 8), (1_000, 64)] {
+        let db = ims::sample::synthetic(suppliers, parts, 500, parts / 2).unwrap();
+        let join = ims::gateway::join_strategy(&db, "PNO", 500i64).unwrap();
+        let nested = ims::gateway::exists_strategy(&db, "PNO", 500i64).unwrap();
+        assert_eq!(join.rows, nested.rows);
+        let j = join.stats.calls_to("PARTS");
+        let n = nested.stats.calls_to("PARTS");
+        println!(
+            "{:>10} {:>12} {:>14} {:>14} {:>7.2}x",
+            suppliers,
+            parts,
+            j,
+            n,
+            j as f64 / n as f64
+        );
+    }
+    println!("(paper's claim: the nested form issues half the PARTS calls — ratio 2.00x)");
+}
+
+/// E8 — Example 10 variant, non-key (OEM-PNO) qualification.
+fn e8_ims_nonkey() {
+    header("E8", "IMS §6.1 OEM-PNO variant: twin-chain inspections, non-key probe");
+    println!(
+        "{:>12} {:>16} {:>16} {:>8}",
+        "parts/sup", "join inspected", "nested inspected", "ratio"
+    );
+    for parts in [4usize, 16, 64, 256] {
+        let db = ims::sample::synthetic(1_000, parts, 500, 0).unwrap();
+        let probe = ims::sample::SHARED_OEM_PNO;
+        let join = ims::gateway::join_strategy(&db, "OEM-PNO", probe).unwrap();
+        let nested = ims::gateway::exists_strategy(&db, "OEM-PNO", probe).unwrap();
+        assert_eq!(join.rows, nested.rows);
+        let ji = join.stats.inspected_of("PARTS");
+        let ni = nested.stats.inspected_of("PARTS");
+        println!(
+            "{:>12} {:>16} {:>16} {:>7.2}x",
+            parts,
+            ji,
+            ni,
+            ji as f64 / ni as f64
+        );
+    }
+    println!("(the join form must scan whole chains; reduction grows with chain length)");
+}
+
+/// E9 — Example 11: OODB strategies across parent-range selectivity.
+fn e9_oodb() {
+    header("E9", "OODB Example 11: object fetches vs parent-range selectivity");
+    let suppliers = 10_000usize;
+    let (store, classes) = oodb::sample::synthetic(suppliers, 4, 500).unwrap();
+    println!(
+        "{:>12} {:>10} {:>16} {:>16} {:>9}",
+        "selectivity", "matches", "pointer fetches", "nested fetches", "winner"
+    );
+    for pct in [0.1f64, 0.5, 1.0, 2.0, 5.0, 20.0, 100.0] {
+        let hi = ((suppliers as f64) * pct / 100.0).round().max(1.0) as i64;
+        let ptr = oodb::pointer_strategy(&store, &classes, 500, 1, hi).unwrap();
+        let nst = oodb::nested_strategy(&store, &classes, 500, 1, hi).unwrap();
+        assert_eq!(ptr.rows.len(), nst.rows.len());
+        println!(
+            "{:>11}% {:>10} {:>16} {:>16} {:>9}",
+            pct,
+            ptr.rows.len(),
+            ptr.stats.objects_fetched,
+            nst.stats.objects_fetched,
+            if nst.stats.objects_fetched < ptr.stats.objects_fetched {
+                "nested"
+            } else {
+                "pointer"
+            }
+        );
+    }
+}
+
+/// E10 — analysis cost as the predicate grows.
+fn e10_analysis_cost() {
+    header("E10", "analysis cost: Algorithm 1 (CNF/DNF) vs FD closure");
+    let db = uniqueness::catalog::sample::supplier_schema().unwrap();
+    println!(
+        "{:>10} {:>14} {:>14} {:>12}",
+        "conjuncts", "Algorithm 1", "FD closure", "verdicts"
+    );
+    for n in [2usize, 6, 12, 24, 48] {
+        let cols = ["SNO", "SNAME", "SCITY", "BUDGET", "STATUS"];
+        let pred: Vec<String> = (0..n)
+            .map(|i| format!("S.{} = :H{}", cols[i % cols.len()], i))
+            .collect();
+        let sql = format!(
+            "SELECT DISTINCT S.SCITY FROM SUPPLIER S WHERE {}",
+            pred.join(" AND ")
+        );
+        let bound = bind_query(db.catalog(), &parse_query(&sql).unwrap()).unwrap();
+        let spec = bound.as_spec().unwrap().clone();
+        let t_a1 = median_time(7, || {
+            algorithm1(&spec, &Algorithm1Options::default()).unique
+        });
+        let t_fd = median_time(7, || unique_projection(&spec).unique);
+        let v1 = algorithm1(&spec, &Algorithm1Options::default()).unique;
+        let v2 = unique_projection(&spec).unique;
+        println!(
+            "{:>10} {:>14} {:>14} {:>7}/{:<4}",
+            n,
+            fmt_duration(t_a1),
+            fmt_duration(t_fd),
+            if v1 { "YES" } else { "NO" },
+            if v2 { "YES" } else { "NO" }
+        );
+    }
+}
+
+/// E11 — set-operation semantics validation on adversarial instances.
+fn e11_setop_semantics() {
+    header("E11", "INTERSECT/EXCEPT ALL min/max-count and =̇ null handling");
+    let mut s = Session::new(uniqueness::catalog::Database::new());
+    s.run_script(
+        "CREATE TABLE L (V INTEGER); CREATE TABLE R2 (V INTEGER);
+         INSERT INTO L VALUES (1), (1), (1), (2), (NULL), (NULL);
+         INSERT INTO R2 VALUES (1), (2), (2), (NULL);",
+    )
+    .unwrap();
+    let cases = [
+        ("INTERSECT", "SELECT ALL L.V FROM L INTERSECT SELECT ALL R2.V FROM R2", 3usize),
+        (
+            "INTERSECT ALL",
+            "SELECT ALL L.V FROM L INTERSECT ALL SELECT ALL R2.V FROM R2",
+            3,
+        ),
+        ("EXCEPT", "SELECT ALL L.V FROM L EXCEPT SELECT ALL R2.V FROM R2", 0),
+        (
+            "EXCEPT ALL",
+            "SELECT ALL L.V FROM L EXCEPT ALL SELECT ALL R2.V FROM R2",
+            3,
+        ),
+    ];
+    println!(
+        "L = {{1,1,1,2,NULL,NULL}}, R = {{1,2,2,NULL}}\n{:>15} {:>8} {:>8}",
+        "operator", "rows", "expect"
+    );
+    for (name, sql, expect) in cases {
+        let out = s.query_unoptimized(sql, &HostVars::new()).unwrap();
+        println!(
+            "{:>15} {:>8} {:>8} {}",
+            name,
+            out.rows.len(),
+            expect,
+            if out.rows.len() == expect { "✓" } else { "✗" }
+        );
+        assert_eq!(out.rows.len(), expect, "{name}");
+    }
+    println!("(INTERSECT ALL: min(3,1)+min(1,2)+min(2,1) = 3; EXCEPT ALL: 2+0+1 = 3)");
+}
+
+/// E13 — the §7 future-work extension: join elimination via foreign keys.
+fn e13_join_elimination(runs: usize) {
+    header("E13", "join elimination via inclusion dependencies (§7 future work)");
+    let sql = "SELECT ALL P.PNO, P.PNAME FROM SUPPLIER S, PARTS P WHERE S.SNO = P.SNO";
+    println!(
+        "{:>10} {:>12} {:>12} {:>9} {:>14}",
+        "suppliers", "with join", "eliminated", "speedup", "rows scanned"
+    );
+    for suppliers in [1_000usize, 10_000, 40_000] {
+        let session = scaled_session(suppliers, 5);
+        let hv = HostVars::new();
+        let base = session.query_unoptimized(sql, &hv).unwrap();
+        let opt = session.query(sql).unwrap();
+        assert_eq!(base.rows.len(), opt.rows.len());
+        assert!(opt.steps.iter().any(|s| s.rule == "join-elimination"));
+        let t_base = median_time(runs, || session.query_unoptimized(sql, &hv).unwrap());
+        let t_opt = median_time(runs, || session.query(sql).unwrap());
+        println!(
+            "{:>10} {:>12} {:>12} {:>8.2}x {:>6} → {:<6}",
+            suppliers,
+            fmt_duration(t_base),
+            fmt_duration(t_opt),
+            t_base.as_secs_f64() / t_opt.as_secs_f64(),
+            base.stats.rows_scanned,
+            opt.stats.rows_scanned
+        );
+    }
+}
+
+/// E12 — ablation: sort-based vs hash-based duplicate elimination.
+fn e12_distinct_methods(runs: usize) {
+    header("E12", "ablation: sort vs hash duplicate elimination");
+    println!(
+        "{:>10} {:>12} {:>12} {:>14} {:>12}",
+        "suppliers", "sort", "hash", "comparisons", "hash probes"
+    );
+    let sql = "SELECT DISTINCT S.SNAME, P.COLOR FROM SUPPLIER S, PARTS P \
+               WHERE S.SNO = P.SNO";
+    for suppliers in [1_000usize, 5_000, 20_000] {
+        let mut session = scaled_session(suppliers, 5);
+        session.optimizer = OptimizerOptions::disabled();
+        let hv = HostVars::new();
+        session.exec.distinct = DistinctMethod::Sort;
+        let sort_out = session.query_unoptimized(sql, &hv).unwrap();
+        let t_sort = median_time(runs, || session.query_unoptimized(sql, &hv).unwrap());
+        session.exec.distinct = DistinctMethod::Hash;
+        let hash_out = session.query_unoptimized(sql, &hv).unwrap();
+        let t_hash = median_time(runs, || session.query_unoptimized(sql, &hv).unwrap());
+        let a: HashMap<_, usize> = sort_out.rows.iter().fold(HashMap::new(), |mut m, r| {
+            *m.entry(r.clone()).or_insert(0) += 1;
+            m
+        });
+        let b: HashMap<_, usize> = hash_out.rows.iter().fold(HashMap::new(), |mut m, r| {
+            *m.entry(r.clone()).or_insert(0) += 1;
+            m
+        });
+        assert_eq!(a, b);
+        println!(
+            "{:>10} {:>12} {:>12} {:>14} {:>12}",
+            suppliers,
+            fmt_duration(t_sort),
+            fmt_duration(t_hash),
+            sort_out.stats.sort_comparisons,
+            hash_out.stats.hash_probes
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! Shared infrastructure for the experiment suite: timing helpers,
+//! workload construction and the queries each experiment drives.
+//!
+//! The `report` binary (`cargo run -p uniq-bench --bin report --release`)
+//! prints every experiment table from `EXPERIMENTS.md`; the Criterion
+//! benches under `benches/` provide statistically robust wall-clock
+//! measurements for the subset of experiments where time (rather than a
+//! work counter) is the claim.
+
+use std::time::{Duration, Instant};
+use uniqueness::core::pipeline::OptimizerOptions;
+use uniqueness::engine::{ExecOptions, Session};
+use uniqueness::workload::{scaled_database, ScaleConfig};
+
+/// Median wall-clock time of `runs` executions of `f`.
+pub fn median_time<T>(runs: usize, mut f: impl FnMut() -> T) -> Duration {
+    let mut samples: Vec<Duration> = (0..runs.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            t.elapsed()
+        })
+        .collect();
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+/// A session over a scaled supplier database with the relational
+/// optimizer profile.
+pub fn scaled_session(suppliers: usize, parts_per_supplier: usize) -> Session {
+    let cfg = ScaleConfig {
+        suppliers,
+        parts_per_supplier,
+        ..Default::default()
+    };
+    let db = scaled_database(&cfg).expect("scaled database");
+    Session {
+        db,
+        optimizer: OptimizerOptions::relational(),
+        exec: ExecOptions::default(),
+    }
+}
+
+/// The E2 query: a single-table `SELECT DISTINCT` whose projection
+/// contains the key. Scan and projection are cheap, so the baseline's
+/// cost is dominated by the result sort — the situation §1 describes —
+/// while the rewritten form skips it entirely. The projection leads with
+/// the randomly-distributed SNAME so the sort cannot exploit insertion
+/// order. (The Example 1 join shape is measured separately in E4/E13,
+/// where join strategy dominates.)
+pub const E2_QUERY: &str =
+    "SELECT DISTINCT S.SNAME, S.SCITY, S.SNO FROM SUPPLIER S";
+
+/// The Example 7 shape: EXISTS subquery that pins the inner key.
+pub const E4_QUERY: &str = "SELECT ALL S.SNO, S.SNAME FROM SUPPLIER S \
+     WHERE EXISTS (SELECT * FROM PARTS P WHERE S.SNO = P.SNO AND P.PNO = 1)";
+
+/// The Example 8 shape: EXISTS subquery with unbounded matches.
+pub const E5_QUERY: &str = "SELECT ALL S.SNO, S.SNAME FROM SUPPLIER S \
+     WHERE EXISTS (SELECT * FROM PARTS P WHERE P.SNO = S.SNO AND P.COLOR = 'RED')";
+
+/// The Example 9 shape at scale: INTERSECT over key-projecting blocks.
+pub const E6_QUERY: &str = "SELECT ALL S.SNO FROM SUPPLIER S WHERE S.SCITY = 'Toronto' \
+     INTERSECT \
+     SELECT ALL A.SNO FROM AGENTS A WHERE A.ACITY = 'Ottawa'";
+
+/// Format a `Duration` compactly for tables.
+pub fn fmt_duration(d: Duration) -> String {
+    let micros = d.as_micros();
+    if micros < 1_000 {
+        format!("{micros}µs")
+    } else if micros < 1_000_000 {
+        format!("{:.2}ms", micros as f64 / 1_000.0)
+    } else {
+        format!("{:.2}s", micros as f64 / 1_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_session_executes_e2() {
+        let s = scaled_session(100, 5);
+        let out = s.query(E2_QUERY).unwrap();
+        assert!(out.steps.iter().any(|st| st.rule == "distinct-removal"));
+        assert_eq!(out.stats.sorts, 0);
+    }
+
+    #[test]
+    fn median_time_is_monotone_in_work() {
+        let fast = median_time(3, || (0..100u64).sum::<u64>());
+        let slow = median_time(3, || (0..1_000_000u64).sum::<u64>());
+        assert!(slow >= fast);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_micros(12)), "12µs");
+        assert_eq!(fmt_duration(Duration::from_micros(1_500)), "1.50ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00s");
+    }
+}

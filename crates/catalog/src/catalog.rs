@@ -1,0 +1,103 @@
+//! The catalog: a registry of table schemas.
+
+use crate::table::TableSchema;
+use std::collections::BTreeMap;
+use uniq_sql::CreateTable;
+use uniq_types::{Error, Result, TableName};
+
+/// A registry of table schemas, keyed by table name.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: BTreeMap<TableName, TableSchema>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Register a schema. Errors if a table of that name already exists.
+    pub fn create_table(&mut self, schema: TableSchema) -> Result<()> {
+        if self.tables.contains_key(&schema.name) {
+            return Err(Error::DuplicateTable(schema.name.to_string()));
+        }
+        self.tables.insert(schema.name.clone(), schema);
+        Ok(())
+    }
+
+    /// Apply a parsed `CREATE TABLE` statement.
+    pub fn apply_create(&mut self, ast: &CreateTable) -> Result<()> {
+        self.create_table(TableSchema::from_ast(ast)?)
+    }
+
+    /// Remove a table's schema. Errors if it does not exist.
+    pub fn drop_table(&mut self, name: &TableName) -> Result<TableSchema> {
+        self.tables
+            .remove(name)
+            .ok_or_else(|| Error::UnknownTable(name.to_string()))
+    }
+
+    /// Look up a schema by name.
+    pub fn table(&self, name: &TableName) -> Result<&TableSchema> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| Error::UnknownTable(name.to_string()))
+    }
+
+    /// True iff a table of this name exists.
+    pub fn contains(&self, name: &TableName) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    /// Iterate over all schemas in name order.
+    pub fn tables(&self) -> impl Iterator<Item = &TableSchema> {
+        self.tables.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniq_sql::{parse_statement, Statement};
+
+    fn create(cat: &mut Catalog, sql: &str) {
+        match parse_statement(sql).unwrap() {
+            Statement::CreateTable(ct) => cat.apply_create(&ct).unwrap(),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn create_lookup_drop() {
+        let mut cat = Catalog::new();
+        create(&mut cat, "CREATE TABLE T (A INTEGER, PRIMARY KEY (A))");
+        assert!(cat.contains(&"t".into()));
+        assert_eq!(cat.table(&"T".into()).unwrap().arity(), 1);
+        cat.drop_table(&"T".into()).unwrap();
+        assert!(cat.table(&"T".into()).is_err());
+    }
+
+    #[test]
+    fn duplicate_create_fails() {
+        let mut cat = Catalog::new();
+        create(&mut cat, "CREATE TABLE T (A INTEGER)");
+        let ct = match parse_statement("CREATE TABLE T (B INTEGER)").unwrap() {
+            Statement::CreateTable(ct) => ct,
+            _ => unreachable!(),
+        };
+        assert!(matches!(
+            cat.apply_create(&ct),
+            Err(Error::DuplicateTable(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_table_lookup_fails() {
+        let cat = Catalog::new();
+        assert!(matches!(
+            cat.table(&"NOPE".into()),
+            Err(Error::UnknownTable(_))
+        ));
+    }
+}

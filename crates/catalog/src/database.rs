@@ -1,0 +1,503 @@
+//! A database: catalog plus validated in-memory row storage.
+//!
+//! Storage keeps one B-tree index per candidate key (keyed by the key's
+//! value tuple under `Value`'s canonical order, whose `Equal` coincides
+//! with `=̇`), so key-uniqueness validation and foreign-key lookups are
+//! `O(log n)` per row rather than a scan — instances of benchmark size
+//! load in linear-log time.
+
+use crate::catalog::Catalog;
+use crate::table::TableSchema;
+use crate::validate;
+use std::collections::BTreeMap;
+use uniq_sql::{Insert, Statement};
+use uniq_types::{Error, Result, TableName, Value};
+
+/// One stored row.
+pub type Row = Vec<Value>;
+
+#[derive(Debug, Clone, Default)]
+struct TableData {
+    rows: Vec<Row>,
+    /// One index per candidate key, parallel to
+    /// `TableSchema::candidate_keys()` order: key tuple → row position.
+    key_indexes: Vec<BTreeMap<Vec<Value>, usize>>,
+}
+
+/// A catalog together with table instances. Every row admitted through
+/// [`Database::insert`] satisfies all declared constraints (shape, type,
+/// `CHECK`s, key uniqueness with `=̇` semantics, foreign keys), so
+/// instances are always *valid* in the paper's sense.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    catalog: Catalog,
+    data: BTreeMap<TableName, TableData>,
+}
+
+fn key_tuple(columns: &[usize], row: &[Value]) -> Vec<Value> {
+    columns.iter().map(|&c| row[c].clone()).collect()
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// The schema registry.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Register a table schema with empty contents.
+    ///
+    /// Foreign keys are checked structurally here: the referenced table
+    /// must already exist (or be this table itself) and the referenced
+    /// columns must form a candidate key of it, with matching types.
+    pub fn create_table(&mut self, schema: TableSchema) -> Result<()> {
+        for fk in schema.foreign_keys() {
+            let parent = if fk.parent == schema.name {
+                &schema
+            } else {
+                self.catalog.table(&fk.parent)?
+            };
+            let mut parent_positions: Vec<usize> = fk
+                .parent_columns
+                .iter()
+                .map(|c| parent.column_position(c))
+                .collect::<Result<_>>()?;
+            parent_positions.sort_unstable();
+            if !parent
+                .candidate_keys()
+                .any(|k| k.columns == parent_positions)
+            {
+                return Err(Error::bind(format!(
+                    "foreign key on {} references non-key columns of {}",
+                    schema.name, fk.parent
+                )));
+            }
+            for (&child, parent_col) in fk.columns.iter().zip(&fk.parent_columns) {
+                let p = parent.column_position(parent_col)?;
+                if schema.columns[child].data_type != parent.columns[p].data_type {
+                    return Err(Error::bind(format!(
+                        "foreign key column {} of {} has a different type than {}.{}",
+                        schema.columns[child].name, schema.name, fk.parent, parent_col
+                    )));
+                }
+            }
+        }
+        let name = schema.name.clone();
+        let n_keys = schema.candidate_keys().count();
+        self.catalog.create_table(schema)?;
+        self.data.insert(
+            name,
+            TableData {
+                rows: Vec::new(),
+                key_indexes: vec![BTreeMap::new(); n_keys],
+            },
+        );
+        Ok(())
+    }
+
+    /// Insert one row after full validation (shape, checks, keys, FKs).
+    pub fn insert(&mut self, table: &TableName, row: Row) -> Result<()> {
+        let schema = self.catalog.table(table)?;
+        validate::validate_shape(schema, &row)?;
+        validate::validate_checks(schema, &row)?;
+
+        // Key uniqueness via the indexes.
+        let data = self
+            .data
+            .get(table)
+            .ok_or_else(|| Error::UnknownTable(table.to_string()))?;
+        let keys: Vec<_> = schema.candidate_keys().collect();
+        let mut tuples: Vec<Vec<Value>> = Vec::with_capacity(keys.len());
+        for (key, index) in keys.iter().zip(&data.key_indexes) {
+            let tuple = key_tuple(&key.columns, &row);
+            if index.contains_key(&tuple) {
+                let desc: Vec<String> = key
+                    .columns
+                    .iter()
+                    .map(|&i| format!("{}={}", schema.columns[i].name, row[i]))
+                    .collect();
+                return Err(Error::ConstraintViolation {
+                    table: table.to_string(),
+                    message: format!(
+                        "{} key violation on ({})",
+                        if key.primary { "primary" } else { "unique" },
+                        desc.join(", ")
+                    ),
+                });
+            }
+            tuples.push(tuple);
+        }
+
+        // Foreign keys: a row with all-non-null FK columns must have a
+        // matching parent (SQL's "simple match" lets any-NULL rows pass).
+        for fk in schema.foreign_keys() {
+            let child_tuple = key_tuple(&fk.columns, &row);
+            if child_tuple.iter().any(|v| v.is_null()) {
+                continue;
+            }
+            if !self.parent_exists(&fk.parent, &fk.parent_columns, &child_tuple)? {
+                return Err(Error::ConstraintViolation {
+                    table: table.to_string(),
+                    message: format!(
+                        "foreign key violation: no {} row with ({}) = ({})",
+                        fk.parent,
+                        fk.parent_columns
+                            .iter()
+                            .map(|c| c.to_string())
+                            .collect::<Vec<_>>()
+                            .join(", "),
+                        child_tuple
+                            .iter()
+                            .map(|v| v.to_string())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ),
+                });
+            }
+        }
+
+        let data = self.data.get_mut(table).expect("checked above");
+        let pos = data.rows.len();
+        for (index, tuple) in data.key_indexes.iter_mut().zip(tuples) {
+            index.insert(tuple, pos);
+        }
+        data.rows.push(row);
+        Ok(())
+    }
+
+    /// Does the parent table contain a row whose `parent_columns` equal
+    /// `tuple`? Uses the parent's candidate-key index (FKs reference
+    /// candidate keys, enforced at `create_table`).
+    fn parent_exists(
+        &self,
+        parent: &TableName,
+        parent_columns: &[uniq_types::ColumnName],
+        tuple: &[Value],
+    ) -> Result<bool> {
+        let schema = self.catalog.table(parent)?;
+        let data = self
+            .data
+            .get(parent)
+            .ok_or_else(|| Error::UnknownTable(parent.to_string()))?;
+        let mut positions: Vec<usize> = parent_columns
+            .iter()
+            .map(|c| schema.column_position(c))
+            .collect::<Result<_>>()?;
+        // The index key tuple follows the key's sorted column order;
+        // reorder the probe accordingly.
+        let mut paired: Vec<(usize, &Value)> = positions.iter().copied().zip(tuple).collect();
+        paired.sort_by_key(|(p, _)| *p);
+        positions.sort_unstable();
+        let key_idx = schema
+            .candidate_keys()
+            .position(|k| k.columns == positions)
+            .ok_or_else(|| Error::internal("FK references a non-key (checked at create)"))?;
+        let probe: Vec<Value> = paired.into_iter().map(|(_, v)| v.clone()).collect();
+        Ok(data.key_indexes[key_idx].contains_key(&probe))
+    }
+
+    /// Insert one row *without* validation.
+    ///
+    /// Only for building intentionally adversarial instances in tests
+    /// (e.g. demonstrating what would go wrong if a constraint did not
+    /// hold). Never used by the optimizer or executor. Key indexes keep
+    /// the *first* row for any duplicated key value.
+    pub fn insert_unchecked(&mut self, table: &TableName, row: Row) -> Result<()> {
+        let schema = self.catalog.table(table)?.clone();
+        let data = self
+            .data
+            .get_mut(table)
+            .ok_or_else(|| Error::UnknownTable(table.to_string()))?;
+        let pos = data.rows.len();
+        for (key, index) in schema.candidate_keys().zip(data.key_indexes.iter_mut()) {
+            index.entry(key_tuple(&key.columns, &row)).or_insert(pos);
+        }
+        data.rows.push(row);
+        Ok(())
+    }
+
+    /// All rows of a table.
+    pub fn rows(&self, table: &TableName) -> Result<&[Row]> {
+        self.data
+            .get(table)
+            .map(|d| d.rows.as_slice())
+            .ok_or_else(|| Error::UnknownTable(table.to_string()))
+    }
+
+    /// Look up a row by candidate-key value. `key_columns` must be one of
+    /// the table's candidate keys (sorted positions).
+    pub fn lookup_by_key(
+        &self,
+        table: &TableName,
+        key_columns: &[usize],
+        key_values: &[Value],
+    ) -> Result<Option<&Row>> {
+        let schema = self.catalog.table(table)?;
+        let data = self
+            .data
+            .get(table)
+            .ok_or_else(|| Error::UnknownTable(table.to_string()))?;
+        let key_idx = schema
+            .candidate_keys()
+            .position(|k| k.columns == key_columns)
+            .ok_or_else(|| {
+                Error::internal(format!("{table} has no candidate key {key_columns:?}"))
+            })?;
+        Ok(data.key_indexes[key_idx]
+            .get(key_values)
+            .map(|&pos| &data.rows[pos]))
+    }
+
+    /// Number of rows in a table.
+    pub fn row_count(&self, table: &TableName) -> Result<usize> {
+        self.rows(table).map(|r| r.len())
+    }
+
+    /// Remove all rows of a table (schema stays).
+    pub fn truncate(&mut self, table: &TableName) -> Result<()> {
+        self.data
+            .get_mut(table)
+            .map(|d| {
+                d.rows.clear();
+                for idx in &mut d.key_indexes {
+                    idx.clear();
+                }
+            })
+            .ok_or_else(|| Error::UnknownTable(table.to_string()))
+    }
+
+    /// Apply a parsed statement: `CREATE TABLE` or `INSERT`.
+    /// Queries are rejected here — they go through the planner/executor.
+    pub fn apply(&mut self, stmt: &Statement) -> Result<()> {
+        match stmt {
+            Statement::CreateTable(ct) => self.create_table(TableSchema::from_ast(ct)?),
+            Statement::Insert(ins) => self.apply_insert(ins),
+            Statement::Query(_) => Err(Error::internal(
+                "queries are executed by uniq-engine, not Database::apply",
+            )),
+        }
+    }
+
+    /// Apply a parsed `INSERT`, reordering values when an explicit column
+    /// list was given and filling unnamed columns with `NULL`.
+    pub fn apply_insert(&mut self, ins: &Insert) -> Result<()> {
+        let schema = self.catalog.table(&ins.table)?;
+        let arity = schema.arity();
+        let positions: Option<Vec<usize>> = match &ins.columns {
+            None => None,
+            Some(cols) => Some(
+                cols.iter()
+                    .map(|c| schema.column_position(c))
+                    .collect::<Result<_>>()?,
+            ),
+        };
+        let table = ins.table.clone();
+        for literal_row in &ins.rows {
+            let row: Row = match &positions {
+                None => {
+                    if literal_row.len() != arity {
+                        return Err(Error::ConstraintViolation {
+                            table: table.to_string(),
+                            message: format!(
+                                "INSERT supplies {} values for {} columns",
+                                literal_row.len(),
+                                arity
+                            ),
+                        });
+                    }
+                    literal_row.clone()
+                }
+                Some(pos) => {
+                    if literal_row.len() != pos.len() {
+                        return Err(Error::ConstraintViolation {
+                            table: table.to_string(),
+                            message: "INSERT value count does not match column list".into(),
+                        });
+                    }
+                    let mut row = vec![Value::Null; arity];
+                    for (&p, v) in pos.iter().zip(literal_row) {
+                        row[p] = v.clone();
+                    }
+                    row
+                }
+            };
+            self.insert(&table, row)?;
+        }
+        Ok(())
+    }
+
+    /// Run a whole DDL/DML script (used by tests and examples).
+    pub fn run_script(&mut self, sql: &str) -> Result<()> {
+        for stmt in uniq_sql::parse_statements(sql)? {
+            self.apply(&stmt)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn script_builds_and_populates() {
+        let mut db = Database::new();
+        db.run_script(
+            "CREATE TABLE T (A INTEGER, B VARCHAR, PRIMARY KEY (A));
+             INSERT INTO T VALUES (1, 'x'), (2, 'y');
+             INSERT INTO T (B, A) VALUES ('z', 3);",
+        )
+        .unwrap();
+        let rows = db.rows(&"T".into()).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[2], vec![Value::Int(3), Value::str("z")]);
+    }
+
+    #[test]
+    fn insert_violating_key_fails() {
+        let mut db = Database::new();
+        db.run_script("CREATE TABLE T (A INTEGER, PRIMARY KEY (A)); INSERT INTO T VALUES (1);")
+            .unwrap();
+        assert!(db.insert(&"T".into(), vec![Value::Int(1)]).is_err());
+        assert_eq!(db.row_count(&"T".into()).unwrap(), 1);
+    }
+
+    #[test]
+    fn unique_key_null_special_value_via_index() {
+        let mut db = Database::new();
+        db.run_script(
+            "CREATE TABLE T (A INTEGER NOT NULL, B INTEGER, PRIMARY KEY (A), UNIQUE (B));
+             INSERT INTO T VALUES (1, NULL);",
+        )
+        .unwrap();
+        // Second NULL in the UNIQUE column: rejected (=̇ key semantics).
+        assert!(db.insert(&"T".into(), vec![Value::Int(2), Value::Null]).is_err());
+        assert!(db.insert(&"T".into(), vec![Value::Int(2), Value::Int(9)]).is_ok());
+    }
+
+    #[test]
+    fn missing_columns_fill_with_null() {
+        let mut db = Database::new();
+        db.run_script("CREATE TABLE T (A INTEGER, B VARCHAR); INSERT INTO T (A) VALUES (1);")
+            .unwrap();
+        assert_eq!(db.rows(&"T".into()).unwrap()[0][1], Value::Null);
+    }
+
+    #[test]
+    fn truncate_clears_rows_and_indexes() {
+        let mut db = Database::new();
+        db.run_script("CREATE TABLE T (A INTEGER, PRIMARY KEY (A)); INSERT INTO T VALUES (1);")
+            .unwrap();
+        db.truncate(&"T".into()).unwrap();
+        assert_eq!(db.row_count(&"T".into()).unwrap(), 0);
+        // Key slot freed by truncate.
+        db.insert(&"T".into(), vec![Value::Int(1)]).unwrap();
+    }
+
+    #[test]
+    fn unchecked_insert_bypasses_validation() {
+        let mut db = Database::new();
+        db.run_script("CREATE TABLE T (A INTEGER, PRIMARY KEY (A)); INSERT INTO T VALUES (1);")
+            .unwrap();
+        db.insert_unchecked(&"T".into(), vec![Value::Int(1)]).unwrap();
+        assert_eq!(db.row_count(&"T".into()).unwrap(), 2);
+    }
+
+    #[test]
+    fn lookup_by_key_uses_index() {
+        let mut db = Database::new();
+        db.run_script(
+            "CREATE TABLE T (A INTEGER, B VARCHAR, PRIMARY KEY (A));
+             INSERT INTO T VALUES (1, 'x'), (2, 'y');",
+        )
+        .unwrap();
+        let row = db
+            .lookup_by_key(&"T".into(), &[0], &[Value::Int(2)])
+            .unwrap()
+            .unwrap();
+        assert_eq!(row[1], Value::str("y"));
+        assert!(db
+            .lookup_by_key(&"T".into(), &[0], &[Value::Int(99)])
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn foreign_key_enforced() {
+        let mut db = Database::new();
+        db.run_script(
+            "CREATE TABLE PARENT (K INTEGER, PRIMARY KEY (K));
+             CREATE TABLE CHILD (C INTEGER, FK INTEGER,
+               PRIMARY KEY (C),
+               FOREIGN KEY (FK) REFERENCES PARENT (K));
+             INSERT INTO PARENT VALUES (1);",
+        )
+        .unwrap();
+        // Valid reference.
+        db.run_script("INSERT INTO CHILD VALUES (10, 1)").unwrap();
+        // Dangling reference.
+        let err = db
+            .run_script("INSERT INTO CHILD VALUES (11, 99)")
+            .unwrap_err();
+        assert!(err.to_string().contains("foreign key"), "{err}");
+        // NULL FK passes (simple match).
+        db.run_script("INSERT INTO CHILD VALUES (12, NULL)").unwrap();
+    }
+
+    #[test]
+    fn foreign_key_must_reference_a_key() {
+        let mut db = Database::new();
+        db.run_script("CREATE TABLE PARENT (K INTEGER, V INTEGER, PRIMARY KEY (K));")
+            .unwrap();
+        let err = db
+            .run_script(
+                "CREATE TABLE CHILD (C INTEGER, FOREIGN KEY (C) REFERENCES PARENT (V));",
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("non-key"), "{err}");
+    }
+
+    #[test]
+    fn foreign_key_type_mismatch_rejected() {
+        let mut db = Database::new();
+        db.run_script("CREATE TABLE PARENT (K INTEGER, PRIMARY KEY (K));").unwrap();
+        let err = db
+            .run_script(
+                "CREATE TABLE CHILD (C VARCHAR, FOREIGN KEY (C) REFERENCES PARENT (K));",
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("different type"), "{err}");
+    }
+
+    #[test]
+    fn foreign_key_to_missing_table_rejected() {
+        let mut db = Database::new();
+        assert!(db
+            .run_script("CREATE TABLE CHILD (C INTEGER, FOREIGN KEY (C) REFERENCES NOPE (K));")
+            .is_err());
+    }
+
+    #[test]
+    fn bulk_insert_is_fast_enough_with_indexes() {
+        // 20k rows with two candidate keys: must be well under a second.
+        let mut db = Database::new();
+        db.run_script(
+            "CREATE TABLE T (A INTEGER NOT NULL, B INTEGER, PRIMARY KEY (A), UNIQUE (B));",
+        )
+        .unwrap();
+        let t = std::time::Instant::now();
+        for i in 0..20_000i64 {
+            db.insert(&"T".into(), vec![Value::Int(i), Value::Int(i + 1_000_000)])
+                .unwrap();
+        }
+        assert!(
+            t.elapsed() < std::time::Duration::from_secs(5),
+            "indexed insert too slow: {:?}",
+            t.elapsed()
+        );
+    }
+}

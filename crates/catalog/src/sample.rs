@@ -1,0 +1,147 @@
+//! The paper's Figure 1 supplier database, as executable fixtures.
+//!
+//! `SUPPLIER(SNO, SNAME, SCITY, BUDGET, STATUS)` — key `SNO`
+//! `PARTS(SNO, PNO, PNAME, OEM-PNO, COLOR)` — key `(SNO, PNO)`, candidate
+//! key `OEM-PNO`; rows reference the supplier who supplies them.
+//! `AGENTS(SNO, ANO, ANAME, ACITY)` — key `(SNO, ANO)`; rows reference the
+//! supplier they represent.
+//!
+//! The `CREATE TABLE` text below is the paper's §2.1 definitions verbatim
+//! (modulo concrete data types, which the paper elides).
+
+use crate::database::Database;
+use uniq_types::Result;
+
+/// The paper's DDL: schema + constraints of Figure 1 / §2.1.
+pub const SUPPLIER_DDL: &str = "
+CREATE TABLE SUPPLIER (
+  SNO    INTEGER NOT NULL,
+  SNAME  VARCHAR(30),
+  SCITY  VARCHAR(20),
+  BUDGET INTEGER,
+  STATUS VARCHAR(10),
+  PRIMARY KEY (SNO),
+  CHECK (SNO BETWEEN 1 AND 499),
+  CHECK (SCITY IN ('Chicago', 'New York', 'Toronto')),
+  CHECK (BUDGET <> 0 OR STATUS = 'Inactive'));
+
+CREATE TABLE PARTS (
+  SNO     INTEGER NOT NULL,
+  PNO     INTEGER NOT NULL,
+  PNAME   VARCHAR(30),
+  OEM-PNO INTEGER,
+  COLOR   VARCHAR(10),
+  PRIMARY KEY (SNO, PNO),
+  UNIQUE (OEM-PNO),
+  CHECK (SNO BETWEEN 1 AND 499),
+  FOREIGN KEY (SNO) REFERENCES SUPPLIER (SNO));
+
+CREATE TABLE AGENTS (
+  SNO   INTEGER NOT NULL,
+  ANO   INTEGER NOT NULL,
+  ANAME VARCHAR(30),
+  ACITY VARCHAR(20),
+  PRIMARY KEY (SNO, ANO),
+  FOREIGN KEY (SNO) REFERENCES SUPPLIER (SNO));
+";
+
+/// A small, hand-written instance that exercises every example in the
+/// paper: duplicate supplier names (Example 2), red parts supplied by
+/// several suppliers (Examples 1/8), a part supplied by two suppliers,
+/// agents in Ottawa/Hull (Example 9), and one `NULL` `OEM-PNO`.
+pub const SAMPLE_DATA: &str = "
+INSERT INTO SUPPLIER VALUES
+  (1, 'Acme',   'Toronto',  1000, 'Active'),
+  (2, 'Globex', 'Chicago',  2000, 'Active'),
+  (3, 'Acme',   'New York',  500, 'Active'),
+  (4, 'Initech','Toronto',   300, 'Active'),
+  (5, 'Umbra',  'Chicago',     0, 'Inactive');
+
+INSERT INTO PARTS VALUES
+  (1, 10, 'bolt',   100, 'RED'),
+  (1, 11, 'nut',    101, 'GREEN'),
+  (2, 10, 'bolt',   102, 'RED'),
+  (2, 12, 'washer', 103, 'BLUE'),
+  (3, 10, 'bolt',   104, 'RED'),
+  (3, 13, 'screw',  NULL, 'RED'),
+  (4, 14, 'cam',    106, 'GREEN');
+
+INSERT INTO AGENTS VALUES
+  (1, 1, 'North',  'Ottawa'),
+  (1, 2, 'East',   'Hull'),
+  (2, 1, 'Midway', 'Chicago'),
+  (3, 1, 'Hudson', 'Ottawa'),
+  (4, 1, 'Bay',    'Toronto');
+";
+
+/// Build the Figure 1 schema with no rows.
+pub fn supplier_schema() -> Result<Database> {
+    let mut db = Database::new();
+    db.run_script(SUPPLIER_DDL)?;
+    Ok(db)
+}
+
+/// Build the Figure 1 schema populated with [`SAMPLE_DATA`].
+pub fn supplier_database() -> Result<Database> {
+    let mut db = supplier_schema()?;
+    db.run_script(SAMPLE_DATA)?;
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_matches_figure_1() {
+        let db = supplier_schema().unwrap();
+        let cat = db.catalog();
+        let supplier = cat.table(&"SUPPLIER".into()).unwrap();
+        assert_eq!(supplier.primary_key().unwrap().columns, vec![0]);
+        assert_eq!(supplier.checks().count(), 3);
+
+        let parts = cat.table(&"PARTS".into()).unwrap();
+        assert_eq!(parts.primary_key().unwrap().columns, vec![0, 1]);
+        // OEM-PNO candidate key.
+        assert_eq!(parts.candidate_keys().count(), 2);
+        let oem = parts
+            .candidate_keys()
+            .find(|k| !k.primary)
+            .unwrap();
+        assert_eq!(oem.columns, vec![3]);
+
+        let agents = cat.table(&"AGENTS".into()).unwrap();
+        assert_eq!(agents.primary_key().unwrap().columns, vec![0, 1]);
+    }
+
+    #[test]
+    fn sample_data_is_a_valid_instance() {
+        let db = supplier_database().unwrap();
+        assert_eq!(db.row_count(&"SUPPLIER".into()).unwrap(), 5);
+        assert_eq!(db.row_count(&"PARTS".into()).unwrap(), 7);
+        assert_eq!(db.row_count(&"AGENTS".into()).unwrap(), 5);
+    }
+
+    #[test]
+    fn second_null_oem_pno_is_rejected() {
+        // Paper §2.1: any instance of PARTS may have only one tuple with
+        // OEM-PNO = NULL.
+        let mut db = supplier_database().unwrap();
+        let err = db
+            .run_script("INSERT INTO PARTS VALUES (4, 15, 'rod', NULL, 'RED')")
+            .unwrap_err();
+        assert!(err.to_string().contains("unique key violation"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_supplier_names_exist() {
+        // Example 2 relies on two suppliers sharing a name.
+        let db = supplier_database().unwrap();
+        let rows = db.rows(&"SUPPLIER".into()).unwrap();
+        let acme: Vec<_> = rows
+            .iter()
+            .filter(|r| r[1] == uniq_types::Value::str("Acme"))
+            .collect();
+        assert_eq!(acme.len(), 2);
+    }
+}

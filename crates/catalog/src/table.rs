@@ -1,0 +1,303 @@
+//! Table schemas and constraints.
+
+use uniq_sql::{CreateTable, Expr, TableConstraintAst};
+use uniq_types::{ColumnName, DataType, Error, Result, TableName};
+
+
+/// One column of a table schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDef {
+    /// The column's name (unique within the table).
+    pub name: ColumnName,
+    /// The declared scalar type.
+    pub data_type: DataType,
+    /// Whether the column admits `NULL`. Columns of a `PRIMARY KEY` are
+    /// forced non-nullable at schema construction, per SQL2.
+    pub nullable: bool,
+}
+
+/// A candidate key: an ordered set of column positions.
+///
+/// `primary` distinguishes the primary key (whose columns can never be
+/// `NULL`) from `UNIQUE` candidate keys (whose columns may be, with the
+/// null-as-special-value rule).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Key {
+    /// Column positions (indices into [`TableSchema::columns`]), sorted.
+    pub columns: Vec<usize>,
+    /// True for the `PRIMARY KEY`, false for `UNIQUE` keys.
+    pub primary: bool,
+}
+
+/// A foreign key (inclusion dependency): this table's `columns` reference
+/// `parent_columns` of `parent`, which must form a candidate key there.
+/// The basis of the §7 join-elimination rewrite.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForeignKey {
+    /// Referencing column positions in this table, in declaration order
+    /// of the constraint.
+    pub columns: Vec<usize>,
+    /// The referenced table.
+    pub parent: TableName,
+    /// The referenced column names (resolved against the parent's schema
+    /// at validation/analysis time), parallel to `columns`.
+    pub parent_columns: Vec<ColumnName>,
+}
+
+/// A table constraint in resolved (position-based) form.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableConstraint {
+    /// A candidate key (primary or unique).
+    Key(Key),
+    /// A `CHECK` search condition over this table's columns. Kept in AST
+    /// form; column references must resolve within the table.
+    Check(Expr),
+    /// A foreign key referencing a candidate key of another table.
+    ForeignKey(ForeignKey),
+}
+
+/// The schema of one base table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableSchema {
+    /// Table name.
+    pub name: TableName,
+    /// Columns in declaration order.
+    pub columns: Vec<ColumnDef>,
+    /// All constraints, keys first.
+    pub constraints: Vec<TableConstraint>,
+}
+
+impl TableSchema {
+    /// Build a schema from a parsed `CREATE TABLE`, resolving constraint
+    /// column names to positions and applying the SQL2 rule that primary
+    /// key columns are `NOT NULL`.
+    pub fn from_ast(ast: &CreateTable) -> Result<TableSchema> {
+        let mut columns: Vec<ColumnDef> = ast
+            .columns
+            .iter()
+            .map(|c| ColumnDef {
+                name: c.name.clone(),
+                data_type: c.data_type,
+                nullable: !c.not_null,
+            })
+            .collect();
+        // Reject duplicate column names.
+        for (i, c) in columns.iter().enumerate() {
+            if columns[..i].iter().any(|d| d.name == c.name) {
+                return Err(Error::bind(format!(
+                    "duplicate column {} in table {}",
+                    c.name, ast.name
+                )));
+            }
+        }
+        let position = |name: &ColumnName| -> Result<usize> {
+            columns
+                .iter()
+                .position(|c| &c.name == name)
+                .ok_or_else(|| Error::UnknownColumn {
+                    table: ast.name.to_string(),
+                    column: name.to_string(),
+                })
+        };
+
+        let mut keys: Vec<Key> = Vec::new();
+        let mut checks: Vec<Expr> = Vec::new();
+        let mut fks: Vec<ForeignKey> = Vec::new();
+        let mut saw_primary = false;
+        for c in &ast.constraints {
+            match c {
+                TableConstraintAst::PrimaryKey(cols) => {
+                    if saw_primary {
+                        return Err(Error::bind(format!(
+                            "table {} has more than one PRIMARY KEY",
+                            ast.name
+                        )));
+                    }
+                    saw_primary = true;
+                    let mut positions = cols.iter().map(&position).collect::<Result<Vec<_>>>()?;
+                    positions.sort_unstable();
+                    positions.dedup();
+                    keys.insert(
+                        0,
+                        Key {
+                            columns: positions,
+                            primary: true,
+                        },
+                    );
+                }
+                TableConstraintAst::Unique(cols) => {
+                    let mut positions = cols.iter().map(&position).collect::<Result<Vec<_>>>()?;
+                    positions.sort_unstable();
+                    positions.dedup();
+                    keys.push(Key {
+                        columns: positions,
+                        primary: false,
+                    });
+                }
+                TableConstraintAst::Check(e) => checks.push(e.clone()),
+                TableConstraintAst::ForeignKey {
+                    columns: cols,
+                    parent,
+                    parent_columns,
+                } => {
+                    if cols.len() != parent_columns.len() {
+                        return Err(Error::bind(format!(
+                            "foreign key on {} has {} columns but references {}",
+                            ast.name,
+                            cols.len(),
+                            parent_columns.len()
+                        )));
+                    }
+                    let positions = cols.iter().map(&position).collect::<Result<Vec<_>>>()?;
+                    fks.push(ForeignKey {
+                        columns: positions,
+                        parent: parent.clone(),
+                        parent_columns: parent_columns.clone(),
+                    });
+                }
+            }
+        }
+        // SQL2: every column of the primary key is NOT NULL.
+        if let Some(pk) = keys.iter().find(|k| k.primary) {
+            for &i in &pk.columns {
+                columns[i].nullable = false;
+            }
+        }
+        let mut constraints: Vec<TableConstraint> =
+            keys.into_iter().map(TableConstraint::Key).collect();
+        constraints.extend(checks.into_iter().map(TableConstraint::Check));
+        constraints.extend(fks.into_iter().map(TableConstraint::ForeignKey));
+        Ok(TableSchema {
+            name: ast.name.clone(),
+            columns,
+            constraints,
+        })
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Position of a column by name.
+    pub fn column_position(&self, name: &ColumnName) -> Result<usize> {
+        self.columns
+            .iter()
+            .position(|c| &c.name == name)
+            .ok_or_else(|| Error::UnknownColumn {
+                table: self.name.to_string(),
+                column: name.to_string(),
+            })
+    }
+
+    /// All candidate keys (primary key first when present).
+    pub fn candidate_keys(&self) -> impl Iterator<Item = &Key> {
+        self.constraints.iter().filter_map(|c| match c {
+            TableConstraint::Key(k) => Some(k),
+            _ => None,
+        })
+    }
+
+    /// The primary key, if declared.
+    pub fn primary_key(&self) -> Option<&Key> {
+        self.candidate_keys().find(|k| k.primary)
+    }
+
+    /// All `CHECK` conditions.
+    pub fn checks(&self) -> impl Iterator<Item = &Expr> {
+        self.constraints.iter().filter_map(|c| match c {
+            TableConstraint::Check(e) => Some(e),
+            _ => None,
+        })
+    }
+
+    /// All foreign keys declared on this table.
+    pub fn foreign_keys(&self) -> impl Iterator<Item = &ForeignKey> {
+        self.constraints.iter().filter_map(|c| match c {
+            TableConstraint::ForeignKey(fk) => Some(fk),
+            _ => None,
+        })
+    }
+
+    /// True iff the table has at least one candidate key — the
+    /// precondition shared by all three of the paper's theorems.
+    pub fn has_key(&self) -> bool {
+        self.candidate_keys().next().is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniq_sql::parse_statement;
+
+    fn schema(sql: &str) -> TableSchema {
+        match parse_statement(sql).unwrap() {
+            uniq_sql::Statement::CreateTable(ct) => TableSchema::from_ast(&ct).unwrap(),
+            _ => panic!("not a CREATE TABLE"),
+        }
+    }
+
+    #[test]
+    fn primary_key_columns_become_not_null() {
+        let s = schema("CREATE TABLE T (A INTEGER, B VARCHAR, PRIMARY KEY (A))");
+        assert!(!s.columns[0].nullable);
+        assert!(s.columns[1].nullable);
+    }
+
+    #[test]
+    fn unique_key_columns_stay_nullable() {
+        let s = schema("CREATE TABLE T (A INTEGER, B INTEGER, UNIQUE (B), PRIMARY KEY (A))");
+        assert!(s.columns[1].nullable);
+        let keys: Vec<_> = s.candidate_keys().collect();
+        assert_eq!(keys.len(), 2);
+        assert!(keys[0].primary, "primary key listed first");
+        assert_eq!(keys[1].columns, vec![1]);
+    }
+
+    #[test]
+    fn composite_key_positions_are_sorted() {
+        let s = schema("CREATE TABLE T (A INTEGER, B INTEGER, C INTEGER, PRIMARY KEY (C, A))");
+        assert_eq!(s.primary_key().unwrap().columns, vec![0, 2]);
+    }
+
+    #[test]
+    fn duplicate_primary_key_rejected() {
+        let ct = match parse_statement(
+            "CREATE TABLE T (A INTEGER, B INTEGER, PRIMARY KEY (A), PRIMARY KEY (B))",
+        )
+        .unwrap()
+        {
+            uniq_sql::Statement::CreateTable(ct) => ct,
+            _ => unreachable!(),
+        };
+        assert!(TableSchema::from_ast(&ct).is_err());
+    }
+
+    #[test]
+    fn unknown_key_column_rejected() {
+        let ct = match parse_statement("CREATE TABLE T (A INTEGER, PRIMARY KEY (Z))").unwrap() {
+            uniq_sql::Statement::CreateTable(ct) => ct,
+            _ => unreachable!(),
+        };
+        assert!(TableSchema::from_ast(&ct).is_err());
+    }
+
+    #[test]
+    fn duplicate_column_rejected() {
+        let ct = match parse_statement("CREATE TABLE T (A INTEGER, A VARCHAR)").unwrap() {
+            uniq_sql::Statement::CreateTable(ct) => ct,
+            _ => unreachable!(),
+        };
+        assert!(TableSchema::from_ast(&ct).is_err());
+    }
+
+    #[test]
+    fn checks_are_collected() {
+        let s = schema(
+            "CREATE TABLE T (A INTEGER, CHECK (A BETWEEN 1 AND 499), CHECK (A <> 0))",
+        );
+        assert_eq!(s.checks().count(), 2);
+        assert!(!s.has_key());
+    }
+}

@@ -1,0 +1,492 @@
+//! A faithful implementation of the paper's Algorithm 1.
+//!
+//! ```text
+//!  5  Convert C_R ∧ C_S ∧ C_{R,S} ∧ T into CNF: C = D1 ∧ … ∧ Dn
+//!  6  for each Di ∈ C do
+//!  7     if Di contains an atomic condition not of Type 1 or Type 2
+//!        then delete Di from C
+//!  8     else if Di contains a disjunctive clause on v then delete Di
+//! 10  if C = T then return NO
+//! 11  else convert C to DNF: C = E1 ∨ … ∨ Em
+//! 12  for each conjunctive component Ei ∈ C do
+//! 13     create a set V that contains each attribute in A
+//! 14     for each Type 1 condition (v = c) in Ei do add v to V
+//! 15-16  compute the transitive closure of V based on Type 2
+//!        conditions in Ei
+//! 17     if Key(R) ⊕ Key(S) ⊆ V then proceed else return NO
+//! 20  return YES
+//! ```
+//!
+//! Type 1 conditions are `column = constant` (literal or host variable),
+//! Type 2 are `column = column`.
+//!
+//! ## Erratum: line 8 must delete *every* disjunctive clause
+//!
+//! Line 8's wording ("contains a disjunctive clause on v", example
+//! `X = 5 OR X = 10`) could be read as deleting only clauses where one
+//! column appears in several disjuncts. That reading is **unsound**:
+//! with clauses `(SNO = 1 OR B = 9) ∧ (SNO = 2 OR C = 'y') ∧ SNO = B`
+//! over key `SNO` and projection `{D}`, every DNF disjunct pins `SNO` —
+//! but to *different* constants in different disjuncts, so two distinct
+//! rows (`SNO = 1` and `SNO = 9`) can agree on `D` and duplicate. The
+//! paper's own §4.1 correctness proof assumes the surviving predicate
+//! "contains only atomic conditions using `=`", i.e. after pruning the
+//! conjunction is disjunction-free. We therefore implement line 8 as
+//! *delete any clause containing more than one atom*, which matches the
+//! proof (and makes the DNF of line 11 trivially a single conjunct — the
+//! expansion is kept for fidelity to the printed text).
+//!
+//! Known incompletenesses, reproduced deliberately because this module is
+//! the *paper's* algorithm (the FD test in [`crate::analysis`] subsumes
+//! it):
+//!
+//! * Line 10 answers NO whenever pruning leaves no usable conjunct, even
+//!   if the projection list alone contains every key
+//!   (`SELECT DISTINCT SNO, SNAME FROM SUPPLIER` gets NO here, YES from
+//!   the FD test).
+//! * Table constraints (`CHECK`) are ignored, as §4.1 states.
+//! * The CNF → DNF expansion is exponential; we add a size cap the paper
+//!   does not have and answer NO on overflow, which preserves soundness.
+
+use uniq_plan::norm::{
+    classify_atom, cnf_to_dnf, to_cnf, type1_attr, type2_attrs, AtomClass, Clause, Conjunct,
+};
+use uniq_plan::{BoundExpr, BoundSpec};
+
+/// Tuning knobs for Algorithm 1.
+#[derive(Debug, Clone, Copy)]
+pub struct Algorithm1Options {
+    /// Maximum CNF clause count before giving up (answer NO).
+    pub max_cnf_clauses: usize,
+    /// Maximum DNF disjunct count before giving up (answer NO).
+    pub max_dnf_disjuncts: usize,
+}
+
+impl Default for Algorithm1Options {
+    fn default() -> Self {
+        Algorithm1Options {
+            max_cnf_clauses: 4096,
+            max_dnf_disjuncts: 4096,
+        }
+    }
+}
+
+/// The algorithm's answer plus a trace of its reasoning, suitable for
+/// `EXPLAIN`-style output and for the paper's Example 5 walk-through.
+#[derive(Debug, Clone)]
+pub struct Algorithm1Outcome {
+    /// YES — duplicate elimination is unnecessary.
+    pub unique: bool,
+    /// Human-readable trace lines, in execution order.
+    pub trace: Vec<String>,
+    /// CNF clause count before pruning (`None` if conversion overflowed).
+    pub cnf_clauses: Option<usize>,
+    /// Clauses surviving lines 6–9.
+    pub kept_clauses: usize,
+    /// DNF disjunct count (`None` if the expansion overflowed or was not
+    /// reached).
+    pub dnf_disjuncts: Option<usize>,
+}
+
+impl Algorithm1Outcome {
+    fn no(reason: impl Into<String>, trace: Vec<String>) -> Algorithm1Outcome {
+        let mut trace = trace;
+        trace.push(format!("return NO: {}", reason.into()));
+        Algorithm1Outcome {
+            unique: false,
+            trace,
+            cnf_clauses: None,
+            kept_clauses: 0,
+            dnf_disjuncts: None,
+        }
+    }
+}
+
+/// Run Algorithm 1 on a bound query block.
+///
+/// Returns YES (`unique == true`) only when every projected result row is
+/// guaranteed distinct, i.e. a `SELECT DISTINCT` over this block may drop
+/// its `DISTINCT`.
+pub fn algorithm1(spec: &BoundSpec, opts: &Algorithm1Options) -> Algorithm1Outcome {
+    let mut trace: Vec<String> = Vec::new();
+
+    // Precondition of Theorem 1: every table in the product has at least
+    // one candidate key.
+    for t in &spec.from {
+        if !t.schema.has_key() {
+            return Algorithm1Outcome::no(
+                format!("table {} has no candidate key", t.binding),
+                trace,
+            );
+        }
+    }
+    if spec.from.is_empty() {
+        return Algorithm1Outcome::no("empty FROM clause", trace);
+    }
+
+    // Line 5: CNF of the whole selection predicate (∧ T for no predicate).
+    let cnf: Vec<Clause> = match &spec.predicate {
+        None => Vec::new(),
+        Some(p) => match to_cnf(p, opts.max_cnf_clauses) {
+            Some(c) => c,
+            None => {
+                return Algorithm1Outcome::no(
+                    format!("CNF exceeds {} clauses", opts.max_cnf_clauses),
+                    trace,
+                )
+            }
+        },
+    };
+    let cnf_clauses = cnf.len();
+    trace.push(format!("line 5: CNF has {cnf_clauses} clause(s)"));
+
+    // Lines 6–9: prune clauses.
+    let mut kept: Vec<Clause> = Vec::new();
+    for clause in cnf {
+        if clause
+            .iter()
+            .any(|a| classify_atom(a) == AtomClass::Other)
+        {
+            trace.push(format!(
+                "line 7: delete clause {} (contains a non-Type-1/2 atom)",
+                describe_clause(spec, &clause)
+            ));
+            continue;
+        }
+        if clause.len() > 1 {
+            // Line 8 (see module erratum): any disjunctive clause is
+            // deleted — the correctness proof requires the surviving
+            // condition to be a conjunction of atoms.
+            trace.push(format!(
+                "line 8: delete clause {} (disjunctive)",
+                describe_clause(spec, &clause)
+            ));
+            continue;
+        }
+        kept.push(clause);
+    }
+    trace.push(format!("lines 6-9: {} clause(s) kept", kept.len()));
+
+    // Line 10: C = T.
+    if kept.is_empty() {
+        let mut out = Algorithm1Outcome::no("C reduced to T (line 10)", trace);
+        out.cnf_clauses = Some(cnf_clauses);
+        return out;
+    }
+
+    // Line 11: DNF expansion.
+    let dnf: Vec<Conjunct> = match cnf_to_dnf(&kept, opts.max_dnf_disjuncts) {
+        Some(d) => d,
+        None => {
+            let mut out = Algorithm1Outcome::no(
+                format!("DNF exceeds {} disjuncts", opts.max_dnf_disjuncts),
+                trace,
+            );
+            out.cnf_clauses = Some(cnf_clauses);
+            out.kept_clauses = kept.len();
+            return out;
+        }
+    };
+    trace.push(format!("line 11: DNF has {} disjunct(s)", dnf.len()));
+
+    // Lines 12–19: test every disjunct.
+    for (i, conjunct) in dnf.iter().enumerate() {
+        // Line 13: V starts as the projection attributes.
+        let mut v: Vec<bool> = vec![false; spec.product_arity()];
+        for p in &spec.projection {
+            v[p.attr] = true;
+        }
+        // Line 14: Type-1 conditions bind their column.
+        for atom in conjunct {
+            if let Some(a) = type1_attr(atom) {
+                v[a] = true;
+            }
+        }
+        // Lines 15–16: transitive closure under Type-2 conditions.
+        let pairs: Vec<(usize, usize)> =
+            conjunct.iter().filter_map(type2_attrs).collect();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &(a, b) in &pairs {
+                if v[a] && !v[b] {
+                    v[b] = true;
+                    changed = true;
+                }
+                if v[b] && !v[a] {
+                    v[a] = true;
+                    changed = true;
+                }
+            }
+        }
+        let v_names: Vec<String> = v
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(a, _)| spec.attr_name(a))
+            .collect();
+        trace.push(format!(
+            "lines 13-16 (E{}): V = {{{}}}",
+            i + 1,
+            v_names.join(", ")
+        ));
+
+        // Line 17: some candidate key of every table must lie within V.
+        for t in &spec.from {
+            let covered = t.schema.candidate_keys().any(|k| {
+                k.columns.iter().all(|&c| v[t.offset + c])
+            });
+            if !covered {
+                trace.push(format!(
+                    "line 17 (E{}): no candidate key of {} is contained in V",
+                    i + 1,
+                    t.binding
+                ));
+                trace.push("return NO".into());
+                return Algorithm1Outcome {
+                    unique: false,
+                    trace,
+                    cnf_clauses: Some(cnf_clauses),
+                    kept_clauses: kept.len(),
+                    dnf_disjuncts: Some(dnf.len()),
+                };
+            }
+        }
+    }
+
+    // Line 20.
+    trace.push("line 20: return YES".into());
+    Algorithm1Outcome {
+        unique: true,
+        trace,
+        cnf_clauses: Some(cnf_clauses),
+        kept_clauses: kept.len(),
+        dnf_disjuncts: Some(dnf.len()),
+    }
+}
+
+fn describe_clause(spec: &BoundSpec, clause: &[BoundExpr]) -> String {
+    let parts: Vec<String> = clause.iter().map(|a| describe_atom(spec, a)).collect();
+    format!("({})", parts.join(" OR "))
+}
+
+fn describe_atom(spec: &BoundSpec, atom: &BoundExpr) -> String {
+    use uniq_plan::BScalar;
+    let scalar = |s: &BScalar| match s {
+        BScalar::Attr(a) if a.is_local() => spec.attr_name(a.idx),
+        BScalar::Attr(a) => format!("outer#{}.{}", a.up, a.idx),
+        BScalar::Literal(v) => v.to_string(),
+        BScalar::HostVar(h) => format!(":{h}"),
+    };
+    match atom {
+        BoundExpr::Cmp { op, left, right } => {
+            format!("{} {op} {}", scalar(left), scalar(right))
+        }
+        BoundExpr::IsNull { scalar: s, negated } => format!(
+            "{} IS {}NULL",
+            scalar(s),
+            if *negated { "NOT " } else { "" }
+        ),
+        BoundExpr::Exists { negated, .. } => {
+            format!("{}EXISTS(...)", if *negated { "NOT " } else { "" })
+        }
+        other => format!("{other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniq_catalog::sample::supplier_schema;
+    use uniq_plan::bind_query;
+    use uniq_sql::parse_query;
+
+    fn run(sql: &str) -> Algorithm1Outcome {
+        let db = supplier_schema().unwrap();
+        let bound = bind_query(db.catalog(), &parse_query(sql).unwrap()).unwrap();
+        let spec = bound.as_spec().expect("single block");
+        algorithm1(spec, &Algorithm1Options::default())
+    }
+
+    #[test]
+    fn example_1_distinct_is_unnecessary() {
+        // Paper Example 1: keys SNO, (SNO, PNO) all present or derivable.
+        let out = run(
+            "SELECT DISTINCT S.SNO, P.PNO, P.PNAME FROM SUPPLIER S, PARTS P \
+             WHERE S.SNO = P.SNO AND P.COLOR = 'RED'",
+        );
+        assert!(out.unique, "trace: {:#?}", out.trace);
+    }
+
+    #[test]
+    fn example_2_requires_duplicate_elimination() {
+        // Paper Example 2: SNAME projected instead of SNO — two suppliers
+        // with the same name may supply the same part.
+        let out = run(
+            "SELECT DISTINCT S.SNAME, P.PNO, P.PNAME FROM SUPPLIER S, PARTS P \
+             WHERE S.SNO = P.SNO AND P.COLOR = 'RED'",
+        );
+        assert!(!out.unique);
+    }
+
+    #[test]
+    fn example_5_trace_matches_paper() {
+        // Paper Example 5 (= Example 4's query through Algorithm 1).
+        let out = run(
+            "SELECT DISTINCT S.SNO, SNAME, P.PNO, PNAME FROM SUPPLIER S, PARTS P \
+             WHERE P.SNO = :SUPPLIER-NO AND S.SNO = P.SNO",
+        );
+        assert!(out.unique, "trace: {:#?}", out.trace);
+        // The paper's line 14: V = {S.SNO, SNAME, P.PNO, PNAME, P.SNO}.
+        let v_line = out
+            .trace
+            .iter()
+            .find(|l| l.starts_with("lines 13-16"))
+            .unwrap();
+        for col in ["S.SNO", "S.SNAME", "P.PNO", "P.PNAME", "P.SNO"] {
+            assert!(v_line.contains(col), "missing {col} in {v_line}");
+        }
+        assert_eq!(out.dnf_disjuncts, Some(1));
+    }
+
+    #[test]
+    fn example_6_supplier_name_binding() {
+        // Paper Example 6: S.SNAME = :SUPPLIER-NAME binds SNAME (not a key)
+        // but S.SNO is projected and S.SNO = P.SNO brings P.SNO in.
+        let out = run(
+            "SELECT DISTINCT S.SNO, PNO, PNAME, P.COLOR FROM SUPPLIER S, PARTS P \
+             WHERE S.SNAME = :SUPPLIER-NAME AND S.SNO = P.SNO",
+        );
+        assert!(out.unique, "trace: {:#?}", out.trace);
+    }
+
+    #[test]
+    fn candidate_key_oem_pno_counts() {
+        // OEM-PNO is a candidate key of PARTS: binding it (plus supplier
+        // key) suffices even though the primary key is absent.
+        let out = run(
+            "SELECT DISTINCT P.PNAME FROM SUPPLIER S, PARTS P \
+             WHERE P.OEM-PNO = :OEM AND S.SNO = P.SNO AND S.SNO = :S",
+        );
+        assert!(out.unique, "trace: {:#?}", out.trace);
+    }
+
+    #[test]
+    fn disjunction_on_same_column_is_dropped() {
+        // X = 5 OR X = 10 (line 8's own example): binds nothing.
+        let out = run(
+            "SELECT DISTINCT S.SNAME FROM SUPPLIER S \
+             WHERE S.SNO = 5 OR S.SNO = 10",
+        );
+        assert!(!out.unique);
+        assert!(out
+            .trace
+            .iter()
+            .any(|l| l.starts_with("line 8: delete")));
+    }
+
+    #[test]
+    fn disjunction_on_distinct_columns_is_also_dropped() {
+        // See the module erratum: keeping (SNO = 1 OR SNAME = 'x') and
+        // case-splitting it would be unsound; line 8 deletes it.
+        let out = run(
+            "SELECT DISTINCT S.SCITY FROM SUPPLIER S \
+             WHERE S.SNO = 1 OR S.SNAME = 'x'",
+        );
+        assert!(!out.unique);
+        assert!(out.trace.iter().any(|l| l.starts_with("line 8: delete")));
+    }
+
+    #[test]
+    fn disjunctive_clause_weakens_but_conjunct_still_binds_key() {
+        // The OR-clause is deleted; the remaining atomic SNO = 2 pins the
+        // key, so the answer is YES with a single (trivial) DNF disjunct.
+        let out = run(
+            "SELECT DISTINCT S.SCITY FROM SUPPLIER S \
+             WHERE (S.SNO = 1 OR S.SNAME = 'x') AND S.SNO = 2",
+        );
+        assert!(out.unique, "trace: {:#?}", out.trace);
+        assert_eq!(out.dnf_disjuncts, Some(1));
+    }
+
+    #[test]
+    fn erratum_counterexample_answers_no() {
+        // (SNO = 1 OR BUDGET = 9) ∧ (SNO = 2 OR SCITY = 'Toronto')
+        // ∧ SNO = BUDGET: under the unsound per-column reading every DNF
+        // disjunct would pin SNO (to different constants!) and the
+        // algorithm would wrongly answer YES; two rows with SNO 1 and 9
+        // can then duplicate on SNAME. The sound reading answers NO.
+        let out = run(
+            "SELECT DISTINCT S.SNAME FROM SUPPLIER S \
+             WHERE (S.SNO = 1 OR S.BUDGET = 9) \
+               AND (S.SNO = 2 OR S.SCITY = 'Toronto') \
+               AND S.SNO = S.BUDGET",
+        );
+        assert!(!out.unique);
+    }
+
+    #[test]
+    fn line_10_incompleteness_no_predicate() {
+        // Keys fully projected but no predicate: the paper's line 10
+        // answers NO (C = T). Documented incompleteness.
+        let out = run("SELECT DISTINCT S.SNO, S.SNAME FROM SUPPLIER S");
+        assert!(!out.unique);
+        assert!(out.trace.iter().any(|l| l.contains("line 10")), "{:?}", out.trace);
+    }
+
+    #[test]
+    fn non_equality_atoms_weaken_but_do_not_block() {
+        // BETWEEN is not Type 1/2: its clause is deleted, but SNO = :H
+        // still binds the key.
+        let out = run(
+            "SELECT DISTINCT S.SNAME FROM SUPPLIER S \
+             WHERE S.SNO = :H AND S.BUDGET BETWEEN 1 AND 10",
+        );
+        assert!(out.unique, "trace: {:#?}", out.trace);
+    }
+
+    #[test]
+    fn table_without_key_answers_no() {
+        let mut db = uniq_catalog::Database::new();
+        db.run_script("CREATE TABLE HEAP (X INTEGER, Y INTEGER)").unwrap();
+        let bound = bind_query(
+            db.catalog(),
+            &parse_query("SELECT DISTINCT X FROM HEAP WHERE X = 1").unwrap(),
+        )
+        .unwrap();
+        let out = algorithm1(bound.as_spec().unwrap(), &Algorithm1Options::default());
+        assert!(!out.unique);
+        assert!(out.trace.last().unwrap().contains("no candidate key"));
+    }
+
+    #[test]
+    fn exists_atom_is_other_and_clause_dropped() {
+        let out = run(
+            "SELECT DISTINCT S.SNAME FROM SUPPLIER S \
+             WHERE S.SNO = :H AND EXISTS (SELECT * FROM PARTS P WHERE P.SNO = S.SNO)",
+        );
+        // EXISTS clause dropped; SNO = :H still covers the key.
+        assert!(out.unique);
+    }
+
+    #[test]
+    fn cnf_overflow_answers_no() {
+        // A predicate whose CNF explodes: a disjunction of 13 two-atom
+        // conjunctions expands to 2^13 clauses, past the 4096 cap.
+        let cols = ["SNO", "SNAME", "SCITY", "BUDGET", "STATUS"];
+        let disjuncts: Vec<String> = (0..13)
+            .map(|i| {
+                let a = cols[i % 5];
+                let b = cols[(i + 1) % 5];
+                format!("(S.{a} = :H{i} AND S.{b} = :G{i})")
+            })
+            .collect();
+        let sql = format!(
+            "SELECT DISTINCT S.SNO FROM SUPPLIER S WHERE {}",
+            disjuncts.join(" OR ")
+        );
+        let out = run(&sql);
+        assert!(!out.unique);
+        assert!(out.trace.iter().any(|l| l.contains("CNF exceeds")), "{:?}", out.trace);
+    }
+}

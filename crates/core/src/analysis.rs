@@ -1,0 +1,358 @@
+//! Functional-dependency-based uniqueness analysis.
+//!
+//! This is the production-strength sufficient test for Theorem 1. It
+//! expresses Algorithm 1's reasoning as derived functional dependencies —
+//! a base table's candidate keys become key dependencies, a Type-1
+//! equality (`v = const`) surviving a false-interpreted `WHERE` makes `v`
+//! constant (`∅ → v`), and a Type-2 equality (`v1 = v2`) makes the columns
+//! mutually determining — and then asks the closure question directly:
+//!
+//! > does the projection list functionally determine a candidate key of
+//! > every table in the product?
+//!
+//! Because key FDs ride along in the closure, this subsumes Algorithm 1
+//! (anything V reaches, the closure reaches) and additionally handles the
+//! cases the paper's line 10 gives up on (no usable predicate but keys in
+//! the projection list) and transitive inferences *through* key
+//! dependencies (e.g. binding a candidate key of a table makes the whole
+//! table's attribute block constant, which can bind another table's key
+//! via a join predicate).
+//!
+//! Only *top-level conjuncts* of the predicate contribute equalities: an
+//! equality under `OR` does not hold for every qualifying row. Algorithm 1
+//! (soundly implemented — see the erratum in [`mod@crate::algorithm1`])
+//! discards disjunctive clauses for the same reason, so everything its set
+//! `V` can reach, this closure reaches too; the FD test strictly subsumes
+//! it. [`crate::pipeline::Optimizer`] still exposes both, so experiments
+//! can compare the paper's algorithm against the closure-based test.
+//!
+//! The same machinery yields Theorem 2's *single-tuple condition* for a
+//! correlated subquery block ([`single_tuple_condition`]): with correlated
+//! (outer) references treated as constants — the outer row is fixed while
+//! the subquery runs — the block matches at most one tuple iff the empty
+//! set's closure covers a candidate key of every subquery table.
+
+use uniq_fd::{AttrSet, FdSet};
+use uniq_plan::norm::to_cnf;
+use uniq_plan::{BScalar, BoundExpr, BoundSpec};
+use uniq_sql::CmpOp;
+
+/// Why a block was (or was not) found duplicate-free.
+#[derive(Debug, Clone)]
+pub struct UniquenessReport {
+    /// The verdict: `true` means provably duplicate-free.
+    pub unique: bool,
+    /// Prose explanation (covered keys, or the first uncovered table).
+    pub reason: String,
+}
+
+/// Build the derived FD set of a query block's selection over its
+/// Cartesian product, from:
+///
+/// 1. every candidate key of every `FROM` table (key dependencies, valid
+///    under `=̇` by SQL2's null-as-special-value rule);
+/// 2. Type-1 equalities among the predicate's top-level conjuncts
+///    (`∅ → v`);
+/// 3. Type-2 equalities among them (`v1 ↔ v2`).
+///
+/// `treat_correlated_as_constant` additionally turns `local = outer` into
+/// `∅ → local` — Theorem 2's view, where the block runs per outer row.
+pub fn derived_fds(spec: &BoundSpec, treat_correlated_as_constant: bool) -> FdSet {
+    let mut fds = FdSet::new(spec.product_arity());
+    // 1. Key dependencies.
+    for t in &spec.from {
+        let all: Vec<usize> = t.attr_range().collect();
+        for key in t.schema.candidate_keys() {
+            let lhs: Vec<usize> = key.columns.iter().map(|&c| t.offset + c).collect();
+            fds.add_fd(lhs, all.iter().copied());
+        }
+    }
+    // 2/3. Predicate equalities from top-level conjuncts. A conjunct that
+    // is itself a disjunction contributes nothing here (see module docs);
+    // we take the CNF's singleton clauses, which captures conjuncts hidden
+    // under double negation as well.
+    if let Some(pred) = &spec.predicate {
+        if let Some(cnf) = to_cnf(pred, 1024) {
+            for clause in &cnf {
+                if clause.len() != 1 {
+                    continue;
+                }
+                add_equality_fds(&mut fds, &clause[0], treat_correlated_as_constant);
+            }
+        }
+    }
+    fds
+}
+
+fn add_equality_fds(fds: &mut FdSet, atom: &BoundExpr, correlated_const: bool) {
+    let BoundExpr::Cmp {
+        op: CmpOp::Eq,
+        left,
+        right,
+    } = atom
+    else {
+        return;
+    };
+    let local = |s: &BScalar| match s {
+        BScalar::Attr(a) if a.is_local() => Some(a.idx),
+        _ => None,
+    };
+    let constant = |s: &BScalar| match s {
+        BScalar::Literal(_) | BScalar::HostVar(_) => true,
+        BScalar::Attr(a) => correlated_const && !a.is_local(),
+    };
+    match (local(left), local(right)) {
+        (Some(a), Some(b)) => fds.add_equiv(a, b),
+        (Some(a), None) if constant(right) => fds.add_constant(a),
+        (None, Some(b)) if constant(left) => fds.add_constant(b),
+        _ => {}
+    }
+}
+
+/// The FD-based Theorem 1 test: is the block's projected result provably
+/// duplicate-free?
+///
+/// Requires every `FROM` table to carry at least one candidate key (the
+/// theorem's precondition), then checks that the closure of the projection
+/// attributes covers some candidate key of every table.
+pub fn unique_projection(spec: &BoundSpec) -> UniquenessReport {
+    if spec.from.is_empty() {
+        return UniquenessReport {
+            unique: false,
+            reason: "empty FROM clause".into(),
+        };
+    }
+    for t in &spec.from {
+        if !t.schema.has_key() {
+            return UniquenessReport {
+                unique: false,
+                reason: format!("table {} has no candidate key", t.binding),
+            };
+        }
+    }
+    let fds = derived_fds(spec, false);
+    let proj: AttrSet = spec.projection.iter().map(|p| p.attr).collect();
+    let closure = fds.closure_of(&proj);
+    key_cover_report(spec, &closure, "projection")
+}
+
+/// Theorem 2's single-tuple condition: evaluated per outer row (correlated
+/// references fixed), does this subquery block match **at most one** tuple?
+///
+/// True iff the closure of the constants alone (`∅⁺`) covers a candidate
+/// key of every table in the block.
+pub fn single_tuple_condition(sub: &BoundSpec) -> UniquenessReport {
+    if sub.from.is_empty() {
+        return UniquenessReport {
+            unique: false,
+            reason: "empty FROM clause".into(),
+        };
+    }
+    for t in &sub.from {
+        if !t.schema.has_key() {
+            return UniquenessReport {
+                unique: false,
+                reason: format!("table {} has no candidate key", t.binding),
+            };
+        }
+    }
+    let fds = derived_fds(sub, true);
+    let closure = fds.closure_of(&AttrSet::new());
+    key_cover_report(sub, &closure, "correlation/constant bindings")
+}
+
+fn key_cover_report(
+    spec: &BoundSpec,
+    closure: &AttrSet,
+    source: &str,
+) -> UniquenessReport {
+    let mut covered: Vec<String> = Vec::new();
+    for t in &spec.from {
+        let key = t.schema.candidate_keys().find(|k| {
+            k.columns
+                .iter()
+                .all(|&c| closure.contains(t.offset + c))
+        });
+        match key {
+            Some(k) => {
+                let cols: Vec<String> = k
+                    .columns
+                    .iter()
+                    .map(|&c| t.schema.columns[c].name.to_string())
+                    .collect();
+                covered.push(format!("{}({})", t.binding, cols.join(", ")));
+            }
+            None => {
+                return UniquenessReport {
+                    unique: false,
+                    reason: format!(
+                        "no candidate key of {} is determined by the {source}",
+                        t.binding
+                    ),
+                };
+            }
+        }
+    }
+    UniquenessReport {
+        unique: true,
+        reason: format!(
+            "the {source} functionally determines candidate keys {}",
+            covered.join(" and ")
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniq_catalog::sample::supplier_schema;
+    use uniq_plan::bind_query;
+    use uniq_sql::parse_query;
+
+    fn spec_of(sql: &str) -> BoundSpec {
+        let db = supplier_schema().unwrap();
+        let bound = bind_query(db.catalog(), &parse_query(sql).unwrap()).unwrap();
+        bound.as_spec().unwrap().clone()
+    }
+
+    #[test]
+    fn example_1_unique() {
+        let r = unique_projection(&spec_of(
+            "SELECT DISTINCT S.SNO, P.PNO, P.PNAME FROM SUPPLIER S, PARTS P \
+             WHERE S.SNO = P.SNO AND P.COLOR = 'RED'",
+        ));
+        assert!(r.unique, "{}", r.reason);
+    }
+
+    #[test]
+    fn example_2_not_unique() {
+        let r = unique_projection(&spec_of(
+            "SELECT DISTINCT S.SNAME, P.PNO, P.PNAME FROM SUPPLIER S, PARTS P \
+             WHERE S.SNO = P.SNO AND P.COLOR = 'RED'",
+        ));
+        assert!(!r.unique);
+        assert!(r.reason.contains('S'), "{}", r.reason);
+    }
+
+    #[test]
+    fn keys_in_projection_without_predicate() {
+        // The case the paper's Algorithm 1 line 10 misses.
+        let r = unique_projection(&spec_of(
+            "SELECT DISTINCT S.SNO, S.SNAME FROM SUPPLIER S",
+        ));
+        assert!(r.unique, "{}", r.reason);
+    }
+
+    #[test]
+    fn transitive_inference_through_key_dependency() {
+        // Binding PARTS' candidate key OEM-PNO makes P.SNO constant (key
+        // dependency), which via S.SNO = P.SNO binds SUPPLIER's key too —
+        // a closure step Algorithm 1's V cannot take.
+        let r = unique_projection(&spec_of(
+            "SELECT DISTINCT P.PNAME FROM SUPPLIER S, PARTS P \
+             WHERE P.OEM-PNO = :OEM AND S.SNO = P.SNO",
+        ));
+        assert!(r.unique, "{}", r.reason);
+    }
+
+    #[test]
+    fn equality_under_or_is_ignored() {
+        let r = unique_projection(&spec_of(
+            "SELECT DISTINCT S.SNAME FROM SUPPLIER S \
+             WHERE S.SNO = 5 OR S.SNO = 10",
+        ));
+        assert!(!r.unique);
+    }
+
+    #[test]
+    fn single_tuple_condition_example_7() {
+        // Paper Example 7's subquery: S.SNO = P.SNO AND P.PNO = :PART-NO
+        // pins the full PARTS key per outer row.
+        let outer = spec_of(
+            "SELECT ALL S.SNO, S.SNAME FROM SUPPLIER S \
+             WHERE S.SNAME = :SUPPLIER-NAME AND EXISTS \
+             (SELECT * FROM PARTS P WHERE S.SNO = P.SNO AND P.PNO = :PART-NO)",
+        );
+        let sub = match outer.predicate.as_ref().unwrap().conjuncts()[1] {
+            BoundExpr::Exists { subquery, .. } => subquery.as_ref().clone(),
+            other => panic!("expected EXISTS, got {other:?}"),
+        };
+        let r = single_tuple_condition(&sub);
+        assert!(r.unique, "{}", r.reason);
+    }
+
+    #[test]
+    fn single_tuple_condition_example_8_fails() {
+        // Example 8's subquery: only COLOR = 'RED' — many red parts per
+        // supplier, key not pinned.
+        let outer = spec_of(
+            "SELECT ALL S.SNO, S.SNAME FROM SUPPLIER S WHERE EXISTS \
+             (SELECT * FROM PARTS P WHERE P.SNO = S.SNO AND P.COLOR = 'RED')",
+        );
+        let sub = match outer.predicate.as_ref().unwrap() {
+            BoundExpr::Exists { subquery, .. } => subquery.as_ref().clone(),
+            other => panic!("expected EXISTS, got {other:?}"),
+        };
+        let r = single_tuple_condition(&sub);
+        assert!(!r.unique);
+    }
+
+    #[test]
+    fn heap_table_blocks_uniqueness() {
+        let mut db = uniq_catalog::Database::new();
+        db.run_script("CREATE TABLE HEAP (X INTEGER)").unwrap();
+        let bound = bind_query(
+            db.catalog(),
+            &parse_query("SELECT DISTINCT X FROM HEAP WHERE X = 1").unwrap(),
+        )
+        .unwrap();
+        let r = unique_projection(bound.as_spec().unwrap());
+        assert!(!r.unique);
+        assert!(r.reason.contains("no candidate key"));
+    }
+
+    #[test]
+    fn example_3_pno_keys_the_derived_table() {
+        // Paper Example 3: with P.SNO = :SUPPLIER-NO and S.SNO = P.SNO,
+        // "PNO is a key of the derived table" — and SNO → SNAME becomes a
+        // non-key FD there. Verify both through the derived FD set.
+        let spec = spec_of(
+            "SELECT ALL S.SNO, SNAME, P.PNO, PNAME FROM SUPPLIER S, PARTS P \
+             WHERE P.SNO = :SUPPLIER-NO AND S.SNO = P.SNO",
+        );
+        let fds = derived_fds(&spec, false);
+        // Attribute positions: S.SNO=0, S.SNAME=1, P.PNO=6, P.PNAME=7.
+        let pno = uniq_fd::AttrSet::single(6);
+        // P.PNO determines the entire product (it is a key of the derived
+        // table): P.SNO is constant, (P.SNO,P.PNO) keys PARTS, S.SNO =
+        // P.SNO keys SUPPLIER.
+        assert!(
+            fds.is_superkey(&pno),
+            "PNO should key the derived table (closure: {:?})",
+            fds.closure_of(&pno)
+        );
+        // The paper's other observation: SNO → SNAME holds (a key
+        // dependency of SUPPLIER surviving as a derived FD).
+        assert!(fds.implies(
+            &uniq_fd::AttrSet::single(0),
+            &uniq_fd::AttrSet::single(1)
+        ));
+        // And without the host-variable restriction, PNO alone is NOT a
+        // key of the product.
+        let spec2 = spec_of(
+            "SELECT ALL S.SNO, SNAME, P.PNO, PNAME FROM SUPPLIER S, PARTS P \
+             WHERE S.SNO = P.SNO",
+        );
+        let fds2 = derived_fds(&spec2, false);
+        assert!(!fds2.is_superkey(&uniq_fd::AttrSet::single(6)));
+    }
+
+    #[test]
+    fn report_names_covering_keys() {
+        let r = unique_projection(&spec_of(
+            "SELECT DISTINCT S.SNO, P.PNO FROM SUPPLIER S, PARTS P WHERE S.SNO = P.SNO",
+        ));
+        assert!(r.unique);
+        assert!(r.reason.contains("SNO"), "{}", r.reason);
+    }
+}

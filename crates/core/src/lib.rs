@@ -1,0 +1,37 @@
+//! The paper's contribution: uniqueness analysis and the query rewrites it
+//! licenses.
+//!
+//! * [`mod@algorithm1`] — a faithful, line-by-line implementation of the
+//!   paper's Algorithm 1 (the practical sufficient test for Theorem 1's
+//!   uniqueness condition), including its CNF → DNF expansion and its
+//!   documented incompletenesses.
+//! * [`analysis`] — the production path: a functional-dependency-based
+//!   sufficient test that subsumes Algorithm 1 (same Type-1/Type-2
+//!   reasoning expressed as derived FDs) and additionally provides the
+//!   *single-tuple condition* of Theorem 2 for subquery blocks.
+//! * [`rewrite`] — the semantic transformations of §5 and §6:
+//!   redundant-`DISTINCT` removal (Theorem 1), subquery → join (Theorem 2
+//!   and Corollary 1), `INTERSECT [ALL]` → `EXISTS` (Theorem 3 and
+//!   Corollary 2), `EXCEPT [ALL]` → `NOT EXISTS` (the extension the paper
+//!   mentions but elides for space), and join → subquery for navigational
+//!   back-ends (§6).
+//! * [`pipeline`] — an [`pipeline::Optimizer`] that applies the rules to a
+//!   bound query and reports each step in both prose and rewritten SQL.
+//! * [`theorem1`] — a finite-domain decision procedure for Theorem 1's
+//!   *exact* condition, plus the semantic side (duplicates possible on
+//!   some ≤2-row valid instance); their equivalence — the theorem itself
+//!   — is property-tested.
+//! * [`unbind`] — lowers a bound query back to AST so every rewrite can be
+//!   printed as a concrete SQL statement.
+
+pub mod algorithm1;
+pub mod analysis;
+pub mod pipeline;
+pub mod rewrite;
+pub mod theorem1;
+pub mod unbind;
+
+pub use algorithm1::{algorithm1, Algorithm1Options, Algorithm1Outcome};
+pub use analysis::{derived_fds, single_tuple_condition, unique_projection, UniquenessReport};
+pub use pipeline::{OptimizeOutcome, Optimizer, OptimizerOptions, RewriteStep};
+pub use unbind::unbind_query;

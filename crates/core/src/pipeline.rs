@@ -1,0 +1,368 @@
+//! The rewrite pipeline: applies the §5/§6 rules to a bound query until a
+//! fixpoint, recording each step.
+//!
+//! Two profiles mirror the paper's two worlds:
+//!
+//! * [`OptimizerOptions::relational`] — merge subqueries into joins
+//!   (Theorem 2 / Corollary 1), lower set operations to `EXISTS`
+//!   (Theorem 3 / Corollary 2), then drop provably redundant `DISTINCT`s
+//!   (Theorem 1). This is the Starburst-style direction.
+//! * [`OptimizerOptions::navigational`] — the §6 direction for IMS and
+//!   pointer-based OODBs: convert joins *to* subqueries so the back-end
+//!   can run first-match nested loops.
+
+use crate::rewrite::distinct::{remove_redundant_distinct, UniquenessTest};
+use crate::rewrite::{
+    eliminate_join, except_to_not_exists, intersect_to_exists, join_to_subquery,
+    subquery_to_join,
+};
+use crate::unbind::unbind_query;
+use uniq_plan::{BoundQuery, BoundSpec};
+
+/// Which rules run, and with which uniqueness test.
+#[derive(Debug, Clone, Copy)]
+pub struct OptimizerOptions {
+    /// Rule 1: Theorem 1 `DISTINCT` removal.
+    pub remove_redundant_distinct: bool,
+    /// Rule 2: Theorem 2 / Corollary 1 subquery → join.
+    pub subquery_to_join: bool,
+    /// Rules 3/4: `INTERSECT`/`EXCEPT` → `[NOT] EXISTS`.
+    pub setops_to_exists: bool,
+    /// Rule 5: §6 join → subquery (navigational back-ends).
+    pub join_to_subquery: bool,
+    /// Rule 6: §7 join elimination via foreign keys (future-work
+    /// extension).
+    pub join_elimination: bool,
+    /// Which uniqueness test(s) rules may consult.
+    pub test: UniquenessTest,
+    /// Upper bound on rule applications (defensive; the rules are
+    /// strictly reducing and cannot actually loop).
+    pub max_steps: usize,
+}
+
+impl OptimizerOptions {
+    /// The relational profile (§5): everything toward joins.
+    pub fn relational() -> OptimizerOptions {
+        OptimizerOptions {
+            remove_redundant_distinct: true,
+            subquery_to_join: true,
+            setops_to_exists: true,
+            join_to_subquery: false,
+            join_elimination: true,
+            test: UniquenessTest::Both,
+            max_steps: 32,
+        }
+    }
+
+    /// The navigational profile (§6): everything toward nested subqueries.
+    pub fn navigational() -> OptimizerOptions {
+        OptimizerOptions {
+            remove_redundant_distinct: true,
+            subquery_to_join: false,
+            setops_to_exists: true,
+            join_to_subquery: true,
+            join_elimination: true,
+            test: UniquenessTest::Both,
+            max_steps: 32,
+        }
+    }
+
+    /// All rules off — identity pipeline (baseline for experiments).
+    pub fn disabled() -> OptimizerOptions {
+        OptimizerOptions {
+            remove_redundant_distinct: false,
+            subquery_to_join: false,
+            setops_to_exists: false,
+            join_to_subquery: false,
+            join_elimination: false,
+            test: UniquenessTest::Both,
+            max_steps: 0,
+        }
+    }
+
+    /// Select the uniqueness test (builder style).
+    pub fn with_test(mut self, test: UniquenessTest) -> OptimizerOptions {
+        self.test = test;
+        self
+    }
+}
+
+impl Default for OptimizerOptions {
+    fn default() -> Self {
+        OptimizerOptions::relational()
+    }
+}
+
+/// One applied rewrite.
+#[derive(Debug, Clone)]
+pub struct RewriteStep {
+    /// Short rule identifier (`"distinct-removal"`, …).
+    pub rule: &'static str,
+    /// Prose justification naming the licensing theorem.
+    pub why: String,
+    /// The query after this step, rendered as SQL.
+    pub sql_after: String,
+}
+
+/// The pipeline's result.
+#[derive(Debug, Clone)]
+pub struct OptimizeOutcome {
+    /// The final query.
+    pub query: BoundQuery,
+    /// Every step applied, in order (empty = nothing fired).
+    pub steps: Vec<RewriteStep>,
+}
+
+impl OptimizeOutcome {
+    /// Did any rule fire?
+    pub fn changed(&self) -> bool {
+        !self.steps.is_empty()
+    }
+}
+
+/// The rewrite engine.
+#[derive(Debug, Clone, Default)]
+pub struct Optimizer {
+    options: OptimizerOptions,
+}
+
+impl Optimizer {
+    /// An optimizer with the given options.
+    pub fn new(options: OptimizerOptions) -> Optimizer {
+        Optimizer { options }
+    }
+
+    /// Apply the enabled rules to `query` until none fires.
+    pub fn optimize(&self, query: &BoundQuery) -> OptimizeOutcome {
+        let mut current = query.clone();
+        let mut steps = Vec::new();
+        for _ in 0..self.options.max_steps {
+            match self.apply_once(&current) {
+                Some((next, rule, why)) => {
+                    let sql_after = unbind_query(&next)
+                        .map(|ast| ast.to_string())
+                        .unwrap_or_else(|e| format!("<unprintable: {e}>"));
+                    steps.push(RewriteStep {
+                        rule,
+                        why,
+                        sql_after,
+                    });
+                    current = next;
+                }
+                None => break,
+            }
+        }
+        OptimizeOutcome {
+            query: current,
+            steps,
+        }
+    }
+
+    fn apply_once(&self, q: &BoundQuery) -> Option<(BoundQuery, &'static str, String)> {
+        // Set-operation rules first: they can expose a block to the
+        // block-level rules.
+        if self.options.setops_to_exists {
+            if let Some((next, why)) = intersect_to_exists(q, self.options.test) {
+                return Some((next, "intersect-to-exists", why));
+            }
+            if let Some((next, why)) = except_to_not_exists(q, self.options.test) {
+                return Some((next, "except-to-not-exists", why));
+            }
+        }
+        // Recurse into set-operation operands.
+        if let BoundQuery::SetOp {
+            op,
+            all,
+            left,
+            right,
+        } = q
+        {
+            if let Some((l, rule, why)) = self.apply_once(left) {
+                return Some((
+                    BoundQuery::SetOp {
+                        op: *op,
+                        all: *all,
+                        left: Box::new(l),
+                        right: right.clone(),
+                    },
+                    rule,
+                    why,
+                ));
+            }
+            if let Some((r, rule, why)) = self.apply_once(right) {
+                return Some((
+                    BoundQuery::SetOp {
+                        op: *op,
+                        all: *all,
+                        left: left.clone(),
+                        right: Box::new(r),
+                    },
+                    rule,
+                    why,
+                ));
+            }
+            return None;
+        }
+        let spec = q.as_spec()?;
+        if let Some((next, rule, why)) = self.apply_spec(spec) {
+            return Some((BoundQuery::Spec(Box::new(next)), rule, why));
+        }
+        None
+    }
+
+    fn apply_spec(&self, spec: &BoundSpec) -> Option<(BoundSpec, &'static str, String)> {
+        if self.options.join_elimination {
+            if let Some((next, why)) = eliminate_join(spec) {
+                return Some((next, "join-elimination", why));
+            }
+        }
+        if self.options.subquery_to_join {
+            if let Some((next, why)) = subquery_to_join(spec, self.options.test) {
+                return Some((next, "subquery-to-join", why));
+            }
+        }
+        if self.options.join_to_subquery {
+            if let Some((next, why)) = join_to_subquery(spec) {
+                return Some((next, "join-to-subquery", why));
+            }
+        }
+        if self.options.remove_redundant_distinct {
+            if let Some((next, why)) = remove_redundant_distinct(spec, self.options.test) {
+                return Some((next, "distinct-removal", why));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniq_catalog::sample::supplier_schema;
+    use uniq_plan::bind_query;
+    use uniq_sql::{parse_query, Distinct};
+
+    fn optimize(sql: &str, opts: OptimizerOptions) -> OptimizeOutcome {
+        let db = supplier_schema().unwrap();
+        let q = bind_query(db.catalog(), &parse_query(sql).unwrap()).unwrap();
+        Optimizer::new(opts).optimize(&q)
+    }
+
+    #[test]
+    fn example_1_distinct_removed() {
+        let out = optimize(
+            "SELECT DISTINCT S.SNO, P.PNO, P.PNAME FROM SUPPLIER S, PARTS P \
+             WHERE S.SNO = P.SNO AND P.COLOR = 'RED'",
+            OptimizerOptions::relational(),
+        );
+        assert_eq!(out.steps.len(), 1);
+        assert_eq!(out.steps[0].rule, "distinct-removal");
+        assert_eq!(out.query.as_spec().unwrap().distinct, Distinct::All);
+    }
+
+    #[test]
+    fn example_8_merge_then_distinct_stays() {
+        // Corollary 1 turns ALL into DISTINCT-join; the DISTINCT is then
+        // genuinely required (SNAME is not projected... SNO is, so
+        // Theorem 1 fires afterwards and removes it again!).
+        let out = optimize(
+            "SELECT ALL S.SNO, S.SNAME FROM SUPPLIER S WHERE EXISTS \
+             (SELECT * FROM PARTS P WHERE P.SNO = S.SNO AND P.COLOR = 'RED')",
+            OptimizerOptions::relational(),
+        );
+        // Step 1: subquery-to-join (adds DISTINCT). The join result
+        // projects only SUPPLIER's key: unique per (S,P) pair? No — PARTS'
+        // key is not determined, so DISTINCT must stay.
+        assert_eq!(out.steps.len(), 1, "{:#?}", out.steps);
+        assert_eq!(out.steps[0].rule, "subquery-to-join");
+        assert_eq!(
+            out.query.as_spec().unwrap().distinct,
+            Distinct::Distinct
+        );
+    }
+
+    #[test]
+    fn theorem_2_merge_keeps_all_semantics() {
+        let out = optimize(
+            "SELECT ALL S.SNO, S.SNAME FROM SUPPLIER S \
+             WHERE S.SNAME = :NAME AND EXISTS \
+             (SELECT * FROM PARTS P WHERE S.SNO = P.SNO AND P.PNO = :PNO)",
+            OptimizerOptions::relational(),
+        );
+        assert_eq!(out.steps.len(), 1);
+        assert_eq!(out.steps[0].rule, "subquery-to-join");
+        assert_eq!(out.query.as_spec().unwrap().distinct, Distinct::All);
+        assert!(out.steps[0].sql_after.contains("FROM SUPPLIER S, PARTS P"));
+    }
+
+    #[test]
+    fn example_9_chain_intersect_then_block_rules() {
+        let out = optimize(
+            "SELECT ALL S.SNO FROM SUPPLIER S WHERE S.SCITY = 'Toronto' \
+             INTERSECT \
+             SELECT ALL A.SNO FROM AGENTS A \
+             WHERE A.ACITY = 'Ottawa' OR A.ACITY = 'Hull'",
+            OptimizerOptions::relational(),
+        );
+        assert!(out.changed());
+        assert_eq!(out.steps[0].rule, "intersect-to-exists");
+        // The paper notes the resulting EXISTS can subsequently convert to
+        // a join (Corollary 1, since S.SNO is SUPPLIER's key) — the
+        // pipeline chains exactly that.
+        assert_eq!(out.steps[1].rule, "subquery-to-join");
+        let spec = out.query.as_spec().unwrap();
+        assert_eq!(spec.from.len(), 2);
+        assert_eq!(spec.distinct, Distinct::Distinct);
+    }
+
+    #[test]
+    fn navigational_profile_inverts_direction() {
+        let out = optimize(
+            "SELECT ALL S.SNO, S.SNAME, S.SCITY, S.BUDGET, S.STATUS \
+             FROM SUPPLIER S, PARTS P \
+             WHERE S.SNO = P.SNO AND P.PNO = :PARTNO",
+            OptimizerOptions::navigational(),
+        );
+        assert_eq!(out.steps[0].rule, "join-to-subquery");
+        assert!(out.steps[0].sql_after.contains("EXISTS"));
+        assert_eq!(out.query.as_spec().unwrap().from.len(), 1);
+    }
+
+    #[test]
+    fn disabled_profile_is_identity() {
+        let out = optimize(
+            "SELECT DISTINCT S.SNO FROM SUPPLIER S WHERE S.SNO = 1",
+            OptimizerOptions::disabled(),
+        );
+        assert!(!out.changed());
+    }
+
+    #[test]
+    fn steps_render_sql() {
+        let out = optimize(
+            "SELECT DISTINCT S.SNO, S.SNAME FROM SUPPLIER S WHERE S.SNO = :H",
+            OptimizerOptions::relational(),
+        );
+        assert_eq!(out.steps.len(), 1);
+        assert!(
+            out.steps[0].sql_after.starts_with("SELECT ALL"),
+            "{}",
+            out.steps[0].sql_after
+        );
+    }
+
+    #[test]
+    fn set_op_operands_are_optimized_recursively() {
+        // INTERSECT ALL with neither operand unique is not lowered, but
+        // the DISTINCT inside the left operand is removable.
+        let out = optimize(
+            "SELECT DISTINCT S.SNO, S.SNAME FROM SUPPLIER S \
+             INTERSECT ALL \
+             SELECT ALL A.SNO, A.ANAME FROM AGENTS A",
+            OptimizerOptions::relational(),
+        );
+        // Left operand is unique via its key → INTERSECT ALL lowering
+        // fires first (left operand is DISTINCT-declared).
+        assert!(out.changed());
+    }
+}

@@ -1,0 +1,128 @@
+//! Rule 1 (§5.1): remove a redundant `DISTINCT`.
+//!
+//! A `SELECT DISTINCT` block whose result is provably duplicate-free
+//! (Theorem 1) may drop duplicate elimination — and with it, typically, a
+//! sort of the entire result. The rule consults both sufficient tests:
+//! the paper's Algorithm 1 and the FD-closure test (see
+//! [`crate::analysis`] for why they are incomparable); YES from either
+//! suffices, since both are sound.
+
+use crate::algorithm1::{algorithm1, Algorithm1Options};
+use crate::analysis::unique_projection;
+use uniq_plan::BoundSpec;
+use uniq_sql::Distinct;
+
+/// Which uniqueness test(s) a rewrite may consult.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UniquenessTest {
+    /// Only the paper's Algorithm 1.
+    Algorithm1,
+    /// Only the FD-closure test.
+    FdClosure,
+    /// Either may answer YES (the default: strictly strongest).
+    Both,
+}
+
+/// Decide whether `spec`'s result is provably duplicate-free under the
+/// chosen test(s); returns the justification on success.
+pub fn is_provably_unique(spec: &BoundSpec, test: UniquenessTest) -> Option<String> {
+    if matches!(test, UniquenessTest::FdClosure | UniquenessTest::Both) {
+        let r = unique_projection(spec);
+        if r.unique {
+            return Some(r.reason);
+        }
+    }
+    if matches!(test, UniquenessTest::Algorithm1 | UniquenessTest::Both) {
+        let out = algorithm1(spec, &Algorithm1Options::default());
+        if out.unique {
+            return Some("Algorithm 1 answers YES".into());
+        }
+    }
+    None
+}
+
+/// Remove the `DISTINCT` of a block when Theorem 1 proves it redundant.
+/// Returns the rewritten block and the justification, or `None` when the
+/// rule does not apply.
+pub fn remove_redundant_distinct(
+    spec: &BoundSpec,
+    test: UniquenessTest,
+) -> Option<(BoundSpec, String)> {
+    if spec.distinct != Distinct::Distinct {
+        return None;
+    }
+    let reason = is_provably_unique(spec, test)?;
+    let mut rewritten = spec.clone();
+    rewritten.distinct = Distinct::All;
+    Some((
+        rewritten,
+        format!("DISTINCT is redundant (Theorem 1): {reason}"),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniq_catalog::sample::supplier_schema;
+    use uniq_plan::bind_query;
+    use uniq_sql::parse_query;
+
+    fn spec_of(sql: &str) -> BoundSpec {
+        let db = supplier_schema().unwrap();
+        bind_query(db.catalog(), &parse_query(sql).unwrap())
+            .unwrap()
+            .as_spec()
+            .unwrap()
+            .clone()
+    }
+
+    #[test]
+    fn removes_distinct_on_example_1() {
+        let spec = spec_of(
+            "SELECT DISTINCT S.SNO, P.PNO, P.PNAME FROM SUPPLIER S, PARTS P \
+             WHERE S.SNO = P.SNO AND P.COLOR = 'RED'",
+        );
+        let (rw, why) = remove_redundant_distinct(&spec, UniquenessTest::Both).unwrap();
+        assert_eq!(rw.distinct, Distinct::All);
+        assert!(why.contains("Theorem 1"), "{why}");
+    }
+
+    #[test]
+    fn keeps_distinct_on_example_2() {
+        let spec = spec_of(
+            "SELECT DISTINCT S.SNAME, P.PNO, P.PNAME FROM SUPPLIER S, PARTS P \
+             WHERE S.SNO = P.SNO AND P.COLOR = 'RED'",
+        );
+        assert!(remove_redundant_distinct(&spec, UniquenessTest::Both).is_none());
+    }
+
+    #[test]
+    fn no_op_on_select_all() {
+        let spec = spec_of("SELECT ALL S.SNO FROM SUPPLIER S");
+        assert!(remove_redundant_distinct(&spec, UniquenessTest::Both).is_none());
+    }
+
+    #[test]
+    fn fd_test_catches_what_algorithm_1_misses() {
+        // No predicate, keys projected: Algorithm 1's line 10 gives up,
+        // the FD closure does not.
+        let spec = spec_of("SELECT DISTINCT S.SNO, S.SCITY FROM SUPPLIER S");
+        assert!(remove_redundant_distinct(&spec, UniquenessTest::Algorithm1).is_none());
+        assert!(remove_redundant_distinct(&spec, UniquenessTest::FdClosure).is_some());
+        assert!(remove_redundant_distinct(&spec, UniquenessTest::Both).is_some());
+    }
+
+    #[test]
+    fn fd_test_subsumes_algorithm_1_on_transitive_key_inference() {
+        // Binding PARTS' candidate key OEM-PNO determines P.SNO through
+        // the key dependency, which binds SUPPLIER's key via the join
+        // predicate. Algorithm 1's V has no key dependencies to close
+        // over, so only the FD test answers YES.
+        let spec = spec_of(
+            "SELECT DISTINCT P.PNAME FROM SUPPLIER S, PARTS P \
+             WHERE P.OEM-PNO = :OEM AND S.SNO = P.SNO",
+        );
+        assert!(remove_redundant_distinct(&spec, UniquenessTest::Algorithm1).is_none());
+        assert!(remove_redundant_distinct(&spec, UniquenessTest::FdClosure).is_some());
+    }
+}

@@ -1,0 +1,19 @@
+//! The semantic rewrites of paper §5 and §6.
+//!
+//! Each rule is a pure function from a bound query (or block) to an
+//! optional rewritten form plus a prose justification naming the theorem
+//! that licenses it. Rules never fire unless their theorem's side
+//! conditions are verified by [`crate::analysis`], so every rewrite is
+//! semantics-preserving — a property the integration suite re-checks by
+//! executing original and rewritten queries on randomized instances.
+
+pub mod distinct;
+pub mod join_elim;
+pub mod setops;
+pub mod subquery;
+pub mod util;
+
+pub use distinct::remove_redundant_distinct;
+pub use join_elim::eliminate_join;
+pub use setops::{except_to_not_exists, intersect_to_exists};
+pub use subquery::{join_to_subquery, subquery_to_join};

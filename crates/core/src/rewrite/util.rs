@@ -1,0 +1,277 @@
+//! Shared plumbing for rewrites that move predicates between query blocks.
+//!
+//! Moving an expression across block boundaries invalidates its
+//! [`AttrRef`]s; [`map_attr_refs`] visits every reference with its *depth*
+//! (how many subquery boundaries lie between the reference's position and
+//! the expression's root), which is exactly the information each rewrite
+//! needs to renumber correctly.
+
+use uniq_plan::{AttrRef, BScalar, BoundExpr, BoundSpec, FromTable};
+use uniq_types::TableName;
+
+/// Visit every attribute reference in `e`, passing the nesting depth of
+/// the reference relative to `e`'s own block (0 = same block; +1 inside
+/// each `EXISTS`/`IN` subquery).
+pub fn map_attr_refs(e: &mut BoundExpr, f: &mut impl FnMut(usize, &mut AttrRef)) {
+    go(e, 0, f);
+}
+
+fn go(e: &mut BoundExpr, depth: usize, f: &mut impl FnMut(usize, &mut AttrRef)) {
+    let scalar = |s: &mut BScalar, depth: usize, f: &mut dyn FnMut(usize, &mut AttrRef)| {
+        if let BScalar::Attr(a) = s {
+            f(depth, a);
+        }
+    };
+    match e {
+        BoundExpr::Cmp { left, right, .. } => {
+            scalar(left, depth, f);
+            scalar(right, depth, f);
+        }
+        BoundExpr::Between {
+            scalar: s,
+            low,
+            high,
+            ..
+        } => {
+            scalar(s, depth, f);
+            scalar(low, depth, f);
+            scalar(high, depth, f);
+        }
+        BoundExpr::InList { scalar: s, list, .. } => {
+            scalar(s, depth, f);
+            for item in list {
+                scalar(item, depth, f);
+            }
+        }
+        BoundExpr::IsNull { scalar: s, .. } => scalar(s, depth, f),
+        BoundExpr::Exists { subquery, .. } => {
+            if let Some(p) = &mut subquery.predicate {
+                go(p, depth + 1, f);
+            }
+        }
+        BoundExpr::InSubquery {
+            scalar: s,
+            subquery,
+            ..
+        } => {
+            scalar(s, depth, f);
+            if let Some(p) = &mut subquery.predicate {
+                go(p, depth + 1, f);
+            }
+        }
+        BoundExpr::And(a, b) | BoundExpr::Or(a, b) => {
+            go(a, depth, f);
+            go(b, depth, f);
+        }
+        BoundExpr::Not(a) => go(a, depth, f),
+    }
+}
+
+/// Renumber an expression lifted out of a merged subquery block.
+///
+/// The subquery sat directly inside the outer block; after the merge its
+/// tables are appended to the outer `FROM` at attribute offset `offset`.
+/// For a reference at depth `d` within the expression:
+///
+/// * `up == d`   — pointed at the subquery block → now the merged block,
+///   same level, attributes relocated: `idx += offset`;
+/// * `up == d+1` — pointed at the outer block → the merged block is one
+///   level *closer*: `up -= 1`, `idx` unchanged;
+/// * `up >  d+1` — pointed above both → one block vanished: `up -= 1`.
+pub fn reindex_merged_subquery(e: &mut BoundExpr, offset: usize) {
+    map_attr_refs(e, &mut |depth, a| {
+        if a.up == depth {
+            a.idx += offset;
+        } else if a.up > depth {
+            a.up -= 1;
+        }
+        // a.up < depth: local to a nested subquery, untouched.
+    });
+}
+
+/// Renumber an expression pushed *down* from a block into a new subquery
+/// holding the tables `range` (attribute positions `range.start ..
+/// range.end` of the original block, relocated to start at 0 in the
+/// subquery). References to other tables of the original block become
+/// correlated (`up + 1`), with their indices shifted down by
+/// `removed_before` — the width the extracted tables occupied *before*
+/// position `idx` in the original block (0 for attributes left of the
+/// extracted range).
+pub fn reindex_pushed_down(
+    e: &mut BoundExpr,
+    range: std::ops::Range<usize>,
+    removed_width: usize,
+) {
+    map_attr_refs(e, &mut |depth, a| {
+        if a.up == depth {
+            if range.contains(&a.idx) {
+                // Now local to the new subquery block.
+                a.idx -= range.start;
+            } else {
+                // Correlated reference to the shrunken outer block.
+                a.up += 1;
+                if a.idx >= range.end {
+                    a.idx -= removed_width;
+                }
+            }
+        } else if a.up > depth {
+            // The moved expression gained one enclosing block (the new
+            // subquery sits between it and everything above), so
+            // references past the original block walk one level further.
+            a.up += 1;
+        }
+    });
+}
+
+/// Renumber an expression that *stays* in a block from which the tables at
+/// attribute `range` (width `removed_width`) were removed.
+pub fn reindex_after_removal(
+    e: &mut BoundExpr,
+    range: std::ops::Range<usize>,
+    removed_width: usize,
+) {
+    map_attr_refs(e, &mut |depth, a| {
+        if a.up == depth && a.idx >= range.end {
+            a.idx -= removed_width;
+        }
+    });
+}
+
+/// Append `extra` tables to `from`, renaming bindings on collision
+/// (`P` → `P_2`, …) and assigning fresh offsets. Returns the attribute
+/// offset where the appended tables start.
+pub fn append_tables(from: &mut Vec<FromTable>, extra: Vec<FromTable>) -> usize {
+    let offset: usize = from.iter().map(|t| t.schema.arity()).sum();
+    let mut next_offset = offset;
+    for mut t in extra {
+        if from.iter().any(|o| o.binding == t.binding) {
+            let mut n = 2usize;
+            loop {
+                let candidate = TableName::new(format!("{}_{}", t.binding, n));
+                if !from.iter().any(|o| o.binding == candidate) {
+                    t.binding = candidate;
+                    break;
+                }
+                n += 1;
+            }
+        }
+        t.offset = next_offset;
+        next_offset += t.schema.arity();
+        from.push(t);
+    }
+    offset
+}
+
+/// Rebuild a predicate from conjuncts, `None` when empty.
+pub fn rebuild_predicate(conjuncts: Vec<BoundExpr>) -> Option<BoundExpr> {
+    BoundExpr::conjoin(conjuncts)
+}
+
+/// Split a block's predicate into its top-level conjuncts (empty when no
+/// predicate).
+pub fn conjuncts_of(spec: &BoundSpec) -> Vec<BoundExpr> {
+    match &spec.predicate {
+        None => Vec::new(),
+        Some(p) => p.conjuncts().into_iter().cloned().collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniq_sql::CmpOp;
+
+    fn attr(up: usize, idx: usize) -> BScalar {
+        BScalar::Attr(AttrRef { up, idx })
+    }
+
+    fn eq(l: BScalar, r: BScalar) -> BoundExpr {
+        BoundExpr::Cmp {
+            op: CmpOp::Eq,
+            left: l,
+            right: r,
+        }
+    }
+
+    #[test]
+    fn merge_reindex_moves_locals_and_drops_outer_level() {
+        // Subquery predicate: local#0 = outer#3, merged at offset 5.
+        let mut e = eq(attr(0, 0), attr(1, 3));
+        reindex_merged_subquery(&mut e, 5);
+        assert_eq!(e, eq(attr(0, 5), attr(0, 3)));
+    }
+
+    #[test]
+    fn merge_reindex_handles_nested_subqueries() {
+        // exists( local-of-inner#0 = ref-to-merged-block (up=1, idx=2)
+        //         AND other = grand-outer (up=3, idx=7) )
+        let inner_spec = BoundSpec {
+            distinct: uniq_sql::Distinct::All,
+            from: vec![],
+            predicate: Some(BoundExpr::and(
+                eq(attr(0, 0), attr(1, 2)),
+                eq(attr(0, 0), attr(3, 7)),
+            )),
+            projection: vec![],
+        };
+        let mut e = BoundExpr::Exists {
+            negated: false,
+            subquery: Box::new(inner_spec),
+        };
+        reindex_merged_subquery(&mut e, 10);
+        match e {
+            BoundExpr::Exists { subquery, .. } => {
+                let p = subquery.predicate.unwrap();
+                // up=1 pointed at the merged block (depth 1): idx += 10.
+                // up=3 pointed two above: up -= 1.
+                assert_eq!(
+                    p,
+                    BoundExpr::and(
+                        eq(attr(0, 0), attr(1, 12)),
+                        eq(attr(0, 0), attr(2, 7)),
+                    )
+                );
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn pushdown_reindex_localizes_and_correlates() {
+        // Block attrs: 0..5 stay, 5..9 extracted. Expression: #6 = #2.
+        let mut e = eq(attr(0, 6), attr(0, 2));
+        reindex_pushed_down(&mut e, 5..9, 4);
+        assert_eq!(e, eq(attr(0, 1), attr(1, 2)));
+    }
+
+    #[test]
+    fn removal_reindex_shifts_later_attrs() {
+        // Tables at 2..4 removed; #5 becomes #3, #1 unchanged.
+        let mut e = eq(attr(0, 5), attr(0, 1));
+        reindex_after_removal(&mut e, 2..4, 2);
+        assert_eq!(e, eq(attr(0, 3), attr(0, 1)));
+    }
+
+    #[test]
+    fn append_tables_renames_collisions() {
+        use uniq_catalog::sample::supplier_schema;
+        let db = supplier_schema().unwrap();
+        let schema = db.catalog().table(&"PARTS".into()).unwrap().clone();
+        let mut from = vec![FromTable {
+            binding: "P".into(),
+            schema: schema.clone(),
+            offset: 0,
+        }];
+        let offset = append_tables(
+            &mut from,
+            vec![FromTable {
+                binding: "P".into(),
+                schema,
+                offset: 0,
+            }],
+        );
+        assert_eq!(offset, 5);
+        assert_eq!(from[1].binding.as_str(), "P_2");
+        assert_eq!(from[1].offset, 5);
+    }
+}

@@ -1,0 +1,230 @@
+//! Lower a bound query back to AST form, so rewrites can be printed as
+//! SQL.
+//!
+//! Inverse of `uniq_plan::bind_query` up to cosmetic details: attribute
+//! references become qualified column names (`S.SNO`), bindings that
+//! differ from their base table's name become correlation names, and
+//! aliases are emitted only where the output name differs from the column
+//! name. Round-tripping `bind(unbind(q)) == q` is tested for every rewrite
+//! the optimizer produces.
+
+use uniq_plan::{AttrRef, BScalar, BoundExpr, BoundQuery, BoundSpec};
+use uniq_sql::{
+    Expr, Projection, QueryExpr, QuerySpec, Scalar, SelectItem, TableRef,
+};
+use uniq_types::{ColRef, Error, Result};
+
+/// Lower a bound query to AST.
+pub fn unbind_query(q: &BoundQuery) -> Result<QueryExpr> {
+    let mut scopes: Vec<&BoundSpec> = Vec::new();
+    unbind(q, &mut scopes)
+}
+
+fn unbind<'a>(q: &'a BoundQuery, scopes: &mut Vec<&'a BoundSpec>) -> Result<QueryExpr> {
+    match q {
+        BoundQuery::Spec(s) => Ok(QueryExpr::spec(unbind_spec(s, scopes)?)),
+        BoundQuery::SetOp {
+            op,
+            all,
+            left,
+            right,
+        } => Ok(QueryExpr::SetOp {
+            op: *op,
+            all: *all,
+            left: Box::new(unbind(left, scopes)?),
+            right: Box::new(unbind(right, scopes)?),
+        }),
+    }
+}
+
+fn unbind_spec<'a>(spec: &'a BoundSpec, scopes: &mut Vec<&'a BoundSpec>) -> Result<QuerySpec> {
+    let from: Vec<TableRef> = spec
+        .from
+        .iter()
+        .map(|t| TableRef {
+            table: t.schema.name.clone(),
+            alias: if t.binding == t.schema.name {
+                None
+            } else {
+                Some(t.binding.clone())
+            },
+        })
+        .collect();
+
+    let projection = {
+        let mut items = Vec::with_capacity(spec.projection.len());
+        for p in &spec.projection {
+            let col = attr_colref(spec, p.attr)?;
+            let alias = if p.name == col.column {
+                None
+            } else {
+                Some(p.name.clone())
+            };
+            items.push(SelectItem {
+                col,
+                alias,
+            });
+        }
+        Projection::Columns(items)
+    };
+
+    scopes.push(spec);
+    let where_clause = match &spec.predicate {
+        None => None,
+        Some(p) => Some(unbind_expr(p, scopes)?),
+    };
+    scopes.pop();
+
+    Ok(QuerySpec {
+        distinct: spec.distinct,
+        projection,
+        from,
+        where_clause,
+    })
+}
+
+fn attr_colref(spec: &BoundSpec, idx: usize) -> Result<ColRef> {
+    let (t, c) = spec
+        .attr_owner(idx)
+        .ok_or_else(|| Error::internal(format!("attribute #{idx} out of range")))?;
+    Ok(ColRef::qualified(
+        t.binding.clone(),
+        t.schema.columns[c].name.clone(),
+    ))
+}
+
+fn unbind_scalar(s: &BScalar, scopes: &[&BoundSpec]) -> Result<Scalar> {
+    Ok(match s {
+        BScalar::Literal(v) => Scalar::Literal(v.clone()),
+        BScalar::HostVar(h) => Scalar::HostVar(h.clone()),
+        BScalar::Attr(AttrRef { up, idx }) => {
+            let spec = scopes
+                .len()
+                .checked_sub(1 + up)
+                .and_then(|i| scopes.get(i))
+                .ok_or_else(|| {
+                    Error::internal(format!("attribute reference up={up} escapes scope"))
+                })?;
+            Scalar::Column(attr_colref(spec, *idx)?)
+        }
+    })
+}
+
+fn unbind_expr<'a>(e: &'a BoundExpr, scopes: &mut Vec<&'a BoundSpec>) -> Result<Expr> {
+    Ok(match e {
+        BoundExpr::Cmp { op, left, right } => Expr::Cmp {
+            op: *op,
+            left: unbind_scalar(left, scopes)?,
+            right: unbind_scalar(right, scopes)?,
+        },
+        BoundExpr::Between {
+            scalar,
+            low,
+            high,
+            negated,
+        } => Expr::Between {
+            scalar: unbind_scalar(scalar, scopes)?,
+            low: unbind_scalar(low, scopes)?,
+            high: unbind_scalar(high, scopes)?,
+            negated: *negated,
+        },
+        BoundExpr::InList {
+            scalar,
+            list,
+            negated,
+        } => Expr::InList {
+            scalar: unbind_scalar(scalar, scopes)?,
+            list: list
+                .iter()
+                .map(|i| unbind_scalar(i, scopes))
+                .collect::<Result<_>>()?,
+            negated: *negated,
+        },
+        BoundExpr::IsNull { scalar, negated } => Expr::IsNull {
+            scalar: unbind_scalar(scalar, scopes)?,
+            negated: *negated,
+        },
+        BoundExpr::Exists { negated, subquery } => Expr::Exists {
+            negated: *negated,
+            subquery: Box::new(unbind_spec(subquery, scopes)?),
+        },
+        BoundExpr::InSubquery {
+            scalar,
+            subquery,
+            negated,
+        } => Expr::InSubquery {
+            scalar: unbind_scalar(scalar, scopes)?,
+            subquery: Box::new(unbind_spec(subquery, scopes)?),
+            negated: *negated,
+        },
+        BoundExpr::And(a, b) => Expr::and(unbind_expr(a, scopes)?, unbind_expr(b, scopes)?),
+        BoundExpr::Or(a, b) => Expr::or(unbind_expr(a, scopes)?, unbind_expr(b, scopes)?),
+        BoundExpr::Not(a) => Expr::not(unbind_expr(a, scopes)?),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniq_catalog::sample::supplier_schema;
+    use uniq_plan::bind_query;
+    use uniq_sql::parse_query;
+
+    /// bind → unbind → print → parse → bind must reproduce the bound form.
+    fn roundtrip(sql: &str) {
+        let db = supplier_schema().unwrap();
+        let b1 = bind_query(db.catalog(), &parse_query(sql).unwrap()).unwrap();
+        let ast = unbind_query(&b1).unwrap();
+        let printed = ast.to_string();
+        let b2 = bind_query(
+            db.catalog(),
+            &parse_query(&printed).unwrap_or_else(|e| panic!("reparse {printed}: {e}")),
+        )
+        .unwrap_or_else(|e| panic!("rebind {printed}: {e}"));
+        assert_eq!(b1, b2, "round-trip diverged for {printed}");
+    }
+
+    #[test]
+    fn roundtrips_paper_examples() {
+        for sql in [
+            "SELECT DISTINCT S.SNO, P.PNO, P.PNAME FROM SUPPLIER S, PARTS P \
+             WHERE S.SNO = P.SNO AND P.COLOR = 'RED'",
+            "SELECT ALL S.SNO, S.SNAME FROM SUPPLIER S \
+             WHERE S.SNAME = :SUPPLIER-NAME AND EXISTS \
+             (SELECT * FROM PARTS P WHERE S.SNO = P.SNO AND P.PNO = :PART-NO)",
+            "SELECT ALL S.SNO FROM SUPPLIER S WHERE S.SCITY = 'Toronto' INTERSECT \
+             SELECT ALL A.SNO FROM AGENTS A WHERE A.ACITY = 'Ottawa' OR A.ACITY = 'Hull'",
+            "SELECT DISTINCT S.SNO AS SUPPLIER-NUMBER, S.SNAME FROM SUPPLIER S",
+        ] {
+            roundtrip(sql);
+        }
+    }
+
+    #[test]
+    fn bare_table_name_gets_no_alias() {
+        let db = supplier_schema().unwrap();
+        let b = bind_query(
+            db.catalog(),
+            &parse_query("SELECT SUPPLIER.SNO FROM SUPPLIER").unwrap(),
+        )
+        .unwrap();
+        let printed = unbind_query(&b).unwrap().to_string();
+        assert!(
+            !printed.contains("SUPPLIER SUPPLIER"),
+            "spurious alias: {printed}"
+        );
+    }
+
+    #[test]
+    fn star_projection_unbinds_to_explicit_columns() {
+        let db = supplier_schema().unwrap();
+        let b = bind_query(
+            db.catalog(),
+            &parse_query("SELECT * FROM AGENTS A").unwrap(),
+        )
+        .unwrap();
+        let printed = unbind_query(&b).unwrap().to_string();
+        assert!(printed.contains("A.SNO"), "{printed}");
+        assert!(printed.contains("A.ACITY"), "{printed}");
+    }
+}

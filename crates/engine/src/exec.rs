@@ -1,0 +1,823 @@
+//! The block executor.
+//!
+//! A bound block `π_d[A](σ[C](T0 × T1 × …))` executes as a left-deep
+//! pipeline over the `FROM` tables. Each top-level conjunct of `C` is
+//! assigned to the earliest pipeline position at which all the attributes
+//! it references are bound, so selections are pushed down as far as the
+//! conjunct structure allows. When two consecutive positions are linked by
+//! an equality conjunct and [`JoinMethod::Hash`] is selected, the join
+//! runs as a build/probe hash join (`NULL` join keys excluded on both
+//! sides, per `WHERE`-clause `=` semantics); otherwise nested loops.
+//!
+//! `EXISTS` evaluation uses the same machinery with a row limit of one —
+//! first-match early exit, the behaviour §6's navigational arguments rely
+//! on.
+
+use crate::setops::{combine_setop, distinct};
+use crate::stats::{DistinctMethod, ExecStats, JoinMethod};
+use std::collections::HashMap;
+use uniq_catalog::{Database, Row};
+use uniq_plan::{AttrRef, BScalar, BoundExpr, BoundQuery, BoundSpec, HostVars};
+use uniq_sql::CmpOp;
+use uniq_types::{Error, Result, Tri, Value};
+
+/// Executor tuning (which physical strategies to use).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecOptions {
+    /// Duplicate-elimination strategy.
+    pub distinct: DistinctMethod,
+    /// Join strategy for multi-table blocks.
+    pub join: JoinMethod,
+}
+
+/// Executes bound queries against a database.
+pub struct Executor<'a> {
+    db: &'a Database,
+    hostvars: &'a HostVars,
+    opts: ExecOptions,
+    /// Work counters, accumulated across the whole run.
+    pub stats: ExecStats,
+}
+
+impl<'a> Executor<'a> {
+    /// A fresh executor.
+    pub fn new(db: &'a Database, hostvars: &'a HostVars, opts: ExecOptions) -> Executor<'a> {
+        Executor {
+            db,
+            hostvars,
+            opts,
+            stats: ExecStats::new(),
+        }
+    }
+
+    /// Execute a query, returning its result rows.
+    pub fn run(&mut self, query: &BoundQuery) -> Result<Vec<Row>> {
+        let rows = self.exec_query(query, &[])?;
+        self.stats.rows_output += rows.len() as u64;
+        Ok(rows)
+    }
+
+    fn exec_query(&mut self, query: &BoundQuery, outer: &[Vec<Value>]) -> Result<Vec<Row>> {
+        match query {
+            BoundQuery::Spec(spec) => self.exec_spec(spec, outer),
+            BoundQuery::SetOp {
+                op,
+                all,
+                left,
+                right,
+            } => {
+                let l = self.exec_query(left, outer)?;
+                let r = self.exec_query(right, outer)?;
+                combine_setop(*op, *all, l, r, self.opts.distinct, &mut self.stats)
+            }
+        }
+    }
+
+    fn exec_spec(&mut self, spec: &BoundSpec, outer: &[Vec<Value>]) -> Result<Vec<Row>> {
+        let product = self.block_rows(spec, outer)?;
+        let mut rows: Vec<Row> = product
+            .into_iter()
+            .map(|tuple| {
+                spec.projection
+                    .iter()
+                    .map(|p| tuple[p.attr].clone())
+                    .collect()
+            })
+            .collect();
+        if spec.distinct == uniq_sql::Distinct::Distinct {
+            rows = distinct(rows, self.opts.distinct, &mut self.stats)?;
+        }
+        Ok(rows)
+    }
+
+    /// Materialize the filtered Cartesian product of a block (full-arity
+    /// tuples, before projection).
+    fn block_rows(&mut self, spec: &BoundSpec, outer: &[Vec<Value>]) -> Result<Vec<Row>> {
+        if self.opts.join == JoinMethod::Hash && spec.from.len() > 1 {
+            self.block_rows_hash(spec, outer)
+        } else {
+            let mut out = Vec::new();
+            self.enumerate(spec, outer, None, &mut out)?;
+            Ok(out)
+        }
+    }
+
+    /// Does the block produce at least one row? First-match early exit.
+    fn block_exists(&mut self, spec: &BoundSpec, outer: &[Vec<Value>]) -> Result<bool> {
+        let mut out = Vec::new();
+        self.enumerate(spec, outer, Some(1), &mut out)?;
+        Ok(!out.is_empty())
+    }
+
+    // --- conjunct assignment -------------------------------------------
+
+    /// Cumulative attribute width after each table position.
+    fn prefix_widths(spec: &BoundSpec) -> Vec<usize> {
+        let mut widths = Vec::with_capacity(spec.from.len());
+        let mut acc = 0;
+        for t in &spec.from {
+            acc += t.schema.arity();
+            widths.push(acc);
+        }
+        widths
+    }
+
+    /// The smallest bound-attribute prefix a conjunct needs before it can
+    /// be evaluated (0 = no local references at all, including through
+    /// correlated subqueries).
+    fn required_prefix(conjunct: &BoundExpr) -> usize {
+        let mut required = 0usize;
+        let mut probe = conjunct.clone();
+        crate::exec::map_all_attr_refs(&mut probe, &mut |depth, a| {
+            if a.up == depth {
+                required = required.max(a.idx + 1);
+            }
+        });
+        required
+    }
+
+    /// Assign each top-level conjunct to the earliest pipeline level where
+    /// it is evaluable.
+    fn assign_conjuncts<'e>(
+        spec: &'e BoundSpec,
+        widths: &[usize],
+    ) -> Vec<Vec<&'e BoundExpr>> {
+        let mut levels: Vec<Vec<&BoundExpr>> = vec![Vec::new(); spec.from.len()];
+        if let Some(pred) = &spec.predicate {
+            for c in pred.conjuncts() {
+                let req = Self::required_prefix(c);
+                let level = widths
+                    .iter()
+                    .position(|&w| w >= req)
+                    .unwrap_or(spec.from.len() - 1);
+                levels[level].push(c);
+            }
+        }
+        levels
+    }
+
+    // --- nested-loop enumeration ---------------------------------------
+
+    fn enumerate(
+        &mut self,
+        spec: &BoundSpec,
+        outer: &[Vec<Value>],
+        limit: Option<usize>,
+        out: &mut Vec<Row>,
+    ) -> Result<()> {
+        if spec.from.is_empty() {
+            return Err(Error::internal("block with empty FROM clause"));
+        }
+        let widths = Self::prefix_widths(spec);
+        let levels = Self::assign_conjuncts(spec, &widths);
+        let mut scratch = vec![Value::Null; spec.product_arity()];
+        self.enumerate_level(spec, outer, &levels, 0, &mut scratch, limit, out)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn enumerate_level(
+        &mut self,
+        spec: &BoundSpec,
+        outer: &[Vec<Value>],
+        levels: &[Vec<&BoundExpr>],
+        level: usize,
+        scratch: &mut Vec<Value>,
+        limit: Option<usize>,
+        out: &mut Vec<Row>,
+    ) -> Result<()> {
+        if level == spec.from.len() {
+            out.push(scratch.clone());
+            return Ok(());
+        }
+        let table = &spec.from[level];
+        let db = self.db;
+        let rows = db.rows(&table.schema.name)?;
+        let offset = table.offset;
+        'rows: for row in rows {
+            if limit.is_some_and(|l| out.len() >= l) {
+                return Ok(());
+            }
+            self.stats.rows_scanned += 1;
+            scratch[offset..offset + row.len()].clone_from_slice(row);
+            for conjunct in &levels[level] {
+                let t = self.eval(conjunct, outer, scratch)?;
+                if !t.false_interpreted() {
+                    continue 'rows;
+                }
+            }
+            self.enumerate_level(spec, outer, levels, level + 1, scratch, limit, out)?;
+        }
+        Ok(())
+    }
+
+    // --- hash-join pipeline ---------------------------------------------
+
+    fn block_rows_hash(&mut self, spec: &BoundSpec, outer: &[Vec<Value>]) -> Result<Vec<Row>> {
+        let widths = Self::prefix_widths(spec);
+        let levels = Self::assign_conjuncts(spec, &widths);
+        let arity = spec.product_arity();
+
+        // Level 0: filtered scan.
+        let t0 = &spec.from[0];
+        let mut partials: Vec<Row> = Vec::new();
+        {
+            let db = self.db;
+            let rows = db.rows(&t0.schema.name)?;
+            let mut scratch = vec![Value::Null; arity];
+            'rows: for row in rows {
+                self.stats.rows_scanned += 1;
+                scratch[t0.offset..t0.offset + row.len()].clone_from_slice(row);
+                for c in &levels[0] {
+                    if !self.eval(c, outer, &scratch)?.false_interpreted() {
+                        continue 'rows;
+                    }
+                }
+                partials.push(scratch.clone());
+            }
+        }
+
+        for (level, table) in spec.from.iter().enumerate().skip(1) {
+            let range = table.attr_range();
+
+            // Split this level's conjuncts.
+            let mut self_conj: Vec<&BoundExpr> = Vec::new(); // only new table
+            let mut join_keys: Vec<(usize, usize)> = Vec::new(); // (built attr, new attr)
+            let mut residual: Vec<&BoundExpr> = Vec::new();
+            for c in &levels[level] {
+                if let Some((built, new)) = equi_join_key(c, &range) {
+                    join_keys.push((built, new));
+                    continue;
+                }
+                let mut only_new = true;
+                let mut probe = (*c).clone();
+                map_all_attr_refs(&mut probe, &mut |depth, a| {
+                    if a.up == depth && !range.contains(&a.idx) {
+                        only_new = false;
+                    }
+                });
+                // Conjuncts with subqueries always go residual: their
+                // evaluation may consult any bound attribute.
+                if only_new && !contains_subquery(c) {
+                    self_conj.push(c);
+                } else {
+                    residual.push(c);
+                }
+            }
+
+            // Build side: filtered rows of the new table, placed into an
+            // otherwise-null scratch (self_conj only touches new attrs).
+            let mut build: Vec<Row> = Vec::new();
+            {
+                let db = self.db;
+                let rows = db.rows(&table.schema.name)?;
+                let mut scratch = vec![Value::Null; arity];
+                'rows: for row in rows {
+                    self.stats.rows_scanned += 1;
+                    scratch[range.start..range.end].clone_from_slice(row);
+                    for c in &self_conj {
+                        if !self.eval(c, outer, &scratch)?.false_interpreted() {
+                            continue 'rows;
+                        }
+                    }
+                    build.push(row.clone());
+                }
+            }
+
+            let mut next: Vec<Row> = Vec::new();
+            if join_keys.is_empty() {
+                // Cartesian with the build side.
+                for partial in &partials {
+                    for row in &build {
+                        let mut tuple = partial.clone();
+                        tuple[range.start..range.end].clone_from_slice(row);
+                        next.push(tuple);
+                    }
+                }
+            } else {
+                self.stats.hash_joins += 1;
+                // Hash the build side on its key columns; NULL keys never
+                // match under WHERE `=` and are excluded.
+                let mut table_map: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+                'build: for (i, row) in build.iter().enumerate() {
+                    let mut key = Vec::with_capacity(join_keys.len());
+                    for &(_, new_attr) in &join_keys {
+                        let v = &row[new_attr - range.start];
+                        if v.is_null() {
+                            continue 'build;
+                        }
+                        key.push(v.clone());
+                    }
+                    table_map.entry(key).or_default().push(i);
+                }
+                'probe: for partial in &partials {
+                    let mut key = Vec::with_capacity(join_keys.len());
+                    for &(built_attr, _) in &join_keys {
+                        let v = &partial[built_attr];
+                        if v.is_null() {
+                            continue 'probe;
+                        }
+                        key.push(v.clone());
+                    }
+                    self.stats.hash_probes += 1;
+                    if let Some(matches) = table_map.get(&key) {
+                        for &i in matches {
+                            let mut tuple = partial.clone();
+                            tuple[range.start..range.end].clone_from_slice(&build[i]);
+                            next.push(tuple);
+                        }
+                    }
+                }
+            }
+
+            // Residual conjuncts.
+            if !residual.is_empty() {
+                let mut filtered = Vec::with_capacity(next.len());
+                'tuples: for tuple in next {
+                    for c in &residual {
+                        if !self.eval(c, outer, &tuple)?.false_interpreted() {
+                            continue 'tuples;
+                        }
+                    }
+                    filtered.push(tuple);
+                }
+                next = filtered;
+            }
+            partials = next;
+        }
+        Ok(partials)
+    }
+
+    // --- expression evaluation -------------------------------------------
+
+    fn resolve<'v>(
+        &self,
+        a: &AttrRef,
+        outer: &'v [Vec<Value>],
+        current: &'v [Value],
+    ) -> Result<&'v Value> {
+        if a.up == 0 {
+            current
+                .get(a.idx)
+                .ok_or_else(|| Error::internal(format!("attr #{} out of range", a.idx)))
+        } else {
+            let scope = outer
+                .len()
+                .checked_sub(a.up)
+                .and_then(|i| outer.get(i))
+                .ok_or_else(|| {
+                    Error::internal(format!("correlated ref up={} escapes scope", a.up))
+                })?;
+            scope
+                .get(a.idx)
+                .ok_or_else(|| Error::internal(format!("outer attr #{} out of range", a.idx)))
+        }
+    }
+
+    fn scalar(
+        &self,
+        s: &BScalar,
+        outer: &[Vec<Value>],
+        current: &[Value],
+    ) -> Result<Value> {
+        Ok(match s {
+            BScalar::Literal(v) => v.clone(),
+            BScalar::HostVar(h) => self.hostvars.get(h)?.clone(),
+            BScalar::Attr(a) => self.resolve(a, outer, current)?.clone(),
+        })
+    }
+
+    /// Evaluate a predicate under three-valued logic.
+    pub(crate) fn eval(
+        &mut self,
+        e: &BoundExpr,
+        outer: &[Vec<Value>],
+        current: &[Value],
+    ) -> Result<Tri> {
+        match e {
+            BoundExpr::Cmp { op, left, right } => {
+                let l = self.scalar(left, outer, current)?;
+                let r = self.scalar(right, outer, current)?;
+                cmp_tri(*op, &l, &r)
+            }
+            BoundExpr::Between {
+                scalar,
+                low,
+                high,
+                negated,
+            } => {
+                let v = self.scalar(scalar, outer, current)?;
+                let lo = self.scalar(low, outer, current)?;
+                let hi = self.scalar(high, outer, current)?;
+                let t = cmp_tri(CmpOp::Ge, &v, &lo)?.and(cmp_tri(CmpOp::Le, &v, &hi)?);
+                Ok(if *negated { t.not() } else { t })
+            }
+            BoundExpr::InList {
+                scalar,
+                list,
+                negated,
+            } => {
+                let v = self.scalar(scalar, outer, current)?;
+                let mut t = Tri::False;
+                for item in list {
+                    let i = self.scalar(item, outer, current)?;
+                    t = t.or(cmp_tri(CmpOp::Eq, &v, &i)?);
+                }
+                Ok(if *negated { t.not() } else { t })
+            }
+            BoundExpr::IsNull { scalar, negated } => {
+                let v = self.scalar(scalar, outer, current)?;
+                Ok(Tri::from_bool(v.is_null() != *negated))
+            }
+            BoundExpr::Exists { negated, subquery } => {
+                self.stats.subquery_evals += 1;
+                let mut scopes: Vec<Vec<Value>> = outer.to_vec();
+                scopes.push(current.to_vec());
+                let found = self.block_exists(subquery, &scopes)?;
+                Ok(Tri::from_bool(found != *negated))
+            }
+            BoundExpr::InSubquery {
+                scalar,
+                subquery,
+                negated,
+            } => {
+                self.stats.subquery_evals += 1;
+                let v = self.scalar(scalar, outer, current)?;
+                let mut scopes: Vec<Vec<Value>> = outer.to_vec();
+                scopes.push(current.to_vec());
+                let rows = self.exec_spec(subquery, &scopes)?;
+                // SQL IN semantics: true if any comparison is true;
+                // otherwise unknown if any comparison is unknown (or the
+                // tested value is NULL and the set is non-empty); false
+                // otherwise (including the empty set).
+                let mut t = Tri::False;
+                for row in &rows {
+                    t = t.or(cmp_tri(CmpOp::Eq, &v, &row[0])?);
+                    if t == Tri::True {
+                        break;
+                    }
+                }
+                Ok(if *negated { t.not() } else { t })
+            }
+            BoundExpr::And(a, b) => {
+                // Short-circuit: false dominates regardless of the other
+                // operand (including unknown).
+                let l = self.eval(a, outer, current)?;
+                if l == Tri::False {
+                    return Ok(Tri::False);
+                }
+                Ok(l.and(self.eval(b, outer, current)?))
+            }
+            BoundExpr::Or(a, b) => {
+                let l = self.eval(a, outer, current)?;
+                if l == Tri::True {
+                    return Ok(Tri::True);
+                }
+                Ok(l.or(self.eval(b, outer, current)?))
+            }
+            BoundExpr::Not(a) => Ok(self.eval(a, outer, current)?.not()),
+        }
+    }
+}
+
+/// Three-valued comparison of two values.
+fn cmp_tri(op: CmpOp, l: &Value, r: &Value) -> Result<Tri> {
+    Ok(match l.sql_cmp(r)? {
+        None => Tri::Unknown,
+        Some(ord) => Tri::from_bool(match op {
+            CmpOp::Eq => ord.is_eq(),
+            CmpOp::Ne => ord.is_ne(),
+            CmpOp::Lt => ord.is_lt(),
+            CmpOp::Le => ord.is_le(),
+            CmpOp::Gt => ord.is_gt(),
+            CmpOp::Ge => ord.is_ge(),
+        }),
+    })
+}
+
+/// Is this conjunct `built_attr = new_attr` (either direction) linking the
+/// already-joined prefix to the table occupying `range`?
+fn equi_join_key(
+    c: &BoundExpr,
+    range: &std::ops::Range<usize>,
+) -> Option<(usize, usize)> {
+    let BoundExpr::Cmp {
+        op: CmpOp::Eq,
+        left,
+        right,
+    } = c
+    else {
+        return None;
+    };
+    let (a, b) = match (left, right) {
+        (BScalar::Attr(a), BScalar::Attr(b)) if a.is_local() && b.is_local() => (a.idx, b.idx),
+        _ => return None,
+    };
+    match (range.contains(&a), range.contains(&b)) {
+        (false, true) if a < range.start => Some((a, b)),
+        (true, false) if b < range.start => Some((b, a)),
+        _ => None,
+    }
+}
+
+fn contains_subquery(e: &BoundExpr) -> bool {
+    match e {
+        BoundExpr::Exists { .. } | BoundExpr::InSubquery { .. } => true,
+        BoundExpr::And(a, b) | BoundExpr::Or(a, b) => {
+            contains_subquery(a) || contains_subquery(b)
+        }
+        BoundExpr::Not(a) => contains_subquery(a),
+        _ => false,
+    }
+}
+
+/// Visit every attribute reference in `e` with its subquery depth
+/// (re-exported plumbing shared with `uniq-core`'s rewrites, duplicated
+/// here to keep the engine independent of the optimizer's internals).
+pub(crate) fn map_all_attr_refs(
+    e: &mut BoundExpr,
+    f: &mut impl FnMut(usize, &mut AttrRef),
+) {
+    fn go(e: &mut BoundExpr, depth: usize, f: &mut impl FnMut(usize, &mut AttrRef)) {
+        let scalar =
+            |s: &mut BScalar, depth: usize, f: &mut dyn FnMut(usize, &mut AttrRef)| {
+                if let BScalar::Attr(a) = s {
+                    f(depth, a);
+                }
+            };
+        match e {
+            BoundExpr::Cmp { left, right, .. } => {
+                scalar(left, depth, f);
+                scalar(right, depth, f);
+            }
+            BoundExpr::Between {
+                scalar: s,
+                low,
+                high,
+                ..
+            } => {
+                scalar(s, depth, f);
+                scalar(low, depth, f);
+                scalar(high, depth, f);
+            }
+            BoundExpr::InList { scalar: s, list, .. } => {
+                scalar(s, depth, f);
+                for item in list {
+                    scalar(item, depth, f);
+                }
+            }
+            BoundExpr::IsNull { scalar: s, .. } => scalar(s, depth, f),
+            BoundExpr::Exists { subquery, .. } => {
+                if let Some(p) = &mut subquery.predicate {
+                    go(p, depth + 1, f);
+                }
+            }
+            BoundExpr::InSubquery {
+                scalar: s,
+                subquery,
+                ..
+            } => {
+                scalar(s, depth, f);
+                if let Some(p) = &mut subquery.predicate {
+                    go(p, depth + 1, f);
+                }
+            }
+            BoundExpr::And(a, b) | BoundExpr::Or(a, b) => {
+                go(a, depth, f);
+                go(b, depth, f);
+            }
+            BoundExpr::Not(a) => go(a, depth, f),
+        }
+    }
+    go(e, 0, f);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniq_catalog::sample::supplier_database;
+    use uniq_plan::bind_query;
+    use uniq_sql::parse_query;
+
+    fn run_opts(sql: &str, hv: &HostVars, opts: ExecOptions) -> (Vec<Row>, ExecStats) {
+        let db = supplier_database().unwrap();
+        let q = bind_query(db.catalog(), &parse_query(sql).unwrap()).unwrap();
+        let mut ex = Executor::new(&db, hv, opts);
+        let rows = ex.run(&q).unwrap();
+        (rows, ex.stats)
+    }
+
+    fn run(sql: &str) -> Vec<Row> {
+        run_opts(sql, &HostVars::new(), ExecOptions::default()).0
+    }
+
+    fn sorted(mut rows: Vec<Row>) -> Vec<Row> {
+        rows.sort_by(|a, b| uniq_types::value::tuple_null_cmp(a, b).unwrap());
+        rows
+    }
+
+    #[test]
+    fn single_table_filter() {
+        let rows = run("SELECT S.SNO FROM SUPPLIER S WHERE S.SCITY = 'Toronto'");
+        assert_eq!(
+            sorted(rows),
+            vec![vec![Value::Int(1)], vec![Value::Int(4)]]
+        );
+    }
+
+    #[test]
+    fn join_produces_expected_pairs() {
+        let rows = run(
+            "SELECT S.SNO, P.PNO FROM SUPPLIER S, PARTS P \
+             WHERE S.SNO = P.SNO AND P.COLOR = 'RED'",
+        );
+        assert_eq!(
+            sorted(rows),
+            vec![
+                vec![Value::Int(1), Value::Int(10)],
+                vec![Value::Int(2), Value::Int(10)],
+                vec![Value::Int(3), Value::Int(10)],
+                vec![Value::Int(3), Value::Int(13)],
+            ]
+        );
+    }
+
+    #[test]
+    fn hash_and_nested_loop_agree() {
+        let sql = "SELECT S.SNAME, P.PNAME FROM SUPPLIER S, PARTS P \
+                   WHERE S.SNO = P.SNO AND P.COLOR = 'RED'";
+        let hv = HostVars::new();
+        let (h, hs) = run_opts(
+            sql,
+            &hv,
+            ExecOptions {
+                join: JoinMethod::Hash,
+                ..Default::default()
+            },
+        );
+        let (n, ns) = run_opts(
+            sql,
+            &hv,
+            ExecOptions {
+                join: JoinMethod::NestedLoop,
+                ..Default::default()
+            },
+        );
+        assert_eq!(sorted(h), sorted(n));
+        assert!(hs.hash_joins > 0);
+        assert_eq!(ns.hash_joins, 0);
+        // Hash join scans each table once; nested loop re-scans PARTS.
+        assert!(hs.rows_scanned < ns.rows_scanned);
+    }
+
+    #[test]
+    fn distinct_eliminates_duplicates() {
+        let rows = run("SELECT DISTINCT P.COLOR FROM PARTS P");
+        assert_eq!(rows.len(), 3); // RED, GREEN, BLUE
+    }
+
+    #[test]
+    fn where_null_comparison_filters_row() {
+        // OEM-PNO = 104 is unknown for the NULL row → filtered out.
+        let rows = run("SELECT P.PNO FROM PARTS P WHERE P.OEM-PNO >= 100");
+        assert_eq!(rows.len(), 6, "NULL OEM-PNO row must not qualify");
+    }
+
+    #[test]
+    fn distinct_treats_nulls_as_equal() {
+        // Two NULLs collapse under DISTINCT (=̇), unlike WHERE.
+        let mut db = supplier_database().unwrap();
+        db.run_script("CREATE TABLE N (X INTEGER); INSERT INTO N VALUES (NULL), (NULL), (1);")
+            .unwrap();
+        let q = bind_query(
+            db.catalog(),
+            &parse_query("SELECT DISTINCT X FROM N").unwrap(),
+        )
+        .unwrap();
+        let hv = HostVars::new();
+        let mut ex = Executor::new(&db, &hv, ExecOptions::default());
+        let rows = ex.run(&q).unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn host_variables_resolve_at_execution() {
+        let hv = HostVars::new().with("SUPPLIER-NO", 3i64);
+        let (rows, _) = run_opts(
+            "SELECT ALL S.SNO, SNAME, P.PNO, PNAME FROM SUPPLIER S, PARTS P \
+             WHERE P.SNO = :SUPPLIER-NO AND S.SNO = P.SNO",
+            &hv,
+            ExecOptions::default(),
+        );
+        assert_eq!(rows.len(), 2); // supplier 3 supplies parts 10 and 13
+    }
+
+    #[test]
+    fn unbound_host_variable_errors() {
+        let db = supplier_database().unwrap();
+        let q = bind_query(
+            db.catalog(),
+            &parse_query("SELECT S.SNO FROM SUPPLIER S WHERE S.SNO = :MISSING").unwrap(),
+        )
+        .unwrap();
+        let hv = HostVars::new();
+        let mut ex = Executor::new(&db, &hv, ExecOptions::default());
+        assert!(matches!(ex.run(&q), Err(Error::UnboundHostVar(_))));
+    }
+
+    #[test]
+    fn exists_subquery_semijoin() {
+        // Example 8's original form: suppliers with at least one red part.
+        let rows = run(
+            "SELECT ALL S.SNO, S.SNAME FROM SUPPLIER S WHERE EXISTS \
+             (SELECT * FROM PARTS P WHERE P.SNO = S.SNO AND P.COLOR = 'RED')",
+        );
+        assert_eq!(
+            sorted(rows)
+                .iter()
+                .map(|r| r[0].clone())
+                .collect::<Vec<_>>(),
+            vec![Value::Int(1), Value::Int(2), Value::Int(3)]
+        );
+    }
+
+    #[test]
+    fn not_exists() {
+        let rows = run(
+            "SELECT S.SNO FROM SUPPLIER S WHERE NOT EXISTS \
+             (SELECT * FROM PARTS P WHERE P.SNO = S.SNO)",
+        );
+        assert_eq!(sorted(rows), vec![vec![Value::Int(5)]]);
+    }
+
+    #[test]
+    fn in_subquery_three_valued_semantics() {
+        let mut db = supplier_database().unwrap();
+        db.run_script(
+            "CREATE TABLE L (X INTEGER); INSERT INTO L VALUES (1), (99);
+             CREATE TABLE R2 (Y INTEGER); INSERT INTO R2 VALUES (1), (NULL);",
+        )
+        .unwrap();
+        let hv = HostVars::new();
+        // X IN (1, NULL): for X=1 → true; for X=99 → unknown (not false!)
+        // so NOT IN must ALSO filter X=99 out.
+        let q_in = bind_query(
+            db.catalog(),
+            &parse_query("SELECT X FROM L WHERE X IN (SELECT Y FROM R2)").unwrap(),
+        )
+        .unwrap();
+        let mut ex = Executor::new(&db, &hv, ExecOptions::default());
+        assert_eq!(ex.run(&q_in).unwrap(), vec![vec![Value::Int(1)]]);
+
+        let q_not_in = bind_query(
+            db.catalog(),
+            &parse_query("SELECT X FROM L WHERE X NOT IN (SELECT Y FROM R2)").unwrap(),
+        )
+        .unwrap();
+        let mut ex = Executor::new(&db, &hv, ExecOptions::default());
+        assert_eq!(
+            ex.run(&q_not_in).unwrap(),
+            Vec::<Row>::new(),
+            "NOT IN over a set containing NULL yields no rows"
+        );
+    }
+
+    #[test]
+    fn exists_stops_at_first_match() {
+        let hv = HostVars::new();
+        let (_, stats) = run_opts(
+            "SELECT S.SNO FROM SUPPLIER S WHERE EXISTS \
+             (SELECT * FROM PARTS P WHERE P.SNO = S.SNO)",
+            &hv,
+            ExecOptions::default(),
+        );
+        // 5 suppliers scanned + early-exit scans of PARTS (7 rows): if
+        // every EXISTS scanned all of PARTS we'd see 5 + 35; early exit
+        // must do strictly better.
+        assert!(stats.rows_scanned < 40, "rows_scanned = {}", stats.rows_scanned);
+        assert_eq!(stats.subquery_evals, 5);
+    }
+
+    #[test]
+    fn cartesian_product_multiplicity() {
+        let rows = run("SELECT S.SNO, A.ANO FROM SUPPLIER S, AGENTS A");
+        assert_eq!(rows.len(), 25); // 5 × 5
+    }
+
+    #[test]
+    fn intersect_example_9() {
+        // Suppliers in Toronto ∩ suppliers with agents in Ottawa/Hull.
+        let rows = run(
+            "SELECT ALL S.SNO FROM SUPPLIER S WHERE S.SCITY = 'Toronto' \
+             INTERSECT \
+             SELECT ALL A.SNO FROM AGENTS A \
+             WHERE A.ACITY = 'Ottawa' OR A.ACITY = 'Hull'",
+        );
+        assert_eq!(sorted(rows), vec![vec![Value::Int(1)]]);
+    }
+
+    #[test]
+    fn select_all_retains_duplicates() {
+        let rows = run("SELECT ALL P.COLOR FROM PARTS P WHERE P.COLOR = 'RED'");
+        assert_eq!(rows.len(), 4);
+    }
+}

@@ -1,0 +1,234 @@
+//! `EXPLAIN`-style rendering of the physical strategy the executor will
+//! use for a bound query.
+//!
+//! The executor's physical decisions are deterministic functions of the
+//! bound query and [`ExecOptions`] (conjunct assignment, equi-join
+//! detection, distinct method), so the plan can be rendered without
+//! executing. The same helper functions drive both, keeping the
+//! explanation honest.
+
+use crate::exec::ExecOptions;
+use crate::stats::{DistinctMethod, JoinMethod};
+use uniq_plan::{BScalar, BoundExpr, BoundQuery, BoundSpec};
+use uniq_sql::{CmpOp, Distinct, SetOp};
+
+/// Render the physical plan as an indented tree, one operator per line.
+pub fn explain(query: &BoundQuery, opts: &ExecOptions) -> String {
+    let mut out = String::new();
+    explain_query(query, opts, 0, &mut out);
+    out
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn explain_query(q: &BoundQuery, opts: &ExecOptions, depth: usize, out: &mut String) {
+    match q {
+        BoundQuery::Spec(spec) => explain_spec(spec, opts, depth, out),
+        BoundQuery::SetOp {
+            op,
+            all,
+            left,
+            right,
+        } => {
+            indent(out, depth);
+            let method = match opts.distinct {
+                DistinctMethod::Sort => "sort-merge",
+                DistinctMethod::Hash => "hash-count",
+            };
+            let name = match op {
+                SetOp::Intersect => "Intersect",
+                SetOp::Except => "Except",
+                SetOp::Union => "Union",
+            };
+            out.push_str(&format!(
+                "{name}{} [{method}]\n",
+                if *all { "All" } else { "" }
+            ));
+            explain_query(left, opts, depth + 1, out);
+            explain_query(right, opts, depth + 1, out);
+        }
+    }
+}
+
+fn explain_spec(spec: &BoundSpec, opts: &ExecOptions, depth: usize, out: &mut String) {
+    if spec.distinct == Distinct::Distinct {
+        indent(out, depth);
+        out.push_str(match opts.distinct {
+            DistinctMethod::Sort => "SortDistinct\n",
+            DistinctMethod::Hash => "HashDistinct\n",
+        });
+        return explain_projection(spec, opts, depth + 1, out);
+    }
+    explain_projection(spec, opts, depth, out);
+}
+
+fn explain_projection(spec: &BoundSpec, opts: &ExecOptions, depth: usize, out: &mut String) {
+    indent(out, depth);
+    let cols: Vec<String> = spec
+        .projection
+        .iter()
+        .map(|p| spec.attr_name(p.attr))
+        .collect();
+    out.push_str(&format!("Project [{}]\n", cols.join(", ")));
+    explain_pipeline(spec, opts, depth + 1, out);
+}
+
+fn explain_pipeline(spec: &BoundSpec, opts: &ExecOptions, depth: usize, out: &mut String) {
+    // Mirror Executor's conjunct assignment.
+    let conjuncts: Vec<&BoundExpr> = spec
+        .predicate
+        .as_ref()
+        .map(|p| p.conjuncts())
+        .unwrap_or_default();
+    let hash_joins = opts.join == JoinMethod::Hash && spec.from.len() > 1;
+    for (level, table) in spec.from.iter().enumerate().rev() {
+        indent(out, depth);
+        if level == 0 {
+            out.push_str(&format!(
+                "Scan {} AS {}\n",
+                table.schema.name, table.binding
+            ));
+        } else {
+            let range = table.attr_range();
+            let has_equi = conjuncts.iter().any(|c| {
+                matches!(
+                    c,
+                    BoundExpr::Cmp {
+                        op: CmpOp::Eq,
+                        left: BScalar::Attr(a),
+                        right: BScalar::Attr(b),
+                    } if a.is_local() && b.is_local()
+                        && (range.contains(&a.idx) != range.contains(&b.idx))
+                )
+            });
+            let method = if hash_joins && has_equi {
+                "HashJoin"
+            } else {
+                "NestedLoop"
+            };
+            out.push_str(&format!(
+                "{method} with Scan {} AS {}\n",
+                table.schema.name, table.binding
+            ));
+        }
+    }
+    // Subqueries, rendered beneath their semi-join marker.
+    for c in &conjuncts {
+        render_subqueries(c, opts, depth, out);
+    }
+    if let Some(p) = &spec.predicate {
+        indent(out, depth);
+        let n = p.conjuncts().len();
+        out.push_str(&format!("Filter [{n} conjunct(s)]\n"));
+    }
+}
+
+fn render_subqueries(e: &BoundExpr, opts: &ExecOptions, depth: usize, out: &mut String) {
+    match e {
+        BoundExpr::Exists { negated, subquery } => {
+            indent(out, depth);
+            out.push_str(if *negated {
+                "AntiSemiJoin (NOT EXISTS, first-match exit)\n"
+            } else {
+                "SemiJoin (EXISTS, first-match exit)\n"
+            });
+            explain_spec(subquery, opts, depth + 1, out);
+        }
+        BoundExpr::InSubquery { subquery, negated, .. } => {
+            indent(out, depth);
+            out.push_str(if *negated {
+                "InSubquery (NOT IN, three-valued)\n"
+            } else {
+                "InSubquery (IN, three-valued)\n"
+            });
+            explain_spec(subquery, opts, depth + 1, out);
+        }
+        BoundExpr::And(a, b) | BoundExpr::Or(a, b) => {
+            render_subqueries(a, opts, depth, out);
+            render_subqueries(b, opts, depth, out);
+        }
+        BoundExpr::Not(a) => render_subqueries(a, opts, depth, out),
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniq_catalog::sample::supplier_schema;
+    use uniq_plan::bind_query;
+    use uniq_sql::parse_query;
+
+    fn plan(sql: &str, opts: ExecOptions) -> String {
+        let db = supplier_schema().unwrap();
+        let q = bind_query(db.catalog(), &parse_query(sql).unwrap()).unwrap();
+        explain(&q, &opts)
+    }
+
+    #[test]
+    fn distinct_join_plan() {
+        let p = plan(
+            "SELECT DISTINCT S.SNO, P.PNO FROM SUPPLIER S, PARTS P \
+             WHERE S.SNO = P.SNO AND P.COLOR = 'RED'",
+            ExecOptions::default(),
+        );
+        assert!(p.contains("SortDistinct"), "{p}");
+        assert!(p.contains("HashJoin with Scan PARTS AS P"), "{p}");
+        assert!(p.contains("Scan SUPPLIER AS S"), "{p}");
+        assert!(p.contains("Filter [2 conjunct(s)]"), "{p}");
+    }
+
+    #[test]
+    fn nested_loop_when_no_equi_join() {
+        let p = plan(
+            "SELECT S.SNO FROM SUPPLIER S, AGENTS A WHERE S.BUDGET > A.ANO",
+            ExecOptions::default(),
+        );
+        assert!(p.contains("NestedLoop"), "{p}");
+        assert!(!p.contains("HashJoin"), "{p}");
+    }
+
+    #[test]
+    fn exists_renders_semijoin() {
+        let p = plan(
+            "SELECT S.SNO FROM SUPPLIER S WHERE EXISTS \
+             (SELECT * FROM PARTS P WHERE P.SNO = S.SNO)",
+            ExecOptions::default(),
+        );
+        assert!(p.contains("SemiJoin (EXISTS"), "{p}");
+        assert!(p.contains("Scan PARTS AS P"), "{p}");
+    }
+
+    #[test]
+    fn setop_renders_method() {
+        let sort = plan(
+            "SELECT S.SNO FROM SUPPLIER S INTERSECT SELECT A.SNO FROM AGENTS A",
+            ExecOptions::default(),
+        );
+        assert!(sort.contains("Intersect [sort-merge]"), "{sort}");
+        let hash = plan(
+            "SELECT S.SNO FROM SUPPLIER S EXCEPT ALL SELECT A.SNO FROM AGENTS A",
+            ExecOptions {
+                distinct: DistinctMethod::Hash,
+                ..Default::default()
+            },
+        );
+        assert!(hash.contains("ExceptAll [hash-count]"), "{hash}");
+    }
+
+    #[test]
+    fn hash_option_off_forces_nested_loops() {
+        let p = plan(
+            "SELECT S.SNO FROM SUPPLIER S, PARTS P WHERE S.SNO = P.SNO",
+            ExecOptions {
+                join: JoinMethod::NestedLoop,
+                ..Default::default()
+            },
+        );
+        assert!(p.contains("NestedLoop"), "{p}");
+    }
+}

@@ -1,0 +1,199 @@
+//! A convenience façade: parse → bind → optimize → execute in one call.
+//!
+//! [`Session`] is the API the examples and benchmarks use. It owns a
+//! [`Database`], an optimizer configuration and executor options; each
+//! [`Session::query`] returns the rows together with the rewrite steps the
+//! optimizer applied and the executor's work counters, so callers can see
+//! *what* the paper's techniques did and *what they saved*.
+
+use crate::exec::{ExecOptions, Executor};
+use crate::stats::ExecStats;
+use uniq_catalog::{Database, Row};
+use uniq_core::pipeline::{Optimizer, OptimizerOptions, RewriteStep};
+use uniq_plan::{bind_query, BoundQuery, HostVars};
+use uniq_sql::{parse_statement, Statement};
+use uniq_types::{ColumnName, Error, Result};
+
+/// The result of one query execution.
+#[derive(Debug, Clone)]
+pub struct QueryOutput {
+    /// Output column names.
+    pub columns: Vec<ColumnName>,
+    /// Result rows.
+    pub rows: Vec<Row>,
+    /// Rewrites the optimizer applied (empty if none, or if disabled).
+    pub steps: Vec<RewriteStep>,
+    /// Executor work counters for this query.
+    pub stats: ExecStats,
+}
+
+/// A database handle with optimizer and executor settings.
+#[derive(Debug, Clone, Default)]
+pub struct Session {
+    /// The database queried by this session.
+    pub db: Database,
+    /// Rewrite configuration applied before execution.
+    pub optimizer: OptimizerOptions,
+    /// Physical execution strategies.
+    pub exec: ExecOptions,
+}
+
+impl Session {
+    /// A session over an existing database with default (relational
+    /// profile) optimization.
+    pub fn new(db: Database) -> Session {
+        Session {
+            db,
+            optimizer: OptimizerOptions::relational(),
+            exec: ExecOptions::default(),
+        }
+    }
+
+    /// Session over the paper's populated Figure 1 database.
+    pub fn sample() -> Result<Session> {
+        Ok(Session::new(uniq_catalog::sample::supplier_database()?))
+    }
+
+    /// Run DDL/DML statements (`CREATE TABLE` / `INSERT`).
+    pub fn run_script(&mut self, sql: &str) -> Result<()> {
+        self.db.run_script(sql)
+    }
+
+    /// Parse, bind, optimize and execute a query with no host variables.
+    pub fn query(&self, sql: &str) -> Result<QueryOutput> {
+        self.query_with(sql, &HostVars::new())
+    }
+
+    /// Parse, bind, optimize and execute a query with host variables.
+    pub fn query_with(&self, sql: &str, hostvars: &HostVars) -> Result<QueryOutput> {
+        let stmt = parse_statement(sql)?;
+        let Statement::Query(ast) = stmt else {
+            return Err(Error::internal(
+                "Session::query executes queries; use run_script for DDL/DML",
+            ));
+        };
+        let bound = bind_query(self.db.catalog(), &ast)?;
+        self.execute_bound(&bound, hostvars)
+    }
+
+    /// Optimize and execute an already-bound query.
+    pub fn execute_bound(&self, bound: &BoundQuery, hostvars: &HostVars) -> Result<QueryOutput> {
+        let outcome = Optimizer::new(self.optimizer).optimize(bound);
+        let mut executor = Executor::new(&self.db, hostvars, self.exec);
+        let rows = executor.run(&outcome.query)?;
+        Ok(QueryOutput {
+            columns: outcome.query.output_names(),
+            rows,
+            steps: outcome.steps,
+            stats: executor.stats,
+        })
+    }
+
+    /// Execute without any rewriting (baseline for experiments).
+    pub fn query_unoptimized(&self, sql: &str, hostvars: &HostVars) -> Result<QueryOutput> {
+        let stmt = parse_statement(sql)?;
+        let Statement::Query(ast) = stmt else {
+            return Err(Error::internal("not a query"));
+        };
+        let bound = bind_query(self.db.catalog(), &ast)?;
+        let mut executor = Executor::new(&self.db, hostvars, self.exec);
+        let rows = executor.run(&bound)?;
+        Ok(QueryOutput {
+            columns: bound.output_names(),
+            rows,
+            steps: Vec::new(),
+            stats: executor.stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use uniq_types::Value;
+
+    fn multiset(rows: &[Row]) -> HashMap<Row, usize> {
+        let mut m = HashMap::new();
+        for r in rows {
+            *m.entry(r.clone()).or_insert(0) += 1;
+        }
+        m
+    }
+
+    #[test]
+    fn optimized_and_unoptimized_agree_on_example_1() {
+        let s = Session::sample().unwrap();
+        let sql = "SELECT DISTINCT S.SNO, P.PNO, P.PNAME FROM SUPPLIER S, PARTS P \
+                   WHERE S.SNO = P.SNO AND P.COLOR = 'RED'";
+        let opt = s.query(sql).unwrap();
+        let base = s.query_unoptimized(sql, &HostVars::new()).unwrap();
+        assert_eq!(multiset(&opt.rows), multiset(&base.rows));
+        assert_eq!(opt.steps.len(), 1);
+        // The optimized run performs no sort at all.
+        assert_eq!(opt.stats.sorts, 0);
+        assert!(base.stats.sorts > 0);
+    }
+
+    #[test]
+    fn example_2_still_sorts() {
+        let s = Session::sample().unwrap();
+        let out = s
+            .query(
+                "SELECT DISTINCT S.SNAME, P.PNO, P.PNAME FROM SUPPLIER S, PARTS P \
+                 WHERE S.SNO = P.SNO AND P.COLOR = 'RED'",
+            )
+            .unwrap();
+        assert!(out.steps.is_empty());
+        assert!(out.stats.sorts > 0);
+        // Acme appears twice as a name but rows differ by PNO — and the
+        // two Acme suppliers both supply part 10 as 'bolt', which IS a
+        // duplicate that must collapse.
+        let bolt_rows: Vec<_> = out
+            .rows
+            .iter()
+            .filter(|r| r[0] == Value::str("Acme") && r[1] == Value::Int(10))
+            .collect();
+        assert_eq!(bolt_rows.len(), 1, "duplicate (Acme, 10, bolt) collapsed");
+    }
+
+    #[test]
+    fn ddl_through_session() {
+        let mut s = Session::new(Database::new());
+        s.run_script("CREATE TABLE T (A INTEGER, PRIMARY KEY (A)); INSERT INTO T VALUES (1);")
+            .unwrap();
+        let out = s.query("SELECT A FROM T").unwrap();
+        assert_eq!(out.rows, vec![vec![Value::Int(1)]]);
+        assert_eq!(out.columns, vec![ColumnName::new("A")]);
+    }
+
+    #[test]
+    fn query_rejects_ddl() {
+        let s = Session::sample().unwrap();
+        assert!(s.query("CREATE TABLE X (A INTEGER)").is_err());
+    }
+
+    #[test]
+    fn host_vars_flow_through() {
+        let s = Session::sample().unwrap();
+        let hv = HostVars::new().with("CITY", "Toronto");
+        let out = s
+            .query_with("SELECT S.SNO FROM SUPPLIER S WHERE S.SCITY = :CITY", &hv)
+            .unwrap();
+        assert_eq!(out.rows.len(), 2);
+    }
+
+    #[test]
+    fn rewritten_intersect_matches_baseline() {
+        let s = Session::sample().unwrap();
+        let sql = "SELECT ALL S.SNO FROM SUPPLIER S WHERE S.SCITY = 'Toronto' \
+                   INTERSECT \
+                   SELECT ALL A.SNO FROM AGENTS A \
+                   WHERE A.ACITY = 'Ottawa' OR A.ACITY = 'Hull'";
+        let opt = s.query(sql).unwrap();
+        let base = s.query_unoptimized(sql, &HostVars::new()).unwrap();
+        assert!(!opt.steps.is_empty());
+        assert_eq!(multiset(&opt.rows), multiset(&base.rows));
+        assert_eq!(opt.rows, vec![vec![Value::Int(1)]]);
+    }
+}

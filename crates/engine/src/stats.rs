@@ -1,0 +1,94 @@
+//! Execution statistics and executor tuning knobs.
+
+/// How duplicate elimination is performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DistinctMethod {
+    /// Sort the result and collapse adjacent `=̇`-equal runs — the
+    /// strategy whose cost the paper's §1 calls "expensive". Default.
+    #[default]
+    Sort,
+    /// Hash-set elimination (ablation; see experiment E12).
+    Hash,
+}
+
+/// How multi-table blocks are joined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JoinMethod {
+    /// Build/probe hash tables on available equality conjuncts, falling
+    /// back to nested loops when none apply. Default.
+    #[default]
+    Hash,
+    /// Pure nested loops (the naive strategy subquery rewrites avoid).
+    NestedLoop,
+}
+
+/// Work counters maintained by every operator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Base-table rows read by scans (counted once per iteration over a
+    /// stored row, including re-scans in nested loops).
+    pub rows_scanned: u64,
+    /// Rows produced by the top-level operator.
+    pub rows_output: u64,
+    /// Comparisons performed by sorts (duplicate elimination and
+    /// sort-merge set operations).
+    pub sort_comparisons: u64,
+    /// Rows fed into sort-based operators.
+    pub rows_sorted: u64,
+    /// Number of sort operations performed.
+    pub sorts: u64,
+    /// Hash-table probes performed by hash joins and hash distinct.
+    pub hash_probes: u64,
+    /// Correlated subquery evaluations (one per outer row tested).
+    pub subquery_evals: u64,
+    /// Hash joins executed.
+    pub hash_joins: u64,
+}
+
+impl ExecStats {
+    /// Zeroed counters.
+    pub fn new() -> ExecStats {
+        ExecStats::default()
+    }
+
+    /// Accumulate another stats block into this one.
+    pub fn absorb(&mut self, other: &ExecStats) {
+        self.rows_scanned += other.rows_scanned;
+        self.rows_output += other.rows_output;
+        self.sort_comparisons += other.sort_comparisons;
+        self.rows_sorted += other.rows_sorted;
+        self.sorts += other.sorts;
+        self.hash_probes += other.hash_probes;
+        self.subquery_evals += other.subquery_evals;
+        self.hash_joins += other.hash_joins;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_sums_fields() {
+        let mut a = ExecStats {
+            rows_scanned: 1,
+            sorts: 2,
+            ..ExecStats::new()
+        };
+        let b = ExecStats {
+            rows_scanned: 10,
+            hash_probes: 5,
+            ..ExecStats::new()
+        };
+        a.absorb(&b);
+        assert_eq!(a.rows_scanned, 11);
+        assert_eq!(a.sorts, 2);
+        assert_eq!(a.hash_probes, 5);
+    }
+
+    #[test]
+    fn defaults_match_paper_premises() {
+        assert_eq!(DistinctMethod::default(), DistinctMethod::Sort);
+        assert_eq!(JoinMethod::default(), JoinMethod::Hash);
+    }
+}

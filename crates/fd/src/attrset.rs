@@ -1,0 +1,227 @@
+//! Attribute sets as growable bitsets.
+//!
+//! Attribute positions in a query block's Cartesian product are small
+//! dense integers, so a `Vec<u64>` bitset gives O(words) set algebra —
+//! the closure fixpoint in [`crate::fdset`] is dominated by these
+//! operations.
+
+use std::fmt;
+
+/// A set of attribute positions.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct AttrSet {
+    words: Vec<u64>,
+}
+
+impl AttrSet {
+    /// The empty set.
+    pub fn new() -> AttrSet {
+        AttrSet::default()
+    }
+
+    /// Set containing the given attributes.
+    pub fn from_iter_attrs(attrs: impl IntoIterator<Item = usize>) -> AttrSet {
+        let mut s = AttrSet::new();
+        for a in attrs {
+            s.insert(a);
+        }
+        s
+    }
+
+    /// The set `{0, 1, …, n-1}`.
+    pub fn all(n: usize) -> AttrSet {
+        AttrSet::from_iter_attrs(0..n)
+    }
+
+    /// Singleton set.
+    pub fn single(a: usize) -> AttrSet {
+        AttrSet::from_iter_attrs([a])
+    }
+
+    /// Insert an attribute; returns whether it was newly added.
+    pub fn insert(&mut self, a: usize) -> bool {
+        let w = a / 64;
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let bit = 1u64 << (a % 64);
+        let newly = self.words[w] & bit == 0;
+        self.words[w] |= bit;
+        newly
+    }
+
+    /// Remove an attribute; returns whether it was present.
+    pub fn remove(&mut self, a: usize) -> bool {
+        let w = a / 64;
+        if w >= self.words.len() {
+            return false;
+        }
+        let bit = 1u64 << (a % 64);
+        let present = self.words[w] & bit != 0;
+        self.words[w] &= !bit;
+        present
+    }
+
+    /// Membership test.
+    pub fn contains(&self, a: usize) -> bool {
+        let w = a / 64;
+        w < self.words.len() && self.words[w] & (1u64 << (a % 64)) != 0
+    }
+
+    /// In-place union; returns whether `self` grew.
+    pub fn union_with(&mut self, other: &AttrSet) -> bool {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        let mut grew = false;
+        for (i, &w) in other.words.iter().enumerate() {
+            let before = self.words[i];
+            self.words[i] |= w;
+            grew |= self.words[i] != before;
+        }
+        grew
+    }
+
+    /// Union, by value.
+    pub fn union(mut self, other: &AttrSet) -> AttrSet {
+        self.union_with(other);
+        self
+    }
+
+    /// Is `self ⊆ other`?
+    pub fn is_subset(&self, other: &AttrSet) -> bool {
+        for (i, &w) in self.words.iter().enumerate() {
+            let o = other.words.get(i).copied().unwrap_or(0);
+            if w & !o != 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Do the sets share any attribute?
+    pub fn intersects(&self, other: &AttrSet) -> bool {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// Number of attributes in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterate attributes in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(i, &w)| {
+            (0..64).filter_map(move |b| {
+                if w & (1u64 << b) != 0 {
+                    Some(i * 64 + b)
+                } else {
+                    None
+                }
+            })
+        })
+    }
+
+    /// Shift every attribute up by `offset` (used when embedding one
+    /// table's attributes into a product's flat space).
+    pub fn shifted(&self, offset: usize) -> AttrSet {
+        AttrSet::from_iter_attrs(self.iter().map(|a| a + offset))
+    }
+}
+
+impl FromIterator<usize> for AttrSet {
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> AttrSet {
+        AttrSet::from_iter_attrs(iter)
+    }
+}
+
+impl fmt::Debug for AttrSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, a) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = AttrSet::new();
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.insert(100));
+        assert!(s.contains(3));
+        assert!(s.contains(100));
+        assert!(!s.contains(4));
+        assert!(s.remove(3));
+        assert!(!s.remove(3));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn subset_and_union() {
+        let a = AttrSet::from_iter_attrs([1, 2]);
+        let b = AttrSet::from_iter_attrs([1, 2, 3, 70]);
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        let mut c = a.clone();
+        assert!(c.union_with(&b));
+        assert_eq!(c, b);
+        assert!(!c.union_with(&b), "no growth on second union");
+    }
+
+    #[test]
+    fn subset_handles_length_mismatch() {
+        let small = AttrSet::from_iter_attrs([1]);
+        let large = AttrSet::from_iter_attrs([1, 200]);
+        assert!(small.is_subset(&large));
+        assert!(!large.is_subset(&small));
+        assert!(AttrSet::new().is_subset(&small));
+    }
+
+    #[test]
+    fn iter_is_sorted() {
+        let s = AttrSet::from_iter_attrs([65, 2, 130, 0]);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 2, 65, 130]);
+    }
+
+    #[test]
+    fn shifted_offsets_all_attrs() {
+        let s = AttrSet::from_iter_attrs([0, 3]);
+        assert_eq!(
+            s.shifted(5).iter().collect::<Vec<_>>(),
+            vec![5, 8]
+        );
+    }
+
+    #[test]
+    fn all_and_single() {
+        assert_eq!(AttrSet::all(3).iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(AttrSet::single(7).len(), 1);
+    }
+
+    #[test]
+    fn intersects() {
+        let a = AttrSet::from_iter_attrs([1, 2]);
+        let b = AttrSet::from_iter_attrs([2, 3]);
+        let c = AttrSet::from_iter_attrs([4]);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+    }
+}

@@ -1,0 +1,233 @@
+//! Functional dependencies and attribute-set closure.
+
+use crate::attrset::AttrSet;
+use std::fmt;
+
+/// A functional dependency `lhs → rhs` (under the null-aware `=̇`
+/// comparison; see the crate docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fd {
+    /// Determinant.
+    pub lhs: AttrSet,
+    /// Dependent attributes.
+    pub rhs: AttrSet,
+}
+
+impl Fd {
+    /// Construct `lhs → rhs`.
+    pub fn new(lhs: AttrSet, rhs: AttrSet) -> Fd {
+        Fd { lhs, rhs }
+    }
+
+    /// `∅ → {a}`: attribute `a` is constant across all qualifying tuples
+    /// (the paper's Type-1 equality `v = c` yields exactly this).
+    pub fn constant(a: usize) -> Fd {
+        Fd::new(AttrSet::new(), AttrSet::single(a))
+    }
+}
+
+impl fmt::Display for Fd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?} -> {:?}", self.lhs, self.rhs)
+    }
+}
+
+/// A set of functional dependencies over an attribute universe
+/// `{0, …, arity-1}`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FdSet {
+    arity: usize,
+    fds: Vec<Fd>,
+}
+
+impl FdSet {
+    /// An empty FD set over `arity` attributes.
+    pub fn new(arity: usize) -> FdSet {
+        FdSet {
+            arity,
+            fds: Vec::new(),
+        }
+    }
+
+    /// The attribute universe size.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// The stored (non-closed) dependency list.
+    pub fn fds(&self) -> &[Fd] {
+        &self.fds
+    }
+
+    /// Add a dependency.
+    pub fn add(&mut self, fd: Fd) {
+        debug_assert!(fd.lhs.iter().all(|a| a < self.arity));
+        debug_assert!(fd.rhs.iter().all(|a| a < self.arity));
+        self.fds.push(fd);
+    }
+
+    /// Add `lhs → rhs` from iterators.
+    pub fn add_fd(
+        &mut self,
+        lhs: impl IntoIterator<Item = usize>,
+        rhs: impl IntoIterator<Item = usize>,
+    ) {
+        self.add(Fd::new(
+            AttrSet::from_iter_attrs(lhs),
+            AttrSet::from_iter_attrs(rhs),
+        ));
+    }
+
+    /// Mark attribute `a` constant (`∅ → a`).
+    pub fn add_constant(&mut self, a: usize) {
+        self.add(Fd::constant(a));
+    }
+
+    /// Record the equivalence `a ↔ b` (a Type-2 equality `v1 = v2`
+    /// surviving a false-interpreted `WHERE` makes the two columns
+    /// mutually determining).
+    pub fn add_equiv(&mut self, a: usize, b: usize) {
+        self.add_fd([a], [b]);
+        self.add_fd([b], [a]);
+    }
+
+    /// Embed another FD set whose attributes start at `offset` (Cartesian
+    /// product composition: FDs of each operand carry over verbatim into
+    /// the product's flat attribute space).
+    pub fn absorb_shifted(&mut self, other: &FdSet, offset: usize) {
+        for fd in &other.fds {
+            self.add(Fd::new(fd.lhs.shifted(offset), fd.rhs.shifted(offset)));
+        }
+    }
+
+    /// Attribute-set closure `attrs⁺`: the largest set functionally
+    /// determined by `attrs` (textbook fixpoint; O(|fds|²) worst case,
+    /// linear in practice here).
+    pub fn closure_of(&self, attrs: &AttrSet) -> AttrSet {
+        let mut closure = attrs.clone();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for fd in &self.fds {
+                if fd.lhs.is_subset(&closure) && !fd.rhs.is_subset(&closure) {
+                    closure.union_with(&fd.rhs);
+                    changed = true;
+                }
+            }
+        }
+        closure
+    }
+
+    /// Does this FD set imply `lhs → rhs`?
+    pub fn implies(&self, lhs: &AttrSet, rhs: &AttrSet) -> bool {
+        rhs.is_subset(&self.closure_of(lhs))
+    }
+
+    /// Is `attrs` a superkey of the universe (its closure covers all
+    /// attributes)?
+    pub fn is_superkey(&self, attrs: &AttrSet) -> bool {
+        self.closure_of(attrs).len() == self.arity
+    }
+
+    /// Does `attrs` functionally determine `target`?
+    /// This is Theorem 1's consequent with `target` = `Key(R) ⊕ Key(S)`:
+    /// the projection determines the product key, hence no duplicates.
+    pub fn determines(&self, attrs: &AttrSet, target: &AttrSet) -> bool {
+        target.is_subset(&self.closure_of(attrs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(attrs: &[usize]) -> AttrSet {
+        AttrSet::from_iter_attrs(attrs.iter().copied())
+    }
+
+    #[test]
+    fn closure_fixpoint() {
+        // A → B, B → C : closure(A) = {A, B, C}
+        let mut fds = FdSet::new(4);
+        fds.add_fd([0], [1]);
+        fds.add_fd([1], [2]);
+        assert_eq!(fds.closure_of(&set(&[0])), set(&[0, 1, 2]));
+        assert_eq!(fds.closure_of(&set(&[3])), set(&[3]));
+    }
+
+    #[test]
+    fn constants_are_in_every_closure() {
+        let mut fds = FdSet::new(3);
+        fds.add_constant(2);
+        assert_eq!(fds.closure_of(&AttrSet::new()), set(&[2]));
+        assert_eq!(fds.closure_of(&set(&[0])), set(&[0, 2]));
+    }
+
+    #[test]
+    fn equivalence_is_bidirectional() {
+        let mut fds = FdSet::new(3);
+        fds.add_equiv(0, 1);
+        assert!(fds.implies(&set(&[0]), &set(&[1])));
+        assert!(fds.implies(&set(&[1]), &set(&[0])));
+        assert!(!fds.implies(&set(&[2]), &set(&[0])));
+    }
+
+    #[test]
+    fn superkey_detection() {
+        // Key {0,1} over 4 attrs.
+        let mut fds = FdSet::new(4);
+        fds.add_fd([0, 1], [2, 3]);
+        assert!(fds.is_superkey(&set(&[0, 1])));
+        assert!(fds.is_superkey(&set(&[0, 1, 2])));
+        assert!(!fds.is_superkey(&set(&[0])));
+    }
+
+    #[test]
+    fn absorb_shifted_composes_product_fds() {
+        // R(0,1) with 0→1; S(0,1,2) with {0,1}→2. Product: 5 attrs.
+        let mut r = FdSet::new(2);
+        r.add_fd([0], [1]);
+        let mut s = FdSet::new(3);
+        s.add_fd([0, 1], [2]);
+        let mut prod = FdSet::new(5);
+        prod.absorb_shifted(&r, 0);
+        prod.absorb_shifted(&s, 2);
+        assert!(prod.implies(&set(&[0]), &set(&[1])));
+        assert!(prod.implies(&set(&[2, 3]), &set(&[4])));
+        assert!(!prod.implies(&set(&[0]), &set(&[4])));
+    }
+
+    // --- Armstrong's axioms (soundness sanity checks) ---
+
+    #[test]
+    fn armstrong_reflexivity() {
+        // B ⊆ A ⇒ A → B holds vacuously through closure.
+        let fds = FdSet::new(4);
+        assert!(fds.implies(&set(&[0, 1, 2]), &set(&[1])));
+    }
+
+    #[test]
+    fn armstrong_augmentation() {
+        // A → B ⇒ AC → BC.
+        let mut fds = FdSet::new(4);
+        fds.add_fd([0], [1]);
+        assert!(fds.implies(&set(&[0, 2]), &set(&[1, 2])));
+    }
+
+    #[test]
+    fn armstrong_transitivity() {
+        let mut fds = FdSet::new(4);
+        fds.add_fd([0], [1]);
+        fds.add_fd([1], [2]);
+        assert!(fds.implies(&set(&[0]), &set(&[2])));
+    }
+
+    #[test]
+    fn pseudo_transitivity() {
+        // A → B, BC → D ⇒ AC → D.
+        let mut fds = FdSet::new(5);
+        fds.add_fd([0], [1]);
+        fds.add_fd([1, 2], [3]);
+        assert!(fds.implies(&set(&[0, 2]), &set(&[3])));
+    }
+}

@@ -1,0 +1,146 @@
+//! Candidate-key extraction from an FD set.
+//!
+//! Used to report the derived keys of a rewritten query (Darwen-style
+//! "role of functional dependence in query decomposition") and by tests
+//! that cross-check the analyzers. Worst case the number of candidate keys
+//! is exponential; [`candidate_keys`] is bounded and intended for the
+//! small aritiess of query blocks (tens of attributes), while
+//! [`minimize_key`] cheaply extracts *one* minimal key from a superkey.
+
+use crate::attrset::AttrSet;
+use crate::fdset::FdSet;
+
+/// Shrink a superkey to a minimal key by dropping redundant attributes
+/// (linear number of closure computations; result depends on iteration
+/// order, as usual).
+pub fn minimize_key(fds: &FdSet, superkey: &AttrSet) -> AttrSet {
+    let mut key = superkey.clone();
+    let attrs: Vec<usize> = key.iter().collect();
+    for a in attrs {
+        let mut candidate = key.clone();
+        candidate.remove(a);
+        if fds.is_superkey(&candidate) {
+            key = candidate;
+        }
+    }
+    key
+}
+
+/// Enumerate candidate keys of the universe, up to `limit` keys
+/// (breadth-first over attribute subsets seeded with one minimized key;
+/// complete for small schemas, bounded everywhere).
+pub fn candidate_keys(fds: &FdSet, limit: usize) -> Vec<AttrSet> {
+    let universe = AttrSet::all(fds.arity());
+    if !fds.is_superkey(&universe) {
+        // The universe always determines itself; this can only fail for
+        // arity 0, where the empty set is the (degenerate) key.
+        return vec![AttrSet::new()];
+    }
+    let first = minimize_key(fds, &universe);
+    let mut keys: Vec<AttrSet> = vec![first];
+    let mut queue: Vec<AttrSet> = keys.clone();
+    // Lucchesi–Osborn style exploration: for each known key K and each FD
+    // X → Y with Y ∩ K ≠ ∅, the set X ∪ (K − Y) is a superkey whose
+    // minimization may be a new key.
+    while let Some(key) = queue.pop() {
+        if keys.len() >= limit {
+            break;
+        }
+        for fd in fds.fds() {
+            if !fd.rhs.intersects(&key) {
+                continue;
+            }
+            let mut candidate = fd.lhs.clone();
+            for a in key.iter() {
+                if !fd.rhs.contains(a) {
+                    candidate.insert(a);
+                }
+            }
+            if !fds.is_superkey(&candidate) {
+                continue;
+            }
+            let minimized = minimize_key(fds, &candidate);
+            if !keys.contains(&minimized) {
+                keys.push(minimized.clone());
+                queue.push(minimized);
+                if keys.len() >= limit {
+                    break;
+                }
+            }
+        }
+    }
+    keys.sort();
+    keys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(attrs: &[usize]) -> AttrSet {
+        AttrSet::from_iter_attrs(attrs.iter().copied())
+    }
+
+    #[test]
+    fn minimize_drops_redundant_attrs() {
+        // 0 → 1,2,3 : {0,1,2,3} minimizes to {0}.
+        let mut fds = FdSet::new(4);
+        fds.add_fd([0], [1, 2, 3]);
+        assert_eq!(minimize_key(&fds, &AttrSet::all(4)), set(&[0]));
+    }
+
+    #[test]
+    fn finds_multiple_candidate_keys() {
+        // Classic: R(A,B,C) with A→B, B→A, AB→C ⇒ keys {A,C}? No:
+        // A→B, B→A, A→C gives keys {A} and {B}.
+        let mut fds = FdSet::new(3);
+        fds.add_fd([0], [1]);
+        fds.add_fd([1], [0]);
+        fds.add_fd([0], [2]);
+        let keys = candidate_keys(&fds, 10);
+        assert_eq!(keys, vec![set(&[0]), set(&[1])]);
+    }
+
+    #[test]
+    fn composite_keys() {
+        // R(A,B,C,D): AB → CD, CD → AB ⇒ keys {A,B} and {C,D}.
+        let mut fds = FdSet::new(4);
+        fds.add_fd([0, 1], [2, 3]);
+        fds.add_fd([2, 3], [0, 1]);
+        let keys = candidate_keys(&fds, 10);
+        assert!(keys.contains(&set(&[0, 1])));
+        assert!(keys.contains(&set(&[2, 3])));
+        assert_eq!(keys.len(), 2);
+    }
+
+    #[test]
+    fn no_fds_means_whole_universe_is_the_key() {
+        let fds = FdSet::new(3);
+        assert_eq!(candidate_keys(&fds, 10), vec![set(&[0, 1, 2])]);
+    }
+
+    #[test]
+    fn constants_shrink_keys() {
+        // 2 constant, 0 → 1 : key is {0} (0 determines 1; 2 from ∅).
+        let mut fds = FdSet::new(3);
+        fds.add_constant(2);
+        fds.add_fd([0], [1]);
+        assert_eq!(candidate_keys(&fds, 10), vec![set(&[0])]);
+    }
+
+    #[test]
+    fn limit_bounds_enumeration() {
+        // Pairwise equivalent attributes: every singleton is a key.
+        let mut fds = FdSet::new(6);
+        for i in 0..6 {
+            for j in 0..6 {
+                if i != j {
+                    fds.add_fd([i], [j]);
+                }
+            }
+        }
+        let keys = candidate_keys(&fds, 3);
+        assert_eq!(keys.len(), 3);
+        assert!(keys.iter().all(|k| k.len() == 1));
+    }
+}

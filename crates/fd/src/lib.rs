@@ -1,0 +1,23 @@
+//! Functional-dependency machinery.
+//!
+//! The paper's Theorem 1 is, at heart, a functional-dependency question:
+//! *is the projection list a superkey of the derived table?* This crate
+//! provides the classical tools to answer it — attribute sets as bitsets
+//! ([`AttrSet`]), FD sets with attribute-set closure ([`FdSet`], the
+//! textbook fixpoint algorithm, cf. Ullman and Klug), and candidate-key
+//! extraction ([`keys`], in the spirit of Darwen).
+//!
+//! Null semantics: every FD here is an FD *under the `=̇` comparison* of
+//! the paper's Definition 1 — two tuples agreeing (null-aware) on the LHS
+//! agree (null-aware) on the RHS. Under SQL2's treatment of `NULL` key
+//! values as a single special value (§2.1), both `PRIMARY KEY` and
+//! `UNIQUE` constraints yield such FDs, which is why `uniq-core` can feed
+//! candidate keys of either kind into this machinery unchanged.
+
+pub mod attrset;
+pub mod fdset;
+pub mod keys;
+
+pub use attrset::AttrSet;
+pub use fdset::{Fd, FdSet};
+pub use keys::{candidate_keys, minimize_key};

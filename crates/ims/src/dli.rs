@@ -1,0 +1,401 @@
+//! The DL/I call interface: `GU`, `GN` (root level) and `GNP`, with
+//! qualified SSAs, status codes, and per-segment call accounting.
+//!
+//! The simulator models the costs the paper argues about:
+//!
+//! * every `GU`/`GN`/`GNP` is **one DL/I call** against its segment type;
+//! * a call additionally *inspects* segments while searching — root
+//!   segments via the key-sequenced HIDAM index (`GU` qualified on the
+//!   root key inspects exactly one), twins by walking the chain from the
+//!   current position;
+//! * a `GNP` qualified on the twin chain's **key field** halts with `GE`
+//!   as soon as the chain's keys exceed the target (the chain is stored
+//!   in key order); a qualification on a **non-key field** (the paper's
+//!   `OEM-PNO` case) must walk the entire remaining chain before
+//!   reporting `GE`.
+
+use crate::hierarchy::{ImsDatabase, SegmentNode};
+use std::collections::BTreeMap;
+use uniq_types::{ColumnName, Error, Result, Value};
+
+/// DL/I status codes (the subset the paper's programs test).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// `'  '` — call satisfied.
+    Ok,
+    /// `GE` — segment not found.
+    NotFound,
+    /// `GB` — end of database reached.
+    EndOfDatabase,
+}
+
+impl Status {
+    /// The paper's `while status = ' '` test.
+    pub fn ok(self) -> bool {
+        self == Status::Ok
+    }
+}
+
+/// A segment search argument: segment type plus an optional
+/// `field = value` qualification.
+#[derive(Debug, Clone)]
+pub struct Ssa {
+    /// Target segment type name.
+    pub segment: String,
+    /// Optional equality qualification.
+    pub qual: Option<(ColumnName, Value)>,
+}
+
+impl Ssa {
+    /// Unqualified SSA.
+    pub fn any(segment: impl Into<String>) -> Ssa {
+        Ssa {
+            segment: segment.into(),
+            qual: None,
+        }
+    }
+
+    /// `segment (field = value)`.
+    pub fn eq(
+        segment: impl Into<String>,
+        field: impl Into<ColumnName>,
+        value: impl Into<Value>,
+    ) -> Ssa {
+        Ssa {
+            segment: segment.into(),
+            qual: Some((field.into(), value.into())),
+        }
+    }
+}
+
+/// Per-segment-type call and inspection counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DliStats {
+    /// DL/I calls issued, per segment type.
+    pub calls: BTreeMap<String, u64>,
+    /// Segment occurrences inspected while searching, per segment type.
+    pub inspected: BTreeMap<String, u64>,
+}
+
+impl DliStats {
+    /// Calls issued against one segment type.
+    pub fn calls_to(&self, segment: &str) -> u64 {
+        self.calls.get(segment).copied().unwrap_or(0)
+    }
+
+    /// Segments of one type inspected.
+    pub fn inspected_of(&self, segment: &str) -> u64 {
+        self.inspected.get(segment).copied().unwrap_or(0)
+    }
+
+    /// Total DL/I calls.
+    pub fn total_calls(&self) -> u64 {
+        self.calls.values().sum()
+    }
+
+    fn call(&mut self, segment: &str) {
+        *self.calls.entry(segment.to_string()).or_insert(0) += 1;
+    }
+
+    fn inspect(&mut self, segment: &str, n: u64) {
+        *self.inspected.entry(segment.to_string()).or_insert(0) += n;
+    }
+}
+
+/// A DL/I session: database handle plus current position and counters.
+pub struct Dli<'a> {
+    db: &'a ImsDatabase,
+    /// Position in key order: index into the key-ordered root sequence.
+    root_cursor: Option<usize>,
+    /// Key-ordered root positions (materialized once).
+    key_order: Vec<usize>,
+    /// Per-child-type cursor within the current root's twin chain.
+    child_cursor: BTreeMap<String, usize>,
+    /// Work counters.
+    pub stats: DliStats,
+}
+
+impl<'a> Dli<'a> {
+    /// Open a session positioned before the first root.
+    pub fn new(db: &'a ImsDatabase) -> Dli<'a> {
+        Dli {
+            db,
+            root_cursor: None,
+            key_order: db.key_order().collect(),
+            child_cursor: BTreeMap::new(),
+            stats: DliStats::default(),
+        }
+    }
+
+    /// The current root segment, if positioned.
+    pub fn current_root(&self) -> Option<&'a SegmentNode> {
+        let cursor = self.root_cursor?;
+        let pos = *self.key_order.get(cursor)?;
+        self.db.root(pos)
+    }
+
+    fn root_name(&self) -> &str {
+        &self.db.root_def.name
+    }
+
+    /// `GU` — get unique: position to the first root satisfying the SSA.
+    ///
+    /// Qualified on the root key, this is a HIDAM index lookup (one
+    /// segment inspected); qualified on another field it scans roots in
+    /// key order; unqualified it positions to the first root.
+    pub fn gu(&mut self, ssa: &Ssa) -> Result<Status> {
+        if ssa.segment != self.root_name() {
+            return Err(Error::internal(format!(
+                "GU targets the root segment {} (got {})",
+                self.root_name(),
+                ssa.segment
+            )));
+        }
+        self.stats.call(&ssa.segment);
+        self.child_cursor.clear();
+        match &ssa.qual {
+            None => {
+                if self.key_order.is_empty() {
+                    self.root_cursor = None;
+                    return Ok(Status::EndOfDatabase);
+                }
+                self.stats.inspect(&ssa.segment, 1);
+                self.root_cursor = Some(0);
+                Ok(Status::Ok)
+            }
+            Some((field, value)) => {
+                let fpos = self.db.root_def.field_position(field)?;
+                if fpos == self.db.root_def.key {
+                    // Key-sequenced (indexed) access.
+                    self.stats.inspect(&ssa.segment, 1);
+                    match self.db.index_lookup(value) {
+                        Some(pos) => {
+                            let cursor = self
+                                .key_order
+                                .iter()
+                                .position(|&p| p == pos)
+                                .expect("indexed root is in key order");
+                            self.root_cursor = Some(cursor);
+                            Ok(Status::Ok)
+                        }
+                        None => {
+                            self.root_cursor = None;
+                            Ok(Status::NotFound)
+                        }
+                    }
+                } else {
+                    // Sequential scan in key order.
+                    for (cursor, &pos) in self.key_order.iter().enumerate() {
+                        self.stats.inspect(&ssa.segment, 1);
+                        let root = self.db.root(pos).expect("valid position");
+                        if root.fields[fpos]
+                            .null_eq(value)
+                            .unwrap_or(false)
+                        {
+                            self.root_cursor = Some(cursor);
+                            return Ok(Status::Ok);
+                        }
+                    }
+                    self.root_cursor = None;
+                    Ok(Status::NotFound)
+                }
+            }
+        }
+    }
+
+    /// `GN` at the root level — advance to the next root in key sequence.
+    pub fn gn_root(&mut self) -> Result<Status> {
+        let root_name = self.root_name().to_string();
+        self.stats.call(&root_name);
+        self.child_cursor.clear();
+        let next = match self.root_cursor {
+            None => 0,
+            Some(c) => c + 1,
+        };
+        if next >= self.key_order.len() {
+            self.root_cursor = None;
+            return Ok(Status::EndOfDatabase);
+        }
+        self.stats.inspect(&root_name, 1);
+        self.root_cursor = Some(next);
+        Ok(Status::Ok)
+    }
+
+    /// `GNP` — get next within parent: advance through the current root's
+    /// twin chain of `ssa.segment`, from the current child position,
+    /// returning the next occurrence satisfying the qualification.
+    ///
+    /// Returns the matched segment's fields (cloned) with `Status::Ok`,
+    /// or `GE` when the chain is exhausted — early when the chain's key
+    /// field exceeds a key-field qualification.
+    pub fn gnp(&mut self, ssa: &Ssa) -> Result<(Status, Option<Vec<Value>>)> {
+        self.stats.call(&ssa.segment);
+        let db = self.db;
+        let root = self
+            .current_root()
+            .ok_or_else(|| Error::internal("GNP without parent position"))?;
+        let child_def = db
+            .root_def
+            .child(&ssa.segment)
+            .ok_or_else(|| Error::internal(format!("unknown child segment {}", ssa.segment)))?;
+        let chain: &[SegmentNode] = root
+            .children
+            .get(&ssa.segment)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[]);
+        let start = *self.child_cursor.get(&ssa.segment).unwrap_or(&0);
+        let qual = match &ssa.qual {
+            None => None,
+            Some((field, value)) => Some((child_def.field_position(field)?, value.clone())),
+        };
+        let is_key_qual = qual
+            .as_ref()
+            .is_some_and(|(fpos, _)| *fpos == child_def.key);
+
+        let mut inspected = 0u64;
+        for (i, twin) in chain.iter().enumerate().skip(start) {
+            inspected += 1;
+            match &qual {
+                None => {
+                    self.child_cursor.insert(ssa.segment.clone(), i + 1);
+                    self.stats.inspect(&ssa.segment, inspected);
+                    return Ok((Status::Ok, Some(twin.fields.clone())));
+                }
+                Some((fpos, value)) => {
+                    let field = &twin.fields[*fpos];
+                    if field.null_eq(value).unwrap_or(false) {
+                        self.child_cursor.insert(ssa.segment.clone(), i + 1);
+                        self.stats.inspect(&ssa.segment, inspected);
+                        return Ok((Status::Ok, Some(twin.fields.clone())));
+                    }
+                    // Key-sequenced twin chain: once past the target key,
+                    // no later twin can match.
+                    if is_key_qual {
+                        if let Ok(std::cmp::Ordering::Greater) = field.null_cmp(value) {
+                            self.child_cursor.insert(ssa.segment.clone(), i + 1);
+                            self.stats.inspect(&ssa.segment, inspected);
+                            return Ok((Status::NotFound, None));
+                        }
+                    }
+                }
+            }
+        }
+        self.child_cursor.insert(ssa.segment.clone(), chain.len());
+        self.stats.inspect(&ssa.segment, inspected);
+        Ok((Status::NotFound, None))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::{ims_supplier_db, PARTS};
+
+    #[test]
+    fn gu_unqualified_positions_first_root() {
+        let db = ims_supplier_db().unwrap();
+        let mut dli = Dli::new(&db);
+        assert!(dli.gu(&Ssa::any("SUPPLIER")).unwrap().ok());
+        let root = dli.current_root().unwrap();
+        assert_eq!(root.fields[0], Value::Int(1));
+    }
+
+    #[test]
+    fn gu_on_key_is_indexed() {
+        let db = ims_supplier_db().unwrap();
+        let mut dli = Dli::new(&db);
+        assert!(dli.gu(&Ssa::eq("SUPPLIER", "SNO", 3i64)).unwrap().ok());
+        assert_eq!(dli.stats.inspected_of("SUPPLIER"), 1);
+        assert_eq!(
+            dli.current_root().unwrap().fields[1],
+            Value::str("Acme")
+        );
+    }
+
+    #[test]
+    fn gu_missing_key_is_ge() {
+        let db = ims_supplier_db().unwrap();
+        let mut dli = Dli::new(&db);
+        assert_eq!(
+            dli.gu(&Ssa::eq("SUPPLIER", "SNO", 99i64)).unwrap(),
+            Status::NotFound
+        );
+    }
+
+    #[test]
+    fn gn_walks_key_sequence_to_gb() {
+        let db = ims_supplier_db().unwrap();
+        let mut dli = Dli::new(&db);
+        dli.gu(&Ssa::any("SUPPLIER")).unwrap();
+        let mut keys = vec![dli.current_root().unwrap().fields[0].clone()];
+        while dli.gn_root().unwrap().ok() {
+            keys.push(dli.current_root().unwrap().fields[0].clone());
+        }
+        assert_eq!(
+            keys,
+            (1..=5).map(Value::Int).collect::<Vec<_>>()
+        );
+        assert_eq!(dli.stats.calls_to("SUPPLIER"), 6); // GU + 5 GN (last = GB)
+    }
+
+    #[test]
+    fn gnp_iterates_twin_chain() {
+        let db = ims_supplier_db().unwrap();
+        let mut dli = Dli::new(&db);
+        dli.gu(&Ssa::eq("SUPPLIER", "SNO", 1i64)).unwrap();
+        let (s1, p1) = dli.gnp(&Ssa::any(PARTS)).unwrap();
+        assert!(s1.ok());
+        assert_eq!(p1.unwrap()[0], Value::Int(10));
+        let (s2, p2) = dli.gnp(&Ssa::any(PARTS)).unwrap();
+        assert!(s2.ok());
+        assert_eq!(p2.unwrap()[0], Value::Int(11));
+        let (s3, _) = dli.gnp(&Ssa::any(PARTS)).unwrap();
+        assert_eq!(s3, Status::NotFound);
+    }
+
+    #[test]
+    fn key_qualified_gnp_halts_early() {
+        let db = ims_supplier_db().unwrap();
+        let mut dli = Dli::new(&db);
+        dli.gu(&Ssa::eq("SUPPLIER", "SNO", 1i64)).unwrap();
+        // Supplier 1 has parts 10, 11; searching PNO = 10 inspects 1.
+        let (s, _) = dli.gnp(&Ssa::eq(PARTS, "PNO", 10i64)).unwrap();
+        assert!(s.ok());
+        assert_eq!(dli.stats.inspected_of(PARTS), 1);
+        // Second call: chain continues at 11 > 10 → GE after 1 inspection.
+        let (s, _) = dli.gnp(&Ssa::eq(PARTS, "PNO", 10i64)).unwrap();
+        assert_eq!(s, Status::NotFound);
+        assert_eq!(dli.stats.inspected_of(PARTS), 2);
+    }
+
+    #[test]
+    fn non_key_qualified_gnp_scans_whole_chain() {
+        let db = ims_supplier_db().unwrap();
+        let mut dli = Dli::new(&db);
+        dli.gu(&Ssa::eq("SUPPLIER", "SNO", 1i64)).unwrap();
+        // OEM-PNO is not the twin key: a miss must inspect all twins.
+        let (s, _) = dli.gnp(&Ssa::eq(PARTS, "OEM-PNO", 9999i64)).unwrap();
+        assert_eq!(s, Status::NotFound);
+        assert_eq!(dli.stats.inspected_of(PARTS), 2); // both parts of supplier 1
+    }
+
+    #[test]
+    fn gnp_resets_per_root() {
+        let db = ims_supplier_db().unwrap();
+        let mut dli = Dli::new(&db);
+        dli.gu(&Ssa::any("SUPPLIER")).unwrap();
+        dli.gnp(&Ssa::any(PARTS)).unwrap();
+        dli.gn_root().unwrap();
+        // Cursor reset: first part of supplier 2.
+        let (s, p) = dli.gnp(&Ssa::any(PARTS)).unwrap();
+        assert!(s.ok());
+        assert_eq!(p.unwrap()[0], Value::Int(10));
+    }
+
+    #[test]
+    fn gnp_without_position_errors() {
+        let db = ims_supplier_db().unwrap();
+        let mut dli = Dli::new(&db);
+        assert!(dli.gnp(&Ssa::any(PARTS)).is_err());
+    }
+}

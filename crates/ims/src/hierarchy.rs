@@ -1,0 +1,218 @@
+//! The hierarchical data model: segment types, segment occurrences,
+//! key-sequenced roots and key-ordered twin chains.
+
+use std::collections::BTreeMap;
+use uniq_types::{ColumnName, Error, Result, Value};
+
+/// A segment type definition: fields, key field, child segment types.
+#[derive(Debug, Clone)]
+pub struct SegmentDef {
+    /// Segment type name (e.g. `SUPPLIER`).
+    pub name: String,
+    /// Field names, in order.
+    pub fields: Vec<ColumnName>,
+    /// Index of the key field within `fields`. Roots are key-sequenced on
+    /// it (HIDAM index); twin chains are stored in its order.
+    pub key: usize,
+    /// Child segment types, in hierarchical order.
+    pub children: Vec<SegmentDef>,
+}
+
+impl SegmentDef {
+    /// Look up a field position by name.
+    pub fn field_position(&self, name: &ColumnName) -> Result<usize> {
+        self.fields
+            .iter()
+            .position(|f| f == name)
+            .ok_or_else(|| Error::UnknownColumn {
+                table: self.name.clone(),
+                column: name.to_string(),
+            })
+    }
+
+    /// Find a direct child segment type by name.
+    pub fn child(&self, name: &str) -> Option<&SegmentDef> {
+        self.children.iter().find(|c| c.name == name)
+    }
+}
+
+/// One segment occurrence with its children, twin chains in key order.
+#[derive(Debug, Clone)]
+pub struct SegmentNode {
+    /// Field values, parallel to the segment type's `fields`.
+    pub fields: Vec<Value>,
+    /// Child occurrences per child segment type name.
+    pub children: BTreeMap<String, Vec<SegmentNode>>,
+}
+
+impl SegmentNode {
+    /// A childless occurrence.
+    pub fn new(fields: Vec<Value>) -> SegmentNode {
+        SegmentNode {
+            fields,
+            children: BTreeMap::new(),
+        }
+    }
+}
+
+/// A HIDAM-style physical database: one root segment type, root
+/// occurrences reachable through a key-sequenced index.
+#[derive(Debug, Clone)]
+pub struct ImsDatabase {
+    /// The root segment type (its `children` define the full hierarchy).
+    pub root_def: SegmentDef,
+    /// Root occurrences, in arbitrary physical order.
+    roots: Vec<SegmentNode>,
+    /// HIDAM root index: key value → position in `roots`.
+    root_index: BTreeMap<Value, usize>,
+}
+
+impl ImsDatabase {
+    /// An empty database for the given hierarchy.
+    pub fn new(root_def: SegmentDef) -> ImsDatabase {
+        ImsDatabase {
+            root_def,
+            roots: Vec::new(),
+            root_index: BTreeMap::new(),
+        }
+    }
+
+    /// Insert a root occurrence (children included), keyed on the root
+    /// key field. Child twin chains are sorted into key order on insert.
+    pub fn insert_root(&mut self, mut node: SegmentNode) -> Result<()> {
+        let key = node.fields[self.root_def.key].clone();
+        if key.is_null() {
+            return Err(Error::ConstraintViolation {
+                table: self.root_def.name.clone(),
+                message: "root key may not be NULL".into(),
+            });
+        }
+        if self.root_index.contains_key(&key) {
+            return Err(Error::ConstraintViolation {
+                table: self.root_def.name.clone(),
+                message: format!("duplicate root key {key}"),
+            });
+        }
+        sort_twins(&self.root_def, &mut node);
+        self.root_index.insert(key, self.roots.len());
+        self.roots.push(node);
+        Ok(())
+    }
+
+    /// Number of root occurrences.
+    pub fn root_count(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// The root at physical position `i`.
+    pub fn root(&self, i: usize) -> Option<&SegmentNode> {
+        self.roots.get(i)
+    }
+
+    /// Key-sequenced iteration order: root positions sorted by key.
+    pub fn key_order(&self) -> impl Iterator<Item = usize> + '_ {
+        self.root_index.values().copied()
+    }
+
+    /// HIDAM index lookup: position of the root with exactly this key.
+    pub fn index_lookup(&self, key: &Value) -> Option<usize> {
+        self.root_index.get(key).copied()
+    }
+}
+
+fn sort_twins(def: &SegmentDef, node: &mut SegmentNode) {
+    for child_def in &def.children {
+        if let Some(chain) = node.children.get_mut(&child_def.name) {
+            chain.sort_by(|a, b| {
+                a.fields[child_def.key]
+                    .null_cmp(&b.fields[child_def.key])
+                    .expect("comparable twin keys")
+            });
+            for twin in chain.iter_mut() {
+                sort_twins(child_def, twin);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_def() -> SegmentDef {
+        SegmentDef {
+            name: "ROOT".into(),
+            fields: vec!["K".into(), "V".into()],
+            key: 0,
+            children: vec![SegmentDef {
+                name: "CHILD".into(),
+                fields: vec!["CK".into()],
+                key: 0,
+                children: vec![],
+            }],
+        }
+    }
+
+    fn root(k: i64, child_keys: &[i64]) -> SegmentNode {
+        let mut n = SegmentNode::new(vec![Value::Int(k), Value::str("v")]);
+        n.children.insert(
+            "CHILD".into(),
+            child_keys
+                .iter()
+                .map(|&c| SegmentNode::new(vec![Value::Int(c)]))
+                .collect(),
+        );
+        n
+    }
+
+    #[test]
+    fn roots_are_key_sequenced() {
+        let mut db = ImsDatabase::new(tiny_def());
+        db.insert_root(root(3, &[])).unwrap();
+        db.insert_root(root(1, &[])).unwrap();
+        db.insert_root(root(2, &[])).unwrap();
+        let keys: Vec<i64> = db
+            .key_order()
+            .map(|i| db.root(i).unwrap().fields[0].as_int().unwrap())
+            .collect();
+        assert_eq!(keys, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn twin_chains_sort_by_key() {
+        let mut db = ImsDatabase::new(tiny_def());
+        db.insert_root(root(1, &[5, 2, 9])).unwrap();
+        let chain = &db.root(0).unwrap().children["CHILD"];
+        let keys: Vec<i64> = chain
+            .iter()
+            .map(|c| c.fields[0].as_int().unwrap())
+            .collect();
+        assert_eq!(keys, vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn duplicate_root_key_rejected() {
+        let mut db = ImsDatabase::new(tiny_def());
+        db.insert_root(root(1, &[])).unwrap();
+        assert!(db.insert_root(root(1, &[])).is_err());
+    }
+
+    #[test]
+    fn index_lookup_finds_root() {
+        let mut db = ImsDatabase::new(tiny_def());
+        db.insert_root(root(7, &[])).unwrap();
+        db.insert_root(root(4, &[])).unwrap();
+        let pos = db.index_lookup(&Value::Int(4)).unwrap();
+        assert_eq!(db.root(pos).unwrap().fields[0], Value::Int(4));
+        assert!(db.index_lookup(&Value::Int(99)).is_none());
+    }
+
+    #[test]
+    fn field_position_resolves() {
+        let def = tiny_def();
+        assert_eq!(def.field_position(&"V".into()).unwrap(), 1);
+        assert!(def.field_position(&"NOPE".into()).is_err());
+        assert!(def.child("CHILD").is_some());
+        assert!(def.child("NOPE").is_none());
+    }
+}

@@ -1,0 +1,30 @@
+//! A HIDAM-style hierarchical database simulator with a DL/I call
+//! interface (paper §6.1, Figure 2).
+//!
+//! The paper's gateway work motivates converting joins *to* nested
+//! subqueries: on IMS, a query runs as an iterative program of DL/I calls
+//! (`GU` get-unique, `GN` get-next, `GNP` get-next-within-parent), and the
+//! dominant cost is the *number of DL/I calls* plus the segments each call
+//! inspects. This crate reproduces that cost model:
+//!
+//! * a database is a forest of root segments with key-sequenced access
+//!   (HIDAM's root index) and key-ordered twin chains of child segments
+//!   (parent-child/twin pointers);
+//! * [`dli::Dli`] exposes `GU`/`GN`/`GNP` with qualified SSAs and the
+//!   status codes `'  '` (ok), `GE` (not found) and `GB` (end of
+//!   database), counting calls and segments inspected per segment type;
+//! * a `GNP` qualified on the twin chain's **key** field stops scanning as
+//!   soon as the chain's keys pass the target (key-sequenced search); a
+//!   qualification on a non-key field must scan the whole chain — exactly
+//!   the distinction behind the paper's `OEM-PNO` remark;
+//! * [`gateway`] runs the paper's two programs for Example 10 (the join
+//!   strategy of lines 21–29 and the nested/EXISTS strategy of lines
+//!   30–35) and reports their DL/I call counts.
+
+pub mod dli;
+pub mod gateway;
+pub mod hierarchy;
+pub mod sample;
+
+pub use dli::{Dli, DliStats, Ssa, Status};
+pub use hierarchy::{ImsDatabase, SegmentDef, SegmentNode};

@@ -1,0 +1,167 @@
+//! The Figure 2 supplier hierarchy, plus loaders from the relational
+//! sample database and synthetic scaling for benchmarks.
+
+use crate::hierarchy::{ImsDatabase, SegmentDef, SegmentNode};
+use uniq_types::{Result, Value};
+
+/// Child segment type name for parts.
+pub const PARTS: &str = "PARTS";
+/// Child segment type name for agents.
+pub const AGENT: &str = "AGENT";
+
+/// The Figure 2 hierarchy: SUPPLIER root with PARTS and AGENT children.
+/// `SNO` is a *virtual* column of the children (derivable from the
+/// parent), so child segments store only their own fields.
+pub fn supplier_hierarchy() -> SegmentDef {
+    SegmentDef {
+        name: "SUPPLIER".into(),
+        fields: vec![
+            "SNO".into(),
+            "SNAME".into(),
+            "SCITY".into(),
+            "BUDGET".into(),
+            "STATUS".into(),
+        ],
+        key: 0,
+        children: vec![
+            SegmentDef {
+                name: PARTS.into(),
+                fields: vec![
+                    "PNO".into(),
+                    "PNAME".into(),
+                    "OEM-PNO".into(),
+                    "COLOR".into(),
+                ],
+                key: 0,
+                children: vec![],
+            },
+            SegmentDef {
+                name: AGENT.into(),
+                fields: vec!["ANO".into(), "ANAME".into(), "ACITY".into()],
+                key: 0,
+                children: vec![],
+            },
+        ],
+    }
+}
+
+/// Build the IMS database from the relational Figure 1 sample instance.
+pub fn ims_supplier_db() -> Result<ImsDatabase> {
+    let rel = uniq_catalog::sample::supplier_database()?;
+    from_relational(&rel)
+}
+
+/// Load any populated supplier-schema [`uniq_catalog::Database`] into the
+/// hierarchy (the gateway's view: PARTS/AGENTS rows become child segments
+/// of their supplier).
+pub fn from_relational(db: &uniq_catalog::Database) -> Result<ImsDatabase> {
+    let mut ims = ImsDatabase::new(supplier_hierarchy());
+    let suppliers = db.rows(&"SUPPLIER".into())?;
+    let parts = db.rows(&"PARTS".into())?;
+    let agents = db.rows(&"AGENTS".into())?;
+    for s in suppliers {
+        let mut node = SegmentNode::new(s.clone());
+        let sno = &s[0];
+        let twins: Vec<SegmentNode> = parts
+            .iter()
+            .filter(|p| &p[0] == sno)
+            .map(|p| SegmentNode::new(vec![p[1].clone(), p[2].clone(), p[3].clone(), p[4].clone()]))
+            .collect();
+        node.children.insert(PARTS.into(), twins);
+        let twins: Vec<SegmentNode> = agents
+            .iter()
+            .filter(|a| &a[0] == sno)
+            .map(|a| SegmentNode::new(vec![a[1].clone(), a[2].clone(), a[3].clone()]))
+            .collect();
+        node.children.insert(AGENT.into(), twins);
+        ims.insert_root(node)?;
+    }
+    Ok(ims)
+}
+
+/// The constant `OEM-PNO` carried by every supplier's shared part, for
+/// non-key-qualification experiments (`OEM-PNO` is *not* the twin key, so
+/// a `GNP` qualified on it cannot halt early on key order).
+pub const SHARED_OEM_PNO: i64 = 77_777;
+
+/// Synthetic database for the Example 10 experiments: `suppliers` roots,
+/// each with `parts_per_supplier` parts; every supplier supplies part
+/// number `shared_pno` at twin-chain position `shared_position`
+/// (0-based), so the target of the probe sits a controlled distance into
+/// each chain. The shared part carries [`SHARED_OEM_PNO`] in its
+/// (non-key) `OEM-PNO` field; all other parts carry unique values.
+pub fn synthetic(
+    suppliers: usize,
+    parts_per_supplier: usize,
+    shared_pno: i64,
+    shared_position: usize,
+) -> Result<ImsDatabase> {
+    assert!(shared_position < parts_per_supplier);
+    let mut ims = ImsDatabase::new(supplier_hierarchy());
+    for s in 0..suppliers {
+        let sno = s as i64 + 1;
+        let mut node = SegmentNode::new(vec![
+            Value::Int(sno),
+            Value::str(format!("Supplier{sno}")),
+            Value::str("Toronto"),
+            Value::Int(100),
+            Value::str("Active"),
+        ]);
+        let mut twins = Vec::with_capacity(parts_per_supplier);
+        for p in 0..parts_per_supplier {
+            // Build PNOs so the shared part lands at `shared_position` in
+            // key order: positions before it get smaller keys.
+            let pno = if p == shared_position {
+                shared_pno
+            } else if p < shared_position {
+                shared_pno - (shared_position - p) as i64
+            } else {
+                shared_pno + (p - shared_position) as i64
+            };
+            let oem = if p == shared_position {
+                SHARED_OEM_PNO
+            } else {
+                sno * 100_000 + pno
+            };
+            twins.push(SegmentNode::new(vec![
+                Value::Int(pno),
+                Value::str(format!("part{pno}")),
+                Value::Int(oem),
+                Value::str(if pno % 3 == 0 { "RED" } else { "GREEN" }),
+            ]));
+        }
+        node.children.insert(PARTS.into(), twins);
+        node.children.insert(AGENT.into(), Vec::new());
+        ims.insert_root(node)?;
+    }
+    Ok(ims)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relational_sample_loads() {
+        let db = ims_supplier_db().unwrap();
+        assert_eq!(db.root_count(), 5);
+        // Supplier 3 has two parts (10 and 13).
+        let pos = db.index_lookup(&Value::Int(3)).unwrap();
+        assert_eq!(db.root(pos).unwrap().children[PARTS].len(), 2);
+    }
+
+    #[test]
+    fn synthetic_places_shared_part() {
+        let db = synthetic(10, 8, 500, 3).unwrap();
+        assert_eq!(db.root_count(), 10);
+        for i in db.key_order() {
+            let chain = &db.root(i).unwrap().children[PARTS];
+            assert_eq!(chain.len(), 8);
+            assert_eq!(chain[3].fields[0], Value::Int(500));
+            // Chain must be strictly key-ordered.
+            for w in chain.windows(2) {
+                assert!(w[0].fields[0].as_int().unwrap() < w[1].fields[0].as_int().unwrap());
+            }
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! An object store in the style of EXODUS / O₂ (paper §6.2, Figure 3).
+//!
+//! Physical object identifiers (OIDs) replace foreign keys; each child
+//! object (`PARTS`, `AGENT`) carries a pointer **to its parent**
+//! `SUPPLIER` object — the direction that makes select-project-join
+//! queries awkward when the predicate on the parent class is the more
+//! selective one, because the natural navigation (child → parent) fetches
+//! many parents only to discard them.
+//!
+//! [`strategies`] implements both plans of Example 11 over the same
+//! store, counting object fetches and index lookups:
+//!
+//! * the naive pointer-chasing plan (paper lines 36–42): drive from the
+//!   `PARTS` index, dereference each part's parent pointer, test the
+//!   parent's `SNO` range;
+//! * the rewritten nested-query plan (lines 43–48), licensed by
+//!   Theorem 2's join → subquery direction: drive from the `SUPPLIER`
+//!   index on `SNO`, and for each supplier probe the `PARTS` index for
+//!   `PNO = :PARTNO` with a parent-OID filter, stopping at the first hit.
+
+pub mod sample;
+pub mod store;
+pub mod strategies;
+
+pub use store::{ClassDef, ObjStore, Object, Oid, RetrievalStats};
+pub use strategies::{nested_strategy, pointer_strategy, StrategyRun};

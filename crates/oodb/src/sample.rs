@@ -1,0 +1,135 @@
+//! Figure 3 schema instances: the supplier object base, plus a synthetic
+//! generator for the Example 11 selectivity experiments.
+
+use crate::store::{ClassDef, ObjStore, Object, Oid};
+use uniq_types::{Result, Value};
+
+/// The three class ids of a supplier object base.
+#[derive(Debug, Clone, Copy)]
+pub struct SupplierClasses {
+    /// `SUPPLIER(SNO, SNAME, SCITY, BUDGET, STATUS)`.
+    pub supplier: u32,
+    /// `PARTS(PNO, PNAME, OEM-PNO, COLOR)` with parent → SUPPLIER.
+    pub parts: u32,
+    /// `AGENT(ANO, ANAME, ACITY)` with parent → SUPPLIER.
+    pub agent: u32,
+}
+
+/// Create the Figure 3 classes with indexes on `SUPPLIER.SNO` and
+/// `PARTS.PNO` (the indexes Example 11 assumes).
+pub fn create_supplier_classes(store: &mut ObjStore) -> Result<SupplierClasses> {
+    let supplier = store.create_class(ClassDef {
+        name: "SUPPLIER".into(),
+        fields: vec![
+            "SNO".into(),
+            "SNAME".into(),
+            "SCITY".into(),
+            "BUDGET".into(),
+            "STATUS".into(),
+        ],
+    });
+    let parts = store.create_class(ClassDef {
+        name: "PARTS".into(),
+        fields: vec![
+            "PNO".into(),
+            "PNAME".into(),
+            "OEM-PNO".into(),
+            "COLOR".into(),
+        ],
+    });
+    let agent = store.create_class(ClassDef {
+        name: "AGENT".into(),
+        fields: vec!["ANO".into(), "ANAME".into(), "ACITY".into()],
+    });
+    store.create_index(supplier, &"SNO".into())?;
+    store.create_index(parts, &"PNO".into())?;
+    Ok(SupplierClasses {
+        supplier,
+        parts,
+        agent,
+    })
+}
+
+/// A synthetic object base for Example 11: `suppliers` supplier objects
+/// with `SNO` 1…n, each supplying `parts_per_supplier` parts; every
+/// supplier supplies the shared part `shared_pno` (the probed one).
+pub fn synthetic(
+    suppliers: usize,
+    parts_per_supplier: usize,
+    shared_pno: i64,
+) -> Result<(ObjStore, SupplierClasses)> {
+    let mut store = ObjStore::new();
+    let classes = create_supplier_classes(&mut store)?;
+    for s in 0..suppliers {
+        let sno = s as i64 + 1;
+        let supplier_oid: Oid = store.insert(
+            classes.supplier,
+            Object {
+                fields: vec![
+                    Value::Int(sno),
+                    Value::str(format!("Supplier{sno}")),
+                    Value::str("Toronto"),
+                    Value::Int(100),
+                    Value::str("Active"),
+                ],
+                parent: None,
+            },
+        )?;
+        for p in 0..parts_per_supplier {
+            let pno = if p == 0 {
+                shared_pno
+            } else {
+                shared_pno + (sno * parts_per_supplier as i64) + p as i64
+            };
+            store.insert(
+                classes.parts,
+                Object {
+                    fields: vec![
+                        Value::Int(pno),
+                        Value::str(format!("part{pno}")),
+                        Value::Int(sno * 100_000 + pno),
+                        Value::str(if pno % 3 == 0 { "RED" } else { "GREEN" }),
+                    ],
+                    parent: Some(supplier_oid),
+                },
+            )?;
+        }
+    }
+    Ok((store, classes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::RetrievalStats;
+
+    #[test]
+    fn synthetic_shape() {
+        let (store, classes) = synthetic(20, 5, 777).unwrap();
+        assert_eq!(store.extent_size(classes.supplier).unwrap(), 20);
+        assert_eq!(store.extent_size(classes.parts).unwrap(), 100);
+        // Every supplier supplies the shared part.
+        let mut stats = RetrievalStats::default();
+        let pno_field = store.field_position(classes.parts, &"PNO".into()).unwrap();
+        let oids = store
+            .index_eq(classes.parts, pno_field, &Value::Int(777), &mut stats)
+            .unwrap();
+        assert_eq!(oids.len(), 20);
+    }
+
+    #[test]
+    fn parent_pointers_resolve() {
+        let (store, classes) = synthetic(3, 2, 10).unwrap();
+        let mut stats = RetrievalStats::default();
+        let pno_field = store.field_position(classes.parts, &"PNO".into()).unwrap();
+        let oids = store
+            .index_eq(classes.parts, pno_field, &Value::Int(10), &mut stats)
+            .unwrap()
+            .to_vec();
+        for oid in oids {
+            let part = store.fetch(oid, &mut stats).unwrap();
+            let parent = store.fetch(part.parent.unwrap(), &mut stats).unwrap();
+            assert!(parent.fields[0].as_int().unwrap() >= 1);
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! The object store: classes, extents, OIDs, parent pointers, indexes.
+
+use std::collections::BTreeMap;
+use uniq_types::{ColumnName, Error, Result, Value};
+
+/// A physical object identifier. In EXODUS/O₂ these are disk pointers;
+/// here they are dense handles into the class extent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Oid {
+    /// Which class the object belongs to.
+    pub class: u32,
+    /// Slot within the class extent.
+    pub slot: u32,
+}
+
+/// One stored object.
+#[derive(Debug, Clone)]
+pub struct Object {
+    /// Attribute values, parallel to the class's field list.
+    pub fields: Vec<Value>,
+    /// Pointer to the parent object (the Figure 3 relationship
+    /// mechanism); `None` for root-class objects.
+    pub parent: Option<Oid>,
+}
+
+/// A class definition.
+#[derive(Debug, Clone)]
+pub struct ClassDef {
+    /// Class name (`SUPPLIER`, `PARTS`, `AGENT`).
+    pub name: String,
+    /// Field names.
+    pub fields: Vec<ColumnName>,
+}
+
+struct Extent {
+    def: ClassDef,
+    objects: Vec<Object>,
+    /// Secondary indexes: field position → value → OIDs in value order.
+    indexes: BTreeMap<usize, BTreeMap<Value, Vec<Oid>>>,
+}
+
+/// Counters for the access-path experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetrievalStats {
+    /// Objects fetched (dereferenced), the §6.2 cost driver.
+    pub objects_fetched: u64,
+    /// Index probes performed.
+    pub index_lookups: u64,
+}
+
+/// A multi-class object store.
+pub struct ObjStore {
+    extents: Vec<Extent>,
+}
+
+impl ObjStore {
+    /// An empty store.
+    pub fn new() -> ObjStore {
+        ObjStore {
+            extents: Vec::new(),
+        }
+    }
+
+    /// Register a class; returns its class id.
+    pub fn create_class(&mut self, def: ClassDef) -> u32 {
+        self.extents.push(Extent {
+            def,
+            objects: Vec::new(),
+            indexes: BTreeMap::new(),
+        });
+        (self.extents.len() - 1) as u32
+    }
+
+    /// Class id by name.
+    pub fn class_id(&self, name: &str) -> Result<u32> {
+        self.extents
+            .iter()
+            .position(|e| e.def.name == name)
+            .map(|i| i as u32)
+            .ok_or_else(|| Error::UnknownTable(name.to_string()))
+    }
+
+    fn extent(&self, class: u32) -> Result<&Extent> {
+        self.extents
+            .get(class as usize)
+            .ok_or_else(|| Error::internal(format!("unknown class id {class}")))
+    }
+
+    /// Store an object; returns its OID and maintains any indexes.
+    pub fn insert(&mut self, class: u32, object: Object) -> Result<Oid> {
+        let extent = self
+            .extents
+            .get_mut(class as usize)
+            .ok_or_else(|| Error::internal(format!("unknown class id {class}")))?;
+        let oid = Oid {
+            class,
+            slot: extent.objects.len() as u32,
+        };
+        for (&field, index) in extent.indexes.iter_mut() {
+            index
+                .entry(object.fields[field].clone())
+                .or_default()
+                .push(oid);
+        }
+        extent.objects.push(object);
+        Ok(oid)
+    }
+
+    /// Build a secondary index on a field (by name).
+    pub fn create_index(&mut self, class: u32, field: &ColumnName) -> Result<()> {
+        let extent = self
+            .extents
+            .get_mut(class as usize)
+            .ok_or_else(|| Error::internal(format!("unknown class id {class}")))?;
+        let fpos = extent
+            .def
+            .fields
+            .iter()
+            .position(|f| f == field)
+            .ok_or_else(|| Error::UnknownColumn {
+                table: extent.def.name.clone(),
+                column: field.to_string(),
+            })?;
+        let mut index: BTreeMap<Value, Vec<Oid>> = BTreeMap::new();
+        for (slot, obj) in extent.objects.iter().enumerate() {
+            index.entry(obj.fields[fpos].clone()).or_default().push(Oid {
+                class,
+                slot: slot as u32,
+            });
+        }
+        extent.indexes.insert(fpos, index);
+        Ok(())
+    }
+
+    /// Field position within a class.
+    pub fn field_position(&self, class: u32, field: &ColumnName) -> Result<usize> {
+        let extent = self.extent(class)?;
+        extent
+            .def
+            .fields
+            .iter()
+            .position(|f| f == field)
+            .ok_or_else(|| Error::UnknownColumn {
+                table: extent.def.name.clone(),
+                column: field.to_string(),
+            })
+    }
+
+    /// Dereference an OID (a "retrieve" in the paper's plans), counting
+    /// the fetch.
+    pub fn fetch(&self, oid: Oid, stats: &mut RetrievalStats) -> Result<&Object> {
+        stats.objects_fetched += 1;
+        self.extent(oid.class)?
+            .objects
+            .get(oid.slot as usize)
+            .ok_or_else(|| Error::internal(format!("dangling OID {oid:?}")))
+    }
+
+    /// Exact-match index probe: OIDs whose indexed field equals `value`.
+    pub fn index_eq(
+        &self,
+        class: u32,
+        field: usize,
+        value: &Value,
+        stats: &mut RetrievalStats,
+    ) -> Result<&[Oid]> {
+        stats.index_lookups += 1;
+        let extent = self.extent(class)?;
+        let index = extent.indexes.get(&field).ok_or_else(|| {
+            Error::internal(format!(
+                "no index on {}.{}",
+                extent.def.name, extent.def.fields[field]
+            ))
+        })?;
+        Ok(index.get(value).map(|v| v.as_slice()).unwrap_or(&[]))
+    }
+
+    /// Range index probe: OIDs whose indexed field lies in
+    /// `[low, high]`, in value order.
+    pub fn index_range(
+        &self,
+        class: u32,
+        field: usize,
+        low: &Value,
+        high: &Value,
+        stats: &mut RetrievalStats,
+    ) -> Result<Vec<Oid>> {
+        stats.index_lookups += 1;
+        let extent = self.extent(class)?;
+        let index = extent.indexes.get(&field).ok_or_else(|| {
+            Error::internal(format!(
+                "no index on {}.{}",
+                extent.def.name, extent.def.fields[field]
+            ))
+        })?;
+        if low > high {
+            // Degenerate range (lo > hi): empty, like SQL BETWEEN.
+            return Ok(Vec::new());
+        }
+        Ok(index
+            .range(low.clone()..=high.clone())
+            .flat_map(|(_, oids)| oids.iter().copied())
+            .collect())
+    }
+
+    /// Number of objects in a class extent.
+    pub fn extent_size(&self, class: u32) -> Result<usize> {
+        Ok(self.extent(class)?.objects.len())
+    }
+}
+
+impl Default for ObjStore {
+    fn default() -> Self {
+        ObjStore::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with_index() -> (ObjStore, u32) {
+        let mut s = ObjStore::new();
+        let c = s.create_class(ClassDef {
+            name: "T".into(),
+            fields: vec!["K".into(), "V".into()],
+        });
+        s.create_index(c, &"K".into()).unwrap();
+        for i in 0..10i64 {
+            s.insert(
+                c,
+                Object {
+                    fields: vec![Value::Int(i), Value::str(format!("v{i}"))],
+                    parent: None,
+                },
+            )
+            .unwrap();
+        }
+        (s, c)
+    }
+
+    #[test]
+    fn fetch_counts_and_returns() {
+        let (s, c) = store_with_index();
+        let mut stats = RetrievalStats::default();
+        let obj = s.fetch(Oid { class: c, slot: 3 }, &mut stats).unwrap();
+        assert_eq!(obj.fields[0], Value::Int(3));
+        assert_eq!(stats.objects_fetched, 1);
+    }
+
+    #[test]
+    fn index_eq_probe() {
+        let (s, c) = store_with_index();
+        let mut stats = RetrievalStats::default();
+        let oids = s.index_eq(c, 0, &Value::Int(7), &mut stats).unwrap();
+        assert_eq!(oids.len(), 1);
+        assert_eq!(oids[0].slot, 7);
+        assert!(s
+            .index_eq(c, 0, &Value::Int(99), &mut stats)
+            .unwrap()
+            .is_empty());
+        assert_eq!(stats.index_lookups, 2);
+    }
+
+    #[test]
+    fn index_range_probe() {
+        let (s, c) = store_with_index();
+        let mut stats = RetrievalStats::default();
+        let oids = s
+            .index_range(c, 0, &Value::Int(3), &Value::Int(6), &mut stats)
+            .unwrap();
+        assert_eq!(oids.len(), 4);
+    }
+
+    #[test]
+    fn index_maintained_on_insert() {
+        let (mut s, c) = store_with_index();
+        s.insert(
+            c,
+            Object {
+                fields: vec![Value::Int(100), Value::str("new")],
+                parent: None,
+            },
+        )
+        .unwrap();
+        let mut stats = RetrievalStats::default();
+        assert_eq!(
+            s.index_eq(c, 0, &Value::Int(100), &mut stats).unwrap().len(),
+            1
+        );
+    }
+
+    #[test]
+    fn missing_index_is_an_error() {
+        let (s, c) = store_with_index();
+        let mut stats = RetrievalStats::default();
+        assert!(s.index_eq(c, 1, &Value::str("v1"), &mut stats).is_err());
+    }
+}

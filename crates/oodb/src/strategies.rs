@@ -1,0 +1,164 @@
+//! The two execution strategies of Example 11.
+//!
+//! Query: `SELECT ALL S.* FROM SUPPLIER S, PARTS P WHERE S.SNO BETWEEN
+//! :LO AND :HI AND S.SNO = P.SNO AND P.PNO = :PARTNO` — suppliers in a
+//! number range that supply a particular part.
+
+use crate::sample::SupplierClasses;
+use crate::store::{ObjStore, RetrievalStats};
+use uniq_types::{Result, Value};
+
+/// One strategy's outcome: qualifying supplier rows plus access counters.
+#[derive(Debug, Clone)]
+pub struct StrategyRun {
+    /// Qualifying suppliers' field vectors, in retrieval order.
+    pub rows: Vec<Vec<Value>>,
+    /// Object fetches and index probes performed.
+    pub stats: RetrievalStats,
+}
+
+/// Paper lines 36–42: the pointer-chasing join strategy.
+///
+/// Drive from the `PARTS` index on `PNO`, dereference each part's
+/// child → parent pointer, and test the parent's `SNO` range — fetching
+/// many `SUPPLIER` objects "only to find that their supplier number is
+/// not in the specified range".
+pub fn pointer_strategy(
+    store: &ObjStore,
+    classes: &SupplierClasses,
+    partno: i64,
+    lo: i64,
+    hi: i64,
+) -> Result<StrategyRun> {
+    let mut stats = RetrievalStats::default();
+    let mut rows = Vec::new();
+    let pno_field = store.field_position(classes.parts, &"PNO".into())?;
+    // line 36: retrieve PARTS (PNO = :PARTNO)
+    let part_oids = store
+        .index_eq(classes.parts, pno_field, &Value::Int(partno), &mut stats)?
+        .to_vec();
+    for part_oid in part_oids {
+        // lines 37-41: retrieve PARTS.SUPPLIER, test SNO range
+        let part = store.fetch(part_oid, &mut stats)?;
+        let supplier_oid = part
+            .parent
+            .ok_or_else(|| uniq_types::Error::internal("part without supplier"))?;
+        let supplier = store.fetch(supplier_oid, &mut stats)?;
+        let sno = supplier.fields[0].as_int()?;
+        if sno >= lo && sno <= hi {
+            rows.push(supplier.fields.clone());
+        }
+    }
+    Ok(StrategyRun { rows, stats })
+}
+
+/// Paper lines 43–48: the rewritten nested-query strategy (Theorem 2's
+/// join → subquery direction).
+///
+/// Drive from the `SUPPLIER` index on the `SNO` range; for each
+/// qualifying supplier probe the `PARTS` index for `PNO = :PARTNO`,
+/// dereferencing candidate parts only until one with the matching parent
+/// OID is found (`EXISTS` semantics — first match wins).
+pub fn nested_strategy(
+    store: &ObjStore,
+    classes: &SupplierClasses,
+    partno: i64,
+    lo: i64,
+    hi: i64,
+) -> Result<StrategyRun> {
+    let mut stats = RetrievalStats::default();
+    let mut rows = Vec::new();
+    let sno_field = store.field_position(classes.supplier, &"SNO".into())?;
+    let pno_field = store.field_position(classes.parts, &"PNO".into())?;
+    // line 43: retrieve SUPPLIER (SNO between :LO and :HI)
+    let supplier_oids = store.index_range(
+        classes.supplier,
+        sno_field,
+        &Value::Int(lo),
+        &Value::Int(hi),
+        &mut stats,
+    )?;
+    for supplier_oid in supplier_oids {
+        let supplier = store.fetch(supplier_oid, &mut stats)?;
+        // lines 45-46: retrieve PARTS (PNO = :PARTNO and
+        // PARTS.SUPPLIER.OID = SUPPLIER.OID), first match only.
+        let candidates = store
+            .index_eq(classes.parts, pno_field, &Value::Int(partno), &mut stats)?
+            .to_vec();
+        let mut found = false;
+        for part_oid in candidates {
+            let part = store.fetch(part_oid, &mut stats)?;
+            if part.parent == Some(supplier_oid) {
+                found = true;
+                break;
+            }
+        }
+        if found {
+            rows.push(supplier.fields.clone());
+        }
+    }
+    Ok(StrategyRun { rows, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::synthetic;
+
+    #[test]
+    fn strategies_agree_on_results() {
+        let (store, classes) = synthetic(100, 4, 500).unwrap();
+        let a = pointer_strategy(&store, &classes, 500, 10, 20).unwrap();
+        let b = nested_strategy(&store, &classes, 500, 10, 20).unwrap();
+        let mut ar: Vec<i64> = a.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+        let mut br: Vec<i64> = b.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+        ar.sort_unstable();
+        br.sort_unstable();
+        assert_eq!(ar, (10..=20).collect::<Vec<i64>>());
+        assert_eq!(ar, br);
+    }
+
+    #[test]
+    fn selective_parent_predicate_favors_nested() {
+        // 1000 suppliers all supply part 500; range selects 1%.
+        let (store, classes) = synthetic(1000, 4, 500).unwrap();
+        let ptr = pointer_strategy(&store, &classes, 500, 1, 10).unwrap();
+        let nst = nested_strategy(&store, &classes, 500, 1, 10).unwrap();
+        assert_eq!(ptr.rows.len(), 10);
+        assert_eq!(nst.rows.len(), 10);
+        // Pointer plan fetches 1000 parts + 1000 suppliers; nested
+        // fetches 10 suppliers + the probed parts.
+        assert!(ptr.stats.objects_fetched >= 2000);
+        assert!(
+            nst.stats.objects_fetched < ptr.stats.objects_fetched,
+            "nested {} vs pointer {}",
+            nst.stats.objects_fetched,
+            ptr.stats.objects_fetched
+        );
+    }
+
+    #[test]
+    fn unselective_parent_predicate_favors_pointers() {
+        // Full range: the nested plan probes the shared-part candidate
+        // list per supplier (quadratic in matches), the pointer plan
+        // stays linear.
+        let (store, classes) = synthetic(200, 2, 500).unwrap();
+        let ptr = pointer_strategy(&store, &classes, 500, 1, 200).unwrap();
+        let nst = nested_strategy(&store, &classes, 500, 1, 200).unwrap();
+        assert_eq!(ptr.rows.len(), 200);
+        assert_eq!(nst.rows.len(), 200);
+        assert!(ptr.stats.objects_fetched < nst.stats.objects_fetched);
+    }
+
+    #[test]
+    fn empty_range_is_cheap_for_nested() {
+        let (store, classes) = synthetic(100, 4, 500).unwrap();
+        let nst = nested_strategy(&store, &classes, 500, 900, 999).unwrap();
+        assert!(nst.rows.is_empty());
+        assert_eq!(nst.stats.objects_fetched, 0);
+        // The pointer plan still fetches every matching part + parent.
+        let ptr = pointer_strategy(&store, &classes, 500, 900, 999).unwrap();
+        assert!(ptr.rows.is_empty());
+        assert_eq!(ptr.stats.objects_fetched, 200);
+    }
+}

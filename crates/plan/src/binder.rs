@@ -1,0 +1,466 @@
+//! Name resolution: AST → bound representation.
+//!
+//! Resolution follows SQL scoping: a column reference is looked up in the
+//! innermost query block first, then outwards through enclosing blocks
+//! (producing a *correlated* [`AttrRef`] with `up > 0`). A reference that
+//! matches more than one table in the same block is ambiguous and
+//! rejected. Comparisons between operands of incompatible declared types
+//! are rejected at bind time, so the executor never sees an ill-typed
+//! comparison of two non-null values.
+
+use crate::bound::*;
+use uniq_catalog::Catalog;
+use uniq_sql::{
+    Expr, Projection, QueryExpr, QuerySpec, Scalar, SetOp,
+};
+use uniq_types::{ColRef, DataType, Error, Result};
+
+/// Bind a parsed query against a catalog.
+pub fn bind_query(catalog: &Catalog, query: &QueryExpr) -> Result<BoundQuery> {
+    let binder = Binder { catalog };
+    binder.query(query, &mut Vec::new())
+}
+
+struct Binder<'a> {
+    catalog: &'a Catalog,
+}
+
+/// The stack of enclosing blocks' `FROM` lists, innermost last. Owned by
+/// the stack while a block's predicate is being bound (pushed on entry,
+/// popped — and recovered — on exit), which keeps resolution of correlated
+/// references safe without borrowing across recursion frames.
+type ScopeStack = Vec<Vec<FromTable>>;
+
+impl<'a> Binder<'a> {
+    fn query(&self, query: &QueryExpr, outer: &mut ScopeStack) -> Result<BoundQuery> {
+        match query {
+            QueryExpr::Spec(spec) => Ok(BoundQuery::Spec(Box::new(self.spec(spec, outer)?))),
+            QueryExpr::SetOp {
+                op,
+                all,
+                left,
+                right,
+            } => {
+                let l = self.query(left, outer)?;
+                let r = self.query(right, outer)?;
+                self.check_union_compatible(&l, &r, *op)?;
+                Ok(BoundQuery::SetOp {
+                    op: *op,
+                    all: *all,
+                    left: Box::new(l),
+                    right: Box::new(r),
+                })
+            }
+        }
+    }
+
+    fn check_union_compatible(
+        &self,
+        l: &BoundQuery,
+        r: &BoundQuery,
+        _op: SetOp,
+    ) -> Result<()> {
+        if l.output_arity() != r.output_arity() {
+            return Err(Error::NotUnionCompatible {
+                left: l.output_arity(),
+                right: r.output_arity(),
+            });
+        }
+        let lt = output_types(l);
+        let rt = output_types(r);
+        for (a, b) in lt.iter().zip(&rt) {
+            if a != b {
+                return Err(Error::TypeMismatch {
+                    left: a.to_string(),
+                    right: b.to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn spec(&self, spec: &QuerySpec, outer: &mut ScopeStack) -> Result<BoundSpec> {
+        // 1. Bind FROM.
+        let mut from: Vec<FromTable> = Vec::with_capacity(spec.from.len());
+        let mut offset = 0usize;
+        for tref in &spec.from {
+            let schema = self.catalog.table(&tref.table)?.clone();
+            let binding = tref.binding_name().clone();
+            if from.iter().any(|t| t.binding == binding) {
+                return Err(Error::bind(format!(
+                    "duplicate table binding {binding} in FROM clause"
+                )));
+            }
+            let arity = schema.arity();
+            from.push(FromTable {
+                binding,
+                schema,
+                offset,
+            });
+            offset += arity;
+        }
+
+        // 2. Bind WHERE within [outer…, from]. The FROM list is pushed
+        // onto the scope stack for the duration and recovered afterwards.
+        let predicate = match &spec.where_clause {
+            None => None,
+            Some(w) => {
+                outer.push(from);
+                let bound = self.expr(w, outer);
+                from = outer.pop().expect("scope pushed above");
+                Some(bound?)
+            }
+        };
+
+        // 3. Bind projection.
+        let projection: Vec<ProjItem> = match &spec.projection {
+            Projection::Star => from
+                .iter()
+                .flat_map(|t| {
+                    t.schema
+                        .columns
+                        .iter()
+                        .enumerate()
+                        .map(move |(i, c)| ProjItem {
+                            attr: t.offset + i,
+                            name: c.name.clone(),
+                        })
+                })
+                .collect(),
+            Projection::Columns(items) => {
+                let mut out = Vec::with_capacity(items.len());
+                for item in items {
+                    let attr = resolve_in_block(&from, &item.col)?.ok_or_else(|| {
+                        Error::bind(format!("unknown column {} in SELECT list", item.col))
+                    })?;
+                    let name = item.alias.clone().unwrap_or_else(|| item.col.column.clone());
+                    out.push(ProjItem { attr, name });
+                }
+                out
+            }
+        };
+
+        Ok(BoundSpec {
+            distinct: spec.distinct,
+            from,
+            predicate,
+            projection,
+        })
+    }
+
+    fn expr(&self, e: &Expr, scopes: &mut ScopeStack) -> Result<BoundExpr> {
+        Ok(match e {
+            Expr::Cmp { op, left, right } => {
+                let l = self.scalar(left, scopes)?;
+                let r = self.scalar(right, scopes)?;
+                check_comparable(&l, &r, scopes)?;
+                BoundExpr::Cmp {
+                    op: *op,
+                    left: l,
+                    right: r,
+                }
+            }
+            Expr::Between {
+                scalar,
+                low,
+                high,
+                negated,
+            } => {
+                let s = self.scalar(scalar, scopes)?;
+                let lo = self.scalar(low, scopes)?;
+                let hi = self.scalar(high, scopes)?;
+                check_comparable(&s, &lo, scopes)?;
+                check_comparable(&s, &hi, scopes)?;
+                BoundExpr::Between {
+                    scalar: s,
+                    low: lo,
+                    high: hi,
+                    negated: *negated,
+                }
+            }
+            Expr::InList {
+                scalar,
+                list,
+                negated,
+            } => {
+                let s = self.scalar(scalar, scopes)?;
+                let items = list
+                    .iter()
+                    .map(|i| {
+                        let b = self.scalar(i, scopes)?;
+                        check_comparable(&s, &b, scopes)?;
+                        Ok(b)
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                BoundExpr::InList {
+                    scalar: s,
+                    list: items,
+                    negated: *negated,
+                }
+            }
+            Expr::IsNull { scalar, negated } => BoundExpr::IsNull {
+                scalar: self.scalar(scalar, scopes)?,
+                negated: *negated,
+            },
+            Expr::Exists { negated, subquery } => {
+                let sub = self.subquery(subquery, scopes)?;
+                BoundExpr::Exists {
+                    negated: *negated,
+                    subquery: Box::new(sub),
+                }
+            }
+            Expr::InSubquery {
+                scalar,
+                subquery,
+                negated,
+            } => {
+                let s = self.scalar(scalar, scopes)?;
+                let sub = self.subquery(subquery, scopes)?;
+                if sub.projection.len() != 1 {
+                    return Err(Error::bind(format!(
+                        "IN subquery must project exactly one column, got {}",
+                        sub.projection.len()
+                    )));
+                }
+                BoundExpr::InSubquery {
+                    scalar: s,
+                    subquery: Box::new(sub),
+                    negated: *negated,
+                }
+            }
+            Expr::And(a, b) => BoundExpr::and(self.expr(a, scopes)?, self.expr(b, scopes)?),
+            Expr::Or(a, b) => BoundExpr::or(self.expr(a, scopes)?, self.expr(b, scopes)?),
+            Expr::Not(a) => BoundExpr::not(self.expr(a, scopes)?),
+        })
+    }
+
+    fn subquery(&self, spec: &QuerySpec, scopes: &mut ScopeStack) -> Result<BoundSpec> {
+        // The subquery's own scope is pushed inside `spec`; references it
+        // cannot resolve locally walk up through `scopes`.
+        self.spec_with_outer(spec, scopes)
+    }
+
+    fn spec_with_outer(
+        &self,
+        spec: &QuerySpec,
+        outer: &mut ScopeStack,
+    ) -> Result<BoundSpec> {
+        self.spec(spec, outer)
+    }
+
+    fn scalar(&self, s: &Scalar, scopes: &mut ScopeStack) -> Result<BScalar> {
+        Ok(match s {
+            Scalar::Literal(v) => BScalar::Literal(v.clone()),
+            Scalar::HostVar(h) => BScalar::HostVar(h.clone()),
+            Scalar::Column(c) => {
+                // Innermost scope first (the last pushed).
+                for (depth, block) in scopes.iter().rev().enumerate() {
+                    if let Some(idx) = resolve_in_block(block, c)? {
+                        return Ok(BScalar::Attr(AttrRef { up: depth, idx }));
+                    }
+                }
+                return Err(Error::bind(format!("unknown column {c}")));
+            }
+        })
+    }
+}
+
+/// Resolve a column reference within one block's `FROM` list.
+/// Returns `Ok(None)` when the name simply isn't here (so resolution can
+/// continue outwards), and an error when it is ambiguous.
+fn resolve_in_block(from: &[FromTable], c: &ColRef) -> Result<Option<usize>> {
+    let mut found: Option<usize> = None;
+    for t in from {
+        if let Some(q) = &c.qualifier {
+            if q != &t.binding {
+                continue;
+            }
+        }
+        if let Ok(pos) = t.schema.column_position(&c.column) {
+            if let Some(prev) = found {
+                return Err(Error::bind(format!(
+                    "ambiguous column reference {c}: matches attribute #{prev} and {}.{}",
+                    t.binding, c.column
+                )));
+            }
+            found = Some(t.offset + pos);
+        } else if c.qualifier.is_some() {
+            // Qualified reference to a table that lacks the column.
+            return Err(Error::UnknownColumn {
+                table: t.binding.to_string(),
+                column: c.column.to_string(),
+            });
+        }
+    }
+    Ok(found)
+}
+
+/// Declared type of a bound scalar within a scope stack; `None` when the
+/// type is not statically known (literals' types are known, host variables'
+/// are not).
+fn scalar_type(s: &BScalar, scopes: &ScopeStack) -> Option<DataType> {
+    match s {
+        BScalar::Literal(v) => v.data_type(),
+        BScalar::HostVar(_) => None,
+        BScalar::Attr(a) => {
+            let block = scopes.get(scopes.len().checked_sub(1 + a.up)?)?;
+            let t = block
+                .iter()
+                .find(|t| t.attr_range().contains(&a.idx))?;
+            Some(t.schema.columns[a.idx - t.offset].data_type)
+        }
+    }
+}
+
+fn check_comparable(l: &BScalar, r: &BScalar, scopes: &ScopeStack) -> Result<()> {
+    if let (Some(a), Some(b)) = (scalar_type(l, scopes), scalar_type(r, scopes)) {
+        if a != b {
+            return Err(Error::TypeMismatch {
+                left: a.to_string(),
+                right: b.to_string(),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn output_types(q: &BoundQuery) -> Vec<DataType> {
+    match q {
+        BoundQuery::Spec(s) => s.output_types(),
+        BoundQuery::SetOp { left, .. } => output_types(left),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniq_catalog::sample::supplier_schema;
+    use uniq_sql::parse_query;
+
+    fn bind(sql: &str) -> Result<BoundQuery> {
+        let db = supplier_schema().unwrap();
+        bind_query(db.catalog(), &parse_query(sql).unwrap())
+    }
+
+    #[test]
+    fn binds_example_1_attributes() {
+        let q = bind(
+            "SELECT DISTINCT S.SNO, P.PNO, P.PNAME FROM SUPPLIER S, PARTS P \
+             WHERE S.SNO = P.SNO AND P.COLOR = 'RED'",
+        )
+        .unwrap();
+        let spec = q.as_spec().unwrap();
+        // SUPPLIER occupies attrs 0..5, PARTS 5..10.
+        assert_eq!(spec.product_arity(), 10);
+        assert_eq!(
+            spec.projection.iter().map(|p| p.attr).collect::<Vec<_>>(),
+            vec![0, 6, 7] // S.SNO, P.PNO, P.PNAME
+        );
+        assert_eq!(spec.attr_name(6), "P.PNO");
+    }
+
+    #[test]
+    fn unqualified_names_resolve_when_unambiguous() {
+        let q = bind(
+            "SELECT ALL S.SNO, SNAME, P.PNO, PNAME FROM SUPPLIER S, PARTS P \
+             WHERE P.SNO = :SUPPLIER-NO AND S.SNO = P.SNO",
+        )
+        .unwrap();
+        let spec = q.as_spec().unwrap();
+        assert_eq!(
+            spec.projection.iter().map(|p| p.attr).collect::<Vec<_>>(),
+            vec![0, 1, 6, 7]
+        );
+    }
+
+    #[test]
+    fn ambiguous_unqualified_name_is_rejected() {
+        // SNO exists in both SUPPLIER and PARTS.
+        let err = bind("SELECT SNO FROM SUPPLIER S, PARTS P").unwrap_err();
+        assert!(err.to_string().contains("ambiguous"), "{err}");
+    }
+
+    #[test]
+    fn unknown_column_is_rejected() {
+        assert!(bind("SELECT NOPE FROM SUPPLIER S").is_err());
+        assert!(bind("SELECT S.NOPE FROM SUPPLIER S").is_err());
+    }
+
+    #[test]
+    fn correlated_subquery_binds_outer_reference() {
+        let q = bind(
+            "SELECT ALL S.SNO FROM SUPPLIER S WHERE EXISTS \
+             (SELECT * FROM PARTS P WHERE S.SNO = P.SNO AND P.COLOR = 'RED')",
+        )
+        .unwrap();
+        let spec = q.as_spec().unwrap();
+        let pred = spec.predicate.as_ref().unwrap();
+        match pred {
+            BoundExpr::Exists { subquery, .. } => {
+                let sub_pred = subquery.predicate.as_ref().unwrap();
+                let conjuncts = sub_pred.conjuncts();
+                match conjuncts[0] {
+                    BoundExpr::Cmp { left, right, .. } => {
+                        // S.SNO is one level up; P.SNO local.
+                        assert_eq!(left.as_attr().unwrap(), AttrRef { up: 1, idx: 0 });
+                        assert_eq!(right.as_attr().unwrap(), AttrRef::local(0));
+                    }
+                    other => panic!("unexpected conjunct {other:?}"),
+                }
+            }
+            other => panic!("expected EXISTS, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn star_expands_all_columns() {
+        let q = bind("SELECT * FROM SUPPLIER S, AGENTS A").unwrap();
+        let spec = q.as_spec().unwrap();
+        assert_eq!(spec.projection.len(), 9); // 5 + 4
+        assert_eq!(spec.projection[5].name.as_str(), "SNO"); // AGENTS.SNO
+    }
+
+    #[test]
+    fn type_mismatch_in_comparison_rejected() {
+        let err = bind("SELECT S.SNO FROM SUPPLIER S WHERE S.SNO = 'abc'").unwrap_err();
+        assert!(matches!(err, Error::TypeMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn set_op_union_compatibility_checked() {
+        // Arity mismatch.
+        assert!(matches!(
+            bind("SELECT SNO, SNAME FROM SUPPLIER INTERSECT SELECT ANO FROM AGENTS"),
+            Err(Error::NotUnionCompatible { .. })
+        ));
+        // Type mismatch (INTEGER vs VARCHAR).
+        assert!(matches!(
+            bind("SELECT SNO FROM SUPPLIER INTERSECT SELECT ANAME FROM AGENTS"),
+            Err(Error::TypeMismatch { .. })
+        ));
+        // Compatible.
+        assert!(bind(
+            "SELECT S.SNO FROM SUPPLIER S INTERSECT SELECT A.SNO FROM AGENTS A"
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn duplicate_binding_rejected() {
+        assert!(bind("SELECT * FROM SUPPLIER S, PARTS S").is_err());
+    }
+
+    #[test]
+    fn in_subquery_must_project_one_column() {
+        assert!(bind(
+            "SELECT S.SNO FROM SUPPLIER S WHERE S.SNO IN (SELECT P.SNO, P.PNO FROM PARTS P)"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn host_variable_comparisons_are_untyped() {
+        // Host variables have no declared type; binding must succeed.
+        assert!(bind("SELECT S.SNO FROM SUPPLIER S WHERE S.SNAME = :NAME").is_ok());
+    }
+}

@@ -1,0 +1,88 @@
+//! Host variable bindings.
+//!
+//! The paper's queries contain host variables (`:SUPPLIER-NO`) — constants
+//! whose values are known only at query execution (paper §3.2). The
+//! analyzers never need their values (a host variable is a "constant" for
+//! Type-1 reasoning no matter what it holds); the executor resolves them
+//! through a [`HostVars`] map supplied per execution.
+
+use std::collections::BTreeMap;
+use uniq_types::{Error, HostVarName, Result, Value};
+
+/// A binding of host variable names to values for one execution.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HostVars {
+    bindings: BTreeMap<HostVarName, Value>,
+}
+
+impl HostVars {
+    /// No bindings.
+    pub fn new() -> HostVars {
+        HostVars::default()
+    }
+
+    /// Bind `name` to `value`, replacing any previous binding.
+    pub fn set(&mut self, name: impl Into<HostVarName>, value: impl Into<Value>) -> &mut Self {
+        self.bindings.insert(name.into(), value.into());
+        self
+    }
+
+    /// Builder-style [`HostVars::set`].
+    pub fn with(mut self, name: impl Into<HostVarName>, value: impl Into<Value>) -> Self {
+        self.set(name, value);
+        self
+    }
+
+    /// Look up a binding; unbound host variables are an execution error.
+    pub fn get(&self, name: &HostVarName) -> Result<&Value> {
+        self.bindings
+            .get(name)
+            .ok_or_else(|| Error::UnboundHostVar(name.to_string()))
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// True iff no bindings exist.
+    pub fn is_empty(&self) -> bool {
+        self.bindings.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_get() {
+        let hv = HostVars::new()
+            .with("SUPPLIER-NO", 3i64)
+            .with("part-name", "bolt");
+        assert_eq!(hv.get(&"supplier-no".into()).unwrap(), &Value::Int(3));
+        assert_eq!(
+            hv.get(&"PART-NAME".into()).unwrap(),
+            &Value::str("bolt")
+        );
+        assert_eq!(hv.len(), 2);
+    }
+
+    #[test]
+    fn unbound_is_an_error() {
+        let hv = HostVars::new();
+        assert!(matches!(
+            hv.get(&"X".into()),
+            Err(Error::UnboundHostVar(_))
+        ));
+    }
+
+    #[test]
+    fn rebinding_replaces() {
+        let mut hv = HostVars::new();
+        hv.set("X", 1i64);
+        hv.set("X", 2i64);
+        assert_eq!(hv.get(&"X".into()).unwrap(), &Value::Int(2));
+        assert_eq!(hv.len(), 1);
+    }
+}

@@ -1,0 +1,23 @@
+//! Name resolution and the bound multiset algebra of paper §2.2.
+//!
+//! The parser's AST refers to columns by name; this crate *binds* a query
+//! against a `uniq_catalog::Catalog`, producing a [`BoundQuery`] in which
+//! every column reference is a positional [`AttrRef`] into the flat
+//! attribute space of the query block's extended Cartesian product — the
+//! representation the analyzers (`uniq-core`) and the executor
+//! (`uniq-engine`) both consume.
+//!
+//! The crate also provides predicate normalization ([`norm`]): negation
+//! push-down (sound in Kleene three-valued logic), conversion to
+//! conjunctive normal form, and the CNF → DNF expansion that the paper's
+//! Algorithm 1 performs (line 11), with a configurable size cap since the
+//! expansion is worst-case exponential.
+
+pub mod binder;
+pub mod bound;
+pub mod hostvars;
+pub mod norm;
+
+pub use binder::bind_query;
+pub use bound::{AttrRef, BScalar, BoundExpr, BoundQuery, BoundSpec, FromTable, ProjItem};
+pub use hostvars::HostVars;

@@ -1,0 +1,364 @@
+//! Predicate normalization: NNF, CNF, and the CNF → DNF expansion of
+//! Algorithm 1.
+//!
+//! All rewrites here are sound under Kleene three-valued logic:
+//! De Morgan's laws and double-negation elimination hold in K3, and
+//! negating an atom by flipping its operator/`negated` flag maps
+//! true↔false while preserving unknown — exactly `NOT` in SQL. The one
+//! transformation that would *not* be 3VL-sound — rewriting `NOT (a = b)`
+//! over possibly-null operands into something two-valued — is never
+//! performed.
+//!
+//! CNF → DNF (paper Algorithm 1, line 11) is worst-case exponential; the
+//! expansion takes a cap and reports overflow so callers can fall back to
+//! a conservative answer (Algorithm 1 then answers NO, which is always
+//! safe for a *sufficient* condition).
+
+use crate::bound::{BScalar, BoundExpr};
+use uniq_sql::CmpOp;
+
+/// A disjunction of atoms (one CNF clause).
+pub type Clause = Vec<BoundExpr>;
+
+/// A conjunction of atoms (one DNF disjunct).
+pub type Conjunct = Vec<BoundExpr>;
+
+/// Push negations down to atoms (negation normal form).
+///
+/// After this pass, `Not` no longer appears: negations are absorbed into
+/// comparison operators and the `negated` flags of `BETWEEN`/`IN`/
+/// `IS NULL`/`EXISTS` atoms.
+pub fn to_nnf(e: &BoundExpr) -> BoundExpr {
+    nnf(e, false)
+}
+
+fn nnf(e: &BoundExpr, neg: bool) -> BoundExpr {
+    match e {
+        BoundExpr::Not(inner) => nnf(inner, !neg),
+        BoundExpr::And(a, b) => {
+            let (l, r) = (nnf(a, neg), nnf(b, neg));
+            if neg {
+                BoundExpr::or(l, r)
+            } else {
+                BoundExpr::and(l, r)
+            }
+        }
+        BoundExpr::Or(a, b) => {
+            let (l, r) = (nnf(a, neg), nnf(b, neg));
+            if neg {
+                BoundExpr::and(l, r)
+            } else {
+                BoundExpr::or(l, r)
+            }
+        }
+        BoundExpr::Cmp { op, left, right } if neg => BoundExpr::Cmp {
+            op: op.negate(),
+            left: left.clone(),
+            right: right.clone(),
+        },
+        BoundExpr::Between {
+            scalar,
+            low,
+            high,
+            negated,
+        } if neg => BoundExpr::Between {
+            scalar: scalar.clone(),
+            low: low.clone(),
+            high: high.clone(),
+            negated: !negated,
+        },
+        BoundExpr::InList {
+            scalar,
+            list,
+            negated,
+        } if neg => BoundExpr::InList {
+            scalar: scalar.clone(),
+            list: list.clone(),
+            negated: !negated,
+        },
+        BoundExpr::IsNull { scalar, negated } if neg => BoundExpr::IsNull {
+            scalar: scalar.clone(),
+            negated: !negated,
+        },
+        BoundExpr::Exists { negated, subquery } if neg => BoundExpr::Exists {
+            negated: !negated,
+            subquery: subquery.clone(),
+        },
+        BoundExpr::InSubquery {
+            scalar,
+            subquery,
+            negated,
+        } if neg => BoundExpr::InSubquery {
+            scalar: scalar.clone(),
+            subquery: subquery.clone(),
+            negated: !negated,
+        },
+        atom => atom.clone(),
+    }
+}
+
+/// Convert a predicate to conjunctive normal form (a conjunction of
+/// clauses, each a disjunction of atoms).
+///
+/// Returns `None` if the clause count would exceed `max_clauses`.
+pub fn to_cnf(e: &BoundExpr, max_clauses: usize) -> Option<Vec<Clause>> {
+    fn go(e: &BoundExpr, cap: usize) -> Option<Vec<Clause>> {
+        match e {
+            BoundExpr::And(a, b) => {
+                let mut l = go(a, cap)?;
+                let r = go(b, cap)?;
+                if l.len() + r.len() > cap {
+                    return None;
+                }
+                l.extend(r);
+                Some(l)
+            }
+            BoundExpr::Or(a, b) => {
+                let l = go(a, cap)?;
+                let r = go(b, cap)?;
+                if l.len().checked_mul(r.len())? > cap {
+                    return None;
+                }
+                let mut out = Vec::with_capacity(l.len() * r.len());
+                for cl in &l {
+                    for cr in &r {
+                        let mut c = cl.clone();
+                        c.extend(cr.iter().cloned());
+                        out.push(c);
+                    }
+                }
+                Some(out)
+            }
+            atom => Some(vec![vec![atom.clone()]]),
+        }
+    }
+    go(&to_nnf(e), max_clauses)
+}
+
+/// Expand a CNF into DNF: the cross product of its clauses (Algorithm 1,
+/// line 11). Returns `None` if the disjunct count would exceed
+/// `max_disjuncts`.
+pub fn cnf_to_dnf(cnf: &[Clause], max_disjuncts: usize) -> Option<Vec<Conjunct>> {
+    let mut count: usize = 1;
+    for c in cnf {
+        count = count.checked_mul(c.len().max(1))?;
+        if count > max_disjuncts {
+            return None;
+        }
+    }
+    let mut out: Vec<Conjunct> = vec![Vec::new()];
+    for clause in cnf {
+        if clause.is_empty() {
+            continue;
+        }
+        let mut next = Vec::with_capacity(out.len() * clause.len());
+        for partial in &out {
+            for atom in clause {
+                let mut conj = partial.clone();
+                conj.push(atom.clone());
+                next.push(conj);
+            }
+        }
+        out = next;
+    }
+    Some(out)
+}
+
+/// Classification of an atomic condition per Algorithm 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AtomClass {
+    /// Type 1: `v = c` — a local column equated to a constant (literal or
+    /// host variable).
+    Type1,
+    /// Type 2: `v1 = v2` — two local columns equated.
+    Type2,
+    /// Anything else (inequalities, `IS NULL`, subqueries, correlated
+    /// references, …).
+    Other,
+}
+
+/// Classify an atom. Only *local* column references (`up == 0`) count for
+/// Types 1 and 2; an equality involving a correlated outer column is
+/// `Other` from the perspective of the block being analyzed.
+pub fn classify_atom(e: &BoundExpr) -> AtomClass {
+    match e {
+        BoundExpr::Cmp {
+            op: CmpOp::Eq,
+            left,
+            right,
+        } => {
+            let local = |s: &BScalar| matches!(s, BScalar::Attr(a) if a.is_local());
+            match (local(left), local(right)) {
+                (true, true) => AtomClass::Type2,
+                (true, false) if right.is_constant() => AtomClass::Type1,
+                (false, true) if left.is_constant() => AtomClass::Type1,
+                _ => AtomClass::Other,
+            }
+        }
+        _ => AtomClass::Other,
+    }
+}
+
+/// For a Type-1 atom, the bound local attribute index.
+pub fn type1_attr(e: &BoundExpr) -> Option<usize> {
+    if classify_atom(e) != AtomClass::Type1 {
+        return None;
+    }
+    match e {
+        BoundExpr::Cmp { left, right, .. } => left
+            .as_attr()
+            .or_else(|| right.as_attr())
+            .map(|a| a.idx),
+        _ => None,
+    }
+}
+
+/// For a Type-2 atom, the two equated local attribute indices.
+pub fn type2_attrs(e: &BoundExpr) -> Option<(usize, usize)> {
+    if classify_atom(e) != AtomClass::Type2 {
+        return None;
+    }
+    match e {
+        BoundExpr::Cmp { left, right, .. } => {
+            Some((left.as_attr()?.idx, right.as_attr()?.idx))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bound::AttrRef;
+    use uniq_types::Value;
+
+    fn attr(i: usize) -> BScalar {
+        BScalar::Attr(AttrRef::local(i))
+    }
+
+    fn lit(v: i64) -> BScalar {
+        BScalar::Literal(Value::Int(v))
+    }
+
+    fn eq(l: BScalar, r: BScalar) -> BoundExpr {
+        BoundExpr::Cmp {
+            op: CmpOp::Eq,
+            left: l,
+            right: r,
+        }
+    }
+
+    #[test]
+    fn nnf_eliminates_not() {
+        let e = BoundExpr::not(BoundExpr::and(
+            eq(attr(0), lit(1)),
+            BoundExpr::not(eq(attr(1), lit(2))),
+        ));
+        let n = to_nnf(&e);
+        // NOT(a=1 AND NOT b=2) → a<>1 OR b=2
+        match n {
+            BoundExpr::Or(l, r) => {
+                assert!(matches!(*l, BoundExpr::Cmp { op: CmpOp::Ne, .. }));
+                assert!(matches!(*r, BoundExpr::Cmp { op: CmpOp::Eq, .. }));
+            }
+            other => panic!("expected OR, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nnf_flips_negated_flags() {
+        let e = BoundExpr::not(BoundExpr::IsNull {
+            scalar: attr(0),
+            negated: false,
+        });
+        assert_eq!(
+            to_nnf(&e),
+            BoundExpr::IsNull {
+                scalar: attr(0),
+                negated: true
+            }
+        );
+    }
+
+    #[test]
+    fn cnf_of_conjunction_is_clause_list() {
+        let e = BoundExpr::and(eq(attr(0), lit(1)), eq(attr(1), lit(2)));
+        let cnf = to_cnf(&e, 100).unwrap();
+        assert_eq!(cnf.len(), 2);
+        assert_eq!(cnf[0].len(), 1);
+    }
+
+    #[test]
+    fn cnf_distributes_or_over_and() {
+        // (a ∧ b) ∨ c  →  (a ∨ c) ∧ (b ∨ c)
+        let e = BoundExpr::or(
+            BoundExpr::and(eq(attr(0), lit(1)), eq(attr(1), lit(2))),
+            eq(attr(2), lit(3)),
+        );
+        let cnf = to_cnf(&e, 100).unwrap();
+        assert_eq!(cnf.len(), 2);
+        assert!(cnf.iter().all(|c| c.len() == 2));
+    }
+
+    #[test]
+    fn dnf_expansion_is_cross_product() {
+        // (a ∨ b) ∧ (c ∨ d) → 4 disjuncts.
+        let cnf = vec![
+            vec![eq(attr(0), lit(1)), eq(attr(1), lit(2))],
+            vec![eq(attr(2), lit(3)), eq(attr(3), lit(4))],
+        ];
+        let dnf = cnf_to_dnf(&cnf, 100).unwrap();
+        assert_eq!(dnf.len(), 4);
+        assert!(dnf.iter().all(|d| d.len() == 2));
+    }
+
+    #[test]
+    fn dnf_cap_reports_overflow() {
+        let clause = vec![eq(attr(0), lit(1)), eq(attr(1), lit(2))];
+        let cnf = vec![clause.clone(); 12]; // 2^12 = 4096 disjuncts
+        assert!(cnf_to_dnf(&cnf, 1000).is_none());
+        assert!(cnf_to_dnf(&cnf, 5000).is_some());
+    }
+
+    #[test]
+    fn classification() {
+        assert_eq!(classify_atom(&eq(attr(0), lit(1))), AtomClass::Type1);
+        assert_eq!(classify_atom(&eq(lit(1), attr(0))), AtomClass::Type1);
+        assert_eq!(
+            classify_atom(&eq(attr(0), BScalar::HostVar("H".into()))),
+            AtomClass::Type1
+        );
+        assert_eq!(classify_atom(&eq(attr(0), attr(1))), AtomClass::Type2);
+        // Non-equality is Other.
+        assert_eq!(
+            classify_atom(&BoundExpr::Cmp {
+                op: CmpOp::Lt,
+                left: attr(0),
+                right: lit(1)
+            }),
+            AtomClass::Other
+        );
+        // Correlated reference is Other.
+        assert_eq!(
+            classify_atom(&eq(attr(0), BScalar::Attr(AttrRef { up: 1, idx: 0 }))),
+            AtomClass::Other
+        );
+        // Constant = constant is Other.
+        assert_eq!(classify_atom(&eq(lit(1), lit(1))), AtomClass::Other);
+    }
+
+    #[test]
+    fn atom_accessors() {
+        assert_eq!(type1_attr(&eq(attr(3), lit(1))), Some(3));
+        assert_eq!(type1_attr(&eq(lit(1), attr(4))), Some(4));
+        assert_eq!(type2_attrs(&eq(attr(3), attr(5))), Some((3, 5)));
+        assert_eq!(type2_attrs(&eq(attr(3), lit(5))), None);
+    }
+
+    #[test]
+    fn double_negation_roundtrips() {
+        let e = eq(attr(0), lit(1));
+        let nn = BoundExpr::not(BoundExpr::not(e.clone()));
+        assert_eq!(to_nnf(&nn), e);
+    }
+}

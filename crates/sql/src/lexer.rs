@@ -1,0 +1,401 @@
+//! Lexer for the SQL subset.
+//!
+//! Produces a flat token stream. Keywords are recognized case-insensitively;
+//! every other identifier is normalized to upper case by the identifier
+//! newtypes downstream. `-` continues an identifier (the paper's schema has
+//! `OEM-PNO`); a leading `-` directly before digits lexes as a negative
+//! integer literal. The subset has no arithmetic (paper §2), so this is
+//! unambiguous.
+
+use uniq_types::{Error, Result};
+
+/// A lexical token with its byte offset (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token proper.
+    pub kind: TokenKind,
+    /// Byte offset of the token's first character in the input.
+    pub pos: usize,
+}
+
+/// The kinds of token the subset needs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Keyword (normalized upper-case spelling).
+    Keyword(&'static str),
+    /// Non-keyword identifier (upper-cased).
+    Ident(String),
+    /// Host variable `:NAME` (upper-cased, without the colon).
+    HostVar(String),
+    /// Integer literal.
+    Int(i64),
+    /// String literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `;`
+    Semicolon,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `<>` (also accepts `!=`)
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// End of input.
+    Eof,
+}
+
+/// All keywords of the subset. Anything lexing as an identifier that
+/// case-insensitively matches one of these becomes a [`TokenKind::Keyword`].
+pub const KEYWORDS: &[&str] = &[
+    "SELECT", "DISTINCT", "ALL", "FROM", "WHERE", "AND", "OR", "NOT", "AS", "EXISTS", "IN",
+    "BETWEEN", "IS", "NULL", "INTERSECT", "EXCEPT", "UNION", "CREATE", "TABLE", "PRIMARY", "KEY",
+    "UNIQUE", "CHECK", "INTEGER", "INT", "VARCHAR", "CHAR", "INSERT", "INTO", "VALUES",
+    "CONSTRAINT", "TRUE", "FALSE", "FOREIGN", "REFERENCES",
+];
+
+fn keyword_of(word: &str) -> Option<&'static str> {
+    KEYWORDS
+        .iter()
+        .find(|k| k.eq_ignore_ascii_case(word))
+        .copied()
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '-'
+}
+
+/// Tokenize `input` into a vector ending with [`TokenKind::Eof`].
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let pos = i;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                i += 1;
+            }
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                // SQL line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    pos,
+                });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    pos,
+                });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    pos,
+                });
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token {
+                    kind: TokenKind::Dot,
+                    pos,
+                });
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token {
+                    kind: TokenKind::Semicolon,
+                    pos,
+                });
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token {
+                    kind: TokenKind::Star,
+                    pos,
+                });
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token {
+                    kind: TokenKind::Eq,
+                    pos,
+                });
+                i += 1;
+            }
+            '!' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => {
+                tokens.push(Token {
+                    kind: TokenKind::Ne,
+                    pos,
+                });
+                i += 2;
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    tokens.push(Token {
+                        kind: TokenKind::Ne,
+                        pos,
+                    });
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token {
+                        kind: TokenKind::Le,
+                        pos,
+                    });
+                    i += 2;
+                } else {
+                    tokens.push(Token {
+                        kind: TokenKind::Lt,
+                        pos,
+                    });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token {
+                        kind: TokenKind::Ge,
+                        pos,
+                    });
+                    i += 2;
+                } else {
+                    tokens.push(Token {
+                        kind: TokenKind::Gt,
+                        pos,
+                    });
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    if i >= bytes.len() {
+                        return Err(Error::Lex {
+                            pos,
+                            message: "unterminated string literal".into(),
+                        });
+                    }
+                    if bytes[i] == b'\'' {
+                        if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        s.push(bytes[i] as char);
+                        i += 1;
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    pos,
+                });
+            }
+            ':' => {
+                i += 1;
+                let start = i;
+                while i < bytes.len() && is_ident_continue(bytes[i] as char) {
+                    i += 1;
+                }
+                if start == i {
+                    return Err(Error::Lex {
+                        pos,
+                        message: "expected host variable name after ':'".into(),
+                    });
+                }
+                tokens.push(Token {
+                    kind: TokenKind::HostVar(input[start..i].to_ascii_uppercase()),
+                    pos,
+                });
+            }
+            '-' | '0'..='9' => {
+                let negative = c == '-';
+                let start = if negative { i + 1 } else { i };
+                if negative && (start >= bytes.len() || !bytes[start].is_ascii_digit()) {
+                    return Err(Error::Lex {
+                        pos,
+                        message: "'-' must begin a numeric literal (no arithmetic in subset)"
+                            .into(),
+                    });
+                }
+                let mut j = start;
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+                let text = &input[i..j];
+                let v: i64 = text.parse().map_err(|_| Error::Lex {
+                    pos,
+                    message: format!("integer literal out of range: {text}"),
+                })?;
+                tokens.push(Token {
+                    kind: TokenKind::Int(v),
+                    pos,
+                });
+                i = j;
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                while i < bytes.len() && is_ident_continue(bytes[i] as char) {
+                    i += 1;
+                }
+                let word = &input[start..i];
+                match keyword_of(word) {
+                    Some(k) => tokens.push(Token {
+                        kind: TokenKind::Keyword(k),
+                        pos,
+                    }),
+                    None => tokens.push(Token {
+                        kind: TokenKind::Ident(word.to_ascii_uppercase()),
+                        pos,
+                    }),
+                }
+            }
+            other => {
+                return Err(Error::Lex {
+                    pos,
+                    message: format!("unexpected character {other:?}"),
+                });
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        pos: bytes.len(),
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_basic_select() {
+        let k = kinds("SELECT DISTINCT S.SNO FROM SUPPLIER S");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Keyword("SELECT"),
+                TokenKind::Keyword("DISTINCT"),
+                TokenKind::Ident("S".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("SNO".into()),
+                TokenKind::Keyword("FROM"),
+                TokenKind::Ident("SUPPLIER".into()),
+                TokenKind::Ident("S".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert_eq!(kinds("select")[0], TokenKind::Keyword("SELECT"));
+        assert_eq!(kinds("SeLeCt")[0], TokenKind::Keyword("SELECT"));
+    }
+
+    #[test]
+    fn hyphen_continues_identifiers() {
+        let k = kinds("OEM-PNO");
+        assert_eq!(k[0], TokenKind::Ident("OEM-PNO".into()));
+    }
+
+    #[test]
+    fn host_variables() {
+        let k = kinds(":supplier-no");
+        assert_eq!(k[0], TokenKind::HostVar("SUPPLIER-NO".into()));
+    }
+
+    #[test]
+    fn negative_and_positive_integers() {
+        assert_eq!(kinds("-42")[0], TokenKind::Int(-42));
+        assert_eq!(kinds("499")[0], TokenKind::Int(499));
+    }
+
+    #[test]
+    fn string_literals_unescape_doubled_quotes() {
+        assert_eq!(kinds("'O''Brien'")[0], TokenKind::Str("O'Brien".into()));
+        assert_eq!(kinds("'RED'")[0], TokenKind::Str("RED".into()));
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            kinds("= <> != < <= > >="),
+            vec![
+                TokenKind::Eq,
+                TokenKind::Ne,
+                TokenKind::Ne,
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn line_comments_are_skipped() {
+        let k = kinds("SELECT -- a comment\n*");
+        assert_eq!(
+            k,
+            vec![TokenKind::Keyword("SELECT"), TokenKind::Star, TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let err = tokenize("SELECT @").unwrap_err();
+        match err {
+            Error::Lex { pos, .. } => assert_eq!(pos, 7),
+            other => panic!("wrong error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(tokenize("'abc").is_err());
+    }
+
+    #[test]
+    fn bare_minus_is_rejected() {
+        // No arithmetic in the subset: '-' must start a literal or continue
+        // an identifier.
+        assert!(tokenize("A - B").is_err());
+    }
+}

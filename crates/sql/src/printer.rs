@@ -1,0 +1,346 @@
+//! Pretty-printer: renders any AST node back to SQL text.
+//!
+//! Every rewrite the optimizer performs is surfaced to users as a concrete
+//! SQL string, so the printer must produce text the parser accepts
+//! (round-tripping is property-tested) and must parenthesize conditions so
+//! precedence survives the trip.
+
+use crate::ast::*;
+use std::fmt::{self, Display, Write};
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::CreateTable(ct) => ct.fmt(f),
+            Statement::Insert(i) => i.fmt(f),
+            Statement::Query(q) => q.fmt(f),
+        }
+    }
+}
+
+impl fmt::Display for CreateTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CREATE TABLE {} (", self.name)?;
+        let mut first = true;
+        for c in &self.columns {
+            if !first {
+                f.write_str(", ")?;
+            }
+            first = false;
+            write!(f, "{} {}", c.name, c.data_type)?;
+            if c.not_null {
+                f.write_str(" NOT NULL")?;
+            }
+        }
+        for k in &self.constraints {
+            if !first {
+                f.write_str(", ")?;
+            }
+            first = false;
+            match k {
+                TableConstraintAst::PrimaryKey(cols) => {
+                    write!(f, "PRIMARY KEY ({})", join(cols, ", "))?
+                }
+                TableConstraintAst::Unique(cols) => write!(f, "UNIQUE ({})", join(cols, ", "))?,
+                TableConstraintAst::Check(e) => write!(f, "CHECK ({e})")?,
+                TableConstraintAst::ForeignKey {
+                    columns,
+                    parent,
+                    parent_columns,
+                } => write!(
+                    f,
+                    "FOREIGN KEY ({}) REFERENCES {parent} ({})",
+                    join(columns, ", "),
+                    join(parent_columns, ", ")
+                )?,
+            }
+        }
+        f.write_char(')')
+    }
+}
+
+impl fmt::Display for Insert {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "INSERT INTO {}", self.table)?;
+        if let Some(cols) = &self.columns {
+            write!(f, " ({})", join(cols, ", "))?;
+        }
+        f.write_str(" VALUES ")?;
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "({})", join(row, ", "))?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for QueryExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryExpr::Spec(s) => s.fmt(f),
+            QueryExpr::SetOp {
+                op,
+                all,
+                left,
+                right,
+            } => {
+                // Parenthesize operand set operations to preserve shape.
+                fmt_setop_operand(f, left)?;
+                write!(f, " {}{} ", op, if *all { " ALL" } else { "" })?;
+                fmt_setop_operand(f, right)
+            }
+        }
+    }
+}
+
+fn fmt_setop_operand(f: &mut fmt::Formatter<'_>, q: &QueryExpr) -> fmt::Result {
+    match q {
+        QueryExpr::Spec(s) => s.fmt(f),
+        QueryExpr::SetOp { .. } => write!(f, "({q})"),
+    }
+}
+
+impl fmt::Display for SetOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SetOp::Intersect => "INTERSECT",
+            SetOp::Except => "EXCEPT",
+            SetOp::Union => "UNION",
+        })
+    }
+}
+
+impl fmt::Display for QuerySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SELECT ")?;
+        if self.distinct == Distinct::Distinct {
+            f.write_str("DISTINCT ")?;
+        } else {
+            f.write_str("ALL ")?;
+        }
+        match &self.projection {
+            Projection::Star => f.write_char('*')?,
+            Projection::Columns(items) => {
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{}", item.col)?;
+                    if let Some(a) = &item.alias {
+                        write!(f, " AS {a}")?;
+                    }
+                }
+            }
+        }
+        f.write_str(" FROM ")?;
+        for (i, t) in self.from.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{}", t.table)?;
+            if let Some(a) = &t.alias {
+                write!(f, " {a}")?;
+            }
+        }
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        })
+    }
+}
+
+impl fmt::Display for Scalar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scalar::Column(c) => c.fmt(f),
+            Scalar::Literal(v) => v.fmt(f),
+            Scalar::HostVar(h) => write!(f, ":{h}"),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Cmp { op, left, right } => write!(f, "{left} {op} {right}"),
+            Expr::Between {
+                scalar,
+                low,
+                high,
+                negated,
+            } => write!(
+                f,
+                "{scalar} {}BETWEEN {low} AND {high}",
+                if *negated { "NOT " } else { "" }
+            ),
+            Expr::InList {
+                scalar,
+                list,
+                negated,
+            } => write!(
+                f,
+                "{scalar} {}IN ({})",
+                if *negated { "NOT " } else { "" },
+                join(list, ", ")
+            ),
+            Expr::IsNull { scalar, negated } => write!(
+                f,
+                "{scalar} IS {}NULL",
+                if *negated { "NOT " } else { "" }
+            ),
+            Expr::Exists { negated, subquery } => write!(
+                f,
+                "{}EXISTS ({subquery})",
+                if *negated { "NOT " } else { "" }
+            ),
+            Expr::InSubquery {
+                scalar,
+                subquery,
+                negated,
+            } => write!(
+                f,
+                "{scalar} {}IN ({subquery})",
+                if *negated { "NOT " } else { "" }
+            ),
+            Expr::And(a, b) => {
+                fmt_operand(f, a, Prec::And)?;
+                f.write_str(" AND ")?;
+                fmt_operand(f, b, Prec::And)
+            }
+            Expr::Or(a, b) => {
+                fmt_operand(f, a, Prec::Or)?;
+                f.write_str(" OR ")?;
+                fmt_operand(f, b, Prec::Or)
+            }
+            Expr::Not(a) => {
+                f.write_str("NOT ")?;
+                fmt_operand(f, a, Prec::Not)
+            }
+        }
+    }
+}
+
+#[derive(PartialEq, PartialOrd)]
+enum Prec {
+    Or,
+    And,
+    Not,
+}
+
+fn prec_of(e: &Expr) -> Prec {
+    match e {
+        Expr::Or(_, _) => Prec::Or,
+        Expr::And(_, _) => Prec::And,
+        _ => Prec::Not,
+    }
+}
+
+/// Print `e` as an operand of a context with precedence `ctx`,
+/// parenthesizing when `e` binds less tightly.
+fn fmt_operand(f: &mut fmt::Formatter<'_>, e: &Expr, ctx: Prec) -> fmt::Result {
+    if prec_of(e) < ctx {
+        write!(f, "({e})")
+    } else {
+        e.fmt(f)
+    }
+}
+
+fn join<T: fmt::Display>(items: &[T], sep: &str) -> String {
+    let mut s = String::new();
+    for (i, it) in items.iter().enumerate() {
+        if i > 0 {
+            s.push_str(sep);
+        }
+        let _ = write!(s, "{it}");
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::{parse_expr, parse_query, parse_statement};
+
+    /// Parse → print → parse must be a fixpoint.
+    fn roundtrip_query(sql: &str) {
+        let q1 = parse_query(sql).unwrap();
+        let printed = q1.to_string();
+        let q2 = parse_query(&printed).unwrap_or_else(|e| {
+            panic!("printed SQL failed to parse: {printed}\nerror: {e}")
+        });
+        assert_eq!(q1, q2, "round-trip changed the AST for: {printed}");
+    }
+
+    #[test]
+    fn roundtrips_paper_examples() {
+        for sql in [
+            "SELECT DISTINCT S.SNO, P.PNO, P.PNAME FROM SUPPLIER S, PARTS P \
+             WHERE S.SNO = P.SNO AND P.COLOR = 'RED'",
+            "SELECT ALL S.SNO, SNAME, P.PNO, PNAME FROM SUPPLIER S, PARTS P \
+             WHERE P.SNO = :SUPPLIER-NO AND S.SNO = P.SNO",
+            "SELECT ALL S.SNO, S.SNAME FROM SUPPLIER S WHERE EXISTS \
+             (SELECT * FROM PARTS P WHERE P.SNO = S.SNO AND P.COLOR = 'RED')",
+            "SELECT ALL S.SNO FROM SUPPLIER S WHERE S.SCITY = 'Toronto' INTERSECT \
+             SELECT ALL A.SNO FROM AGENTS A WHERE A.ACITY = 'Ottawa' OR A.ACITY = 'Hull'",
+            "SELECT A FROM T INTERSECT ALL SELECT A FROM U",
+            "SELECT A FROM T EXCEPT SELECT A FROM U EXCEPT ALL SELECT A FROM V",
+        ] {
+            roundtrip_query(sql);
+        }
+    }
+
+    #[test]
+    fn parentheses_preserve_or_under_and() {
+        let e = parse_expr("(A = 1 OR B = 2) AND C = 3").unwrap();
+        let printed = e.to_string();
+        assert_eq!(parse_expr(&printed).unwrap(), e);
+        assert!(printed.contains('('), "needs parens: {printed}");
+    }
+
+    #[test]
+    fn not_prints_with_parens_when_needed() {
+        let e = parse_expr("NOT (A = 1 AND B = 2)").unwrap();
+        let printed = e.to_string();
+        assert_eq!(parse_expr(&printed).unwrap(), e);
+    }
+
+    #[test]
+    fn create_table_roundtrips() {
+        let sql = "CREATE TABLE PARTS (SNO INTEGER NOT NULL, PNO INTEGER NOT NULL, \
+                   PNAME VARCHAR, OEM-PNO INTEGER, COLOR VARCHAR, \
+                   PRIMARY KEY (SNO, PNO), UNIQUE (OEM-PNO), \
+                   CHECK (SNO BETWEEN 1 AND 499))";
+        let s1 = parse_statement(sql).unwrap();
+        let s2 = parse_statement(&s1.to_string()).unwrap();
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn insert_roundtrips() {
+        let sql = "INSERT INTO T (A, B) VALUES (1, 'x'), (NULL, 'O''Brien')";
+        let s1 = parse_statement(sql).unwrap();
+        let s2 = parse_statement(&s1.to_string()).unwrap();
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn null_aware_predicate_prints() {
+        let e = parse_expr("(A.SNO IS NULL AND S.SNO IS NULL) OR A.SNO = S.SNO").unwrap();
+        let printed = e.to_string();
+        assert_eq!(parse_expr(&printed).unwrap(), e);
+    }
+}

@@ -1,0 +1,101 @@
+//! The workspace-wide error type.
+//!
+//! One enum covers lexing/parsing, binding, constraint violations and
+//! execution; each crate constructs the variants relevant to its layer.
+//! Implemented by hand (no `thiserror`) to stay within the approved
+//! dependency set.
+
+use std::fmt;
+
+/// Convenient result alias used across the workspace.
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+/// Any error raised while parsing, planning, analyzing or executing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The lexer met a character or token it cannot form a token from.
+    Lex { pos: usize, message: String },
+    /// The parser met an unexpected token.
+    Parse { pos: usize, message: String },
+    /// Name resolution failed (unknown table/column, ambiguous reference).
+    Bind(String),
+    /// A comparison or operation was attempted between incompatible types.
+    TypeMismatch { left: String, right: String },
+    /// A referenced table does not exist in the catalog.
+    UnknownTable(String),
+    /// A referenced column does not exist in its table.
+    UnknownColumn { table: String, column: String },
+    /// DDL attempted to create a table that already exists.
+    DuplicateTable(String),
+    /// A row violates a table constraint (check / key / not-null).
+    ConstraintViolation { table: String, message: String },
+    /// A host variable had no binding at execution time.
+    UnboundHostVar(String),
+    /// Set operation operands are not union-compatible.
+    NotUnionCompatible { left: usize, right: usize },
+    /// Any other invariant violation (planner/executor internal error).
+    Internal(String),
+}
+
+impl Error {
+    /// Shorthand for an internal invariant violation.
+    pub fn internal(msg: impl Into<String>) -> Error {
+        Error::Internal(msg.into())
+    }
+
+    /// Shorthand for a binder error.
+    pub fn bind(msg: impl Into<String>) -> Error {
+        Error::Bind(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Lex { pos, message } => write!(f, "lex error at byte {pos}: {message}"),
+            Error::Parse { pos, message } => write!(f, "parse error at byte {pos}: {message}"),
+            Error::Bind(m) => write!(f, "binding error: {m}"),
+            Error::TypeMismatch { left, right } => {
+                write!(f, "type mismatch: cannot compare {left} with {right}")
+            }
+            Error::UnknownTable(t) => write!(f, "unknown table {t}"),
+            Error::UnknownColumn { table, column } => {
+                write!(f, "unknown column {table}.{column}")
+            }
+            Error::DuplicateTable(t) => write!(f, "table {t} already exists"),
+            Error::ConstraintViolation { table, message } => {
+                write!(f, "constraint violation on {table}: {message}")
+            }
+            Error::UnboundHostVar(h) => write!(f, "host variable :{h} has no binding"),
+            Error::NotUnionCompatible { left, right } => write!(
+                f,
+                "operands are not union-compatible ({left} vs {right} columns)"
+            ),
+            Error::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = Error::UnknownColumn {
+            table: "SUPPLIER".into(),
+            column: "XYZ".into(),
+        };
+        assert_eq!(e.to_string(), "unknown column SUPPLIER.XYZ");
+        let e = Error::UnboundHostVar("PARTNO".into());
+        assert!(e.to_string().contains(":PARTNO"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<Error>();
+    }
+}

@@ -1,0 +1,135 @@
+//! Identifier newtypes.
+//!
+//! SQL identifiers in this workspace are case-insensitive and normalized to
+//! upper case at construction, matching the SQL2 treatment of regular
+//! (unquoted) identifiers. Using distinct newtypes for table names, column
+//! names and host variables keeps the parser, catalog and analyzers from
+//! mixing them up.
+
+use std::borrow::Borrow;
+use std::fmt;
+
+macro_rules! ident_newtype {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(String);
+
+        impl $name {
+            /// Construct from any string; normalized to upper case.
+            pub fn new(s: impl AsRef<str>) -> Self {
+                $name(s.as_ref().to_ascii_uppercase())
+            }
+
+            /// The normalized identifier text.
+            pub fn as_str(&self) -> &str {
+                &self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(&self.0)
+            }
+        }
+
+        impl From<&str> for $name {
+            fn from(s: &str) -> Self {
+                $name::new(s)
+            }
+        }
+
+        impl From<String> for $name {
+            fn from(s: String) -> Self {
+                $name::new(s)
+            }
+        }
+
+        impl Borrow<str> for $name {
+            fn borrow(&self) -> &str {
+                &self.0
+            }
+        }
+
+        impl AsRef<str> for $name {
+            fn as_ref(&self) -> &str {
+                &self.0
+            }
+        }
+    };
+}
+
+ident_newtype!(
+    /// The name of a base table (or of a range variable / correlation name).
+    TableName
+);
+ident_newtype!(
+    /// The name of a column.
+    ColumnName
+);
+ident_newtype!(
+    /// The name of a host variable (`:SUPPLIER-NO` in the paper's examples).
+    HostVarName
+);
+
+/// A possibly-qualified column reference as written in a query
+/// (`S.SNO` or just `SNO`); resolution to a concrete table/column happens
+/// in the binder.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ColRef {
+    /// Optional qualifier: a table name or correlation name.
+    pub qualifier: Option<TableName>,
+    /// The column name.
+    pub column: ColumnName,
+}
+
+impl ColRef {
+    /// An unqualified reference.
+    pub fn bare(column: impl Into<ColumnName>) -> ColRef {
+        ColRef {
+            qualifier: None,
+            column: column.into(),
+        }
+    }
+
+    /// A qualified reference `qualifier.column`.
+    pub fn qualified(qualifier: impl Into<TableName>, column: impl Into<ColumnName>) -> ColRef {
+        ColRef {
+            qualifier: Some(qualifier.into()),
+            column: column.into(),
+        }
+    }
+}
+
+impl fmt::Display for ColRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.qualifier {
+            Some(q) => write!(f, "{q}.{}", self.column),
+            None => write!(f, "{}", self.column),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identifiers_normalize_to_upper_case() {
+        assert_eq!(TableName::new("supplier"), TableName::new("SUPPLIER"));
+        assert_eq!(ColumnName::new("sno").as_str(), "SNO");
+    }
+
+    #[test]
+    fn colref_display() {
+        assert_eq!(ColRef::qualified("s", "sno").to_string(), "S.SNO");
+        assert_eq!(ColRef::bare("pno").to_string(), "PNO");
+    }
+
+    #[test]
+    fn newtypes_are_distinct_types() {
+        fn takes_table(_: TableName) {}
+        takes_table(TableName::new("T"));
+        // ColumnName would not compile here — the point of the newtypes.
+    }
+}

@@ -1,0 +1,28 @@
+//! Foundational types shared by every crate in the `uniqueness` workspace.
+//!
+//! This crate implements the semantic bedrock of Paulley & Larson's
+//! *Exploiting Uniqueness in Query Optimization* (ICDE 1994):
+//!
+//! * [`Tri`] — SQL's three-valued logic (true / false / unknown) together
+//!   with the paper's *interpretation operators* ⌈P⌉ (true-interpreted) and
+//!   ⌊P⌋ (false-interpreted) from Table 2.
+//! * [`Value`] — runtime values including `NULL`, with the two distinct
+//!   equality notions the paper is careful to separate: the `WHERE`-clause
+//!   comparison [`Value::sql_eq`] (where `NULL = NULL` is *unknown*) and the
+//!   null-aware equivalence operator `=̇` [`Value::null_eq`] (where
+//!   `NULL =̇ NULL` is *true*) used by `DISTINCT`, set operators, `GROUP BY`
+//!   and functional dependencies.
+//! * [`DataType`] — the small scalar type system of the paper's SQL2 subset.
+//! * Identifier newtypes ([`TableName`], [`ColumnName`], [`ColRef`]) shared
+//!   by the parser, catalog, planner and analyzers.
+//! * [`Error`] — the workspace-wide error type.
+
+pub mod error;
+pub mod ident;
+pub mod tri;
+pub mod value;
+
+pub use error::{Error, Result};
+pub use ident::{ColRef, ColumnName, HostVarName, TableName};
+pub use tri::Tri;
+pub use value::{DataType, Value};

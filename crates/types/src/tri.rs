@@ -1,0 +1,194 @@
+//! SQL three-valued logic.
+//!
+//! SQL predicates evaluate to one of *true*, *false* or *unknown*; the
+//! paper's Table 2 defines how an unknown outcome is folded back into a
+//! two-valued decision depending on context:
+//!
+//! | notation | name              | SQL reading                                |
+//! |----------|-------------------|--------------------------------------------|
+//! | `P(x)`   | undefined         | `x IS NOT NULL ⇒ P(x)` (no interpretation) |
+//! | `⌈P(x)⌉` | true-interpreted  | `x IS NULL OR P(x)`                        |
+//! | `⌊P(x)⌋` | false-interpreted | `x IS NOT NULL AND P(x)`                   |
+//!
+//! `WHERE` and `HAVING` clauses are false-interpreted (a row qualifies only
+//! if the predicate is *true*), which is why [`Tri::false_interpreted`] is
+//! the operator applied by the executor's filters.
+
+/// A three-valued truth value: the result of evaluating a SQL predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tri {
+    /// The predicate definitely holds.
+    True,
+    /// The predicate definitely does not hold.
+    False,
+    /// The predicate's outcome is unknown (some operand was `NULL`).
+    Unknown,
+}
+
+impl Tri {
+    /// Lift a two-valued boolean into three-valued logic.
+    #[inline]
+    pub fn from_bool(b: bool) -> Tri {
+        if b {
+            Tri::True
+        } else {
+            Tri::False
+        }
+    }
+
+    /// Three-valued conjunction (Kleene `AND`).
+    ///
+    /// `false` dominates: `false AND unknown = false`.
+    #[inline]
+    pub fn and(self, other: Tri) -> Tri {
+        match (self, other) {
+            (Tri::False, _) | (_, Tri::False) => Tri::False,
+            (Tri::True, Tri::True) => Tri::True,
+            _ => Tri::Unknown,
+        }
+    }
+
+    /// Three-valued disjunction (Kleene `OR`).
+    ///
+    /// `true` dominates: `true OR unknown = true`.
+    #[inline]
+    pub fn or(self, other: Tri) -> Tri {
+        match (self, other) {
+            (Tri::True, _) | (_, Tri::True) => Tri::True,
+            (Tri::False, Tri::False) => Tri::False,
+            _ => Tri::Unknown,
+        }
+    }
+
+    /// Three-valued negation; `NOT unknown = unknown`.
+    ///
+    /// Deliberately named `not` to match the logic-operator family
+    /// (`and`/`or`/`not`); `Tri` does not implement `std::ops::Not` so
+    /// there is no ambiguity in practice.
+    #[allow(clippy::should_implement_trait)]
+    #[inline]
+    pub fn not(self) -> Tri {
+        match self {
+            Tri::True => Tri::False,
+            Tri::False => Tri::True,
+            Tri::Unknown => Tri::Unknown,
+        }
+    }
+
+    /// The paper's false interpretation `⌊P⌋`: unknown is read as *false*.
+    ///
+    /// This is the SQL `WHERE`-clause rule — a tuple qualifies only when the
+    /// search condition is definitely true.
+    #[inline]
+    pub fn false_interpreted(self) -> bool {
+        self == Tri::True
+    }
+
+    /// The paper's true interpretation `⌈P⌉`: unknown is read as *true*.
+    ///
+    /// Used when reasoning about constraints that a `NULL` vacuously
+    /// satisfies (e.g. `CHECK` constraints, which reject a row only when
+    /// the condition is definitely false).
+    #[inline]
+    pub fn true_interpreted(self) -> bool {
+        self != Tri::False
+    }
+
+    /// Returns `true` iff the value is [`Tri::Unknown`].
+    #[inline]
+    pub fn is_unknown(self) -> bool {
+        self == Tri::Unknown
+    }
+}
+
+impl From<bool> for Tri {
+    fn from(b: bool) -> Tri {
+        Tri::from_bool(b)
+    }
+}
+
+impl std::fmt::Display for Tri {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Tri::True => "true",
+            Tri::False => "false",
+            Tri::Unknown => "unknown",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [Tri; 3] = [Tri::True, Tri::False, Tri::Unknown];
+
+    #[test]
+    fn and_truth_table() {
+        assert_eq!(Tri::True.and(Tri::True), Tri::True);
+        assert_eq!(Tri::True.and(Tri::False), Tri::False);
+        assert_eq!(Tri::True.and(Tri::Unknown), Tri::Unknown);
+        assert_eq!(Tri::False.and(Tri::Unknown), Tri::False);
+        assert_eq!(Tri::Unknown.and(Tri::Unknown), Tri::Unknown);
+    }
+
+    #[test]
+    fn or_truth_table() {
+        assert_eq!(Tri::False.or(Tri::False), Tri::False);
+        assert_eq!(Tri::False.or(Tri::True), Tri::True);
+        assert_eq!(Tri::Unknown.or(Tri::True), Tri::True);
+        assert_eq!(Tri::Unknown.or(Tri::False), Tri::Unknown);
+        assert_eq!(Tri::Unknown.or(Tri::Unknown), Tri::Unknown);
+    }
+
+    #[test]
+    fn not_involutive_on_known() {
+        for t in ALL {
+            assert_eq!(t.not().not(), t);
+        }
+    }
+
+    #[test]
+    fn de_morgan_holds_in_kleene_logic() {
+        for a in ALL {
+            for b in ALL {
+                assert_eq!(a.and(b).not(), a.not().or(b.not()));
+                assert_eq!(a.or(b).not(), a.not().and(b.not()));
+            }
+        }
+    }
+
+    #[test]
+    fn and_or_commutative_associative() {
+        for a in ALL {
+            for b in ALL {
+                assert_eq!(a.and(b), b.and(a));
+                assert_eq!(a.or(b), b.or(a));
+                for c in ALL {
+                    assert_eq!(a.and(b).and(c), a.and(b.and(c)));
+                    assert_eq!(a.or(b).or(c), a.or(b.or(c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interpretation_operators() {
+        assert!(Tri::True.false_interpreted());
+        assert!(!Tri::Unknown.false_interpreted());
+        assert!(!Tri::False.false_interpreted());
+        assert!(Tri::True.true_interpreted());
+        assert!(Tri::Unknown.true_interpreted());
+        assert!(!Tri::False.true_interpreted());
+    }
+
+    #[test]
+    fn interpretations_differ_exactly_on_unknown() {
+        for t in ALL {
+            assert_eq!(
+                t.false_interpreted() != t.true_interpreted(),
+                t.is_unknown()
+            );
+        }
+    }
+}

@@ -1,0 +1,333 @@
+//! Runtime values and the two SQL equality notions.
+//!
+//! The paper hinges on the distinction between comparing values inside a
+//! `WHERE` clause (three-valued, `NULL = NULL` is *unknown*) and comparing
+//! whole tuples for duplicate elimination, set operators and functional
+//! dependencies (two-valued, `NULL =̇ NULL` is *true* — the `=̇` operator of
+//! the paper's Table 2). [`Value`] exposes both as [`Value::sql_eq`] and
+//! [`Value::null_eq`].
+
+use crate::error::{Error, Result};
+use crate::tri::Tri;
+use std::cmp::Ordering;
+
+/// Scalar data types of the paper's SQL2 subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer (`INTEGER`).
+    Int,
+    /// Variable-length character string (`VARCHAR`).
+    Str,
+    /// Boolean — used internally for predicate results, not declarable.
+    Bool,
+}
+
+impl std::fmt::Display for DataType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            DataType::Int => "INTEGER",
+            DataType::Str => "VARCHAR",
+            DataType::Bool => "BOOLEAN",
+        })
+    }
+}
+
+/// A runtime SQL value, possibly `NULL`.
+///
+/// `Value` intentionally does **not** implement `PartialOrd`/`Ord` directly
+/// for SQL comparisons; use [`Value::sql_cmp`] (three-valued, `WHERE`
+/// semantics) or [`Value::null_cmp`] (total order with `NULL` as a distinct
+/// smallest value, used by sorts and duplicate elimination).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// The SQL null value.
+    Null,
+    /// An integer value.
+    Int(i64),
+    /// A string value.
+    Str(String),
+    /// A boolean value (internal use).
+    Bool(bool),
+}
+
+impl Value {
+    /// Convenience constructor for string values.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// Returns `true` iff this value is `NULL`.
+    #[inline]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The value's data type, or `None` for `NULL` (which is typeless).
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int),
+            Value::Str(_) => Some(DataType::Str),
+            Value::Bool(_) => Some(DataType::Bool),
+        }
+    }
+
+    /// Compare two non-null values of the same type.
+    ///
+    /// Returns an error on a type mismatch — the binder is expected to have
+    /// rejected ill-typed comparisons, so hitting this at runtime indicates
+    /// a planning bug rather than bad data.
+    fn cmp_known(&self, other: &Value) -> Result<Ordering> {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Ok(a.cmp(b)),
+            (Value::Str(a), Value::Str(b)) => Ok(a.cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) => Ok(a.cmp(b)),
+            _ => Err(Error::TypeMismatch {
+                left: format!("{self}"),
+                right: format!("{other}"),
+            }),
+        }
+    }
+
+    /// Three-valued comparison, as used in `WHERE` clauses.
+    ///
+    /// If either operand is `NULL` the result is `None` (unknown);
+    /// otherwise `Some(ordering)`.
+    pub fn sql_cmp(&self, other: &Value) -> Result<Option<Ordering>> {
+        if self.is_null() || other.is_null() {
+            return Ok(None);
+        }
+        self.cmp_known(other).map(Some)
+    }
+
+    /// Three-valued equality: the SQL `=` operator of a `WHERE` clause.
+    ///
+    /// `NULL = anything` is [`Tri::Unknown`].
+    pub fn sql_eq(&self, other: &Value) -> Result<Tri> {
+        Ok(match self.sql_cmp(other)? {
+            None => Tri::Unknown,
+            Some(o) => Tri::from_bool(o == Ordering::Equal),
+        })
+    }
+
+    /// The paper's null-aware equivalence `=̇` (Table 2):
+    /// `(X IS NULL AND Y IS NULL) OR X = Y`.
+    ///
+    /// This is the equality used by `SELECT DISTINCT`, `INTERSECT`/`EXCEPT`,
+    /// `GROUP BY`/`ORDER BY`, and by functional dependencies (Definition 1).
+    /// It is two-valued: two `NULL`s *are* equivalent.
+    pub fn null_eq(&self, other: &Value) -> Result<bool> {
+        match (self.is_null(), other.is_null()) {
+            (true, true) => Ok(true),
+            (true, false) | (false, true) => Ok(false),
+            (false, false) => Ok(self.cmp_known(other)? == Ordering::Equal),
+        }
+    }
+
+    /// Total order used by sorts and sort-based duplicate elimination:
+    /// `NULL` sorts before every non-null value, and `NULL =̇ NULL`.
+    ///
+    /// Consistent with [`Value::null_eq`]: `null_cmp` returns `Equal`
+    /// exactly when `null_eq` returns `true`.
+    pub fn null_cmp(&self, other: &Value) -> Result<Ordering> {
+        match (self.is_null(), other.is_null()) {
+            (true, true) => Ok(Ordering::Equal),
+            (true, false) => Ok(Ordering::Less),
+            (false, true) => Ok(Ordering::Greater),
+            (false, false) => self.cmp_known(other),
+        }
+    }
+
+    /// Extract an integer, erroring on any other variant.
+    pub fn as_int(&self) -> Result<i64> {
+        match self {
+            Value::Int(i) => Ok(*i),
+            other => Err(Error::TypeMismatch {
+                left: "INTEGER".into(),
+                right: format!("{other}"),
+            }),
+        }
+    }
+
+    /// Extract a string slice, erroring on any other variant.
+    pub fn as_str(&self) -> Result<&str> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(Error::TypeMismatch {
+                left: "VARCHAR".into(),
+                right: format!("{other}"),
+            }),
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Value) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Canonical total order for containers (`BTreeMap` keys, sorts):
+/// `NULL` first, then by type rank (`Bool < Int < Str`), then by payload.
+/// Agrees with [`Value::null_cmp`] whenever that succeeds, and with the
+/// structural `Eq` everywhere — so `cmp(a, b) == Equal ⇔ a.null_eq(b)`
+/// for same-typed values.
+impl Ord for Value {
+    fn cmp(&self, other: &Value) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Bool(_) => 1,
+                Value::Int(_) => 2,
+                Value::Str(_) => 3,
+            }
+        }
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            _ => rank(self).cmp(&rank(other)),
+        }
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Value::Bool(b) => f.write_str(if *b { "TRUE" } else { "FALSE" }),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::Int(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+/// Compare two tuples (slices of values) under the `=̇` equivalence of the
+/// paper's equation (1): tuples are equivalent iff every pair of
+/// corresponding attributes is `null_eq`.
+pub fn tuple_null_eq(a: &[Value], b: &[Value]) -> Result<bool> {
+    if a.len() != b.len() {
+        return Ok(false);
+    }
+    for (x, y) in a.iter().zip(b) {
+        if !x.null_eq(y)? {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Total lexicographic order on tuples under [`Value::null_cmp`].
+pub fn tuple_null_cmp(a: &[Value], b: &[Value]) -> Result<Ordering> {
+    for (x, y) in a.iter().zip(b) {
+        match x.null_cmp(y)? {
+            Ordering::Equal => continue,
+            o => return Ok(o),
+        }
+    }
+    Ok(a.len().cmp(&b.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sql_eq_null_is_unknown() {
+        assert_eq!(Value::Null.sql_eq(&Value::Null).unwrap(), Tri::Unknown);
+        assert_eq!(Value::Null.sql_eq(&Value::Int(1)).unwrap(), Tri::Unknown);
+        assert_eq!(Value::Int(1).sql_eq(&Value::Null).unwrap(), Tri::Unknown);
+    }
+
+    #[test]
+    fn sql_eq_known_values() {
+        assert_eq!(Value::Int(1).sql_eq(&Value::Int(1)).unwrap(), Tri::True);
+        assert_eq!(Value::Int(1).sql_eq(&Value::Int(2)).unwrap(), Tri::False);
+        assert_eq!(
+            Value::str("a").sql_eq(&Value::str("a")).unwrap(),
+            Tri::True
+        );
+    }
+
+    #[test]
+    fn null_eq_treats_nulls_as_equivalent() {
+        assert!(Value::Null.null_eq(&Value::Null).unwrap());
+        assert!(!Value::Null.null_eq(&Value::Int(1)).unwrap());
+        assert!(!Value::Int(1).null_eq(&Value::Null).unwrap());
+        assert!(Value::Int(7).null_eq(&Value::Int(7)).unwrap());
+    }
+
+    #[test]
+    fn null_cmp_sorts_null_first_and_matches_null_eq() {
+        assert_eq!(
+            Value::Null.null_cmp(&Value::Int(i64::MIN)).unwrap(),
+            Ordering::Less
+        );
+        assert_eq!(Value::Null.null_cmp(&Value::Null).unwrap(), Ordering::Equal);
+        let vals = [Value::Null, Value::Int(0), Value::Int(1)];
+        for a in &vals {
+            for b in &vals {
+                assert_eq!(
+                    a.null_cmp(b).unwrap() == Ordering::Equal,
+                    a.null_eq(b).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn type_mismatch_is_an_error() {
+        assert!(Value::Int(1).sql_eq(&Value::str("x")).is_err());
+        assert!(Value::Int(1).null_eq(&Value::str("x")).is_err());
+    }
+
+    #[test]
+    fn tuple_equivalence_matches_paper_equation_1() {
+        let a = [Value::Int(1), Value::Null, Value::str("x")];
+        let b = [Value::Int(1), Value::Null, Value::str("x")];
+        let c = [Value::Int(1), Value::Int(2), Value::str("x")];
+        assert!(tuple_null_eq(&a, &b).unwrap());
+        assert!(!tuple_null_eq(&a, &c).unwrap());
+    }
+
+    #[test]
+    fn tuple_order_is_total_and_consistent() {
+        let a = [Value::Null, Value::Int(1)];
+        let b = [Value::Int(0), Value::Null];
+        assert_eq!(tuple_null_cmp(&a, &b).unwrap(), Ordering::Less);
+        assert_eq!(tuple_null_cmp(&b, &a).unwrap(), Ordering::Greater);
+        assert_eq!(tuple_null_cmp(&a, &a).unwrap(), Ordering::Equal);
+    }
+
+    #[test]
+    fn display_quotes_strings() {
+        assert_eq!(Value::str("O'Brien").to_string(), "'O''Brien'");
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Int(-3).to_string(), "-3");
+    }
+}

@@ -1,0 +1,56 @@
+//! # uniqueness — *Exploiting Uniqueness in Query Optimization*
+//!
+//! A full reproduction of Paulley & Larson's ICDE 1994 paper: a SQL2
+//! front end, constraint-aware catalog, the uniqueness analyses
+//! (Theorem 1 / Algorithm 1), the semantic rewrites of §5–§6, a multiset
+//! executor with exact three-valued-logic and `=̇` null semantics, and
+//! the two navigational back-end simulators (IMS/DL-I and a
+//! pointer-based OODB) the paper uses to argue the join → subquery
+//! direction.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use uniqueness::engine::Session;
+//!
+//! // The paper's Figure 1 supplier database.
+//! let session = Session::sample().unwrap();
+//!
+//! // Paper Example 1: the DISTINCT is provably redundant.
+//! let out = session
+//!     .query(
+//!         "SELECT DISTINCT S.SNO, P.PNO, P.PNAME FROM SUPPLIER S, PARTS P \
+//!          WHERE S.SNO = P.SNO AND P.COLOR = 'RED'",
+//!     )
+//!     .unwrap();
+//! assert_eq!(out.steps.len(), 1);            // one rewrite applied
+//! assert_eq!(out.steps[0].rule, "distinct-removal");
+//! assert_eq!(out.stats.sorts, 0);            // the result sort is gone
+//! assert_eq!(out.rows.len(), 4);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`types`] | values, 3-valued logic, the `=̇` operator |
+//! | [`sql`] | lexer, parser, AST, SQL printer |
+//! | [`catalog`] | schemas, keys, `CHECK`s, validated storage |
+//! | [`plan`] | binder, bound algebra, CNF/DNF normalization |
+//! | [`fd`] | FD sets, closure, candidate keys |
+//! | [`core`] | Algorithm 1, FD uniqueness test, rewrite rules |
+//! | [`engine`] | executor, set operations, [`engine::Session`] |
+//! | [`ims`] | HIDAM/DL-I simulator and the Example 10 gateway |
+//! | [`oodb`] | pointer-based object store, Example 11 strategies |
+//! | [`workload`] | scaled data, random instances, labelled corpus |
+
+pub use uniq_catalog as catalog;
+pub use uniq_core as core;
+pub use uniq_engine as engine;
+pub use uniq_fd as fd;
+pub use uniq_ims as ims;
+pub use uniq_oodb as oodb;
+pub use uniq_plan as plan;
+pub use uniq_sql as sql;
+pub use uniq_types as types;
+pub use uniq_workload as workload;

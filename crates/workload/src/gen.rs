@@ -1,0 +1,165 @@
+//! Scaled supplier databases for benchmarks.
+//!
+//! Same shape as Figure 1 but without the pedagogical `CHECK (SNO BETWEEN
+//! 1 AND 499)` bound, so instances can grow to benchmark sizes. Keys and
+//! the `OEM-PNO` candidate key are preserved — they are what the paper's
+//! analyses exploit.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use uniq_catalog::Database;
+use uniq_types::{Result, Value};
+
+/// Knobs for the scaled generator.
+#[derive(Debug, Clone, Copy)]
+pub struct ScaleConfig {
+    /// Number of suppliers.
+    pub suppliers: usize,
+    /// Parts per supplier.
+    pub parts_per_supplier: usize,
+    /// Agents per supplier.
+    pub agents_per_supplier: usize,
+    /// Fraction of parts that are red (the Example 1/8 predicate's
+    /// selectivity), in [0, 1].
+    pub red_fraction: f64,
+    /// Number of distinct supplier names (smaller → more duplicate
+    /// names, the Example 2 situation).
+    pub name_pool: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ScaleConfig {
+    fn default() -> Self {
+        ScaleConfig {
+            suppliers: 1_000,
+            parts_per_supplier: 10,
+            agents_per_supplier: 2,
+            red_fraction: 0.3,
+            name_pool: 100,
+            seed: 42,
+        }
+    }
+}
+
+/// The scaled schema: Figure 1 minus the small-range checks.
+pub fn scaled_schema() -> Result<Database> {
+    let mut db = Database::new();
+    db.run_script(
+        "CREATE TABLE SUPPLIER (
+           SNO INTEGER NOT NULL, SNAME VARCHAR, SCITY VARCHAR,
+           BUDGET INTEGER, STATUS VARCHAR,
+           PRIMARY KEY (SNO),
+           CHECK (SCITY IN ('Chicago', 'New York', 'Toronto')),
+           CHECK (BUDGET <> 0 OR STATUS = 'Inactive'));
+         CREATE TABLE PARTS (
+           SNO INTEGER NOT NULL, PNO INTEGER NOT NULL, PNAME VARCHAR,
+           OEM-PNO INTEGER, COLOR VARCHAR,
+           PRIMARY KEY (SNO, PNO), UNIQUE (OEM-PNO),
+           FOREIGN KEY (SNO) REFERENCES SUPPLIER (SNO));
+         CREATE TABLE AGENTS (
+           SNO INTEGER NOT NULL, ANO INTEGER NOT NULL, ANAME VARCHAR,
+           ACITY VARCHAR,
+           PRIMARY KEY (SNO, ANO),
+           FOREIGN KEY (SNO) REFERENCES SUPPLIER (SNO));",
+    )?;
+    Ok(db)
+}
+
+/// Generate a populated database at the given scale.
+pub fn scaled_database(config: &ScaleConfig) -> Result<Database> {
+    let mut db = scaled_schema()?;
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let cities = ["Chicago", "New York", "Toronto"];
+    let supplier = "SUPPLIER".into();
+    let parts = "PARTS".into();
+    let agents = "AGENTS".into();
+    let mut oem = 1_000_000i64;
+    for s in 1..=config.suppliers as i64 {
+        db.insert(
+            &supplier,
+            vec![
+                Value::Int(s),
+                Value::str(format!("Name{}", rng.gen_range(0..config.name_pool.max(1)))),
+                Value::str(cities[rng.gen_range(0..cities.len())]),
+                Value::Int(rng.gen_range(1..100_000)),
+                Value::str("Active"),
+            ],
+        )?;
+        for p in 1..=config.parts_per_supplier as i64 {
+            let red = rng.gen_bool(config.red_fraction.clamp(0.0, 1.0));
+            oem += 1;
+            db.insert(
+                &parts,
+                vec![
+                    Value::Int(s),
+                    Value::Int(p),
+                    Value::str(format!("part{p}")),
+                    Value::Int(oem),
+                    Value::str(if red { "RED" } else { "GREEN" }),
+                ],
+            )?;
+        }
+        for a in 1..=config.agents_per_supplier as i64 {
+            db.insert(
+                &agents,
+                vec![
+                    Value::Int(s),
+                    Value::Int(a),
+                    Value::str(format!("agent{a}")),
+                    Value::str(if rng.gen_bool(0.5) { "Ottawa" } else { "Hull" }),
+                ],
+            )?;
+        }
+    }
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_database_has_expected_counts() {
+        let cfg = ScaleConfig {
+            suppliers: 50,
+            parts_per_supplier: 4,
+            agents_per_supplier: 2,
+            ..Default::default()
+        };
+        let db = scaled_database(&cfg).unwrap();
+        assert_eq!(db.row_count(&"SUPPLIER".into()).unwrap(), 50);
+        assert_eq!(db.row_count(&"PARTS".into()).unwrap(), 200);
+        assert_eq!(db.row_count(&"AGENTS".into()).unwrap(), 100);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = ScaleConfig {
+            suppliers: 10,
+            ..Default::default()
+        };
+        let a = scaled_database(&cfg).unwrap();
+        let b = scaled_database(&cfg).unwrap();
+        assert_eq!(
+            a.rows(&"SUPPLIER".into()).unwrap(),
+            b.rows(&"SUPPLIER".into()).unwrap()
+        );
+    }
+
+    #[test]
+    fn red_fraction_zero_and_one() {
+        let cfg = ScaleConfig {
+            suppliers: 10,
+            parts_per_supplier: 5,
+            red_fraction: 1.0,
+            ..Default::default()
+        };
+        let db = scaled_database(&cfg).unwrap();
+        assert!(db
+            .rows(&"PARTS".into())
+            .unwrap()
+            .iter()
+            .all(|r| r[4] == Value::str("RED")));
+    }
+}

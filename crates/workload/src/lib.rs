@@ -1,0 +1,13 @@
+//! Workload generation: scaled supplier databases, random valid
+//! instances for property tests, and a labelled query corpus.
+//!
+//! Everything is deterministic given a seed, so experiments and property
+//! tests are reproducible run to run.
+
+pub mod corpus;
+pub mod gen;
+pub mod instance;
+
+pub use corpus::{generate_corpus, CorpusQuery, CorpusStats};
+pub use gen::{scaled_database, scaled_schema, ScaleConfig};
+pub use instance::random_instance;

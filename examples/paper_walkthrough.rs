@@ -1,0 +1,162 @@
+//! Walk through every worked example of the paper, showing each
+//! analysis verdict and rewrite on the Figure 1 sample database.
+//!
+//! Run with: `cargo run --example paper_walkthrough`
+
+use uniqueness::core::algorithm1::{algorithm1, Algorithm1Options};
+use uniqueness::core::analysis::unique_projection;
+use uniqueness::core::pipeline::{Optimizer, OptimizerOptions};
+use uniqueness::engine::Session;
+use uniqueness::plan::{bind_query, HostVars};
+use uniqueness::sql::parse_query;
+
+fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+fn show(session: &Session, title: &str, sql: &str, hv: &HostVars, opts: OptimizerOptions) {
+    banner(title);
+    println!("original : {sql}");
+    let ast = parse_query(sql).expect("parse");
+    let bound = bind_query(session.db.catalog(), &ast).expect("bind");
+    if let Some(spec) = bound.as_spec() {
+        let a1 = algorithm1(spec, &Algorithm1Options::default());
+        let fd = unique_projection(spec);
+        println!(
+            "analysis : Algorithm 1 → {} | FD test → {} ({})",
+            if a1.unique { "YES" } else { "NO" },
+            if fd.unique { "YES" } else { "NO" },
+            fd.reason
+        );
+    }
+    let outcome = Optimizer::new(opts).optimize(&bound);
+    if outcome.steps.is_empty() {
+        println!("rewrite  : (none applicable)");
+    }
+    for step in &outcome.steps {
+        println!("rewrite  : [{}] {}", step.rule, step.why);
+        println!("           {}", step.sql_after);
+    }
+    // Execute both forms and confirm equivalence.
+    let base = {
+        let mut ex = uniqueness::engine::Executor::new(
+            &session.db,
+            hv,
+            uniqueness::engine::ExecOptions::default(),
+        );
+        ex.run(&bound).expect("execute original")
+    };
+    let opt = {
+        let mut ex = uniqueness::engine::Executor::new(
+            &session.db,
+            hv,
+            uniqueness::engine::ExecOptions::default(),
+        );
+        ex.run(&outcome.query).expect("execute rewritten")
+    };
+    let canon = |mut rows: Vec<Vec<uniqueness::types::Value>>| {
+        rows.sort();
+        rows
+    };
+    assert_eq!(canon(base.clone()), canon(opt), "rewrite changed semantics!");
+    println!("execution: {} row(s), rewritten form agrees ✓", base.len());
+}
+
+fn main() {
+    let session = Session::sample().expect("sample database");
+    let rel = OptimizerOptions::relational();
+    let nav = OptimizerOptions::navigational();
+
+    show(
+        &session,
+        "Example 1 — redundant DISTINCT (Theorem 1)",
+        "SELECT DISTINCT S.SNO, P.PNO, P.PNAME FROM SUPPLIER S, PARTS P \
+         WHERE S.SNO = P.SNO AND P.COLOR = 'RED'",
+        &HostVars::new(),
+        rel,
+    );
+
+    show(
+        &session,
+        "Example 2 — DISTINCT is required (same-name suppliers)",
+        "SELECT DISTINCT S.SNAME, P.PNO, P.PNAME FROM SUPPLIER S, PARTS P \
+         WHERE S.SNO = P.SNO AND P.COLOR = 'RED'",
+        &HostVars::new(),
+        rel,
+    );
+
+    let hv3 = HostVars::new().with("SUPPLIER-NO", 3i64);
+    show(
+        &session,
+        "Examples 3-5 — host variable pins PARTS' key; Algorithm 1 traces YES",
+        "SELECT DISTINCT S.SNO, SNAME, P.PNO, PNAME FROM SUPPLIER S, PARTS P \
+         WHERE P.SNO = :SUPPLIER-NO AND S.SNO = P.SNO",
+        &hv3,
+        rel,
+    );
+
+    let hv6 = HostVars::new().with("SUPPLIER-NAME", "Acme");
+    show(
+        &session,
+        "Example 6 — DISTINCT redundant despite non-key restriction",
+        "SELECT DISTINCT S.SNO, PNO, PNAME, P.COLOR FROM SUPPLIER S, PARTS P \
+         WHERE S.SNAME = :SUPPLIER-NAME AND S.SNO = P.SNO",
+        &hv6,
+        rel,
+    );
+
+    let hv7 = HostVars::new()
+        .with("SUPPLIER-NAME", "Acme")
+        .with("PART-NO", 10i64);
+    show(
+        &session,
+        "Example 7 — subquery → join (Theorem 2)",
+        "SELECT ALL S.SNO, S.SNAME FROM SUPPLIER S \
+         WHERE S.SNAME = :SUPPLIER-NAME AND EXISTS \
+         (SELECT * FROM PARTS P WHERE S.SNO = P.SNO AND P.PNO = :PART-NO)",
+        &hv7,
+        rel,
+    );
+
+    show(
+        &session,
+        "Example 8 — subquery → DISTINCT join (Corollary 1)",
+        "SELECT ALL S.SNO, S.SNAME FROM SUPPLIER S WHERE EXISTS \
+         (SELECT * FROM PARTS P WHERE P.SNO = S.SNO AND P.COLOR = 'RED')",
+        &HostVars::new(),
+        rel,
+    );
+
+    show(
+        &session,
+        "Example 9 — INTERSECT → EXISTS (Theorem 3)",
+        "SELECT ALL S.SNO FROM SUPPLIER S WHERE S.SCITY = 'Toronto' \
+         INTERSECT \
+         SELECT ALL A.SNO FROM AGENTS A WHERE A.ACITY = 'Ottawa' OR A.ACITY = 'Hull'",
+        &HostVars::new(),
+        rel,
+    );
+
+    let hv10 = HostVars::new().with("PARTNO", 10i64);
+    show(
+        &session,
+        "Example 10 — join → subquery for IMS (§6.1, navigational profile)",
+        "SELECT ALL S.SNO, S.SNAME, S.SCITY, S.BUDGET, S.STATUS \
+         FROM SUPPLIER S, PARTS P WHERE S.SNO = P.SNO AND P.PNO = :PARTNO",
+        &hv10,
+        nav,
+    );
+
+    let hv11 = HostVars::new().with("PARTNO", 10i64);
+    show(
+        &session,
+        "Example 11 — join → subquery for pointer-based OODBs (§6.2)",
+        "SELECT ALL S.SNO, S.SNAME, S.SCITY, S.BUDGET, S.STATUS \
+         FROM SUPPLIER S, PARTS P \
+         WHERE S.SNO BETWEEN 1 AND 3 AND S.SNO = P.SNO AND P.PNO = :PARTNO",
+        &hv11,
+        nav,
+    );
+
+    println!("\nAll paper examples reproduced; every rewrite preserved semantics.");
+}

@@ -1,0 +1,59 @@
+//! Quickstart: detect a redundant DISTINCT and skip the result sort.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use uniqueness::engine::Session;
+use uniqueness::plan::HostVars;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's Figure 1 supplier database, populated with the sample
+    // instance used throughout the examples.
+    let session = Session::sample()?;
+
+    // Paper Example 1: every result row carries SNO and PNO — the key of
+    // PARTS — so the DISTINCT cannot eliminate anything.
+    let sql = "SELECT DISTINCT S.SNO, P.PNO, P.PNAME FROM SUPPLIER S, PARTS P \
+               WHERE S.SNO = P.SNO AND P.COLOR = 'RED'";
+    println!("query:\n  {sql}\n");
+
+    let out = session.query(sql)?;
+    println!("optimizer steps:");
+    for step in &out.steps {
+        println!("  [{}] {}", step.rule, step.why);
+        println!("  rewritten: {}", step.sql_after);
+    }
+
+    println!("\nresult ({} rows):", out.rows.len());
+    let header: Vec<String> = out.columns.iter().map(|c| c.to_string()).collect();
+    println!("  {}", header.join(" | "));
+    for row in &out.rows {
+        let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+        println!("  {}", cells.join(" | "));
+    }
+
+    // The point of the rewrite: no sort was needed.
+    println!("\nsorts performed: {}", out.stats.sorts);
+    assert_eq!(out.stats.sorts, 0);
+
+    // Compare with the baseline (no rewriting): same rows, plus a sort.
+    let base = session.query_unoptimized(sql, &HostVars::new())?;
+    println!(
+        "baseline (no rewriting): {} rows, {} sort(s), {} comparisons",
+        base.rows.len(),
+        base.stats.sorts,
+        base.stats.sort_comparisons
+    );
+
+    // Example 2 (paper): project SNAME instead of SNO and the DISTINCT
+    // becomes load-bearing — two suppliers named Acme supply part 10.
+    let sql2 = "SELECT DISTINCT S.SNAME, P.PNO, P.PNAME FROM SUPPLIER S, PARTS P \
+                WHERE S.SNO = P.SNO AND P.COLOR = 'RED'";
+    let out2 = session.query(sql2)?;
+    println!(
+        "\nExample 2 keeps its DISTINCT: steps = {}, sorts = {}",
+        out2.steps.len(),
+        out2.stats.sorts
+    );
+    assert!(out2.steps.is_empty());
+    Ok(())
+}

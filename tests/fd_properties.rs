@@ -1,0 +1,122 @@
+//! Property tests for the functional-dependency machinery: closure laws,
+//! key minimality, and agreement between the closure and a brute-force
+//! implication check on small universes.
+
+use proptest::prelude::*;
+use uniqueness::fd::{candidate_keys, minimize_key, AttrSet, FdSet};
+
+const ARITY: usize = 6;
+
+fn attr_set() -> impl Strategy<Value = AttrSet> {
+    prop::collection::vec(any::<bool>(), ARITY).prop_map(|bits| {
+        bits.iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(i, _)| i)
+            .collect()
+    })
+}
+
+fn fd_set() -> impl Strategy<Value = FdSet> {
+    prop::collection::vec((attr_set(), attr_set()), 0..8).prop_map(|fds| {
+        let mut set = FdSet::new(ARITY);
+        for (lhs, rhs) in fds {
+            set.add_fd(lhs.iter(), rhs.iter());
+        }
+        set
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// X ⊆ X⁺ (extensivity).
+    #[test]
+    fn closure_is_extensive(fds in fd_set(), x in attr_set()) {
+        prop_assert!(x.is_subset(&fds.closure_of(&x)));
+    }
+
+    /// (X⁺)⁺ = X⁺ (idempotence).
+    #[test]
+    fn closure_is_idempotent(fds in fd_set(), x in attr_set()) {
+        let c = fds.closure_of(&x);
+        prop_assert_eq!(fds.closure_of(&c), c);
+    }
+
+    /// X ⊆ Y ⇒ X⁺ ⊆ Y⁺ (monotonicity).
+    #[test]
+    fn closure_is_monotone(fds in fd_set(), x in attr_set(), y in attr_set()) {
+        let xy = x.clone().union(&y);
+        prop_assert!(fds.closure_of(&x).is_subset(&fds.closure_of(&xy)));
+    }
+
+    /// Every stored FD is implied by the set.
+    #[test]
+    fn stored_fds_are_implied(fds in fd_set()) {
+        for fd in fds.fds() {
+            prop_assert!(fds.implies(&fd.lhs, &fd.rhs));
+        }
+    }
+
+    /// minimize_key returns a superkey none of whose attributes is
+    /// redundant.
+    #[test]
+    fn minimized_keys_are_minimal_superkeys(fds in fd_set()) {
+        let universe = AttrSet::all(ARITY);
+        let key = minimize_key(&fds, &universe);
+        prop_assert!(fds.is_superkey(&key));
+        for a in key.iter() {
+            let mut smaller = key.clone();
+            smaller.remove(a);
+            prop_assert!(
+                !fds.is_superkey(&smaller),
+                "attribute {a} was redundant in {key:?}"
+            );
+        }
+    }
+
+    /// candidate_keys returns distinct minimal superkeys containing the
+    /// greedy one.
+    #[test]
+    fn candidate_keys_are_minimal_and_distinct(fds in fd_set()) {
+        let keys = candidate_keys(&fds, 32);
+        prop_assert!(!keys.is_empty());
+        for (i, k) in keys.iter().enumerate() {
+            prop_assert!(fds.is_superkey(k));
+            for a in k.iter() {
+                let mut smaller = k.clone();
+                smaller.remove(a);
+                prop_assert!(!fds.is_superkey(&smaller));
+            }
+            for other in &keys[i + 1..] {
+                prop_assert_ne!(k, other);
+            }
+        }
+    }
+
+    /// The closure agrees with a brute-force fixpoint over subsets on a
+    /// tiny universe.
+    #[test]
+    fn closure_matches_bruteforce(fds in fd_set(), x in attr_set()) {
+        // Brute force: repeatedly apply every FD literally.
+        let mut brute: Vec<usize> = x.iter().collect();
+        loop {
+            let before = brute.len();
+            for fd in fds.fds() {
+                if fd.lhs.iter().all(|a| brute.contains(&a)) {
+                    for a in fd.rhs.iter() {
+                        if !brute.contains(&a) {
+                            brute.push(a);
+                        }
+                    }
+                }
+            }
+            if brute.len() == before {
+                break;
+            }
+        }
+        brute.sort_unstable();
+        let closure: Vec<usize> = fds.closure_of(&x).iter().collect();
+        prop_assert_eq!(closure, brute);
+    }
+}

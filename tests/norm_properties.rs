@@ -1,0 +1,144 @@
+//! Normalization must preserve three-valued semantics: NNF, CNF and the
+//! CNF → DNF expansion all evaluate identically to the original
+//! predicate on every tuple (NULLs included).
+
+use proptest::prelude::*;
+use uniqueness::core::theorem1::eval_predicate;
+use uniqueness::plan::norm::{cnf_to_dnf, to_cnf, to_nnf};
+use uniqueness::plan::{AttrRef, BScalar, BoundExpr, HostVars};
+use uniqueness::sql::CmpOp;
+use uniqueness::types::{Tri, Value};
+
+const ARITY: usize = 3;
+
+fn value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        (0i64..3).prop_map(Value::Int),
+    ]
+}
+
+fn scalar() -> impl Strategy<Value = BScalar> {
+    prop_oneof![
+        (0usize..ARITY).prop_map(|i| BScalar::Attr(AttrRef::local(i))),
+        (0i64..3).prop_map(|v| BScalar::Literal(Value::Int(v))),
+    ]
+}
+
+fn cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+fn expr() -> impl Strategy<Value = BoundExpr> {
+    let leaf = prop_oneof![
+        (cmp_op(), scalar(), scalar()).prop_map(|(op, left, right)| BoundExpr::Cmp {
+            op,
+            left,
+            right
+        }),
+        (scalar(), any::<bool>()).prop_map(|(s, negated)| BoundExpr::IsNull {
+            scalar: s,
+            negated
+        }),
+        (scalar(), scalar(), scalar(), any::<bool>()).prop_map(
+            |(s, low, high, negated)| BoundExpr::Between {
+                scalar: s,
+                low,
+                high,
+                negated
+            }
+        ),
+        (scalar(), prop::collection::vec(scalar(), 1..3), any::<bool>()).prop_map(
+            |(s, list, negated)| BoundExpr::InList {
+                scalar: s,
+                list,
+                negated
+            }
+        ),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| BoundExpr::and(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| BoundExpr::or(a, b)),
+            inner.prop_map(BoundExpr::not),
+        ]
+    })
+}
+
+fn tuple() -> impl Strategy<Value = Vec<Value>> {
+    prop::collection::vec(value(), ARITY)
+}
+
+fn eval_cnf(cnf: &[Vec<BoundExpr>], t: &[Value], hv: &HostVars) -> Tri {
+    let mut conj = Tri::True;
+    for clause in cnf {
+        let mut disj = Tri::False;
+        for atom in clause {
+            disj = disj.or(eval_predicate(atom, t, hv).unwrap());
+        }
+        conj = conj.and(disj);
+    }
+    conj
+}
+
+fn eval_dnf(dnf: &[Vec<BoundExpr>], t: &[Value], hv: &HostVars) -> Tri {
+    let mut disj = Tri::False;
+    for conjunct in dnf {
+        let mut conj = Tri::True;
+        for atom in conjunct {
+            conj = conj.and(eval_predicate(atom, t, hv).unwrap());
+        }
+        disj = disj.or(conj);
+    }
+    disj
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn nnf_preserves_three_valued_semantics(e in expr(), t in tuple()) {
+        let hv = HostVars::new();
+        let original = eval_predicate(&e, &t, &hv).unwrap();
+        let nnf = to_nnf(&e);
+        prop_assert_eq!(
+            eval_predicate(&nnf, &t, &hv).unwrap(),
+            original,
+            "NNF changed semantics of {:?}",
+            e
+        );
+    }
+
+    #[test]
+    fn cnf_preserves_three_valued_semantics(e in expr(), t in tuple()) {
+        let hv = HostVars::new();
+        let original = eval_predicate(&e, &t, &hv).unwrap();
+        if let Some(cnf) = to_cnf(&e, 512) {
+            prop_assert_eq!(eval_cnf(&cnf, &t, &hv), original, "CNF of {:?}", e);
+            if let Some(dnf) = cnf_to_dnf(&cnf, 512) {
+                prop_assert_eq!(eval_dnf(&dnf, &t, &hv), original, "DNF of {:?}", e);
+            }
+        }
+    }
+
+    /// Double application of NNF is a fixpoint (no `Not` remains).
+    #[test]
+    fn nnf_is_a_fixpoint(e in expr()) {
+        let once = to_nnf(&e);
+        prop_assert_eq!(to_nnf(&once), once.clone());
+        fn no_not(e: &BoundExpr) -> bool {
+            match e {
+                BoundExpr::Not(_) => false,
+                BoundExpr::And(a, b) | BoundExpr::Or(a, b) => no_not(a) && no_not(b),
+                _ => true,
+            }
+        }
+        prop_assert!(no_not(&once));
+    }
+}

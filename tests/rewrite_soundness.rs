@@ -1,0 +1,161 @@
+//! Property tests: every rewrite the optimizer applies preserves query
+//! semantics, on randomized schemas-with-data and randomized queries.
+//!
+//! The oracle is execution itself: run the original and the optimized
+//! query on the same instance and compare result *multisets* under the
+//! structural equality that coincides with `=̇`.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use uniqueness::catalog::Row;
+use uniqueness::core::pipeline::{Optimizer, OptimizerOptions};
+use uniqueness::engine::{DistinctMethod, ExecOptions, Executor, JoinMethod};
+use uniqueness::plan::{bind_query, HostVars};
+use uniqueness::sql::parse_query;
+use uniqueness::workload::{generate_corpus, random_instance};
+
+fn multiset(rows: &[Row]) -> HashMap<Row, usize> {
+    let mut m = HashMap::new();
+    for r in rows {
+        *m.entry(r.clone()).or_insert(0) += 1;
+    }
+    m
+}
+
+fn run(db: &uniqueness::catalog::Database, q: &uniqueness::plan::BoundQuery, exec: ExecOptions) -> Vec<Row> {
+    let hv = HostVars::new();
+    let mut ex = Executor::new(db, &hv, exec);
+    ex.run(q).expect("execution succeeds")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Relational-profile rewrites preserve semantics on corpus queries.
+    #[test]
+    fn relational_rewrites_preserve_semantics(
+        qseed in 0u64..500, iseed in 0u64..500
+    ) {
+        let corpus = generate_corpus(qseed, 3, 0).unwrap();
+        let db = random_instance(iseed, 10, 24, 10).unwrap();
+        let optimizer = Optimizer::new(OptimizerOptions::relational());
+        for q in &corpus {
+            let bound = bind_query(db.catalog(), &parse_query(&q.sql).unwrap()).unwrap();
+            let outcome = optimizer.optimize(&bound);
+            let base = run(&db, &bound, ExecOptions::default());
+            let opt = run(&db, &outcome.query, ExecOptions::default());
+            prop_assert_eq!(
+                multiset(&base),
+                multiset(&opt),
+                "rewrite diverged for {} (steps {:?})",
+                q.sql,
+                outcome.steps.iter().map(|s| s.rule).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    /// Navigational-profile rewrites preserve semantics too.
+    #[test]
+    fn navigational_rewrites_preserve_semantics(
+        qseed in 0u64..300, iseed in 0u64..300
+    ) {
+        let corpus = generate_corpus(qseed.wrapping_mul(31), 3, 0).unwrap();
+        let db = random_instance(iseed, 8, 20, 8).unwrap();
+        let optimizer = Optimizer::new(OptimizerOptions::navigational());
+        for q in &corpus {
+            let bound = bind_query(db.catalog(), &parse_query(&q.sql).unwrap()).unwrap();
+            let outcome = optimizer.optimize(&bound);
+            let base = run(&db, &bound, ExecOptions::default());
+            let opt = run(&db, &outcome.query, ExecOptions::default());
+            prop_assert_eq!(multiset(&base), multiset(&opt), "{}", q.sql);
+        }
+    }
+
+    /// All four physical configurations agree with each other.
+    #[test]
+    fn physical_strategies_agree(qseed in 0u64..300, iseed in 0u64..300) {
+        let corpus = generate_corpus(qseed.wrapping_add(9000), 2, 0).unwrap();
+        let db = random_instance(iseed, 9, 18, 9).unwrap();
+        for q in &corpus {
+            let bound = bind_query(db.catalog(), &parse_query(&q.sql).unwrap()).unwrap();
+            let reference = run(&db, &bound, ExecOptions::default());
+            for join in [JoinMethod::Hash, JoinMethod::NestedLoop] {
+                for distinct in [DistinctMethod::Sort, DistinctMethod::Hash] {
+                    let rows = run(&db, &bound, ExecOptions { join, distinct });
+                    prop_assert_eq!(
+                        multiset(&reference),
+                        multiset(&rows),
+                        "{} with {:?}/{:?}",
+                        q.sql, join, distinct
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Deterministic regression: the EXISTS-heavy shapes the random corpus
+/// does not generate.
+#[test]
+fn handwritten_exists_shapes_preserve_semantics() {
+    let db = random_instance(77, 12, 30, 12).unwrap();
+    let optimizer = Optimizer::new(OptimizerOptions::relational());
+    for sql in [
+        // Theorem 2 (single tuple).
+        "SELECT ALL S.SNO, S.SNAME FROM SUPPLIER S WHERE EXISTS \
+         (SELECT * FROM PARTS P WHERE S.SNO = P.SNO AND P.PNO = 2)",
+        // Corollary 1 (key-projecting outer).
+        "SELECT ALL S.SNO FROM SUPPLIER S WHERE EXISTS \
+         (SELECT * FROM PARTS P WHERE P.SNO = S.SNO AND P.COLOR = 'RED')",
+        // DISTINCT outer, unrestricted subquery.
+        "SELECT DISTINCT S.SCITY FROM SUPPLIER S WHERE EXISTS \
+         (SELECT * FROM AGENTS A WHERE A.SNO = S.SNO)",
+        // NOT EXISTS must never merge.
+        "SELECT ALL S.SNO FROM SUPPLIER S WHERE NOT EXISTS \
+         (SELECT * FROM PARTS P WHERE P.SNO = S.SNO)",
+        // Nested EXISTS inside EXISTS.
+        "SELECT ALL S.SNO FROM SUPPLIER S WHERE EXISTS \
+         (SELECT * FROM PARTS P WHERE P.SNO = S.SNO AND P.PNO = 1 AND EXISTS \
+          (SELECT * FROM AGENTS A WHERE A.SNO = P.SNO))",
+        // IN subquery (never merged; 3VL semantics must survive).
+        "SELECT ALL S.SNO FROM SUPPLIER S WHERE S.SNO IN \
+         (SELECT P.SNO FROM PARTS P WHERE P.COLOR = 'RED')",
+        // Set operations over specs with nullable columns.
+        "SELECT ALL P.OEM-PNO FROM PARTS P INTERSECT SELECT ALL P.OEM-PNO FROM PARTS P \
+         WHERE P.COLOR = 'RED'",
+        "SELECT ALL S.BUDGET FROM SUPPLIER S EXCEPT SELECT ALL S.BUDGET FROM SUPPLIER S \
+         WHERE S.SCITY = 'Toronto'",
+    ] {
+        let bound = bind_query(db.catalog(), &parse_query(sql).unwrap()).unwrap();
+        let outcome = optimizer.optimize(&bound);
+        let base = run(&db, &bound, ExecOptions::default());
+        let opt = run(&db, &outcome.query, ExecOptions::default());
+        assert_eq!(
+            multiset(&base),
+            multiset(&opt),
+            "diverged: {sql}\nsteps: {:#?}",
+            outcome.steps
+        );
+    }
+}
+
+/// The merge machinery renumbers deeply-nested correlations correctly.
+#[test]
+fn nested_correlation_merge_is_sound() {
+    let db = random_instance(123, 10, 25, 10).unwrap();
+    let optimizer = Optimizer::new(OptimizerOptions::relational());
+    // Inner subquery references BOTH enclosing blocks.
+    let sql = "SELECT ALL S.SNO FROM SUPPLIER S WHERE EXISTS \
+               (SELECT * FROM PARTS P WHERE P.SNO = S.SNO AND P.PNO = 3 AND EXISTS \
+                (SELECT * FROM AGENTS A WHERE A.SNO = S.SNO AND A.ANO = P.PNO))";
+    let bound = bind_query(db.catalog(), &parse_query(sql).unwrap()).unwrap();
+    let outcome = optimizer.optimize(&bound);
+    assert!(
+        outcome.steps.iter().any(|s| s.rule == "subquery-to-join"),
+        "expected a merge: {:#?}",
+        outcome.steps
+    );
+    let base = run(&db, &bound, ExecOptions::default());
+    let opt = run(&db, &outcome.query, ExecOptions::default());
+    assert_eq!(multiset(&base), multiset(&opt));
+}

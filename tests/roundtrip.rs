@@ -1,0 +1,85 @@
+//! Round-trip properties: parse → print → parse is a fixpoint, and
+//! bind → unbind → print → parse → bind reproduces the bound query —
+//! for the whole randomized corpus, every optimizer output included.
+
+use proptest::prelude::*;
+use uniqueness::core::pipeline::{Optimizer, OptimizerOptions};
+use uniqueness::core::unbind::unbind_query;
+use uniqueness::plan::bind_query;
+use uniqueness::sql::parse_query;
+use uniqueness::workload::generate_corpus;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(60))]
+
+    /// parse ∘ print = id (on ASTs).
+    #[test]
+    fn parse_print_parse_fixpoint(seed in 0u64..5000) {
+        let corpus = generate_corpus(seed, 4, 0).unwrap();
+        for q in &corpus {
+            let ast1 = parse_query(&q.sql).unwrap();
+            let printed = ast1.to_string();
+            let ast2 = parse_query(&printed)
+                .unwrap_or_else(|e| panic!("reparse failed for {printed}: {e}"));
+            prop_assert_eq!(&ast1, &ast2, "{}", printed);
+        }
+    }
+
+    /// bind ∘ parse ∘ print ∘ unbind = id (on bound queries).
+    #[test]
+    fn bind_unbind_roundtrip(seed in 0u64..5000) {
+        let db = uniqueness::catalog::sample::supplier_schema().unwrap();
+        let corpus = generate_corpus(seed.wrapping_add(100_000), 4, 0).unwrap();
+        for q in &corpus {
+            let b1 = bind_query(db.catalog(), &parse_query(&q.sql).unwrap()).unwrap();
+            let printed = unbind_query(&b1).unwrap().to_string();
+            let b2 = bind_query(db.catalog(), &parse_query(&printed).unwrap())
+                .unwrap_or_else(|e| panic!("rebind failed for {printed}: {e}"));
+            prop_assert_eq!(&b1, &b2, "{}", printed);
+        }
+    }
+
+    /// Every optimizer output is printable and rebinds to exactly the
+    /// optimized query (the `sql_after` shown to users is faithful).
+    #[test]
+    fn optimizer_outputs_are_faithful_sql(seed in 0u64..5000) {
+        let db = uniqueness::catalog::sample::supplier_schema().unwrap();
+        let corpus = generate_corpus(seed.wrapping_add(200_000), 3, 0).unwrap();
+        for opts in [OptimizerOptions::relational(), OptimizerOptions::navigational()] {
+            let optimizer = Optimizer::new(opts);
+            for q in &corpus {
+                let bound = bind_query(db.catalog(), &parse_query(&q.sql).unwrap()).unwrap();
+                let outcome = optimizer.optimize(&bound);
+                let printed = unbind_query(&outcome.query).unwrap().to_string();
+                let rebound = bind_query(db.catalog(), &parse_query(&printed).unwrap())
+                    .unwrap_or_else(|e| panic!("rebind {printed}: {e}"));
+                prop_assert_eq!(&outcome.query, &rebound, "{}", printed);
+            }
+        }
+    }
+}
+
+#[test]
+fn paper_queries_roundtrip_through_rewrites() {
+    let db = uniqueness::catalog::sample::supplier_schema().unwrap();
+    let optimizer = Optimizer::new(OptimizerOptions::relational());
+    for sql in [
+        "SELECT ALL S.SNO, S.SNAME FROM SUPPLIER S WHERE EXISTS \
+         (SELECT * FROM PARTS P WHERE P.SNO = S.SNO AND P.COLOR = 'RED')",
+        "SELECT ALL S.SNO FROM SUPPLIER S WHERE S.SCITY = 'Toronto' INTERSECT \
+         SELECT ALL A.SNO FROM AGENTS A WHERE A.ACITY = 'Ottawa' OR A.ACITY = 'Hull'",
+        "SELECT ALL P.OEM-PNO FROM PARTS P INTERSECT \
+         SELECT ALL P.OEM-PNO FROM PARTS P WHERE P.COLOR = 'RED'",
+    ] {
+        let bound = bind_query(db.catalog(), &parse_query(sql).unwrap()).unwrap();
+        let outcome = optimizer.optimize(&bound);
+        assert!(outcome.changed(), "{sql}");
+        for step in &outcome.steps {
+            // Each intermediate SQL must parse and bind.
+            let reparsed = parse_query(&step.sql_after)
+                .unwrap_or_else(|e| panic!("{}: {e}", step.sql_after));
+            bind_query(db.catalog(), &reparsed)
+                .unwrap_or_else(|e| panic!("{}: {e}", step.sql_after));
+        }
+    }
+}

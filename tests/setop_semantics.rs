@@ -1,0 +1,151 @@
+//! Property tests for the multiset algebra of §2.2: `INTERSECT [ALL]`,
+//! `EXCEPT [ALL]` and duplicate elimination against a naive counting
+//! oracle, with `NULL`-bearing tuples throughout (experiment E11).
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use uniqueness::catalog::Row;
+use uniqueness::engine::stats::{DistinctMethod, ExecStats};
+use uniqueness::engine::setops::{combine_setop, distinct, structural_eq_matches_null_eq};
+use uniqueness::sql::SetOp;
+use uniqueness::types::Value;
+
+/// Tuples over a tiny domain with NULLs, so collisions are common.
+fn small_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        (0i64..4).prop_map(Value::Int),
+        prop_oneof![Just("a"), Just("b")].prop_map(Value::str),
+    ]
+}
+
+fn small_row() -> impl Strategy<Value = Row> {
+    prop::collection::vec(small_value(), 2)
+}
+
+fn small_rows() -> impl Strategy<Value = Vec<Row>> {
+    prop::collection::vec(small_row(), 0..12)
+}
+
+fn counts(rows: &[Row]) -> HashMap<Row, usize> {
+    let mut m = HashMap::new();
+    for r in rows {
+        *m.entry(r.clone()).or_insert(0) += 1;
+    }
+    m
+}
+
+/// Naive oracle straight from the SQL2 definitions quoted in §2.2.
+fn oracle(op: SetOp, all: bool, left: &[Row], right: &[Row]) -> HashMap<Row, usize> {
+    let l = counts(left);
+    let r = counts(right);
+    let mut out = HashMap::new();
+    let keys: Vec<&Row> = l.keys().chain(r.keys()).collect();
+    for key in keys {
+        let j = l.get(key).copied().unwrap_or(0);
+        let k = r.get(key).copied().unwrap_or(0);
+        let n = match (op, all) {
+            (SetOp::Intersect, true) => j.min(k),
+            (SetOp::Intersect, false) => usize::from(j > 0 && k > 0),
+            (SetOp::Except, true) => j.saturating_sub(k),
+            (SetOp::Except, false) => usize::from(j > 0 && k == 0),
+            (SetOp::Union, true) => j + k,
+            (SetOp::Union, false) => usize::from(j + k > 0),
+        };
+        if n > 0 {
+            out.insert((*key).clone(), n);
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn setops_match_oracle(
+        left in small_rows(),
+        right in small_rows(),
+        all in any::<bool>(),
+        op_idx in 0usize..3,
+        hash in any::<bool>(),
+    ) {
+        let op = [SetOp::Intersect, SetOp::Except, SetOp::Union][op_idx];
+        let method = if hash { DistinctMethod::Hash } else { DistinctMethod::Sort };
+        let mut stats = ExecStats::new();
+        let got = combine_setop(op, all, left.clone(), right.clone(), method, &mut stats)
+            .unwrap();
+        prop_assert_eq!(counts(&got), oracle(op, all, &left, &right),
+            "{:?} all={} method={:?}", op, all, method);
+    }
+
+    #[test]
+    fn distinct_matches_oracle(rows in small_rows(), hash in any::<bool>()) {
+        let method = if hash { DistinctMethod::Hash } else { DistinctMethod::Sort };
+        let mut stats = ExecStats::new();
+        let got = distinct(rows.clone(), method, &mut stats).unwrap();
+        // Every equivalence class once.
+        let expected: usize = counts(&rows).len();
+        prop_assert_eq!(got.len(), expected);
+        prop_assert_eq!(counts(&got).len(), expected);
+        // Same support.
+        let got_counts = counts(&got);
+        let row_counts = counts(&rows);
+        let got_keys: std::collections::HashSet<_> = got_counts.keys().collect();
+        let row_keys: std::collections::HashSet<_> = row_counts.keys().collect();
+        prop_assert_eq!(got_keys, row_keys);
+    }
+
+    /// The hash paths are correct only because structural equality on
+    /// `Value` coincides with `=̇`; pin that invariant.
+    #[test]
+    fn structural_eq_coincides_with_null_eq(a in small_value(), b in small_value()) {
+        prop_assert!(structural_eq_matches_null_eq(&a, &b));
+    }
+
+    /// Sorting is deterministic and sorted output is `=̇`-grouped: equal
+    /// tuples are adjacent (the property dedup relies on).
+    #[test]
+    fn sort_groups_equal_tuples(rows in small_rows()) {
+        let mut stats = ExecStats::new();
+        let sorted = {
+            let mut r = rows.clone();
+            uniqueness::engine::setops::sort_rows(&mut r, &mut stats);
+            r
+        };
+        // Structural equality coincides with =̇ (pinned above), so
+        // grouping is checked with `==`.
+        for i in 0..sorted.len() {
+            for j in (i + 1)..sorted.len() {
+                if sorted[i] == sorted[j] {
+                    // Everything between two equal tuples is equal too.
+                    for k in i..j {
+                        prop_assert!(sorted[i] == sorted[k]);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn intersect_all_null_min_counting() {
+    // {NULL,NULL,NULL} ∩ALL {NULL,NULL} = {NULL,NULL}.
+    let l: Vec<Row> = vec![vec![Value::Null]; 3];
+    let r: Vec<Row> = vec![vec![Value::Null]; 2];
+    let mut stats = ExecStats::new();
+    let got = combine_setop(SetOp::Intersect, true, l, r, DistinctMethod::Sort, &mut stats)
+        .unwrap();
+    assert_eq!(got.len(), 2);
+}
+
+#[test]
+fn except_all_null_saturation() {
+    // {NULL,NULL} −ALL {NULL,NULL,NULL} = ∅.
+    let l: Vec<Row> = vec![vec![Value::Null]; 2];
+    let r: Vec<Row> = vec![vec![Value::Null]; 3];
+    let mut stats = ExecStats::new();
+    let got =
+        combine_setop(SetOp::Except, true, l, r, DistinctMethod::Sort, &mut stats).unwrap();
+    assert!(got.is_empty());
+}

@@ -1,0 +1,174 @@
+//! Reproducing Theorem 1 itself: on finite domains, the paper's
+//! condition (4) holds **iff** no valid instance can produce duplicate
+//! rows. This is the paper's central claim, property-tested over
+//! randomized small schemas and predicates — plus the chain
+//! `sufficient test YES ⇒ exact condition holds ⇒ no duplicates`.
+
+use proptest::prelude::*;
+use uniqueness::core::algorithm1::{algorithm1, Algorithm1Options};
+use uniqueness::core::analysis::unique_projection;
+use uniqueness::core::theorem1::{condition_holds, duplicates_possible, Domains};
+use uniqueness::plan::{bind_query, BoundSpec};
+use uniqueness::sql::parse_query;
+use uniqueness::types::Value;
+
+/// Tiny two-table schema: R(K, A, B) key K; S(J, C) key J.
+fn setup(sql: &str) -> BoundSpec {
+    let mut db = uniqueness::catalog::Database::new();
+    db.run_script(
+        "CREATE TABLE R (K INTEGER, A INTEGER, B INTEGER, PRIMARY KEY (K));
+         CREATE TABLE S (J INTEGER, C INTEGER, PRIMARY KEY (J));",
+    )
+    .unwrap();
+    bind_query(db.catalog(), &parse_query(sql).unwrap())
+        .unwrap()
+        .as_spec()
+        .unwrap()
+        .clone()
+}
+
+fn domains_for(spec: &BoundSpec) -> Domains {
+    spec.from
+        .iter()
+        .map(|t| {
+            (0..t.schema.arity())
+                .map(|_| vec![Value::Int(1), Value::Int(2)])
+                .collect()
+        })
+        .collect()
+}
+
+/// Build a random SPJ query over R (and sometimes S).
+fn random_sql() -> impl Strategy<Value = String> {
+    let col = prop_oneof![
+        Just("R.K"),
+        Just("R.A"),
+        Just("R.B"),
+        Just("S.J"),
+        Just("S.C")
+    ];
+    let r_col = prop_oneof![Just("R.K"), Just("R.A"), Just("R.B")];
+    let atom = prop_oneof![
+        (col.clone(), 1i64..3).prop_map(|(c, v)| format!("{c} = {v}")),
+        (col.clone(), col.clone()).prop_map(|(a, b)| format!("{a} = {b}")),
+        (col.clone(), 1i64..3).prop_map(|(c, v)| format!("{c} <> {v}")),
+        (col.clone(), col.clone()).prop_map(|(a, b)| format!("({a} = 1 OR {b} = 2)")),
+    ];
+    let r_atom = prop_oneof![
+        (r_col.clone(), 1i64..3).prop_map(|(c, v)| format!("{c} = {v}")),
+        (r_col.clone(), r_col.clone()).prop_map(|(a, b)| format!("{a} = {b}")),
+    ];
+    let two_tables = any::<bool>();
+    (
+        two_tables,
+        prop::collection::vec(atom, 0..3),
+        prop::collection::vec(r_atom, 0..2),
+        prop::sample::subsequence(vec!["R.K", "R.A", "R.B"], 1..3),
+        prop::sample::subsequence(vec!["S.J", "S.C"], 1..2),
+    )
+        .prop_map(|(two, atoms, r_atoms, r_proj, s_proj)| {
+            if two {
+                let mut proj: Vec<&str> = r_proj;
+                proj.extend(s_proj);
+                let mut pred: Vec<String> = atoms;
+                pred.extend(r_atoms);
+                let where_clause = if pred.is_empty() {
+                    String::new()
+                } else {
+                    format!(" WHERE {}", pred.join(" AND "))
+                };
+                format!(
+                    "SELECT DISTINCT {} FROM R, S{}",
+                    proj.join(", "),
+                    where_clause
+                )
+            } else {
+                let where_clause = if r_atoms.is_empty() {
+                    String::new()
+                } else {
+                    format!(" WHERE {}", r_atoms.join(" AND "))
+                };
+                format!(
+                    "SELECT DISTINCT {} FROM R{}",
+                    r_proj.join(", "),
+                    where_clause
+                )
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Theorem 1: condition (4) ⟺ no duplicates on any valid instance.
+    #[test]
+    fn condition_iff_no_duplicates(sql in random_sql()) {
+        let spec = setup(&sql);
+        let domains = domains_for(&spec);
+        let cond = condition_holds(&spec, &domains, &vec![]).unwrap();
+        let dups = duplicates_possible(&spec, &domains, &vec![]).unwrap();
+        prop_assert_eq!(cond, !dups, "Theorem 1 equivalence failed for {}", sql);
+    }
+
+    /// Soundness chain: the practical sufficient tests never answer YES
+    /// when the exact condition fails.
+    #[test]
+    fn sufficient_tests_imply_exact_condition(sql in random_sql()) {
+        let spec = setup(&sql);
+        let domains = domains_for(&spec);
+        let cond = condition_holds(&spec, &domains, &vec![]).unwrap();
+        let alg1 = algorithm1(&spec, &Algorithm1Options::default()).unique;
+        let fd = unique_projection(&spec).unique;
+        if alg1 || fd {
+            prop_assert!(
+                cond,
+                "sufficient test YES but exact condition fails for {} (alg1={}, fd={})",
+                sql, alg1, fd
+            );
+        }
+    }
+}
+
+/// The paper's own Example 4 condition (host variable included) is
+/// satisfiable — the worked expression in §3.2 — checked exactly.
+#[test]
+fn example_4_condition_holds_exactly() {
+    // Miniature PARTS/SUPPLIER with the same key structure.
+    let mut db = uniqueness::catalog::Database::new();
+    db.run_script(
+        "CREATE TABLE SUP (SNO INTEGER, SNAME INTEGER, PRIMARY KEY (SNO));
+         CREATE TABLE PAR (SNO INTEGER, PNO INTEGER, PNAME INTEGER, \
+          PRIMARY KEY (SNO, PNO));",
+    )
+    .unwrap();
+    let bound = bind_query(
+        db.catalog(),
+        &parse_query(
+            "SELECT DISTINCT SUP.SNO, SUP.SNAME, PAR.PNO, PAR.PNAME \
+             FROM SUP, PAR WHERE PAR.SNO = :SUPPLIER-NO AND SUP.SNO = PAR.SNO",
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    let spec = bound.as_spec().unwrap();
+    let d2 = vec![Value::Int(1), Value::Int(2)];
+    let domains = vec![vec![d2.clone(), d2.clone()], vec![d2.clone(), d2.clone(), d2.clone()]];
+    let hosts = vec![("SUPPLIER-NO".into(), d2)];
+    assert!(condition_holds(spec, &domains, &hosts).unwrap());
+    assert!(!duplicates_possible(spec, &domains, &hosts).unwrap());
+    // Dropping the host-variable restriction breaks uniqueness.
+    let bound2 = bind_query(
+        db.catalog(),
+        &parse_query(
+            "SELECT DISTINCT SUP.SNAME, PAR.PNAME FROM SUP, PAR \
+             WHERE SUP.SNO = PAR.SNO",
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    let spec2 = bound2.as_spec().unwrap();
+    let d2 = vec![Value::Int(1), Value::Int(2)];
+    let domains2 = vec![vec![d2.clone(), d2.clone()], vec![d2.clone(), d2.clone(), d2]];
+    assert!(!condition_holds(spec2, &domains2, &vec![]).unwrap());
+    assert!(duplicates_possible(spec2, &domains2, &vec![]).unwrap());
+}
