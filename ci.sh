@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Offline CI gate: formatting, lints, build, and the full test suite.
+# Everything runs without network access — the workspace has no registry
+# dependencies (see crates/proptest and crates/criterion for the
+# vendored dev-dependency shims).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test --workspace"
+cargo test --workspace --quiet
+
+echo "CI green."

@@ -33,14 +33,15 @@ fn bench_distinct_methods(c: &mut Criterion) {
                WHERE S.SNO = P.SNO";
     let hv = HostVars::new();
     for suppliers in [2_000usize, 10_000] {
-        for (name, method) in [("sort", DistinctMethod::Sort), ("hash", DistinctMethod::Hash)] {
+        for (name, method) in [
+            ("sort", DistinctMethod::Sort),
+            ("hash", DistinctMethod::Hash),
+        ] {
             let mut session = scaled_session(suppliers, 5);
             session.exec.distinct = method;
-            group.bench_with_input(
-                BenchmarkId::new(name, suppliers),
-                &suppliers,
-                |b, _| b.iter(|| session.query_unoptimized(sql, &hv).unwrap()),
-            );
+            group.bench_with_input(BenchmarkId::new(name, suppliers), &suppliers, |b, _| {
+                b.iter(|| session.query_unoptimized(sql, &hv).unwrap())
+            });
         }
     }
     group.finish();

@@ -12,11 +12,9 @@ fn bench_key_probe(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("join", suppliers), &suppliers, |b, _| {
             b.iter(|| join_strategy(&db, "PNO", 500i64).unwrap())
         });
-        group.bench_with_input(
-            BenchmarkId::new("nested", suppliers),
-            &suppliers,
-            |b, _| b.iter(|| exists_strategy(&db, "PNO", 500i64).unwrap()),
-        );
+        group.bench_with_input(BenchmarkId::new("nested", suppliers), &suppliers, |b, _| {
+            b.iter(|| exists_strategy(&db, "PNO", 500i64).unwrap())
+        });
     }
     group.finish();
 }

@@ -11,13 +11,13 @@ use uniq_bench::{fmt_duration, median_time, scaled_session, E2_QUERY, E4_QUERY, 
 use uniqueness::core::algorithm1::{algorithm1, Algorithm1Options};
 use uniqueness::core::analysis::unique_projection;
 use uniqueness::core::pipeline::OptimizerOptions;
-use uniqueness::engine::{DistinctMethod, ExecOptions, Session};
+use uniqueness::engine::{DistinctMethod, Session, StageTimings};
 use uniqueness::ims;
 use uniqueness::oodb;
 use uniqueness::plan::{bind_query, HostVars};
 use uniqueness::sql::parse_query;
 use uniqueness::types::Value;
-use uniqueness::workload::{generate_corpus, CorpusStats};
+use uniqueness::workload::{generate_corpus, run_batch, BatchOptions, CorpusStats};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
@@ -63,6 +63,9 @@ fn main() {
     if want("e13") {
         e13_join_elimination(runs);
     }
+    if want("e14") {
+        e14_plan_cache();
+    }
 }
 
 fn header(id: &str, title: &str) {
@@ -73,7 +76,10 @@ fn header(id: &str, title: &str) {
 
 /// E1 — the paper's worked examples through both analyses.
 fn e1_paper_examples() {
-    header("E1", "paper examples 1/2/4-6 through Algorithm 1 and the FD test");
+    header(
+        "E1",
+        "paper examples 1/2/4-6 through Algorithm 1 and the FD test",
+    );
     let db = uniqueness::catalog::sample::supplier_schema().unwrap();
     let cases: &[(&str, &str, bool)] = &[
         (
@@ -101,7 +107,10 @@ fn e1_paper_examples() {
             true,
         ),
     ];
-    println!("{:<8} {:>6} {:>8} {:>8} {:>8}", "example", "paper", "Alg.1", "FD", "agree");
+    println!(
+        "{:<8} {:>6} {:>8} {:>8} {:>8}",
+        "example", "paper", "Alg.1", "FD", "agree"
+    );
     for (name, sql, paper_unique) in cases {
         let bound = bind_query(db.catalog(), &parse_query(sql).unwrap()).unwrap();
         let spec = bound.as_spec().unwrap();
@@ -121,7 +130,10 @@ fn e1_paper_examples() {
 
 /// E2 — cost of a redundant DISTINCT across result sizes.
 fn e2_distinct_removal(runs: usize) {
-    header("E2", "redundant DISTINCT removal: skip the result sort (Theorem 1)");
+    header(
+        "E2",
+        "redundant DISTINCT removal: skip the result sort (Theorem 1)",
+    );
     println!(
         "{:>10} {:>10} {:>12} {:>12} {:>9} {:>14}",
         "suppliers", "result", "with sort", "rewritten", "speedup", "comparisons"
@@ -152,22 +164,21 @@ fn e3_corpus() {
     println!("queries                         : {}", stats.total);
     println!("provably unique (FD closure)    : {}", stats.fd_yes);
     println!("provably unique (Algorithm 1)   : {}", stats.alg1_yes);
-    println!("observed duplicating            : {}", stats.with_duplicates);
+    println!(
+        "observed duplicating            : {}",
+        stats.with_duplicates
+    );
     println!("soundness violations            : {}", stats.unsound);
     // Detection cost.
     let db = uniqueness::catalog::sample::supplier_schema().unwrap();
     let bound: Vec<_> = corpus
         .iter()
-        .map(|q| {
-            bind_query(db.catalog(), &parse_query(&q.sql).unwrap()).unwrap()
-        })
+        .map(|q| bind_query(db.catalog(), &parse_query(&q.sql).unwrap()).unwrap())
         .collect();
     let t_alg1 = median_time(3, || {
         bound
             .iter()
-            .filter(|b| {
-                algorithm1(b.as_spec().unwrap(), &Algorithm1Options::default()).unique
-            })
+            .filter(|b| algorithm1(b.as_spec().unwrap(), &Algorithm1Options::default()).unique)
             .count()
     });
     let t_fd = median_time(3, || {
@@ -186,7 +197,10 @@ fn e3_corpus() {
 
 /// E4 — Theorem 2: EXISTS → join beats the nested-loop subquery.
 fn e4_subquery_to_join(runs: usize) {
-    header("E4", "subquery → join (Theorem 2): nested-loop EXISTS vs hash join");
+    header(
+        "E4",
+        "subquery → join (Theorem 2): nested-loop EXISTS vs hash join",
+    );
     println!(
         "{:>10} {:>12} {:>12} {:>12} {:>9}",
         "suppliers", "parts/sup", "nested", "rewritten", "speedup"
@@ -212,7 +226,10 @@ fn e4_subquery_to_join(runs: usize) {
 
 /// E5 — Corollary 1: ALL → DISTINCT-join rewrite, red-selectivity sweep.
 fn e5_corollary_1(runs: usize) {
-    header("E5", "subquery → DISTINCT join (Corollary 1), red-fraction sweep");
+    header(
+        "E5",
+        "subquery → DISTINCT join (Corollary 1), red-fraction sweep",
+    );
     println!(
         "{:>8} {:>10} {:>12} {:>12} {:>9}",
         "red %", "result", "nested", "rewritten", "speedup"
@@ -225,11 +242,7 @@ fn e5_corollary_1(runs: usize) {
             ..Default::default()
         };
         let db = uniqueness::workload::scaled_database(&cfg).unwrap();
-        let session = Session {
-            db,
-            optimizer: OptimizerOptions::relational(),
-            exec: ExecOptions::default(),
-        };
+        let session = Session::new(db);
         let hv = HostVars::new();
         let base = session.query_unoptimized(E5_QUERY, &hv).unwrap();
         let opt = session.query(E5_QUERY).unwrap();
@@ -259,11 +272,15 @@ fn e6_intersect(runs: usize) {
     for suppliers in [1_000usize, 10_000, 40_000] {
         let session = scaled_session(suppliers, 2);
         let hv = HostVars::new();
-        let base = session.query_unoptimized(uniq_bench::E6_QUERY, &hv).unwrap();
+        let base = session
+            .query_unoptimized(uniq_bench::E6_QUERY, &hv)
+            .unwrap();
         let opt = session.query(uniq_bench::E6_QUERY).unwrap();
         assert_eq!(base.rows.len(), opt.rows.len());
         let t_base = median_time(runs, || {
-            session.query_unoptimized(uniq_bench::E6_QUERY, &hv).unwrap()
+            session
+                .query_unoptimized(uniq_bench::E6_QUERY, &hv)
+                .unwrap()
         });
         let t_opt = median_time(runs, || session.query(uniq_bench::E6_QUERY).unwrap());
         println!(
@@ -318,7 +335,10 @@ fn e6_intersect(runs: usize) {
 
 /// E7 — Example 10, key-qualified: DL/I calls halved.
 fn e7_ims_key() {
-    header("E7", "IMS Example 10: DL/I calls, join vs nested strategy (key probe)");
+    header(
+        "E7",
+        "IMS Example 10: DL/I calls, join vs nested strategy (key probe)",
+    );
     println!(
         "{:>10} {:>12} {:>14} {:>14} {:>8}",
         "suppliers", "parts/sup", "join calls", "nested calls", "ratio"
@@ -344,7 +364,10 @@ fn e7_ims_key() {
 
 /// E8 — Example 10 variant, non-key (OEM-PNO) qualification.
 fn e8_ims_nonkey() {
-    header("E8", "IMS §6.1 OEM-PNO variant: twin-chain inspections, non-key probe");
+    header(
+        "E8",
+        "IMS §6.1 OEM-PNO variant: twin-chain inspections, non-key probe",
+    );
     println!(
         "{:>12} {:>16} {:>16} {:>8}",
         "parts/sup", "join inspected", "nested inspected", "ratio"
@@ -370,7 +393,10 @@ fn e8_ims_nonkey() {
 
 /// E9 — Example 11: OODB strategies across parent-range selectivity.
 fn e9_oodb() {
-    header("E9", "OODB Example 11: object fetches vs parent-range selectivity");
+    header(
+        "E9",
+        "OODB Example 11: object fetches vs parent-range selectivity",
+    );
     let suppliers = 10_000usize;
     let (store, classes) = oodb::sample::synthetic(suppliers, 4, 500).unwrap();
     println!(
@@ -435,7 +461,10 @@ fn e10_analysis_cost() {
 
 /// E11 — set-operation semantics validation on adversarial instances.
 fn e11_setop_semantics() {
-    header("E11", "INTERSECT/EXCEPT ALL min/max-count and =̇ null handling");
+    header(
+        "E11",
+        "INTERSECT/EXCEPT ALL min/max-count and =̇ null handling",
+    );
     let mut s = Session::new(uniqueness::catalog::Database::new());
     s.run_script(
         "CREATE TABLE L (V INTEGER); CREATE TABLE R2 (V INTEGER);
@@ -444,13 +473,21 @@ fn e11_setop_semantics() {
     )
     .unwrap();
     let cases = [
-        ("INTERSECT", "SELECT ALL L.V FROM L INTERSECT SELECT ALL R2.V FROM R2", 3usize),
+        (
+            "INTERSECT",
+            "SELECT ALL L.V FROM L INTERSECT SELECT ALL R2.V FROM R2",
+            3usize,
+        ),
         (
             "INTERSECT ALL",
             "SELECT ALL L.V FROM L INTERSECT ALL SELECT ALL R2.V FROM R2",
             3,
         ),
-        ("EXCEPT", "SELECT ALL L.V FROM L EXCEPT SELECT ALL R2.V FROM R2", 0),
+        (
+            "EXCEPT",
+            "SELECT ALL L.V FROM L EXCEPT SELECT ALL R2.V FROM R2",
+            0,
+        ),
         (
             "EXCEPT ALL",
             "SELECT ALL L.V FROM L EXCEPT ALL SELECT ALL R2.V FROM R2",
@@ -468,7 +505,11 @@ fn e11_setop_semantics() {
             name,
             out.rows.len(),
             expect,
-            if out.rows.len() == expect { "✓" } else { "✗" }
+            if out.rows.len() == expect {
+                "✓"
+            } else {
+                "✗"
+            }
         );
         assert_eq!(out.rows.len(), expect, "{name}");
     }
@@ -477,7 +518,10 @@ fn e11_setop_semantics() {
 
 /// E13 — the §7 future-work extension: join elimination via foreign keys.
 fn e13_join_elimination(runs: usize) {
-    header("E13", "join elimination via inclusion dependencies (§7 future work)");
+    header(
+        "E13",
+        "join elimination via inclusion dependencies (§7 future work)",
+    );
     let sql = "SELECT ALL P.PNO, P.PNAME FROM SUPPLIER S, PARTS P WHERE S.SNO = P.SNO";
     println!(
         "{:>10} {:>12} {:>12} {:>9} {:>14}",
@@ -502,6 +546,130 @@ fn e13_join_elimination(runs: usize) {
             opt.stats.rows_scanned
         );
     }
+}
+
+/// One optimize-heavy statement for E14: a DISTINCT block guarded by a
+/// chain of EXISTS subqueries, each of which pins the inner table's full
+/// key. Every subquery licenses a Theorem 2 rewrite, so the optimizer
+/// walks a long chain of steps — each one re-running the uniqueness
+/// analyses on the rewritten query and re-rendering its SQL — which makes
+/// compilation dwarf execution on a small instance. `salt` varies the
+/// probed part numbers so statements are textually (and fingerprint-)
+/// distinct.
+fn e14_query(subqueries: usize, salt: usize) -> String {
+    let pred: Vec<String> = (0..subqueries)
+        .map(|i| {
+            format!(
+                "EXISTS (SELECT * FROM PARTS P{i} \
+                 WHERE P{i}.SNO = S.SNO AND P{i}.PNO = {})",
+                salt + i
+            )
+        })
+        .collect();
+    format!(
+        "SELECT DISTINCT S.SNO, S.SNAME FROM SUPPLIER S WHERE {}",
+        pred.join(" AND ")
+    )
+}
+
+/// E14 — serving path: sharded plan cache under a repeated-query batch,
+/// cached vs uncached, plus worker-pool scaling over a shared session.
+fn e14_plan_cache() {
+    header(
+        "E14",
+        "plan cache + batch serving: repeated queries, cached vs uncached",
+    );
+    let (reps, distinct, subqueries) = (40usize, 6usize, 8usize);
+    let corpus: Vec<String> = (0..reps)
+        .flat_map(|_| (0..distinct).map(|q| e14_query(subqueries, q * 100)))
+        .collect();
+    println!(
+        "workload: {} statements ({} distinct × {} repetitions), {} EXISTS each",
+        corpus.len(),
+        distinct,
+        reps,
+        subqueries
+    );
+
+    let cached = scaled_session(50, 2);
+    let uncached = cached.clone().with_cache_capacity(0);
+    let cold = run_batch(&uncached, &corpus, BatchOptions { threads: 1 });
+    let hot = run_batch(&cached, &corpus, BatchOptions { threads: 1 });
+    assert_eq!(cold.errors, 0, "{:?}", cold.first_error);
+    assert_eq!(hot.errors, 0, "{:?}", hot.first_error);
+    assert_eq!(
+        cold.rows, hot.rows,
+        "cached plans must produce identical results"
+    );
+
+    let stage = |t: &StageTimings| {
+        [
+            t.parse_ns,
+            t.bind_ns,
+            t.optimize_ns,
+            t.execute_ns,
+            t.total_ns(),
+        ]
+    };
+    let (c, h) = (stage(&cold.timings), stage(&hot.timings));
+    println!("\nper-stage time, summed over the batch (single worker):");
+    println!("{:>10} {:>12} {:>12}", "stage", "uncached", "cached");
+    for (name, i) in [
+        ("parse", 0),
+        ("bind", 1),
+        ("optimize", 2),
+        ("execute", 3),
+        ("total", 4),
+    ] {
+        println!(
+            "{:>10} {:>12} {:>12}",
+            name,
+            fmt_duration(std::time::Duration::from_nanos(c[i])),
+            fmt_duration(std::time::Duration::from_nanos(h[i]))
+        );
+    }
+    let speedup = cold.elapsed.as_secs_f64() / hot.elapsed.as_secs_f64();
+    println!(
+        "\nwall clock: uncached {} | cached {} | speedup {:.2}x",
+        fmt_duration(cold.elapsed),
+        fmt_duration(hot.elapsed),
+        speedup
+    );
+    println!(
+        "cache: hit rate {:.1}% ({} hits / {} probes), {} insertions, {} evictions",
+        hot.hit_rate() * 100.0,
+        hot.cache.hits,
+        hot.cache.hits + hot.cache.misses,
+        hot.cache.insertions,
+        hot.cache.evictions
+    );
+    assert!(
+        speedup >= 5.0,
+        "plan cache speedup {speedup:.2}x below the 5x bar"
+    );
+
+    println!("\nworker-pool scaling, shared session and cache:");
+    println!(
+        "{:>8} {:>12} {:>14} {:>10}",
+        "threads", "elapsed", "stmts/sec", "hit rate"
+    );
+    for threads in [1usize, 2, 4, 8] {
+        let session = cached.clone().with_cache_capacity(1024);
+        let r = run_batch(&session, &corpus, BatchOptions { threads });
+        assert_eq!(r.errors, 0, "{:?}", r.first_error);
+        println!(
+            "{:>8} {:>12} {:>14.0} {:>9.1}%",
+            r.threads,
+            fmt_duration(r.elapsed),
+            r.throughput(),
+            r.hit_rate() * 100.0
+        );
+    }
+    println!(
+        "(first touch of each distinct statement compiles; every other probe hits. \
+         Throughput scales with physical cores — on a single-core host the table \
+         shows the locking overhead of sharing one cache, which should be ~none.)"
+    );
 }
 
 /// E12 — ablation: sort-based vs hash-based duplicate elimination.

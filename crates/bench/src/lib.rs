@@ -8,8 +8,7 @@
 //! work counter) is the claim.
 
 use std::time::{Duration, Instant};
-use uniqueness::core::pipeline::OptimizerOptions;
-use uniqueness::engine::{ExecOptions, Session};
+use uniqueness::engine::Session;
 use uniqueness::workload::{scaled_database, ScaleConfig};
 
 /// Median wall-clock time of `runs` executions of `f`.
@@ -34,11 +33,7 @@ pub fn scaled_session(suppliers: usize, parts_per_supplier: usize) -> Session {
         ..Default::default()
     };
     let db = scaled_database(&cfg).expect("scaled database");
-    Session {
-        db,
-        optimizer: OptimizerOptions::relational(),
-        exec: ExecOptions::default(),
-    }
+    Session::new(db)
 }
 
 /// The E2 query: a single-table `SELECT DISTINCT` whose projection
@@ -48,8 +43,7 @@ pub fn scaled_session(suppliers: usize, parts_per_supplier: usize) -> Session {
 /// the randomly-distributed SNAME so the sort cannot exploit insertion
 /// order. (The Example 1 join shape is measured separately in E4/E13,
 /// where join strategy dominates.)
-pub const E2_QUERY: &str =
-    "SELECT DISTINCT S.SNAME, S.SCITY, S.SNO FROM SUPPLIER S";
+pub const E2_QUERY: &str = "SELECT DISTINCT S.SNAME, S.SCITY, S.SNO FROM SUPPLIER S";
 
 /// The Example 7 shape: EXISTS subquery that pins the inner key.
 pub const E4_QUERY: &str = "SELECT ALL S.SNO, S.SNAME FROM SUPPLIER S \

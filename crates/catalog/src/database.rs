@@ -32,6 +32,8 @@ struct TableData {
 pub struct Database {
     catalog: Catalog,
     data: BTreeMap<TableName, TableData>,
+    /// Monotonic schema version; see [`Database::version`].
+    version: u64,
 }
 
 fn key_tuple(columns: &[usize], row: &[Value]) -> Vec<Value> {
@@ -47,6 +49,15 @@ impl Database {
     /// The schema registry.
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
+    }
+
+    /// The monotonic catalog version, bumped by every schema-affecting
+    /// mutation (`CREATE TABLE`, `truncate`). Compiled plans reference
+    /// only schema — never row data — so plain `INSERT`s leave the
+    /// version unchanged; the plan cache uses this to decide whether a
+    /// cached plan is still valid.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Register a table schema with empty contents.
@@ -96,6 +107,7 @@ impl Database {
                 key_indexes: vec![BTreeMap::new(); n_keys],
             },
         );
+        self.version += 1;
         Ok(())
     }
 
@@ -267,7 +279,9 @@ impl Database {
                     idx.clear();
                 }
             })
-            .ok_or_else(|| Error::UnknownTable(table.to_string()))
+            .ok_or_else(|| Error::UnknownTable(table.to_string()))?;
+        self.version += 1;
+        Ok(())
     }
 
     /// Apply a parsed statement: `CREATE TABLE` or `INSERT`.
@@ -375,8 +389,12 @@ mod tests {
         )
         .unwrap();
         // Second NULL in the UNIQUE column: rejected (=̇ key semantics).
-        assert!(db.insert(&"T".into(), vec![Value::Int(2), Value::Null]).is_err());
-        assert!(db.insert(&"T".into(), vec![Value::Int(2), Value::Int(9)]).is_ok());
+        assert!(db
+            .insert(&"T".into(), vec![Value::Int(2), Value::Null])
+            .is_err());
+        assert!(db
+            .insert(&"T".into(), vec![Value::Int(2), Value::Int(9)])
+            .is_ok());
     }
 
     #[test]
@@ -403,7 +421,8 @@ mod tests {
         let mut db = Database::new();
         db.run_script("CREATE TABLE T (A INTEGER, PRIMARY KEY (A)); INSERT INTO T VALUES (1);")
             .unwrap();
-        db.insert_unchecked(&"T".into(), vec![Value::Int(1)]).unwrap();
+        db.insert_unchecked(&"T".into(), vec![Value::Int(1)])
+            .unwrap();
         assert_eq!(db.row_count(&"T".into()).unwrap(), 2);
     }
 
@@ -445,7 +464,8 @@ mod tests {
             .unwrap_err();
         assert!(err.to_string().contains("foreign key"), "{err}");
         // NULL FK passes (simple match).
-        db.run_script("INSERT INTO CHILD VALUES (12, NULL)").unwrap();
+        db.run_script("INSERT INTO CHILD VALUES (12, NULL)")
+            .unwrap();
     }
 
     #[test]
@@ -454,9 +474,7 @@ mod tests {
         db.run_script("CREATE TABLE PARENT (K INTEGER, V INTEGER, PRIMARY KEY (K));")
             .unwrap();
         let err = db
-            .run_script(
-                "CREATE TABLE CHILD (C INTEGER, FOREIGN KEY (C) REFERENCES PARENT (V));",
-            )
+            .run_script("CREATE TABLE CHILD (C INTEGER, FOREIGN KEY (C) REFERENCES PARENT (V));")
             .unwrap_err();
         assert!(err.to_string().contains("non-key"), "{err}");
     }
@@ -464,11 +482,10 @@ mod tests {
     #[test]
     fn foreign_key_type_mismatch_rejected() {
         let mut db = Database::new();
-        db.run_script("CREATE TABLE PARENT (K INTEGER, PRIMARY KEY (K));").unwrap();
+        db.run_script("CREATE TABLE PARENT (K INTEGER, PRIMARY KEY (K));")
+            .unwrap();
         let err = db
-            .run_script(
-                "CREATE TABLE CHILD (C VARCHAR, FOREIGN KEY (C) REFERENCES PARENT (K));",
-            )
+            .run_script("CREATE TABLE CHILD (C VARCHAR, FOREIGN KEY (C) REFERENCES PARENT (K));")
             .unwrap_err();
         assert!(err.to_string().contains("different type"), "{err}");
     }
@@ -479,6 +496,24 @@ mod tests {
         assert!(db
             .run_script("CREATE TABLE CHILD (C INTEGER, FOREIGN KEY (C) REFERENCES NOPE (K));")
             .is_err());
+    }
+
+    #[test]
+    fn version_tracks_schema_mutations() {
+        let mut db = Database::new();
+        assert_eq!(db.version(), 0);
+        db.run_script("CREATE TABLE T (A INTEGER, PRIMARY KEY (A));")
+            .unwrap();
+        let v1 = db.version();
+        assert!(v1 > 0);
+        db.run_script("INSERT INTO T VALUES (1);").unwrap();
+        assert_eq!(
+            db.version(),
+            v1,
+            "plans are schema-only; inserts keep them valid"
+        );
+        db.truncate(&"T".into()).unwrap();
+        assert!(db.version() > v1);
     }
 
     #[test]

@@ -104,10 +104,7 @@ mod tests {
         assert_eq!(parts.primary_key().unwrap().columns, vec![0, 1]);
         // OEM-PNO candidate key.
         assert_eq!(parts.candidate_keys().count(), 2);
-        let oem = parts
-            .candidate_keys()
-            .find(|k| !k.primary)
-            .unwrap();
+        let oem = parts.candidate_keys().find(|k| !k.primary).unwrap();
         assert_eq!(oem.columns, vec![3]);
 
         let agents = cat.table(&"AGENTS".into()).unwrap();

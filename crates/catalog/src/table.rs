@@ -3,7 +3,6 @@
 use uniq_sql::{CreateTable, Expr, TableConstraintAst};
 use uniq_types::{ColumnName, DataType, Error, Result, TableName};
 
-
 /// One column of a table schema.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ColumnDef {
@@ -294,9 +293,7 @@ mod tests {
 
     #[test]
     fn checks_are_collected() {
-        let s = schema(
-            "CREATE TABLE T (A INTEGER, CHECK (A BETWEEN 1 AND 499), CHECK (A <> 0))",
-        );
+        let s = schema("CREATE TABLE T (A INTEGER, CHECK (A BETWEEN 1 AND 499), CHECK (A <> 0))");
         assert_eq!(s.checks().count(), 2);
         assert!(!s.has_key());
     }

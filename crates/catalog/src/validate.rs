@@ -13,8 +13,8 @@
 //!   single-column `UNIQUE` key is `NULL`.
 
 use crate::table::TableSchema;
-use uniq_types::{Error, Result, Tri, Value};
 use uniq_sql::{CmpOp, Expr, Scalar};
+use uniq_types::{Error, Result, Tri, Value};
 
 /// Validate a row's shape, types and nullability against `schema`.
 pub fn validate_shape(schema: &TableSchema, row: &[Value]) -> Result<()> {
@@ -39,10 +39,7 @@ pub fn validate_shape(schema: &TableSchema, row: &[Value]) -> Result<()> {
         } else if v.data_type() != Some(col.data_type) {
             return Err(Error::ConstraintViolation {
                 table: schema.name.to_string(),
-                message: format!(
-                    "column {} expects {}, got {v}",
-                    col.name, col.data_type
-                ),
+                message: format!("column {} expects {}, got {v}", col.name, col.data_type),
             });
         }
     }

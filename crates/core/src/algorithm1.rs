@@ -143,10 +143,7 @@ pub fn algorithm1(spec: &BoundSpec, opts: &Algorithm1Options) -> Algorithm1Outco
     // Lines 6–9: prune clauses.
     let mut kept: Vec<Clause> = Vec::new();
     for clause in cnf {
-        if clause
-            .iter()
-            .any(|a| classify_atom(a) == AtomClass::Other)
-        {
+        if clause.iter().any(|a| classify_atom(a) == AtomClass::Other) {
             trace.push(format!(
                 "line 7: delete clause {} (contains a non-Type-1/2 atom)",
                 describe_clause(spec, &clause)
@@ -203,8 +200,7 @@ pub fn algorithm1(spec: &BoundSpec, opts: &Algorithm1Options) -> Algorithm1Outco
             }
         }
         // Lines 15–16: transitive closure under Type-2 conditions.
-        let pairs: Vec<(usize, usize)> =
-            conjunct.iter().filter_map(type2_attrs).collect();
+        let pairs: Vec<(usize, usize)> = conjunct.iter().filter_map(type2_attrs).collect();
         let mut changed = true;
         while changed {
             changed = false;
@@ -233,9 +229,10 @@ pub fn algorithm1(spec: &BoundSpec, opts: &Algorithm1Options) -> Algorithm1Outco
 
         // Line 17: some candidate key of every table must lie within V.
         for t in &spec.from {
-            let covered = t.schema.candidate_keys().any(|k| {
-                k.columns.iter().all(|&c| v[t.offset + c])
-            });
+            let covered = t
+                .schema
+                .candidate_keys()
+                .any(|k| k.columns.iter().all(|&c| v[t.offset + c]));
             if !covered {
                 trace.push(format!(
                     "line 17 (E{}): no candidate key of {} is contained in V",
@@ -364,35 +361,26 @@ mod tests {
     fn candidate_key_oem_pno_counts() {
         // OEM-PNO is a candidate key of PARTS: binding it (plus supplier
         // key) suffices even though the primary key is absent.
-        let out = run(
-            "SELECT DISTINCT P.PNAME FROM SUPPLIER S, PARTS P \
-             WHERE P.OEM-PNO = :OEM AND S.SNO = P.SNO AND S.SNO = :S",
-        );
+        let out = run("SELECT DISTINCT P.PNAME FROM SUPPLIER S, PARTS P \
+             WHERE P.OEM-PNO = :OEM AND S.SNO = P.SNO AND S.SNO = :S");
         assert!(out.unique, "trace: {:#?}", out.trace);
     }
 
     #[test]
     fn disjunction_on_same_column_is_dropped() {
         // X = 5 OR X = 10 (line 8's own example): binds nothing.
-        let out = run(
-            "SELECT DISTINCT S.SNAME FROM SUPPLIER S \
-             WHERE S.SNO = 5 OR S.SNO = 10",
-        );
+        let out = run("SELECT DISTINCT S.SNAME FROM SUPPLIER S \
+             WHERE S.SNO = 5 OR S.SNO = 10");
         assert!(!out.unique);
-        assert!(out
-            .trace
-            .iter()
-            .any(|l| l.starts_with("line 8: delete")));
+        assert!(out.trace.iter().any(|l| l.starts_with("line 8: delete")));
     }
 
     #[test]
     fn disjunction_on_distinct_columns_is_also_dropped() {
         // See the module erratum: keeping (SNO = 1 OR SNAME = 'x') and
         // case-splitting it would be unsound; line 8 deletes it.
-        let out = run(
-            "SELECT DISTINCT S.SCITY FROM SUPPLIER S \
-             WHERE S.SNO = 1 OR S.SNAME = 'x'",
-        );
+        let out = run("SELECT DISTINCT S.SCITY FROM SUPPLIER S \
+             WHERE S.SNO = 1 OR S.SNAME = 'x'");
         assert!(!out.unique);
         assert!(out.trace.iter().any(|l| l.starts_with("line 8: delete")));
     }
@@ -401,10 +389,8 @@ mod tests {
     fn disjunctive_clause_weakens_but_conjunct_still_binds_key() {
         // The OR-clause is deleted; the remaining atomic SNO = 2 pins the
         // key, so the answer is YES with a single (trivial) DNF disjunct.
-        let out = run(
-            "SELECT DISTINCT S.SCITY FROM SUPPLIER S \
-             WHERE (S.SNO = 1 OR S.SNAME = 'x') AND S.SNO = 2",
-        );
+        let out = run("SELECT DISTINCT S.SCITY FROM SUPPLIER S \
+             WHERE (S.SNO = 1 OR S.SNAME = 'x') AND S.SNO = 2");
         assert!(out.unique, "trace: {:#?}", out.trace);
         assert_eq!(out.dnf_disjuncts, Some(1));
     }
@@ -416,12 +402,10 @@ mod tests {
         // disjunct would pin SNO (to different constants!) and the
         // algorithm would wrongly answer YES; two rows with SNO 1 and 9
         // can then duplicate on SNAME. The sound reading answers NO.
-        let out = run(
-            "SELECT DISTINCT S.SNAME FROM SUPPLIER S \
+        let out = run("SELECT DISTINCT S.SNAME FROM SUPPLIER S \
              WHERE (S.SNO = 1 OR S.BUDGET = 9) \
                AND (S.SNO = 2 OR S.SCITY = 'Toronto') \
-               AND S.SNO = S.BUDGET",
-        );
+               AND S.SNO = S.BUDGET");
         assert!(!out.unique);
     }
 
@@ -431,24 +415,27 @@ mod tests {
         // answers NO (C = T). Documented incompleteness.
         let out = run("SELECT DISTINCT S.SNO, S.SNAME FROM SUPPLIER S");
         assert!(!out.unique);
-        assert!(out.trace.iter().any(|l| l.contains("line 10")), "{:?}", out.trace);
+        assert!(
+            out.trace.iter().any(|l| l.contains("line 10")),
+            "{:?}",
+            out.trace
+        );
     }
 
     #[test]
     fn non_equality_atoms_weaken_but_do_not_block() {
         // BETWEEN is not Type 1/2: its clause is deleted, but SNO = :H
         // still binds the key.
-        let out = run(
-            "SELECT DISTINCT S.SNAME FROM SUPPLIER S \
-             WHERE S.SNO = :H AND S.BUDGET BETWEEN 1 AND 10",
-        );
+        let out = run("SELECT DISTINCT S.SNAME FROM SUPPLIER S \
+             WHERE S.SNO = :H AND S.BUDGET BETWEEN 1 AND 10");
         assert!(out.unique, "trace: {:#?}", out.trace);
     }
 
     #[test]
     fn table_without_key_answers_no() {
         let mut db = uniq_catalog::Database::new();
-        db.run_script("CREATE TABLE HEAP (X INTEGER, Y INTEGER)").unwrap();
+        db.run_script("CREATE TABLE HEAP (X INTEGER, Y INTEGER)")
+            .unwrap();
         let bound = bind_query(
             db.catalog(),
             &parse_query("SELECT DISTINCT X FROM HEAP WHERE X = 1").unwrap(),
@@ -461,10 +448,8 @@ mod tests {
 
     #[test]
     fn exists_atom_is_other_and_clause_dropped() {
-        let out = run(
-            "SELECT DISTINCT S.SNAME FROM SUPPLIER S \
-             WHERE S.SNO = :H AND EXISTS (SELECT * FROM PARTS P WHERE P.SNO = S.SNO)",
-        );
+        let out = run("SELECT DISTINCT S.SNAME FROM SUPPLIER S \
+             WHERE S.SNO = :H AND EXISTS (SELECT * FROM PARTS P WHERE P.SNO = S.SNO)");
         // EXISTS clause dropped; SNO = :H still covers the key.
         assert!(out.unique);
     }
@@ -487,6 +472,10 @@ mod tests {
         );
         let out = run(&sql);
         assert!(!out.unique);
-        assert!(out.trace.iter().any(|l| l.contains("CNF exceeds")), "{:?}", out.trace);
+        assert!(
+            out.trace.iter().any(|l| l.contains("CNF exceeds")),
+            "{:?}",
+            out.trace
+        );
     }
 }

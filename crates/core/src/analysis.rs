@@ -161,18 +161,13 @@ pub fn single_tuple_condition(sub: &BoundSpec) -> UniquenessReport {
     key_cover_report(sub, &closure, "correlation/constant bindings")
 }
 
-fn key_cover_report(
-    spec: &BoundSpec,
-    closure: &AttrSet,
-    source: &str,
-) -> UniquenessReport {
+fn key_cover_report(spec: &BoundSpec, closure: &AttrSet, source: &str) -> UniquenessReport {
     let mut covered: Vec<String> = Vec::new();
     for t in &spec.from {
-        let key = t.schema.candidate_keys().find(|k| {
-            k.columns
-                .iter()
-                .all(|&c| closure.contains(t.offset + c))
-        });
+        let key = t
+            .schema
+            .candidate_keys()
+            .find(|k| k.columns.iter().all(|&c| closure.contains(t.offset + c)));
         match key {
             Some(k) => {
                 let cols: Vec<String> = k
@@ -237,9 +232,7 @@ mod tests {
     #[test]
     fn keys_in_projection_without_predicate() {
         // The case the paper's Algorithm 1 line 10 misses.
-        let r = unique_projection(&spec_of(
-            "SELECT DISTINCT S.SNO, S.SNAME FROM SUPPLIER S",
-        ));
+        let r = unique_projection(&spec_of("SELECT DISTINCT S.SNO, S.SNAME FROM SUPPLIER S"));
         assert!(r.unique, "{}", r.reason);
     }
 
@@ -333,10 +326,7 @@ mod tests {
         );
         // The paper's other observation: SNO → SNAME holds (a key
         // dependency of SUPPLIER surviving as a derived FD).
-        assert!(fds.implies(
-            &uniq_fd::AttrSet::single(0),
-            &uniq_fd::AttrSet::single(1)
-        ));
+        assert!(fds.implies(&uniq_fd::AttrSet::single(0), &uniq_fd::AttrSet::single(1)));
         // And without the host-variable restriction, PNO alone is NOT a
         // key of the product.
         let spec2 = spec_of(

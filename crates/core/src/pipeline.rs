@@ -11,10 +11,10 @@
 //!   pointer-based OODBs: convert joins *to* subqueries so the back-end
 //!   can run first-match nested loops.
 
-use crate::rewrite::distinct::{remove_redundant_distinct, UniquenessTest};
+use crate::rewrite::distinct::{remove_redundant_distinct_memo, UniquenessMemo, UniquenessTest};
 use crate::rewrite::{
-    eliminate_join, except_to_not_exists, intersect_to_exists, join_to_subquery,
-    subquery_to_join,
+    eliminate_join, except_to_not_exists_memo, intersect_to_exists_memo, join_to_subquery,
+    subquery_to_join_memo,
 };
 use crate::unbind::unbind_query;
 use uniq_plan::{BoundQuery, BoundSpec};
@@ -94,7 +94,7 @@ impl Default for OptimizerOptions {
 }
 
 /// One applied rewrite.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RewriteStep {
     /// Short rule identifier (`"distinct-removal"`, …).
     pub rule: &'static str,
@@ -111,6 +111,12 @@ pub struct OptimizeOutcome {
     pub query: BoundQuery,
     /// Every step applied, in order (empty = nothing fired).
     pub steps: Vec<RewriteStep>,
+    /// Uniqueness-test verdicts computed by actually running Theorem 1 /
+    /// Algorithm 1 machinery during this optimize call.
+    pub uniqueness_tests_computed: u64,
+    /// Verdicts answered from the per-optimize memo instead (see
+    /// [`UniquenessMemo`]).
+    pub uniqueness_tests_memoized: u64,
 }
 
 impl OptimizeOutcome {
@@ -133,11 +139,17 @@ impl Optimizer {
     }
 
     /// Apply the enabled rules to `query` until none fires.
+    ///
+    /// All uniqueness-test verdicts produced along the way are memoized
+    /// for the duration of the call, so the Theorem 1 / Algorithm 1
+    /// machinery runs at most once per distinct (block, test) pair no
+    /// matter how many rules or fixpoint passes re-ask.
     pub fn optimize(&self, query: &BoundQuery) -> OptimizeOutcome {
         let mut current = query.clone();
         let mut steps = Vec::new();
+        let mut memo = UniquenessMemo::new();
         for _ in 0..self.options.max_steps {
-            match self.apply_once(&current) {
+            match self.apply_once(&current, &mut memo) {
                 Some((next, rule, why)) => {
                     let sql_after = unbind_query(&next)
                         .map(|ast| ast.to_string())
@@ -155,17 +167,23 @@ impl Optimizer {
         OptimizeOutcome {
             query: current,
             steps,
+            uniqueness_tests_computed: memo.computed,
+            uniqueness_tests_memoized: memo.reused,
         }
     }
 
-    fn apply_once(&self, q: &BoundQuery) -> Option<(BoundQuery, &'static str, String)> {
+    fn apply_once(
+        &self,
+        q: &BoundQuery,
+        memo: &mut UniquenessMemo,
+    ) -> Option<(BoundQuery, &'static str, String)> {
         // Set-operation rules first: they can expose a block to the
         // block-level rules.
         if self.options.setops_to_exists {
-            if let Some((next, why)) = intersect_to_exists(q, self.options.test) {
+            if let Some((next, why)) = intersect_to_exists_memo(q, self.options.test, memo) {
                 return Some((next, "intersect-to-exists", why));
             }
-            if let Some((next, why)) = except_to_not_exists(q, self.options.test) {
+            if let Some((next, why)) = except_to_not_exists_memo(q, self.options.test, memo) {
                 return Some((next, "except-to-not-exists", why));
             }
         }
@@ -177,7 +195,7 @@ impl Optimizer {
             right,
         } = q
         {
-            if let Some((l, rule, why)) = self.apply_once(left) {
+            if let Some((l, rule, why)) = self.apply_once(left, memo) {
                 return Some((
                     BoundQuery::SetOp {
                         op: *op,
@@ -189,7 +207,7 @@ impl Optimizer {
                     why,
                 ));
             }
-            if let Some((r, rule, why)) = self.apply_once(right) {
+            if let Some((r, rule, why)) = self.apply_once(right, memo) {
                 return Some((
                     BoundQuery::SetOp {
                         op: *op,
@@ -204,20 +222,24 @@ impl Optimizer {
             return None;
         }
         let spec = q.as_spec()?;
-        if let Some((next, rule, why)) = self.apply_spec(spec) {
+        if let Some((next, rule, why)) = self.apply_spec(spec, memo) {
             return Some((BoundQuery::Spec(Box::new(next)), rule, why));
         }
         None
     }
 
-    fn apply_spec(&self, spec: &BoundSpec) -> Option<(BoundSpec, &'static str, String)> {
+    fn apply_spec(
+        &self,
+        spec: &BoundSpec,
+        memo: &mut UniquenessMemo,
+    ) -> Option<(BoundSpec, &'static str, String)> {
         if self.options.join_elimination {
             if let Some((next, why)) = eliminate_join(spec) {
                 return Some((next, "join-elimination", why));
             }
         }
         if self.options.subquery_to_join {
-            if let Some((next, why)) = subquery_to_join(spec, self.options.test) {
+            if let Some((next, why)) = subquery_to_join_memo(spec, self.options.test, memo) {
                 return Some((next, "subquery-to-join", why));
             }
         }
@@ -227,7 +249,8 @@ impl Optimizer {
             }
         }
         if self.options.remove_redundant_distinct {
-            if let Some((next, why)) = remove_redundant_distinct(spec, self.options.test) {
+            if let Some((next, why)) = remove_redundant_distinct_memo(spec, self.options.test, memo)
+            {
                 return Some((next, "distinct-removal", why));
             }
         }
@@ -275,10 +298,7 @@ mod tests {
         // key is not determined, so DISTINCT must stay.
         assert_eq!(out.steps.len(), 1, "{:#?}", out.steps);
         assert_eq!(out.steps[0].rule, "subquery-to-join");
-        assert_eq!(
-            out.query.as_spec().unwrap().distinct,
-            Distinct::Distinct
-        );
+        assert_eq!(out.query.as_spec().unwrap().distinct, Distinct::Distinct);
     }
 
     #[test]
@@ -349,6 +369,22 @@ mod tests {
             "{}",
             out.steps[0].sql_after
         );
+    }
+
+    #[test]
+    fn uniqueness_tests_run_once_per_block() {
+        // Two EXISTS conjuncts, neither merged by Theorem 2, outer not
+        // provably unique: the Corollary 1 check asks about the same
+        // outer block once per conjunct — the second ask must come from
+        // the memo, not a fresh Algorithm 1 run.
+        let out = optimize(
+            "SELECT ALL S.SNAME FROM SUPPLIER S \
+             WHERE EXISTS (SELECT * FROM PARTS P WHERE P.SNO = S.SNO) \
+             AND EXISTS (SELECT * FROM AGENTS A WHERE A.SNO = S.SNO)",
+            OptimizerOptions::relational(),
+        );
+        assert_eq!(out.uniqueness_tests_computed, 1, "{out:#?}");
+        assert!(out.uniqueness_tests_memoized >= 1, "{out:#?}");
     }
 
     #[test]

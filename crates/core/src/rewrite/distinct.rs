@@ -41,6 +41,49 @@ pub fn is_provably_unique(spec: &BoundSpec, test: UniquenessTest) -> Option<Stri
     None
 }
 
+/// A per-`optimize` memo of uniqueness-test verdicts.
+///
+/// The fixpoint pipeline asks [`is_provably_unique`] about the same
+/// block repeatedly: several rules consult it within one pass (a
+/// Corollary 1 merge and a Theorem 1 `DISTINCT` removal both test the
+/// outer block), and every pass after a rewrite re-asks about blocks
+/// the rewrite left untouched. Algorithm 1's CNF→DNF conversion makes
+/// each ask potentially exponential in the predicate, so the pipeline
+/// records each `(block, test)` verdict and answers repeats from the
+/// memo. Keys compare with full structural equality (`BoundSpec:
+/// PartialEq`), so a memo hit is exact — never a hash gamble.
+#[derive(Debug, Default)]
+pub struct UniquenessMemo {
+    entries: Vec<(BoundSpec, UniquenessTest, Option<String>)>,
+    /// Verdicts computed by running the underlying test(s).
+    pub computed: u64,
+    /// Verdicts answered from the memo.
+    pub reused: u64,
+}
+
+impl UniquenessMemo {
+    /// An empty memo.
+    pub fn new() -> UniquenessMemo {
+        UniquenessMemo::default()
+    }
+
+    /// Memoized [`is_provably_unique`].
+    pub fn is_provably_unique(&mut self, spec: &BoundSpec, test: UniquenessTest) -> Option<String> {
+        if let Some((_, _, verdict)) = self
+            .entries
+            .iter()
+            .find(|(s, t, _)| *t == test && s == spec)
+        {
+            self.reused += 1;
+            return verdict.clone();
+        }
+        let verdict = is_provably_unique(spec, test);
+        self.computed += 1;
+        self.entries.push((spec.clone(), test, verdict.clone()));
+        verdict
+    }
+}
+
 /// Remove the `DISTINCT` of a block when Theorem 1 proves it redundant.
 /// Returns the rewritten block and the justification, or `None` when the
 /// rule does not apply.
@@ -48,10 +91,20 @@ pub fn remove_redundant_distinct(
     spec: &BoundSpec,
     test: UniquenessTest,
 ) -> Option<(BoundSpec, String)> {
+    remove_redundant_distinct_memo(spec, test, &mut UniquenessMemo::new())
+}
+
+/// [`remove_redundant_distinct`] against a shared memo (the pipeline's
+/// entry point).
+pub fn remove_redundant_distinct_memo(
+    spec: &BoundSpec,
+    test: UniquenessTest,
+    memo: &mut UniquenessMemo,
+) -> Option<(BoundSpec, String)> {
     if spec.distinct != Distinct::Distinct {
         return None;
     }
-    let reason = is_provably_unique(spec, test)?;
+    let reason = memo.is_provably_unique(spec, test)?;
     let mut rewritten = spec.clone();
     rewritten.distinct = Distinct::All;
     Some((
@@ -110,6 +163,23 @@ mod tests {
         assert!(remove_redundant_distinct(&spec, UniquenessTest::Algorithm1).is_none());
         assert!(remove_redundant_distinct(&spec, UniquenessTest::FdClosure).is_some());
         assert!(remove_redundant_distinct(&spec, UniquenessTest::Both).is_some());
+    }
+
+    #[test]
+    fn memo_reuses_verdicts_per_block_and_test() {
+        let spec = spec_of("SELECT DISTINCT S.SNO FROM SUPPLIER S WHERE S.SNO = 1");
+        let mut memo = UniquenessMemo::new();
+        let fresh = memo.is_provably_unique(&spec, UniquenessTest::Both);
+        let replay = memo.is_provably_unique(&spec, UniquenessTest::Both);
+        assert_eq!(fresh, replay);
+        assert_eq!((memo.computed, memo.reused), (1, 1));
+        // A different test selection is a distinct memo entry.
+        memo.is_provably_unique(&spec, UniquenessTest::FdClosure);
+        assert_eq!(memo.computed, 2);
+        // A different block is too.
+        let other = spec_of("SELECT DISTINCT S.SNO FROM SUPPLIER S");
+        memo.is_provably_unique(&other, UniquenessTest::Both);
+        assert_eq!(memo.computed, 3);
     }
 
     #[test]

@@ -93,15 +93,15 @@ pub fn eliminate_join(spec: &BoundSpec) -> Option<(BoundSpec, String)> {
             if !a.is_local() || !b.is_local() {
                 continue 'parents;
             }
-            let (t_attr, o_attr) = if parent_range.contains(&a.idx) && !parent_range.contains(&b.idx)
-            {
-                (a.idx, b.idx)
-            } else if parent_range.contains(&b.idx) && !parent_range.contains(&a.idx) {
-                (b.idx, a.idx)
-            } else {
-                // T = T or T = constant — constrains the parent.
-                continue 'parents;
-            };
+            let (t_attr, o_attr) =
+                if parent_range.contains(&a.idx) && !parent_range.contains(&b.idx) {
+                    (a.idx, b.idx)
+                } else if parent_range.contains(&b.idx) && !parent_range.contains(&a.idx) {
+                    (b.idx, a.idx)
+                } else {
+                    // T = T or T = constant — constrains the parent.
+                    continue 'parents;
+                };
             let pair = (t_attr - parent_range.start, o_attr);
             if !join_pairs.contains(&pair) {
                 join_pairs.push(pair);
@@ -148,11 +148,7 @@ pub fn eliminate_join(spec: &BoundSpec) -> Option<(BoundSpec, String)> {
         }
 
         // 4. Referencing columns must be NOT NULL.
-        if fk
-            .columns
-            .iter()
-            .any(|&c| child.schema.columns[c].nullable)
-        {
+        if fk.columns.iter().any(|&c| child.schema.columns[c].nullable) {
             continue;
         }
 
@@ -228,9 +224,8 @@ mod tests {
 
     #[test]
     fn eliminates_fk_parent_join() {
-        let spec = spec_of(
-            "SELECT ALL P.PNO, P.PNAME FROM SUPPLIER S, PARTS P WHERE S.SNO = P.SNO",
-        );
+        let spec =
+            spec_of("SELECT ALL P.PNO, P.PNAME FROM SUPPLIER S, PARTS P WHERE S.SNO = P.SNO");
         let (out, why) = eliminate_join(&spec).unwrap();
         assert!(why.contains("join elimination"), "{why}");
         assert_eq!(out.from.len(), 1);
@@ -243,9 +238,8 @@ mod tests {
 
     #[test]
     fn parent_in_projection_blocks() {
-        let spec = spec_of(
-            "SELECT ALL S.SNAME, P.PNO FROM SUPPLIER S, PARTS P WHERE S.SNO = P.SNO",
-        );
+        let spec =
+            spec_of("SELECT ALL S.SNAME, P.PNO FROM SUPPLIER S, PARTS P WHERE S.SNO = P.SNO");
         assert!(eliminate_join(&spec).is_none());
     }
 
@@ -261,9 +255,7 @@ mod tests {
     #[test]
     fn non_fk_join_columns_block() {
         // Joining on a non-FK pair (SNAME vs PNAME) must not fire.
-        let spec = spec_of(
-            "SELECT ALL P.PNO FROM SUPPLIER S, PARTS P WHERE S.SNAME = P.PNAME",
-        );
+        let spec = spec_of("SELECT ALL P.PNO FROM SUPPLIER S, PARTS P WHERE S.SNAME = P.PNAME");
         assert!(eliminate_join(&spec).is_none());
     }
 
@@ -311,9 +303,7 @@ mod tests {
 
     #[test]
     fn agents_parent_also_eliminable() {
-        let spec = spec_of(
-            "SELECT ALL A.ANAME FROM SUPPLIER S, AGENTS A WHERE A.SNO = S.SNO",
-        );
+        let spec = spec_of("SELECT ALL A.ANAME FROM SUPPLIER S, AGENTS A WHERE A.SNO = S.SNO");
         let (out, _) = eliminate_join(&spec).unwrap();
         assert_eq!(out.from[0].binding.as_str(), "A");
     }

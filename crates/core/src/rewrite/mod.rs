@@ -13,7 +13,9 @@ pub mod setops;
 pub mod subquery;
 pub mod util;
 
-pub use distinct::remove_redundant_distinct;
+pub use distinct::{remove_redundant_distinct, remove_redundant_distinct_memo, UniquenessMemo};
 pub use join_elim::eliminate_join;
-pub use setops::{except_to_not_exists, intersect_to_exists};
-pub use subquery::{join_to_subquery, subquery_to_join};
+pub use setops::{
+    except_to_not_exists, except_to_not_exists_memo, intersect_to_exists, intersect_to_exists_memo,
+};
+pub use subquery::{join_to_subquery, subquery_to_join, subquery_to_join_memo};

@@ -33,18 +33,22 @@
 //! * `EXCEPT ALL`: requires the **left** operand duplicate-free
 //!   (`max(j − k, 0)` with `j ≤ 1` is `1` iff `j = 1 ∧ k = 0`).
 
-use crate::rewrite::distinct::{is_provably_unique, UniquenessTest};
+use crate::rewrite::distinct::{UniquenessMemo, UniquenessTest};
 use crate::rewrite::util::rebuild_predicate;
 use uniq_plan::{AttrRef, BScalar, BoundExpr, BoundQuery, BoundSpec};
 use uniq_sql::{CmpOp, Distinct, SetOp};
 
 /// Is this block's result free of duplicate rows (either declared
 /// `DISTINCT` or provable via Theorem 1)?
-fn block_is_duplicate_free(spec: &BoundSpec, test: UniquenessTest) -> Option<String> {
+fn block_is_duplicate_free(
+    spec: &BoundSpec,
+    test: UniquenessTest,
+    memo: &mut UniquenessMemo,
+) -> Option<String> {
     if spec.distinct == Distinct::Distinct {
         return Some("the block already eliminates duplicates".into());
     }
-    is_provably_unique(spec, test)
+    memo.is_provably_unique(spec, test)
 }
 
 /// Build the null-aware correlation predicate matching `outer`'s projected
@@ -98,12 +102,7 @@ fn attr_nullable(spec: &BoundSpec, attr: usize) -> bool {
 
 /// Rewrite `outer <op> inner` into `outer` filtered by a correlated
 /// `[NOT] EXISTS (inner)` subquery.
-fn fuse(
-    outer: &BoundSpec,
-    inner: &BoundSpec,
-    negated: bool,
-    force_distinct: bool,
-) -> BoundSpec {
+fn fuse(outer: &BoundSpec, inner: &BoundSpec, negated: bool, force_distinct: bool) -> BoundSpec {
     let mut sub = inner.clone();
     // The inner block's own predicate is extended with the correlation;
     // its references are untouched (it keeps its own block).
@@ -142,6 +141,16 @@ pub fn intersect_to_exists(
     query: &BoundQuery,
     test: UniquenessTest,
 ) -> Option<(BoundQuery, String)> {
+    intersect_to_exists_memo(query, test, &mut UniquenessMemo::new())
+}
+
+/// [`intersect_to_exists`] against a shared memo (the pipeline's entry
+/// point).
+pub fn intersect_to_exists_memo(
+    query: &BoundQuery,
+    test: UniquenessTest,
+    memo: &mut UniquenessMemo,
+) -> Option<(BoundQuery, String)> {
     let BoundQuery::SetOp {
         op: SetOp::Intersect,
         all,
@@ -152,7 +161,7 @@ pub fn intersect_to_exists(
         return None;
     };
     let (l, r) = (left.as_spec()?, right.as_spec()?);
-    if let Some(reason) = block_is_duplicate_free(l, test) {
+    if let Some(reason) = block_is_duplicate_free(l, test, memo) {
         let v = fuse(l, r, false, false);
         let why = if *all {
             format!("INTERSECT ALL → EXISTS over the left operand (Corollary 2: {reason})")
@@ -161,7 +170,7 @@ pub fn intersect_to_exists(
         };
         return Some((BoundQuery::Spec(Box::new(v)), why));
     }
-    if let Some(reason) = block_is_duplicate_free(r, test) {
+    if let Some(reason) = block_is_duplicate_free(r, test, memo) {
         let v = fuse(r, l, false, false);
         let why = if *all {
             format!(
@@ -195,6 +204,16 @@ pub fn except_to_not_exists(
     query: &BoundQuery,
     test: UniquenessTest,
 ) -> Option<(BoundQuery, String)> {
+    except_to_not_exists_memo(query, test, &mut UniquenessMemo::new())
+}
+
+/// [`except_to_not_exists`] against a shared memo (the pipeline's entry
+/// point).
+pub fn except_to_not_exists_memo(
+    query: &BoundQuery,
+    test: UniquenessTest,
+    memo: &mut UniquenessMemo,
+) -> Option<(BoundQuery, String)> {
     let BoundQuery::SetOp {
         op: SetOp::Except,
         all,
@@ -205,7 +224,7 @@ pub fn except_to_not_exists(
         return None;
     };
     let (l, r) = (left.as_spec()?, right.as_spec()?);
-    match block_is_duplicate_free(l, test) {
+    match block_is_duplicate_free(l, test, memo) {
         Some(reason) => {
             let v = fuse(l, r, true, false);
             let why = if *all {

@@ -23,10 +23,10 @@
 //! plan (paper Examples 10 and 11).
 
 use crate::analysis::single_tuple_condition;
-use crate::rewrite::distinct::{is_provably_unique, UniquenessTest};
+use crate::rewrite::distinct::{UniquenessMemo, UniquenessTest};
 use crate::rewrite::util::{
-    append_tables, conjuncts_of, rebuild_predicate, reindex_after_removal,
-    reindex_merged_subquery, reindex_pushed_down,
+    append_tables, conjuncts_of, rebuild_predicate, reindex_after_removal, reindex_merged_subquery,
+    reindex_pushed_down,
 };
 use uniq_plan::{BoundExpr, BoundSpec};
 use uniq_sql::Distinct;
@@ -34,6 +34,16 @@ use uniq_sql::Distinct;
 /// Merge the first eligible positive `EXISTS` subquery of `spec` into its
 /// `FROM` clause. Returns the rewritten block and a justification.
 pub fn subquery_to_join(spec: &BoundSpec, test: UniquenessTest) -> Option<(BoundSpec, String)> {
+    subquery_to_join_memo(spec, test, &mut UniquenessMemo::new())
+}
+
+/// [`subquery_to_join`] against a shared memo (the pipeline's entry
+/// point).
+pub fn subquery_to_join_memo(
+    spec: &BoundSpec,
+    test: UniquenessTest,
+    memo: &mut UniquenessMemo,
+) -> Option<(BoundSpec, String)> {
     let conjuncts = conjuncts_of(spec);
     for (i, conjunct) in conjuncts.iter().enumerate() {
         let BoundExpr::Exists {
@@ -48,14 +58,17 @@ pub fn subquery_to_join(spec: &BoundSpec, test: UniquenessTest) -> Option<(Bound
         let (result_distinct, why) = if single.unique {
             (
                 spec.distinct,
-                format!("Theorem 2 (subquery matches at most one tuple: {})", single.reason),
+                format!(
+                    "Theorem 2 (subquery matches at most one tuple: {})",
+                    single.reason
+                ),
             )
         } else if spec.distinct == Distinct::Distinct {
             (
                 Distinct::Distinct,
                 "outer projection is DISTINCT; extra join matches collapse".to_string(),
             )
-        } else if let Some(reason) = is_provably_unique(spec, test) {
+        } else if let Some(reason) = memo.is_provably_unique(spec, test) {
             (
                 Distinct::Distinct,
                 format!(
@@ -87,10 +100,7 @@ pub fn subquery_to_join(spec: &BoundSpec, test: UniquenessTest) -> Option<(Bound
             .collect();
         new_conjuncts.extend(hoisted);
         merged.predicate = rebuild_predicate(new_conjuncts);
-        return Some((
-            merged,
-            format!("EXISTS subquery merged into join: {why}"),
-        ));
+        return Some((merged, format!("EXISTS subquery merged into join: {why}")));
     }
     None
 }

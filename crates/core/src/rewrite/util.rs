@@ -37,7 +37,9 @@ fn go(e: &mut BoundExpr, depth: usize, f: &mut impl FnMut(usize, &mut AttrRef)) 
             scalar(low, depth, f);
             scalar(high, depth, f);
         }
-        BoundExpr::InList { scalar: s, list, .. } => {
+        BoundExpr::InList {
+            scalar: s, list, ..
+        } => {
             scalar(s, depth, f);
             for item in list {
                 scalar(item, depth, f);
@@ -97,11 +99,7 @@ pub fn reindex_merged_subquery(e: &mut BoundExpr, offset: usize) {
 /// `removed_before` — the width the extracted tables occupied *before*
 /// position `idx` in the original block (0 for attributes left of the
 /// extracted range).
-pub fn reindex_pushed_down(
-    e: &mut BoundExpr,
-    range: std::ops::Range<usize>,
-    removed_width: usize,
-) {
+pub fn reindex_pushed_down(e: &mut BoundExpr, range: std::ops::Range<usize>, removed_width: usize) {
     map_attr_refs(e, &mut |depth, a| {
         if a.up == depth {
             if range.contains(&a.idx) {
@@ -226,10 +224,7 @@ mod tests {
                 // up=3 pointed two above: up -= 1.
                 assert_eq!(
                     p,
-                    BoundExpr::and(
-                        eq(attr(0, 0), attr(1, 12)),
-                        eq(attr(0, 0), attr(2, 7)),
-                    )
+                    BoundExpr::and(eq(attr(0, 0), attr(1, 12)), eq(attr(0, 0), attr(2, 7)),)
                 );
             }
             _ => unreachable!(),

@@ -250,8 +250,7 @@ pub fn condition_holds(spec: &BoundSpec, domains: &Domains, hosts: &HostDomains)
                 if !key_dependencies_hold(spec, r, r2)? {
                     continue;
                 }
-                if agree(r, r2, proj.iter().copied())?
-                    && !agree(r, r2, key_attrs.iter().copied())?
+                if agree(r, r2, proj.iter().copied())? && !agree(r, r2, key_attrs.iter().copied())?
                 {
                     return Ok(false);
                 }
@@ -295,9 +294,7 @@ pub fn duplicates_possible(
     let bindings = all_host_bindings(hosts);
 
     // Enumerate instance combinations.
-    fn combos<'a>(
-        per_table: &'a [Vec<Vec<&'a Vec<Value>>>],
-    ) -> Vec<Vec<&'a Vec<&'a Vec<Value>>>> {
+    fn combos<'a>(per_table: &'a [Vec<Vec<&'a Vec<Value>>>]) -> Vec<Vec<&'a Vec<&'a Vec<Value>>>> {
         let mut out: Vec<Vec<&Vec<&Vec<Value>>>> = vec![Vec::new()];
         for table in per_table {
             let mut next = Vec::with_capacity(out.len() * table.len());
@@ -337,8 +334,7 @@ pub fn duplicates_possible(
                 if !passes {
                     continue;
                 }
-                let projected: Vec<Value> =
-                    proj.iter().map(|&a| tuple[a].clone()).collect();
+                let projected: Vec<Value> = proj.iter().map(|&a| tuple[a].clone()).collect();
                 if seen
                     .iter()
                     .any(|s| uniq_types::value::tuple_null_eq(s, &projected).unwrap_or(false))
@@ -430,10 +426,8 @@ mod tests {
         let domains = vec![vec![ints(&[6, 7, 8]), ints(&[5, 6])]];
         assert!(condition_holds(&spec, &domains, &vec![]).unwrap());
         assert!(!duplicates_possible(&spec, &domains, &vec![]).unwrap());
-        let alg1 = crate::algorithm1::algorithm1(
-            &spec,
-            &crate::algorithm1::Algorithm1Options::default(),
-        );
+        let alg1 =
+            crate::algorithm1::algorithm1(&spec, &crate::algorithm1::Algorithm1Options::default());
         assert!(!alg1.unique, "Algorithm 1 ignores table constraints");
     }
 

@@ -9,9 +9,7 @@
 //! the optimizer produces.
 
 use uniq_plan::{AttrRef, BScalar, BoundExpr, BoundQuery, BoundSpec};
-use uniq_sql::{
-    Expr, Projection, QueryExpr, QuerySpec, Scalar, SelectItem, TableRef,
-};
+use uniq_sql::{Expr, Projection, QueryExpr, QuerySpec, Scalar, SelectItem, TableRef};
 use uniq_types::{ColRef, Error, Result};
 
 /// Lower a bound query to AST.
@@ -60,10 +58,7 @@ fn unbind_spec<'a>(spec: &'a BoundSpec, scopes: &mut Vec<&'a BoundSpec>) -> Resu
             } else {
                 Some(p.name.clone())
             };
-            items.push(SelectItem {
-                col,
-                alias,
-            });
+            items.push(SelectItem { col, alias });
         }
         Projection::Columns(items)
     };

@@ -138,10 +138,7 @@ impl<'a> Executor<'a> {
 
     /// Assign each top-level conjunct to the earliest pipeline level where
     /// it is evaluable.
-    fn assign_conjuncts<'e>(
-        spec: &'e BoundSpec,
-        widths: &[usize],
-    ) -> Vec<Vec<&'e BoundExpr>> {
+    fn assign_conjuncts<'e>(spec: &'e BoundSpec, widths: &[usize]) -> Vec<Vec<&'e BoundExpr>> {
         let mut levels: Vec<Vec<&BoundExpr>> = vec![Vec::new(); spec.from.len()];
         if let Some(pred) = &spec.predicate {
             for c in pred.conjuncts() {
@@ -373,12 +370,7 @@ impl<'a> Executor<'a> {
         }
     }
 
-    fn scalar(
-        &self,
-        s: &BScalar,
-        outer: &[Vec<Value>],
-        current: &[Value],
-    ) -> Result<Value> {
+    fn scalar(&self, s: &BScalar, outer: &[Vec<Value>], current: &[Value]) -> Result<Value> {
         Ok(match s {
             BScalar::Literal(v) => v.clone(),
             BScalar::HostVar(h) => self.hostvars.get(h)?.clone(),
@@ -496,10 +488,7 @@ fn cmp_tri(op: CmpOp, l: &Value, r: &Value) -> Result<Tri> {
 
 /// Is this conjunct `built_attr = new_attr` (either direction) linking the
 /// already-joined prefix to the table occupying `range`?
-fn equi_join_key(
-    c: &BoundExpr,
-    range: &std::ops::Range<usize>,
-) -> Option<(usize, usize)> {
+fn equi_join_key(c: &BoundExpr, range: &std::ops::Range<usize>) -> Option<(usize, usize)> {
     let BoundExpr::Cmp {
         op: CmpOp::Eq,
         left,
@@ -522,9 +511,7 @@ fn equi_join_key(
 fn contains_subquery(e: &BoundExpr) -> bool {
     match e {
         BoundExpr::Exists { .. } | BoundExpr::InSubquery { .. } => true,
-        BoundExpr::And(a, b) | BoundExpr::Or(a, b) => {
-            contains_subquery(a) || contains_subquery(b)
-        }
+        BoundExpr::And(a, b) | BoundExpr::Or(a, b) => contains_subquery(a) || contains_subquery(b),
         BoundExpr::Not(a) => contains_subquery(a),
         _ => false,
     }
@@ -533,17 +520,13 @@ fn contains_subquery(e: &BoundExpr) -> bool {
 /// Visit every attribute reference in `e` with its subquery depth
 /// (re-exported plumbing shared with `uniq-core`'s rewrites, duplicated
 /// here to keep the engine independent of the optimizer's internals).
-pub(crate) fn map_all_attr_refs(
-    e: &mut BoundExpr,
-    f: &mut impl FnMut(usize, &mut AttrRef),
-) {
+pub(crate) fn map_all_attr_refs(e: &mut BoundExpr, f: &mut impl FnMut(usize, &mut AttrRef)) {
     fn go(e: &mut BoundExpr, depth: usize, f: &mut impl FnMut(usize, &mut AttrRef)) {
-        let scalar =
-            |s: &mut BScalar, depth: usize, f: &mut dyn FnMut(usize, &mut AttrRef)| {
-                if let BScalar::Attr(a) = s {
-                    f(depth, a);
-                }
-            };
+        let scalar = |s: &mut BScalar, depth: usize, f: &mut dyn FnMut(usize, &mut AttrRef)| {
+            if let BScalar::Attr(a) = s {
+                f(depth, a);
+            }
+        };
         match e {
             BoundExpr::Cmp { left, right, .. } => {
                 scalar(left, depth, f);
@@ -559,7 +542,9 @@ pub(crate) fn map_all_attr_refs(
                 scalar(low, depth, f);
                 scalar(high, depth, f);
             }
-            BoundExpr::InList { scalar: s, list, .. } => {
+            BoundExpr::InList {
+                scalar: s, list, ..
+            } => {
                 scalar(s, depth, f);
                 for item in list {
                     scalar(item, depth, f);
@@ -618,18 +603,13 @@ mod tests {
     #[test]
     fn single_table_filter() {
         let rows = run("SELECT S.SNO FROM SUPPLIER S WHERE S.SCITY = 'Toronto'");
-        assert_eq!(
-            sorted(rows),
-            vec![vec![Value::Int(1)], vec![Value::Int(4)]]
-        );
+        assert_eq!(sorted(rows), vec![vec![Value::Int(1)], vec![Value::Int(4)]]);
     }
 
     #[test]
     fn join_produces_expected_pairs() {
-        let rows = run(
-            "SELECT S.SNO, P.PNO FROM SUPPLIER S, PARTS P \
-             WHERE S.SNO = P.SNO AND P.COLOR = 'RED'",
-        );
+        let rows = run("SELECT S.SNO, P.PNO FROM SUPPLIER S, PARTS P \
+             WHERE S.SNO = P.SNO AND P.COLOR = 'RED'");
         assert_eq!(
             sorted(rows),
             vec![
@@ -727,10 +707,8 @@ mod tests {
     #[test]
     fn exists_subquery_semijoin() {
         // Example 8's original form: suppliers with at least one red part.
-        let rows = run(
-            "SELECT ALL S.SNO, S.SNAME FROM SUPPLIER S WHERE EXISTS \
-             (SELECT * FROM PARTS P WHERE P.SNO = S.SNO AND P.COLOR = 'RED')",
-        );
+        let rows = run("SELECT ALL S.SNO, S.SNAME FROM SUPPLIER S WHERE EXISTS \
+             (SELECT * FROM PARTS P WHERE P.SNO = S.SNO AND P.COLOR = 'RED')");
         assert_eq!(
             sorted(rows)
                 .iter()
@@ -742,10 +720,8 @@ mod tests {
 
     #[test]
     fn not_exists() {
-        let rows = run(
-            "SELECT S.SNO FROM SUPPLIER S WHERE NOT EXISTS \
-             (SELECT * FROM PARTS P WHERE P.SNO = S.SNO)",
-        );
+        let rows = run("SELECT S.SNO FROM SUPPLIER S WHERE NOT EXISTS \
+             (SELECT * FROM PARTS P WHERE P.SNO = S.SNO)");
         assert_eq!(sorted(rows), vec![vec![Value::Int(5)]]);
     }
 
@@ -793,7 +769,11 @@ mod tests {
         // 5 suppliers scanned + early-exit scans of PARTS (7 rows): if
         // every EXISTS scanned all of PARTS we'd see 5 + 35; early exit
         // must do strictly better.
-        assert!(stats.rows_scanned < 40, "rows_scanned = {}", stats.rows_scanned);
+        assert!(
+            stats.rows_scanned < 40,
+            "rows_scanned = {}",
+            stats.rows_scanned
+        );
         assert_eq!(stats.subquery_evals, 5);
     }
 

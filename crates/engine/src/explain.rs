@@ -138,7 +138,9 @@ fn render_subqueries(e: &BoundExpr, opts: &ExecOptions, depth: usize, out: &mut 
             });
             explain_spec(subquery, opts, depth + 1, out);
         }
-        BoundExpr::InSubquery { subquery, negated, .. } => {
+        BoundExpr::InSubquery {
+            subquery, negated, ..
+        } => {
             indent(out, depth);
             out.push_str(if *negated {
                 "InSubquery (NOT IN, three-valued)\n"

@@ -24,11 +24,13 @@
 
 pub mod exec;
 pub mod explain;
+pub mod plancache;
 pub mod session;
 pub mod setops;
 pub mod stats;
 
 pub use exec::{ExecOptions, Executor};
 pub use explain::explain;
+pub use plancache::{CacheStats, CachedPlan, PlanCache};
 pub use session::{QueryOutput, Session};
-pub use stats::{DistinctMethod, ExecStats, JoinMethod};
+pub use stats::{DistinctMethod, ExecStats, JoinMethod, StageTimings};

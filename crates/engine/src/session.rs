@@ -7,12 +7,15 @@
 //! *what* the paper's techniques did and *what they saved*.
 
 use crate::exec::{ExecOptions, Executor};
-use crate::stats::ExecStats;
+use crate::plancache::{CacheStats, CachedPlan, PlanCache};
+use crate::stats::{ExecStats, StageTimings};
+use std::sync::Arc;
+use std::time::Instant;
 use uniq_catalog::{Database, Row};
 use uniq_core::pipeline::{Optimizer, OptimizerOptions, RewriteStep};
 use uniq_plan::{bind_query, BoundQuery, HostVars};
 use uniq_sql::{parse_statement, Statement};
-use uniq_types::{ColumnName, Error, Result};
+use uniq_types::{fnv64, ColumnName, Error, Result};
 
 /// The result of one query execution.
 #[derive(Debug, Clone)]
@@ -22,12 +25,23 @@ pub struct QueryOutput {
     /// Result rows.
     pub rows: Vec<Row>,
     /// Rewrites the optimizer applied (empty if none, or if disabled).
+    /// On a plan-cache hit this is the trace recorded at compile time.
     pub steps: Vec<RewriteStep>,
     /// Executor work counters for this query.
     pub stats: ExecStats,
+    /// Wall-clock time spent in each serving stage.
+    pub timings: StageTimings,
+    /// Whether the plan came from the session's plan cache.
+    pub cache_hit: bool,
 }
 
 /// A database handle with optimizer and executor settings.
+///
+/// Sessions are `Sync`: `query` takes `&self`, so one session can serve
+/// a whole worker pool (see `uniq_workload::driver`). Cloning shares
+/// the plan cache (the clones' hits and misses land in the same
+/// counters); it is meant for read-only fan-out — running divergent DDL
+/// on clones that share a cache is unsupported.
 #[derive(Debug, Clone, Default)]
 pub struct Session {
     /// The database queried by this session.
@@ -36,17 +50,45 @@ pub struct Session {
     pub optimizer: OptimizerOptions,
     /// Physical execution strategies.
     pub exec: ExecOptions,
+    /// Compiled-plan cache consulted by [`Session::query`] /
+    /// [`Session::query_with`]; see [`crate::plancache`].
+    pub cache: Arc<PlanCache>,
+}
+
+fn elapsed_ns(t: Instant) -> u64 {
+    t.elapsed().as_nanos() as u64
 }
 
 impl Session {
     /// A session over an existing database with default (relational
-    /// profile) optimization.
+    /// profile) optimization and a default-capacity plan cache.
     pub fn new(db: Database) -> Session {
         Session {
             db,
             optimizer: OptimizerOptions::relational(),
             exec: ExecOptions::default(),
+            cache: Arc::new(PlanCache::default()),
         }
+    }
+
+    /// Replace the plan cache with one of the given capacity. Capacity
+    /// `0` disables caching — the uncached baseline for benchmarks.
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Session {
+        self.cache = Arc::new(PlanCache::new(capacity));
+        self
+    }
+
+    /// Snapshot of the plan cache's hit/miss/eviction counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// The tag mixed into plan fingerprints so sessions with different
+    /// optimizer configurations never share plans. `OptimizerOptions`
+    /// is a small `Copy` struct, so its `Debug` form is a faithful,
+    /// cheap serialization of every knob.
+    fn options_tag(&self) -> u64 {
+        fnv64(format!("{:?}", self.optimizer).as_bytes())
     }
 
     /// Session over the paper's populated Figure 1 database.
@@ -65,44 +107,120 @@ impl Session {
     }
 
     /// Parse, bind, optimize and execute a query with host variables.
+    ///
+    /// The serving path: parse → canonical fingerprint → plan-cache
+    /// probe → (on a miss) bind + optimize + insert → execute. Cache
+    /// hits skip binding and the whole rewrite pipeline; host-variable
+    /// *values* are applied at execution, so one cached plan serves
+    /// every binding of the same text.
     pub fn query_with(&self, sql: &str, hostvars: &HostVars) -> Result<QueryOutput> {
+        let mut timings = StageTimings::new();
+
+        let t = Instant::now();
         let stmt = parse_statement(sql)?;
         let Statement::Query(ast) = stmt else {
             return Err(Error::internal(
                 "Session::query executes queries; use run_script for DDL/DML",
             ));
         };
-        let bound = bind_query(self.db.catalog(), &ast)?;
-        self.execute_bound(&bound, hostvars)
-    }
+        let canonical = ast.to_string();
+        timings.parse_ns = elapsed_ns(t);
 
-    /// Optimize and execute an already-bound query.
-    pub fn execute_bound(&self, bound: &BoundQuery, hostvars: &HostVars) -> Result<QueryOutput> {
-        let outcome = Optimizer::new(self.optimizer).optimize(bound);
+        let fingerprint = PlanCache::fingerprint(&canonical, self.options_tag());
+        let version = self.db.version();
+        if let Some(plan) = self.cache.get(fingerprint, &canonical, version) {
+            let t = Instant::now();
+            let mut executor = Executor::new(&self.db, hostvars, self.exec);
+            let rows = executor.run(&plan.query)?;
+            timings.execute_ns = elapsed_ns(t);
+            return Ok(QueryOutput {
+                columns: plan.columns.clone(),
+                rows,
+                steps: plan.steps.clone(),
+                stats: executor.stats,
+                timings,
+                cache_hit: true,
+            });
+        }
+
+        let t = Instant::now();
+        let bound = bind_query(self.db.catalog(), &ast)?;
+        timings.bind_ns = elapsed_ns(t);
+
+        let t = Instant::now();
+        let outcome = Optimizer::new(self.optimizer).optimize(&bound);
+        timings.optimize_ns = elapsed_ns(t);
+
+        let columns = outcome.query.output_names();
+        self.cache.insert(
+            fingerprint,
+            &canonical,
+            version,
+            CachedPlan {
+                query: outcome.query.clone(),
+                steps: outcome.steps.clone(),
+                columns: columns.clone(),
+            },
+        );
+
+        let t = Instant::now();
         let mut executor = Executor::new(&self.db, hostvars, self.exec);
         let rows = executor.run(&outcome.query)?;
+        timings.execute_ns = elapsed_ns(t);
+        Ok(QueryOutput {
+            columns,
+            rows,
+            steps: outcome.steps,
+            stats: executor.stats,
+            timings,
+            cache_hit: false,
+        })
+    }
+
+    /// Optimize and execute an already-bound query (no cache involved —
+    /// there is no query text to key on).
+    pub fn execute_bound(&self, bound: &BoundQuery, hostvars: &HostVars) -> Result<QueryOutput> {
+        let mut timings = StageTimings::new();
+        let t = Instant::now();
+        let outcome = Optimizer::new(self.optimizer).optimize(bound);
+        timings.optimize_ns = elapsed_ns(t);
+        let t = Instant::now();
+        let mut executor = Executor::new(&self.db, hostvars, self.exec);
+        let rows = executor.run(&outcome.query)?;
+        timings.execute_ns = elapsed_ns(t);
         Ok(QueryOutput {
             columns: outcome.query.output_names(),
             rows,
             steps: outcome.steps,
             stats: executor.stats,
+            timings,
+            cache_hit: false,
         })
     }
 
     /// Execute without any rewriting (baseline for experiments).
     pub fn query_unoptimized(&self, sql: &str, hostvars: &HostVars) -> Result<QueryOutput> {
+        let mut timings = StageTimings::new();
+        let t = Instant::now();
         let stmt = parse_statement(sql)?;
         let Statement::Query(ast) = stmt else {
             return Err(Error::internal("not a query"));
         };
+        timings.parse_ns = elapsed_ns(t);
+        let t = Instant::now();
         let bound = bind_query(self.db.catalog(), &ast)?;
+        timings.bind_ns = elapsed_ns(t);
+        let t = Instant::now();
         let mut executor = Executor::new(&self.db, hostvars, self.exec);
         let rows = executor.run(&bound)?;
+        timings.execute_ns = elapsed_ns(t);
         Ok(QueryOutput {
             columns: bound.output_names(),
             rows,
             steps: Vec::new(),
             stats: executor.stats,
+            timings,
+            cache_hit: false,
         })
     }
 }
@@ -181,6 +299,91 @@ mod tests {
             .query_with("SELECT S.SNO FROM SUPPLIER S WHERE S.SCITY = :CITY", &hv)
             .unwrap();
         assert_eq!(out.rows.len(), 2);
+    }
+
+    #[test]
+    fn repeated_query_hits_the_plan_cache() {
+        let s = Session::sample().unwrap();
+        let sql = "SELECT DISTINCT S.SNO, P.PNO FROM SUPPLIER S, PARTS P \
+                   WHERE S.SNO = P.SNO AND P.COLOR = 'RED'";
+        let first = s.query(sql).unwrap();
+        assert!(!first.cache_hit);
+        assert!(first.timings.bind_ns > 0 && first.timings.optimize_ns > 0);
+        let second = s.query(sql).unwrap();
+        assert!(second.cache_hit);
+        assert_eq!(second.timings.bind_ns, 0, "hits skip binding");
+        assert_eq!(
+            second.timings.optimize_ns, 0,
+            "hits skip the rewrite pipeline"
+        );
+        assert_eq!(first.rows, second.rows);
+        assert_eq!(first.steps, second.steps, "rewrite trace preserved on hits");
+        let stats = s.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn textual_noise_shares_one_plan() {
+        let s = Session::sample().unwrap();
+        assert!(!s.query("SELECT S.SNO FROM SUPPLIER S").unwrap().cache_hit);
+        // Different whitespace, same canonical print → same fingerprint.
+        assert!(
+            s.query("SELECT  S.SNO  FROM  SUPPLIER  S")
+                .unwrap()
+                .cache_hit
+        );
+    }
+
+    #[test]
+    fn hostvar_bindings_share_one_plan() {
+        let s = Session::sample().unwrap();
+        let sql = "SELECT S.SNO FROM SUPPLIER S WHERE S.SCITY = :CITY";
+        let a = s
+            .query_with(sql, &HostVars::new().with("CITY", "Toronto"))
+            .unwrap();
+        let b = s
+            .query_with(sql, &HostVars::new().with("CITY", "Chicago"))
+            .unwrap();
+        assert!(!a.cache_hit);
+        assert!(
+            b.cache_hit,
+            "values bind at execution, so the plan is shared"
+        );
+        assert_ne!(a.rows, b.rows, "each binding still sees its own result");
+    }
+
+    #[test]
+    fn ddl_invalidates_cached_plans() {
+        let mut s = Session::sample().unwrap();
+        let sql = "SELECT S.SNO FROM SUPPLIER S";
+        s.query(sql).unwrap();
+        assert!(s.query(sql).unwrap().cache_hit);
+        s.run_script("CREATE TABLE Z (A INTEGER, PRIMARY KEY (A));")
+            .unwrap();
+        let after = s.query(sql).unwrap();
+        assert!(!after.cache_hit, "schema change must invalidate the plan");
+        assert_eq!(s.cache_stats().invalidations, 1);
+        assert!(s.query(sql).unwrap().cache_hit, "recompiled plan re-cached");
+    }
+
+    #[test]
+    fn different_optimizer_options_do_not_share_plans() {
+        let relational = Session::sample().unwrap();
+        let mut navigational = relational.clone(); // shares the cache
+        navigational.optimizer = OptimizerOptions::navigational();
+        let sql = "SELECT DISTINCT S.SNO FROM SUPPLIER S";
+        relational.query(sql).unwrap();
+        let out = navigational.query(sql).unwrap();
+        assert!(!out.cache_hit, "configurations must not share plans");
+    }
+
+    #[test]
+    fn disabled_cache_never_hits() {
+        let s = Session::sample().unwrap().with_cache_capacity(0);
+        let sql = "SELECT S.SNO FROM SUPPLIER S";
+        s.query(sql).unwrap();
+        assert!(!s.query(sql).unwrap().cache_hit);
+        assert_eq!(s.cache_stats().hits, 0);
     }
 
     #[test]

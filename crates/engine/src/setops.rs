@@ -227,8 +227,8 @@ mod tests {
         let l = rows(&[Some(1), Some(1), Some(1), Some(2)]);
         let r = rows(&[Some(1), Some(2), Some(2)]);
         let mut stats = ExecStats::new();
-        let out = combine_setop(SetOp::Except, true, l, r, DistinctMethod::Sort, &mut stats)
-            .unwrap();
+        let out =
+            combine_setop(SetOp::Except, true, l, r, DistinctMethod::Sort, &mut stats).unwrap();
         // 1: max(3-1,0)=2 copies; 2: max(1-2,0)=0.
         assert_eq!(out.len(), 2);
         assert!(out.iter().all(|r| r[0] == Value::Int(1)));
@@ -250,8 +250,8 @@ mod tests {
         .unwrap();
         assert_eq!(counts(&inter).len(), 2); // {1, 2}, one copy each
         assert!(inter.iter().all(|r| counts(&inter)[r] == 1));
-        let except = combine_setop(SetOp::Except, false, l, r, DistinctMethod::Sort, &mut stats)
-            .unwrap();
+        let except =
+            combine_setop(SetOp::Except, false, l, r, DistinctMethod::Sort, &mut stats).unwrap();
         assert_eq!(except, rows(&[Some(4)]));
     }
 

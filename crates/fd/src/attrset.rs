@@ -101,10 +101,7 @@ impl AttrSet {
 
     /// Do the sets share any attribute?
     pub fn intersects(&self, other: &AttrSet) -> bool {
-        self.words
-            .iter()
-            .zip(&other.words)
-            .any(|(a, b)| a & b != 0)
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
     }
 
     /// Number of attributes in the set.
@@ -204,10 +201,7 @@ mod tests {
     #[test]
     fn shifted_offsets_all_attrs() {
         let s = AttrSet::from_iter_attrs([0, 3]);
-        assert_eq!(
-            s.shifted(5).iter().collect::<Vec<_>>(),
-            vec![5, 8]
-        );
+        assert_eq!(s.shifted(5).iter().collect::<Vec<_>>(), vec![5, 8]);
     }
 
     #[test]

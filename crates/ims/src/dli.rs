@@ -188,10 +188,7 @@ impl<'a> Dli<'a> {
                     for (cursor, &pos) in self.key_order.iter().enumerate() {
                         self.stats.inspect(&ssa.segment, 1);
                         let root = self.db.root(pos).expect("valid position");
-                        if root.fields[fpos]
-                            .null_eq(value)
-                            .unwrap_or(false)
-                        {
+                        if root.fields[fpos].null_eq(value).unwrap_or(false) {
                             self.root_cursor = Some(cursor);
                             return Ok(Status::Ok);
                         }
@@ -306,10 +303,7 @@ mod tests {
         let mut dli = Dli::new(&db);
         assert!(dli.gu(&Ssa::eq("SUPPLIER", "SNO", 3i64)).unwrap().ok());
         assert_eq!(dli.stats.inspected_of("SUPPLIER"), 1);
-        assert_eq!(
-            dli.current_root().unwrap().fields[1],
-            Value::str("Acme")
-        );
+        assert_eq!(dli.current_root().unwrap().fields[1], Value::str("Acme"));
     }
 
     #[test]
@@ -331,10 +325,7 @@ mod tests {
         while dli.gn_root().unwrap().ok() {
             keys.push(dli.current_root().unwrap().fields[0].clone());
         }
-        assert_eq!(
-            keys,
-            (1..=5).map(Value::Int).collect::<Vec<_>>()
-        );
+        assert_eq!(keys, (1..=5).map(Value::Int).collect::<Vec<_>>());
         assert_eq!(dli.stats.calls_to("SUPPLIER"), 6); // GU + 5 GN (last = GB)
     }
 

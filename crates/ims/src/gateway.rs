@@ -115,7 +115,7 @@ mod tests {
         let exists = exists_strategy(&db, "PNO", 500i64).unwrap();
         assert_eq!(join.stats.calls_to("PARTS"), 200); // 2 per supplier
         assert_eq!(exists.stats.calls_to("PARTS"), 100); // 1 per supplier
-        // SUPPLIER traversal is identical.
+                                                         // SUPPLIER traversal is identical.
         assert_eq!(
             join.stats.calls_to("SUPPLIER"),
             exists.stats.calls_to("SUPPLIER")
@@ -131,10 +131,8 @@ mod tests {
         let parts_per = 16u64;
         let suppliers = 100u64;
         let db = synthetic(suppliers as usize, parts_per as usize, 500, 0).unwrap();
-        let join =
-            join_strategy(&db, "OEM-PNO", crate::sample::SHARED_OEM_PNO).unwrap();
-        let exists =
-            exists_strategy(&db, "OEM-PNO", crate::sample::SHARED_OEM_PNO).unwrap();
+        let join = join_strategy(&db, "OEM-PNO", crate::sample::SHARED_OEM_PNO).unwrap();
+        let exists = exists_strategy(&db, "OEM-PNO", crate::sample::SHARED_OEM_PNO).unwrap();
         assert_eq!(join.rows.len(), suppliers as usize);
         assert_eq!(join.rows, exists.rows);
         // Join: every supplier scans its whole chain (1 hit + rest).

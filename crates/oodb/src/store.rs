@@ -123,10 +123,13 @@ impl ObjStore {
             })?;
         let mut index: BTreeMap<Value, Vec<Oid>> = BTreeMap::new();
         for (slot, obj) in extent.objects.iter().enumerate() {
-            index.entry(obj.fields[fpos].clone()).or_default().push(Oid {
-                class,
-                slot: slot as u32,
-            });
+            index
+                .entry(obj.fields[fpos].clone())
+                .or_default()
+                .push(Oid {
+                    class,
+                    slot: slot as u32,
+                });
         }
         extent.indexes.insert(fpos, index);
         Ok(())
@@ -285,7 +288,9 @@ mod tests {
         .unwrap();
         let mut stats = RetrievalStats::default();
         assert_eq!(
-            s.index_eq(c, 0, &Value::Int(100), &mut stats).unwrap().len(),
+            s.index_eq(c, 0, &Value::Int(100), &mut stats)
+                .unwrap()
+                .len(),
             1
         );
     }

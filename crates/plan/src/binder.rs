@@ -10,9 +10,7 @@
 
 use crate::bound::*;
 use uniq_catalog::Catalog;
-use uniq_sql::{
-    Expr, Projection, QueryExpr, QuerySpec, Scalar, SetOp,
-};
+use uniq_sql::{Expr, Projection, QueryExpr, QuerySpec, Scalar, SetOp};
 use uniq_types::{ColRef, DataType, Error, Result};
 
 /// Bind a parsed query against a catalog.
@@ -54,12 +52,7 @@ impl<'a> Binder<'a> {
         }
     }
 
-    fn check_union_compatible(
-        &self,
-        l: &BoundQuery,
-        r: &BoundQuery,
-        _op: SetOp,
-    ) -> Result<()> {
+    fn check_union_compatible(&self, l: &BoundQuery, r: &BoundQuery, _op: SetOp) -> Result<()> {
         if l.output_arity() != r.output_arity() {
             return Err(Error::NotUnionCompatible {
                 left: l.output_arity(),
@@ -133,7 +126,10 @@ impl<'a> Binder<'a> {
                     let attr = resolve_in_block(&from, &item.col)?.ok_or_else(|| {
                         Error::bind(format!("unknown column {} in SELECT list", item.col))
                     })?;
-                    let name = item.alias.clone().unwrap_or_else(|| item.col.column.clone());
+                    let name = item
+                        .alias
+                        .clone()
+                        .unwrap_or_else(|| item.col.column.clone());
                     out.push(ProjItem { attr, name });
                 }
                 out
@@ -240,11 +236,7 @@ impl<'a> Binder<'a> {
         self.spec_with_outer(spec, scopes)
     }
 
-    fn spec_with_outer(
-        &self,
-        spec: &QuerySpec,
-        outer: &mut ScopeStack,
-    ) -> Result<BoundSpec> {
+    fn spec_with_outer(&self, spec: &QuerySpec, outer: &mut ScopeStack) -> Result<BoundSpec> {
         self.spec(spec, outer)
     }
 
@@ -304,9 +296,7 @@ fn scalar_type(s: &BScalar, scopes: &ScopeStack) -> Option<DataType> {
         BScalar::HostVar(_) => None,
         BScalar::Attr(a) => {
             let block = scopes.get(scopes.len().checked_sub(1 + a.up)?)?;
-            let t = block
-                .iter()
-                .find(|t| t.attr_range().contains(&a.idx))?;
+            let t = block.iter().find(|t| t.attr_range().contains(&a.idx))?;
             Some(t.schema.columns[a.idx - t.offset].data_type)
         }
     }
@@ -439,10 +429,7 @@ mod tests {
             Err(Error::TypeMismatch { .. })
         ));
         // Compatible.
-        assert!(bind(
-            "SELECT S.SNO FROM SUPPLIER S INTERSECT SELECT A.SNO FROM AGENTS A"
-        )
-        .is_ok());
+        assert!(bind("SELECT S.SNO FROM SUPPLIER S INTERSECT SELECT A.SNO FROM AGENTS A").is_ok());
     }
 
     #[test]

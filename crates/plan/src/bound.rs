@@ -204,7 +204,9 @@ impl BoundExpr {
                 scalar(low);
                 scalar(high);
             }
-            BoundExpr::InList { scalar: s, list, .. } => {
+            BoundExpr::InList {
+                scalar: s, list, ..
+            } => {
                 scalar(s);
                 for item in list {
                     scalar(item);

@@ -61,20 +61,14 @@ mod tests {
             .with("SUPPLIER-NO", 3i64)
             .with("part-name", "bolt");
         assert_eq!(hv.get(&"supplier-no".into()).unwrap(), &Value::Int(3));
-        assert_eq!(
-            hv.get(&"PART-NAME".into()).unwrap(),
-            &Value::str("bolt")
-        );
+        assert_eq!(hv.get(&"PART-NAME".into()).unwrap(), &Value::str("bolt"));
         assert_eq!(hv.len(), 2);
     }
 
     #[test]
     fn unbound_is_an_error() {
         let hv = HostVars::new();
-        assert!(matches!(
-            hv.get(&"X".into()),
-            Err(Error::UnboundHostVar(_))
-        ));
+        assert!(matches!(hv.get(&"X".into()), Err(Error::UnboundHostVar(_))));
     }
 
     #[test]

@@ -205,10 +205,9 @@ pub fn type1_attr(e: &BoundExpr) -> Option<usize> {
         return None;
     }
     match e {
-        BoundExpr::Cmp { left, right, .. } => left
-            .as_attr()
-            .or_else(|| right.as_attr())
-            .map(|a| a.idx),
+        BoundExpr::Cmp { left, right, .. } => {
+            left.as_attr().or_else(|| right.as_attr()).map(|a| a.idx)
+        }
         _ => None,
     }
 }
@@ -219,9 +218,7 @@ pub fn type2_attrs(e: &BoundExpr) -> Option<(usize, usize)> {
         return None;
     }
     match e {
-        BoundExpr::Cmp { left, right, .. } => {
-            Some((left.as_attr()?.idx, right.as_attr()?.idx))
-        }
+        BoundExpr::Cmp { left, right, .. } => Some((left.as_attr()?.idx, right.as_attr()?.idx)),
         _ => None,
     }
 }

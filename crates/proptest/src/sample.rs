@@ -1,0 +1,48 @@
+//! Sampling strategies: the `prop::sample::subsequence` subset.
+
+use crate::{SizeRange, Strategy, TestRng};
+
+/// Strategy choosing a random subsequence (order-preserving subset) of
+/// `values`, with a length drawn from `size`. The length is clamped to
+/// `values.len()`, like the real crate requires it to fit.
+pub fn subsequence<T: Clone>(values: Vec<T>, size: impl Into<SizeRange>) -> SubsequenceStrategy<T> {
+    let size = size.into();
+    assert!(
+        size.lo <= values.len(),
+        "subsequence minimum length {} exceeds source length {}",
+        size.lo,
+        values.len()
+    );
+    SubsequenceStrategy { values, size }
+}
+
+/// The result of [`subsequence`].
+#[derive(Clone)]
+pub struct SubsequenceStrategy<T> {
+    values: Vec<T>,
+    size: SizeRange,
+}
+
+impl<T: Clone> Strategy for SubsequenceStrategy<T> {
+    type Value = Vec<T>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+        let n = self.size.sample(rng).min(self.values.len());
+        // Reservoir-free selection: walk indices, keep each with the
+        // probability that fills exactly `n` slots (classic sequential
+        // sampling), preserving order.
+        let mut out = Vec::with_capacity(n);
+        let mut needed = n;
+        let mut remaining = self.values.len();
+        for v in &self.values {
+            if needed == 0 {
+                break;
+            }
+            if rng.below(remaining as u64) < needed as u64 {
+                out.push(v.clone());
+                needed -= 1;
+            }
+            remaining -= 1;
+        }
+        out
+    }
+}

@@ -62,10 +62,41 @@ pub enum TokenKind {
 /// All keywords of the subset. Anything lexing as an identifier that
 /// case-insensitively matches one of these becomes a [`TokenKind::Keyword`].
 pub const KEYWORDS: &[&str] = &[
-    "SELECT", "DISTINCT", "ALL", "FROM", "WHERE", "AND", "OR", "NOT", "AS", "EXISTS", "IN",
-    "BETWEEN", "IS", "NULL", "INTERSECT", "EXCEPT", "UNION", "CREATE", "TABLE", "PRIMARY", "KEY",
-    "UNIQUE", "CHECK", "INTEGER", "INT", "VARCHAR", "CHAR", "INSERT", "INTO", "VALUES",
-    "CONSTRAINT", "TRUE", "FALSE", "FOREIGN", "REFERENCES",
+    "SELECT",
+    "DISTINCT",
+    "ALL",
+    "FROM",
+    "WHERE",
+    "AND",
+    "OR",
+    "NOT",
+    "AS",
+    "EXISTS",
+    "IN",
+    "BETWEEN",
+    "IS",
+    "NULL",
+    "INTERSECT",
+    "EXCEPT",
+    "UNION",
+    "CREATE",
+    "TABLE",
+    "PRIMARY",
+    "KEY",
+    "UNIQUE",
+    "CHECK",
+    "INTEGER",
+    "INT",
+    "VARCHAR",
+    "CHAR",
+    "INSERT",
+    "INTO",
+    "VALUES",
+    "CONSTRAINT",
+    "TRUE",
+    "FALSE",
+    "FOREIGN",
+    "REFERENCES",
 ];
 
 fn keyword_of(word: &str) -> Option<&'static str> {
@@ -300,7 +331,11 @@ mod tests {
     use super::*;
 
     fn kinds(input: &str) -> Vec<TokenKind> {
-        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]
@@ -374,7 +409,11 @@ mod tests {
         let k = kinds("SELECT -- a comment\n*");
         assert_eq!(
             k,
-            vec![TokenKind::Keyword("SELECT"), TokenKind::Star, TokenKind::Eof]
+            vec![
+                TokenKind::Keyword("SELECT"),
+                TokenKind::Star,
+                TokenKind::Eof
+            ]
         );
     }
 

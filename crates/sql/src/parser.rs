@@ -232,8 +232,9 @@ impl Parser {
                         not_null = true;
                     } else if self.eat_kw("PRIMARY") {
                         self.expect_kw("KEY")?;
-                        col_constraints
-                            .push(TableConstraintAst::PrimaryKey(vec![col_name.clone().into()]));
+                        col_constraints.push(TableConstraintAst::PrimaryKey(vec![col_name
+                            .clone()
+                            .into()]));
                     } else if self.eat_kw("UNIQUE") {
                         col_constraints
                             .push(TableConstraintAst::Unique(vec![col_name.clone().into()]));
@@ -497,7 +498,9 @@ impl Parser {
 
     fn predicate(&mut self) -> Result<Expr> {
         // [NOT] EXISTS (subquery)
-        if self.at_kw("EXISTS") || (self.at_kw("NOT") && matches!(self.peek2(), TokenKind::Keyword("EXISTS"))) {
+        if self.at_kw("EXISTS")
+            || (self.at_kw("NOT") && matches!(self.peek2(), TokenKind::Keyword("EXISTS")))
+        {
             let negated = self.eat_kw("NOT");
             self.expect_kw("EXISTS")?;
             self.expect(&TokenKind::LParen, "'('")?;
@@ -771,10 +774,8 @@ mod tests {
 
     #[test]
     fn parses_insert() {
-        let s = parse_statement(
-            "INSERT INTO SUPPLIER (SNO, SNAME) VALUES (1, 'Acme'), (2, NULL)",
-        )
-        .unwrap();
+        let s = parse_statement("INSERT INTO SUPPLIER (SNO, SNAME) VALUES (1, 'Acme'), (2, NULL)")
+            .unwrap();
         match s {
             Statement::Insert(ins) => {
                 assert_eq!(ins.rows.len(), 2);
@@ -833,10 +834,8 @@ mod tests {
 
     #[test]
     fn set_ops_are_left_associative() {
-        let q = parse_query(
-            "SELECT A FROM T INTERSECT SELECT A FROM U EXCEPT SELECT A FROM V",
-        )
-        .unwrap();
+        let q = parse_query("SELECT A FROM T INTERSECT SELECT A FROM U EXCEPT SELECT A FROM V")
+            .unwrap();
         match q {
             QueryExpr::SetOp { op, left, .. } => {
                 assert_eq!(op, SetOp::Except);

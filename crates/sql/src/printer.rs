@@ -198,11 +198,9 @@ impl fmt::Display for Expr {
                 if *negated { "NOT " } else { "" },
                 join(list, ", ")
             ),
-            Expr::IsNull { scalar, negated } => write!(
-                f,
-                "{scalar} IS {}NULL",
-                if *negated { "NOT " } else { "" }
-            ),
+            Expr::IsNull { scalar, negated } => {
+                write!(f, "{scalar} IS {}NULL", if *negated { "NOT " } else { "" })
+            }
             Expr::Exists { negated, subquery } => write!(
                 f,
                 "{}EXISTS ({subquery})",
@@ -279,9 +277,8 @@ mod tests {
     fn roundtrip_query(sql: &str) {
         let q1 = parse_query(sql).unwrap();
         let printed = q1.to_string();
-        let q2 = parse_query(&printed).unwrap_or_else(|e| {
-            panic!("printed SQL failed to parse: {printed}\nerror: {e}")
-        });
+        let q2 = parse_query(&printed)
+            .unwrap_or_else(|e| panic!("printed SQL failed to parse: {printed}\nerror: {e}"));
         assert_eq!(q1, q2, "round-trip changed the AST for: {printed}");
     }
 

@@ -18,11 +18,13 @@
 //! * [`Error`] — the workspace-wide error type.
 
 pub mod error;
+pub mod hash;
 pub mod ident;
 pub mod tri;
 pub mod value;
 
 pub use error::{Error, Result};
+pub use hash::{fnv64, Fnv64};
 pub use ident::{ColRef, ColumnName, HostVarName, TableName};
 pub use tri::Tri;
 pub use value::{DataType, Value};

@@ -268,10 +268,7 @@ mod tests {
     fn sql_eq_known_values() {
         assert_eq!(Value::Int(1).sql_eq(&Value::Int(1)).unwrap(), Tri::True);
         assert_eq!(Value::Int(1).sql_eq(&Value::Int(2)).unwrap(), Tri::False);
-        assert_eq!(
-            Value::str("a").sql_eq(&Value::str("a")).unwrap(),
-            Tri::True
-        );
+        assert_eq!(Value::str("a").sql_eq(&Value::str("a")).unwrap(), Tri::True);
     }
 
     #[test]

@@ -15,8 +15,7 @@
 //! asserts exactly that over the whole corpus.
 
 use crate::instance::random_instance;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SplitMix64;
 use std::collections::HashMap;
 use uniq_core::algorithm1::{algorithm1, Algorithm1Options};
 use uniq_core::analysis::unique_projection;
@@ -107,7 +106,7 @@ const TABLES: &[TableInfo] = &[
     },
 ];
 
-fn random_query(rng: &mut SmallRng) -> String {
+fn random_query(rng: &mut SplitMix64) -> String {
     let two_tables = rng.gen_bool(0.6);
     let t1 = &TABLES[rng.gen_range(0..TABLES.len())];
     let t2 = if two_tables {
@@ -178,7 +177,12 @@ fn random_query(rng: &mut SmallRng) -> String {
         conjuncts.push(atom);
     }
 
-    let mut sql = format!("SELECT DISTINCT {} FROM {} {}", proj.join(", "), t1.name, t1.alias);
+    let mut sql = format!(
+        "SELECT DISTINCT {} FROM {} {}",
+        proj.join(", "),
+        t1.name,
+        t1.alias
+    );
     if let Some(t2) = t2 {
         sql.push_str(&format!(", {} {}", t2.name, t2.alias));
     }
@@ -215,7 +219,7 @@ fn has_duplicates(db: &uniq_catalog::Database, bound: &BoundQuery) -> Result<boo
 /// `instances` controls how many random databases each query is executed
 /// on for the empirical label.
 pub fn generate_corpus(seed: u64, n: usize, instances: usize) -> Result<Vec<CorpusQuery>> {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let schema_db = uniq_catalog::sample::supplier_schema()?;
     let dbs: Vec<uniq_catalog::Database> = (0..instances)
         .map(|i| random_instance(seed.wrapping_add(i as u64), 12, 24, 12))

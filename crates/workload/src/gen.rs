@@ -5,8 +5,7 @@
 //! the `OEM-PNO` candidate key are preserved — they are what the paper's
 //! analyses exploit.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SplitMix64;
 use uniq_catalog::Database;
 use uniq_types::{Result, Value};
 
@@ -69,7 +68,7 @@ pub fn scaled_schema() -> Result<Database> {
 /// Generate a populated database at the given scale.
 pub fn scaled_database(config: &ScaleConfig) -> Result<Database> {
     let mut db = scaled_schema()?;
-    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut rng = SplitMix64::seed_from_u64(config.seed);
     let cities = ["Chicago", "New York", "Toronto"];
     let supplier = "SUPPLIER".into();
     let parts = "PARTS".into();

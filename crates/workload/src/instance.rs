@@ -7,15 +7,19 @@
 //! rows that would violate a key are simply skipped (rejection sampling),
 //! which keeps the generator total.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SplitMix64;
 use uniq_catalog::Database;
 use uniq_types::{Result, Value};
 
 /// Generate a random valid instance with roughly the requested row
 /// counts (key collisions may make tables slightly smaller).
-pub fn random_instance(seed: u64, suppliers: usize, parts: usize, agents: usize) -> Result<Database> {
-    let mut rng = SmallRng::seed_from_u64(seed);
+pub fn random_instance(
+    seed: u64,
+    suppliers: usize,
+    parts: usize,
+    agents: usize,
+) -> Result<Database> {
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut db = uniq_catalog::sample::supplier_schema()?;
     let names = ["Acme", "Globex", "Initech"];
     let cities = ["Chicago", "New York", "Toronto"];
@@ -115,11 +119,9 @@ mod tests {
         let found = (0..50).any(|seed| {
             let db = random_instance(seed, 10, 0, 0).unwrap();
             let rows = db.rows(&"SUPPLIER".into()).unwrap();
-            rows.iter().enumerate().any(|(i, r)| {
-                rows[..i]
-                    .iter()
-                    .any(|q| !r[1].is_null() && r[1] == q[1])
-            })
+            rows.iter()
+                .enumerate()
+                .any(|(i, r)| rows[..i].iter().any(|q| !r[1].is_null() && r[1] == q[1]))
         });
         assert!(found);
     }

@@ -5,9 +5,12 @@
 //! tests are reproducible run to run.
 
 pub mod corpus;
+pub mod driver;
 pub mod gen;
 pub mod instance;
+pub mod rng;
 
 pub use corpus::{generate_corpus, CorpusQuery, CorpusStats};
+pub use driver::{run_batch, BatchOptions, BatchReport};
 pub use gen::{scaled_database, scaled_schema, ScaleConfig};
 pub use instance::random_instance;

@@ -1,0 +1,132 @@
+//! A small vendored deterministic RNG (SplitMix64), replacing the
+//! `rand` crate so the workspace builds with no registry access.
+//!
+//! Only the surface the generators use is provided: `seed_from_u64`,
+//! `gen_range` over `a..b` / `a..=b` integer ranges, and `gen_bool`.
+//! Streams differ from `rand::SmallRng`, so seeds produce different
+//! (but still deterministic and portable) schemas/corpora than the
+//! pre-vendoring builds did.
+
+use std::ops::{Range, RangeInclusive};
+
+/// SplitMix64: tiny, fast, passes BigCrush for this use; one `u64` of
+/// state and an odd-constant Weyl sequence.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// An RNG seeded with `seed`.
+    pub fn seed_from_u64(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0, "empty sampling bound");
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform integer within `range` (`lo..hi` or `lo..=hi`).
+    pub fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: UniformInt,
+        R: IntoInclusiveBounds<T>,
+    {
+        let (lo, hi) = range.into_inclusive_bounds();
+        T::sample_inclusive(self, lo, hi)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        // 53 uniform mantissa bits, the standard u64→f64 unit-interval map.
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+/// Integers [`SplitMix64::gen_range`] can sample.
+pub trait UniformInt: Sized {
+    /// Uniform sample in `[lo, hi]`.
+    fn sample_inclusive(rng: &mut SplitMix64, lo: Self, hi: Self) -> Self;
+}
+
+/// Range forms accepted by [`SplitMix64::gen_range`].
+pub trait IntoInclusiveBounds<T> {
+    /// The `(lo, hi)` inclusive bounds; panics when empty.
+    fn into_inclusive_bounds(self) -> (T, T);
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn sample_inclusive(rng: &mut SplitMix64, lo: $t, hi: $t) -> $t {
+                debug_assert!(lo <= hi);
+                let width = (hi as i128 - lo as i128 + 1) as u64;
+                (lo as i128 + rng.below(width) as i128) as $t
+            }
+        }
+
+        impl IntoInclusiveBounds<$t> for Range<$t> {
+            fn into_inclusive_bounds(self) -> ($t, $t) {
+                assert!(self.start < self.end, "empty range for gen_range");
+                (self.start, self.end - 1)
+            }
+        }
+
+        impl IntoInclusiveBounds<$t> for RangeInclusive<$t> {
+            fn into_inclusive_bounds(self) -> ($t, $t) {
+                assert!(self.start() <= self.end(), "empty range for gen_range");
+                (*self.start(), *self.end())
+            }
+        }
+    )*};
+}
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = SplitMix64::seed_from_u64(42);
+        let mut b = SplitMix64::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_inclusive_and_exclusive() {
+        let mut rng = SplitMix64::seed_from_u64(7);
+        let mut hit_max = false;
+        for _ in 0..2000 {
+            let x: i64 = rng.gen_range(1..=5);
+            assert!((1..=5).contains(&x));
+            hit_max |= x == 5;
+            let y: usize = rng.gen_range(0..3);
+            assert!(y < 3);
+        }
+        assert!(hit_max, "inclusive upper bound never sampled");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SplitMix64::seed_from_u64(99);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "p=0.3 gave {hits}/10000");
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+}

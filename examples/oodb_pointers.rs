@@ -14,9 +14,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Example 11: SELECT ALL S.* FROM SUPPLIER S, PARTS P");
     println!("            WHERE S.SNO BETWEEN :LO AND :HI");
     println!("              AND S.SNO = P.SNO AND P.PNO = :PARTNO");
-    println!(
-        "\nobject base: {suppliers} suppliers × 4 parts; every supplier supplies part 500\n"
-    );
+    println!("\nobject base: {suppliers} suppliers × 4 parts; every supplier supplies part 500\n");
     println!(
         "{:>12} {:>10} {:>16} {:>16} {:>10}",
         "selectivity", "matches", "pointer fetches", "nested fetches", "winner"

@@ -58,7 +58,11 @@ fn show(session: &Session, title: &str, sql: &str, hv: &HostVars, opts: Optimize
         rows.sort();
         rows
     };
-    assert_eq!(canon(base.clone()), canon(opt), "rewrite changed semantics!");
+    assert_eq!(
+        canon(base.clone()),
+        canon(opt),
+        "rewrite changed semantics!"
+    );
     println!("execution: {} row(s), rewritten form agrees ✓", base.len());
 }
 

@@ -64,9 +64,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 },
                 Some("explain") => {
                     let sql = rest.trim_start_matches("explain").trim();
-                    match uniqueness::sql::parse_query(sql).and_then(|ast| {
-                        uniqueness::plan::bind_query(session.db.catalog(), &ast)
-                    }) {
+                    match uniqueness::sql::parse_query(sql)
+                        .and_then(|ast| uniqueness::plan::bind_query(session.db.catalog(), &ast))
+                    {
                         Ok(bound) => {
                             let outcome =
                                 uniqueness::core::pipeline::Optimizer::new(session.optimizer)
@@ -118,8 +118,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     println!("-- [{}] {}", step.rule, step.why);
                     println!("-- {}", step.sql_after);
                 }
-                let header: Vec<String> =
-                    result.columns.iter().map(|c| c.to_string()).collect();
+                let header: Vec<String> = result.columns.iter().map(|c| c.to_string()).collect();
                 println!("{}", header.join(" | "));
                 for row in &result.rows {
                     let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/algorithm1-49fa0826f2f23f9c.d: crates/bench/benches/algorithm1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libalgorithm1-49fa0826f2f23f9c.rmeta: crates/bench/benches/algorithm1.rs Cargo.toml
+
+crates/bench/benches/algorithm1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

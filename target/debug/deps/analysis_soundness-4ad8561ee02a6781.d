@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/analysis_soundness-4ad8561ee02a6781.d: crates/uniq/../../tests/analysis_soundness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanalysis_soundness-4ad8561ee02a6781.rmeta: crates/uniq/../../tests/analysis_soundness.rs Cargo.toml
+
+crates/uniq/../../tests/analysis_soundness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis_soundness-7a7479e15d4847c4.d: crates/uniq/../../tests/analysis_soundness.rs
+
+/root/repo/target/debug/deps/analysis_soundness-7a7479e15d4847c4: crates/uniq/../../tests/analysis_soundness.rs
+
+crates/uniq/../../tests/analysis_soundness.rs:

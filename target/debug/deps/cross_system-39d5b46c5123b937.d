@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_system-39d5b46c5123b937.d: crates/uniq/../../tests/cross_system.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_system-39d5b46c5123b937.rmeta: crates/uniq/../../tests/cross_system.rs Cargo.toml
+
+crates/uniq/../../tests/cross_system.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

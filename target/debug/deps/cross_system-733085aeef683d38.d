@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_system-733085aeef683d38.d: crates/uniq/../../tests/cross_system.rs
+
+/root/repo/target/debug/deps/cross_system-733085aeef683d38: crates/uniq/../../tests/cross_system.rs
+
+crates/uniq/../../tests/cross_system.rs:

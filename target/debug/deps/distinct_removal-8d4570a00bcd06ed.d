@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/distinct_removal-8d4570a00bcd06ed.d: crates/bench/benches/distinct_removal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdistinct_removal-8d4570a00bcd06ed.rmeta: crates/bench/benches/distinct_removal.rs Cargo.toml
+
+crates/bench/benches/distinct_removal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fd_properties-a80af0cc79c97018.d: crates/uniq/../../tests/fd_properties.rs
+
+/root/repo/target/debug/deps/fd_properties-a80af0cc79c97018: crates/uniq/../../tests/fd_properties.rs
+
+crates/uniq/../../tests/fd_properties.rs:

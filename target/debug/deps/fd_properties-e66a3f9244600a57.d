@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fd_properties-e66a3f9244600a57.d: crates/uniq/../../tests/fd_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfd_properties-e66a3f9244600a57.rmeta: crates/uniq/../../tests/fd_properties.rs Cargo.toml
+
+crates/uniq/../../tests/fd_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

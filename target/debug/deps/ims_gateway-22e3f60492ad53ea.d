@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ims_gateway-22e3f60492ad53ea.d: crates/bench/benches/ims_gateway.rs Cargo.toml
+
+/root/repo/target/debug/deps/libims_gateway-22e3f60492ad53ea.rmeta: crates/bench/benches/ims_gateway.rs Cargo.toml
+
+crates/bench/benches/ims_gateway.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/intersect_rewrite-cbc538de5211f582.d: crates/bench/benches/intersect_rewrite.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintersect_rewrite-cbc538de5211f582.rmeta: crates/bench/benches/intersect_rewrite.rs Cargo.toml
+
+crates/bench/benches/intersect_rewrite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/norm_properties-0baee93abc04985e.d: crates/uniq/../../tests/norm_properties.rs
+
+/root/repo/target/debug/deps/norm_properties-0baee93abc04985e: crates/uniq/../../tests/norm_properties.rs
+
+crates/uniq/../../tests/norm_properties.rs:

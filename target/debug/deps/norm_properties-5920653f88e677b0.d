@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/norm_properties-5920653f88e677b0.d: crates/uniq/../../tests/norm_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnorm_properties-5920653f88e677b0.rmeta: crates/uniq/../../tests/norm_properties.rs Cargo.toml
+
+crates/uniq/../../tests/norm_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

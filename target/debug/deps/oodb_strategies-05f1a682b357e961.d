@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/oodb_strategies-05f1a682b357e961.d: crates/bench/benches/oodb_strategies.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboodb_strategies-05f1a682b357e961.rmeta: crates/bench/benches/oodb_strategies.rs Cargo.toml
+
+crates/bench/benches/oodb_strategies.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_examples-716b525b8fb48a34.d: crates/uniq/../../tests/paper_examples.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_examples-716b525b8fb48a34.rmeta: crates/uniq/../../tests/paper_examples.rs Cargo.toml
+
+crates/uniq/../../tests/paper_examples.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

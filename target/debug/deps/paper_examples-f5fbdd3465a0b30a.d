@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_examples-f5fbdd3465a0b30a.d: crates/uniq/../../tests/paper_examples.rs
+
+/root/repo/target/debug/deps/paper_examples-f5fbdd3465a0b30a: crates/uniq/../../tests/paper_examples.rs
+
+crates/uniq/../../tests/paper_examples.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/report-3c8a8b9752620398.d: crates/bench/src/bin/report.rs
+
+/root/repo/target/debug/deps/report-3c8a8b9752620398: crates/bench/src/bin/report.rs
+
+crates/bench/src/bin/report.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/report-d025b0ad6650ea6d.d: crates/bench/src/bin/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreport-d025b0ad6650ea6d.rmeta: crates/bench/src/bin/report.rs Cargo.toml
+
+crates/bench/src/bin/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

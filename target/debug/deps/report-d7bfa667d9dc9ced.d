@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/report-d7bfa667d9dc9ced.d: crates/bench/src/bin/report.rs
+
+/root/repo/target/debug/deps/report-d7bfa667d9dc9ced: crates/bench/src/bin/report.rs
+
+crates/bench/src/bin/report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rewrite_soundness-238127fa76446322.d: crates/uniq/../../tests/rewrite_soundness.rs
+
+/root/repo/target/debug/deps/rewrite_soundness-238127fa76446322: crates/uniq/../../tests/rewrite_soundness.rs
+
+crates/uniq/../../tests/rewrite_soundness.rs:

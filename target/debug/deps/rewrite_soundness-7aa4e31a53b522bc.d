@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rewrite_soundness-7aa4e31a53b522bc.d: crates/uniq/../../tests/rewrite_soundness.rs Cargo.toml
+
+/root/repo/target/debug/deps/librewrite_soundness-7aa4e31a53b522bc.rmeta: crates/uniq/../../tests/rewrite_soundness.rs Cargo.toml
+
+crates/uniq/../../tests/rewrite_soundness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

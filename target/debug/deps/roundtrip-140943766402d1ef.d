@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/roundtrip-140943766402d1ef.d: crates/uniq/../../tests/roundtrip.rs
+
+/root/repo/target/debug/deps/roundtrip-140943766402d1ef: crates/uniq/../../tests/roundtrip.rs
+
+crates/uniq/../../tests/roundtrip.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/roundtrip-3e31d278be8e4bba.d: crates/uniq/../../tests/roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libroundtrip-3e31d278be8e4bba.rmeta: crates/uniq/../../tests/roundtrip.rs Cargo.toml
+
+crates/uniq/../../tests/roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/setop_semantics-3490f652f05dd16d.d: crates/uniq/../../tests/setop_semantics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsetop_semantics-3490f652f05dd16d.rmeta: crates/uniq/../../tests/setop_semantics.rs Cargo.toml
+
+crates/uniq/../../tests/setop_semantics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

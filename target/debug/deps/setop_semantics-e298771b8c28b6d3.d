@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/setop_semantics-e298771b8c28b6d3.d: crates/uniq/../../tests/setop_semantics.rs
+
+/root/repo/target/debug/deps/setop_semantics-e298771b8c28b6d3: crates/uniq/../../tests/setop_semantics.rs
+
+crates/uniq/../../tests/setop_semantics.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/subquery_to_join-3c32dfc02b2cb2c7.d: crates/bench/benches/subquery_to_join.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsubquery_to_join-3c32dfc02b2cb2c7.rmeta: crates/bench/benches/subquery_to_join.rs Cargo.toml
+
+crates/bench/benches/subquery_to_join.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

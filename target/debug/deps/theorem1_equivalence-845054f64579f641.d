@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theorem1_equivalence-845054f64579f641.d: crates/uniq/../../tests/theorem1_equivalence.rs
+
+/root/repo/target/debug/deps/theorem1_equivalence-845054f64579f641: crates/uniq/../../tests/theorem1_equivalence.rs
+
+crates/uniq/../../tests/theorem1_equivalence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/theorem1_equivalence-a00429e235b6a100.d: crates/uniq/../../tests/theorem1_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtheorem1_equivalence-a00429e235b6a100.rmeta: crates/uniq/../../tests/theorem1_equivalence.rs Cargo.toml
+
+crates/uniq/../../tests/theorem1_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/uniq_bench-77d0059d2b00bddc.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/uniq_bench-77d0059d2b00bddc: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

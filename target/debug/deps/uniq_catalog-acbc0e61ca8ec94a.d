@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/uniq_catalog-acbc0e61ca8ec94a.d: crates/catalog/src/lib.rs crates/catalog/src/catalog.rs crates/catalog/src/database.rs crates/catalog/src/sample.rs crates/catalog/src/table.rs crates/catalog/src/validate.rs
+
+/root/repo/target/debug/deps/libuniq_catalog-acbc0e61ca8ec94a.rlib: crates/catalog/src/lib.rs crates/catalog/src/catalog.rs crates/catalog/src/database.rs crates/catalog/src/sample.rs crates/catalog/src/table.rs crates/catalog/src/validate.rs
+
+/root/repo/target/debug/deps/libuniq_catalog-acbc0e61ca8ec94a.rmeta: crates/catalog/src/lib.rs crates/catalog/src/catalog.rs crates/catalog/src/database.rs crates/catalog/src/sample.rs crates/catalog/src/table.rs crates/catalog/src/validate.rs
+
+crates/catalog/src/lib.rs:
+crates/catalog/src/catalog.rs:
+crates/catalog/src/database.rs:
+crates/catalog/src/sample.rs:
+crates/catalog/src/table.rs:
+crates/catalog/src/validate.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/uniq_catalog-b8184ee62d862f02.d: crates/catalog/src/lib.rs crates/catalog/src/catalog.rs crates/catalog/src/database.rs crates/catalog/src/sample.rs crates/catalog/src/table.rs crates/catalog/src/validate.rs
+
+/root/repo/target/debug/deps/uniq_catalog-b8184ee62d862f02: crates/catalog/src/lib.rs crates/catalog/src/catalog.rs crates/catalog/src/database.rs crates/catalog/src/sample.rs crates/catalog/src/table.rs crates/catalog/src/validate.rs
+
+crates/catalog/src/lib.rs:
+crates/catalog/src/catalog.rs:
+crates/catalog/src/database.rs:
+crates/catalog/src/sample.rs:
+crates/catalog/src/table.rs:
+crates/catalog/src/validate.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/uniq_catalog-fa3f9decd2c99b9d.d: crates/catalog/src/lib.rs crates/catalog/src/catalog.rs crates/catalog/src/database.rs crates/catalog/src/sample.rs crates/catalog/src/table.rs crates/catalog/src/validate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuniq_catalog-fa3f9decd2c99b9d.rmeta: crates/catalog/src/lib.rs crates/catalog/src/catalog.rs crates/catalog/src/database.rs crates/catalog/src/sample.rs crates/catalog/src/table.rs crates/catalog/src/validate.rs Cargo.toml
+
+crates/catalog/src/lib.rs:
+crates/catalog/src/catalog.rs:
+crates/catalog/src/database.rs:
+crates/catalog/src/sample.rs:
+crates/catalog/src/table.rs:
+crates/catalog/src/validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

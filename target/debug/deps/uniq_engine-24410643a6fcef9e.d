@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/uniq_engine-24410643a6fcef9e.d: crates/engine/src/lib.rs crates/engine/src/exec.rs crates/engine/src/explain.rs crates/engine/src/plancache.rs crates/engine/src/session.rs crates/engine/src/setops.rs crates/engine/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuniq_engine-24410643a6fcef9e.rmeta: crates/engine/src/lib.rs crates/engine/src/exec.rs crates/engine/src/explain.rs crates/engine/src/plancache.rs crates/engine/src/session.rs crates/engine/src/setops.rs crates/engine/src/stats.rs Cargo.toml
+
+crates/engine/src/lib.rs:
+crates/engine/src/exec.rs:
+crates/engine/src/explain.rs:
+crates/engine/src/plancache.rs:
+crates/engine/src/session.rs:
+crates/engine/src/setops.rs:
+crates/engine/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

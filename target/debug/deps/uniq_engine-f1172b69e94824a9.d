@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/uniq_engine-f1172b69e94824a9.d: crates/engine/src/lib.rs crates/engine/src/exec.rs crates/engine/src/explain.rs crates/engine/src/plancache.rs crates/engine/src/session.rs crates/engine/src/setops.rs crates/engine/src/stats.rs
+
+/root/repo/target/debug/deps/libuniq_engine-f1172b69e94824a9.rlib: crates/engine/src/lib.rs crates/engine/src/exec.rs crates/engine/src/explain.rs crates/engine/src/plancache.rs crates/engine/src/session.rs crates/engine/src/setops.rs crates/engine/src/stats.rs
+
+/root/repo/target/debug/deps/libuniq_engine-f1172b69e94824a9.rmeta: crates/engine/src/lib.rs crates/engine/src/exec.rs crates/engine/src/explain.rs crates/engine/src/plancache.rs crates/engine/src/session.rs crates/engine/src/setops.rs crates/engine/src/stats.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/exec.rs:
+crates/engine/src/explain.rs:
+crates/engine/src/plancache.rs:
+crates/engine/src/session.rs:
+crates/engine/src/setops.rs:
+crates/engine/src/stats.rs:

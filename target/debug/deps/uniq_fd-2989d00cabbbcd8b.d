@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/uniq_fd-2989d00cabbbcd8b.d: crates/fd/src/lib.rs crates/fd/src/attrset.rs crates/fd/src/fdset.rs crates/fd/src/keys.rs
+
+/root/repo/target/debug/deps/libuniq_fd-2989d00cabbbcd8b.rlib: crates/fd/src/lib.rs crates/fd/src/attrset.rs crates/fd/src/fdset.rs crates/fd/src/keys.rs
+
+/root/repo/target/debug/deps/libuniq_fd-2989d00cabbbcd8b.rmeta: crates/fd/src/lib.rs crates/fd/src/attrset.rs crates/fd/src/fdset.rs crates/fd/src/keys.rs
+
+crates/fd/src/lib.rs:
+crates/fd/src/attrset.rs:
+crates/fd/src/fdset.rs:
+crates/fd/src/keys.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/uniq_fd-73fbe0ee2330e85f.d: crates/fd/src/lib.rs crates/fd/src/attrset.rs crates/fd/src/fdset.rs crates/fd/src/keys.rs
+
+/root/repo/target/debug/deps/uniq_fd-73fbe0ee2330e85f: crates/fd/src/lib.rs crates/fd/src/attrset.rs crates/fd/src/fdset.rs crates/fd/src/keys.rs
+
+crates/fd/src/lib.rs:
+crates/fd/src/attrset.rs:
+crates/fd/src/fdset.rs:
+crates/fd/src/keys.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/uniq_fd-9906ff748c15ad21.d: crates/fd/src/lib.rs crates/fd/src/attrset.rs crates/fd/src/fdset.rs crates/fd/src/keys.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuniq_fd-9906ff748c15ad21.rmeta: crates/fd/src/lib.rs crates/fd/src/attrset.rs crates/fd/src/fdset.rs crates/fd/src/keys.rs Cargo.toml
+
+crates/fd/src/lib.rs:
+crates/fd/src/attrset.rs:
+crates/fd/src/fdset.rs:
+crates/fd/src/keys.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

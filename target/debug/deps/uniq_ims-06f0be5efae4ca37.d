@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/uniq_ims-06f0be5efae4ca37.d: crates/ims/src/lib.rs crates/ims/src/dli.rs crates/ims/src/gateway.rs crates/ims/src/hierarchy.rs crates/ims/src/sample.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuniq_ims-06f0be5efae4ca37.rmeta: crates/ims/src/lib.rs crates/ims/src/dli.rs crates/ims/src/gateway.rs crates/ims/src/hierarchy.rs crates/ims/src/sample.rs Cargo.toml
+
+crates/ims/src/lib.rs:
+crates/ims/src/dli.rs:
+crates/ims/src/gateway.rs:
+crates/ims/src/hierarchy.rs:
+crates/ims/src/sample.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

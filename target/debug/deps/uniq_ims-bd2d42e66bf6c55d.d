@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/uniq_ims-bd2d42e66bf6c55d.d: crates/ims/src/lib.rs crates/ims/src/dli.rs crates/ims/src/gateway.rs crates/ims/src/hierarchy.rs crates/ims/src/sample.rs
+
+/root/repo/target/debug/deps/libuniq_ims-bd2d42e66bf6c55d.rlib: crates/ims/src/lib.rs crates/ims/src/dli.rs crates/ims/src/gateway.rs crates/ims/src/hierarchy.rs crates/ims/src/sample.rs
+
+/root/repo/target/debug/deps/libuniq_ims-bd2d42e66bf6c55d.rmeta: crates/ims/src/lib.rs crates/ims/src/dli.rs crates/ims/src/gateway.rs crates/ims/src/hierarchy.rs crates/ims/src/sample.rs
+
+crates/ims/src/lib.rs:
+crates/ims/src/dli.rs:
+crates/ims/src/gateway.rs:
+crates/ims/src/hierarchy.rs:
+crates/ims/src/sample.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/uniq_ims-f76de2e640907f78.d: crates/ims/src/lib.rs crates/ims/src/dli.rs crates/ims/src/gateway.rs crates/ims/src/hierarchy.rs crates/ims/src/sample.rs
+
+/root/repo/target/debug/deps/uniq_ims-f76de2e640907f78: crates/ims/src/lib.rs crates/ims/src/dli.rs crates/ims/src/gateway.rs crates/ims/src/hierarchy.rs crates/ims/src/sample.rs
+
+crates/ims/src/lib.rs:
+crates/ims/src/dli.rs:
+crates/ims/src/gateway.rs:
+crates/ims/src/hierarchy.rs:
+crates/ims/src/sample.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/uniq_oodb-19a510d7fda40150.d: crates/oodb/src/lib.rs crates/oodb/src/sample.rs crates/oodb/src/store.rs crates/oodb/src/strategies.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuniq_oodb-19a510d7fda40150.rmeta: crates/oodb/src/lib.rs crates/oodb/src/sample.rs crates/oodb/src/store.rs crates/oodb/src/strategies.rs Cargo.toml
+
+crates/oodb/src/lib.rs:
+crates/oodb/src/sample.rs:
+crates/oodb/src/store.rs:
+crates/oodb/src/strategies.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/uniq_oodb-3358c1cf7e353f03.d: crates/oodb/src/lib.rs crates/oodb/src/sample.rs crates/oodb/src/store.rs crates/oodb/src/strategies.rs
+
+/root/repo/target/debug/deps/libuniq_oodb-3358c1cf7e353f03.rlib: crates/oodb/src/lib.rs crates/oodb/src/sample.rs crates/oodb/src/store.rs crates/oodb/src/strategies.rs
+
+/root/repo/target/debug/deps/libuniq_oodb-3358c1cf7e353f03.rmeta: crates/oodb/src/lib.rs crates/oodb/src/sample.rs crates/oodb/src/store.rs crates/oodb/src/strategies.rs
+
+crates/oodb/src/lib.rs:
+crates/oodb/src/sample.rs:
+crates/oodb/src/store.rs:
+crates/oodb/src/strategies.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/uniq_oodb-673cdd3af5243f89.d: crates/oodb/src/lib.rs crates/oodb/src/sample.rs crates/oodb/src/store.rs crates/oodb/src/strategies.rs
+
+/root/repo/target/debug/deps/uniq_oodb-673cdd3af5243f89: crates/oodb/src/lib.rs crates/oodb/src/sample.rs crates/oodb/src/store.rs crates/oodb/src/strategies.rs
+
+crates/oodb/src/lib.rs:
+crates/oodb/src/sample.rs:
+crates/oodb/src/store.rs:
+crates/oodb/src/strategies.rs:

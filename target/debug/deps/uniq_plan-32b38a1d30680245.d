@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/uniq_plan-32b38a1d30680245.d: crates/plan/src/lib.rs crates/plan/src/binder.rs crates/plan/src/bound.rs crates/plan/src/hostvars.rs crates/plan/src/norm.rs
+
+/root/repo/target/debug/deps/libuniq_plan-32b38a1d30680245.rlib: crates/plan/src/lib.rs crates/plan/src/binder.rs crates/plan/src/bound.rs crates/plan/src/hostvars.rs crates/plan/src/norm.rs
+
+/root/repo/target/debug/deps/libuniq_plan-32b38a1d30680245.rmeta: crates/plan/src/lib.rs crates/plan/src/binder.rs crates/plan/src/bound.rs crates/plan/src/hostvars.rs crates/plan/src/norm.rs
+
+crates/plan/src/lib.rs:
+crates/plan/src/binder.rs:
+crates/plan/src/bound.rs:
+crates/plan/src/hostvars.rs:
+crates/plan/src/norm.rs:

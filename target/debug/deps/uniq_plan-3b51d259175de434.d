@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/uniq_plan-3b51d259175de434.d: crates/plan/src/lib.rs crates/plan/src/binder.rs crates/plan/src/bound.rs crates/plan/src/hostvars.rs crates/plan/src/norm.rs
+
+/root/repo/target/debug/deps/uniq_plan-3b51d259175de434: crates/plan/src/lib.rs crates/plan/src/binder.rs crates/plan/src/bound.rs crates/plan/src/hostvars.rs crates/plan/src/norm.rs
+
+crates/plan/src/lib.rs:
+crates/plan/src/binder.rs:
+crates/plan/src/bound.rs:
+crates/plan/src/hostvars.rs:
+crates/plan/src/norm.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/uniq_plan-8562acb07f250d88.d: crates/plan/src/lib.rs crates/plan/src/binder.rs crates/plan/src/bound.rs crates/plan/src/hostvars.rs crates/plan/src/norm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuniq_plan-8562acb07f250d88.rmeta: crates/plan/src/lib.rs crates/plan/src/binder.rs crates/plan/src/bound.rs crates/plan/src/hostvars.rs crates/plan/src/norm.rs Cargo.toml
+
+crates/plan/src/lib.rs:
+crates/plan/src/binder.rs:
+crates/plan/src/bound.rs:
+crates/plan/src/hostvars.rs:
+crates/plan/src/norm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

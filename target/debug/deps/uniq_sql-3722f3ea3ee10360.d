@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/uniq_sql-3722f3ea3ee10360.d: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/lexer.rs crates/sql/src/parser.rs crates/sql/src/printer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuniq_sql-3722f3ea3ee10360.rmeta: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/lexer.rs crates/sql/src/parser.rs crates/sql/src/printer.rs Cargo.toml
+
+crates/sql/src/lib.rs:
+crates/sql/src/ast.rs:
+crates/sql/src/lexer.rs:
+crates/sql/src/parser.rs:
+crates/sql/src/printer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

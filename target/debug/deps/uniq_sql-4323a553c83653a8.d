@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/uniq_sql-4323a553c83653a8.d: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/lexer.rs crates/sql/src/parser.rs crates/sql/src/printer.rs
+
+/root/repo/target/debug/deps/uniq_sql-4323a553c83653a8: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/lexer.rs crates/sql/src/parser.rs crates/sql/src/printer.rs
+
+crates/sql/src/lib.rs:
+crates/sql/src/ast.rs:
+crates/sql/src/lexer.rs:
+crates/sql/src/parser.rs:
+crates/sql/src/printer.rs:

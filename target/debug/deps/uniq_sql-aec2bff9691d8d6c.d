@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/uniq_sql-aec2bff9691d8d6c.d: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/lexer.rs crates/sql/src/parser.rs crates/sql/src/printer.rs
+
+/root/repo/target/debug/deps/libuniq_sql-aec2bff9691d8d6c.rlib: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/lexer.rs crates/sql/src/parser.rs crates/sql/src/printer.rs
+
+/root/repo/target/debug/deps/libuniq_sql-aec2bff9691d8d6c.rmeta: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/lexer.rs crates/sql/src/parser.rs crates/sql/src/printer.rs
+
+crates/sql/src/lib.rs:
+crates/sql/src/ast.rs:
+crates/sql/src/lexer.rs:
+crates/sql/src/parser.rs:
+crates/sql/src/printer.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/uniq_types-69a0596e63841ea0.d: crates/types/src/lib.rs crates/types/src/error.rs crates/types/src/hash.rs crates/types/src/ident.rs crates/types/src/tri.rs crates/types/src/value.rs
+
+/root/repo/target/debug/deps/libuniq_types-69a0596e63841ea0.rlib: crates/types/src/lib.rs crates/types/src/error.rs crates/types/src/hash.rs crates/types/src/ident.rs crates/types/src/tri.rs crates/types/src/value.rs
+
+/root/repo/target/debug/deps/libuniq_types-69a0596e63841ea0.rmeta: crates/types/src/lib.rs crates/types/src/error.rs crates/types/src/hash.rs crates/types/src/ident.rs crates/types/src/tri.rs crates/types/src/value.rs
+
+crates/types/src/lib.rs:
+crates/types/src/error.rs:
+crates/types/src/hash.rs:
+crates/types/src/ident.rs:
+crates/types/src/tri.rs:
+crates/types/src/value.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/uniq_types-9d30516ec5466537.d: crates/types/src/lib.rs crates/types/src/error.rs crates/types/src/hash.rs crates/types/src/ident.rs crates/types/src/tri.rs crates/types/src/value.rs
+
+/root/repo/target/debug/deps/uniq_types-9d30516ec5466537: crates/types/src/lib.rs crates/types/src/error.rs crates/types/src/hash.rs crates/types/src/ident.rs crates/types/src/tri.rs crates/types/src/value.rs
+
+crates/types/src/lib.rs:
+crates/types/src/error.rs:
+crates/types/src/hash.rs:
+crates/types/src/ident.rs:
+crates/types/src/tri.rs:
+crates/types/src/value.rs:

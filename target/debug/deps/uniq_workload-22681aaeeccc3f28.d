@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/uniq_workload-22681aaeeccc3f28.d: crates/workload/src/lib.rs crates/workload/src/corpus.rs crates/workload/src/driver.rs crates/workload/src/gen.rs crates/workload/src/instance.rs crates/workload/src/rng.rs
+
+/root/repo/target/debug/deps/libuniq_workload-22681aaeeccc3f28.rlib: crates/workload/src/lib.rs crates/workload/src/corpus.rs crates/workload/src/driver.rs crates/workload/src/gen.rs crates/workload/src/instance.rs crates/workload/src/rng.rs
+
+/root/repo/target/debug/deps/libuniq_workload-22681aaeeccc3f28.rmeta: crates/workload/src/lib.rs crates/workload/src/corpus.rs crates/workload/src/driver.rs crates/workload/src/gen.rs crates/workload/src/instance.rs crates/workload/src/rng.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/corpus.rs:
+crates/workload/src/driver.rs:
+crates/workload/src/gen.rs:
+crates/workload/src/instance.rs:
+crates/workload/src/rng.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/uniq_workload-973a6509d6abae74.d: crates/workload/src/lib.rs crates/workload/src/corpus.rs crates/workload/src/driver.rs crates/workload/src/gen.rs crates/workload/src/instance.rs crates/workload/src/rng.rs
+
+/root/repo/target/debug/deps/uniq_workload-973a6509d6abae74: crates/workload/src/lib.rs crates/workload/src/corpus.rs crates/workload/src/driver.rs crates/workload/src/gen.rs crates/workload/src/instance.rs crates/workload/src/rng.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/corpus.rs:
+crates/workload/src/driver.rs:
+crates/workload/src/gen.rs:
+crates/workload/src/instance.rs:
+crates/workload/src/rng.rs:

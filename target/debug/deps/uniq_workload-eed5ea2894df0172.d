@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/uniq_workload-eed5ea2894df0172.d: crates/workload/src/lib.rs crates/workload/src/corpus.rs crates/workload/src/driver.rs crates/workload/src/gen.rs crates/workload/src/instance.rs crates/workload/src/rng.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuniq_workload-eed5ea2894df0172.rmeta: crates/workload/src/lib.rs crates/workload/src/corpus.rs crates/workload/src/driver.rs crates/workload/src/gen.rs crates/workload/src/instance.rs crates/workload/src/rng.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/corpus.rs:
+crates/workload/src/driver.rs:
+crates/workload/src/gen.rs:
+crates/workload/src/instance.rs:
+crates/workload/src/rng.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

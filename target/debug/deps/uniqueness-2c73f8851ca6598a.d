@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/uniqueness-2c73f8851ca6598a.d: crates/uniq/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuniqueness-2c73f8851ca6598a.rmeta: crates/uniq/src/lib.rs Cargo.toml
+
+crates/uniq/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/uniqueness-6b9df4b579d64908.d: crates/uniq/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuniqueness-6b9df4b579d64908.rmeta: crates/uniq/src/lib.rs Cargo.toml
+
+crates/uniq/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

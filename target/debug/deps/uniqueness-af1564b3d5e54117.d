@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/uniqueness-af1564b3d5e54117.d: crates/uniq/src/lib.rs
+
+/root/repo/target/debug/deps/libuniqueness-af1564b3d5e54117.rlib: crates/uniq/src/lib.rs
+
+/root/repo/target/debug/deps/libuniqueness-af1564b3d5e54117.rmeta: crates/uniq/src/lib.rs
+
+crates/uniq/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/uniqueness-b964dddc8921f1f7.d: crates/uniq/src/lib.rs
+
+/root/repo/target/debug/deps/uniqueness-b964dddc8921f1f7: crates/uniq/src/lib.rs
+
+crates/uniq/src/lib.rs:

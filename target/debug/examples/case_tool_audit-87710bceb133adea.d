@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/case_tool_audit-87710bceb133adea.d: crates/uniq/../../examples/case_tool_audit.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcase_tool_audit-87710bceb133adea.rmeta: crates/uniq/../../examples/case_tool_audit.rs Cargo.toml
+
+crates/uniq/../../examples/case_tool_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/case_tool_audit-8a5c5e4348d797a4.d: crates/uniq/../../examples/case_tool_audit.rs
+
+/root/repo/target/debug/examples/case_tool_audit-8a5c5e4348d797a4: crates/uniq/../../examples/case_tool_audit.rs
+
+crates/uniq/../../examples/case_tool_audit.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ims_gateway-3501e5699fa4f6d7.d: crates/uniq/../../examples/ims_gateway.rs Cargo.toml
+
+/root/repo/target/debug/examples/libims_gateway-3501e5699fa4f6d7.rmeta: crates/uniq/../../examples/ims_gateway.rs Cargo.toml
+
+crates/uniq/../../examples/ims_gateway.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ims_gateway-520562ecd7502425.d: crates/uniq/../../examples/ims_gateway.rs
+
+/root/repo/target/debug/examples/ims_gateway-520562ecd7502425: crates/uniq/../../examples/ims_gateway.rs
+
+crates/uniq/../../examples/ims_gateway.rs:

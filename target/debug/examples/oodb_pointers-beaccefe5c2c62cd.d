@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/oodb_pointers-beaccefe5c2c62cd.d: crates/uniq/../../examples/oodb_pointers.rs Cargo.toml
+
+/root/repo/target/debug/examples/liboodb_pointers-beaccefe5c2c62cd.rmeta: crates/uniq/../../examples/oodb_pointers.rs Cargo.toml
+
+crates/uniq/../../examples/oodb_pointers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

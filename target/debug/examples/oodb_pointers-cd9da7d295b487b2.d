@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/oodb_pointers-cd9da7d295b487b2.d: crates/uniq/../../examples/oodb_pointers.rs
+
+/root/repo/target/debug/examples/oodb_pointers-cd9da7d295b487b2: crates/uniq/../../examples/oodb_pointers.rs
+
+crates/uniq/../../examples/oodb_pointers.rs:

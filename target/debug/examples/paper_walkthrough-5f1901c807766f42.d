@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/paper_walkthrough-5f1901c807766f42.d: crates/uniq/../../examples/paper_walkthrough.rs
+
+/root/repo/target/debug/examples/paper_walkthrough-5f1901c807766f42: crates/uniq/../../examples/paper_walkthrough.rs
+
+crates/uniq/../../examples/paper_walkthrough.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/paper_walkthrough-fee07ec278d0b3a1.d: crates/uniq/../../examples/paper_walkthrough.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpaper_walkthrough-fee07ec278d0b3a1.rmeta: crates/uniq/../../examples/paper_walkthrough.rs Cargo.toml
+
+crates/uniq/../../examples/paper_walkthrough.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-2c0d22e080dd75da.d: crates/uniq/../../examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-2c0d22e080dd75da.rmeta: crates/uniq/../../examples/quickstart.rs Cargo.toml
+
+crates/uniq/../../examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

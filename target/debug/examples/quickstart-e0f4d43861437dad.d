@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e0f4d43861437dad.d: crates/uniq/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-e0f4d43861437dad: crates/uniq/../../examples/quickstart.rs
+
+crates/uniq/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sql_shell-654e9a7addb62ebb.d: crates/uniq/../../examples/sql_shell.rs
+
+/root/repo/target/debug/examples/sql_shell-654e9a7addb62ebb: crates/uniq/../../examples/sql_shell.rs
+
+crates/uniq/../../examples/sql_shell.rs:

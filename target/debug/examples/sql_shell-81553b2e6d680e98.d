@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sql_shell-81553b2e6d680e98.d: crates/uniq/../../examples/sql_shell.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsql_shell-81553b2e6d680e98.rmeta: crates/uniq/../../examples/sql_shell.rs Cargo.toml
+
+crates/uniq/../../examples/sql_shell.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

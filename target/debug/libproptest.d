@@ -1,0 +1,1 @@
+/root/repo/target/debug/libproptest.rlib: /root/repo/crates/proptest/src/collection.rs /root/repo/crates/proptest/src/lib.rs /root/repo/crates/proptest/src/sample.rs

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libuniq_fd.rlib: /root/repo/crates/fd/src/attrset.rs /root/repo/crates/fd/src/fdset.rs /root/repo/crates/fd/src/keys.rs /root/repo/crates/fd/src/lib.rs

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptest-3c1b4b42ef0b3e7a.d: crates/proptest/src/lib.rs crates/proptest/src/collection.rs crates/proptest/src/sample.rs
+
+/root/repo/target/release/deps/libproptest-3c1b4b42ef0b3e7a.rlib: crates/proptest/src/lib.rs crates/proptest/src/collection.rs crates/proptest/src/sample.rs
+
+/root/repo/target/release/deps/libproptest-3c1b4b42ef0b3e7a.rmeta: crates/proptest/src/lib.rs crates/proptest/src/collection.rs crates/proptest/src/sample.rs
+
+crates/proptest/src/lib.rs:
+crates/proptest/src/collection.rs:
+crates/proptest/src/sample.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/report-dda1712347353386.d: crates/bench/src/bin/report.rs
+
+/root/repo/target/release/deps/report-dda1712347353386: crates/bench/src/bin/report.rs
+
+crates/bench/src/bin/report.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/uniq_catalog-75d7d584c74c2499.d: crates/catalog/src/lib.rs crates/catalog/src/catalog.rs crates/catalog/src/database.rs crates/catalog/src/sample.rs crates/catalog/src/table.rs crates/catalog/src/validate.rs
+
+/root/repo/target/release/deps/libuniq_catalog-75d7d584c74c2499.rlib: crates/catalog/src/lib.rs crates/catalog/src/catalog.rs crates/catalog/src/database.rs crates/catalog/src/sample.rs crates/catalog/src/table.rs crates/catalog/src/validate.rs
+
+/root/repo/target/release/deps/libuniq_catalog-75d7d584c74c2499.rmeta: crates/catalog/src/lib.rs crates/catalog/src/catalog.rs crates/catalog/src/database.rs crates/catalog/src/sample.rs crates/catalog/src/table.rs crates/catalog/src/validate.rs
+
+crates/catalog/src/lib.rs:
+crates/catalog/src/catalog.rs:
+crates/catalog/src/database.rs:
+crates/catalog/src/sample.rs:
+crates/catalog/src/table.rs:
+crates/catalog/src/validate.rs:

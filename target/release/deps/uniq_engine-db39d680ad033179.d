@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/uniq_engine-db39d680ad033179.d: crates/engine/src/lib.rs crates/engine/src/exec.rs crates/engine/src/explain.rs crates/engine/src/plancache.rs crates/engine/src/session.rs crates/engine/src/setops.rs crates/engine/src/stats.rs
+
+/root/repo/target/release/deps/libuniq_engine-db39d680ad033179.rlib: crates/engine/src/lib.rs crates/engine/src/exec.rs crates/engine/src/explain.rs crates/engine/src/plancache.rs crates/engine/src/session.rs crates/engine/src/setops.rs crates/engine/src/stats.rs
+
+/root/repo/target/release/deps/libuniq_engine-db39d680ad033179.rmeta: crates/engine/src/lib.rs crates/engine/src/exec.rs crates/engine/src/explain.rs crates/engine/src/plancache.rs crates/engine/src/session.rs crates/engine/src/setops.rs crates/engine/src/stats.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/exec.rs:
+crates/engine/src/explain.rs:
+crates/engine/src/plancache.rs:
+crates/engine/src/session.rs:
+crates/engine/src/setops.rs:
+crates/engine/src/stats.rs:

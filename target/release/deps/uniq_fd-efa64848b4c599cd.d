@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/uniq_fd-efa64848b4c599cd.d: crates/fd/src/lib.rs crates/fd/src/attrset.rs crates/fd/src/fdset.rs crates/fd/src/keys.rs
+
+/root/repo/target/release/deps/libuniq_fd-efa64848b4c599cd.rlib: crates/fd/src/lib.rs crates/fd/src/attrset.rs crates/fd/src/fdset.rs crates/fd/src/keys.rs
+
+/root/repo/target/release/deps/libuniq_fd-efa64848b4c599cd.rmeta: crates/fd/src/lib.rs crates/fd/src/attrset.rs crates/fd/src/fdset.rs crates/fd/src/keys.rs
+
+crates/fd/src/lib.rs:
+crates/fd/src/attrset.rs:
+crates/fd/src/fdset.rs:
+crates/fd/src/keys.rs:

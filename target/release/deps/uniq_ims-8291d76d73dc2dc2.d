@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/uniq_ims-8291d76d73dc2dc2.d: crates/ims/src/lib.rs crates/ims/src/dli.rs crates/ims/src/gateway.rs crates/ims/src/hierarchy.rs crates/ims/src/sample.rs
+
+/root/repo/target/release/deps/libuniq_ims-8291d76d73dc2dc2.rlib: crates/ims/src/lib.rs crates/ims/src/dli.rs crates/ims/src/gateway.rs crates/ims/src/hierarchy.rs crates/ims/src/sample.rs
+
+/root/repo/target/release/deps/libuniq_ims-8291d76d73dc2dc2.rmeta: crates/ims/src/lib.rs crates/ims/src/dli.rs crates/ims/src/gateway.rs crates/ims/src/hierarchy.rs crates/ims/src/sample.rs
+
+crates/ims/src/lib.rs:
+crates/ims/src/dli.rs:
+crates/ims/src/gateway.rs:
+crates/ims/src/hierarchy.rs:
+crates/ims/src/sample.rs:

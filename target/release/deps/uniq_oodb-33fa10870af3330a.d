@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/uniq_oodb-33fa10870af3330a.d: crates/oodb/src/lib.rs crates/oodb/src/sample.rs crates/oodb/src/store.rs crates/oodb/src/strategies.rs
+
+/root/repo/target/release/deps/libuniq_oodb-33fa10870af3330a.rlib: crates/oodb/src/lib.rs crates/oodb/src/sample.rs crates/oodb/src/store.rs crates/oodb/src/strategies.rs
+
+/root/repo/target/release/deps/libuniq_oodb-33fa10870af3330a.rmeta: crates/oodb/src/lib.rs crates/oodb/src/sample.rs crates/oodb/src/store.rs crates/oodb/src/strategies.rs
+
+crates/oodb/src/lib.rs:
+crates/oodb/src/sample.rs:
+crates/oodb/src/store.rs:
+crates/oodb/src/strategies.rs:

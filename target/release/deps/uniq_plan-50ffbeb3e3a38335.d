@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/uniq_plan-50ffbeb3e3a38335.d: crates/plan/src/lib.rs crates/plan/src/binder.rs crates/plan/src/bound.rs crates/plan/src/hostvars.rs crates/plan/src/norm.rs
+
+/root/repo/target/release/deps/libuniq_plan-50ffbeb3e3a38335.rlib: crates/plan/src/lib.rs crates/plan/src/binder.rs crates/plan/src/bound.rs crates/plan/src/hostvars.rs crates/plan/src/norm.rs
+
+/root/repo/target/release/deps/libuniq_plan-50ffbeb3e3a38335.rmeta: crates/plan/src/lib.rs crates/plan/src/binder.rs crates/plan/src/bound.rs crates/plan/src/hostvars.rs crates/plan/src/norm.rs
+
+crates/plan/src/lib.rs:
+crates/plan/src/binder.rs:
+crates/plan/src/bound.rs:
+crates/plan/src/hostvars.rs:
+crates/plan/src/norm.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/uniq_sql-055b04be8920ce04.d: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/lexer.rs crates/sql/src/parser.rs crates/sql/src/printer.rs
+
+/root/repo/target/release/deps/libuniq_sql-055b04be8920ce04.rlib: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/lexer.rs crates/sql/src/parser.rs crates/sql/src/printer.rs
+
+/root/repo/target/release/deps/libuniq_sql-055b04be8920ce04.rmeta: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/lexer.rs crates/sql/src/parser.rs crates/sql/src/printer.rs
+
+crates/sql/src/lib.rs:
+crates/sql/src/ast.rs:
+crates/sql/src/lexer.rs:
+crates/sql/src/parser.rs:
+crates/sql/src/printer.rs:

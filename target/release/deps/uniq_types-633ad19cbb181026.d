@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/uniq_types-633ad19cbb181026.d: crates/types/src/lib.rs crates/types/src/error.rs crates/types/src/hash.rs crates/types/src/ident.rs crates/types/src/tri.rs crates/types/src/value.rs
+
+/root/repo/target/release/deps/libuniq_types-633ad19cbb181026.rlib: crates/types/src/lib.rs crates/types/src/error.rs crates/types/src/hash.rs crates/types/src/ident.rs crates/types/src/tri.rs crates/types/src/value.rs
+
+/root/repo/target/release/deps/libuniq_types-633ad19cbb181026.rmeta: crates/types/src/lib.rs crates/types/src/error.rs crates/types/src/hash.rs crates/types/src/ident.rs crates/types/src/tri.rs crates/types/src/value.rs
+
+crates/types/src/lib.rs:
+crates/types/src/error.rs:
+crates/types/src/hash.rs:
+crates/types/src/ident.rs:
+crates/types/src/tri.rs:
+crates/types/src/value.rs:

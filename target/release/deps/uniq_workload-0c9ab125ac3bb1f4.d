@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/uniq_workload-0c9ab125ac3bb1f4.d: crates/workload/src/lib.rs crates/workload/src/corpus.rs crates/workload/src/driver.rs crates/workload/src/gen.rs crates/workload/src/instance.rs crates/workload/src/rng.rs
+
+/root/repo/target/release/deps/libuniq_workload-0c9ab125ac3bb1f4.rlib: crates/workload/src/lib.rs crates/workload/src/corpus.rs crates/workload/src/driver.rs crates/workload/src/gen.rs crates/workload/src/instance.rs crates/workload/src/rng.rs
+
+/root/repo/target/release/deps/libuniq_workload-0c9ab125ac3bb1f4.rmeta: crates/workload/src/lib.rs crates/workload/src/corpus.rs crates/workload/src/driver.rs crates/workload/src/gen.rs crates/workload/src/instance.rs crates/workload/src/rng.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/corpus.rs:
+crates/workload/src/driver.rs:
+crates/workload/src/gen.rs:
+crates/workload/src/instance.rs:
+crates/workload/src/rng.rs:

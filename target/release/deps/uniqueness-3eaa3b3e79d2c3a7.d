@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/uniqueness-3eaa3b3e79d2c3a7.d: crates/uniq/src/lib.rs
+
+/root/repo/target/release/deps/libuniqueness-3eaa3b3e79d2c3a7.rlib: crates/uniq/src/lib.rs
+
+/root/repo/target/release/deps/libuniqueness-3eaa3b3e79d2c3a7.rmeta: crates/uniq/src/lib.rs
+
+crates/uniq/src/lib.rs:

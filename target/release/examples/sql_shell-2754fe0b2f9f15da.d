@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/sql_shell-2754fe0b2f9f15da.d: crates/uniq/../../examples/sql_shell.rs
+
+/root/repo/target/release/examples/sql_shell-2754fe0b2f9f15da: crates/uniq/../../examples/sql_shell.rs
+
+crates/uniq/../../examples/sql_shell.rs:

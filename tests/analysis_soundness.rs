@@ -115,7 +115,5 @@ fn no_verdict_examples_do_duplicate() {
     // corpus): some query judged NO must actually duplicate somewhere,
     // otherwise the tests above are vacuous.
     let corpus = generate_corpus(5, 60, 5).unwrap();
-    assert!(corpus
-        .iter()
-        .any(|q| !q.fd_unique && q.duplicates_observed));
+    assert!(corpus.iter().any(|q| !q.fd_unique && q.duplicates_observed));
 }

@@ -16,11 +16,8 @@ use uniqueness::workload::{scaled_database, ScaleConfig};
 /// SNOs of suppliers of part `pno`, via the relational engine
 /// (Example 10's query, navigational profile exercised too).
 fn relational_suppliers(db: &uniqueness::catalog::Database, pno: i64) -> Vec<i64> {
-    let session = Session {
-        db: db.clone(),
-        optimizer: uniqueness::core::pipeline::OptimizerOptions::navigational(),
-        exec: Default::default(),
-    };
+    let mut session = Session::new(db.clone());
+    session.optimizer = uniqueness::core::pipeline::OptimizerOptions::navigational();
     let hv = HostVars::new().with("PARTNO", pno);
     let out = session
         .query_with(
@@ -40,11 +37,7 @@ fn ims_suppliers(db: &uniqueness::catalog::Database, pno: i64) -> (Vec<i64>, Vec
     let join = ims::gateway::join_strategy(&ims_db, "PNO", pno).unwrap();
     let nested = ims::gateway::exists_strategy(&ims_db, "PNO", pno).unwrap();
     let extract = |run: &ims::gateway::GatewayRun| {
-        let mut v: Vec<i64> = run
-            .rows
-            .iter()
-            .map(|r| r[0].as_int().unwrap())
-            .collect();
+        let mut v: Vec<i64> = run.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
         v.sort_unstable();
         v.dedup(); // join strategy may emit one row per matching part
         v
@@ -85,11 +78,7 @@ fn oodb_suppliers(db: &uniqueness::catalog::Database, pno: i64) -> (Vec<i64>, Ve
     let ptr = oodb::pointer_strategy(&store, &classes, pno, lo, hi).unwrap();
     let nst = oodb::nested_strategy(&store, &classes, pno, lo, hi).unwrap();
     let extract = |run: &oodb::StrategyRun| {
-        let mut v: Vec<i64> = run
-            .rows
-            .iter()
-            .map(|r| r[0].as_int().unwrap())
-            .collect();
+        let mut v: Vec<i64> = run.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
         v.sort_unstable();
         v
     };

@@ -12,10 +12,7 @@ use uniqueness::types::{Tri, Value};
 const ARITY: usize = 3;
 
 fn value() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        Just(Value::Null),
-        (0i64..3).prop_map(Value::Int),
-    ]
+    prop_oneof![Just(Value::Null), (0i64..3).prop_map(Value::Int),]
 }
 
 fn scalar() -> impl Strategy<Value = BScalar> {
@@ -41,30 +38,29 @@ fn expr() -> impl Strategy<Value = BoundExpr> {
             left,
             right
         }),
-        (scalar(), any::<bool>()).prop_map(|(s, negated)| BoundExpr::IsNull {
-            scalar: s,
-            negated
-        }),
-        (scalar(), scalar(), scalar(), any::<bool>()).prop_map(
-            |(s, low, high, negated)| BoundExpr::Between {
+        (scalar(), any::<bool>()).prop_map(|(s, negated)| BoundExpr::IsNull { scalar: s, negated }),
+        (scalar(), scalar(), scalar(), any::<bool>()).prop_map(|(s, low, high, negated)| {
+            BoundExpr::Between {
                 scalar: s,
                 low,
                 high,
-                negated
+                negated,
             }
-        ),
-        (scalar(), prop::collection::vec(scalar(), 1..3), any::<bool>()).prop_map(
-            |(s, list, negated)| BoundExpr::InList {
+        }),
+        (
+            scalar(),
+            prop::collection::vec(scalar(), 1..3),
+            any::<bool>()
+        )
+            .prop_map(|(s, list, negated)| BoundExpr::InList {
                 scalar: s,
                 list,
                 negated
-            }
-        ),
+            }),
     ];
     leaf.prop_recursive(3, 24, 3, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| BoundExpr::and(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| BoundExpr::and(a, b)),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| BoundExpr::or(a, b)),
             inner.prop_map(BoundExpr::not),
         ]

@@ -30,7 +30,11 @@ fn check(
     let bound = bind_query(session.db.catalog(), &parse_query(sql).unwrap()).unwrap();
     let outcome = Optimizer::new(opts).optimize(&bound);
     let rules: Vec<&str> = outcome.steps.iter().map(|s| s.rule).collect();
-    assert_eq!(rules, expected_rules, "for {sql}\nsteps: {:#?}", outcome.steps);
+    assert_eq!(
+        rules, expected_rules,
+        "for {sql}\nsteps: {:#?}",
+        outcome.steps
+    );
     let mut ex = Executor::new(&session.db, hv, ExecOptions::default());
     let original = ex.run(&bound).unwrap();
     let mut ex = Executor::new(&session.db, hv, ExecOptions::default());
@@ -218,7 +222,11 @@ fn theorem_3_null_aware_correlation_is_required() {
     .unwrap();
     let sql = "SELECT ALL L.X FROM L INTERSECT SELECT ALL R2.X FROM R2";
     let base = s.query_unoptimized(sql, &HostVars::new()).unwrap();
-    assert_eq!(base.rows, vec![vec![Value::Null]], "INTERSECT matches NULLs");
+    assert_eq!(
+        base.rows,
+        vec![vec![Value::Null]],
+        "INTERSECT matches NULLs"
+    );
     let opt = s.query(sql).unwrap();
     assert!(
         opt.steps.iter().any(|st| st.rule == "intersect-to-exists"),

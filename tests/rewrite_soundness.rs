@@ -22,7 +22,11 @@ fn multiset(rows: &[Row]) -> HashMap<Row, usize> {
     m
 }
 
-fn run(db: &uniqueness::catalog::Database, q: &uniqueness::plan::BoundQuery, exec: ExecOptions) -> Vec<Row> {
+fn run(
+    db: &uniqueness::catalog::Database,
+    q: &uniqueness::plan::BoundQuery,
+    exec: ExecOptions,
+) -> Vec<Row> {
     let hv = HostVars::new();
     let mut ex = Executor::new(db, &hv, exec);
     ex.run(q).expect("execution succeeds")

@@ -76,8 +76,8 @@ fn paper_queries_roundtrip_through_rewrites() {
         assert!(outcome.changed(), "{sql}");
         for step in &outcome.steps {
             // Each intermediate SQL must parse and bind.
-            let reparsed = parse_query(&step.sql_after)
-                .unwrap_or_else(|e| panic!("{}: {e}", step.sql_after));
+            let reparsed =
+                parse_query(&step.sql_after).unwrap_or_else(|e| panic!("{}: {e}", step.sql_after));
             bind_query(db.catalog(), &reparsed)
                 .unwrap_or_else(|e| panic!("{}: {e}", step.sql_after));
         }

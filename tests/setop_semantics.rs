@@ -5,8 +5,8 @@
 use proptest::prelude::*;
 use std::collections::HashMap;
 use uniqueness::catalog::Row;
-use uniqueness::engine::stats::{DistinctMethod, ExecStats};
 use uniqueness::engine::setops::{combine_setop, distinct, structural_eq_matches_null_eq};
+use uniqueness::engine::stats::{DistinctMethod, ExecStats};
 use uniqueness::sql::SetOp;
 use uniqueness::types::Value;
 
@@ -128,14 +128,38 @@ proptest! {
     }
 }
 
+/// Pinned from a `.proptest-regressions` seed recorded before the
+/// vendored proptest shim replaced the registry crate (the shim does not
+/// read seed files, so historical failures are kept as plain tests):
+/// sort-based dedup once conflated cross-type rows that the comparator
+/// placed adjacent. `distinct` must keep them apart.
+#[test]
+fn distinct_sort_keeps_mixed_type_rows_apart() {
+    let rows: Vec<Row> = vec![
+        vec![Value::str("a"), Value::Null],
+        vec![Value::Int(0), Value::Null],
+    ];
+    let mut stats = ExecStats::new();
+    let got = distinct(rows.clone(), DistinctMethod::Sort, &mut stats).unwrap();
+    assert_eq!(got.len(), 2);
+    assert_eq!(counts(&got), counts(&rows));
+}
+
 #[test]
 fn intersect_all_null_min_counting() {
     // {NULL,NULL,NULL} ∩ALL {NULL,NULL} = {NULL,NULL}.
     let l: Vec<Row> = vec![vec![Value::Null]; 3];
     let r: Vec<Row> = vec![vec![Value::Null]; 2];
     let mut stats = ExecStats::new();
-    let got = combine_setop(SetOp::Intersect, true, l, r, DistinctMethod::Sort, &mut stats)
-        .unwrap();
+    let got = combine_setop(
+        SetOp::Intersect,
+        true,
+        l,
+        r,
+        DistinctMethod::Sort,
+        &mut stats,
+    )
+    .unwrap();
     assert_eq!(got.len(), 2);
 }
 
@@ -145,7 +169,6 @@ fn except_all_null_saturation() {
     let l: Vec<Row> = vec![vec![Value::Null]; 2];
     let r: Vec<Row> = vec![vec![Value::Null]; 3];
     let mut stats = ExecStats::new();
-    let got =
-        combine_setop(SetOp::Except, true, l, r, DistinctMethod::Sort, &mut stats).unwrap();
+    let got = combine_setop(SetOp::Except, true, l, r, DistinctMethod::Sort, &mut stats).unwrap();
     assert!(got.is_empty());
 }

@@ -152,7 +152,10 @@ fn example_4_condition_holds_exactly() {
     .unwrap();
     let spec = bound.as_spec().unwrap();
     let d2 = vec![Value::Int(1), Value::Int(2)];
-    let domains = vec![vec![d2.clone(), d2.clone()], vec![d2.clone(), d2.clone(), d2.clone()]];
+    let domains = vec![
+        vec![d2.clone(), d2.clone()],
+        vec![d2.clone(), d2.clone(), d2.clone()],
+    ];
     let hosts = vec![("SUPPLIER-NO".into(), d2)];
     assert!(condition_holds(spec, &domains, &hosts).unwrap());
     assert!(!duplicates_possible(spec, &domains, &hosts).unwrap());
@@ -168,7 +171,10 @@ fn example_4_condition_holds_exactly() {
     .unwrap();
     let spec2 = bound2.as_spec().unwrap();
     let d2 = vec![Value::Int(1), Value::Int(2)];
-    let domains2 = vec![vec![d2.clone(), d2.clone()], vec![d2.clone(), d2.clone(), d2]];
+    let domains2 = vec![
+        vec![d2.clone(), d2.clone()],
+        vec![d2.clone(), d2.clone(), d2],
+    ];
     assert!(!condition_holds(spec2, &domains2, &vec![]).unwrap());
     assert!(duplicates_possible(spec2, &domains2, &vec![]).unwrap());
 }
