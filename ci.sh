@@ -12,6 +12,12 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc --no-deps (rustdoc warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+echo "==> fast lane: optimizer pipeline tests"
+cargo test -q -p uniq-core pipeline
+
 echo "==> cargo build --release"
 cargo build --release
 

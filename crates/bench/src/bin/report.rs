@@ -7,10 +7,15 @@
 //! ```
 
 use std::collections::HashMap;
-use uniq_bench::{fmt_duration, median_time, scaled_session, E2_QUERY, E4_QUERY, E5_QUERY};
+use std::time::Duration;
+use uniq_bench::baseline::optimize_root_restart;
+use uniq_bench::{
+    e15_exists_chain, e15_union_chain, fmt_duration, median_time, scaled_session, E2_QUERY,
+    E4_QUERY, E5_QUERY,
+};
 use uniqueness::core::algorithm1::{algorithm1, Algorithm1Options};
 use uniqueness::core::analysis::unique_projection;
-use uniqueness::core::pipeline::OptimizerOptions;
+use uniqueness::core::pipeline::{Optimizer, OptimizerOptions};
 use uniqueness::engine::{DistinctMethod, Session, StageTimings};
 use uniqueness::ims;
 use uniqueness::oodb;
@@ -65,6 +70,9 @@ fn main() {
     }
     if want("e14") {
         e14_plan_cache();
+    }
+    if want("e15") {
+        e15_optimizer_driver(runs);
     }
 }
 
@@ -533,7 +541,7 @@ fn e13_join_elimination(runs: usize) {
         let base = session.query_unoptimized(sql, &hv).unwrap();
         let opt = session.query(sql).unwrap();
         assert_eq!(base.rows.len(), opt.rows.len());
-        assert!(opt.steps.iter().any(|s| s.rule == "join-elimination"));
+        assert!(opt.trace.steps.iter().any(|s| s.rule == "join-elimination"));
         let t_base = median_time(runs, || session.query_unoptimized(sql, &hv).unwrap());
         let t_opt = median_time(runs, || session.query(sql).unwrap());
         println!(
@@ -709,4 +717,101 @@ fn e12_distinct_methods(runs: usize) {
             hash_out.stats.hash_probes
         );
     }
+}
+
+/// E15 — driver ablation: the one-pass bottom-up fixpoint driver vs the
+/// pre-refactor root-restart strategy, over the same rule registry and
+/// uniqueness-test memo. Workloads are chosen so traversal strategy is
+/// what varies: `UNION ALL` chains have N independent firing sites (the
+/// root-restart driver pays one full traversal per firing), and EXISTS
+/// chains cascade many firings at a single node (both drivers should be
+/// close). Ends with a no-regression assertion on the new driver.
+fn e15_optimizer_driver(runs: usize) {
+    header(
+        "E15",
+        "optimizer driver: one-pass fixpoint vs root-restart baseline",
+    );
+    let db = uniqueness::catalog::sample::supplier_schema().unwrap();
+    let options = OptimizerOptions::relational();
+    let optimizer = Optimizer::new(options);
+
+    println!(
+        "{:<18} {:>8} {:>7} {:>9} {:>12} {:>14} {:>8}",
+        "workload", "firings", "passes", "restarts", "one-pass", "root-restart", "ratio"
+    );
+    let mut total_new = Duration::ZERO;
+    let mut total_old = Duration::ZERO;
+    let mut breakdown = None;
+    for (name, sql) in [
+        ("union chain x8", e15_union_chain(8)),
+        ("union chain x16", e15_union_chain(16)),
+        ("union chain x24", e15_union_chain(24)),
+        ("exists chain x8", e15_exists_chain(8)),
+    ] {
+        let bound = bind_query(db.catalog(), &parse_query(&sql).unwrap()).unwrap();
+        let outcome = optimizer.optimize(&bound);
+        let base = optimize_root_restart(&options, &bound);
+        assert_eq!(
+            outcome.query, base.query,
+            "drivers must agree on the rewritten query for {name}"
+        );
+        assert_eq!(outcome.trace.steps.len() as u64, base.firings(), "{name}");
+        let t_new = median_time(runs, || optimizer.optimize(&bound));
+        let t_old = median_time(runs, || optimize_root_restart(&options, &bound));
+        total_new += t_new;
+        total_old += t_old;
+        println!(
+            "{:<18} {:>8} {:>7} {:>9} {:>12} {:>14} {:>7.2}x",
+            name,
+            outcome.trace.steps.len(),
+            outcome.trace.passes,
+            base.traversals,
+            fmt_duration(t_new),
+            fmt_duration(t_old),
+            t_old.as_secs_f64() / t_new.as_secs_f64()
+        );
+        if name == "union chain x24" {
+            breakdown = Some((outcome, base));
+        }
+    }
+
+    let (outcome, base) = breakdown.expect("union chain x24 measured");
+    println!("\nper-rule breakdown, union chain x24 (attempts / fires / time):");
+    println!("{:<22} {:>18} {:>18}", "rule", "one-pass", "root-restart");
+    let old_stats: HashMap<&str, _> = base
+        .rule_stats
+        .iter()
+        .map(|s| (s.rule.as_str(), s))
+        .collect();
+    for s in &outcome.trace.rule_stats {
+        if s.attempts == 0 {
+            continue;
+        }
+        let old = old_stats.get(s.rule.as_str()).expect("same registry");
+        let cell = |attempts: u64, fires: u64, nanos: u64| {
+            format!(
+                "{attempts}/{fires}/{}",
+                fmt_duration(Duration::from_nanos(nanos))
+            )
+        };
+        println!(
+            "{:<22} {:>18} {:>18}",
+            s.rule,
+            cell(s.attempts, s.fires, s.nanos),
+            cell(old.attempts, old.fires, old.nanos)
+        );
+    }
+    println!(
+        "uniqueness tests: one-pass {} computed + {} memoized",
+        outcome.trace.uniqueness_tests_computed, outcome.trace.uniqueness_tests_memoized
+    );
+    println!(
+        "\ntotal optimize time: one-pass {} | root-restart {}",
+        fmt_duration(total_new),
+        fmt_duration(total_old)
+    );
+    assert!(
+        total_new <= total_old.mul_f64(1.25),
+        "one-pass driver regressed: {total_new:?} vs baseline {total_old:?}"
+    );
 }

@@ -11,6 +11,8 @@ use std::time::{Duration, Instant};
 use uniqueness::engine::Session;
 use uniqueness::workload::{scaled_database, ScaleConfig};
 
+pub mod baseline;
+
 /// Median wall-clock time of `runs` executions of `f`.
 pub fn median_time<T>(runs: usize, mut f: impl FnMut() -> T) -> Duration {
     let mut samples: Vec<Duration> = (0..runs.max(1))
@@ -58,6 +60,36 @@ pub const E6_QUERY: &str = "SELECT ALL S.SNO FROM SUPPLIER S WHERE S.SCITY = 'To
      INTERSECT \
      SELECT ALL A.SNO FROM AGENTS A WHERE A.ACITY = 'Ottawa'";
 
+/// The E15 shape with many independent firing sites: a `UNION ALL`
+/// chain whose every operand carries a redundant `DISTINCT` (the block
+/// projects the `SUPPLIER` key). The one-pass driver fires all sites in
+/// a single bottom-up traversal; a root-restart driver pays one full
+/// traversal per firing.
+pub fn e15_union_chain(sites: usize) -> String {
+    (0..sites.max(1))
+        .map(|i| format!("SELECT DISTINCT S.SNO, S.SNAME FROM SUPPLIER S WHERE S.BUDGET = {i}"))
+        .collect::<Vec<_>>()
+        .join(" UNION ALL ")
+}
+
+/// The E15 cascade shape: a `DISTINCT` outer block over a chain of
+/// `EXISTS` subqueries. Every subquery merge re-offers the whole
+/// registry, so the same node fires repeatedly before quiescing.
+pub fn e15_exists_chain(subqueries: usize) -> String {
+    let pred: Vec<String> = (0..subqueries.max(1))
+        .map(|i| {
+            format!(
+                "EXISTS (SELECT * FROM PARTS P{i} \
+                 WHERE P{i}.SNO = S.SNO AND P{i}.PNO = {i})"
+            )
+        })
+        .collect();
+    format!(
+        "SELECT DISTINCT S.SNO, S.SNAME FROM SUPPLIER S WHERE {}",
+        pred.join(" AND ")
+    )
+}
+
 /// Format a `Duration` compactly for tables.
 pub fn fmt_duration(d: Duration) -> String {
     let micros = d.as_micros();
@@ -78,7 +110,11 @@ mod tests {
     fn scaled_session_executes_e2() {
         let s = scaled_session(100, 5);
         let out = s.query(E2_QUERY).unwrap();
-        assert!(out.steps.iter().any(|st| st.rule == "distinct-removal"));
+        assert!(out
+            .trace
+            .steps
+            .iter()
+            .any(|st| st.rule == "distinct-removal"));
         assert_eq!(out.stats.sorts, 0);
     }
 

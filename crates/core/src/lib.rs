@@ -15,8 +15,13 @@
 //!   Corollary 2), `EXCEPT [ALL]` → `NOT EXISTS` (the extension the paper
 //!   mentions but elides for space), and join → subquery for navigational
 //!   back-ends (§6).
-//! * [`pipeline`] — an [`pipeline::Optimizer`] that applies the rules to a
-//!   bound query and reports each step in both prose and rewritten SQL.
+//! * [`rules`] — the rule engine: the [`rules::RewriteRule`] trait every
+//!   rewrite implements and the [`rules::RuleContext`] (uniqueness memo +
+//!   per-rule stats) the driver threads through every invocation.
+//! * [`pipeline`] — an [`pipeline::Optimizer`] that drives a registry of
+//!   rules to fixpoint over a bound query with a single bottom-up
+//!   traversal per pass, and reports each step in both prose and
+//!   rewritten SQL as a [`pipeline::RewriteTrace`].
 //! * [`theorem1`] — a finite-domain decision procedure for Theorem 1's
 //!   *exact* condition, plus the semantic side (duplicates possible on
 //!   some ≤2-row valid instance); their equivalence — the theorem itself
@@ -28,10 +33,12 @@ pub mod algorithm1;
 pub mod analysis;
 pub mod pipeline;
 pub mod rewrite;
+pub mod rules;
 pub mod theorem1;
 pub mod unbind;
 
 pub use algorithm1::{algorithm1, Algorithm1Options, Algorithm1Outcome};
 pub use analysis::{derived_fds, single_tuple_condition, unique_projection, UniquenessReport};
-pub use pipeline::{OptimizeOutcome, Optimizer, OptimizerOptions, RewriteStep};
+pub use pipeline::{OptimizeOutcome, Optimizer, OptimizerOptions, RewriteStep, RewriteTrace};
+pub use rules::{Justification, RewriteRule, RuleContext, RuleStats};
 pub use unbind::unbind_query;

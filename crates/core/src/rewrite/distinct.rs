@@ -9,6 +9,7 @@
 
 use crate::algorithm1::{algorithm1, Algorithm1Options};
 use crate::analysis::unique_projection;
+use crate::rules::{Justification, RewriteRule, RuleContext};
 use uniq_plan::BoundSpec;
 use uniq_sql::Distinct;
 
@@ -84,33 +85,52 @@ impl UniquenessMemo {
     }
 }
 
-/// Remove the `DISTINCT` of a block when Theorem 1 proves it redundant.
-/// Returns the rewritten block and the justification, or `None` when the
-/// rule does not apply.
+/// Rule 1: remove the `DISTINCT` of a block when Theorem 1 proves it
+/// redundant. The single code path is [`RewriteRule::apply_spec`];
+/// [`remove_redundant_distinct`] is a thin shim over it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DistinctRemoval;
+
+impl RewriteRule for DistinctRemoval {
+    fn name(&self) -> &'static str {
+        "distinct-removal"
+    }
+
+    fn theorem(&self) -> &'static str {
+        "Theorem 1"
+    }
+
+    fn apply_spec(
+        &self,
+        spec: &BoundSpec,
+        cx: &mut RuleContext,
+    ) -> Option<(BoundSpec, Justification)> {
+        if spec.distinct != Distinct::Distinct {
+            return None;
+        }
+        let reason = cx.is_provably_unique(spec)?;
+        let mut rewritten = spec.clone();
+        rewritten.distinct = Distinct::All;
+        Some((
+            rewritten,
+            Justification::new(
+                "Theorem 1",
+                format!("DISTINCT is redundant (Theorem 1): {reason}"),
+            ),
+        ))
+    }
+}
+
+/// Standalone form of [`DistinctRemoval`] (a shim over the one
+/// context-taking code path, for callers outside the pipeline).
 pub fn remove_redundant_distinct(
     spec: &BoundSpec,
     test: UniquenessTest,
 ) -> Option<(BoundSpec, String)> {
-    remove_redundant_distinct_memo(spec, test, &mut UniquenessMemo::new())
-}
-
-/// [`remove_redundant_distinct`] against a shared memo (the pipeline's
-/// entry point).
-pub fn remove_redundant_distinct_memo(
-    spec: &BoundSpec,
-    test: UniquenessTest,
-    memo: &mut UniquenessMemo,
-) -> Option<(BoundSpec, String)> {
-    if spec.distinct != Distinct::Distinct {
-        return None;
-    }
-    let reason = memo.is_provably_unique(spec, test)?;
-    let mut rewritten = spec.clone();
-    rewritten.distinct = Distinct::All;
-    Some((
-        rewritten,
-        format!("DISTINCT is redundant (Theorem 1): {reason}"),
-    ))
+    let mut cx = RuleContext::new(test);
+    DistinctRemoval
+        .apply_spec(spec, &mut cx)
+        .map(|(s, j)| (s, j.detail))
 }
 
 #[cfg(test)]

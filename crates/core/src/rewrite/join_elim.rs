@@ -32,12 +32,41 @@
 //!    elimination).
 
 use crate::rewrite::util::{conjuncts_of, rebuild_predicate, reindex_after_removal};
+use crate::rules::{Justification, RewriteRule, RuleContext};
 use uniq_plan::{BScalar, BoundExpr, BoundSpec};
 use uniq_sql::CmpOp;
 
-/// Remove one provably-redundant parent table from the block's join.
-/// Returns the rewritten block and a justification, or `None`.
+/// Rule 6: remove one provably-redundant parent table from the block's
+/// join. The single code path is [`RewriteRule::apply_spec`];
+/// [`eliminate_join`] is a thin shim over it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JoinElimination;
+
+impl RewriteRule for JoinElimination {
+    fn name(&self) -> &'static str {
+        "join-elimination"
+    }
+
+    fn theorem(&self) -> &'static str {
+        "§7 (inclusion dependency)"
+    }
+
+    fn apply_spec(
+        &self,
+        spec: &BoundSpec,
+        _cx: &mut RuleContext,
+    ) -> Option<(BoundSpec, Justification)> {
+        eliminate_join_impl(spec)
+    }
+}
+
+/// Standalone form of [`JoinElimination`] (a shim over the one
+/// context-taking code path, for callers outside the pipeline).
 pub fn eliminate_join(spec: &BoundSpec) -> Option<(BoundSpec, String)> {
+    eliminate_join_impl(spec).map(|(s, j)| (s, j.detail))
+}
+
+fn eliminate_join_impl(spec: &BoundSpec) -> Option<(BoundSpec, Justification)> {
     if spec.from.len() < 2 {
         return None;
     }
@@ -154,11 +183,14 @@ pub fn eliminate_join(spec: &BoundSpec) -> Option<(BoundSpec, String)> {
 
         // Fire: drop the parent table and the join conjuncts.
         let removed_width = parent.schema.arity();
-        let why = format!(
-            "join elimination (§7, inclusion dependency): every {} row references \
-             exactly one {} row through its NOT NULL foreign key, so the join \
-             neither filters nor multiplies",
-            child.binding, parent.binding
+        let why = Justification::new(
+            "§7 (inclusion dependency)",
+            format!(
+                "join elimination (§7, inclusion dependency): every {} row references \
+                 exactly one {} row through its NOT NULL foreign key, so the join \
+                 neither filters nor multiplies",
+                child.binding, parent.binding
+            ),
         );
         let mut out = spec.clone();
         out.from.remove(parent_idx);

@@ -1,11 +1,17 @@
 //! The semantic rewrites of paper §5 and §6.
 //!
-//! Each rule is a pure function from a bound query (or block) to an
-//! optional rewritten form plus a prose justification naming the theorem
-//! that licenses it. Rules never fire unless their theorem's side
-//! conditions are verified by [`crate::analysis`], so every rewrite is
-//! semantics-preserving — a property the integration suite re-checks by
-//! executing original and rewritten queries on randomized instances.
+//! Each rule is a [`crate::rules::RewriteRule`]: a pure transformation
+//! from a bound query (or block) to an optional rewritten form plus a
+//! [`crate::rules::Justification`] naming the theorem that licenses it.
+//! Rules never fire unless their theorem's side conditions are verified
+//! by [`crate::analysis`], so every rewrite is semantics-preserving — a
+//! property the integration suite re-checks by executing original and
+//! rewritten queries on randomized instances.
+//!
+//! Each module also exports a standalone free function (the historical
+//! API: `remove_redundant_distinct`, `subquery_to_join`, …). These are
+//! thin shims over the rule structs — there is exactly one code path per
+//! rule, the context-taking `RewriteRule` implementation.
 
 pub mod distinct;
 pub mod join_elim;
@@ -13,9 +19,7 @@ pub mod setops;
 pub mod subquery;
 pub mod util;
 
-pub use distinct::{remove_redundant_distinct, remove_redundant_distinct_memo, UniquenessMemo};
-pub use join_elim::eliminate_join;
-pub use setops::{
-    except_to_not_exists, except_to_not_exists_memo, intersect_to_exists, intersect_to_exists_memo,
-};
-pub use subquery::{join_to_subquery, subquery_to_join, subquery_to_join_memo};
+pub use distinct::{remove_redundant_distinct, DistinctRemoval, UniquenessMemo};
+pub use join_elim::{eliminate_join, JoinElimination};
+pub use setops::{except_to_not_exists, intersect_to_exists, ExceptToNotExists, IntersectToExists};
+pub use subquery::{join_to_subquery, subquery_to_join, JoinToSubquery, SubqueryToJoin};

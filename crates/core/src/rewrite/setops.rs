@@ -33,22 +33,19 @@
 //! * `EXCEPT ALL`: requires the **left** operand duplicate-free
 //!   (`max(j − k, 0)` with `j ≤ 1` is `1` iff `j = 1 ∧ k = 0`).
 
-use crate::rewrite::distinct::{UniquenessMemo, UniquenessTest};
+use crate::rewrite::distinct::UniquenessTest;
 use crate::rewrite::util::rebuild_predicate;
+use crate::rules::{Justification, RewriteRule, RuleContext};
 use uniq_plan::{AttrRef, BScalar, BoundExpr, BoundQuery, BoundSpec};
 use uniq_sql::{CmpOp, Distinct, SetOp};
 
 /// Is this block's result free of duplicate rows (either declared
 /// `DISTINCT` or provable via Theorem 1)?
-fn block_is_duplicate_free(
-    spec: &BoundSpec,
-    test: UniquenessTest,
-    memo: &mut UniquenessMemo,
-) -> Option<String> {
+fn block_is_duplicate_free(spec: &BoundSpec, cx: &mut RuleContext) -> Option<String> {
     if spec.distinct == Distinct::Distinct {
         return Some("the block already eliminates duplicates".into());
     }
-    memo.is_provably_unique(spec, test)
+    cx.is_provably_unique(spec)
 }
 
 /// Build the null-aware correlation predicate matching `outer`'s projected
@@ -135,118 +132,177 @@ fn fuse(outer: &BoundSpec, inner: &BoundSpec, negated: bool, force_distinct: boo
     result
 }
 
-/// Theorem 3 / Corollary 2: rewrite an `INTERSECT [ALL]` whose operands
-/// are plain blocks into an `EXISTS` filter over one operand.
+/// Rule 3: Theorem 3 / Corollary 2 — rewrite an `INTERSECT [ALL]` whose
+/// operands are plain blocks into an `EXISTS` filter over one operand.
+/// The single code path is [`RewriteRule::apply_query`];
+/// [`intersect_to_exists`] is a thin shim over it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IntersectToExists;
+
+impl RewriteRule for IntersectToExists {
+    fn name(&self) -> &'static str {
+        "intersect-to-exists"
+    }
+
+    fn theorem(&self) -> &'static str {
+        "Theorem 3 / Corollary 2"
+    }
+
+    fn apply_query(
+        &self,
+        query: &BoundQuery,
+        cx: &mut RuleContext,
+    ) -> Option<(BoundQuery, Justification)> {
+        let BoundQuery::SetOp {
+            op: SetOp::Intersect,
+            all,
+            left,
+            right,
+        } = query
+        else {
+            return None;
+        };
+        let (l, r) = (left.as_spec()?, right.as_spec()?);
+        if let Some(reason) = block_is_duplicate_free(l, cx) {
+            let v = fuse(l, r, false, false);
+            let just = if *all {
+                Justification::new(
+                    "Corollary 2",
+                    format!("INTERSECT ALL → EXISTS over the left operand (Corollary 2: {reason})"),
+                )
+            } else {
+                Justification::new(
+                    "Theorem 3",
+                    format!("INTERSECT → EXISTS over the left operand (Theorem 3: {reason})"),
+                )
+            };
+            return Some((BoundQuery::Spec(Box::new(v)), just));
+        }
+        if let Some(reason) = block_is_duplicate_free(r, cx) {
+            let v = fuse(r, l, false, false);
+            let just = if *all {
+                Justification::new(
+                    "Corollary 2",
+                    format!(
+                        "INTERSECT ALL → EXISTS over the right operand \
+                         (Corollary 2, operands interchanged: {reason})"
+                    ),
+                )
+            } else {
+                Justification::new(
+                    "Theorem 3",
+                    format!(
+                        "INTERSECT → EXISTS over the right operand \
+                         (Theorem 3, operands interchanged: {reason})"
+                    ),
+                )
+            };
+            return Some((BoundQuery::Spec(Box::new(v)), just));
+        }
+        if !*all {
+            // Extension: neither operand duplicate-free — still valid for
+            // the distinct INTERSECT by adding DISTINCT to the outer block.
+            let v = fuse(l, r, false, true);
+            return Some((
+                BoundQuery::Spec(Box::new(v)),
+                Justification::new(
+                    "Theorem 3 (extension)",
+                    "INTERSECT → EXISTS with added DISTINCT (neither operand is \
+                     provably duplicate-free)",
+                ),
+            ));
+        }
+        None
+    }
+}
+
+/// Rule 4: the `EXCEPT [ALL]` → `NOT EXISTS` extension the paper
+/// mentions but omits for space. The single code path is
+/// [`RewriteRule::apply_query`]; [`except_to_not_exists`] is a thin
+/// shim over it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExceptToNotExists;
+
+impl RewriteRule for ExceptToNotExists {
+    fn name(&self) -> &'static str {
+        "except-to-not-exists"
+    }
+
+    fn theorem(&self) -> &'static str {
+        "Theorem 3 (EXCEPT extension)"
+    }
+
+    fn apply_query(
+        &self,
+        query: &BoundQuery,
+        cx: &mut RuleContext,
+    ) -> Option<(BoundQuery, Justification)> {
+        let BoundQuery::SetOp {
+            op: SetOp::Except,
+            all,
+            left,
+            right,
+        } = query
+        else {
+            return None;
+        };
+        let (l, r) = (left.as_spec()?, right.as_spec()?);
+        match block_is_duplicate_free(l, cx) {
+            Some(reason) => {
+                let v = fuse(l, r, true, false);
+                let just = if *all {
+                    Justification::new(
+                        "Corollary 2 (EXCEPT extension)",
+                        format!("EXCEPT ALL → NOT EXISTS (left operand duplicate-free: {reason})"),
+                    )
+                } else {
+                    Justification::new(
+                        "Theorem 3 (EXCEPT extension)",
+                        format!("EXCEPT → NOT EXISTS (left operand duplicate-free: {reason})"),
+                    )
+                };
+                Some((BoundQuery::Spec(Box::new(v)), just))
+            }
+            None if !*all => {
+                // Distinct EXCEPT tolerates duplicates on the left if the
+                // outer projection becomes DISTINCT.
+                let v = fuse(l, r, true, true);
+                Some((
+                    BoundQuery::Spec(Box::new(v)),
+                    Justification::new(
+                        "Theorem 3 (extension)",
+                        "EXCEPT → NOT EXISTS with added DISTINCT (left operand not \
+                         provably duplicate-free)",
+                    ),
+                ))
+            }
+            None => None,
+        }
+    }
+}
+
+/// Standalone form of [`IntersectToExists`] (a shim over the one
+/// context-taking code path, for callers outside the pipeline).
 pub fn intersect_to_exists(
     query: &BoundQuery,
     test: UniquenessTest,
 ) -> Option<(BoundQuery, String)> {
-    intersect_to_exists_memo(query, test, &mut UniquenessMemo::new())
+    let mut cx = RuleContext::new(test);
+    IntersectToExists
+        .apply_query(query, &mut cx)
+        .map(|(q, j)| (q, j.detail))
 }
 
-/// [`intersect_to_exists`] against a shared memo (the pipeline's entry
-/// point).
-pub fn intersect_to_exists_memo(
-    query: &BoundQuery,
-    test: UniquenessTest,
-    memo: &mut UniquenessMemo,
-) -> Option<(BoundQuery, String)> {
-    let BoundQuery::SetOp {
-        op: SetOp::Intersect,
-        all,
-        left,
-        right,
-    } = query
-    else {
-        return None;
-    };
-    let (l, r) = (left.as_spec()?, right.as_spec()?);
-    if let Some(reason) = block_is_duplicate_free(l, test, memo) {
-        let v = fuse(l, r, false, false);
-        let why = if *all {
-            format!("INTERSECT ALL → EXISTS over the left operand (Corollary 2: {reason})")
-        } else {
-            format!("INTERSECT → EXISTS over the left operand (Theorem 3: {reason})")
-        };
-        return Some((BoundQuery::Spec(Box::new(v)), why));
-    }
-    if let Some(reason) = block_is_duplicate_free(r, test, memo) {
-        let v = fuse(r, l, false, false);
-        let why = if *all {
-            format!(
-                "INTERSECT ALL → EXISTS over the right operand \
-                 (Corollary 2, operands interchanged: {reason})"
-            )
-        } else {
-            format!(
-                "INTERSECT → EXISTS over the right operand \
-                 (Theorem 3, operands interchanged: {reason})"
-            )
-        };
-        return Some((BoundQuery::Spec(Box::new(v)), why));
-    }
-    if !*all {
-        // Extension: neither operand duplicate-free — still valid for the
-        // distinct INTERSECT by adding DISTINCT to the outer block.
-        let v = fuse(l, r, false, true);
-        return Some((
-            BoundQuery::Spec(Box::new(v)),
-            "INTERSECT → EXISTS with added DISTINCT (neither operand is \
-             provably duplicate-free)"
-                .into(),
-        ));
-    }
-    None
-}
-
-/// The `EXCEPT [ALL]` → `NOT EXISTS` extension.
+/// Standalone form of [`ExceptToNotExists`] (a shim over the one
+/// context-taking code path, for callers outside the pipeline).
 pub fn except_to_not_exists(
     query: &BoundQuery,
     test: UniquenessTest,
 ) -> Option<(BoundQuery, String)> {
-    except_to_not_exists_memo(query, test, &mut UniquenessMemo::new())
-}
-
-/// [`except_to_not_exists`] against a shared memo (the pipeline's entry
-/// point).
-pub fn except_to_not_exists_memo(
-    query: &BoundQuery,
-    test: UniquenessTest,
-    memo: &mut UniquenessMemo,
-) -> Option<(BoundQuery, String)> {
-    let BoundQuery::SetOp {
-        op: SetOp::Except,
-        all,
-        left,
-        right,
-    } = query
-    else {
-        return None;
-    };
-    let (l, r) = (left.as_spec()?, right.as_spec()?);
-    match block_is_duplicate_free(l, test, memo) {
-        Some(reason) => {
-            let v = fuse(l, r, true, false);
-            let why = if *all {
-                format!("EXCEPT ALL → NOT EXISTS (left operand duplicate-free: {reason})")
-            } else {
-                format!("EXCEPT → NOT EXISTS (left operand duplicate-free: {reason})")
-            };
-            Some((BoundQuery::Spec(Box::new(v)), why))
-        }
-        None if !*all => {
-            // Distinct EXCEPT tolerates duplicates on the left if the
-            // outer projection becomes DISTINCT.
-            let v = fuse(l, r, true, true);
-            Some((
-                BoundQuery::Spec(Box::new(v)),
-                "EXCEPT → NOT EXISTS with added DISTINCT (left operand not \
-                 provably duplicate-free)"
-                    .into(),
-            ))
-        }
-        None => None,
-    }
+    let mut cx = RuleContext::new(test);
+    ExceptToNotExists
+        .apply_query(query, &mut cx)
+        .map(|(q, j)| (q, j.detail))
 }
 
 #[cfg(test)]

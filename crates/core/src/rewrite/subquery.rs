@@ -23,91 +23,145 @@
 //! plan (paper Examples 10 and 11).
 
 use crate::analysis::single_tuple_condition;
-use crate::rewrite::distinct::{UniquenessMemo, UniquenessTest};
+use crate::rewrite::distinct::UniquenessTest;
 use crate::rewrite::util::{
     append_tables, conjuncts_of, rebuild_predicate, reindex_after_removal, reindex_merged_subquery,
     reindex_pushed_down,
 };
+use crate::rules::{Justification, RewriteRule, RuleContext};
 use uniq_plan::{BoundExpr, BoundSpec};
 use uniq_sql::Distinct;
 
-/// Merge the first eligible positive `EXISTS` subquery of `spec` into its
-/// `FROM` clause. Returns the rewritten block and a justification.
-pub fn subquery_to_join(spec: &BoundSpec, test: UniquenessTest) -> Option<(BoundSpec, String)> {
-    subquery_to_join_memo(spec, test, &mut UniquenessMemo::new())
-}
+/// Rule 2: merge the first eligible positive `EXISTS` subquery of a
+/// block into its `FROM` clause. The single code path is
+/// [`RewriteRule::apply_spec`]; [`subquery_to_join`] is a thin shim over
+/// it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SubqueryToJoin;
 
-/// [`subquery_to_join`] against a shared memo (the pipeline's entry
-/// point).
-pub fn subquery_to_join_memo(
-    spec: &BoundSpec,
-    test: UniquenessTest,
-    memo: &mut UniquenessMemo,
-) -> Option<(BoundSpec, String)> {
-    let conjuncts = conjuncts_of(spec);
-    for (i, conjunct) in conjuncts.iter().enumerate() {
-        let BoundExpr::Exists {
-            negated: false,
-            subquery,
-        } = conjunct
-        else {
-            continue;
-        };
-        // Decide which of the three licenses applies.
-        let single = single_tuple_condition(subquery);
-        let (result_distinct, why) = if single.unique {
-            (
-                spec.distinct,
-                format!(
-                    "Theorem 2 (subquery matches at most one tuple: {})",
-                    single.reason
-                ),
-            )
-        } else if spec.distinct == Distinct::Distinct {
-            (
-                Distinct::Distinct,
-                "outer projection is DISTINCT; extra join matches collapse".to_string(),
-            )
-        } else if let Some(reason) = memo.is_provably_unique(spec, test) {
-            (
-                Distinct::Distinct,
-                format!(
-                    "Corollary 1 (outer block is duplicate-free — {reason} — so its \
-                     projection may become DISTINCT)"
-                ),
-            )
-        } else {
-            continue;
-        };
-
-        let mut merged = spec.clone();
-        merged.distinct = result_distinct;
-        // Append the subquery's tables to the outer product.
-        let offset = append_tables(&mut merged.from, subquery.from.clone());
-        // Hoist the subquery predicate, renumbering its references.
-        let mut hoisted: Vec<BoundExpr> = Vec::new();
-        if let Some(p) = &subquery.predicate {
-            let mut p = p.clone();
-            reindex_merged_subquery(&mut p, offset);
-            hoisted.push(p);
-        }
-        // Remaining outer conjuncts keep their positions.
-        let mut new_conjuncts: Vec<BoundExpr> = conjuncts
-            .iter()
-            .enumerate()
-            .filter(|(j, _)| *j != i)
-            .map(|(_, c)| c.clone())
-            .collect();
-        new_conjuncts.extend(hoisted);
-        merged.predicate = rebuild_predicate(new_conjuncts);
-        return Some((merged, format!("EXISTS subquery merged into join: {why}")));
+impl RewriteRule for SubqueryToJoin {
+    fn name(&self) -> &'static str {
+        "subquery-to-join"
     }
-    None
+
+    fn theorem(&self) -> &'static str {
+        "Theorem 2 / Corollary 1"
+    }
+
+    fn apply_spec(
+        &self,
+        spec: &BoundSpec,
+        cx: &mut RuleContext,
+    ) -> Option<(BoundSpec, Justification)> {
+        let conjuncts = conjuncts_of(spec);
+        for (i, conjunct) in conjuncts.iter().enumerate() {
+            let BoundExpr::Exists {
+                negated: false,
+                subquery,
+            } = conjunct
+            else {
+                continue;
+            };
+            // Decide which of the three licenses applies.
+            let single = single_tuple_condition(subquery);
+            let (result_distinct, theorem, why) = if single.unique {
+                (
+                    spec.distinct,
+                    "Theorem 2",
+                    format!(
+                        "Theorem 2 (subquery matches at most one tuple: {})",
+                        single.reason
+                    ),
+                )
+            } else if spec.distinct == Distinct::Distinct {
+                (
+                    Distinct::Distinct,
+                    "Corollary 1 (observation)",
+                    "outer projection is DISTINCT; extra join matches collapse".to_string(),
+                )
+            } else if let Some(reason) = cx.is_provably_unique(spec) {
+                (
+                    Distinct::Distinct,
+                    "Corollary 1",
+                    format!(
+                        "Corollary 1 (outer block is duplicate-free — {reason} — so its \
+                         projection may become DISTINCT)"
+                    ),
+                )
+            } else {
+                continue;
+            };
+
+            let mut merged = spec.clone();
+            merged.distinct = result_distinct;
+            // Append the subquery's tables to the outer product.
+            let offset = append_tables(&mut merged.from, subquery.from.clone());
+            // Hoist the subquery predicate, renumbering its references.
+            let mut hoisted: Vec<BoundExpr> = Vec::new();
+            if let Some(p) = &subquery.predicate {
+                let mut p = p.clone();
+                reindex_merged_subquery(&mut p, offset);
+                hoisted.push(p);
+            }
+            // Remaining outer conjuncts keep their positions.
+            let mut new_conjuncts: Vec<BoundExpr> = conjuncts
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, c)| c.clone())
+                .collect();
+            new_conjuncts.extend(hoisted);
+            merged.predicate = rebuild_predicate(new_conjuncts);
+            return Some((
+                merged,
+                Justification::new(theorem, format!("EXISTS subquery merged into join: {why}")),
+            ));
+        }
+        None
+    }
 }
 
-/// Push the last `FROM` table that contributes nothing to the projection
-/// into an `EXISTS` subquery (the §6 rewrite for navigational systems).
+/// Standalone form of [`SubqueryToJoin`] (a shim over the one
+/// context-taking code path, for callers outside the pipeline).
+pub fn subquery_to_join(spec: &BoundSpec, test: UniquenessTest) -> Option<(BoundSpec, String)> {
+    let mut cx = RuleContext::new(test);
+    SubqueryToJoin
+        .apply_spec(spec, &mut cx)
+        .map(|(s, j)| (s, j.detail))
+}
+
+/// Rule 5: push the last `FROM` table that contributes nothing to the
+/// projection into an `EXISTS` subquery (the §6 rewrite for navigational
+/// systems). The single code path is [`RewriteRule::apply_spec`];
+/// [`join_to_subquery`] is a thin shim over it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JoinToSubquery;
+
+impl RewriteRule for JoinToSubquery {
+    fn name(&self) -> &'static str {
+        "join-to-subquery"
+    }
+
+    fn theorem(&self) -> &'static str {
+        "Theorem 2 (§6, read right-to-left)"
+    }
+
+    fn apply_spec(
+        &self,
+        spec: &BoundSpec,
+        _cx: &mut RuleContext,
+    ) -> Option<(BoundSpec, Justification)> {
+        join_to_subquery_impl(spec)
+    }
+}
+
+/// Standalone form of [`JoinToSubquery`] (a shim over the one
+/// context-taking code path, for callers outside the pipeline).
 pub fn join_to_subquery(spec: &BoundSpec) -> Option<(BoundSpec, String)> {
+    join_to_subquery_impl(spec).map(|(s, j)| (s, j.detail))
+}
+
+fn join_to_subquery_impl(spec: &BoundSpec) -> Option<(BoundSpec, Justification)> {
     if spec.from.len() < 2 {
         return None;
     }
@@ -177,14 +231,19 @@ pub fn join_to_subquery(spec: &BoundSpec) -> Option<(BoundSpec, String)> {
         // License: Theorem 2 backwards (single-tuple), or DISTINCT outer.
         let single = single_tuple_condition(&sub);
         let why = if single.unique {
-            format!(
-                "join converted to EXISTS subquery (Theorem 2: {})",
-                single.reason
+            Justification::new(
+                "Theorem 2",
+                format!(
+                    "join converted to EXISTS subquery (Theorem 2: {})",
+                    single.reason
+                ),
             )
         } else if spec.distinct == Distinct::Distinct {
-            "join converted to EXISTS subquery (outer is DISTINCT; \
-             multiplicity is irrelevant)"
-                .to_string()
+            Justification::new(
+                "§6 (DISTINCT outer)",
+                "join converted to EXISTS subquery (outer is DISTINCT; \
+                 multiplicity is irrelevant)",
+            )
         } else {
             // A duplicate-free join result is NOT a license here: it says
             // nothing about how many S-tuples joined each outer row, and

@@ -1,0 +1,305 @@
+//! The rule engine: the [`RewriteRule`] trait every §5/§6 rewrite
+//! implements, and the [`RuleContext`] the fixpoint driver threads
+//! through every rule invocation.
+//!
+//! A rule is an object with a stable [`name`](RewriteRule::name), a
+//! primary [theorem citation](RewriteRule::theorem), and one of two
+//! entry points: [`apply_query`](RewriteRule::apply_query) for rules
+//! that match whole query expressions (the set-operation lowerings) and
+//! [`apply_spec`](RewriteRule::apply_spec) for rules that match a single
+//! select block. A rule fires by returning the rewritten form together
+//! with a [`Justification`] naming the exact theorem that licensed this
+//! particular firing (one rule can hold several licenses — subquery
+//! merging fires under Theorem 2 *or* Corollary 1, say).
+//!
+//! The [`RuleContext`] is the one shared mutable state: it owns the
+//! per-optimize [`UniquenessMemo`], so every uniqueness verdict any rule
+//! computes is reusable by every other rule in the same optimize call,
+//! and it keeps per-rule [`RuleStats`] — attempts, fires, uniqueness
+//! tests consulted, wall time — which the pipeline surfaces through the
+//! rewrite trace all the way up to `EXPLAIN` and the bench report.
+//!
+//! Adding a rule family (PAPERS.md names bag-semantics equivalences and
+//! embedded-dependency rewrites as the next two) is: implement
+//! `RewriteRule`, push a `Box` of it onto
+//! [`crate::pipeline::Optimizer::with_rule`] — no pipeline surgery.
+
+use crate::rewrite::distinct::{UniquenessMemo, UniquenessTest};
+use std::time::Instant;
+use uniq_plan::{BoundQuery, BoundSpec};
+
+/// Why a rule fired: the licensing theorem plus a prose explanation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Justification {
+    /// The theorem/corollary/section that licenses this firing.
+    pub theorem: &'static str,
+    /// Prose detail (names the theorem again, plus the side conditions
+    /// that were verified).
+    pub detail: String,
+}
+
+impl Justification {
+    /// A justification citing `theorem`, explained by `detail`.
+    pub fn new(theorem: &'static str, detail: impl Into<String>) -> Justification {
+        Justification {
+            theorem,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for Justification {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.detail)
+    }
+}
+
+/// A semantic rewrite rule. See the module docs for the contract.
+///
+/// Rules must be pure: given the same input and context verdicts they
+/// must produce the same output, and they must only fire when their
+/// theorem's side conditions hold (the integration suite executes every
+/// firing's before/after SQL against randomized instances).
+pub trait RewriteRule: std::fmt::Debug + Send + Sync {
+    /// Stable identifier used in traces, stats and tests
+    /// (`"distinct-removal"`, …).
+    fn name(&self) -> &'static str;
+
+    /// The rule's primary citation (`"Theorem 1"`, …). Individual
+    /// firings may cite something more specific via [`Justification`].
+    fn theorem(&self) -> &'static str;
+
+    /// Attempt the rewrite on a whole query expression. Default: does
+    /// not apply. Implemented by rules that match set operations.
+    fn apply_query(
+        &self,
+        _query: &BoundQuery,
+        _cx: &mut RuleContext,
+    ) -> Option<(BoundQuery, Justification)> {
+        None
+    }
+
+    /// Attempt the rewrite on a single select block. Default: does not
+    /// apply. Implemented by the block-level rules.
+    fn apply_spec(
+        &self,
+        _spec: &BoundSpec,
+        _cx: &mut RuleContext,
+    ) -> Option<(BoundSpec, Justification)> {
+        None
+    }
+}
+
+/// Per-rule counters for one optimize call (or an aggregation of many).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RuleStats {
+    /// The rule's [`RewriteRule::name`].
+    pub rule: String,
+    /// Times the driver offered the rule a node.
+    pub attempts: u64,
+    /// Times the rule fired.
+    pub fires: u64,
+    /// Uniqueness-test verdicts the rule consulted (memoized or not).
+    pub uniqueness_tests: u64,
+    /// Wall-clock nanoseconds spent inside the rule (side-condition
+    /// checks included; uniqueness tests it triggered included).
+    pub nanos: u64,
+}
+
+impl RuleStats {
+    /// Accumulate another rule's counters into this one (used when
+    /// aggregating stats across a batch).
+    pub fn absorb(&mut self, other: &RuleStats) {
+        self.attempts += other.attempts;
+        self.fires += other.fires;
+        self.uniqueness_tests += other.uniqueness_tests;
+        self.nanos += other.nanos;
+    }
+}
+
+/// Shared state threaded through every rule invocation of one optimize
+/// call: the uniqueness memo, the selected test, and per-rule stats.
+#[derive(Debug)]
+pub struct RuleContext {
+    /// Which uniqueness test(s) rules may consult.
+    test: UniquenessTest,
+    /// Memoized uniqueness verdicts, shared by all rules and passes.
+    pub memo: UniquenessMemo,
+    stats: Vec<RuleStats>,
+    /// Index of the rule currently being attempted (for attributing
+    /// uniqueness-test consultations).
+    current: Option<usize>,
+}
+
+impl RuleContext {
+    /// A fresh context for one optimize call.
+    pub fn new(test: UniquenessTest) -> RuleContext {
+        RuleContext {
+            test,
+            memo: UniquenessMemo::new(),
+            stats: Vec::new(),
+            current: None,
+        }
+    }
+
+    /// The uniqueness test selection rules should honour.
+    pub fn test(&self) -> UniquenessTest {
+        self.test
+    }
+
+    /// Register a rule for stats tracking; returns its slot. Idempotent
+    /// per name.
+    pub fn register(&mut self, rule: &str) -> usize {
+        if let Some(i) = self.stats.iter().position(|s| s.rule == rule) {
+            return i;
+        }
+        self.stats.push(RuleStats {
+            rule: rule.to_string(),
+            ..RuleStats::default()
+        });
+        self.stats.len() - 1
+    }
+
+    /// Memoized "is this block's result provably duplicate-free?",
+    /// attributed to the rule currently being attempted.
+    pub fn is_provably_unique(&mut self, spec: &BoundSpec) -> Option<String> {
+        if let Some(i) = self.current {
+            self.stats[i].uniqueness_tests += 1;
+        }
+        self.memo.is_provably_unique(spec, self.test)
+    }
+
+    /// Drive `rule` against a query node, maintaining its stats. Tries
+    /// the query-level entry point first, then (for plain blocks) the
+    /// spec-level one — one attempt either way.
+    pub fn try_rule(
+        &mut self,
+        rule: &dyn RewriteRule,
+        query: &BoundQuery,
+    ) -> Option<(BoundQuery, Justification)> {
+        let slot = self.register(rule.name());
+        let started = Instant::now();
+        self.current = Some(slot);
+        let mut result = rule.apply_query(query, self);
+        if result.is_none() {
+            if let BoundQuery::Spec(spec) = query {
+                result = rule
+                    .apply_spec(spec, self)
+                    .map(|(s, j)| (BoundQuery::Spec(Box::new(s)), j));
+            }
+        }
+        self.current = None;
+        let stats = &mut self.stats[slot];
+        stats.attempts += 1;
+        stats.fires += u64::from(result.is_some());
+        stats.nanos += started.elapsed().as_nanos() as u64;
+        result
+    }
+
+    /// Per-rule counters recorded so far, in registration order.
+    pub fn stats(&self) -> &[RuleStats] {
+        &self.stats
+    }
+
+    /// Consume the context, yielding its per-rule counters.
+    pub fn into_stats(self) -> Vec<RuleStats> {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniq_catalog::sample::supplier_schema;
+    use uniq_plan::bind_query;
+    use uniq_sql::parse_query;
+
+    #[derive(Debug)]
+    struct NeverFires;
+    impl RewriteRule for NeverFires {
+        fn name(&self) -> &'static str {
+            "never-fires"
+        }
+        fn theorem(&self) -> &'static str {
+            "none"
+        }
+    }
+
+    fn bound(sql: &str) -> BoundQuery {
+        let db = supplier_schema().unwrap();
+        bind_query(db.catalog(), &parse_query(sql).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn attempts_are_counted_even_when_nothing_fires() {
+        let mut cx = RuleContext::new(UniquenessTest::Both);
+        let q = bound("SELECT S.SNO FROM SUPPLIER S");
+        assert!(cx.try_rule(&NeverFires, &q).is_none());
+        assert!(cx.try_rule(&NeverFires, &q).is_none());
+        let stats = cx.stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].rule, "never-fires");
+        assert_eq!((stats[0].attempts, stats[0].fires), (2, 0));
+    }
+
+    #[test]
+    fn uniqueness_consults_attribute_to_the_active_rule() {
+        #[derive(Debug)]
+        struct AsksTwice;
+        impl RewriteRule for AsksTwice {
+            fn name(&self) -> &'static str {
+                "asks-twice"
+            }
+            fn theorem(&self) -> &'static str {
+                "Theorem 1"
+            }
+            fn apply_spec(
+                &self,
+                spec: &BoundSpec,
+                cx: &mut RuleContext,
+            ) -> Option<(BoundSpec, Justification)> {
+                cx.is_provably_unique(spec);
+                cx.is_provably_unique(spec);
+                None
+            }
+        }
+        let mut cx = RuleContext::new(UniquenessTest::Both);
+        let q = bound("SELECT DISTINCT S.SNO FROM SUPPLIER S");
+        assert!(cx.try_rule(&AsksTwice, &q).is_none());
+        let stats = cx.stats();
+        assert_eq!(stats[0].uniqueness_tests, 2);
+        // The second consult was a memo replay, not a fresh analysis.
+        assert_eq!((cx.memo.computed, cx.memo.reused), (1, 1));
+    }
+
+    #[test]
+    fn register_is_idempotent_per_name() {
+        let mut cx = RuleContext::new(UniquenessTest::Both);
+        let a = cx.register("r");
+        let b = cx.register("r");
+        assert_eq!(a, b);
+        assert_eq!(cx.stats().len(), 1);
+    }
+
+    #[test]
+    fn rule_stats_absorb_sums_counters() {
+        let mut a = RuleStats {
+            rule: "r".into(),
+            attempts: 1,
+            fires: 1,
+            uniqueness_tests: 2,
+            nanos: 10,
+        };
+        a.absorb(&RuleStats {
+            rule: "r".into(),
+            attempts: 3,
+            fires: 0,
+            uniqueness_tests: 1,
+            nanos: 5,
+        });
+        assert_eq!(
+            (a.attempts, a.fires, a.uniqueness_tests, a.nanos),
+            (4, 1, 3, 15)
+        );
+    }
+}

@@ -9,6 +9,7 @@
 
 use crate::exec::ExecOptions;
 use crate::stats::{DistinctMethod, JoinMethod};
+use uniq_core::pipeline::RewriteTrace;
 use uniq_plan::{BScalar, BoundExpr, BoundQuery, BoundSpec};
 use uniq_sql::{CmpOp, Distinct, SetOp};
 
@@ -17,6 +18,70 @@ pub fn explain(query: &BoundQuery, opts: &ExecOptions) -> String {
     let mut out = String::new();
     explain_query(query, opts, 0, &mut out);
     out
+}
+
+/// Render a [`RewriteTrace`]: the ordered steps (rule, licensing
+/// theorem, before/after SQL) followed by the per-rule counters. This is
+/// the front half of `EXPLAIN` output — what the optimizer did and what
+/// it cost — shown identically for freshly compiled and cached plans.
+pub fn render_trace(trace: &RewriteTrace) -> String {
+    let mut out = String::new();
+    if trace.steps.is_empty() {
+        out.push_str(&format!(
+            "Rewrites: none ({} pass(es), {} uniqueness test(s) computed)\n",
+            trace.passes, trace.uniqueness_tests_computed
+        ));
+    } else {
+        out.push_str(&format!(
+            "Rewrites: {} step(s) in {} pass(es), {} uniqueness test(s) computed, {} memoized\n",
+            trace.steps.len(),
+            trace.passes,
+            trace.uniqueness_tests_computed,
+            trace.uniqueness_tests_memoized
+        ));
+        for (i, step) in trace.steps.iter().enumerate() {
+            out.push_str(&format!("  {}. {} [{}]\n", i + 1, step.rule, step.theorem));
+            out.push_str(&format!("     before: {}\n", step.sql_before));
+            out.push_str(&format!("     after:  {}\n", step.sql_after));
+            out.push_str(&format!("     why: {}\n", step.why));
+        }
+    }
+    let active: Vec<_> = trace.rule_stats.iter().filter(|s| s.attempts > 0).collect();
+    if !active.is_empty() {
+        out.push_str("Rule stats (attempts/fires/uniqueness tests/time):\n");
+        for s in active {
+            out.push_str(&format!(
+                "  {}: {}/{}/{}/{}\n",
+                s.rule,
+                s.attempts,
+                s.fires,
+                s.uniqueness_tests,
+                fmt_ns(s.nanos)
+            ));
+        }
+    }
+    out
+}
+
+/// Render the full `EXPLAIN`: rewrite trace, then the physical plan for
+/// the (already optimized) query.
+pub fn explain_with_trace(trace: &RewriteTrace, query: &BoundQuery, opts: &ExecOptions) -> String {
+    let mut out = render_trace(trace);
+    out.push_str("Physical plan:\n");
+    let mut plan = String::new();
+    explain_query(query, opts, 1, &mut plan);
+    out.push_str(&plan);
+    out
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
 }
 
 fn indent(out: &mut String, depth: usize) {
@@ -220,6 +285,44 @@ mod tests {
             },
         );
         assert!(hash.contains("ExceptAll [hash-count]"), "{hash}");
+    }
+
+    #[test]
+    fn trace_rendering_names_rule_theorem_and_timing() {
+        let db = supplier_schema().unwrap();
+        let q = bind_query(
+            db.catalog(),
+            &parse_query(
+                "SELECT DISTINCT S.SNO, P.PNO, P.PNAME FROM SUPPLIER S, PARTS P \
+                 WHERE S.SNO = P.SNO AND P.COLOR = 'RED'",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let outcome = uniq_core::pipeline::Optimizer::new(
+            uniq_core::pipeline::OptimizerOptions::relational(),
+        )
+        .optimize(&q);
+        let text = explain_with_trace(&outcome.trace, &outcome.query, &ExecOptions::default());
+        assert!(text.contains("distinct-removal [Theorem 1]"), "{text}");
+        assert!(text.contains("before: SELECT DISTINCT"), "{text}");
+        assert!(text.contains("after:  SELECT ALL"), "{text}");
+        assert!(text.contains("Rule stats"), "{text}");
+        assert!(text.contains("Physical plan:"), "{text}");
+        assert!(text.contains("Scan SUPPLIER AS S"), "{text}");
+    }
+
+    #[test]
+    fn empty_trace_renders_none() {
+        let text = render_trace(&RewriteTrace::default());
+        assert!(text.contains("Rewrites: none"), "{text}");
+    }
+
+    #[test]
+    fn fmt_ns_scales_units() {
+        assert_eq!(fmt_ns(50), "50ns");
+        assert_eq!(fmt_ns(2_500), "2.5µs");
+        assert_eq!(fmt_ns(3_000_000), "3.0ms");
     }
 
     #[test]

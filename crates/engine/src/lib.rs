@@ -30,7 +30,7 @@ pub mod setops;
 pub mod stats;
 
 pub use exec::{ExecOptions, Executor};
-pub use explain::explain;
+pub use explain::{explain, explain_with_trace, render_trace};
 pub use plancache::{CacheStats, CachedPlan, PlanCache};
 pub use session::{QueryOutput, Session};
 pub use stats::{DistinctMethod, ExecStats, JoinMethod, StageTimings};

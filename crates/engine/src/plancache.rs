@@ -37,7 +37,7 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
-use uniq_core::pipeline::RewriteStep;
+use uniq_core::pipeline::RewriteTrace;
 use uniq_plan::BoundQuery;
 use uniq_types::{ColumnName, Fnv64};
 
@@ -52,8 +52,10 @@ pub const DEFAULT_CAPACITY: usize = 1024;
 pub struct CachedPlan {
     /// The optimized query.
     pub query: BoundQuery,
-    /// The rewrite trace the optimizer produced when compiling it.
-    pub steps: Vec<RewriteStep>,
+    /// The rewrite trace the optimizer produced when compiling it —
+    /// steps, per-rule stats and fixpoint shape, served verbatim on
+    /// every hit so `EXPLAIN` can show what compilation did.
+    pub trace: RewriteTrace,
     /// Output column names (derived from `query`, cached to keep the
     /// hit path allocation-light).
     pub columns: Vec<ColumnName>,
@@ -304,7 +306,7 @@ mod tests {
         CachedPlan {
             columns: query.output_names(),
             query,
-            steps: Vec::new(),
+            trace: RewriteTrace::default(),
         }
     }
 

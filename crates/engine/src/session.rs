@@ -12,7 +12,7 @@ use crate::stats::{ExecStats, StageTimings};
 use std::sync::Arc;
 use std::time::Instant;
 use uniq_catalog::{Database, Row};
-use uniq_core::pipeline::{Optimizer, OptimizerOptions, RewriteStep};
+use uniq_core::pipeline::{Optimizer, OptimizerOptions, RewriteTrace};
 use uniq_plan::{bind_query, BoundQuery, HostVars};
 use uniq_sql::{parse_statement, Statement};
 use uniq_types::{fnv64, ColumnName, Error, Result};
@@ -24,9 +24,9 @@ pub struct QueryOutput {
     pub columns: Vec<ColumnName>,
     /// Result rows.
     pub rows: Vec<Row>,
-    /// Rewrites the optimizer applied (empty if none, or if disabled).
-    /// On a plan-cache hit this is the trace recorded at compile time.
-    pub steps: Vec<RewriteStep>,
+    /// The rewrite trace: steps, per-rule stats, fixpoint shape. On a
+    /// plan-cache hit this is the trace recorded at compile time.
+    pub trace: RewriteTrace,
     /// Executor work counters for this query.
     pub stats: ExecStats,
     /// Wall-clock time spent in each serving stage.
@@ -136,7 +136,7 @@ impl Session {
             return Ok(QueryOutput {
                 columns: plan.columns.clone(),
                 rows,
-                steps: plan.steps.clone(),
+                trace: plan.trace.clone(),
                 stats: executor.stats,
                 timings,
                 cache_hit: true,
@@ -158,7 +158,7 @@ impl Session {
             version,
             CachedPlan {
                 query: outcome.query.clone(),
-                steps: outcome.steps.clone(),
+                trace: outcome.trace.clone(),
                 columns: columns.clone(),
             },
         );
@@ -170,11 +170,47 @@ impl Session {
         Ok(QueryOutput {
             columns,
             rows,
-            steps: outcome.steps,
+            trace: outcome.trace,
             stats: executor.stats,
             timings,
             cache_hit: false,
         })
+    }
+
+    /// `EXPLAIN`: render the rewrite trace (rule, theorem, per-rule
+    /// timing) and the physical plan for `sql`, without executing it.
+    ///
+    /// Follows the same serving path as [`Session::query`]: a plan-cache
+    /// hit explains the cached plan with the trace recorded when it was
+    /// compiled; a miss compiles (and caches) the plan first. Both paths
+    /// produce the same trace sections.
+    pub fn explain(&self, sql: &str) -> Result<String> {
+        let stmt = parse_statement(sql)?;
+        let Statement::Query(ast) = stmt else {
+            return Err(Error::internal("EXPLAIN applies to queries only"));
+        };
+        let canonical = ast.to_string();
+        let fingerprint = PlanCache::fingerprint(&canonical, self.options_tag());
+        let version = self.db.version();
+        if let Some(plan) = self.cache.get(fingerprint, &canonical, version) {
+            let body = crate::explain::explain_with_trace(&plan.trace, &plan.query, &self.exec);
+            return Ok(format!("Plan: cached\n{body}"));
+        }
+        let bound = bind_query(self.db.catalog(), &ast)?;
+        let outcome = Optimizer::new(self.optimizer).optimize(&bound);
+        let columns = outcome.query.output_names();
+        self.cache.insert(
+            fingerprint,
+            &canonical,
+            version,
+            CachedPlan {
+                query: outcome.query.clone(),
+                trace: outcome.trace.clone(),
+                columns,
+            },
+        );
+        let body = crate::explain::explain_with_trace(&outcome.trace, &outcome.query, &self.exec);
+        Ok(format!("Plan: compiled\n{body}"))
     }
 
     /// Optimize and execute an already-bound query (no cache involved —
@@ -191,7 +227,7 @@ impl Session {
         Ok(QueryOutput {
             columns: outcome.query.output_names(),
             rows,
-            steps: outcome.steps,
+            trace: outcome.trace,
             stats: executor.stats,
             timings,
             cache_hit: false,
@@ -217,7 +253,7 @@ impl Session {
         Ok(QueryOutput {
             columns: bound.output_names(),
             rows,
-            steps: Vec::new(),
+            trace: RewriteTrace::default(),
             stats: executor.stats,
             timings,
             cache_hit: false,
@@ -247,7 +283,7 @@ mod tests {
         let opt = s.query(sql).unwrap();
         let base = s.query_unoptimized(sql, &HostVars::new()).unwrap();
         assert_eq!(multiset(&opt.rows), multiset(&base.rows));
-        assert_eq!(opt.steps.len(), 1);
+        assert_eq!(opt.trace.steps.len(), 1);
         // The optimized run performs no sort at all.
         assert_eq!(opt.stats.sorts, 0);
         assert!(base.stats.sorts > 0);
@@ -262,7 +298,7 @@ mod tests {
                  WHERE S.SNO = P.SNO AND P.COLOR = 'RED'",
             )
             .unwrap();
-        assert!(out.steps.is_empty());
+        assert!(out.trace.steps.is_empty());
         assert!(out.stats.sorts > 0);
         // Acme appears twice as a name but rows differ by PNO — and the
         // two Acme suppliers both supply part 10 as 'bolt', which IS a
@@ -317,7 +353,7 @@ mod tests {
             "hits skip the rewrite pipeline"
         );
         assert_eq!(first.rows, second.rows);
-        assert_eq!(first.steps, second.steps, "rewrite trace preserved on hits");
+        assert_eq!(first.trace, second.trace, "rewrite trace preserved on hits");
         let stats = s.cache_stats();
         assert_eq!((stats.hits, stats.misses), (1, 1));
     }
@@ -387,6 +423,34 @@ mod tests {
     }
 
     #[test]
+    fn explain_shows_trace_on_miss_and_hit() {
+        let s = Session::sample().unwrap();
+        let sql = "SELECT DISTINCT S.SNO, P.PNO, P.PNAME FROM SUPPLIER S, PARTS P \
+                   WHERE S.SNO = P.SNO AND P.COLOR = 'RED'";
+        let miss = s.explain(sql).unwrap();
+        assert!(miss.starts_with("Plan: compiled"), "{miss}");
+        assert!(miss.contains("distinct-removal [Theorem 1]"), "{miss}");
+        assert!(miss.contains("Rule stats"), "{miss}");
+        assert!(miss.contains("Physical plan:"), "{miss}");
+        let hit = s.explain(sql).unwrap();
+        assert!(hit.starts_with("Plan: cached"), "{hit}");
+        // The cached path shows the very trace recorded at compile time.
+        assert_eq!(
+            miss.trim_start_matches("Plan: compiled"),
+            hit.trim_start_matches("Plan: cached")
+        );
+        // EXPLAIN compiles (and caches) on a miss, so a subsequent query
+        // is served from the cache.
+        assert!(s.query(sql).unwrap().cache_hit);
+    }
+
+    #[test]
+    fn explain_rejects_ddl() {
+        let s = Session::sample().unwrap();
+        assert!(s.explain("CREATE TABLE X (A INTEGER)").is_err());
+    }
+
+    #[test]
     fn rewritten_intersect_matches_baseline() {
         let s = Session::sample().unwrap();
         let sql = "SELECT ALL S.SNO FROM SUPPLIER S WHERE S.SCITY = 'Toronto' \
@@ -395,7 +459,7 @@ mod tests {
                    WHERE A.ACITY = 'Ottawa' OR A.ACITY = 'Hull'";
         let opt = s.query(sql).unwrap();
         let base = s.query_unoptimized(sql, &HostVars::new()).unwrap();
-        assert!(!opt.steps.is_empty());
+        assert!(!opt.trace.steps.is_empty());
         assert_eq!(multiset(&opt.rows), multiset(&base.rows));
         assert_eq!(opt.rows, vec![vec![Value::Int(1)]]);
     }

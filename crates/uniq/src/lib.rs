@@ -23,8 +23,8 @@
 //!          WHERE S.SNO = P.SNO AND P.COLOR = 'RED'",
 //!     )
 //!     .unwrap();
-//! assert_eq!(out.steps.len(), 1);            // one rewrite applied
-//! assert_eq!(out.steps[0].rule, "distinct-removal");
+//! assert_eq!(out.trace.steps.len(), 1);      // one rewrite applied
+//! assert_eq!(out.trace.steps[0].rule, "distinct-removal");
 //! assert_eq!(out.stats.sorts, 0);            // the result sort is gone
 //! assert_eq!(out.rows.len(), 4);
 //! ```

@@ -9,6 +9,7 @@
 //! thread's cache hit. Per-stage wall-clock and executor work counters
 //! are folded into one [`BatchReport`] for the bench report.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -42,6 +43,10 @@ pub struct BatchReport {
     pub exec: ExecStats,
     /// Plan-cache counter deltas attributable to this batch.
     pub cache: CacheStats,
+    /// Rewrite-rule firings across the batch, keyed by rule name. Cache
+    /// hits re-count the firings recorded in the cached plan's trace, so
+    /// this reflects what the *served* plans did, not just compilations.
+    pub rule_fires: BTreeMap<String, u64>,
     /// Elapsed wall-clock time for the whole batch.
     pub elapsed: Duration,
     /// Worker threads actually used.
@@ -79,6 +84,7 @@ struct WorkerTally {
     cache_hits: u64,
     timings: StageTimings,
     exec: ExecStats,
+    rule_fires: BTreeMap<String, u64>,
 }
 
 impl WorkerTally {
@@ -92,6 +98,9 @@ impl WorkerTally {
         report.cache_hits += self.cache_hits;
         report.timings.absorb(&self.timings);
         report.exec.absorb(&self.exec);
+        for (rule, fires) in self.rule_fires {
+            *report.rule_fires.entry(rule).or_insert(0) += fires;
+        }
     }
 }
 
@@ -142,6 +151,9 @@ pub fn run_batch(session: &Session, queries: &[String], options: BatchOptions) -
                             tally.cache_hits += u64::from(out.cache_hit);
                             tally.timings.absorb(&out.timings);
                             tally.exec.absorb(&out.stats);
+                            for step in &out.trace.steps {
+                                *tally.rule_fires.entry(step.rule.to_string()).or_insert(0) += 1;
+                            }
                         }
                         Err(e) => {
                             tally.errors += 1;
@@ -193,6 +205,11 @@ mod tests {
         assert_eq!(report.cache.insertions, 3);
         assert!(report.timings.execute_ns > 0);
         assert!(report.rows > 0);
+        // Per-rule fire counts aggregate over served plans: all 10
+        // repetitions of each statement count, hits included.
+        assert_eq!(report.rule_fires.get("distinct-removal"), Some(&10));
+        assert_eq!(report.rule_fires.get("subquery-to-join"), Some(&20));
+        assert_eq!(report.rule_fires.get("intersect-to-exists"), Some(&10));
     }
 
     #[test]

@@ -30,11 +30,11 @@ fn show(session: &Session, title: &str, sql: &str, hv: &HostVars, opts: Optimize
         );
     }
     let outcome = Optimizer::new(opts).optimize(&bound);
-    if outcome.steps.is_empty() {
+    if outcome.trace.steps.is_empty() {
         println!("rewrite  : (none applicable)");
     }
-    for step in &outcome.steps {
-        println!("rewrite  : [{}] {}", step.rule, step.why);
+    for step in &outcome.trace.steps {
+        println!("rewrite  : [{} / {}] {}", step.rule, step.theorem, step.why);
         println!("           {}", step.sql_after);
     }
     // Execute both forms and confirm equivalence.

@@ -18,8 +18,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let out = session.query(sql)?;
     println!("optimizer steps:");
-    for step in &out.steps {
-        println!("  [{}] {}", step.rule, step.why);
+    for step in &out.trace.steps {
+        println!("  [{} / {}] {}", step.rule, step.theorem, step.why);
         println!("  rewritten: {}", step.sql_after);
     }
 
@@ -51,9 +51,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let out2 = session.query(sql2)?;
     println!(
         "\nExample 2 keeps its DISTINCT: steps = {}, sorts = {}",
-        out2.steps.len(),
+        out2.trace.steps.len(),
         out2.stats.sorts
     );
-    assert!(out2.steps.is_empty());
+    assert!(out2.trace.steps.is_empty());
     Ok(())
 }

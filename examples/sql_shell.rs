@@ -7,7 +7,7 @@
 //! ```text
 //! \d                         list tables
 //! \set NAME value            bind a host variable (:NAME)
-//! \explain SQL               show the physical plan after rewriting
+//! \explain SQL               show the rewrite trace and physical plan
 //! \profile rel|nav|off       choose the optimizer profile
 //! \q                         quit
 //! ```
@@ -64,21 +64,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 },
                 Some("explain") => {
                     let sql = rest.trim_start_matches("explain").trim();
-                    match uniqueness::sql::parse_query(sql)
-                        .and_then(|ast| uniqueness::plan::bind_query(session.db.catalog(), &ast))
-                    {
-                        Ok(bound) => {
-                            let outcome =
-                                uniqueness::core::pipeline::Optimizer::new(session.optimizer)
-                                    .optimize(&bound);
-                            for step in &outcome.steps {
-                                println!("-- [{}] {}", step.rule, step.why);
-                            }
-                            print!(
-                                "{}",
-                                uniqueness::engine::explain(&outcome.query, &session.exec)
-                            );
-                        }
+                    match session.explain(sql) {
+                        Ok(text) => print!("{text}"),
                         Err(e) => println!("error: {e}"),
                     }
                 }
@@ -114,8 +101,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         match session.query_with(line, &hostvars) {
             Ok(result) => {
-                for step in &result.steps {
-                    println!("-- [{}] {}", step.rule, step.why);
+                for step in &result.trace.steps {
+                    println!("-- [{} / {}] {}", step.rule, step.theorem, step.why);
                     println!("-- {}", step.sql_after);
                 }
                 let header: Vec<String> = result.columns.iter().map(|c| c.to_string()).collect();

@@ -1,7 +1,8 @@
-/root/repo/target/debug/deps/uniq_bench-51fb394c7e8a9acd.d: crates/bench/src/lib.rs
+/root/repo/target/debug/deps/uniq_bench-51fb394c7e8a9acd.d: crates/bench/src/lib.rs crates/bench/src/baseline.rs
 
-/root/repo/target/debug/deps/libuniq_bench-51fb394c7e8a9acd.rlib: crates/bench/src/lib.rs
+/root/repo/target/debug/deps/libuniq_bench-51fb394c7e8a9acd.rlib: crates/bench/src/lib.rs crates/bench/src/baseline.rs
 
-/root/repo/target/debug/deps/libuniq_bench-51fb394c7e8a9acd.rmeta: crates/bench/src/lib.rs
+/root/repo/target/debug/deps/libuniq_bench-51fb394c7e8a9acd.rmeta: crates/bench/src/lib.rs crates/bench/src/baseline.rs
 
 crates/bench/src/lib.rs:
+crates/bench/src/baseline.rs:

@@ -1,5 +1,6 @@
-/root/repo/target/debug/deps/uniq_bench-77d0059d2b00bddc.d: crates/bench/src/lib.rs
+/root/repo/target/debug/deps/uniq_bench-77d0059d2b00bddc.d: crates/bench/src/lib.rs crates/bench/src/baseline.rs
 
-/root/repo/target/debug/deps/uniq_bench-77d0059d2b00bddc: crates/bench/src/lib.rs
+/root/repo/target/debug/deps/uniq_bench-77d0059d2b00bddc: crates/bench/src/lib.rs crates/bench/src/baseline.rs
 
 crates/bench/src/lib.rs:
+crates/bench/src/baseline.rs:

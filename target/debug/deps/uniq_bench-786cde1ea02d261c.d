@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/uniq_bench-786cde1ea02d261c.d: crates/bench/src/lib.rs Cargo.toml
+/root/repo/target/debug/deps/uniq_bench-786cde1ea02d261c.d: crates/bench/src/lib.rs crates/bench/src/baseline.rs Cargo.toml
 
-/root/repo/target/debug/deps/libuniq_bench-786cde1ea02d261c.rmeta: crates/bench/src/lib.rs Cargo.toml
+/root/repo/target/debug/deps/libuniq_bench-786cde1ea02d261c.rmeta: crates/bench/src/lib.rs crates/bench/src/baseline.rs Cargo.toml
 
 crates/bench/src/lib.rs:
+crates/bench/src/baseline.rs:
 Cargo.toml:
 
 # env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__

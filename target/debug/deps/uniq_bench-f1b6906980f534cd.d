@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/uniq_bench-f1b6906980f534cd.d: crates/bench/src/lib.rs crates/bench/src/baseline.rs
+
+/root/repo/target/debug/deps/libuniq_bench-f1b6906980f534cd.rmeta: crates/bench/src/lib.rs crates/bench/src/baseline.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/baseline.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/uniq_catalog-263c482ef62bcaf8.d: crates/catalog/src/lib.rs crates/catalog/src/catalog.rs crates/catalog/src/database.rs crates/catalog/src/sample.rs crates/catalog/src/table.rs crates/catalog/src/validate.rs
+
+/root/repo/target/debug/deps/libuniq_catalog-263c482ef62bcaf8.rmeta: crates/catalog/src/lib.rs crates/catalog/src/catalog.rs crates/catalog/src/database.rs crates/catalog/src/sample.rs crates/catalog/src/table.rs crates/catalog/src/validate.rs
+
+crates/catalog/src/lib.rs:
+crates/catalog/src/catalog.rs:
+crates/catalog/src/database.rs:
+crates/catalog/src/sample.rs:
+crates/catalog/src/table.rs:
+crates/catalog/src/validate.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/uniq_core-2543c23a462bb328.d: crates/core/src/lib.rs crates/core/src/algorithm1.rs crates/core/src/analysis.rs crates/core/src/pipeline.rs crates/core/src/rewrite/mod.rs crates/core/src/rewrite/distinct.rs crates/core/src/rewrite/join_elim.rs crates/core/src/rewrite/setops.rs crates/core/src/rewrite/subquery.rs crates/core/src/rewrite/util.rs crates/core/src/theorem1.rs crates/core/src/unbind.rs Cargo.toml
+/root/repo/target/debug/deps/uniq_core-2543c23a462bb328.d: crates/core/src/lib.rs crates/core/src/algorithm1.rs crates/core/src/analysis.rs crates/core/src/pipeline.rs crates/core/src/rewrite/mod.rs crates/core/src/rewrite/distinct.rs crates/core/src/rewrite/join_elim.rs crates/core/src/rewrite/setops.rs crates/core/src/rewrite/subquery.rs crates/core/src/rewrite/util.rs crates/core/src/rules.rs crates/core/src/theorem1.rs crates/core/src/unbind.rs Cargo.toml
 
-/root/repo/target/debug/deps/libuniq_core-2543c23a462bb328.rmeta: crates/core/src/lib.rs crates/core/src/algorithm1.rs crates/core/src/analysis.rs crates/core/src/pipeline.rs crates/core/src/rewrite/mod.rs crates/core/src/rewrite/distinct.rs crates/core/src/rewrite/join_elim.rs crates/core/src/rewrite/setops.rs crates/core/src/rewrite/subquery.rs crates/core/src/rewrite/util.rs crates/core/src/theorem1.rs crates/core/src/unbind.rs Cargo.toml
+/root/repo/target/debug/deps/libuniq_core-2543c23a462bb328.rmeta: crates/core/src/lib.rs crates/core/src/algorithm1.rs crates/core/src/analysis.rs crates/core/src/pipeline.rs crates/core/src/rewrite/mod.rs crates/core/src/rewrite/distinct.rs crates/core/src/rewrite/join_elim.rs crates/core/src/rewrite/setops.rs crates/core/src/rewrite/subquery.rs crates/core/src/rewrite/util.rs crates/core/src/rules.rs crates/core/src/theorem1.rs crates/core/src/unbind.rs Cargo.toml
 
 crates/core/src/lib.rs:
 crates/core/src/algorithm1.rs:
@@ -12,6 +12,7 @@ crates/core/src/rewrite/join_elim.rs:
 crates/core/src/rewrite/setops.rs:
 crates/core/src/rewrite/subquery.rs:
 crates/core/src/rewrite/util.rs:
+crates/core/src/rules.rs:
 crates/core/src/theorem1.rs:
 crates/core/src/unbind.rs:
 Cargo.toml:

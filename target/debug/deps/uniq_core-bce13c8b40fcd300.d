@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/uniq_core-bce13c8b40fcd300.d: crates/core/src/lib.rs crates/core/src/algorithm1.rs crates/core/src/analysis.rs crates/core/src/pipeline.rs crates/core/src/rewrite/mod.rs crates/core/src/rewrite/distinct.rs crates/core/src/rewrite/join_elim.rs crates/core/src/rewrite/setops.rs crates/core/src/rewrite/subquery.rs crates/core/src/rewrite/util.rs crates/core/src/theorem1.rs crates/core/src/unbind.rs
+/root/repo/target/debug/deps/uniq_core-bce13c8b40fcd300.d: crates/core/src/lib.rs crates/core/src/algorithm1.rs crates/core/src/analysis.rs crates/core/src/pipeline.rs crates/core/src/rewrite/mod.rs crates/core/src/rewrite/distinct.rs crates/core/src/rewrite/join_elim.rs crates/core/src/rewrite/setops.rs crates/core/src/rewrite/subquery.rs crates/core/src/rewrite/util.rs crates/core/src/rules.rs crates/core/src/theorem1.rs crates/core/src/unbind.rs
 
-/root/repo/target/debug/deps/libuniq_core-bce13c8b40fcd300.rlib: crates/core/src/lib.rs crates/core/src/algorithm1.rs crates/core/src/analysis.rs crates/core/src/pipeline.rs crates/core/src/rewrite/mod.rs crates/core/src/rewrite/distinct.rs crates/core/src/rewrite/join_elim.rs crates/core/src/rewrite/setops.rs crates/core/src/rewrite/subquery.rs crates/core/src/rewrite/util.rs crates/core/src/theorem1.rs crates/core/src/unbind.rs
+/root/repo/target/debug/deps/libuniq_core-bce13c8b40fcd300.rlib: crates/core/src/lib.rs crates/core/src/algorithm1.rs crates/core/src/analysis.rs crates/core/src/pipeline.rs crates/core/src/rewrite/mod.rs crates/core/src/rewrite/distinct.rs crates/core/src/rewrite/join_elim.rs crates/core/src/rewrite/setops.rs crates/core/src/rewrite/subquery.rs crates/core/src/rewrite/util.rs crates/core/src/rules.rs crates/core/src/theorem1.rs crates/core/src/unbind.rs
 
-/root/repo/target/debug/deps/libuniq_core-bce13c8b40fcd300.rmeta: crates/core/src/lib.rs crates/core/src/algorithm1.rs crates/core/src/analysis.rs crates/core/src/pipeline.rs crates/core/src/rewrite/mod.rs crates/core/src/rewrite/distinct.rs crates/core/src/rewrite/join_elim.rs crates/core/src/rewrite/setops.rs crates/core/src/rewrite/subquery.rs crates/core/src/rewrite/util.rs crates/core/src/theorem1.rs crates/core/src/unbind.rs
+/root/repo/target/debug/deps/libuniq_core-bce13c8b40fcd300.rmeta: crates/core/src/lib.rs crates/core/src/algorithm1.rs crates/core/src/analysis.rs crates/core/src/pipeline.rs crates/core/src/rewrite/mod.rs crates/core/src/rewrite/distinct.rs crates/core/src/rewrite/join_elim.rs crates/core/src/rewrite/setops.rs crates/core/src/rewrite/subquery.rs crates/core/src/rewrite/util.rs crates/core/src/rules.rs crates/core/src/theorem1.rs crates/core/src/unbind.rs
 
 crates/core/src/lib.rs:
 crates/core/src/algorithm1.rs:
@@ -14,5 +14,6 @@ crates/core/src/rewrite/join_elim.rs:
 crates/core/src/rewrite/setops.rs:
 crates/core/src/rewrite/subquery.rs:
 crates/core/src/rewrite/util.rs:
+crates/core/src/rules.rs:
 crates/core/src/theorem1.rs:
 crates/core/src/unbind.rs:

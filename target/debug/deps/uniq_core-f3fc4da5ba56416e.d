@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/uniq_core-f3fc4da5ba56416e.d: crates/core/src/lib.rs crates/core/src/algorithm1.rs crates/core/src/analysis.rs crates/core/src/pipeline.rs crates/core/src/rewrite/mod.rs crates/core/src/rewrite/distinct.rs crates/core/src/rewrite/join_elim.rs crates/core/src/rewrite/setops.rs crates/core/src/rewrite/subquery.rs crates/core/src/rewrite/util.rs crates/core/src/rules.rs crates/core/src/theorem1.rs crates/core/src/unbind.rs
+
+/root/repo/target/debug/deps/libuniq_core-f3fc4da5ba56416e.rmeta: crates/core/src/lib.rs crates/core/src/algorithm1.rs crates/core/src/analysis.rs crates/core/src/pipeline.rs crates/core/src/rewrite/mod.rs crates/core/src/rewrite/distinct.rs crates/core/src/rewrite/join_elim.rs crates/core/src/rewrite/setops.rs crates/core/src/rewrite/subquery.rs crates/core/src/rewrite/util.rs crates/core/src/rules.rs crates/core/src/theorem1.rs crates/core/src/unbind.rs
+
+crates/core/src/lib.rs:
+crates/core/src/algorithm1.rs:
+crates/core/src/analysis.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/rewrite/mod.rs:
+crates/core/src/rewrite/distinct.rs:
+crates/core/src/rewrite/join_elim.rs:
+crates/core/src/rewrite/setops.rs:
+crates/core/src/rewrite/subquery.rs:
+crates/core/src/rewrite/util.rs:
+crates/core/src/rules.rs:
+crates/core/src/theorem1.rs:
+crates/core/src/unbind.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/uniq_engine-b4c5dfb839f899d7.d: crates/engine/src/lib.rs crates/engine/src/exec.rs crates/engine/src/explain.rs crates/engine/src/plancache.rs crates/engine/src/session.rs crates/engine/src/setops.rs crates/engine/src/stats.rs
+
+/root/repo/target/debug/deps/libuniq_engine-b4c5dfb839f899d7.rmeta: crates/engine/src/lib.rs crates/engine/src/exec.rs crates/engine/src/explain.rs crates/engine/src/plancache.rs crates/engine/src/session.rs crates/engine/src/setops.rs crates/engine/src/stats.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/exec.rs:
+crates/engine/src/explain.rs:
+crates/engine/src/plancache.rs:
+crates/engine/src/session.rs:
+crates/engine/src/setops.rs:
+crates/engine/src/stats.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/uniq_fd-d0b8923e1613762f.d: crates/fd/src/lib.rs crates/fd/src/attrset.rs crates/fd/src/fdset.rs crates/fd/src/keys.rs
+
+/root/repo/target/debug/deps/libuniq_fd-d0b8923e1613762f.rmeta: crates/fd/src/lib.rs crates/fd/src/attrset.rs crates/fd/src/fdset.rs crates/fd/src/keys.rs
+
+crates/fd/src/lib.rs:
+crates/fd/src/attrset.rs:
+crates/fd/src/fdset.rs:
+crates/fd/src/keys.rs:

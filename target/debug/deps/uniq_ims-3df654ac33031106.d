@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/uniq_ims-3df654ac33031106.d: crates/ims/src/lib.rs crates/ims/src/dli.rs crates/ims/src/gateway.rs crates/ims/src/hierarchy.rs crates/ims/src/sample.rs
+
+/root/repo/target/debug/deps/libuniq_ims-3df654ac33031106.rmeta: crates/ims/src/lib.rs crates/ims/src/dli.rs crates/ims/src/gateway.rs crates/ims/src/hierarchy.rs crates/ims/src/sample.rs
+
+crates/ims/src/lib.rs:
+crates/ims/src/dli.rs:
+crates/ims/src/gateway.rs:
+crates/ims/src/hierarchy.rs:
+crates/ims/src/sample.rs:

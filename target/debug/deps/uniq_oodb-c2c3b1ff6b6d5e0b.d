@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/uniq_oodb-c2c3b1ff6b6d5e0b.d: crates/oodb/src/lib.rs crates/oodb/src/sample.rs crates/oodb/src/store.rs crates/oodb/src/strategies.rs
+
+/root/repo/target/debug/deps/libuniq_oodb-c2c3b1ff6b6d5e0b.rmeta: crates/oodb/src/lib.rs crates/oodb/src/sample.rs crates/oodb/src/store.rs crates/oodb/src/strategies.rs
+
+crates/oodb/src/lib.rs:
+crates/oodb/src/sample.rs:
+crates/oodb/src/store.rs:
+crates/oodb/src/strategies.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/uniq_plan-54b450c9e8ac8cf8.d: crates/plan/src/lib.rs crates/plan/src/binder.rs crates/plan/src/bound.rs crates/plan/src/hostvars.rs crates/plan/src/norm.rs
+
+/root/repo/target/debug/deps/libuniq_plan-54b450c9e8ac8cf8.rmeta: crates/plan/src/lib.rs crates/plan/src/binder.rs crates/plan/src/bound.rs crates/plan/src/hostvars.rs crates/plan/src/norm.rs
+
+crates/plan/src/lib.rs:
+crates/plan/src/binder.rs:
+crates/plan/src/bound.rs:
+crates/plan/src/hostvars.rs:
+crates/plan/src/norm.rs:

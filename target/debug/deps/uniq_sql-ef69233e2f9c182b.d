@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/uniq_sql-ef69233e2f9c182b.d: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/lexer.rs crates/sql/src/parser.rs crates/sql/src/printer.rs
+
+/root/repo/target/debug/deps/libuniq_sql-ef69233e2f9c182b.rmeta: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/lexer.rs crates/sql/src/parser.rs crates/sql/src/printer.rs
+
+crates/sql/src/lib.rs:
+crates/sql/src/ast.rs:
+crates/sql/src/lexer.rs:
+crates/sql/src/parser.rs:
+crates/sql/src/printer.rs:

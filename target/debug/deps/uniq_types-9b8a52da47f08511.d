@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/uniq_types-9b8a52da47f08511.d: crates/types/src/lib.rs crates/types/src/error.rs crates/types/src/hash.rs crates/types/src/ident.rs crates/types/src/tri.rs crates/types/src/value.rs
+
+/root/repo/target/debug/deps/libuniq_types-9b8a52da47f08511.rmeta: crates/types/src/lib.rs crates/types/src/error.rs crates/types/src/hash.rs crates/types/src/ident.rs crates/types/src/tri.rs crates/types/src/value.rs
+
+crates/types/src/lib.rs:
+crates/types/src/error.rs:
+crates/types/src/hash.rs:
+crates/types/src/ident.rs:
+crates/types/src/tri.rs:
+crates/types/src/value.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/uniq_workload-06d5a6b7737fe35b.d: crates/workload/src/lib.rs crates/workload/src/corpus.rs crates/workload/src/driver.rs crates/workload/src/gen.rs crates/workload/src/instance.rs crates/workload/src/rng.rs
+
+/root/repo/target/debug/deps/libuniq_workload-06d5a6b7737fe35b.rmeta: crates/workload/src/lib.rs crates/workload/src/corpus.rs crates/workload/src/driver.rs crates/workload/src/gen.rs crates/workload/src/instance.rs crates/workload/src/rng.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/corpus.rs:
+crates/workload/src/driver.rs:
+crates/workload/src/gen.rs:
+crates/workload/src/instance.rs:
+crates/workload/src/rng.rs:

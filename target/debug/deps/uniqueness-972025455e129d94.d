@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/uniqueness-972025455e129d94.d: crates/uniq/src/lib.rs
+
+/root/repo/target/debug/deps/libuniqueness-972025455e129d94.rmeta: crates/uniq/src/lib.rs
+
+crates/uniq/src/lib.rs:

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["uniq_types",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/borrow/trait.Borrow.html\" title=\"trait core::borrow::Borrow\">Borrow</a>&lt;<a class=\"primitive\" href=\"https://doc.rust-lang.org/1.95.0/std/primitive.str.html\">str</a>&gt; for <a class=\"struct\" href=\"uniq_types/ident/struct.ColumnName.html\" title=\"struct uniq_types::ident::ColumnName\">ColumnName</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/borrow/trait.Borrow.html\" title=\"trait core::borrow::Borrow\">Borrow</a>&lt;<a class=\"primitive\" href=\"https://doc.rust-lang.org/1.95.0/std/primitive.str.html\">str</a>&gt; for <a class=\"struct\" href=\"uniq_types/ident/struct.HostVarName.html\" title=\"struct uniq_types::ident::HostVarName\">HostVarName</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/borrow/trait.Borrow.html\" title=\"trait core::borrow::Borrow\">Borrow</a>&lt;<a class=\"primitive\" href=\"https://doc.rust-lang.org/1.95.0/std/primitive.str.html\">str</a>&gt; for <a class=\"struct\" href=\"uniq_types/ident/struct.TableName.html\" title=\"struct uniq_types::ident::TableName\">TableName</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[1180]}

@@ -1,7 +1,8 @@
-/root/repo/target/release/deps/uniq_bench-c773f7b65cedb656.d: crates/bench/src/lib.rs
+/root/repo/target/release/deps/uniq_bench-c773f7b65cedb656.d: crates/bench/src/lib.rs crates/bench/src/baseline.rs
 
-/root/repo/target/release/deps/libuniq_bench-c773f7b65cedb656.rlib: crates/bench/src/lib.rs
+/root/repo/target/release/deps/libuniq_bench-c773f7b65cedb656.rlib: crates/bench/src/lib.rs crates/bench/src/baseline.rs
 
-/root/repo/target/release/deps/libuniq_bench-c773f7b65cedb656.rmeta: crates/bench/src/lib.rs
+/root/repo/target/release/deps/libuniq_bench-c773f7b65cedb656.rmeta: crates/bench/src/lib.rs crates/bench/src/baseline.rs
 
 crates/bench/src/lib.rs:
+crates/bench/src/baseline.rs:

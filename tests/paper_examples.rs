@@ -29,11 +29,11 @@ fn check(
 ) -> Vec<Row> {
     let bound = bind_query(session.db.catalog(), &parse_query(sql).unwrap()).unwrap();
     let outcome = Optimizer::new(opts).optimize(&bound);
-    let rules: Vec<&str> = outcome.steps.iter().map(|s| s.rule).collect();
+    let rules: Vec<&str> = outcome.trace.steps.iter().map(|s| s.rule).collect();
     assert_eq!(
         rules, expected_rules,
         "for {sql}\nsteps: {:#?}",
-        outcome.steps
+        outcome.trace.steps
     );
     let mut ex = Executor::new(&session.db, hv, ExecOptions::default());
     let original = ex.run(&bound).unwrap();
@@ -229,13 +229,16 @@ fn theorem_3_null_aware_correlation_is_required() {
     );
     let opt = s.query(sql).unwrap();
     assert!(
-        opt.steps.iter().any(|st| st.rule == "intersect-to-exists"),
+        opt.trace
+            .steps
+            .iter()
+            .any(|st| st.rule == "intersect-to-exists"),
         "{:#?}",
-        opt.steps
+        opt.trace.steps
     );
     assert_eq!(multiset(&opt.rows), multiset(&base.rows));
     // And the rewritten SQL carries the explicit IS NULL arm.
-    let step = &opt.steps[0];
+    let step = &opt.trace.steps[0];
     assert!(
         step.sql_after.contains("IS NULL"),
         "null-aware predicate missing: {}",

@@ -74,7 +74,7 @@ fn paper_queries_roundtrip_through_rewrites() {
         let bound = bind_query(db.catalog(), &parse_query(sql).unwrap()).unwrap();
         let outcome = optimizer.optimize(&bound);
         assert!(outcome.changed(), "{sql}");
-        for step in &outcome.steps {
+        for step in &outcome.trace.steps {
             // Each intermediate SQL must parse and bind.
             let reparsed =
                 parse_query(&step.sql_after).unwrap_or_else(|e| panic!("{}: {e}", step.sql_after));
