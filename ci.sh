@@ -15,8 +15,17 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo doc --no-deps (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
+echo "==> guard: build artifacts must not be tracked"
+if [ -n "$(git ls-files target/)" ]; then
+    echo "error: files under target/ are tracked in git" >&2
+    exit 1
+fi
+
 echo "==> fast lane: optimizer pipeline tests"
 cargo test -q -p uniq-core pipeline
+
+echo "==> fast lane: cost model tests"
+cargo test -q -p uniq-cost
 
 echo "==> cargo build --release"
 cargo build --release

@@ -10,8 +10,8 @@ use std::collections::HashMap;
 use std::time::Duration;
 use uniq_bench::baseline::optimize_root_restart;
 use uniq_bench::{
-    e15_exists_chain, e15_union_chain, fmt_duration, median_time, scaled_session, E2_QUERY,
-    E4_QUERY, E5_QUERY,
+    e15_exists_chain, e15_union_chain, e16_contenders, e16_corpus, fmt_duration, median_time,
+    scaled_session, total_work, E2_QUERY, E4_QUERY, E5_QUERY,
 };
 use uniqueness::core::algorithm1::{algorithm1, Algorithm1Options};
 use uniqueness::core::analysis::unique_projection;
@@ -74,6 +74,85 @@ fn main() {
     if want("e15") {
         e15_optimizer_driver(runs);
     }
+    if want("e16") {
+        e16_cost_based_planning();
+    }
+}
+
+/// E16 — cost-based per-node physical planning vs every static
+/// `ExecOptions` configuration, over the workload corpus.
+fn e16_cost_based_planning() {
+    header(
+        "E16",
+        "cost-based physical planning vs static executor options",
+    );
+    let cfg = uniqueness::workload::ScaleConfig {
+        suppliers: 60,
+        parts_per_supplier: 5,
+        ..Default::default()
+    };
+    let db = uniqueness::workload::scaled_database(&cfg).expect("scaled database");
+    let corpus = e16_corpus(17, 48);
+    println!(
+        "corpus: {} statements over a {}-supplier database\n",
+        corpus.len(),
+        cfg.suppliers
+    );
+    println!(
+        "{:<18} {:>10} {:>10} {:>10} {:>10} {:>8} {:>8}",
+        "session", "scans", "sort cmp", "probes", "work", "mean q", "max q"
+    );
+    let mut works: Vec<(&str, u64)> = Vec::new();
+    for (name, session) in e16_contenders(db) {
+        let report = run_batch(&session, &corpus, BatchOptions::default());
+        assert_eq!(report.errors, 0, "{name}: {:?}", report.first_error);
+        let work = total_work(&report.exec);
+        let (mean_q, max_q) = if report.qerror.ops == 0 {
+            ("-".to_string(), "-".to_string())
+        } else {
+            (
+                format!("{:.2}", report.qerror.mean()),
+                format!("{:.2}", report.qerror.max),
+            )
+        };
+        println!(
+            "{:<18} {:>10} {:>10} {:>10} {:>10} {:>8} {:>8}",
+            name,
+            report.exec.rows_scanned,
+            report.exec.sort_comparisons,
+            report.exec.hash_probes,
+            work,
+            mean_q,
+            max_q
+        );
+        works.push((name, work));
+    }
+    let cost = works
+        .iter()
+        .find(|(n, _)| *n == "cost-based")
+        .expect("cost-based contender present")
+        .1;
+    for (name, work) in &works {
+        assert!(
+            cost <= *work,
+            "cost-based work {cost} exceeds {name} work {work}"
+        );
+    }
+    println!("\ncost-based total work is within every static configuration");
+
+    // One worked EXPLAIN showing est vs act per operator.
+    let session =
+        Session::new(uniqueness::catalog::sample::supplier_database().expect("sample database"))
+            .with_cost_based();
+    let sql = "SELECT DISTINCT S.SNO, P.PNO FROM SUPPLIER S, PARTS P \
+               WHERE S.SNO = P.SNO AND P.COLOR = 'RED'";
+    let explain = session.explain(sql).expect("explain");
+    let section = explain
+        .split("Cost-based plan (est/act rows):")
+        .nth(1)
+        .expect("cost section present");
+    println!("\nEXPLAIN (Figure 1 database): {sql}");
+    println!("Cost-based plan (est/act rows):{section}");
 }
 
 fn header(id: &str, title: &str) {

@@ -8,8 +8,9 @@
 //! work counter) is the claim.
 
 use std::time::{Duration, Instant};
-use uniqueness::engine::Session;
-use uniqueness::workload::{scaled_database, ScaleConfig};
+use uniqueness::catalog::Database;
+use uniqueness::engine::{DistinctMethod, ExecOptions, ExecStats, JoinMethod, Session};
+use uniqueness::workload::{generate_corpus, scaled_database, ScaleConfig};
 
 pub mod baseline;
 
@@ -90,6 +91,69 @@ pub fn e15_exists_chain(subqueries: usize) -> String {
     )
 }
 
+/// The E16 work metric: the executor counters the physical choices
+/// trade against each other — base-table scans (join order and join
+/// method), sort comparisons (sort-based duplicate elimination and
+/// sort-merge set operations) and hash probes (hash joins and hash
+/// duplicate elimination).
+pub fn total_work(stats: &ExecStats) -> u64 {
+    stats.rows_scanned + stats.sort_comparisons + stats.hash_probes
+}
+
+/// The E16 corpus: `generated` statements from the labelled SPJ corpus
+/// generator, plus multi-join, Cartesian and set-operation shapes the
+/// generator never emits. None of them use host variables, so every
+/// operator's actual cardinality is measurable.
+pub fn e16_corpus(seed: u64, generated: usize) -> Vec<String> {
+    let mut corpus: Vec<String> = generate_corpus(seed, generated, 1)
+        .expect("corpus generation")
+        .into_iter()
+        .map(|q| q.sql)
+        .collect();
+    corpus.extend(
+        [
+            "SELECT S.SNO, P.PNO FROM SUPPLIER S, PARTS P \
+             WHERE S.SNO = P.SNO AND P.COLOR = 'RED'",
+            "SELECT DISTINCT P.COLOR FROM PARTS P, SUPPLIER S, AGENTS A \
+             WHERE S.SNO = P.SNO AND S.SNO = A.SNO",
+            "SELECT S.SNO, A.ANO FROM SUPPLIER S, AGENTS A",
+            "SELECT ALL S.SNO FROM SUPPLIER S WHERE S.SCITY = 'Toronto' \
+             INTERSECT SELECT ALL A.SNO FROM AGENTS A",
+            "SELECT DISTINCT S.SNO FROM SUPPLIER S \
+             UNION SELECT A.SNO FROM AGENTS A WHERE A.ACITY = 'Ottawa'",
+        ]
+        .into_iter()
+        .map(String::from),
+    );
+    corpus
+}
+
+/// The E16 contenders: one session per static `ExecOptions` combination
+/// plus a cost-based session, all over clones of the same database.
+pub fn e16_contenders(db: Database) -> Vec<(&'static str, Session)> {
+    let mut out: Vec<(&'static str, Session)> = Vec::new();
+    for (name, distinct, join) in [
+        ("static sort/hash", DistinctMethod::Sort, JoinMethod::Hash),
+        (
+            "static sort/nl",
+            DistinctMethod::Sort,
+            JoinMethod::NestedLoop,
+        ),
+        ("static hash/hash", DistinctMethod::Hash, JoinMethod::Hash),
+        (
+            "static hash/nl",
+            DistinctMethod::Hash,
+            JoinMethod::NestedLoop,
+        ),
+    ] {
+        let mut s = Session::new(db.clone());
+        s.exec = ExecOptions { distinct, join };
+        out.push((name, s));
+    }
+    out.push(("cost-based", Session::new(db).with_cost_based()));
+    out
+}
+
 /// Format a `Duration` compactly for tables.
 pub fn fmt_duration(d: Duration) -> String {
     let micros = d.as_micros();
@@ -123,6 +187,67 @@ mod tests {
         let fast = median_time(3, || (0..100u64).sum::<u64>());
         let slow = median_time(3, || (0..1_000_000u64).sum::<u64>());
         assert!(slow >= fast);
+    }
+
+    #[test]
+    fn e16_cost_based_work_within_every_static_configuration() {
+        use uniqueness::workload::{run_batch, BatchOptions};
+        let cfg = ScaleConfig {
+            suppliers: 40,
+            parts_per_supplier: 4,
+            ..Default::default()
+        };
+        let db = scaled_database(&cfg).unwrap();
+        let corpus = e16_corpus(7, 24);
+        let mut works: Vec<(&str, u64)> = Vec::new();
+        for (name, session) in e16_contenders(db) {
+            let report = run_batch(&session, &corpus, BatchOptions { threads: 2 });
+            assert_eq!(report.errors, 0, "{name}: {:?}", report.first_error);
+            if name == "cost-based" {
+                assert!(report.qerror.ops > 0, "cost-based runs measure q-error");
+            }
+            works.push((name, total_work(&report.exec)));
+        }
+        let cost = works
+            .iter()
+            .find(|(n, _)| *n == "cost-based")
+            .expect("cost-based contender present")
+            .1;
+        for (name, work) in &works {
+            assert!(
+                cost <= *work,
+                "cost-based work {cost} exceeds {name} work {work}"
+            );
+        }
+    }
+
+    #[test]
+    fn e16_explain_annotates_every_operator_with_est_and_act() {
+        let cfg = ScaleConfig {
+            suppliers: 10,
+            parts_per_supplier: 3,
+            ..Default::default()
+        };
+        let session = Session::new(scaled_database(&cfg).unwrap()).with_cost_based();
+        for sql in e16_corpus(11, 8) {
+            let out = session.explain(&sql).unwrap();
+            let section = out
+                .split("Cost-based plan (est/act rows):")
+                .nth(1)
+                .unwrap_or_else(|| panic!("no cost section for {sql}: {out}"));
+            let lines: Vec<&str> = section.lines().filter(|l| !l.trim().is_empty()).collect();
+            assert!(!lines.is_empty(), "{sql}");
+            for line in &lines {
+                assert!(
+                    line.contains("est=") && line.contains("act="),
+                    "{sql}: {line}"
+                );
+                assert!(
+                    !line.contains("act=?"),
+                    "actuals measured for {sql}: {line}"
+                );
+            }
+        }
     }
 
     #[test]

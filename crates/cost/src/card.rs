@@ -1,0 +1,123 @@
+//! Estimated-vs-actual cardinality reports and q-error aggregation.
+//!
+//! The **q-error** of one operator is `max(est, act) / min(est, act)`
+//! with both sides floored at one row — the standard symmetric measure
+//! of estimation quality (1.0 is perfect, 2.0 means off by at most 2×
+//! in either direction). `BatchReport` folds these across a whole run.
+
+/// One operator's estimate paired with its measured actual.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CardRow {
+    /// Operator label (as rendered by `EXPLAIN`).
+    pub op: String,
+    /// Estimated output rows.
+    pub est: u64,
+    /// Actual output rows measured by the executor.
+    pub act: u64,
+}
+
+impl CardRow {
+    /// The operator's q-error (≥ 1.0).
+    pub fn q_error(&self) -> f64 {
+        let est = self.est.max(1) as f64;
+        let act = self.act.max(1) as f64;
+        est.max(act) / est.min(act)
+    }
+}
+
+/// Per-operator estimates vs. actuals for one executed query.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CardReport {
+    /// One entry per physical operator, in registry order.
+    pub rows: Vec<CardRow>,
+}
+
+impl CardReport {
+    /// The worst q-error across operators (1.0 for an empty report).
+    pub fn max_q_error(&self) -> f64 {
+        self.rows.iter().map(|r| r.q_error()).fold(1.0, f64::max)
+    }
+}
+
+/// Running q-error aggregate over many operators (e.g. a whole batch).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct QErrorStats {
+    /// Operators measured.
+    pub ops: u64,
+    /// Sum of per-operator q-errors.
+    pub sum: f64,
+    /// Worst per-operator q-error observed.
+    pub max: f64,
+}
+
+impl QErrorStats {
+    /// Fold in one query's report.
+    pub fn record(&mut self, report: &CardReport) {
+        for row in &report.rows {
+            let q = row.q_error();
+            self.ops += 1;
+            self.sum += q;
+            self.max = self.max.max(q);
+        }
+    }
+
+    /// Accumulate another aggregate into this one.
+    pub fn absorb(&mut self, other: &QErrorStats) {
+        self.ops += other.ops;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Mean per-operator q-error (0.0 when nothing was measured).
+    pub fn mean(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            self.sum / self.ops as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(pairs: &[(u64, u64)]) -> CardReport {
+        CardReport {
+            rows: pairs
+                .iter()
+                .map(|&(est, act)| CardRow {
+                    op: "Op".into(),
+                    est,
+                    act,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn q_error_is_symmetric_and_floored() {
+        let r = report(&[(10, 5), (5, 10), (0, 0)]);
+        assert_eq!(r.rows[0].q_error(), 2.0);
+        assert_eq!(r.rows[1].q_error(), 2.0);
+        assert_eq!(r.rows[2].q_error(), 1.0, "empty operators are perfect");
+        assert_eq!(r.max_q_error(), 2.0);
+    }
+
+    #[test]
+    fn aggregation_tracks_mean_and_max() {
+        let mut agg = QErrorStats::default();
+        agg.record(&report(&[(4, 4), (8, 2)]));
+        let mut other = QErrorStats::default();
+        other.record(&report(&[(3, 9)]));
+        agg.absorb(&other);
+        assert_eq!(agg.ops, 3);
+        assert_eq!(agg.max, 4.0);
+        assert!((agg.mean() - (1.0 + 4.0 + 3.0) / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_aggregate_is_zero() {
+        assert_eq!(QErrorStats::default().mean(), 0.0);
+    }
+}

@@ -1,0 +1,282 @@
+//! The cardinality estimator.
+//!
+//! Selectivities follow the classic System R catalogue, adapted to the
+//! paper's vocabulary: a Type-1 conjunct (`col = const`) selects
+//! `1/ndv(col)` of its table, a Type-2 conjunct (`col = col`) selects
+//! `1/max(ndv, ndv)` of the cross product, ranges select a third,
+//! `IS NULL` selects the measured null fraction, and `AND`/`OR`/`NOT`
+//! combine under independence. Subquery predicates are opaque and get
+//! the neutral `1/2`.
+//!
+//! On top of the guesses sit two *provable* facts:
+//!
+//! * [`Estimator::unique_output_bound`] — if Algorithm 1 or the
+//!   FD-closure test proves a block duplicate-free, its output tuples
+//!   are pairwise distinct over the projected columns, so the output
+//!   cardinality is at most the product of those columns' active
+//!   domains (`ndv + 1` for a nullable bucket, under `=̇`). No estimate,
+//!   however wrong, may exceed it.
+//! * key-covered joins (detected by the planner): if a join's equality
+//!   keys cover a candidate key of the inner table, each outer row
+//!   matches at most one inner row, so the join emits at most the outer
+//!   side.
+
+use crate::stats::{ColumnStats, Statistics};
+use uniq_core::rewrite::distinct::{is_provably_unique, UniquenessTest};
+use uniq_plan::{BScalar, BoundExpr, BoundSpec};
+use uniq_sql::CmpOp;
+use uniq_types::TableName;
+
+/// Rows assumed for a table with no collected statistics.
+pub const DEFAULT_TABLE_ROWS: f64 = 1000.0;
+/// Distinct values assumed for a column with no collected statistics.
+pub const DEFAULT_NDV: f64 = 10.0;
+/// Selectivity of predicates the estimator cannot see through
+/// (subqueries, comparisons between two constants, …).
+pub const DEFAULT_SELECTIVITY: f64 = 0.5;
+/// Selectivity of an inequality range conjunct (`<`, `<=`, `>`, `>=`).
+pub const RANGE_SELECTIVITY: f64 = 1.0 / 3.0;
+/// Selectivity of a `BETWEEN` conjunct.
+pub const BETWEEN_SELECTIVITY: f64 = 0.25;
+
+/// Cardinality estimation over collected [`Statistics`].
+#[derive(Debug, Clone, Copy)]
+pub struct Estimator<'a> {
+    stats: &'a Statistics,
+}
+
+impl<'a> Estimator<'a> {
+    /// An estimator reading from `stats`.
+    pub fn new(stats: &'a Statistics) -> Estimator<'a> {
+        Estimator { stats }
+    }
+
+    /// Estimated row count of a stored table.
+    pub fn table_rows(&self, name: &TableName) -> f64 {
+        self.stats
+            .table(name)
+            .map(|t| t.rows as f64)
+            .unwrap_or(DEFAULT_TABLE_ROWS)
+    }
+
+    /// Statistics for the column behind product attribute `idx` of
+    /// `spec`, if collected.
+    fn attr_column(&self, spec: &BoundSpec, idx: usize) -> Option<&ColumnStats> {
+        let (table, position) = spec.attr_owner(idx)?;
+        self.stats.column(&table.schema.name, position)
+    }
+
+    /// Distinct non-null values of attribute `idx`, at least one.
+    pub fn attr_ndv(&self, spec: &BoundSpec, idx: usize) -> f64 {
+        self.attr_column(spec, idx)
+            .map(|c| (c.ndv as f64).max(1.0))
+            .unwrap_or(DEFAULT_NDV)
+    }
+
+    /// Active-domain size of attribute `idx` under `=̇` (distinct
+    /// non-null values plus a `NULL` bucket when the column has nulls),
+    /// at least one.
+    pub fn attr_domain(&self, spec: &BoundSpec, idx: usize) -> f64 {
+        self.attr_column(spec, idx)
+            .map(|c| (c.domain() as f64).max(1.0))
+            .unwrap_or(DEFAULT_NDV)
+    }
+
+    /// Estimated selectivity of one predicate over the block's cross
+    /// product, in `[0, 1]`.
+    pub fn selectivity(&self, spec: &BoundSpec, e: &BoundExpr) -> f64 {
+        let s = match e {
+            BoundExpr::Cmp { op, left, right } => self.cmp_selectivity(spec, *op, left, right),
+            BoundExpr::Between { negated, .. } => flip(BETWEEN_SELECTIVITY, *negated),
+            BoundExpr::InList {
+                scalar,
+                list,
+                negated,
+            } => {
+                let s = match local_attr(scalar) {
+                    Some(idx) => (list.len() as f64 / self.attr_ndv(spec, idx)).min(1.0),
+                    None => DEFAULT_SELECTIVITY,
+                };
+                flip(s, *negated)
+            }
+            BoundExpr::IsNull { scalar, negated } => {
+                let s = local_attr(scalar)
+                    .and_then(|idx| {
+                        let (table, position) = spec.attr_owner(idx)?;
+                        let stats = self.stats.table(&table.schema.name)?;
+                        let col = stats.columns.get(position)?;
+                        Some(if stats.rows == 0 {
+                            0.0
+                        } else {
+                            col.nulls as f64 / stats.rows as f64
+                        })
+                    })
+                    .unwrap_or(DEFAULT_SELECTIVITY);
+                flip(s, *negated)
+            }
+            // Subquery membership is opaque to the estimator.
+            BoundExpr::Exists { .. } | BoundExpr::InSubquery { .. } => DEFAULT_SELECTIVITY,
+            BoundExpr::And(a, b) => self.selectivity(spec, a) * self.selectivity(spec, b),
+            BoundExpr::Or(a, b) => {
+                let (sa, sb) = (self.selectivity(spec, a), self.selectivity(spec, b));
+                sa + sb - sa * sb
+            }
+            BoundExpr::Not(a) => 1.0 - self.selectivity(spec, a),
+        };
+        s.clamp(0.0, 1.0)
+    }
+
+    fn cmp_selectivity(&self, spec: &BoundSpec, op: CmpOp, left: &BScalar, right: &BScalar) -> f64 {
+        match op {
+            CmpOp::Eq | CmpOp::Ne => {
+                let s = match (local_attr(left), local_attr(right)) {
+                    // Type-2: col = col → 1/max(ndv, ndv).
+                    (Some(l), Some(r)) => 1.0 / self.attr_ndv(spec, l).max(self.attr_ndv(spec, r)),
+                    // Type-1: col = const (literals, host variables and
+                    // correlated outer attributes all bind to one value
+                    // per evaluation). A NULL literal never matches.
+                    (Some(idx), None) | (None, Some(idx)) => {
+                        if is_null_literal(left) || is_null_literal(right) {
+                            0.0
+                        } else {
+                            1.0 / self.attr_ndv(spec, idx)
+                        }
+                    }
+                    (None, None) => DEFAULT_SELECTIVITY,
+                };
+                flip(s, op == CmpOp::Ne)
+            }
+            CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge => RANGE_SELECTIVITY,
+        }
+    }
+
+    /// Product of the projected columns' active domains — the largest
+    /// number of pairwise-distinct output tuples the projection admits.
+    pub fn projection_domain(&self, spec: &BoundSpec) -> f64 {
+        spec.projection
+            .iter()
+            .map(|p| self.attr_domain(spec, p.attr))
+            .product()
+    }
+
+    /// The uniqueness-derived hard upper bound on the block's output
+    /// cardinality: `Some(Π domain(projected column))` when Algorithm 1
+    /// or the FD-closure test proves the block duplicate-free, `None`
+    /// otherwise. Provably sound: a duplicate-free block's output rows
+    /// are pairwise distinct tuples over the projected columns, and
+    /// there are only that many such tuples drawn from the stored
+    /// (active) domains.
+    pub fn unique_output_bound(&self, spec: &BoundSpec) -> Option<f64> {
+        is_provably_unique(spec, UniquenessTest::Both)?;
+        Some(self.projection_domain(spec))
+    }
+}
+
+/// The product-attribute index a scalar reads, when it is an attribute
+/// of the current block (not correlated, not a constant).
+fn local_attr(s: &BScalar) -> Option<usize> {
+    match s {
+        BScalar::Attr(a) if a.is_local() => Some(a.idx),
+        _ => None,
+    }
+}
+
+fn is_null_literal(s: &BScalar) -> bool {
+    matches!(s, BScalar::Literal(v) if v.is_null())
+}
+
+fn flip(s: f64, negated: bool) -> f64 {
+    if negated {
+        1.0 - s
+    } else {
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniq_catalog::sample::supplier_database;
+    use uniq_plan::{bind_query, BoundQuery};
+    use uniq_sql::parse_query;
+
+    fn spec_of(sql: &str) -> (Statistics, BoundQuery) {
+        let db = supplier_database().unwrap();
+        let stats = Statistics::collect(&db);
+        let q = bind_query(db.catalog(), &parse_query(sql).unwrap()).unwrap();
+        (stats, q)
+    }
+
+    fn first_conjunct_selectivity(sql: &str) -> f64 {
+        let (stats, q) = spec_of(sql);
+        let spec = q.as_spec().unwrap();
+        let est = Estimator::new(&stats);
+        let pred = spec.predicate.as_ref().unwrap();
+        est.selectivity(spec, pred.conjuncts()[0])
+    }
+
+    #[test]
+    fn type_1_selectivity_is_inverse_ndv() {
+        // COLOR has 3 distinct values.
+        let s = first_conjunct_selectivity("SELECT P.PNO FROM PARTS P WHERE P.COLOR = 'RED'");
+        assert!((s - 1.0 / 3.0).abs() < 1e-9, "{s}");
+    }
+
+    #[test]
+    fn type_2_selectivity_uses_larger_ndv() {
+        // SUPPLIER.SNO has 5 distinct values, PARTS.SNO has 4.
+        let s =
+            first_conjunct_selectivity("SELECT S.SNO FROM SUPPLIER S, PARTS P WHERE S.SNO = P.SNO");
+        assert!((s - 1.0 / 5.0).abs() < 1e-9, "{s}");
+    }
+
+    #[test]
+    fn is_null_selectivity_is_measured_fraction() {
+        // PARTS.OEM-PNO has exactly one NULL in seven rows.
+        let s = first_conjunct_selectivity("SELECT P.PNO FROM PARTS P WHERE P.OEM-PNO IS NULL");
+        assert!((s - 1.0 / 7.0).abs() < 1e-9, "{s}");
+        let not_null =
+            first_conjunct_selectivity("SELECT P.PNO FROM PARTS P WHERE P.OEM-PNO IS NOT NULL");
+        assert!((not_null - 6.0 / 7.0).abs() < 1e-9, "{not_null}");
+    }
+
+    #[test]
+    fn connectives_combine_independently() {
+        let s = first_conjunct_selectivity(
+            "SELECT P.PNO FROM PARTS P WHERE P.COLOR = 'RED' OR P.COLOR = 'BLUE'",
+        );
+        let one = 1.0 / 3.0;
+        assert!((s - (one + one - one * one)).abs() < 1e-9, "{s}");
+        let neg =
+            first_conjunct_selectivity("SELECT P.PNO FROM PARTS P WHERE NOT (P.COLOR = 'RED')");
+        assert!((neg - (1.0 - one)).abs() < 1e-9, "{neg}");
+    }
+
+    #[test]
+    fn null_literal_comparison_selects_nothing() {
+        let s = first_conjunct_selectivity("SELECT P.PNO FROM PARTS P WHERE P.COLOR = NULL");
+        assert_eq!(s, 0.0);
+    }
+
+    #[test]
+    fn unique_bound_present_exactly_when_provable() {
+        // Projecting the whole PARTS key (SNO, PNO) → provably unique.
+        let (stats, q) = spec_of("SELECT DISTINCT P.SNO, P.PNO FROM PARTS P");
+        let est = Estimator::new(&stats);
+        let bound = est.unique_output_bound(q.as_spec().unwrap()).unwrap();
+        // Domains: SNO has 4 distinct values, PNO has 5 (10..14).
+        assert_eq!(bound, 20.0);
+
+        // Projecting COLOR alone → not provable, no bound.
+        let (stats2, q2) = spec_of("SELECT DISTINCT P.COLOR FROM PARTS P");
+        let est2 = Estimator::new(&stats2);
+        assert!(est2.unique_output_bound(q2.as_spec().unwrap()).is_none());
+    }
+
+    #[test]
+    fn fallbacks_without_statistics() {
+        let stats = Statistics::default();
+        let est = Estimator::new(&stats);
+        assert_eq!(est.table_rows(&"GHOST".into()), DEFAULT_TABLE_ROWS);
+    }
+}

@@ -1,0 +1,48 @@
+//! Cost model and physical planning.
+//!
+//! The paper's Algorithm 1 produces *free information* — provable
+//! duplicate-freeness and key coverage — that the executor can exploit
+//! beyond rewrite-time `DISTINCT` removal. This crate turns that
+//! information into numbers:
+//!
+//! * [`stats`] — a statistics collector over a
+//!   [`Database`](uniq_catalog::Database): per-table row counts and
+//!   per-column distinct-value/null counts, with declared single-column
+//!   candidate keys short-circuiting to exact `ndv = rows − nulls`
+//!   without building a hash set.
+//! * [`estimate`] — a cardinality estimator for bound query blocks:
+//!   Type-1 (`col = const`) and Type-2 (`col = col`) conjunct
+//!   selectivities, join output estimates, and *uniqueness-derived hard
+//!   upper bounds* (a block Algorithm 1 / the FD test proves
+//!   duplicate-free emits at most the product of its projected columns'
+//!   domains; a join whose keys cover a candidate key of the inner table
+//!   emits at most the outer side).
+//! * [`planner`] — a cost-based physical planner replacing the
+//!   session-global `ExecOptions` defaults with per-node choices: hash
+//!   vs. sort distinct, hash vs. nested-loop join, and join input
+//!   ordering by estimated size.
+//! * [`physical`] — the physical-plan IR the executor consumes, with an
+//!   operator registry carrying estimates so `EXPLAIN` can print
+//!   `est=… act=…` per operator.
+//! * [`card`] — per-operator estimated-vs-actual reports and q-error
+//!   aggregation for batch runs.
+//!
+//! Costs are expressed in the executor's own work units
+//! (`rows_scanned`, `sort_comparisons`, `hash_probes`), so "cheaper by
+//! the model" is falsifiable against `ExecStats` — experiment E16 does
+//! exactly that.
+
+pub mod card;
+pub mod estimate;
+pub mod physical;
+pub mod planner;
+pub mod stats;
+
+pub use card::{CardReport, CardRow, QErrorStats};
+pub use estimate::Estimator;
+pub use physical::{
+    BlockPlan, DistinctMethod, DistinctStep, JoinMethod, JoinStep, OpId, OpInfo, PhysNode,
+    PhysicalPlan,
+};
+pub use planner::{plan_query, PlannerOptions};
+pub use stats::{ColumnStats, Statistics, TableStats};

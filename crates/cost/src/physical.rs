@@ -1,0 +1,265 @@
+//! The physical-plan IR the executor consumes.
+//!
+//! A [`PhysicalPlan`] mirrors the shape of the optimized
+//! [`BoundQuery`](uniq_plan::BoundQuery) it was planned for — one
+//! [`BlockPlan`] per query block, one [`PhysNode::SetOp`] per set
+//! operation — and records the planner's per-node choices: join input
+//! order, hash vs. nested-loop per join, hash vs. sort per duplicate
+//! elimination. Every operator owns a slot in the flat [`OpInfo`]
+//! registry carrying its display label and estimated output
+//! cardinality; the executor fills a parallel `actuals` array, which is
+//! how `EXPLAIN` prints `est=… act=…` per operator and how q-error is
+//! measured.
+//!
+//! The method enums live here (re-exported by `uniq-engine` for
+//! compatibility) so the planner can be expressed without depending on
+//! the executor.
+
+/// How duplicate elimination is performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DistinctMethod {
+    /// Sort the result and collapse adjacent `=̇`-equal runs — the
+    /// strategy whose cost the paper's §1 calls "expensive". Default.
+    #[default]
+    Sort,
+    /// Hash-set elimination (ablation; see experiment E12).
+    Hash,
+}
+
+/// How multi-table blocks are joined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JoinMethod {
+    /// Build/probe hash tables on available equality conjuncts, falling
+    /// back to nested loops when none apply. Default.
+    #[default]
+    Hash,
+    /// Pure nested loops (the naive strategy subquery rewrites avoid).
+    NestedLoop,
+}
+
+/// Index of an operator in [`PhysicalPlan::ops`].
+pub type OpId = usize;
+
+/// Registry entry for one physical operator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpInfo {
+    /// Display label, e.g. `HashJoin with Scan PARTS AS P`.
+    pub label: String,
+    /// Estimated output rows.
+    pub est: u64,
+}
+
+/// One pipeline join step (the table it introduces is
+/// `order[position + 1]` of the owning [`BlockPlan`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinStep {
+    /// Physical join strategy for this step.
+    pub method: JoinMethod,
+    /// Operator slot.
+    pub id: OpId,
+}
+
+/// The duplicate-elimination step of a `SELECT DISTINCT` block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DistinctStep {
+    /// Physical duplicate-elimination strategy.
+    pub method: DistinctMethod,
+    /// Operator slot.
+    pub id: OpId,
+}
+
+/// Physical choices for one query block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockPlan {
+    /// Execution order as positions into the block's `FROM` list:
+    /// `order[0]` is scanned first, each later entry joins in turn.
+    pub order: Vec<usize>,
+    /// Operator slot of the initial filtered scan (`order[0]`).
+    pub scan: OpId,
+    /// Join steps, parallel to `order[1..]`.
+    pub joins: Vec<JoinStep>,
+    /// Operator slot of the projection (block output).
+    pub project: OpId,
+    /// Duplicate elimination, when the block is `SELECT DISTINCT`.
+    pub distinct: Option<DistinctStep>,
+}
+
+/// A node of the physical plan, structurally parallel to the bound
+/// query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PhysNode {
+    /// A planned query block.
+    Block(BlockPlan),
+    /// A planned set operation.
+    SetOp {
+        /// Strategy for the duplicate/counting pass.
+        method: DistinctMethod,
+        /// Operator slot.
+        id: OpId,
+        /// Left input plan.
+        left: Box<PhysNode>,
+        /// Right input plan.
+        right: Box<PhysNode>,
+    },
+}
+
+/// A complete physical plan: the choice tree plus the operator registry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhysicalPlan {
+    /// Root of the plan tree.
+    pub root: PhysNode,
+    /// Flat operator registry, indexed by [`OpId`].
+    pub ops: Vec<OpInfo>,
+}
+
+impl PhysicalPlan {
+    /// Render the plan as an indented tree, one operator per line, each
+    /// annotated `est=… act=…` (`act=?` when no actuals are supplied,
+    /// e.g. the query needs host variables that EXPLAIN cannot bind).
+    pub fn render(&self, depth: usize, actuals: Option<&[u64]>) -> String {
+        let mut out = String::new();
+        self.render_node(&self.root, depth, actuals, &mut out);
+        out
+    }
+
+    fn line(&self, id: OpId, depth: usize, actuals: Option<&[u64]>, out: &mut String) {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        let op = &self.ops[id];
+        match actuals.and_then(|a| a.get(id)) {
+            Some(act) => out.push_str(&format!("{} est={} act={}\n", op.label, op.est, act)),
+            None => out.push_str(&format!("{} est={} act=?\n", op.label, op.est)),
+        }
+    }
+
+    fn render_node(
+        &self,
+        node: &PhysNode,
+        depth: usize,
+        actuals: Option<&[u64]>,
+        out: &mut String,
+    ) {
+        match node {
+            PhysNode::Block(block) => {
+                let mut depth = depth;
+                if let Some(d) = &block.distinct {
+                    self.line(d.id, depth, actuals, out);
+                    depth += 1;
+                }
+                self.line(block.project, depth, actuals, out);
+                // Pipeline steps, deepest-first like the executor's
+                // static EXPLAIN: the last join on top, the initial
+                // scan at the bottom.
+                for step in block.joins.iter().rev() {
+                    self.line(step.id, depth + 1, actuals, out);
+                }
+                self.line(block.scan, depth + 1, actuals, out);
+            }
+            PhysNode::SetOp {
+                id, left, right, ..
+            } => {
+                self.line(*id, depth, actuals, out);
+                self.render_node(left, depth + 1, actuals, out);
+                self.render_node(right, depth + 1, actuals, out);
+            }
+        }
+    }
+
+    /// Pair every operator's estimate with the executor's measured
+    /// actual (see `Executor::actuals`).
+    pub fn card_report(&self, actuals: &[u64]) -> crate::card::CardReport {
+        crate::card::CardReport {
+            rows: self
+                .ops
+                .iter()
+                .enumerate()
+                .map(|(id, op)| crate::card::CardRow {
+                    op: op.label.clone(),
+                    est: op.est,
+                    act: actuals.get(id).copied().unwrap_or(0),
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_premises() {
+        assert_eq!(DistinctMethod::default(), DistinctMethod::Sort);
+        assert_eq!(JoinMethod::default(), JoinMethod::Hash);
+    }
+
+    fn tiny_plan() -> PhysicalPlan {
+        PhysicalPlan {
+            root: PhysNode::Block(BlockPlan {
+                order: vec![0, 1],
+                scan: 0,
+                joins: vec![JoinStep {
+                    method: JoinMethod::Hash,
+                    id: 1,
+                }],
+                project: 2,
+                distinct: Some(DistinctStep {
+                    method: DistinctMethod::Hash,
+                    id: 3,
+                }),
+            }),
+            ops: vec![
+                OpInfo {
+                    label: "Scan SUPPLIER AS S".into(),
+                    est: 5,
+                },
+                OpInfo {
+                    label: "HashJoin with Scan PARTS AS P".into(),
+                    est: 7,
+                },
+                OpInfo {
+                    label: "Project [S.SNO]".into(),
+                    est: 7,
+                },
+                OpInfo {
+                    label: "HashDistinct".into(),
+                    est: 4,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn render_annotates_every_operator() {
+        let plan = tiny_plan();
+        let with = plan.render(0, Some(&[5, 6, 6, 4]));
+        for needle in [
+            "HashDistinct est=4 act=4",
+            "Project [S.SNO] est=7 act=6",
+            "HashJoin with Scan PARTS AS P est=7 act=6",
+            "Scan SUPPLIER AS S est=5 act=5",
+        ] {
+            assert!(with.contains(needle), "{with}");
+        }
+        // Distinct on top, scan at the bottom, indentation increasing.
+        let lines: Vec<&str> = with.lines().collect();
+        assert!(lines[0].starts_with("HashDistinct"));
+        assert!(lines[3].trim_start().starts_with("Scan SUPPLIER"));
+        let without = plan.render(1, None);
+        assert!(
+            without.contains("Scan SUPPLIER AS S est=5 act=?"),
+            "{without}"
+        );
+        assert!(without.starts_with("  "), "base depth indents");
+    }
+
+    #[test]
+    fn card_report_pairs_est_with_act() {
+        let plan = tiny_plan();
+        let report = plan.card_report(&[5, 6, 6, 4]);
+        assert_eq!(report.rows.len(), 4);
+        assert_eq!(report.rows[1].est, 7);
+        assert_eq!(report.rows[1].act, 6);
+    }
+}

@@ -1,0 +1,571 @@
+//! The cost-based physical planner.
+//!
+//! For every query block the planner chooses a join input order
+//! (greedy: start from the smallest filtered table, then repeatedly add
+//! the table minimizing the estimated intermediate size) and, per
+//! pipeline step, a physical method. Costs are expressed in the
+//! executor's own counters so the model is falsifiable:
+//!
+//! * a nested-loop step re-scans its table once per outer partial →
+//!   `outer × rows` scans;
+//! * a hash step scans its table once to build and probes once per
+//!   outer partial → `rows + outer`;
+//! * a cross step (no equality keys) materializes the build side once →
+//!   `rows` scans;
+//! * sort-based duplicate elimination costs `n·log₂n` comparisons,
+//!   hash-based costs `n` probes.
+//!
+//! Two provable caps tighten the estimates: a join whose equality keys
+//! cover a candidate key of the incoming table emits at most the outer
+//! side (each outer partial matches at most one row), and a block
+//! proved duplicate-free by Algorithm 1 / the FD test emits at most the
+//! product of its projected columns' active domains
+//! ([`Estimator::unique_output_bound`]).
+
+use crate::estimate::Estimator;
+use crate::physical::{
+    BlockPlan, DistinctMethod, DistinctStep, JoinMethod, JoinStep, OpId, OpInfo, PhysNode,
+    PhysicalPlan,
+};
+use crate::stats::Statistics;
+use std::collections::BTreeSet;
+use uniq_plan::{AttrRef, BScalar, BoundExpr, BoundQuery, BoundSpec};
+use uniq_sql::{CmpOp, SetOp};
+
+/// Session-level planner configuration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlannerOptions {
+    /// Use collected statistics to choose per-node physical operators;
+    /// when `false`, the session's static `ExecOptions` apply.
+    pub cost_based: bool,
+}
+
+/// Plan a bound (typically optimizer-rewritten) query against collected
+/// statistics.
+pub fn plan_query(query: &BoundQuery, stats: &Statistics) -> PhysicalPlan {
+    let mut planner = Planner {
+        est: Estimator::new(stats),
+        ops: Vec::new(),
+    };
+    let (root, _) = planner.plan_node(query);
+    PhysicalPlan {
+        root,
+        ops: planner.ops,
+    }
+}
+
+struct Planner<'a> {
+    est: Estimator<'a>,
+    ops: Vec<OpInfo>,
+}
+
+impl Planner<'_> {
+    fn op(&mut self, label: String, est: f64) -> OpId {
+        let id = self.ops.len();
+        self.ops.push(OpInfo {
+            label,
+            est: est.min(u64::MAX as f64).ceil() as u64,
+        });
+        id
+    }
+
+    fn plan_node(&mut self, query: &BoundQuery) -> (PhysNode, f64) {
+        match query {
+            BoundQuery::Spec(spec) => {
+                let (block, est) = self.plan_block(spec);
+                (PhysNode::Block(block), est)
+            }
+            BoundQuery::SetOp {
+                op,
+                all,
+                left,
+                right,
+            } => {
+                let (l, l_est) = self.plan_node(left);
+                let (r, r_est) = self.plan_node(right);
+                let est = match op {
+                    SetOp::Union => l_est + r_est,
+                    // INTERSECT [ALL] emits min(j,k) copies per tuple.
+                    SetOp::Intersect => l_est.min(r_est),
+                    // EXCEPT [ALL] emits at most the left input.
+                    SetOp::Except => l_est,
+                };
+                let concat = *op == SetOp::Union && *all;
+                // Hash counting costs n probes; sort-merge costs about
+                // n·log₂n comparisons — hash wins beyond tiny inputs.
+                let n = l_est + r_est;
+                let method = if concat || sort_cost(n) <= n {
+                    DistinctMethod::Sort
+                } else {
+                    DistinctMethod::Hash
+                };
+                let name = match op {
+                    SetOp::Intersect => "Intersect",
+                    SetOp::Except => "Except",
+                    SetOp::Union => "Union",
+                };
+                let strategy = if concat {
+                    "concat"
+                } else {
+                    match method {
+                        DistinctMethod::Sort => "sort-merge",
+                        DistinctMethod::Hash => "hash-count",
+                    }
+                };
+                let label = format!("{name}{} [{strategy}]", if *all { "All" } else { "" });
+                let id = self.op(label, est);
+                (
+                    PhysNode::SetOp {
+                        method,
+                        id,
+                        left: Box::new(l),
+                        right: Box::new(r),
+                    },
+                    est,
+                )
+            }
+        }
+    }
+
+    fn plan_block(&mut self, spec: &BoundSpec) -> (BlockPlan, f64) {
+        let n = spec.from.len();
+        let conjuncts: Vec<&BoundExpr> = spec
+            .predicate
+            .as_ref()
+            .map(|p| p.conjuncts())
+            .unwrap_or_default();
+        let owners: Vec<BTreeSet<usize>> =
+            conjuncts.iter().map(|c| owner_tables(spec, c)).collect();
+        let raw: Vec<f64> = spec
+            .from
+            .iter()
+            .map(|t| self.est.table_rows(&t.schema.name))
+            .collect();
+
+        // Greedy join ordering: start from the smallest filtered table.
+        let first = (0..n)
+            .min_by(|&a, &b| {
+                let fa = self.filtered_rows(spec, a, &conjuncts, &owners, raw[a]);
+                let fb = self.filtered_rows(spec, b, &conjuncts, &owners, raw[b]);
+                fa.total_cmp(&fb)
+            })
+            .expect("block with empty FROM clause");
+        let mut order = vec![first];
+        let mut placed: BTreeSet<usize> = BTreeSet::from([first]);
+        let mut applied = vec![false; conjuncts.len()];
+        let mut cur = self.filtered_rows(spec, first, &conjuncts, &owners, raw[first]);
+        for (i, o) in owners.iter().enumerate() {
+            if o.iter().all(|t| placed.contains(t)) {
+                applied[i] = true;
+            }
+        }
+
+        let mut joins: Vec<JoinStep> = Vec::new();
+        while placed.len() < n {
+            // Choose the table minimizing the estimated step output.
+            let (next, step_est, has_keys) = (0..n)
+                .filter(|t| !placed.contains(t))
+                .map(|t| {
+                    let (est, keys) = self.step_estimate(
+                        spec, t, &placed, &conjuncts, &owners, &applied, cur, raw[t],
+                    );
+                    (t, est, keys)
+                })
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("unplaced table exists");
+
+            // Method choice in executor work units.
+            let nl_cost = cur * raw[next];
+            let hash_cost = if has_keys {
+                raw[next] + cur
+            } else {
+                // Cross step: build side scanned once, no probes.
+                raw[next]
+            };
+            // Prefer hash unless nested loops are cheaper by a clear
+            // margin (2×) — under-estimated outer cardinalities make
+            // nested loops catastrophically wrong, hash merely slower.
+            let method = if 2.0 * nl_cost <= hash_cost {
+                JoinMethod::NestedLoop
+            } else {
+                JoinMethod::Hash
+            };
+            let table = &spec.from[next];
+            let kind = match (method, has_keys) {
+                (JoinMethod::NestedLoop, _) => "NestedLoop",
+                (JoinMethod::Hash, true) => "HashJoin",
+                (JoinMethod::Hash, false) => "CrossJoin",
+            };
+            let id = self.op(
+                format!(
+                    "{kind} with Scan {} AS {}",
+                    table.schema.name, table.binding
+                ),
+                step_est,
+            );
+            joins.push(JoinStep { method, id });
+            placed.insert(next);
+            order.push(next);
+            cur = step_est;
+            for (i, o) in owners.iter().enumerate() {
+                if !applied[i] && o.iter().all(|t| placed.contains(t)) {
+                    applied[i] = true;
+                }
+            }
+        }
+
+        // Uniqueness-derived hard cap on the block output.
+        let mut out_est = cur;
+        if let Some(bound) = self.est.unique_output_bound(spec) {
+            out_est = out_est.min(bound);
+        }
+
+        let t0 = &spec.from[order[0]];
+        let scan_est = self.filtered_rows(spec, order[0], &conjuncts, &owners, raw[order[0]]);
+        let scan = self.op(
+            format!("Scan {} AS {}", t0.schema.name, t0.binding),
+            scan_est,
+        );
+        let cols: Vec<String> = spec
+            .projection
+            .iter()
+            .map(|p| spec.attr_name(p.attr))
+            .collect();
+        let project = self.op(format!("Project [{}]", cols.join(", ")), out_est);
+
+        let distinct = (spec.distinct == uniq_sql::Distinct::Distinct).then(|| {
+            // Distinct output can never exceed the projected domains.
+            let d_est = out_est.min(self.est.projection_domain(spec));
+            let method = if sort_cost(out_est) <= out_est {
+                DistinctMethod::Sort
+            } else {
+                DistinctMethod::Hash
+            };
+            let label = match method {
+                DistinctMethod::Sort => "SortDistinct",
+                DistinctMethod::Hash => "HashDistinct",
+            };
+            DistinctStep {
+                method,
+                id: self.op(label.to_string(), d_est),
+            }
+        });
+
+        let final_est = distinct
+            .map(|d| self.ops[d.id].est as f64)
+            .unwrap_or(out_est);
+        (
+            BlockPlan {
+                order,
+                scan,
+                joins,
+                project,
+                distinct,
+            },
+            final_est,
+        )
+    }
+
+    /// Estimated rows of table `t` after its table-local conjuncts.
+    fn filtered_rows(
+        &self,
+        spec: &BoundSpec,
+        t: usize,
+        conjuncts: &[&BoundExpr],
+        owners: &[BTreeSet<usize>],
+        raw: f64,
+    ) -> f64 {
+        let sel: f64 = conjuncts
+            .iter()
+            .zip(owners)
+            .filter(|(_, o)| o.iter().all(|&x| x == t))
+            .map(|(c, _)| self.est.selectivity(spec, c))
+            .product();
+        raw * sel
+    }
+
+    /// Estimated output of joining `t` onto the current prefix, plus
+    /// whether the newly applicable conjuncts contain equality keys
+    /// usable by a hash join.
+    #[allow(clippy::too_many_arguments)]
+    fn step_estimate(
+        &self,
+        spec: &BoundSpec,
+        t: usize,
+        placed: &BTreeSet<usize>,
+        conjuncts: &[&BoundExpr],
+        owners: &[BTreeSet<usize>],
+        applied: &[bool],
+        cur: f64,
+        raw: f64,
+    ) -> (f64, bool) {
+        let range = spec.from[t].attr_range();
+        let mut est = cur * raw;
+        let mut key_columns: BTreeSet<usize> = BTreeSet::new();
+        for ((c, o), done) in conjuncts.iter().zip(owners).zip(applied) {
+            if *done || !o.iter().all(|x| placed.contains(x) || *x == t) {
+                continue;
+            }
+            est *= self.est.selectivity(spec, c);
+            if let Some(new_attr) = equi_key_attr(c, &range, |idx| {
+                placed.contains(&table_of(spec, idx).unwrap_or(usize::MAX))
+            }) {
+                key_columns.insert(new_attr - range.start);
+            }
+        }
+        // Key coverage: each outer partial matches at most one row of a
+        // table whose candidate key the join keys cover.
+        let covered = spec.from[t]
+            .schema
+            .candidate_keys()
+            .any(|k| k.columns.iter().all(|c| key_columns.contains(c)));
+        if covered {
+            est = est.min(cur);
+        }
+        (est, !key_columns.is_empty())
+    }
+}
+
+/// `n·log₂n` — the comparison cost of sorting `n` rows.
+fn sort_cost(n: f64) -> f64 {
+    if n <= 1.0 {
+        0.0
+    } else {
+        n * n.log2()
+    }
+}
+
+/// The `FROM` position owning product attribute `idx`.
+fn table_of(spec: &BoundSpec, idx: usize) -> Option<usize> {
+    spec.from.iter().position(|t| t.attr_range().contains(&idx))
+}
+
+/// The set of `FROM` positions a conjunct references at its own block
+/// level, including references made from inside nested subqueries
+/// (which see the block's attributes as correlated outers).
+fn owner_tables(spec: &BoundSpec, conjunct: &BoundExpr) -> BTreeSet<usize> {
+    let mut owners = BTreeSet::new();
+    visit_attrs(conjunct, 0, &mut |depth, a: &AttrRef| {
+        if a.up == depth {
+            if let Some(t) = table_of(spec, a.idx) {
+                owners.insert(t);
+            }
+        }
+    });
+    owners
+}
+
+/// If `c` is `placed_attr = new_attr` (either direction) with the new
+/// side inside `range` and the other side satisfying `is_placed`, the
+/// new-side attribute index.
+fn equi_key_attr(
+    c: &BoundExpr,
+    range: &std::ops::Range<usize>,
+    is_placed: impl Fn(usize) -> bool,
+) -> Option<usize> {
+    let BoundExpr::Cmp {
+        op: CmpOp::Eq,
+        left,
+        right,
+    } = c
+    else {
+        return None;
+    };
+    let (a, b) = match (left, right) {
+        (BScalar::Attr(a), BScalar::Attr(b)) if a.is_local() && b.is_local() => (a.idx, b.idx),
+        _ => return None,
+    };
+    match (range.contains(&a), range.contains(&b)) {
+        (false, true) if is_placed(a) => Some(b),
+        (true, false) if is_placed(b) => Some(a),
+        _ => None,
+    }
+}
+
+/// Visit every attribute reference with its subquery depth.
+fn visit_attrs(e: &BoundExpr, depth: usize, f: &mut impl FnMut(usize, &AttrRef)) {
+    let scalar = |s: &BScalar, f: &mut dyn FnMut(usize, &AttrRef)| {
+        if let BScalar::Attr(a) = s {
+            f(depth, a);
+        }
+    };
+    match e {
+        BoundExpr::Cmp { left, right, .. } => {
+            scalar(left, f);
+            scalar(right, f);
+        }
+        BoundExpr::Between {
+            scalar: s,
+            low,
+            high,
+            ..
+        } => {
+            scalar(s, f);
+            scalar(low, f);
+            scalar(high, f);
+        }
+        BoundExpr::InList {
+            scalar: s, list, ..
+        } => {
+            scalar(s, f);
+            for item in list {
+                scalar(item, f);
+            }
+        }
+        BoundExpr::IsNull { scalar: s, .. } => scalar(s, f),
+        BoundExpr::Exists { subquery, .. } => {
+            if let Some(p) = &subquery.predicate {
+                visit_attrs(p, depth + 1, f);
+            }
+        }
+        BoundExpr::InSubquery {
+            scalar: s,
+            subquery,
+            ..
+        } => {
+            scalar(s, f);
+            if let Some(p) = &subquery.predicate {
+                visit_attrs(p, depth + 1, f);
+            }
+        }
+        BoundExpr::And(a, b) | BoundExpr::Or(a, b) => {
+            visit_attrs(a, depth, f);
+            visit_attrs(b, depth, f);
+        }
+        BoundExpr::Not(a) => visit_attrs(a, depth, f),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniq_catalog::sample::supplier_database;
+    use uniq_plan::bind_query;
+    use uniq_sql::parse_query;
+
+    fn plan(sql: &str) -> (PhysicalPlan, BoundQuery) {
+        let db = supplier_database().unwrap();
+        let stats = Statistics::collect(&db);
+        let q = bind_query(db.catalog(), &parse_query(sql).unwrap()).unwrap();
+        (plan_query(&q, &stats), q)
+    }
+
+    fn block(p: &PhysicalPlan) -> &BlockPlan {
+        match &p.root {
+            PhysNode::Block(b) => b,
+            PhysNode::SetOp { .. } => panic!("expected block"),
+        }
+    }
+
+    #[test]
+    fn filtered_table_is_scanned_first() {
+        // PARTS filtered by COLOR='RED' (7 × 1/3 ≈ 2.3) is smaller than
+        // SUPPLIER (5): the planner reorders the join to scan PARTS
+        // first even though it is written second.
+        let (p, _) = plan(
+            "SELECT S.SNO FROM SUPPLIER S, PARTS P \
+             WHERE S.SNO = P.SNO AND P.COLOR = 'RED'",
+        );
+        let b = block(&p);
+        assert_eq!(b.order, vec![1, 0], "PARTS first, then SUPPLIER");
+        assert_eq!(b.joins.len(), 1);
+        assert_eq!(b.joins[0].method, JoinMethod::Hash);
+        assert!(p.ops[b.joins[0].id]
+            .label
+            .contains("HashJoin with Scan SUPPLIER"));
+    }
+
+    #[test]
+    fn key_covered_join_capped_by_outer_side() {
+        // Joining PARTS onto SUPPLIER by SUPPLIER's primary key: each
+        // part matches at most one supplier, so the join estimate is
+        // capped at the PARTS side.
+        let (p, _) = plan(
+            "SELECT P.PNO FROM SUPPLIER S, PARTS P \
+             WHERE S.SNO = P.SNO AND P.COLOR = 'RED'",
+        );
+        let b = block(&p);
+        let join_est = p.ops[b.joins[0].id].est;
+        let scan_est = p.ops[b.scan].est;
+        assert!(
+            join_est <= scan_est,
+            "join est {join_est} must not exceed outer est {scan_est}"
+        );
+    }
+
+    #[test]
+    fn unique_block_output_capped_by_domain_product() {
+        // Projecting the SUPPLIER key → provably unique → est capped by
+        // the key's domain (5 suppliers), and exact here.
+        let (p, _) = plan("SELECT DISTINCT S.SNO FROM SUPPLIER S");
+        let b = block(&p);
+        assert_eq!(p.ops[b.project].est, 5);
+        let d = b.distinct.unwrap();
+        assert_eq!(p.ops[d.id].est, 5);
+    }
+
+    #[test]
+    fn cross_join_labelled_and_hash_materialized() {
+        let (p, _) = plan("SELECT S.SNO, A.ANO FROM SUPPLIER S, AGENTS A");
+        let b = block(&p);
+        assert_eq!(b.joins[0].method, JoinMethod::Hash);
+        assert!(
+            p.ops[b.joins[0].id].label.contains("CrossJoin"),
+            "{:?}",
+            p.ops
+        );
+        assert_eq!(p.ops[b.joins[0].id].est, 25);
+    }
+
+    #[test]
+    fn distinct_method_scales_with_estimate() {
+        // 5×5 cross product of 25 rows: hashing (25 probes) beats
+        // sorting (25·log₂25 ≈ 116 comparisons).
+        let (p, _) = plan("SELECT DISTINCT S.SNO, A.ANO FROM SUPPLIER S, AGENTS A");
+        let b = block(&p);
+        assert_eq!(b.distinct.unwrap().method, DistinctMethod::Hash);
+        // A tiny single-table block keeps the sort default.
+        let (p2, _) = plan("SELECT DISTINCT S.SNO FROM SUPPLIER S WHERE S.SNO = 3");
+        let b2 = block(&p2);
+        assert_eq!(b2.distinct.unwrap().method, DistinctMethod::Sort);
+    }
+
+    #[test]
+    fn setop_nodes_get_method_and_estimate() {
+        let (p, _) = plan("SELECT S.SNO FROM SUPPLIER S INTERSECT SELECT A.SNO FROM AGENTS A");
+        let PhysNode::SetOp { method, id, .. } = &p.root else {
+            panic!("expected setop root");
+        };
+        assert_eq!(*method, DistinctMethod::Hash);
+        assert!(p.ops[*id].label.contains("Intersect [hash-count]"));
+        // INTERSECT emits at most the smaller side.
+        assert_eq!(p.ops[*id].est, 5);
+    }
+
+    #[test]
+    fn empty_outer_estimate_turns_join_into_nested_loop() {
+        // `S.SNO = NULL` never matches → outer estimate 0 → nested
+        // loops cost 0 scans, cheaper than building a hash table.
+        let (p, _) = plan(
+            "SELECT P.PNO FROM SUPPLIER S, PARTS P \
+             WHERE S.SNO = NULL AND S.SNO = P.SNO",
+        );
+        let b = block(&p);
+        assert_eq!(b.order[0], 0, "empty SUPPLIER side first");
+        assert_eq!(b.joins[0].method, JoinMethod::NestedLoop);
+    }
+
+    #[test]
+    fn every_operator_has_a_registry_slot() {
+        let (p, _) = plan(
+            "SELECT DISTINCT S.SNO FROM SUPPLIER S, PARTS P WHERE S.SNO = P.SNO \
+             UNION SELECT A.SNO FROM AGENTS A",
+        );
+        // ops: scan+join+project+distinct (block 1) + scan+project
+        // (block 2) + setop.
+        assert_eq!(p.ops.len(), 7);
+        let rendered = p.render(0, None);
+        assert_eq!(rendered.lines().count(), 7);
+        assert!(rendered.lines().all(|l| l.contains("est=")), "{rendered}");
+    }
+}

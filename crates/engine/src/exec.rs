@@ -17,7 +17,8 @@ use crate::setops::{combine_setop, distinct};
 use crate::stats::{DistinctMethod, ExecStats, JoinMethod};
 use std::collections::HashMap;
 use uniq_catalog::{Database, Row};
-use uniq_plan::{AttrRef, BScalar, BoundExpr, BoundQuery, BoundSpec, HostVars};
+use uniq_cost::{BlockPlan, PhysNode, PhysicalPlan};
+use uniq_plan::{AttrRef, BScalar, BoundExpr, BoundQuery, BoundSpec, FromTable, HostVars};
 use uniq_sql::CmpOp;
 use uniq_types::{Error, Result, Tri, Value};
 
@@ -37,6 +38,9 @@ pub struct Executor<'a> {
     opts: ExecOptions,
     /// Work counters, accumulated across the whole run.
     pub stats: ExecStats,
+    /// Per-operator output counts, parallel to the physical plan's
+    /// operator registry (empty when running without a plan).
+    actuals: Vec<u64>,
 }
 
 impl<'a> Executor<'a> {
@@ -47,34 +51,96 @@ impl<'a> Executor<'a> {
             hostvars,
             opts,
             stats: ExecStats::new(),
+            actuals: Vec::new(),
         }
     }
 
-    /// Execute a query, returning its result rows.
+    /// Execute a query, returning its result rows. Physical strategies
+    /// come from the session-static [`ExecOptions`].
     pub fn run(&mut self, query: &BoundQuery) -> Result<Vec<Row>> {
-        let rows = self.exec_query(query, &[])?;
+        self.run_with_plan(query, None)
+    }
+
+    /// Execute a query, taking per-node physical choices (join order,
+    /// join method, distinct method) from `plan` when one is supplied
+    /// and recording each operator's actual output cardinality (see
+    /// [`Executor::actuals`]). Without a plan, behaves like
+    /// [`Executor::run`].
+    pub fn run_with_plan(
+        &mut self,
+        query: &BoundQuery,
+        plan: Option<&PhysicalPlan>,
+    ) -> Result<Vec<Row>> {
+        if let Some(p) = plan {
+            self.actuals = vec![0; p.ops.len()];
+        }
+        let rows = self.exec_query(query, &[], plan.map(|p| &p.root))?;
         self.stats.rows_output += rows.len() as u64;
         Ok(rows)
     }
 
-    fn exec_query(&mut self, query: &BoundQuery, outer: &[Vec<Value>]) -> Result<Vec<Row>> {
+    /// Measured per-operator output cardinalities of the last
+    /// [`Executor::run_with_plan`] call, indexed by the plan's
+    /// [`OpId`](uniq_cost::OpId)s (empty when no plan was supplied).
+    pub fn actuals(&self) -> &[u64] {
+        &self.actuals
+    }
+
+    fn record(&mut self, id: usize, count: usize) {
+        if let Some(slot) = self.actuals.get_mut(id) {
+            *slot = count as u64;
+        }
+    }
+
+    fn exec_query(
+        &mut self,
+        query: &BoundQuery,
+        outer: &[Vec<Value>],
+        node: Option<&PhysNode>,
+    ) -> Result<Vec<Row>> {
         match query {
-            BoundQuery::Spec(spec) => self.exec_spec(spec, outer),
+            BoundQuery::Spec(spec) => {
+                let block = match node {
+                    Some(PhysNode::Block(b)) => Some(b),
+                    _ => None,
+                };
+                self.exec_spec(spec, outer, block)
+            }
             BoundQuery::SetOp {
                 op,
                 all,
                 left,
                 right,
             } => {
-                let l = self.exec_query(left, outer)?;
-                let r = self.exec_query(right, outer)?;
-                combine_setop(*op, *all, l, r, self.opts.distinct, &mut self.stats)
+                // A plan node is used only when it mirrors the query
+                // shape; a mismatch falls back to static options.
+                let (l_node, r_node, method, id) = match node {
+                    Some(PhysNode::SetOp {
+                        method,
+                        id,
+                        left: l,
+                        right: r,
+                    }) => (Some(l.as_ref()), Some(r.as_ref()), *method, Some(*id)),
+                    _ => (None, None, self.opts.distinct, None),
+                };
+                let l = self.exec_query(left, outer, l_node)?;
+                let r = self.exec_query(right, outer, r_node)?;
+                let out = combine_setop(*op, *all, l, r, method, &mut self.stats)?;
+                if let Some(id) = id {
+                    self.record(id, out.len());
+                }
+                Ok(out)
             }
         }
     }
 
-    fn exec_spec(&mut self, spec: &BoundSpec, outer: &[Vec<Value>]) -> Result<Vec<Row>> {
-        let product = self.block_rows(spec, outer)?;
+    fn exec_spec(
+        &mut self,
+        spec: &BoundSpec,
+        outer: &[Vec<Value>],
+        plan: Option<&BlockPlan>,
+    ) -> Result<Vec<Row>> {
+        let product = self.block_rows(spec, outer, plan)?;
         let mut rows: Vec<Row> = product
             .into_iter()
             .map(|tuple| {
@@ -84,15 +150,33 @@ impl<'a> Executor<'a> {
                     .collect()
             })
             .collect();
+        if let Some(bp) = plan {
+            self.record(bp.project, rows.len());
+        }
         if spec.distinct == uniq_sql::Distinct::Distinct {
-            rows = distinct(rows, self.opts.distinct, &mut self.stats)?;
+            let step = plan.and_then(|bp| bp.distinct);
+            let method = step.map(|d| d.method).unwrap_or(self.opts.distinct);
+            rows = distinct(rows, method, &mut self.stats)?;
+            if let Some(d) = step {
+                self.record(d.id, rows.len());
+            }
         }
         Ok(rows)
     }
 
     /// Materialize the filtered Cartesian product of a block (full-arity
     /// tuples, before projection).
-    fn block_rows(&mut self, spec: &BoundSpec, outer: &[Vec<Value>]) -> Result<Vec<Row>> {
+    fn block_rows(
+        &mut self,
+        spec: &BoundSpec,
+        outer: &[Vec<Value>],
+        plan: Option<&BlockPlan>,
+    ) -> Result<Vec<Row>> {
+        if let Some(bp) = plan {
+            if plan_matches(bp, spec) {
+                return self.block_rows_planned(spec, outer, bp);
+            }
+        }
         if self.opts.join == JoinMethod::Hash && spec.from.len() > 1 {
             self.block_rows_hash(spec, outer)
         } else {
@@ -235,111 +319,235 @@ impl<'a> Executor<'a> {
 
         for (level, table) in spec.from.iter().enumerate().skip(1) {
             let range = table.attr_range();
+            partials = self.hash_step(table, outer, partials, &levels[level], arity, &|idx| {
+                idx < range.start
+            })?;
+        }
+        Ok(partials)
+    }
 
-            // Split this level's conjuncts.
-            let mut self_conj: Vec<&BoundExpr> = Vec::new(); // only new table
-            let mut join_keys: Vec<(usize, usize)> = Vec::new(); // (built attr, new attr)
-            let mut residual: Vec<&BoundExpr> = Vec::new();
-            for c in &levels[level] {
-                if let Some((built, new)) = equi_join_key(c, &range) {
-                    join_keys.push((built, new));
-                    continue;
+    /// One step of the hash pipeline: join `table` onto `partials` using
+    /// this level's conjuncts. Equality conjuncts linking an
+    /// already-bound attribute (per `is_placed`) to the new table become
+    /// hash keys; conjuncts touching only the new table filter its build
+    /// side; the rest run as residual filters over the combined tuples.
+    /// Without any key the step degrades to a Cartesian product with the
+    /// (still filtered, still materialized-once) build side.
+    fn hash_step(
+        &mut self,
+        table: &FromTable,
+        outer: &[Vec<Value>],
+        partials: Vec<Row>,
+        conjuncts: &[&BoundExpr],
+        arity: usize,
+        is_placed: &dyn Fn(usize) -> bool,
+    ) -> Result<Vec<Row>> {
+        let range = table.attr_range();
+
+        // Split this level's conjuncts.
+        let mut self_conj: Vec<&BoundExpr> = Vec::new(); // only new table
+        let mut join_keys: Vec<(usize, usize)> = Vec::new(); // (built attr, new attr)
+        let mut residual: Vec<&BoundExpr> = Vec::new();
+        for &c in conjuncts {
+            if let Some((built, new)) = equi_join_key(c, &range, is_placed) {
+                join_keys.push((built, new));
+                continue;
+            }
+            let mut only_new = true;
+            let mut probe = c.clone();
+            map_all_attr_refs(&mut probe, &mut |depth, a| {
+                if a.up == depth && !range.contains(&a.idx) {
+                    only_new = false;
                 }
-                let mut only_new = true;
-                let mut probe = (*c).clone();
-                map_all_attr_refs(&mut probe, &mut |depth, a| {
-                    if a.up == depth && !range.contains(&a.idx) {
-                        only_new = false;
+            });
+            // Conjuncts with subqueries always go residual: their
+            // evaluation may consult any bound attribute.
+            if only_new && !contains_subquery(c) {
+                self_conj.push(c);
+            } else {
+                residual.push(c);
+            }
+        }
+
+        // Build side: filtered rows of the new table, placed into an
+        // otherwise-null scratch (self_conj only touches new attrs).
+        let mut build: Vec<Row> = Vec::new();
+        {
+            let db = self.db;
+            let rows = db.rows(&table.schema.name)?;
+            let mut scratch = vec![Value::Null; arity];
+            'rows: for row in rows {
+                self.stats.rows_scanned += 1;
+                scratch[range.start..range.end].clone_from_slice(row);
+                for c in &self_conj {
+                    if !self.eval(c, outer, &scratch)?.false_interpreted() {
+                        continue 'rows;
                     }
-                });
-                // Conjuncts with subqueries always go residual: their
-                // evaluation may consult any bound attribute.
-                if only_new && !contains_subquery(c) {
-                    self_conj.push(c);
-                } else {
-                    residual.push(c);
+                }
+                build.push(row.clone());
+            }
+        }
+
+        let mut next: Vec<Row> = Vec::new();
+        if join_keys.is_empty() {
+            // Cartesian with the build side.
+            for partial in &partials {
+                for row in &build {
+                    let mut tuple = partial.clone();
+                    tuple[range.start..range.end].clone_from_slice(row);
+                    next.push(tuple);
                 }
             }
-
-            // Build side: filtered rows of the new table, placed into an
-            // otherwise-null scratch (self_conj only touches new attrs).
-            let mut build: Vec<Row> = Vec::new();
-            {
-                let db = self.db;
-                let rows = db.rows(&table.schema.name)?;
-                let mut scratch = vec![Value::Null; arity];
-                'rows: for row in rows {
-                    self.stats.rows_scanned += 1;
-                    scratch[range.start..range.end].clone_from_slice(row);
-                    for c in &self_conj {
-                        if !self.eval(c, outer, &scratch)?.false_interpreted() {
-                            continue 'rows;
-                        }
+        } else {
+            self.stats.hash_joins += 1;
+            // Hash the build side on its key columns; NULL keys never
+            // match under WHERE `=` and are excluded.
+            let mut table_map: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+            'build: for (i, row) in build.iter().enumerate() {
+                let mut key = Vec::with_capacity(join_keys.len());
+                for &(_, new_attr) in &join_keys {
+                    let v = &row[new_attr - range.start];
+                    if v.is_null() {
+                        continue 'build;
                     }
-                    build.push(row.clone());
+                    key.push(v.clone());
                 }
+                table_map.entry(key).or_default().push(i);
             }
-
-            let mut next: Vec<Row> = Vec::new();
-            if join_keys.is_empty() {
-                // Cartesian with the build side.
-                for partial in &partials {
-                    for row in &build {
+            'probe: for partial in &partials {
+                let mut key = Vec::with_capacity(join_keys.len());
+                for &(built_attr, _) in &join_keys {
+                    let v = &partial[built_attr];
+                    if v.is_null() {
+                        continue 'probe;
+                    }
+                    key.push(v.clone());
+                }
+                self.stats.hash_probes += 1;
+                if let Some(matches) = table_map.get(&key) {
+                    for &i in matches {
                         let mut tuple = partial.clone();
-                        tuple[range.start..range.end].clone_from_slice(row);
+                        tuple[range.start..range.end].clone_from_slice(&build[i]);
                         next.push(tuple);
                     }
                 }
-            } else {
-                self.stats.hash_joins += 1;
-                // Hash the build side on its key columns; NULL keys never
-                // match under WHERE `=` and are excluded.
-                let mut table_map: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
-                'build: for (i, row) in build.iter().enumerate() {
-                    let mut key = Vec::with_capacity(join_keys.len());
-                    for &(_, new_attr) in &join_keys {
-                        let v = &row[new_attr - range.start];
-                        if v.is_null() {
-                            continue 'build;
-                        }
-                        key.push(v.clone());
+            }
+        }
+
+        // Residual conjuncts.
+        if !residual.is_empty() {
+            let mut filtered = Vec::with_capacity(next.len());
+            'tuples: for tuple in next {
+                for c in &residual {
+                    if !self.eval(c, outer, &tuple)?.false_interpreted() {
+                        continue 'tuples;
                     }
-                    table_map.entry(key).or_default().push(i);
                 }
-                'probe: for partial in &partials {
-                    let mut key = Vec::with_capacity(join_keys.len());
-                    for &(built_attr, _) in &join_keys {
-                        let v = &partial[built_attr];
-                        if v.is_null() {
-                            continue 'probe;
+                filtered.push(tuple);
+            }
+            next = filtered;
+        }
+        Ok(next)
+    }
+
+    // --- cost-based pipeline ---------------------------------------------
+
+    /// Execute a block following a cost-based [`BlockPlan`]: the
+    /// planner's join input order, its per-step join methods, and
+    /// per-operator actual-output recording.
+    fn block_rows_planned(
+        &mut self,
+        spec: &BoundSpec,
+        outer: &[Vec<Value>],
+        bp: &BlockPlan,
+    ) -> Result<Vec<Row>> {
+        let arity = spec.product_arity();
+        let n = spec.from.len();
+
+        // Assign each top-level conjunct to the earliest *planned*
+        // position at which every table it references is bound
+        // (references from nested subqueries included — they see this
+        // block's attributes as correlated outers).
+        let mut pos = vec![0usize; n];
+        for (k, &t) in bp.order.iter().enumerate() {
+            pos[t] = k;
+        }
+        let mut levels: Vec<Vec<&BoundExpr>> = vec![Vec::new(); n];
+        if let Some(pred) = &spec.predicate {
+            for c in pred.conjuncts() {
+                let mut level = 0usize;
+                let mut probe = c.clone();
+                map_all_attr_refs(&mut probe, &mut |depth, a| {
+                    if a.up == depth {
+                        let owner = spec
+                            .from
+                            .iter()
+                            .position(|ft| ft.attr_range().contains(&a.idx));
+                        if let Some(at) = owner {
+                            level = level.max(pos[at]);
                         }
-                        key.push(v.clone());
                     }
-                    self.stats.hash_probes += 1;
-                    if let Some(matches) = table_map.get(&key) {
-                        for &i in matches {
+                });
+                levels[level].push(c);
+            }
+        }
+
+        // First table of the planned order: filtered scan.
+        let t0 = &spec.from[bp.order[0]];
+        let mut partials: Vec<Row> = Vec::new();
+        {
+            let db = self.db;
+            let rows = db.rows(&t0.schema.name)?;
+            let mut scratch = vec![Value::Null; arity];
+            'rows: for row in rows {
+                self.stats.rows_scanned += 1;
+                scratch[t0.offset..t0.offset + row.len()].clone_from_slice(row);
+                for c in &levels[0] {
+                    if !self.eval(c, outer, &scratch)?.false_interpreted() {
+                        continue 'rows;
+                    }
+                }
+                partials.push(scratch.clone());
+            }
+        }
+        self.record(bp.scan, partials.len());
+
+        let mut placed: Vec<std::ops::Range<usize>> = vec![t0.attr_range()];
+        for (k, &t) in bp.order.iter().enumerate().skip(1) {
+            let step = bp.joins[k - 1];
+            let table = &spec.from[t];
+            let range = table.attr_range();
+            match step.method {
+                JoinMethod::NestedLoop => {
+                    // Re-scan the table once per outer partial; every
+                    // conjunct of this level runs on the combined tuple.
+                    let db = self.db;
+                    let rows = db.rows(&table.schema.name)?;
+                    let mut next = Vec::new();
+                    for partial in &partials {
+                        'rows: for row in rows {
+                            self.stats.rows_scanned += 1;
                             let mut tuple = partial.clone();
-                            tuple[range.start..range.end].clone_from_slice(&build[i]);
+                            tuple[range.start..range.end].clone_from_slice(row);
+                            for c in &levels[k] {
+                                if !self.eval(c, outer, &tuple)?.false_interpreted() {
+                                    continue 'rows;
+                                }
+                            }
                             next.push(tuple);
                         }
                     }
+                    partials = next;
+                }
+                JoinMethod::Hash => {
+                    partials =
+                        self.hash_step(table, outer, partials, &levels[k], arity, &|idx| {
+                            placed.iter().any(|r| r.contains(&idx))
+                        })?;
                 }
             }
-
-            // Residual conjuncts.
-            if !residual.is_empty() {
-                let mut filtered = Vec::with_capacity(next.len());
-                'tuples: for tuple in next {
-                    for c in &residual {
-                        if !self.eval(c, outer, &tuple)?.false_interpreted() {
-                            continue 'tuples;
-                        }
-                    }
-                    filtered.push(tuple);
-                }
-                next = filtered;
-            }
-            partials = next;
+            placed.push(range);
+            self.record(step.id, partials.len());
         }
         Ok(partials)
     }
@@ -436,7 +644,7 @@ impl<'a> Executor<'a> {
                 let v = self.scalar(scalar, outer, current)?;
                 let mut scopes: Vec<Vec<Value>> = outer.to_vec();
                 scopes.push(current.to_vec());
-                let rows = self.exec_spec(subquery, &scopes)?;
+                let rows = self.exec_spec(subquery, &scopes, None)?;
                 // SQL IN semantics: true if any comparison is true;
                 // otherwise unknown if any comparison is unknown (or the
                 // tested value is NULL and the set is non-empty); false
@@ -486,9 +694,14 @@ fn cmp_tri(op: CmpOp, l: &Value, r: &Value) -> Result<Tri> {
     })
 }
 
-/// Is this conjunct `built_attr = new_attr` (either direction) linking the
-/// already-joined prefix to the table occupying `range`?
-fn equi_join_key(c: &BoundExpr, range: &std::ops::Range<usize>) -> Option<(usize, usize)> {
+/// Is this conjunct `built_attr = new_attr` (either direction) linking an
+/// already-bound attribute (per `is_placed`) to the table occupying
+/// `range`?
+fn equi_join_key(
+    c: &BoundExpr,
+    range: &std::ops::Range<usize>,
+    is_placed: &dyn Fn(usize) -> bool,
+) -> Option<(usize, usize)> {
     let BoundExpr::Cmp {
         op: CmpOp::Eq,
         left,
@@ -502,10 +715,23 @@ fn equi_join_key(c: &BoundExpr, range: &std::ops::Range<usize>) -> Option<(usize
         _ => return None,
     };
     match (range.contains(&a), range.contains(&b)) {
-        (false, true) if a < range.start => Some((a, b)),
-        (true, false) if b < range.start => Some((b, a)),
+        (false, true) if is_placed(a) => Some((a, b)),
+        (true, false) if is_placed(b) => Some((b, a)),
         _ => None,
     }
+}
+
+/// Does `bp` still describe this block's shape? Guards against a stale
+/// cached plan being applied after a rewrite changed the block.
+fn plan_matches(bp: &BlockPlan, spec: &BoundSpec) -> bool {
+    let n = spec.from.len();
+    if n == 0 || bp.order.len() != n || bp.joins.len() != n - 1 {
+        return false;
+    }
+    let mut seen = vec![false; n];
+    bp.order
+        .iter()
+        .all(|&t| t < n && !std::mem::replace(&mut seen[t], true))
 }
 
 fn contains_subquery(e: &BoundExpr) -> bool {

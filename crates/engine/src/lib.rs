@@ -34,3 +34,4 @@ pub use explain::{explain, explain_with_trace, render_trace};
 pub use plancache::{CacheStats, CachedPlan, PlanCache};
 pub use session::{QueryOutput, Session};
 pub use stats::{DistinctMethod, ExecStats, JoinMethod, StageTimings};
+pub use uniq_cost::{CardReport, PhysicalPlan, PlannerOptions, QErrorStats, Statistics};

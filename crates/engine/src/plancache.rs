@@ -59,6 +59,9 @@ pub struct CachedPlan {
     /// Output column names (derived from `query`, cached to keep the
     /// hit path allocation-light).
     pub columns: Vec<ColumnName>,
+    /// The cost-based physical plan, when the session planned one
+    /// (`None` for sessions running on static executor options).
+    pub physical: Option<std::sync::Arc<uniq_cost::PhysicalPlan>>,
 }
 
 struct Entry {
@@ -307,6 +310,7 @@ mod tests {
             columns: query.output_names(),
             query,
             trace: RewriteTrace::default(),
+            physical: None,
         }
     }
 

@@ -13,6 +13,7 @@ use std::sync::Arc;
 use std::time::Instant;
 use uniq_catalog::{Database, Row};
 use uniq_core::pipeline::{Optimizer, OptimizerOptions, RewriteTrace};
+use uniq_cost::{plan_query, CardReport, PhysicalPlan, PlannerOptions, Statistics};
 use uniq_plan::{bind_query, BoundQuery, HostVars};
 use uniq_sql::{parse_statement, Statement};
 use uniq_types::{fnv64, ColumnName, Error, Result};
@@ -33,6 +34,9 @@ pub struct QueryOutput {
     pub timings: StageTimings,
     /// Whether the plan came from the session's plan cache.
     pub cache_hit: bool,
+    /// Per-operator estimated vs. actual cardinalities, when the query
+    /// ran under a cost-based physical plan (`None` on the static path).
+    pub cards: Option<CardReport>,
 }
 
 /// A database handle with optimizer and executor settings.
@@ -48,11 +52,20 @@ pub struct Session {
     pub db: Database,
     /// Rewrite configuration applied before execution.
     pub optimizer: OptimizerOptions,
-    /// Physical execution strategies.
+    /// Static physical execution strategies, used when cost-based
+    /// planning is off (or no statistics have been collected).
     pub exec: ExecOptions,
+    /// Cost-based planner configuration.
+    pub planner: PlannerOptions,
     /// Compiled-plan cache consulted by [`Session::query`] /
     /// [`Session::query_with`]; see [`crate::plancache`].
     pub cache: Arc<PlanCache>,
+    /// Statistics collected by [`Session::analyze`], consumed by the
+    /// cost-based planner.
+    stats: Option<Arc<Statistics>>,
+    /// Bumped on every [`Session::analyze`]; mixed into plan
+    /// fingerprints so plans chosen under old statistics are recompiled.
+    stats_epoch: u64,
 }
 
 fn elapsed_ns(t: Instant) -> u64 {
@@ -67,8 +80,41 @@ impl Session {
             db,
             optimizer: OptimizerOptions::relational(),
             exec: ExecOptions::default(),
+            planner: PlannerOptions::default(),
             cache: Arc::new(PlanCache::default()),
+            stats: None,
+            stats_epoch: 0,
         }
+    }
+
+    /// Collect table and column statistics from the current database
+    /// contents. Bumps the statistics epoch, so plans compiled under
+    /// older statistics are recompiled on their next use.
+    pub fn analyze(&mut self) {
+        self.stats = Some(Arc::new(Statistics::collect(&self.db)));
+        self.stats_epoch += 1;
+    }
+
+    /// Enable cost-based physical planning, collecting statistics first.
+    pub fn with_cost_based(mut self) -> Session {
+        self.planner.cost_based = true;
+        self.analyze();
+        self
+    }
+
+    /// The statistics collected by the last [`Session::analyze`], if any.
+    pub fn statistics(&self) -> Option<&Statistics> {
+        self.stats.as_deref()
+    }
+
+    /// Plan the physical execution of an optimized query, when the
+    /// session is cost-based and has statistics.
+    fn plan_physical(&self, query: &BoundQuery) -> Option<Arc<PhysicalPlan>> {
+        if !self.planner.cost_based {
+            return None;
+        }
+        let stats = self.stats.as_ref()?;
+        Some(Arc::new(plan_query(query, stats)))
     }
 
     /// Replace the plan cache with one of the given capacity. Capacity
@@ -83,12 +129,21 @@ impl Session {
         self.cache.stats()
     }
 
-    /// The tag mixed into plan fingerprints so sessions with different
-    /// optimizer configurations never share plans. `OptimizerOptions`
-    /// is a small `Copy` struct, so its `Debug` form is a faithful,
-    /// cheap serialization of every knob.
+    /// The tag mixed into plan fingerprints so differently configured
+    /// sessions never share plans: it covers the optimizer knobs, the
+    /// static executor strategies, the planner configuration and the
+    /// statistics epoch (cached plans embed physical choices made from
+    /// statistics, so re-`analyze` must recompile them). All option
+    /// structs are small `Copy` types, so their `Debug` form is a
+    /// faithful, cheap serialization of every knob.
     fn options_tag(&self) -> u64 {
-        fnv64(format!("{:?}", self.optimizer).as_bytes())
+        fnv64(
+            format!(
+                "{:?}|{:?}|{:?}|{}",
+                self.optimizer, self.exec, self.planner, self.stats_epoch
+            )
+            .as_bytes(),
+        )
     }
 
     /// Session over the paper's populated Figure 1 database.
@@ -131,8 +186,12 @@ impl Session {
         if let Some(plan) = self.cache.get(fingerprint, &canonical, version) {
             let t = Instant::now();
             let mut executor = Executor::new(&self.db, hostvars, self.exec);
-            let rows = executor.run(&plan.query)?;
+            let rows = executor.run_with_plan(&plan.query, plan.physical.as_deref())?;
             timings.execute_ns = elapsed_ns(t);
+            let cards = plan
+                .physical
+                .as_deref()
+                .map(|p| p.card_report(executor.actuals()));
             return Ok(QueryOutput {
                 columns: plan.columns.clone(),
                 rows,
@@ -140,6 +199,7 @@ impl Session {
                 stats: executor.stats,
                 timings,
                 cache_hit: true,
+                cards,
             });
         }
 
@@ -149,6 +209,7 @@ impl Session {
 
         let t = Instant::now();
         let outcome = Optimizer::new(self.optimizer).optimize(&bound);
+        let physical = self.plan_physical(&outcome.query);
         timings.optimize_ns = elapsed_ns(t);
 
         let columns = outcome.query.output_names();
@@ -160,13 +221,17 @@ impl Session {
                 query: outcome.query.clone(),
                 trace: outcome.trace.clone(),
                 columns: columns.clone(),
+                physical: physical.clone(),
             },
         );
 
         let t = Instant::now();
         let mut executor = Executor::new(&self.db, hostvars, self.exec);
-        let rows = executor.run(&outcome.query)?;
+        let rows = executor.run_with_plan(&outcome.query, physical.as_deref())?;
         timings.execute_ns = elapsed_ns(t);
+        let cards = physical
+            .as_deref()
+            .map(|p| p.card_report(executor.actuals()));
         Ok(QueryOutput {
             columns,
             rows,
@@ -174,6 +239,7 @@ impl Session {
             stats: executor.stats,
             timings,
             cache_hit: false,
+            cards,
         })
     }
 
@@ -194,10 +260,12 @@ impl Session {
         let version = self.db.version();
         if let Some(plan) = self.cache.get(fingerprint, &canonical, version) {
             let body = crate::explain::explain_with_trace(&plan.trace, &plan.query, &self.exec);
-            return Ok(format!("Plan: cached\n{body}"));
+            let cost = self.explain_cost_section(&plan.query, plan.physical.as_deref());
+            return Ok(format!("Plan: cached\n{body}{cost}"));
         }
         let bound = bind_query(self.db.catalog(), &ast)?;
         let outcome = Optimizer::new(self.optimizer).optimize(&bound);
+        let physical = self.plan_physical(&outcome.query);
         let columns = outcome.query.output_names();
         self.cache.insert(
             fingerprint,
@@ -207,10 +275,33 @@ impl Session {
                 query: outcome.query.clone(),
                 trace: outcome.trace.clone(),
                 columns,
+                physical: physical.clone(),
             },
         );
         let body = crate::explain::explain_with_trace(&outcome.trace, &outcome.query, &self.exec);
-        Ok(format!("Plan: compiled\n{body}"))
+        let cost = self.explain_cost_section(&outcome.query, physical.as_deref());
+        Ok(format!("Plan: compiled\n{body}{cost}"))
+    }
+
+    /// The `Cost-based plan` section of `EXPLAIN`: the physical plan
+    /// with estimated and actual rows per operator. Actuals come from
+    /// executing the plan; `EXPLAIN` binds no host variables, so a query
+    /// that needs them renders `act=?` instead. Empty when the session
+    /// has no cost-based plan for the query.
+    fn explain_cost_section(&self, query: &BoundQuery, physical: Option<&PhysicalPlan>) -> String {
+        let Some(plan) = physical else {
+            return String::new();
+        };
+        let hostvars = HostVars::new();
+        let mut executor = Executor::new(&self.db, &hostvars, self.exec);
+        let actuals = executor
+            .run_with_plan(query, Some(plan))
+            .ok()
+            .map(|_| executor.actuals().to_vec());
+        format!(
+            "Cost-based plan (est/act rows):\n{}",
+            plan.render(1, actuals.as_deref())
+        )
     }
 
     /// Optimize and execute an already-bound query (no cache involved —
@@ -219,11 +310,15 @@ impl Session {
         let mut timings = StageTimings::new();
         let t = Instant::now();
         let outcome = Optimizer::new(self.optimizer).optimize(bound);
+        let physical = self.plan_physical(&outcome.query);
         timings.optimize_ns = elapsed_ns(t);
         let t = Instant::now();
         let mut executor = Executor::new(&self.db, hostvars, self.exec);
-        let rows = executor.run(&outcome.query)?;
+        let rows = executor.run_with_plan(&outcome.query, physical.as_deref())?;
         timings.execute_ns = elapsed_ns(t);
+        let cards = physical
+            .as_deref()
+            .map(|p| p.card_report(executor.actuals()));
         Ok(QueryOutput {
             columns: outcome.query.output_names(),
             rows,
@@ -231,6 +326,7 @@ impl Session {
             stats: executor.stats,
             timings,
             cache_hit: false,
+            cards,
         })
     }
 
@@ -257,6 +353,7 @@ impl Session {
             stats: executor.stats,
             timings,
             cache_hit: false,
+            cards: None,
         })
     }
 }
@@ -448,6 +545,105 @@ mod tests {
     fn explain_rejects_ddl() {
         let s = Session::sample().unwrap();
         assert!(s.explain("CREATE TABLE X (A INTEGER)").is_err());
+    }
+
+    #[test]
+    fn cost_based_rows_match_static_execution() {
+        let s = Session::sample().unwrap();
+        let c = s.clone().with_cost_based();
+        for sql in [
+            "SELECT DISTINCT S.SNO, P.PNO, P.PNAME FROM SUPPLIER S, PARTS P \
+             WHERE S.SNO = P.SNO AND P.COLOR = 'RED'",
+            "SELECT S.SNO FROM SUPPLIER S WHERE EXISTS \
+             (SELECT * FROM PARTS P WHERE P.SNO = S.SNO)",
+            "SELECT S.SNO, A.ANO FROM SUPPLIER S, AGENTS A",
+            "SELECT ALL S.SNO FROM SUPPLIER S WHERE S.SCITY = 'Toronto' \
+             INTERSECT SELECT ALL A.SNO FROM AGENTS A",
+            "SELECT DISTINCT P.COLOR FROM PARTS P, SUPPLIER S, AGENTS A \
+             WHERE S.SNO = P.SNO AND S.SNO = A.SNO",
+        ] {
+            let stat = s.query(sql).unwrap();
+            let cost = c.query(sql).unwrap();
+            assert_eq!(
+                multiset(&stat.rows),
+                multiset(&cost.rows),
+                "cost-based result diverged for {sql}"
+            );
+            assert!(stat.cards.is_none());
+            let cards = cost.cards.expect("cost-based run reports cardinalities");
+            assert!(!cards.rows.is_empty());
+            assert!(cards.max_q_error() >= 1.0);
+        }
+    }
+
+    #[test]
+    fn cost_based_cache_hits_keep_reporting_cards() {
+        let s = Session::sample().unwrap().with_cost_based();
+        let sql = "SELECT DISTINCT S.SNO FROM SUPPLIER S, PARTS P WHERE S.SNO = P.SNO";
+        assert!(s.query(sql).unwrap().cards.is_some());
+        let hit = s.query(sql).unwrap();
+        assert!(hit.cache_hit);
+        assert!(hit.cards.is_some(), "cached physical plan still measured");
+    }
+
+    #[test]
+    fn analyze_invalidates_cost_based_plans() {
+        let mut s = Session::sample().unwrap().with_cost_based();
+        let sql = "SELECT S.SNO FROM SUPPLIER S";
+        s.query(sql).unwrap();
+        assert!(s.query(sql).unwrap().cache_hit);
+        // New statistics epoch → new fingerprint → plans recompiled.
+        s.analyze();
+        assert!(!s.query(sql).unwrap().cache_hit);
+    }
+
+    #[test]
+    fn static_and_cost_based_sessions_do_not_share_plans() {
+        let s = Session::sample().unwrap();
+        let mut c = s.clone(); // shares the cache
+        c.planner.cost_based = true;
+        c.analyze();
+        let sql = "SELECT S.SNO FROM SUPPLIER S";
+        s.query(sql).unwrap();
+        assert!(!c.query(sql).unwrap().cache_hit);
+    }
+
+    #[test]
+    fn exec_options_separate_cached_plans() {
+        let sort = Session::sample().unwrap();
+        let mut hash = sort.clone(); // shares the cache
+        hash.exec.distinct = crate::stats::DistinctMethod::Hash;
+        let sql = "SELECT DISTINCT S.SNO FROM SUPPLIER S";
+        sort.query(sql).unwrap();
+        assert!(!hash.query(sql).unwrap().cache_hit);
+    }
+
+    #[test]
+    fn explain_shows_est_and_act_when_cost_based() {
+        let s = Session::sample().unwrap().with_cost_based();
+        let sql = "SELECT DISTINCT S.SNO, P.PNO FROM SUPPLIER S, PARTS P \
+                   WHERE S.SNO = P.SNO AND P.COLOR = 'RED'";
+        let out = s.explain(sql).unwrap();
+        assert!(out.contains("Cost-based plan (est/act rows):"), "{out}");
+        let section = out.split("Cost-based plan (est/act rows):").nth(1).unwrap();
+        for line in section.lines().filter(|l| !l.trim().is_empty()) {
+            assert!(line.contains("est="), "{line}");
+            assert!(line.contains("act="), "{line}");
+        }
+        assert!(!section.contains("act=?"), "actuals were measured: {out}");
+        // The static session's EXPLAIN has no cost section.
+        let plain = Session::sample().unwrap().explain(sql).unwrap();
+        assert!(!plain.contains("Cost-based plan"), "{plain}");
+    }
+
+    #[test]
+    fn explain_hostvar_query_renders_unmeasured_actuals() {
+        let s = Session::sample().unwrap().with_cost_based();
+        let out = s
+            .explain("SELECT S.SNO FROM SUPPLIER S WHERE S.SCITY = :CITY")
+            .unwrap();
+        assert!(out.contains("Cost-based plan (est/act rows):"), "{out}");
+        assert!(out.contains("act=?"), "unbound host variable: {out}");
     }
 
     #[test]

@@ -1,26 +1,10 @@
 //! Execution statistics and executor tuning knobs.
+//!
+//! The physical-method enums moved to `uniq-cost` (the planner chooses
+//! them per node); they are re-exported here so existing imports keep
+//! working.
 
-/// How duplicate elimination is performed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum DistinctMethod {
-    /// Sort the result and collapse adjacent `=̇`-equal runs — the
-    /// strategy whose cost the paper's §1 calls "expensive". Default.
-    #[default]
-    Sort,
-    /// Hash-set elimination (ablation; see experiment E12).
-    Hash,
-}
-
-/// How multi-table blocks are joined.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum JoinMethod {
-    /// Build/probe hash tables on available equality conjuncts, falling
-    /// back to nested loops when none apply. Default.
-    #[default]
-    Hash,
-    /// Pure nested loops (the naive strategy subquery rewrites avoid).
-    NestedLoop,
-}
+pub use uniq_cost::{DistinctMethod, JoinMethod};
 
 /// Work counters maintained by every operator.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]

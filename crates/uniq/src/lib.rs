@@ -39,6 +39,7 @@
 //! | [`plan`] | binder, bound algebra, CNF/DNF normalization |
 //! | [`fd`] | FD sets, closure, candidate keys |
 //! | [`core`] | Algorithm 1, FD uniqueness test, rewrite rules |
+//! | [`cost`] | statistics, cardinality estimator, cost-based planner |
 //! | [`engine`] | executor, set operations, [`engine::Session`] |
 //! | [`ims`] | HIDAM/DL-I simulator and the Example 10 gateway |
 //! | [`oodb`] | pointer-based object store, Example 11 strategies |
@@ -46,6 +47,7 @@
 
 pub use uniq_catalog as catalog;
 pub use uniq_core as core;
+pub use uniq_cost as cost;
 pub use uniq_engine as engine;
 pub use uniq_fd as fd;
 pub use uniq_ims as ims;

@@ -13,7 +13,7 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
-use uniq_engine::{CacheStats, ExecStats, Session, StageTimings};
+use uniq_engine::{CacheStats, ExecStats, QErrorStats, Session, StageTimings};
 
 /// Knobs for [`run_batch`].
 #[derive(Debug, Clone, Copy, Default)]
@@ -47,6 +47,10 @@ pub struct BatchReport {
     /// hits re-count the firings recorded in the cached plan's trace, so
     /// this reflects what the *served* plans did, not just compilations.
     pub rule_fires: BTreeMap<String, u64>,
+    /// Cardinality-estimation accuracy (q-error) aggregated over every
+    /// operator of every cost-based plan served; empty when the session
+    /// runs on static executor options.
+    pub qerror: QErrorStats,
     /// Elapsed wall-clock time for the whole batch.
     pub elapsed: Duration,
     /// Worker threads actually used.
@@ -85,6 +89,7 @@ struct WorkerTally {
     timings: StageTimings,
     exec: ExecStats,
     rule_fires: BTreeMap<String, u64>,
+    qerror: QErrorStats,
 }
 
 impl WorkerTally {
@@ -101,6 +106,7 @@ impl WorkerTally {
         for (rule, fires) in self.rule_fires {
             *report.rule_fires.entry(rule).or_insert(0) += fires;
         }
+        report.qerror.absorb(&self.qerror);
     }
 }
 
@@ -153,6 +159,9 @@ pub fn run_batch(session: &Session, queries: &[String], options: BatchOptions) -
                             tally.exec.absorb(&out.stats);
                             for step in &out.trace.steps {
                                 *tally.rule_fires.entry(step.rule.to_string()).or_insert(0) += 1;
+                            }
+                            if let Some(cards) = &out.cards {
+                                tally.qerror.record(cards);
                             }
                         }
                         Err(e) => {
@@ -229,6 +238,21 @@ mod tests {
         assert!(report.cache.insertions <= 3 * report.threads as u64);
         assert!(report.cache_hits >= 120 - 3 * report.threads as u64);
         assert_eq!(session.cache.len(), 3);
+    }
+
+    #[test]
+    fn cost_based_batch_reports_qerror() {
+        let session = Session::new(supplier_database().unwrap()).with_cost_based();
+        let corpus = repeated_corpus(4);
+        let report = run_batch(&session, &corpus, BatchOptions { threads: 2 });
+        assert_eq!(report.errors, 0, "{:?}", report.first_error);
+        assert!(report.qerror.ops > 0, "cost-based plans are measured");
+        assert!(report.qerror.max >= 1.0);
+        assert!(report.qerror.mean() >= 1.0);
+        // A static session measures nothing.
+        let session = Session::new(supplier_database().unwrap());
+        let report = run_batch(&session, &corpus, BatchOptions { threads: 1 });
+        assert_eq!(report.qerror.ops, 0);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! \set NAME value            bind a host variable (:NAME)
 //! \explain SQL               show the rewrite trace and physical plan
 //! \profile rel|nav|off       choose the optimizer profile
+//! \analyze                   collect statistics, enable cost-based planning
 //! \q                         quit
 //! ```
 
@@ -25,7 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut out = std::io::stdout();
 
     println!("uniqueness SQL shell — Figure 1 supplier database loaded.");
-    println!("Type SQL, or \\d, \\set NAME value, \\profile rel|nav|off, \\q.");
+    println!("Type SQL, or \\d, \\set NAME value, \\profile rel|nav|off, \\analyze, \\q.");
     loop {
         print!("sql> ");
         out.flush()?;
@@ -68,6 +69,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                         Ok(text) => print!("{text}"),
                         Err(e) => println!("error: {e}"),
                     }
+                }
+                Some("analyze") => {
+                    session.planner.cost_based = true;
+                    session.analyze();
+                    let stats = session.statistics().expect("just collected");
+                    println!(
+                        "  statistics collected for {} table(s); cost-based planning on",
+                        stats.len()
+                    );
                 }
                 Some("profile") => match words.next() {
                     Some("rel") => {
