@@ -27,6 +27,11 @@ cargo test -q -p uniq-core pipeline
 echo "==> fast lane: cost model tests"
 cargo test -q -p uniq-cost
 
+echo "==> fast lane: parallel/serial agreement at a 2-worker degree"
+# --test-threads=1 keeps the 2-worker morsel pools from oversubscribing
+# the CI host, so the lane's timing stays predictable.
+cargo test -q -p uniqueness --test parallel_agreement -- --test-threads=1
+
 echo "==> cargo build --release"
 cargo build --release
 

@@ -10,8 +10,8 @@ use std::collections::HashMap;
 use std::time::Duration;
 use uniq_bench::baseline::optimize_root_restart;
 use uniq_bench::{
-    e15_exists_chain, e15_union_chain, e16_contenders, e16_corpus, fmt_duration, median_time,
-    scaled_session, total_work, E2_QUERY, E4_QUERY, E5_QUERY,
+    e15_exists_chain, e15_union_chain, e16_contenders, e16_corpus, e17_corpus, fmt_duration,
+    median_time, scaled_session, total_work, E17_UNIQUE_JOIN, E2_QUERY, E4_QUERY, E5_QUERY,
 };
 use uniqueness::core::algorithm1::{algorithm1, Algorithm1Options};
 use uniqueness::core::analysis::unique_projection;
@@ -77,6 +77,119 @@ fn main() {
     if want("e16") {
         e16_cost_based_planning();
     }
+    if want("e17") {
+        e17_parallel_executor(runs);
+    }
+}
+
+/// E17 — morsel-driven intra-query parallelism: serial vs parallel
+/// sessions over the large-join corpus, multiset-identical results at
+/// every degree, and the unique-key join kernel's probe-step saving.
+fn e17_parallel_executor(runs: usize) {
+    header(
+        "E17",
+        "morsel-driven parallel execution + unique-key join kernels",
+    );
+    let serial = scaled_session(400, 8);
+    let corpus = e17_corpus();
+    println!(
+        "corpus: {} large-join statements over a 400-supplier database",
+        corpus.len()
+    );
+
+    let sorted = |session: &Session, sql: &str| -> Vec<Vec<Value>> {
+        let mut rows = session
+            .query(sql)
+            .unwrap_or_else(|e| panic!("{sql}: {e}"))
+            .rows;
+        rows.sort_by(|a, b| uniqueness::types::value::tuple_null_cmp(a, b).unwrap());
+        rows
+    };
+
+    // Correctness before speed: every degree must return the serial
+    // multiset for every statement.
+    let sessions: Vec<(String, Session)> = [1usize, 2, 4]
+        .into_iter()
+        .map(|deg| {
+            let s = if deg == 1 {
+                serial.clone()
+            } else {
+                serial.clone().with_degree(deg)
+            };
+            (format!("degree {deg}"), s)
+        })
+        .collect();
+    for sql in &corpus {
+        let want = sorted(&sessions[0].1, sql);
+        for (name, session) in &sessions[1..] {
+            assert_eq!(
+                sorted(session, sql),
+                want,
+                "{name} multiset differs for {sql}"
+            );
+        }
+    }
+    println!("multisets: identical at every degree for every statement\n");
+
+    let batch_time = |session: &Session| {
+        median_time(runs, || {
+            for sql in &corpus {
+                session.query(sql).expect("e17 statement");
+            }
+        })
+    };
+    let base = batch_time(&sessions[0].1);
+    println!("{:>10} {:>12} {:>9}", "session", "batch", "speedup");
+    let mut speedup4 = 1.0f64;
+    for (name, session) in &sessions {
+        let t = batch_time(session);
+        let speedup = base.as_secs_f64() / t.as_secs_f64().max(f64::EPSILON);
+        if name == "degree 4" {
+            speedup4 = speedup;
+        }
+        println!("{:>10} {:>12} {:>8.2}x", name, fmt_duration(t), speedup);
+    }
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if cores >= 4 {
+        assert!(
+            speedup4 >= 2.0,
+            "4-worker speedup {speedup4:.2}x below the 2x bar on a {cores}-core host"
+        );
+        println!("4-worker speedup {speedup4:.2}x meets the 2x bar ({cores} cores)");
+    } else {
+        println!(
+            "(host exposes {cores} core(s); the 2x-at-4-workers bar needs >= 4 \
+             and is skipped — correctness asserts above still ran)"
+        );
+    }
+
+    // The unique-key kernel: SUPPLIER's PK covers the join key, so every
+    // probe costs exactly one step; the chained table pays one step per
+    // bucket entry plus the end-of-chain check.
+    let unique = serial.clone().with_degree(4);
+    let mut chained = serial.clone().with_degree(4);
+    chained.exec.unique_kernels = false;
+    let u = unique.query(E17_UNIQUE_JOIN).expect("unique kernel run");
+    let c = chained.query(E17_UNIQUE_JOIN).expect("chained kernel run");
+    assert_eq!(
+        u.rows.len(),
+        c.rows.len(),
+        "kernel choice changed the result"
+    );
+    println!(
+        "\nunique-key kernel on `{E17_UNIQUE_JOIN}`:\n\
+         {:>10} {:>12}\n{:>10} {:>12}\n{:>10} {:>12}",
+        "kernel", "probe steps", "unique", u.stats.probe_steps, "chained", c.stats.probe_steps
+    );
+    assert!(
+        u.stats.probe_steps < c.stats.probe_steps,
+        "unique kernel took {} probe steps, chained took {}",
+        u.stats.probe_steps,
+        c.stats.probe_steps
+    );
+    println!("unique kernel probes strictly fewer steps than the chained table");
 }
 
 /// E16 — cost-based per-node physical planning vs every static
@@ -680,8 +793,22 @@ fn e14_plan_cache() {
 
     let cached = scaled_session(50, 2);
     let uncached = cached.clone().with_cache_capacity(0);
-    let cold = run_batch(&uncached, &corpus, BatchOptions { threads: 1 });
-    let hot = run_batch(&cached, &corpus, BatchOptions { threads: 1 });
+    let cold = run_batch(
+        &uncached,
+        &corpus,
+        BatchOptions {
+            threads: 1,
+            degree: None,
+        },
+    );
+    let hot = run_batch(
+        &cached,
+        &corpus,
+        BatchOptions {
+            threads: 1,
+            degree: None,
+        },
+    );
     assert_eq!(cold.errors, 0, "{:?}", cold.first_error);
     assert_eq!(hot.errors, 0, "{:?}", hot.first_error);
     assert_eq!(
@@ -742,7 +869,14 @@ fn e14_plan_cache() {
     );
     for threads in [1usize, 2, 4, 8] {
         let session = cached.clone().with_cache_capacity(1024);
-        let r = run_batch(&session, &corpus, BatchOptions { threads });
+        let r = run_batch(
+            &session,
+            &corpus,
+            BatchOptions {
+                threads,
+                degree: None,
+            },
+        );
         assert_eq!(r.errors, 0, "{:?}", r.first_error);
         println!(
             "{:>8} {:>12} {:>14.0} {:>9.1}%",

@@ -147,12 +147,47 @@ pub fn e16_contenders(db: Database) -> Vec<(&'static str, Session)> {
         ),
     ] {
         let mut s = Session::new(db.clone());
-        s.exec = ExecOptions { distinct, join };
+        s.exec = ExecOptions {
+            distinct,
+            join,
+            ..Default::default()
+        };
         out.push((name, s));
     }
     out.push(("cost-based", Session::new(db).with_cost_based()));
     out
 }
+
+/// The E17 corpus: the large-join subset of the E16 shapes — multi-table
+/// equi-joins, joins under `DISTINCT`, and set operations over join
+/// blocks — where a scan-heavy pipeline gives the morsel-parallel
+/// executor actual work to split. Single-table probes are deliberately
+/// excluded: per-morsel overhead dominates them and E17 is about the
+/// join kernels.
+pub fn e17_corpus() -> Vec<String> {
+    [
+        "SELECT P.PNO, S.SNAME FROM PARTS P, SUPPLIER S WHERE S.SNO = P.SNO",
+        "SELECT DISTINCT S.SCITY, P.COLOR FROM SUPPLIER S, PARTS P WHERE S.SNO = P.SNO",
+        "SELECT S.SNO, P.PNO, A.ANO FROM SUPPLIER S, PARTS P, AGENTS A \
+         WHERE S.SNO = P.SNO AND S.SNO = A.SNO",
+        "SELECT DISTINCT P.COLOR FROM PARTS P, SUPPLIER S, AGENTS A \
+         WHERE S.SNO = P.SNO AND S.SNO = A.SNO",
+        "SELECT ALL S.SNO FROM SUPPLIER S, PARTS P WHERE S.SNO = P.SNO AND P.COLOR = 'RED' \
+         INTERSECT SELECT ALL A.SNO FROM AGENTS A, SUPPLIER S WHERE A.SNO = S.SNO",
+        "SELECT ALL P.SNO FROM PARTS P WHERE P.COLOR = 'RED' \
+         EXCEPT ALL SELECT ALL A.SNO FROM AGENTS A WHERE A.ACITY = 'Ottawa'",
+        "SELECT S.SNO, S.SNAME FROM SUPPLIER S WHERE EXISTS \
+         (SELECT * FROM PARTS P WHERE P.SNO = S.SNO AND P.COLOR = 'RED')",
+    ]
+    .into_iter()
+    .map(String::from)
+    .collect()
+}
+
+/// The E17 key-covered join: `SUPPLIER` is the build side and the join
+/// key `SNO` is its primary key, so the unique-key kernel applies.
+pub const E17_UNIQUE_JOIN: &str =
+    "SELECT P.PNO, S.SNAME FROM PARTS P, SUPPLIER S WHERE S.SNO = P.SNO";
 
 /// Format a `Duration` compactly for tables.
 pub fn fmt_duration(d: Duration) -> String {
@@ -201,7 +236,14 @@ mod tests {
         let corpus = e16_corpus(7, 24);
         let mut works: Vec<(&str, u64)> = Vec::new();
         for (name, session) in e16_contenders(db) {
-            let report = run_batch(&session, &corpus, BatchOptions { threads: 2 });
+            let report = run_batch(
+                &session,
+                &corpus,
+                BatchOptions {
+                    threads: 2,
+                    degree: None,
+                },
+            );
             assert_eq!(report.errors, 0, "{name}: {:?}", report.first_error);
             if name == "cost-based" {
                 assert!(report.qerror.ops > 0, "cost-based runs measure q-error");
@@ -248,6 +290,42 @@ mod tests {
                 );
             }
         }
+    }
+
+    fn sorted_rows(
+        session: &Session,
+        sql: &str,
+    ) -> (Vec<Vec<uniqueness::types::Value>>, ExecStats) {
+        let out = session.query(sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
+        let mut rows = out.rows;
+        rows.sort_by(|a, b| uniqueness::types::value::tuple_null_cmp(a, b).unwrap());
+        (rows, out.stats)
+    }
+
+    #[test]
+    fn e17_parallel_agrees_with_serial_and_unique_kernel_probes_fewer() {
+        let serial = scaled_session(120, 6);
+        let parallel = serial.clone().with_degree(4);
+        for sql in e17_corpus() {
+            let (want, _) = sorted_rows(&serial, &sql);
+            let (got, stats) = sorted_rows(&parallel, &sql);
+            assert_eq!(got, want, "parallel multiset differs for {sql}");
+            assert!(stats.morsels > 0, "no morsel dispatch for {sql}");
+        }
+
+        // The unique-key kernel: SUPPLIER's PK covers the join key, so
+        // every probe costs exactly one step instead of chain-walk + 1.
+        let mut chained = serial.clone().with_degree(4);
+        chained.exec.unique_kernels = false;
+        let (want, unique_stats) = sorted_rows(&parallel, E17_UNIQUE_JOIN);
+        let (got, chained_stats) = sorted_rows(&chained, E17_UNIQUE_JOIN);
+        assert_eq!(got, want, "kernel choice changed the result multiset");
+        assert!(
+            unique_stats.probe_steps < chained_stats.probe_steps,
+            "unique kernel took {} probe steps, chained took {}",
+            unique_stats.probe_steps,
+            chained_stats.probe_steps
+        );
     }
 
     #[test]

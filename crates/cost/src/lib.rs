@@ -41,7 +41,7 @@ pub mod stats;
 pub use card::{CardReport, CardRow, QErrorStats};
 pub use estimate::Estimator;
 pub use physical::{
-    BlockPlan, DistinctMethod, DistinctStep, JoinMethod, JoinStep, OpId, OpInfo, PhysNode,
+    BlockPlan, Degree, DistinctMethod, DistinctStep, JoinMethod, JoinStep, OpId, OpInfo, PhysNode,
     PhysicalPlan,
 };
 pub use planner::{plan_query, PlannerOptions};

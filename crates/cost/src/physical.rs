@@ -37,6 +37,33 @@ pub enum JoinMethod {
     NestedLoop,
 }
 
+/// Parallel degree of the morsel-driven executor: how many workers a
+/// query (or, in a cost-based plan, one operator) may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Degree {
+    /// Single-threaded row-at-a-time execution — the correctness oracle
+    /// every parallel path is property-tested against. Default.
+    #[default]
+    Serial,
+    /// One worker per available core.
+    Auto,
+    /// Exactly this many workers (`0` and `1` both mean serial).
+    Fixed(usize),
+}
+
+impl Degree {
+    /// Resolve to a concrete worker count on this host, at least 1.
+    pub fn resolve(self) -> usize {
+        match self {
+            Degree::Serial => 1,
+            Degree::Auto => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            Degree::Fixed(n) => n.max(1),
+        }
+    }
+}
+
 /// Index of an operator in [`PhysicalPlan::ops`].
 pub type OpId = usize;
 
@@ -47,6 +74,9 @@ pub struct OpInfo {
     pub label: String,
     /// Estimated output rows.
     pub est: u64,
+    /// Workers the planner assigned to this operator (1 = serial);
+    /// rendered as `deg=N` when parallel.
+    pub deg: usize,
 }
 
 /// One pipeline join step (the table it introduces is
@@ -57,6 +87,13 @@ pub struct JoinStep {
     pub method: JoinMethod,
     /// Operator slot.
     pub id: OpId,
+    /// Workers for this step's build/probe phases (1 = serial).
+    pub deg: usize,
+    /// The step's equality keys cover a candidate key of the incoming
+    /// table, so each outer partial matches at most one row — the
+    /// parallel executor may use the unique-key hash kernel (no bucket
+    /// chains, probe stops at the first match).
+    pub unique: bool,
 }
 
 /// The duplicate-elimination step of a `SELECT DISTINCT` block.
@@ -66,6 +103,8 @@ pub struct DistinctStep {
     pub method: DistinctMethod,
     /// Operator slot.
     pub id: OpId,
+    /// Workers for partition-local duplicate elimination (1 = serial).
+    pub deg: usize,
 }
 
 /// Physical choices for one query block.
@@ -76,6 +115,8 @@ pub struct BlockPlan {
     pub order: Vec<usize>,
     /// Operator slot of the initial filtered scan (`order[0]`).
     pub scan: OpId,
+    /// Workers for the initial morselized scan (1 = serial).
+    pub scan_deg: usize,
     /// Join steps, parallel to `order[1..]`.
     pub joins: Vec<JoinStep>,
     /// Operator slot of the projection (block output).
@@ -96,6 +137,8 @@ pub enum PhysNode {
         method: DistinctMethod,
         /// Operator slot.
         id: OpId,
+        /// Workers for the partition-local counting pass (1 = serial).
+        deg: usize,
         /// Left input plan.
         left: Box<PhysNode>,
         /// Right input plan.
@@ -127,9 +170,14 @@ impl PhysicalPlan {
             out.push_str("  ");
         }
         let op = &self.ops[id];
+        let deg = if op.deg > 1 {
+            format!(" deg={}", op.deg)
+        } else {
+            String::new()
+        };
         match actuals.and_then(|a| a.get(id)) {
-            Some(act) => out.push_str(&format!("{} est={} act={}\n", op.label, op.est, act)),
-            None => out.push_str(&format!("{} est={} act=?\n", op.label, op.est)),
+            Some(act) => out.push_str(&format!("{} est={} act={}{deg}\n", op.label, op.est, act)),
+            None => out.push_str(&format!("{} est={} act=?{deg}\n", op.label, op.est)),
         }
     }
 
@@ -199,32 +247,40 @@ mod tests {
             root: PhysNode::Block(BlockPlan {
                 order: vec![0, 1],
                 scan: 0,
+                scan_deg: 1,
                 joins: vec![JoinStep {
                     method: JoinMethod::Hash,
                     id: 1,
+                    deg: 2,
+                    unique: true,
                 }],
                 project: 2,
                 distinct: Some(DistinctStep {
                     method: DistinctMethod::Hash,
                     id: 3,
+                    deg: 1,
                 }),
             }),
             ops: vec![
                 OpInfo {
                     label: "Scan SUPPLIER AS S".into(),
                     est: 5,
+                    deg: 1,
                 },
                 OpInfo {
                     label: "HashJoin with Scan PARTS AS P".into(),
                     est: 7,
+                    deg: 2,
                 },
                 OpInfo {
                     label: "Project [S.SNO]".into(),
                     est: 7,
+                    deg: 1,
                 },
                 OpInfo {
                     label: "HashDistinct".into(),
                     est: 4,
+                    deg: 1,
                 },
             ],
         }
@@ -237,11 +293,16 @@ mod tests {
         for needle in [
             "HashDistinct est=4 act=4",
             "Project [S.SNO] est=7 act=6",
-            "HashJoin with Scan PARTS AS P est=7 act=6",
+            "HashJoin with Scan PARTS AS P est=7 act=6 deg=2",
             "Scan SUPPLIER AS S est=5 act=5",
         ] {
             assert!(with.contains(needle), "{with}");
         }
+        // Serial operators carry no degree annotation.
+        assert!(
+            !with.contains("Scan SUPPLIER AS S est=5 act=5 deg"),
+            "{with}"
+        );
         // Distinct on top, scan at the bottom, indentation increasing.
         let lines: Vec<&str> = with.lines().collect();
         assert!(lines[0].starts_with("HashDistinct"));

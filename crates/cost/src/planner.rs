@@ -24,7 +24,7 @@
 
 use crate::estimate::Estimator;
 use crate::physical::{
-    BlockPlan, DistinctMethod, DistinctStep, JoinMethod, JoinStep, OpId, OpInfo, PhysNode,
+    BlockPlan, Degree, DistinctMethod, DistinctStep, JoinMethod, JoinStep, OpId, OpInfo, PhysNode,
     PhysicalPlan,
 };
 use crate::stats::Statistics;
@@ -32,20 +32,33 @@ use std::collections::BTreeSet;
 use uniq_plan::{AttrRef, BScalar, BoundExpr, BoundQuery, BoundSpec};
 use uniq_sql::{CmpOp, SetOp};
 
+/// Per-morsel dispatch overhead expressed in row-work units: adding a
+/// worker to an operator only pays off while every worker still owns at
+/// least this much estimated work (thread hand-off, partition vectors
+/// and result stitching all cost real time; see DESIGN.md §6).
+pub const ROWS_PER_WORKER: f64 = 512.0;
+
 /// Session-level planner configuration.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PlannerOptions {
     /// Use collected statistics to choose per-node physical operators;
     /// when `false`, the session's static `ExecOptions` apply.
     pub cost_based: bool,
+    /// Worker budget for per-operator parallel-degree choices. The
+    /// planner never exceeds it and scales each operator down to the
+    /// degree its estimated work (already tightened by the
+    /// uniqueness-derived cardinality caps) can amortize against
+    /// [`ROWS_PER_WORKER`].
+    pub degree: Degree,
 }
 
 /// Plan a bound (typically optimizer-rewritten) query against collected
 /// statistics.
-pub fn plan_query(query: &BoundQuery, stats: &Statistics) -> PhysicalPlan {
+pub fn plan_query(query: &BoundQuery, stats: &Statistics, options: PlannerOptions) -> PhysicalPlan {
     let mut planner = Planner {
         est: Estimator::new(stats),
         ops: Vec::new(),
+        max_deg: options.degree.resolve(),
     };
     let (root, _) = planner.plan_node(query);
     PhysicalPlan {
@@ -57,16 +70,30 @@ pub fn plan_query(query: &BoundQuery, stats: &Statistics) -> PhysicalPlan {
 struct Planner<'a> {
     est: Estimator<'a>,
     ops: Vec<OpInfo>,
+    max_deg: usize,
 }
 
 impl Planner<'_> {
-    fn op(&mut self, label: String, est: f64) -> OpId {
+    fn op(&mut self, label: String, est: f64, deg: usize) -> OpId {
         let id = self.ops.len();
         self.ops.push(OpInfo {
             label,
             est: est.min(u64::MAX as f64).ceil() as u64,
+            deg,
         });
         id
+    }
+
+    /// Workers for an operator expected to perform `work` row-units:
+    /// one per [`ROWS_PER_WORKER`] of estimated work, clamped to the
+    /// session budget. Estimates already carry the uniqueness-derived
+    /// caps, so a key-covered join or duplicate-free block is never
+    /// over-parallelized on the strength of a loose guess.
+    fn op_degree(&self, work: f64) -> usize {
+        if self.max_deg <= 1 {
+            return 1;
+        }
+        ((work / ROWS_PER_WORKER) as usize).clamp(1, self.max_deg)
     }
 
     fn plan_node(&mut self, query: &BoundQuery) -> (PhysNode, f64) {
@@ -113,11 +140,14 @@ impl Planner<'_> {
                     }
                 };
                 let label = format!("{name}{} [{strategy}]", if *all { "All" } else { "" });
-                let id = self.op(label, est);
+                // UNION ALL concatenates — no counting pass to fan out.
+                let deg = if concat { 1 } else { self.op_degree(n) };
+                let id = self.op(label, est, deg);
                 (
                     PhysNode::SetOp {
                         method,
                         id,
+                        deg,
                         left: Box::new(l),
                         right: Box::new(r),
                     },
@@ -163,13 +193,13 @@ impl Planner<'_> {
         let mut joins: Vec<JoinStep> = Vec::new();
         while placed.len() < n {
             // Choose the table minimizing the estimated step output.
-            let (next, step_est, has_keys) = (0..n)
+            let (next, step_est, has_keys, covered) = (0..n)
                 .filter(|t| !placed.contains(t))
                 .map(|t| {
-                    let (est, keys) = self.step_estimate(
+                    let (est, keys, covered) = self.step_estimate(
                         spec, t, &placed, &conjuncts, &owners, &applied, cur, raw[t],
                     );
-                    (t, est, keys)
+                    (t, est, keys, covered)
                 })
                 .min_by(|a, b| a.1.total_cmp(&b.1))
                 .expect("unplaced table exists");
@@ -196,14 +226,25 @@ impl Planner<'_> {
                 (JoinMethod::Hash, true) => "HashJoin",
                 (JoinMethod::Hash, false) => "CrossJoin",
             };
+            // Degree amortized against the step's own work estimate.
+            let deg = self.op_degree(match method {
+                JoinMethod::NestedLoop => nl_cost,
+                JoinMethod::Hash => hash_cost,
+            });
             let id = self.op(
                 format!(
                     "{kind} with Scan {} AS {}",
                     table.schema.name, table.binding
                 ),
                 step_est,
+                deg,
             );
-            joins.push(JoinStep { method, id });
+            joins.push(JoinStep {
+                method,
+                id,
+                deg,
+                unique: covered && method == JoinMethod::Hash,
+            });
             placed.insert(next);
             order.push(next);
             cur = step_est;
@@ -222,16 +263,19 @@ impl Planner<'_> {
 
         let t0 = &spec.from[order[0]];
         let scan_est = self.filtered_rows(spec, order[0], &conjuncts, &owners, raw[order[0]]);
+        // A scan's work is the raw table, whatever the filter keeps.
+        let scan_deg = self.op_degree(raw[order[0]]);
         let scan = self.op(
             format!("Scan {} AS {}", t0.schema.name, t0.binding),
             scan_est,
+            scan_deg,
         );
         let cols: Vec<String> = spec
             .projection
             .iter()
             .map(|p| spec.attr_name(p.attr))
             .collect();
-        let project = self.op(format!("Project [{}]", cols.join(", ")), out_est);
+        let project = self.op(format!("Project [{}]", cols.join(", ")), out_est, 1);
 
         let distinct = (spec.distinct == uniq_sql::Distinct::Distinct).then(|| {
             // Distinct output can never exceed the projected domains.
@@ -245,9 +289,11 @@ impl Planner<'_> {
                 DistinctMethod::Sort => "SortDistinct",
                 DistinctMethod::Hash => "HashDistinct",
             };
+            let deg = self.op_degree(out_est);
             DistinctStep {
                 method,
-                id: self.op(label.to_string(), d_est),
+                id: self.op(label.to_string(), d_est, deg),
+                deg,
             }
         });
 
@@ -258,6 +304,7 @@ impl Planner<'_> {
             BlockPlan {
                 order,
                 scan,
+                scan_deg,
                 joins,
                 project,
                 distinct,
@@ -286,7 +333,9 @@ impl Planner<'_> {
 
     /// Estimated output of joining `t` onto the current prefix, plus
     /// whether the newly applicable conjuncts contain equality keys
-    /// usable by a hash join.
+    /// usable by a hash join and whether those keys cover a candidate
+    /// key of `t` (licensing the unique-key kernel and the outer-side
+    /// cardinality cap).
     #[allow(clippy::too_many_arguments)]
     fn step_estimate(
         &self,
@@ -298,7 +347,7 @@ impl Planner<'_> {
         applied: &[bool],
         cur: f64,
         raw: f64,
-    ) -> (f64, bool) {
+    ) -> (f64, bool, bool) {
         let range = spec.from[t].attr_range();
         let mut est = cur * raw;
         let mut key_columns: BTreeSet<usize> = BTreeSet::new();
@@ -322,7 +371,7 @@ impl Planner<'_> {
         if covered {
             est = est.min(cur);
         }
-        (est, !key_columns.is_empty())
+        (est, !key_columns.is_empty(), covered)
     }
 }
 
@@ -447,7 +496,7 @@ mod tests {
         let db = supplier_database().unwrap();
         let stats = Statistics::collect(&db);
         let q = bind_query(db.catalog(), &parse_query(sql).unwrap()).unwrap();
-        (plan_query(&q, &stats), q)
+        (plan_query(&q, &stats, PlannerOptions::default()), q)
     }
 
     fn block(p: &PhysicalPlan) -> &BlockPlan {
@@ -553,6 +602,64 @@ mod tests {
         let b = block(&p);
         assert_eq!(b.order[0], 0, "empty SUPPLIER side first");
         assert_eq!(b.joins[0].method, JoinMethod::NestedLoop);
+    }
+
+    #[test]
+    fn serial_budget_never_assigns_parallel_degrees() {
+        let (p, _) = plan(
+            "SELECT DISTINCT S.SNO FROM SUPPLIER S, PARTS P WHERE S.SNO = P.SNO \
+             UNION SELECT A.SNO FROM AGENTS A",
+        );
+        assert!(p.ops.iter().all(|op| op.deg == 1), "{:?}", p.ops);
+        assert!(!p.render(0, None).contains("deg="));
+    }
+
+    #[test]
+    fn key_covered_hash_join_is_marked_unique() {
+        // SUPPLIER joins in by its full primary key → unique kernel.
+        let (p, _) = plan(
+            "SELECT P.PNO FROM SUPPLIER S, PARTS P \
+             WHERE S.SNO = P.SNO AND P.COLOR = 'RED'",
+        );
+        let b = block(&p);
+        assert_eq!(b.joins[0].method, JoinMethod::Hash);
+        assert!(b.joins[0].unique, "PK-covered join must be unique");
+        // Joining on the non-key COLOR column must not be.
+        let (p2, _) = plan("SELECT P.PNO FROM PARTS P, PARTS Q WHERE P.COLOR = Q.COLOR");
+        let b2 = block(&p2);
+        assert!(!b2.joins[0].unique, "COLOR covers no candidate key");
+    }
+
+    #[test]
+    fn degrees_scale_with_estimated_work_and_respect_the_budget() {
+        use crate::physical::Degree;
+        use uniq_workload::{scaled_database, ScaleConfig};
+        let db = scaled_database(&ScaleConfig {
+            suppliers: 2400,
+            parts_per_supplier: 4,
+            ..Default::default()
+        })
+        .unwrap();
+        let stats = Statistics::collect(&db);
+        let sql = "SELECT S.SNO, P.PNO FROM SUPPLIER S, PARTS P WHERE S.SNO = P.SNO";
+        let q = bind_query(db.catalog(), &parse_query(sql).unwrap()).unwrap();
+        let budget = PlannerOptions {
+            cost_based: true,
+            degree: Degree::Fixed(4),
+        };
+        let p = plan_query(&q, &stats, budget);
+        let b = block(&p);
+        // 2400 suppliers and 9600 parts amortize 4 workers everywhere.
+        assert_eq!(b.scan_deg, 4, "{:?}", p.ops);
+        assert_eq!(b.joins[0].deg, 4, "{:?}", p.ops);
+        assert!(p.render(0, None).contains("deg=4"));
+        // A tiny query under the same budget stays serial: no operator
+        // has ROWS_PER_WORKER of estimated work.
+        let tiny_db = supplier_database().unwrap();
+        let tiny_stats = Statistics::collect(&tiny_db);
+        let tq = bind_query(tiny_db.catalog(), &parse_query(sql).unwrap()).unwrap();
+        let tp = plan_query(&tq, &tiny_stats, budget);
+        assert!(tp.ops.iter().all(|op| op.deg == 1), "{:?}", tp.ops);
     }
 
     #[test]

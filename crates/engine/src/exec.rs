@@ -14,7 +14,7 @@
 //! on.
 
 use crate::setops::{combine_setop, distinct};
-use crate::stats::{DistinctMethod, ExecStats, JoinMethod};
+use crate::stats::{Degree, DistinctMethod, ExecStats, JoinMethod};
 use std::collections::HashMap;
 use uniq_catalog::{Database, Row};
 use uniq_cost::{BlockPlan, PhysNode, PhysicalPlan};
@@ -23,19 +23,39 @@ use uniq_sql::CmpOp;
 use uniq_types::{Error, Result, Tri, Value};
 
 /// Executor tuning (which physical strategies to use).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct ExecOptions {
     /// Duplicate-elimination strategy.
     pub distinct: DistinctMethod,
     /// Join strategy for multi-table blocks.
     pub join: JoinMethod,
+    /// Worker budget for morsel-driven parallel execution (see
+    /// [`crate::parallel`]). The default is [`Degree::Serial`]: the
+    /// single-threaded path is the correctness oracle the parallel one
+    /// is tested against, and work counters stay exactly reproducible.
+    pub degree: Degree,
+    /// Allow the unique-key hash-join kernel when the build side's join
+    /// keys cover one of its candidate keys (no bucket chains, probe
+    /// stops at the first match). Off = always chain (ablation).
+    pub unique_kernels: bool,
+}
+
+impl Default for ExecOptions {
+    fn default() -> ExecOptions {
+        ExecOptions {
+            distinct: DistinctMethod::default(),
+            join: JoinMethod::default(),
+            degree: Degree::Serial,
+            unique_kernels: true,
+        }
+    }
 }
 
 /// Executes bound queries against a database.
 pub struct Executor<'a> {
-    db: &'a Database,
-    hostvars: &'a HostVars,
-    opts: ExecOptions,
+    pub(crate) db: &'a Database,
+    pub(crate) hostvars: &'a HostVars,
+    pub(crate) opts: ExecOptions,
     /// Work counters, accumulated across the whole run.
     pub stats: ExecStats,
     /// Per-operator output counts, parallel to the physical plan's
@@ -92,6 +112,29 @@ impl<'a> Executor<'a> {
         }
     }
 
+    /// A fresh single-threaded executor over the same database, host
+    /// variables and options (degree forced to serial). Parallel workers
+    /// use one each to evaluate predicates — correlated subqueries
+    /// included — without spawning nested pools; the worker's counters
+    /// are merged back afterwards.
+    pub(crate) fn serial_worker(&self) -> Executor<'a> {
+        let mut opts = self.opts;
+        opts.degree = Degree::Serial;
+        Executor::new(self.db, self.hostvars, opts)
+    }
+
+    /// Worker budget on the static (non-cost-based) path: the session
+    /// degree at the top level, serial inside correlated evaluation
+    /// (non-empty outer scopes) — each parallel worker already owns the
+    /// subquery it is evaluating.
+    fn static_degree(&self, outer: &[Vec<Value>]) -> usize {
+        if outer.is_empty() {
+            self.opts.degree.resolve()
+        } else {
+            1
+        }
+    }
+
     fn exec_query(
         &mut self,
         query: &BoundQuery,
@@ -114,18 +157,30 @@ impl<'a> Executor<'a> {
             } => {
                 // A plan node is used only when it mirrors the query
                 // shape; a mismatch falls back to static options.
-                let (l_node, r_node, method, id) = match node {
+                let (l_node, r_node, method, id, deg) = match node {
                     Some(PhysNode::SetOp {
                         method,
                         id,
+                        deg,
                         left: l,
                         right: r,
-                    }) => (Some(l.as_ref()), Some(r.as_ref()), *method, Some(*id)),
-                    _ => (None, None, self.opts.distinct, None),
+                    }) => (Some(l.as_ref()), Some(r.as_ref()), *method, Some(*id), *deg),
+                    _ => (
+                        None,
+                        None,
+                        self.opts.distinct,
+                        None,
+                        self.static_degree(outer),
+                    ),
                 };
+                let deg = if outer.is_empty() { deg } else { 1 };
                 let l = self.exec_query(left, outer, l_node)?;
                 let r = self.exec_query(right, outer, r_node)?;
-                let out = combine_setop(*op, *all, l, r, method, &mut self.stats)?;
+                let out = if deg > 1 {
+                    crate::parallel::par_setop(*op, *all, l, r, method, deg, &mut self.stats)?
+                } else {
+                    combine_setop(*op, *all, l, r, method, &mut self.stats)?
+                };
                 if let Some(id) = id {
                     self.record(id, out.len());
                 }
@@ -156,7 +211,17 @@ impl<'a> Executor<'a> {
         if spec.distinct == uniq_sql::Distinct::Distinct {
             let step = plan.and_then(|bp| bp.distinct);
             let method = step.map(|d| d.method).unwrap_or(self.opts.distinct);
-            rows = distinct(rows, method, &mut self.stats)?;
+            let deg = if outer.is_empty() {
+                step.map(|d| d.deg)
+                    .unwrap_or_else(|| self.static_degree(outer))
+            } else {
+                1
+            };
+            rows = if deg > 1 {
+                crate::parallel::par_distinct(rows, method, deg, &mut self.stats)?
+            } else {
+                distinct(rows, method, &mut self.stats)?
+            };
             if let Some(d) = step {
                 self.record(d.id, rows.len());
             }
@@ -177,6 +242,10 @@ impl<'a> Executor<'a> {
                 return self.block_rows_planned(spec, outer, bp);
             }
         }
+        let deg = self.static_degree(outer);
+        if deg > 1 && !spec.from.is_empty() {
+            return crate::parallel::block_rows_static(self, spec, outer, deg);
+        }
         if self.opts.join == JoinMethod::Hash && spec.from.len() > 1 {
             self.block_rows_hash(spec, outer)
         } else {
@@ -196,7 +265,7 @@ impl<'a> Executor<'a> {
     // --- conjunct assignment -------------------------------------------
 
     /// Cumulative attribute width after each table position.
-    fn prefix_widths(spec: &BoundSpec) -> Vec<usize> {
+    pub(crate) fn prefix_widths(spec: &BoundSpec) -> Vec<usize> {
         let mut widths = Vec::with_capacity(spec.from.len());
         let mut acc = 0;
         for t in &spec.from {
@@ -222,7 +291,10 @@ impl<'a> Executor<'a> {
 
     /// Assign each top-level conjunct to the earliest pipeline level where
     /// it is evaluable.
-    fn assign_conjuncts<'e>(spec: &'e BoundSpec, widths: &[usize]) -> Vec<Vec<&'e BoundExpr>> {
+    pub(crate) fn assign_conjuncts<'e>(
+        spec: &'e BoundSpec,
+        widths: &[usize],
+    ) -> Vec<Vec<&'e BoundExpr>> {
         let mut levels: Vec<Vec<&BoundExpr>> = vec![Vec::new(); spec.from.len()];
         if let Some(pred) = &spec.predicate {
             for c in pred.conjuncts() {
@@ -343,31 +415,11 @@ impl<'a> Executor<'a> {
         is_placed: &dyn Fn(usize) -> bool,
     ) -> Result<Vec<Row>> {
         let range = table.attr_range();
-
-        // Split this level's conjuncts.
-        let mut self_conj: Vec<&BoundExpr> = Vec::new(); // only new table
-        let mut join_keys: Vec<(usize, usize)> = Vec::new(); // (built attr, new attr)
-        let mut residual: Vec<&BoundExpr> = Vec::new();
-        for &c in conjuncts {
-            if let Some((built, new)) = equi_join_key(c, &range, is_placed) {
-                join_keys.push((built, new));
-                continue;
-            }
-            let mut only_new = true;
-            let mut probe = c.clone();
-            map_all_attr_refs(&mut probe, &mut |depth, a| {
-                if a.up == depth && !range.contains(&a.idx) {
-                    only_new = false;
-                }
-            });
-            // Conjuncts with subqueries always go residual: their
-            // evaluation may consult any bound attribute.
-            if only_new && !contains_subquery(c) {
-                self_conj.push(c);
-            } else {
-                residual.push(c);
-            }
-        }
+        let StepConjuncts {
+            self_conj,
+            join_keys,
+            residual,
+        } = classify_step_conjuncts(conjuncts, &range, is_placed);
 
         // Build side: filtered rows of the new table, placed into an
         // otherwise-null scratch (self_conj only touches new attrs).
@@ -424,12 +476,18 @@ impl<'a> Executor<'a> {
                     key.push(v.clone());
                 }
                 self.stats.hash_probes += 1;
-                if let Some(matches) = table_map.get(&key) {
-                    for &i in matches {
-                        let mut tuple = partial.clone();
-                        tuple[range.start..range.end].clone_from_slice(&build[i]);
-                        next.push(tuple);
+                match table_map.get(&key) {
+                    Some(matches) => {
+                        // Chained bucket: one step per entry plus the
+                        // end-of-chain check.
+                        self.stats.probe_steps += matches.len() as u64 + 1;
+                        for &i in matches {
+                            let mut tuple = partial.clone();
+                            tuple[range.start..range.end].clone_from_slice(&build[i]);
+                            next.push(tuple);
+                        }
                     }
+                    None => self.stats.probe_steps += 1,
                 }
             }
         }
@@ -492,10 +550,19 @@ impl<'a> Executor<'a> {
             }
         }
 
-        // First table of the planned order: filtered scan.
+        // First table of the planned order: filtered scan. Planned
+        // degrees apply only at the top level — correlated evaluation
+        // (non-empty outer scopes) stays serial per worker.
         let t0 = &spec.from[bp.order[0]];
-        let mut partials: Vec<Row> = Vec::new();
-        {
+        let scan_deg = if outer.is_empty() { bp.scan_deg } else { 1 };
+        let mut partials: Vec<Row>;
+        if scan_deg > 1 {
+            let (rows, s) =
+                crate::parallel::par_scan(self, t0, &levels[0], outer, arity, scan_deg)?;
+            self.stats.merge(&s);
+            partials = rows;
+        } else {
+            partials = Vec::new();
             let db = self.db;
             let rows = db.rows(&t0.schema.name)?;
             let mut scratch = vec![Value::Null; arity];
@@ -517,7 +584,15 @@ impl<'a> Executor<'a> {
             let step = bp.joins[k - 1];
             let table = &spec.from[t];
             let range = table.attr_range();
+            let deg = if outer.is_empty() { step.deg } else { 1 };
             match step.method {
+                JoinMethod::NestedLoop if deg > 1 => {
+                    let (next, s) = crate::parallel::par_nl_step(
+                        self, table, outer, partials, &levels[k], deg,
+                    )?;
+                    self.stats.merge(&s);
+                    partials = next;
+                }
                 JoinMethod::NestedLoop => {
                     // Re-scan the table once per outer partial; every
                     // conjunct of this level runs on the combined tuple.
@@ -537,6 +612,21 @@ impl<'a> Executor<'a> {
                             next.push(tuple);
                         }
                     }
+                    partials = next;
+                }
+                JoinMethod::Hash if deg > 1 => {
+                    let (next, s) = crate::parallel::par_hash_step(
+                        self,
+                        table,
+                        outer,
+                        partials,
+                        &levels[k],
+                        arity,
+                        &|idx| placed.iter().any(|r| r.contains(&idx)),
+                        deg,
+                        Some(step.unique),
+                    )?;
+                    self.stats.merge(&s);
                     partials = next;
                 }
                 JoinMethod::Hash => {
@@ -692,6 +782,56 @@ fn cmp_tri(op: CmpOp, l: &Value, r: &Value) -> Result<Tri> {
             CmpOp::Ge => ord.is_ge(),
         }),
     })
+}
+
+/// One hash-pipeline step's conjuncts, split by role (shared between the
+/// serial [`Executor::hash_step`] and the partitioned parallel kernels in
+/// [`crate::parallel`]).
+pub(crate) struct StepConjuncts<'e> {
+    /// Conjuncts touching only the incoming table: filter its build side.
+    pub(crate) self_conj: Vec<&'e BoundExpr>,
+    /// Equality conjuncts linking an already-bound attribute to the new
+    /// table, as `(built attr, new attr)` pairs: the hash keys.
+    pub(crate) join_keys: Vec<(usize, usize)>,
+    /// Everything else (subqueries included): filters over the combined
+    /// tuples after the join.
+    pub(crate) residual: Vec<&'e BoundExpr>,
+}
+
+/// Split one level's conjuncts for a hash-pipeline step over the table
+/// occupying `range` (`is_placed` tells which attributes are already
+/// bound by earlier steps).
+pub(crate) fn classify_step_conjuncts<'e>(
+    conjuncts: &[&'e BoundExpr],
+    range: &std::ops::Range<usize>,
+    is_placed: &dyn Fn(usize) -> bool,
+) -> StepConjuncts<'e> {
+    let mut out = StepConjuncts {
+        self_conj: Vec::new(),
+        join_keys: Vec::new(),
+        residual: Vec::new(),
+    };
+    for &c in conjuncts {
+        if let Some((built, new)) = equi_join_key(c, range, is_placed) {
+            out.join_keys.push((built, new));
+            continue;
+        }
+        let mut only_new = true;
+        let mut probe = c.clone();
+        map_all_attr_refs(&mut probe, &mut |depth, a| {
+            if a.up == depth && !range.contains(&a.idx) {
+                only_new = false;
+            }
+        });
+        // Conjuncts with subqueries always go residual: their
+        // evaluation may consult any bound attribute.
+        if only_new && !contains_subquery(c) {
+            out.self_conj.push(c);
+        } else {
+            out.residual.push(c);
+        }
+    }
+    out
 }
 
 /// Is this conjunct `built_attr = new_attr` (either direction) linking an

@@ -24,6 +24,7 @@
 
 pub mod exec;
 pub mod explain;
+pub mod parallel;
 pub mod plancache;
 pub mod session;
 pub mod setops;
@@ -31,7 +32,8 @@ pub mod stats;
 
 pub use exec::{ExecOptions, Executor};
 pub use explain::{explain, explain_with_trace, render_trace};
+pub use parallel::MORSEL_SIZE;
 pub use plancache::{CacheStats, CachedPlan, PlanCache};
 pub use session::{QueryOutput, Session};
-pub use stats::{DistinctMethod, ExecStats, JoinMethod, StageTimings};
+pub use stats::{Degree, DistinctMethod, ExecStats, JoinMethod, StageTimings};
 pub use uniq_cost::{CardReport, PhysicalPlan, PlannerOptions, QErrorStats, Statistics};

@@ -4,7 +4,7 @@
 //! them per node); they are re-exported here so existing imports keep
 //! working.
 
-pub use uniq_cost::{DistinctMethod, JoinMethod};
+pub use uniq_cost::{Degree, DistinctMethod, JoinMethod};
 
 /// Work counters maintained by every operator.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -23,10 +23,18 @@ pub struct ExecStats {
     pub sorts: u64,
     /// Hash-table probes performed by hash joins and hash distinct.
     pub hash_probes: u64,
+    /// Hash-bucket entries examined while probing joins: a chained
+    /// bucket costs one step per entry plus the end-of-chain check,
+    /// while the unique-key kernel costs exactly one step per probe
+    /// (single slot, first-match exit, no chain to finish).
+    pub probe_steps: u64,
     /// Correlated subquery evaluations (one per outer row tested).
     pub subquery_evals: u64,
     /// Hash joins executed.
     pub hash_joins: u64,
+    /// Morsels (scan ranges and partition tasks) dispatched to parallel
+    /// workers; zero on the serial path.
+    pub morsels: u64,
 }
 
 impl ExecStats {
@@ -35,16 +43,36 @@ impl ExecStats {
         ExecStats::default()
     }
 
-    /// Accumulate another stats block into this one.
-    pub fn absorb(&mut self, other: &ExecStats) {
-        self.rows_scanned += other.rows_scanned;
-        self.rows_output += other.rows_output;
-        self.sort_comparisons += other.sort_comparisons;
-        self.rows_sorted += other.rows_sorted;
-        self.sorts += other.sorts;
-        self.hash_probes += other.hash_probes;
-        self.subquery_evals += other.subquery_evals;
-        self.hash_joins += other.hash_joins;
+    /// Accumulate another stats block into this one. Counters are all
+    /// sums, so merging is associative and commutative — the batch
+    /// driver folds per-worker tallies and the parallel executor folds
+    /// per-morsel tallies through this one function. The exhaustive
+    /// destructuring means a newly added counter cannot be silently
+    /// dropped here: the compiler rejects the pattern until it is
+    /// merged too.
+    pub fn merge(&mut self, other: &ExecStats) {
+        let ExecStats {
+            rows_scanned,
+            rows_output,
+            sort_comparisons,
+            rows_sorted,
+            sorts,
+            hash_probes,
+            probe_steps,
+            subquery_evals,
+            hash_joins,
+            morsels,
+        } = *other;
+        self.rows_scanned += rows_scanned;
+        self.rows_output += rows_output;
+        self.sort_comparisons += sort_comparisons;
+        self.rows_sorted += rows_sorted;
+        self.sorts += sorts;
+        self.hash_probes += hash_probes;
+        self.probe_steps += probe_steps;
+        self.subquery_evals += subquery_evals;
+        self.hash_joins += hash_joins;
+        self.morsels += morsels;
     }
 }
 
@@ -106,7 +134,7 @@ mod tests {
     }
 
     #[test]
-    fn absorb_sums_fields() {
+    fn merge_sums_fields() {
         let mut a = ExecStats {
             rows_scanned: 1,
             sorts: 2,
@@ -115,12 +143,46 @@ mod tests {
         let b = ExecStats {
             rows_scanned: 10,
             hash_probes: 5,
+            probe_steps: 7,
+            morsels: 3,
             ..ExecStats::new()
         };
-        a.absorb(&b);
+        a.merge(&b);
         assert_eq!(a.rows_scanned, 11);
         assert_eq!(a.sorts, 2);
         assert_eq!(a.hash_probes, 5);
+        assert_eq!(a.probe_steps, 7);
+        assert_eq!(a.morsels, 3);
+    }
+
+    #[test]
+    fn merge_is_associative() {
+        let blocks = [
+            ExecStats {
+                rows_scanned: 3,
+                hash_joins: 1,
+                ..ExecStats::new()
+            },
+            ExecStats {
+                probe_steps: 9,
+                morsels: 2,
+                ..ExecStats::new()
+            },
+            ExecStats {
+                sort_comparisons: 4,
+                subquery_evals: 5,
+                ..ExecStats::new()
+            },
+        ];
+        // ((a ⊕ b) ⊕ c) == (a ⊕ (b ⊕ c)): workers may fold in any order.
+        let mut left = blocks[0];
+        left.merge(&blocks[1]);
+        left.merge(&blocks[2]);
+        let mut bc = blocks[1];
+        bc.merge(&blocks[2]);
+        let mut right = blocks[0];
+        right.merge(&bc);
+        assert_eq!(left, right);
     }
 
     #[test]

@@ -13,14 +13,21 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
-use uniq_engine::{CacheStats, ExecStats, QErrorStats, Session, StageTimings};
+use uniq_engine::{CacheStats, Degree, ExecStats, QErrorStats, Session, StageTimings};
 
 /// Knobs for [`run_batch`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct BatchOptions {
     /// Worker threads. `0` (the default) means one worker per available
-    /// core.
+    /// core — divided by the per-query parallel degree when one is in
+    /// effect, so intra-query workers and batch workers don't
+    /// oversubscribe the machine together.
     pub threads: usize,
+    /// Override the session's intra-query parallel degree for this batch
+    /// (`None` keeps the session's own setting). The batch runs on a
+    /// clone sharing the plan cache; the degree enters the plan
+    /// fingerprint, so serial and parallel runs never share an entry.
+    pub degree: Option<Degree>,
 }
 
 /// Aggregated outcome of one batch run.
@@ -102,7 +109,7 @@ impl WorkerTally {
         report.rows += self.rows;
         report.cache_hits += self.cache_hits;
         report.timings.absorb(&self.timings);
-        report.exec.absorb(&self.exec);
+        report.exec.merge(&self.exec);
         for (rule, fires) in self.rule_fires {
             *report.rule_fires.entry(rule).or_insert(0) += fires;
         }
@@ -126,14 +133,36 @@ fn cache_delta(after: &CacheStats, before: &CacheStats) -> CacheStats {
 /// atomic cursor, so the distribution is dynamic — fast workers take
 /// more work.
 pub fn run_batch(session: &Session, queries: &[String], options: BatchOptions) -> BatchReport {
+    // A per-batch degree override runs on a clone: it shares the plan
+    // cache (the degree is part of the fingerprint, so entries stay
+    // separate) but not the session's own executor settings.
+    let session = match options.degree {
+        Some(degree) => {
+            let mut s = session.clone();
+            s.exec.degree = degree;
+            s.planner.degree = degree;
+            Some(s)
+        }
+        None => None,
+    }
+    .map_or_else(
+        || std::borrow::Cow::Borrowed(session),
+        std::borrow::Cow::Owned,
+    );
+    let per_query = session.exec.degree.resolve();
     let threads = if options.threads == 0 {
-        std::thread::available_parallelism()
+        // Auto: split the cores between batch workers and each query's
+        // own worker pool.
+        (std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
+            / per_query)
+            .max(1)
     } else {
         options.threads
     }
     .min(queries.len().max(1));
+    let session: &Session = &session;
 
     let cache_before = session.cache_stats();
     let cursor = AtomicUsize::new(0);
@@ -156,7 +185,7 @@ pub fn run_batch(session: &Session, queries: &[String], options: BatchOptions) -
                             tally.rows += out.rows.len() as u64;
                             tally.cache_hits += u64::from(out.cache_hit);
                             tally.timings.absorb(&out.timings);
-                            tally.exec.absorb(&out.stats);
+                            tally.exec.merge(&out.stats);
                             for step in &out.trace.steps {
                                 *tally.rule_fires.entry(step.rule.to_string()).or_insert(0) += 1;
                             }
@@ -206,7 +235,14 @@ mod tests {
     fn single_worker_batch_hits_after_first_round() {
         let session = Session::new(supplier_database().unwrap());
         let corpus = repeated_corpus(10);
-        let report = run_batch(&session, &corpus, BatchOptions { threads: 1 });
+        let report = run_batch(
+            &session,
+            &corpus,
+            BatchOptions {
+                threads: 1,
+                degree: None,
+            },
+        );
         assert_eq!(report.queries, 30);
         assert_eq!(report.errors, 0, "{:?}", report.first_error);
         // Three distinct statements compile once each; the rest hit.
@@ -225,7 +261,14 @@ mod tests {
     fn shared_cache_counters_survive_concurrency() {
         let session = Session::new(supplier_database().unwrap());
         let corpus = repeated_corpus(40);
-        let report = run_batch(&session, &corpus, BatchOptions { threads: 8 });
+        let report = run_batch(
+            &session,
+            &corpus,
+            BatchOptions {
+                threads: 8,
+                degree: None,
+            },
+        );
         assert_eq!(report.queries, 120);
         assert_eq!(report.errors, 0, "{:?}", report.first_error);
         // Every probe is either a hit or a miss — no lost updates.
@@ -244,14 +287,28 @@ mod tests {
     fn cost_based_batch_reports_qerror() {
         let session = Session::new(supplier_database().unwrap()).with_cost_based();
         let corpus = repeated_corpus(4);
-        let report = run_batch(&session, &corpus, BatchOptions { threads: 2 });
+        let report = run_batch(
+            &session,
+            &corpus,
+            BatchOptions {
+                threads: 2,
+                degree: None,
+            },
+        );
         assert_eq!(report.errors, 0, "{:?}", report.first_error);
         assert!(report.qerror.ops > 0, "cost-based plans are measured");
         assert!(report.qerror.max >= 1.0);
         assert!(report.qerror.mean() >= 1.0);
         // A static session measures nothing.
         let session = Session::new(supplier_database().unwrap());
-        let report = run_batch(&session, &corpus, BatchOptions { threads: 1 });
+        let report = run_batch(
+            &session,
+            &corpus,
+            BatchOptions {
+                threads: 1,
+                degree: None,
+            },
+        );
         assert_eq!(report.qerror.ops, 0);
     }
 
@@ -262,7 +319,14 @@ mod tests {
             "SELECT S.SNO FROM SUPPLIER S".to_string(),
             "SELECT NO_SUCH.COL FROM NOWHERE N".to_string(),
         ];
-        let report = run_batch(&session, &corpus, BatchOptions { threads: 1 });
+        let report = run_batch(
+            &session,
+            &corpus,
+            BatchOptions {
+                threads: 1,
+                degree: None,
+            },
+        );
         assert_eq!(report.queries, 2);
         assert_eq!(report.errors, 1);
         assert!(report.first_error.unwrap().contains("NOWHERE"));
@@ -275,5 +339,81 @@ mod tests {
         let report = run_batch(&session, &corpus, BatchOptions::default());
         assert!(report.threads >= 1);
         assert_eq!(report.queries, 6);
+    }
+
+    #[test]
+    fn parallel_degree_batch_agrees_with_serial_totals() {
+        let session = Session::new(supplier_database().unwrap());
+        let corpus = repeated_corpus(5);
+        let serial = run_batch(
+            &session,
+            &corpus,
+            BatchOptions {
+                threads: 1,
+                degree: None,
+            },
+        );
+        let parallel = run_batch(
+            &session,
+            &corpus,
+            BatchOptions {
+                threads: 1,
+                degree: Some(Degree::Fixed(3)),
+            },
+        );
+        assert_eq!(parallel.errors, 0, "{:?}", parallel.first_error);
+        assert_eq!(parallel.queries, serial.queries);
+        assert_eq!(parallel.rows, serial.rows, "same result multisets");
+        assert!(serial.exec.morsels == 0, "serial runs dispatch no morsels");
+        assert!(parallel.exec.morsels > 0, "parallel runs count morsels");
+    }
+
+    #[test]
+    fn serial_and_parallel_batches_do_not_share_cached_plans() {
+        let session = Session::new(supplier_database().unwrap());
+        let corpus = repeated_corpus(1);
+        run_batch(
+            &session,
+            &corpus,
+            BatchOptions {
+                threads: 1,
+                degree: None,
+            },
+        );
+        let parallel = run_batch(
+            &session,
+            &corpus,
+            BatchOptions {
+                threads: 1,
+                degree: Some(Degree::Fixed(2)),
+            },
+        );
+        assert_eq!(
+            parallel.cache.hits, 0,
+            "a parallel batch must compile its own plans"
+        );
+        assert_eq!(session.cache.len(), 6, "3 serial + 3 parallel entries");
+    }
+
+    #[test]
+    fn auto_threads_divide_cores_by_query_degree() {
+        let session = Session::new(supplier_database().unwrap());
+        let corpus = repeated_corpus(40);
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let report = run_batch(
+            &session,
+            &corpus,
+            BatchOptions {
+                threads: 0,
+                degree: Some(Degree::Fixed(cores * 2)),
+            },
+        );
+        assert_eq!(
+            report.threads, 1,
+            "degree ≥ cores leaves one batch worker, not cores"
+        );
+        assert_eq!(report.errors, 0, "{:?}", report.first_error);
     }
 }

@@ -1,0 +1,183 @@
+//! Parallel/serial agreement for the morsel-driven executor (E17).
+//!
+//! The engine's documented contract is *multiset equivalence*: without
+//! an ORDER BY, a query's result is a multiset and any row order is
+//! permitted, so every comparison here sorts both sides with the
+//! null-aware tuple comparator before asserting equality. On top of
+//! that, a fixed degree is *deterministic*: morsel results are gathered
+//! in task-index order, so running the same statement twice on the same
+//! session must produce byte-identical row orders.
+//!
+//! Coverage:
+//! * a fixed statement list exercising every operator the parallel
+//!   paths touch (joins, Cartesian products, DISTINCT, EXISTS / NOT
+//!   EXISTS / IN subqueries, INTERSECT [ALL], EXCEPT [ALL], UNION);
+//! * the labelled corpus generator's statements;
+//! * property tests over random database instances and degrees 1–8,
+//!   for both static and cost-based parallel sessions.
+
+use proptest::prelude::*;
+use uniqueness::engine::Session;
+use uniqueness::types::value::tuple_null_cmp;
+use uniqueness::types::Value;
+use uniqueness::workload::{generate_corpus, random_instance};
+
+/// Statements spanning every operator with a parallel implementation.
+/// None carry an ORDER BY, so results are multisets by contract.
+fn fixed_statements() -> Vec<&'static str> {
+    vec![
+        // plain scans and filters
+        "SELECT S.SNO, S.SNAME FROM SUPPLIER S WHERE S.SCITY = 'Toronto'",
+        "SELECT ALL P.PNO, P.COLOR FROM PARTS P WHERE P.COLOR = 'RED'",
+        // equi-joins and a three-way join
+        "SELECT S.SNO, P.PNO FROM SUPPLIER S, PARTS P WHERE S.SNO = P.SNO",
+        "SELECT P.PNO, S.SNAME FROM PARTS P, SUPPLIER S \
+         WHERE S.SNO = P.SNO AND P.COLOR = 'RED'",
+        "SELECT S.SNO, P.PNO, A.ANO FROM SUPPLIER S, PARTS P, AGENTS A \
+         WHERE S.SNO = P.SNO AND S.SNO = A.SNO",
+        // Cartesian product
+        "SELECT S.SNO, A.ANO FROM SUPPLIER S, AGENTS A",
+        // duplicate elimination
+        "SELECT DISTINCT S.SCITY FROM SUPPLIER S",
+        "SELECT DISTINCT S.SCITY, P.COLOR FROM SUPPLIER S, PARTS P \
+         WHERE S.SNO = P.SNO",
+        // correlated and uncorrelated subqueries
+        "SELECT S.SNO FROM SUPPLIER S WHERE EXISTS \
+         (SELECT * FROM PARTS P WHERE P.SNO = S.SNO AND P.COLOR = 'RED')",
+        "SELECT S.SNO FROM SUPPLIER S WHERE NOT EXISTS \
+         (SELECT * FROM PARTS P WHERE P.SNO = S.SNO)",
+        "SELECT P.PNO FROM PARTS P WHERE P.SNO IN \
+         (SELECT S.SNO FROM SUPPLIER S WHERE S.SCITY = 'Toronto')",
+        // set operations, both DISTINCT and ALL flavours
+        "SELECT ALL S.SNO FROM SUPPLIER S \
+         INTERSECT SELECT ALL A.SNO FROM AGENTS A",
+        "SELECT ALL S.SNO FROM SUPPLIER S \
+         INTERSECT ALL SELECT ALL P.SNO FROM PARTS P",
+        "SELECT ALL P.SNO FROM PARTS P \
+         EXCEPT SELECT ALL A.SNO FROM AGENTS A WHERE A.ACITY = 'Ottawa'",
+        "SELECT ALL P.SNO FROM PARTS P \
+         EXCEPT ALL SELECT ALL A.SNO FROM AGENTS A",
+        "SELECT S.SNO FROM SUPPLIER S \
+         UNION SELECT A.SNO FROM AGENTS A",
+        "SELECT ALL S.SNO FROM SUPPLIER S \
+         UNION ALL SELECT ALL A.SNO FROM AGENTS A",
+    ]
+}
+
+/// Run `sql` and sort the result with the null-aware tuple comparator,
+/// reducing it to a canonical multiset representation.
+fn sorted_rows(session: &Session, sql: &str) -> Vec<Vec<Value>> {
+    let mut rows = session
+        .query(sql)
+        .unwrap_or_else(|e| panic!("{sql}: {e}"))
+        .rows;
+    rows.sort_by(|a, b| tuple_null_cmp(a, b).unwrap());
+    rows
+}
+
+/// Assert that `parallel` agrees with `serial` on every statement, as
+/// multisets.
+fn assert_agreement(serial: &Session, parallel: &Session, statements: &[String], label: &str) {
+    for sql in statements {
+        assert_eq!(
+            sorted_rows(parallel, sql),
+            sorted_rows(serial, sql),
+            "{label}: multiset differs for {sql}"
+        );
+    }
+}
+
+fn corpus_statements(seed: u64) -> Vec<String> {
+    generate_corpus(seed, 16, 1)
+        .expect("corpus generation")
+        .into_iter()
+        .map(|q| q.sql)
+        .collect()
+}
+
+/// CI fast lane: the fixed statement list at a 2-worker degree over the
+/// Figure 1 sample database. Deterministic, no proptest machinery.
+#[test]
+fn fixed_statements_agree_at_degree_2() {
+    let serial = Session::sample().unwrap();
+    let parallel = serial.clone().with_degree(2);
+    let statements: Vec<String> = fixed_statements().into_iter().map(String::from).collect();
+    assert_agreement(&serial, &parallel, &statements, "static degree 2");
+}
+
+/// CI fast lane: the cost-based planner picks per-operator degrees; the
+/// results must still be the serial multisets.
+#[test]
+fn cost_based_parallel_agrees_at_degree_2() {
+    let db = random_instance(99, 40, 80, 40).unwrap();
+    let serial = Session::new(db);
+    let parallel = serial.clone().with_cost_based().with_degree(2);
+    let statements: Vec<String> = fixed_statements().into_iter().map(String::from).collect();
+    assert_agreement(&serial, &parallel, &statements, "cost-based degree 2");
+}
+
+/// CI fast lane: the generated corpus at a 2-worker degree.
+#[test]
+fn corpus_statements_agree_at_degree_2() {
+    let db = random_instance(7, 30, 60, 30).unwrap();
+    let serial = Session::new(db);
+    let parallel = serial.clone().with_degree(2);
+    assert_agreement(&serial, &parallel, &corpus_statements(7), "corpus degree 2");
+}
+
+/// A fixed degree is deterministic: morsel results are gathered in
+/// task-index order, so two runs of the same statement on the same
+/// session produce identical row *orders*, not merely equal multisets.
+#[test]
+fn fixed_degree_runs_are_deterministic() {
+    let session = Session::sample().unwrap().with_degree(3);
+    for sql in fixed_statements() {
+        let first = session.query(sql).unwrap().rows;
+        let second = session.query(sql).unwrap().rows;
+        assert_eq!(first, second, "row order not reproducible for {sql}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random instances × degrees 1–8: the parallel executor returns
+    /// the serial multiset for every fixed statement.
+    #[test]
+    fn parallel_matches_serial_on_random_instances(
+        seed in 0u64..1_000,
+        degree in 1usize..9,
+        suppliers in 5usize..40,
+        parts in 5usize..80,
+    ) {
+        let db = random_instance(seed, suppliers, parts, suppliers).unwrap();
+        let serial = Session::new(db);
+        let parallel = serial.clone().with_degree(degree);
+        for sql in fixed_statements() {
+            prop_assert_eq!(
+                sorted_rows(&parallel, sql),
+                sorted_rows(&serial, sql),
+                "degree {} differs for {}", degree, sql
+            );
+        }
+    }
+
+    /// Random instances × degrees 1–8 over the generated corpus, with
+    /// the cost-based planner choosing per-operator degrees.
+    #[test]
+    fn cost_based_parallel_matches_serial_on_corpus(
+        seed in 0u64..1_000,
+        degree in 1usize..9,
+    ) {
+        let db = random_instance(seed, 20, 40, 20).unwrap();
+        let serial = Session::new(db);
+        let parallel = serial.clone().with_cost_based().with_degree(degree);
+        for sql in corpus_statements(seed) {
+            prop_assert_eq!(
+                sorted_rows(&parallel, &sql),
+                sorted_rows(&serial, &sql),
+                "cost-based degree {} differs for {}", degree, sql
+            );
+        }
+    }
+}

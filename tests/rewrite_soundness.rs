@@ -85,7 +85,7 @@ proptest! {
             let reference = run(&db, &bound, ExecOptions::default());
             for join in [JoinMethod::Hash, JoinMethod::NestedLoop] {
                 for distinct in [DistinctMethod::Sort, DistinctMethod::Hash] {
-                    let rows = run(&db, &bound, ExecOptions { join, distinct });
+                    let rows = run(&db, &bound, ExecOptions { join, distinct, ..Default::default() });
                     prop_assert_eq!(
                         multiset(&reference),
                         multiset(&rows),
