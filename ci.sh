@@ -27,6 +27,11 @@ cargo test -q -p uniq-core pipeline
 echo "==> fast lane: cost model tests"
 cargo test -q -p uniq-cost
 
+echo "==> fast lane: columnar kernels and columnar/row agreement"
+cargo test -q -p uniq-engine columnar
+cargo test -q -p uniqueness --test columnar_agreement
+cargo test -q -p uniq-bench e18
+
 echo "==> fast lane: parallel/serial agreement at a 2-worker degree"
 # --test-threads=1 keeps the 2-worker morsel pools from oversubscribing
 # the CI host, so the lane's timing stays predictable.

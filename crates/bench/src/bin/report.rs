@@ -10,8 +10,9 @@ use std::collections::HashMap;
 use std::time::Duration;
 use uniq_bench::baseline::optimize_root_restart;
 use uniq_bench::{
-    e15_exists_chain, e15_union_chain, e16_contenders, e16_corpus, e17_corpus, fmt_duration,
-    median_time, scaled_session, total_work, E17_UNIQUE_JOIN, E2_QUERY, E4_QUERY, E5_QUERY,
+    e15_exists_chain, e15_union_chain, e16_contenders, e16_corpus, e17_corpus, e18_contenders,
+    e18_corpus, e18_work, fmt_duration, median_time, scaled_session, total_work, E17_UNIQUE_JOIN,
+    E18_JOIN_DISTINCT, E18_UNIQUE_PROBE, E2_QUERY, E4_QUERY, E5_QUERY,
 };
 use uniqueness::core::algorithm1::{algorithm1, Algorithm1Options};
 use uniqueness::core::analysis::unique_projection;
@@ -24,10 +25,61 @@ use uniqueness::sql::parse_query;
 use uniqueness::types::Value;
 use uniqueness::workload::{generate_corpus, run_batch, BatchOptions, CorpusStats};
 
+/// Machine-readable metric rows collected while the experiments print
+/// their tables: `(experiment, metric, value, asserted)`. `asserted`
+/// marks values a hard in-binary assertion guards (a regression aborts
+/// the report), as opposed to informational measurements.
+#[derive(Default)]
+struct Metrics {
+    rows: Vec<(String, String, f64, bool)>,
+}
+
+impl Metrics {
+    fn push(&mut self, experiment: &str, metric: &str, value: f64, asserted: bool) {
+        self.rows
+            .push((experiment.into(), metric.into(), value, asserted));
+    }
+
+    /// Serialize the rows as a JSON array. Hand-rolled: the only string
+    /// fields are identifiers this binary controls, so escaping is
+    /// limited to the characters JSON forbids raw.
+    fn to_json(&self) -> String {
+        let esc = |s: &str| {
+            s.chars()
+                .flat_map(|c| match c {
+                    '"' => "\\\"".chars().collect::<Vec<_>>(),
+                    '\\' => "\\\\".chars().collect(),
+                    '\n' => "\\n".chars().collect(),
+                    c => vec![c],
+                })
+                .collect::<String>()
+        };
+        let body: Vec<String> = self
+            .rows
+            .iter()
+            .map(|(e, m, v, a)| {
+                format!(
+                    "  {{\"experiment\": \"{}\", \"metric\": \"{}\", \"value\": {}, \"asserted\": {}}}",
+                    esc(e),
+                    esc(m),
+                    if v.fract() == 0.0 && v.abs() < 1e15 {
+                        format!("{}", *v as i64)
+                    } else {
+                        format!("{v:.4}")
+                    },
+                    a
+                )
+            })
+            .collect();
+        format!("[\n{}\n]\n", body.join(",\n"))
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
     let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
     let runs = 5;
+    let mut metrics = Metrics::default();
 
     if want("e1") {
         e1_paper_examples();
@@ -69,23 +121,129 @@ fn main() {
         e13_join_elimination(runs);
     }
     if want("e14") {
-        e14_plan_cache();
+        e14_plan_cache(&mut metrics);
     }
     if want("e15") {
-        e15_optimizer_driver(runs);
+        e15_optimizer_driver(runs, &mut metrics);
     }
     if want("e16") {
-        e16_cost_based_planning();
+        e16_cost_based_planning(&mut metrics);
     }
     if want("e17") {
-        e17_parallel_executor(runs);
+        e17_parallel_executor(runs, &mut metrics);
     }
+    if want("e18") {
+        e18_columnar_execution(&mut metrics);
+    }
+
+    if !metrics.rows.is_empty() {
+        let path = "BENCH_E18.json";
+        std::fs::write(path, metrics.to_json()).expect("write metric rows");
+        println!("\nwrote {} metric row(s) to {path}", metrics.rows.len());
+    }
+}
+
+/// E18 — columnar storage + vectorized, uniqueness-aware kernels: work
+/// units vs the cost-based row session on a dictionary-friendly
+/// join+DISTINCT workload, the zero-hash direct-index probe, and
+/// multiset identity with the row oracle over the whole corpus.
+fn e18_columnar_execution(m: &mut Metrics) {
+    header(
+        "E18",
+        "columnar storage + vectorized uniqueness-aware kernels",
+    );
+    let cfg = uniqueness::workload::ScaleConfig {
+        suppliers: 2_000,
+        parts_per_supplier: 4,
+        ..Default::default()
+    };
+    let db = uniqueness::workload::scaled_database(&cfg).expect("scaled database");
+    let contenders = e18_contenders(db);
+    let row = &contenders[0].1;
+    let col = &contenders[1].1;
+
+    let sorted = |session: &Session, sql: &str| {
+        let out = session.query(sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
+        let mut rows = out.rows;
+        rows.sort_by(|a, b| uniqueness::types::value::tuple_null_cmp(a, b).unwrap());
+        (rows, out.stats)
+    };
+
+    let corpus = e18_corpus();
+    for sql in &corpus {
+        let (want, _) = sorted(row, sql);
+        let (got, _) = sorted(col, sql);
+        assert_eq!(got, want, "columnar multiset differs for {sql}");
+    }
+    println!(
+        "corpus: {} statements over a {}-supplier database; columnar \
+         multisets identical to the row oracle on every one",
+        corpus.len(),
+        cfg.suppliers
+    );
+    m.push(
+        "E18",
+        "corpus_multiset_identical",
+        corpus.len() as f64,
+        true,
+    );
+
+    println!("\nwork units on the join+DISTINCT workload:\n  {E18_JOIN_DISTINCT}");
+    println!(
+        "{:<16} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "session", "scans", "probes", "steps", "sortcmp", "vecops", "mat", "work"
+    );
+    let mut works = Vec::new();
+    for (name, session) in &contenders {
+        let (_, stats) = sorted(session, E18_JOIN_DISTINCT);
+        let work = e18_work(&stats);
+        println!(
+            "{:<16} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            name,
+            stats.rows_scanned,
+            stats.hash_probes,
+            stats.probe_steps,
+            stats.sort_comparisons,
+            stats.vector_ops,
+            stats.materialized_rows,
+            work
+        );
+        works.push(work);
+    }
+    let (row_work, col_work) = (works[0], works[1]);
+    let ratio = row_work as f64 / col_work.max(1) as f64;
+    m.push("E18", "row_work", row_work as f64, false);
+    m.push("E18", "columnar_work", col_work as f64, false);
+    m.push("E18", "work_ratio", ratio, true);
+    assert!(
+        2 * col_work <= row_work,
+        "columnar work {col_work} not 2x under row work {row_work}"
+    );
+    println!("columnar does {ratio:.1}x fewer work units (bar: >= 2x)");
+
+    let (_, probe) = sorted(col, E18_UNIQUE_PROBE);
+    let hash_ops = probe.hash_probes + probe.hash_joins;
+    println!(
+        "\ndirect-index unique probe:\n  {E18_UNIQUE_PROBE}\n\
+         hash ops {hash_ops} (probe steps {}, one array load each)",
+        probe.probe_steps
+    );
+    m.push("E18", "unique_probe_hash_ops", hash_ops as f64, true);
+    assert_eq!(hash_ops, 0, "direct-index probe must not hash");
+
+    let explain = col.explain(E18_JOIN_DISTINCT).expect("explain");
+    let marker = explain
+        .lines()
+        .find(|l| l.contains("exec=columnar"))
+        .expect("columnar scan line");
+    println!("\nEXPLAIN scan line: {}", marker.trim());
+    assert!(marker.contains("enc=dict"), "{explain}");
 }
 
 /// E17 — morsel-driven intra-query parallelism: serial vs parallel
 /// sessions over the large-join corpus, multiset-identical results at
 /// every degree, and the unique-key join kernel's probe-step saving.
-fn e17_parallel_executor(runs: usize) {
+fn e17_parallel_executor(runs: usize, m: &mut Metrics) {
     header(
         "E17",
         "morsel-driven parallel execution + unique-key join kernels",
@@ -152,6 +310,7 @@ fn e17_parallel_executor(runs: usize) {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    m.push("E17", "speedup_deg4", speedup4, cores >= 4);
     if cores >= 4 {
         assert!(
             speedup4 >= 2.0,
@@ -183,6 +342,18 @@ fn e17_parallel_executor(runs: usize) {
          {:>10} {:>12}\n{:>10} {:>12}\n{:>10} {:>12}",
         "kernel", "probe steps", "unique", u.stats.probe_steps, "chained", c.stats.probe_steps
     );
+    m.push(
+        "E17",
+        "unique_probe_steps",
+        u.stats.probe_steps as f64,
+        true,
+    );
+    m.push(
+        "E17",
+        "chained_probe_steps",
+        c.stats.probe_steps as f64,
+        false,
+    );
     assert!(
         u.stats.probe_steps < c.stats.probe_steps,
         "unique kernel took {} probe steps, chained took {}",
@@ -194,7 +365,7 @@ fn e17_parallel_executor(runs: usize) {
 
 /// E16 — cost-based per-node physical planning vs every static
 /// `ExecOptions` configuration, over the workload corpus.
-fn e16_cost_based_planning() {
+fn e16_cost_based_planning(m: &mut Metrics) {
     header(
         "E16",
         "cost-based physical planning vs static executor options",
@@ -251,6 +422,14 @@ fn e16_cost_based_planning() {
             "cost-based work {cost} exceeds {name} work {work}"
         );
     }
+    m.push("E16", "cost_based_work", cost as f64, true);
+    let best_static = works
+        .iter()
+        .filter(|(n, _)| *n != "cost-based")
+        .map(|(_, w)| *w)
+        .min()
+        .unwrap_or(0);
+    m.push("E16", "best_static_work", best_static as f64, false);
     println!("\ncost-based total work is within every static configuration");
 
     // One worked EXPLAIN showing est vs act per operator.
@@ -774,7 +953,7 @@ fn e14_query(subqueries: usize, salt: usize) -> String {
 
 /// E14 — serving path: sharded plan cache under a repeated-query batch,
 /// cached vs uncached, plus worker-pool scaling over a shared session.
-fn e14_plan_cache() {
+fn e14_plan_cache(m: &mut Metrics) {
     header(
         "E14",
         "plan cache + batch serving: repeated queries, cached vs uncached",
@@ -857,6 +1036,8 @@ fn e14_plan_cache() {
         hot.cache.insertions,
         hot.cache.evictions
     );
+    m.push("E14", "cache_speedup", speedup, true);
+    m.push("E14", "cache_hit_rate", hot.hit_rate(), false);
     assert!(
         speedup >= 5.0,
         "plan cache speedup {speedup:.2}x below the 5x bar"
@@ -939,7 +1120,7 @@ fn e12_distinct_methods(runs: usize) {
 /// root-restart driver pays one full traversal per firing), and EXISTS
 /// chains cascade many firings at a single node (both drivers should be
 /// close). Ends with a no-regression assertion on the new driver.
-fn e15_optimizer_driver(runs: usize) {
+fn e15_optimizer_driver(runs: usize, m: &mut Metrics) {
     header(
         "E15",
         "optimizer driver: one-pass fixpoint vs root-restart baseline",
@@ -1022,6 +1203,12 @@ fn e15_optimizer_driver(runs: usize) {
         "\ntotal optimize time: one-pass {} | root-restart {}",
         fmt_duration(total_new),
         fmt_duration(total_old)
+    );
+    m.push(
+        "E15",
+        "driver_speedup",
+        total_old.as_secs_f64() / total_new.as_secs_f64().max(f64::EPSILON),
+        true,
     );
     assert!(
         total_new <= total_old.mul_f64(1.25),

@@ -189,6 +189,75 @@ pub fn e17_corpus() -> Vec<String> {
 pub const E17_UNIQUE_JOIN: &str =
     "SELECT P.PNO, S.SNAME FROM PARTS P, SUPPLIER S WHERE S.SNO = P.SNO";
 
+/// The E18 join+`DISTINCT` workload: dictionary-friendly (`COLOR` and
+/// `SCITY` are low-cardinality strings), selective on `PARTS` (so the
+/// greedy order scans `PARTS` first and `SUPPLIER` joins in through its
+/// primary key — the direct-index kernel), and the `DISTINCT` is not
+/// removable (neither projected column is a key).
+pub const E18_JOIN_DISTINCT: &str = "SELECT DISTINCT P.COLOR, S.SCITY FROM PARTS P, SUPPLIER S \
+     WHERE P.SNO = S.SNO AND P.PNO = 1 AND P.COLOR = 'RED'";
+
+/// The E18 direct-index probe: `SUPPLIER` joins in by its dense integer
+/// primary key, so the columnar path answers every probe with one array
+/// load — zero hash operations end to end (no `DISTINCT`, which would
+/// add its own).
+pub const E18_UNIQUE_PROBE: &str = "SELECT P.OEM-PNO, S.SCITY FROM PARTS P, SUPPLIER S \
+     WHERE P.SNO = S.SNO AND P.PNO = 1 AND P.COLOR = 'RED'";
+
+/// The E18 corpus: covered shapes for every columnar kernel (filter on
+/// int and string codes, keyed joins unique and non-unique, `DISTINCT`,
+/// set operations over columnar blocks) plus uncovered shapes that must
+/// take the row fallback — the columnar session answers all of them,
+/// and E18 asserts multiset identity with the row oracle on each.
+pub fn e18_corpus() -> Vec<String> {
+    let mut corpus: Vec<String> = vec![E18_JOIN_DISTINCT.into(), E18_UNIQUE_PROBE.into()];
+    corpus.extend(
+        [
+            // Non-unique hash step: SNO alone covers no AGENTS key.
+            "SELECT DISTINCT P.COLOR, A.ACITY FROM PARTS P, SUPPLIER S, AGENTS A \
+             WHERE P.SNO = S.SNO AND S.SNO = A.SNO AND P.PNO = 1",
+            // String comparisons compile to dictionary code ranges.
+            "SELECT S.SNO FROM SUPPLIER S WHERE S.SCITY > 'Chicago'",
+            "SELECT P.PNO FROM PARTS P WHERE P.COLOR <> 'GREEN' AND P.SNO = 3",
+            // Set operation over columnar blocks.
+            "SELECT ALL S.SNO FROM SUPPLIER S WHERE S.SCITY = 'Toronto' \
+             INTERSECT SELECT ALL A.SNO FROM AGENTS A WHERE A.ACITY = 'Ottawa'",
+            // Uncovered shapes: the row fallback must serve these.
+            "SELECT S.SNO FROM SUPPLIER S WHERE S.SNO = 1 OR S.SNO = 2",
+            "SELECT S.SNO FROM SUPPLIER S WHERE EXISTS \
+             (SELECT * FROM PARTS P WHERE P.SNO = S.SNO AND P.COLOR = 'RED')",
+            "SELECT P.PNO FROM PARTS P WHERE P.PNO BETWEEN 1 AND 2",
+        ]
+        .into_iter()
+        .map(String::from),
+    );
+    corpus
+}
+
+/// The E18 work metric: every per-item counter either executor charges.
+/// The row path pays `rows_scanned` per stored row it touches plus
+/// probes; the columnar path pays per-chunk `vector_ops`, per-probe
+/// `probe_steps` and per-output-row `materialized_rows` instead. Summing
+/// both sides' currencies keeps the comparison honest — a path cannot
+/// look cheap by doing its work under a counter the metric ignores.
+pub fn e18_work(stats: &ExecStats) -> u64 {
+    stats.rows_scanned
+        + stats.sort_comparisons
+        + stats.hash_probes
+        + stats.probe_steps
+        + stats.vector_ops
+        + stats.materialized_rows
+}
+
+/// The E18 contenders: the cost-based row session (the oracle) and the
+/// columnar session, over clones of the same database.
+pub fn e18_contenders(db: Database) -> Vec<(&'static str, Session)> {
+    vec![
+        ("row cost-based", Session::new(db.clone()).with_cost_based()),
+        ("columnar", Session::new(db).with_columnar()),
+    ]
+}
+
 /// Format a `Duration` compactly for tables.
 pub fn fmt_duration(d: Duration) -> String {
     let micros = d.as_micros();
@@ -326,6 +395,40 @@ mod tests {
             unique_stats.probe_steps,
             chained_stats.probe_steps
         );
+    }
+
+    #[test]
+    fn e18_columnar_agrees_and_beats_row_work_by_two_x() {
+        let cfg = ScaleConfig {
+            suppliers: 2_000,
+            parts_per_supplier: 4,
+            ..Default::default()
+        };
+        let db = scaled_database(&cfg).unwrap();
+        let contenders = e18_contenders(db);
+        let row = &contenders[0].1;
+        let col = &contenders[1].1;
+        // Multiset identity with the row oracle on every E18 query.
+        for sql in e18_corpus() {
+            let (want, _) = sorted_rows(row, &sql);
+            let (got, _) = sorted_rows(col, &sql);
+            assert_eq!(got, want, "columnar multiset differs for {sql}");
+        }
+        // ≥2× fewer work units on the dictionary-friendly workload.
+        let (_, row_stats) = sorted_rows(row, E18_JOIN_DISTINCT);
+        let (_, col_stats) = sorted_rows(col, E18_JOIN_DISTINCT);
+        assert!(col_stats.vector_ops > 0, "{col_stats:?}");
+        assert_eq!(col_stats.rows_scanned, 0, "{col_stats:?}");
+        let (row_work, col_work) = (e18_work(&row_stats), e18_work(&col_stats));
+        assert!(
+            2 * col_work <= row_work,
+            "columnar work {col_work} not 2x under row work {row_work}"
+        );
+        // The direct-index unique probe performs zero hash operations.
+        let (_, probe_stats) = sorted_rows(col, E18_UNIQUE_PROBE);
+        assert_eq!(probe_stats.hash_probes, 0, "{probe_stats:?}");
+        assert_eq!(probe_stats.hash_joins, 0, "{probe_stats:?}");
+        assert!(probe_stats.probe_steps > 0, "{probe_stats:?}");
     }
 
     #[test]

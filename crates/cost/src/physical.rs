@@ -123,6 +123,13 @@ pub struct BlockPlan {
     pub project: OpId,
     /// Duplicate elimination, when the block is `SELECT DISTINCT`.
     pub distinct: Option<DistinctStep>,
+    /// The planner proved every conjunct and join step of this block is
+    /// covered by the vectorized columnar kernels, so the executor may
+    /// run it on dictionary codes with late materialization (rendered
+    /// as `exec=columnar` on the scan line). The executor re-verifies
+    /// at runtime and falls back to row execution if the encoding is
+    /// missing or stale — the flag is a license, not a promise.
+    pub columnar: bool,
 }
 
 /// A node of the physical plan, structurally parallel to the bound
@@ -166,6 +173,17 @@ impl PhysicalPlan {
     }
 
     fn line(&self, id: OpId, depth: usize, actuals: Option<&[u64]>, out: &mut String) {
+        self.line_sfx(id, depth, actuals, "", out);
+    }
+
+    fn line_sfx(
+        &self,
+        id: OpId,
+        depth: usize,
+        actuals: Option<&[u64]>,
+        suffix: &str,
+        out: &mut String,
+    ) {
         for _ in 0..depth {
             out.push_str("  ");
         }
@@ -176,8 +194,11 @@ impl PhysicalPlan {
             String::new()
         };
         match actuals.and_then(|a| a.get(id)) {
-            Some(act) => out.push_str(&format!("{} est={} act={}{deg}\n", op.label, op.est, act)),
-            None => out.push_str(&format!("{} est={} act=?{deg}\n", op.label, op.est)),
+            Some(act) => out.push_str(&format!(
+                "{} est={} act={}{deg}{suffix}\n",
+                op.label, op.est, act
+            )),
+            None => out.push_str(&format!("{} est={} act=?{deg}{suffix}\n", op.label, op.est)),
         }
     }
 
@@ -202,7 +223,8 @@ impl PhysicalPlan {
                 for step in block.joins.iter().rev() {
                     self.line(step.id, depth + 1, actuals, out);
                 }
-                self.line(block.scan, depth + 1, actuals, out);
+                let suffix = if block.columnar { " exec=columnar" } else { "" };
+                self.line_sfx(block.scan, depth + 1, actuals, suffix, out);
             }
             PhysNode::SetOp {
                 id, left, right, ..
@@ -260,6 +282,7 @@ mod tests {
                     id: 3,
                     deg: 1,
                 }),
+                columnar: false,
             }),
             ops: vec![
                 OpInfo {
@@ -313,6 +336,21 @@ mod tests {
             "{without}"
         );
         assert!(without.starts_with("  "), "base depth indents");
+    }
+
+    #[test]
+    fn columnar_blocks_render_the_exec_marker() {
+        let mut plan = tiny_plan();
+        let rendered = plan.render(0, None);
+        assert!(!rendered.contains("exec=columnar"), "{rendered}");
+        if let PhysNode::Block(b) = &mut plan.root {
+            b.columnar = true;
+        }
+        let rendered = plan.render(0, Some(&[5, 6, 6, 4]));
+        assert!(
+            rendered.contains("Scan SUPPLIER AS S est=5 act=5 exec=columnar"),
+            "{rendered}"
+        );
     }
 
     #[test]

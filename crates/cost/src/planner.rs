@@ -50,6 +50,11 @@ pub struct PlannerOptions {
     /// uniqueness-derived cardinality caps) can amortize against
     /// [`ROWS_PER_WORKER`].
     pub degree: Degree,
+    /// License blocks for the vectorized columnar executor when every
+    /// conjunct and join step is covered by its kernels (see
+    /// [`BlockPlan::columnar`]). Off by default: the row executor
+    /// remains the oracle every columnar plan is checked against.
+    pub columnar: bool,
 }
 
 /// Plan a bound (typically optimizer-rewritten) query against collected
@@ -59,6 +64,7 @@ pub fn plan_query(query: &BoundQuery, stats: &Statistics, options: PlannerOption
         est: Estimator::new(stats),
         ops: Vec::new(),
         max_deg: options.degree.resolve(),
+        columnar: options.columnar,
     };
     let (root, _) = planner.plan_node(query);
     PhysicalPlan {
@@ -71,6 +77,7 @@ struct Planner<'a> {
     est: Estimator<'a>,
     ops: Vec<OpInfo>,
     max_deg: usize,
+    columnar: bool,
 }
 
 impl Planner<'_> {
@@ -190,6 +197,13 @@ impl Planner<'_> {
             }
         }
 
+        // Columnar coverage: every conjunct must compile to a code-range
+        // or code-equality kernel, and every join step chosen below must
+        // be a keyed hash join (the columnar executor has no nested-loop
+        // or cross kernel). Tracked alongside the greedy loop so the
+        // verdict reflects the order actually chosen.
+        let mut columnar = self.columnar && conjuncts.iter().all(|c| columnar_conjunct(spec, c));
+
         let mut joins: Vec<JoinStep> = Vec::new();
         while placed.len() < n {
             // Choose the table minimizing the estimated step output.
@@ -245,6 +259,7 @@ impl Planner<'_> {
                 deg,
                 unique: covered && method == JoinMethod::Hash,
             });
+            columnar = columnar && has_keys && method == JoinMethod::Hash;
             placed.insert(next);
             order.push(next);
             cur = step_est;
@@ -265,8 +280,21 @@ impl Planner<'_> {
         let scan_est = self.filtered_rows(spec, order[0], &conjuncts, &owners, raw[order[0]]);
         // A scan's work is the raw table, whatever the filter keeps.
         let scan_deg = self.op_degree(raw[order[0]]);
+        // Columnar scans over a table with string columns read
+        // dictionary codes, not the strings themselves.
+        let enc = if columnar
+            && t0
+                .schema
+                .columns
+                .iter()
+                .any(|c| c.data_type == uniq_types::DataType::Str)
+        {
+            " enc=dict"
+        } else {
+            ""
+        };
         let scan = self.op(
-            format!("Scan {} AS {}", t0.schema.name, t0.binding),
+            format!("Scan {} AS {}{enc}", t0.schema.name, t0.binding),
             scan_est,
             scan_deg,
         );
@@ -308,6 +336,7 @@ impl Planner<'_> {
                 joins,
                 project,
                 distinct,
+                columnar,
             },
             final_est,
         )
@@ -428,6 +457,41 @@ fn equi_key_attr(
         (false, true) if is_placed(a) => Some(b),
         (true, false) if is_placed(b) => Some(a),
         _ => None,
+    }
+}
+
+/// Whether a conjunct is covered by the columnar kernels: a comparison
+/// between a local attribute and a type-matching literal (any operator —
+/// sorted dictionaries make every comparison a code-range test, and a
+/// `NULL` literal compiles to the empty range), or a local equality
+/// between attributes of two different tables (a hash/direct-index join
+/// key). Everything else — `OR`, `BETWEEN`, `IN`, subqueries,
+/// same-table column comparisons — runs on the row executor.
+fn columnar_conjunct(spec: &BoundSpec, c: &BoundExpr) -> bool {
+    let BoundExpr::Cmp { op, left, right } = c else {
+        return false;
+    };
+    match (left, right) {
+        (BScalar::Attr(a), BScalar::Attr(b)) if a.is_local() && b.is_local() => {
+            let (ta, tb) = (table_of(spec, a.idx), table_of(spec, b.idx));
+            *op == CmpOp::Eq && ta.is_some() && tb.is_some() && ta != tb
+        }
+        (BScalar::Attr(a), BScalar::Literal(v)) | (BScalar::Literal(v), BScalar::Attr(a))
+            if a.is_local() =>
+        {
+            let Some(t) = table_of(spec, a.idx) else {
+                return false;
+            };
+            let col = a.idx - spec.from[t].attr_range().start;
+            let dt = spec.from[t].schema.columns[col].data_type;
+            match v.data_type() {
+                None => true, // NULL literal: compiles to the empty range.
+                Some(lit) => {
+                    lit == dt && matches!(dt, uniq_types::DataType::Int | uniq_types::DataType::Str)
+                }
+            }
+        }
+        _ => false,
     }
 }
 
@@ -646,6 +710,7 @@ mod tests {
         let budget = PlannerOptions {
             cost_based: true,
             degree: Degree::Fixed(4),
+            columnar: false,
         };
         let p = plan_query(&q, &stats, budget);
         let b = block(&p);
@@ -660,6 +725,67 @@ mod tests {
         let tq = bind_query(tiny_db.catalog(), &parse_query(sql).unwrap()).unwrap();
         let tp = plan_query(&tq, &tiny_stats, budget);
         assert!(tp.ops.iter().all(|op| op.deg == 1), "{:?}", tp.ops);
+    }
+
+    fn plan_columnar(sql: &str) -> (PhysicalPlan, BoundQuery) {
+        let db = supplier_database().unwrap();
+        let stats = Statistics::collect(&db);
+        let q = bind_query(db.catalog(), &parse_query(sql).unwrap()).unwrap();
+        let opts = PlannerOptions {
+            columnar: true,
+            ..PlannerOptions::default()
+        };
+        (plan_query(&q, &stats, opts), q)
+    }
+
+    #[test]
+    fn covered_blocks_are_licensed_columnar() {
+        let sql = "SELECT S.SNO FROM SUPPLIER S, PARTS P \
+                   WHERE S.SNO = P.SNO AND P.COLOR = 'RED'";
+        let (p, _) = plan_columnar(sql);
+        let b = block(&p);
+        assert!(b.columnar, "keyed hash join + str literal is covered");
+        // PARTS scans first and carries string columns → dict marker.
+        assert!(
+            p.ops[b.scan].label.contains("Scan PARTS AS P enc=dict"),
+            "{:?}",
+            p.ops
+        );
+        assert!(p.render(0, None).contains("exec=columnar"));
+        // Same query without the option: row plan, no markers.
+        let (p2, _) = plan(sql);
+        let b2 = block(&p2);
+        assert!(!b2.columnar);
+        assert!(!p2.ops[b2.scan].label.contains("enc=dict"), "{:?}", p2.ops);
+    }
+
+    #[test]
+    fn uncovered_shapes_stay_on_the_row_path() {
+        for sql in [
+            // OR is not a conjunct the kernels compile.
+            "SELECT S.SNO FROM SUPPLIER S WHERE S.SNO = 1 OR S.SNO = 2",
+            // BETWEEN never reaches the predicate compiler.
+            "SELECT S.SNO FROM SUPPLIER S WHERE S.SNO BETWEEN 1 AND 3",
+            // Keyless cross join: no columnar cross kernel.
+            "SELECT S.SNO, A.ANO FROM SUPPLIER S, AGENTS A",
+            // Empty outer flips the step to nested loops.
+            "SELECT P.PNO FROM SUPPLIER S, PARTS P \
+             WHERE S.SNO = NULL AND S.SNO = P.SNO",
+            // Subqueries are row-executor territory.
+            "SELECT S.SNO FROM SUPPLIER S WHERE EXISTS \
+             (SELECT P.PNO FROM PARTS P WHERE P.SNO = S.SNO)",
+            // Same-table column comparison is not a join key.
+            "SELECT P.PNO FROM PARTS P WHERE P.PNO = P.SNO",
+        ] {
+            let (p, _) = plan_columnar(sql);
+            let b = block(&p);
+            assert!(!b.columnar, "{sql} must not be columnar");
+            assert!(!p.render(0, None).contains("exec=columnar"), "{sql}");
+        }
+        // A NULL-literal comparison compiles (to the empty range) and
+        // keeps the block columnar when it is the only predicate.
+        let (p, _) = plan_columnar("SELECT S.SNO FROM SUPPLIER S WHERE S.SNAME = NULL");
+        assert!(block(&p).columnar, "NULL literal compiles to Never");
     }
 
     #[test]

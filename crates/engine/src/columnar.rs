@@ -1,0 +1,1097 @@
+//! Columnar storage and vectorized, uniqueness-aware execution kernels.
+//!
+//! A [`ColumnStore`] re-encodes a database's tables column-wise: `i64`
+//! columns are stored flat next to a [`NullBitmap`], string columns are
+//! dictionary-encoded into dense `u32` codes (one sorted dictionary per
+//! column, so code order coincides with string order and every
+//! comparison predicate compiles to a code-range test). The store is
+//! built once — at `ANALYZE` time, alongside the statistics — and is
+//! consulted again only if it is provably fresh: the catalog version
+//! must match and every scanned table's row count must equal the
+//! encoded count, so codes from a stale encoding are never read.
+//!
+//! Execution walks [`ColumnBatch`]es: a batch is a table reference plus
+//! a *selection vector* of qualifying row ids, so filters refine the
+//! selection without copying rows. Joins carry tuples of row ids (one
+//! per placed table) and late-materialize `Value` rows only at query
+//! output, which is what the `materialized_rows` counter measures.
+//!
+//! Uniqueness is the fast path throughout, extending the unique-key
+//! hash kernel of the morsel executor (see [`crate::parallel`]):
+//!
+//! * when a join step's keys cover a candidate key of the build side
+//!   (the planner's `JoinStep::unique` proof), the single-column kernels
+//!   skip hashing entirely and use a *direct-index* table — dictionary
+//!   codes (or a bounded integer span) index straight into an array of
+//!   row ids, one array load per probe, `hash_probes == 0`;
+//! * blocks the optimizer proved duplicate-free never reach the
+//!   distinct kernel at all (the rewrite removed the `DISTINCT`), so
+//!   the columnar path inherits that saving for free.
+//!
+//! The row executor remains the oracle: the planner only marks a block
+//! columnar for shapes these kernels cover, and this module re-verifies
+//! at runtime — any unsupported conjunct, a missing or stale encoding,
+//! a keyless step — and returns `None` so the caller falls back to row
+//! execution. Column chunks go through the same morsel scheduler as row
+//! morsels (`crate::parallel::run_tasks`); each (kernel, chunk) pair
+//! counts one `vector_ops`, the columnar analogue of per-row dispatch.
+
+use crate::exec::{contains_subquery, equi_join_key, map_all_attr_refs, Executor};
+use crate::parallel::{run_tasks, MORSEL_SIZE};
+use crate::stats::ExecStats;
+use std::collections::{BTreeSet, HashMap, HashSet};
+use uniq_catalog::{Database, Row, TableSchema};
+use uniq_cost::{BlockPlan, JoinMethod};
+use uniq_plan::{BScalar, BoundExpr, BoundSpec};
+use uniq_sql::CmpOp;
+use uniq_types::{DataType, NullBitmap, Result, TableName, Value};
+
+/// Largest dictionary a string column may grow before the table is left
+/// un-encoded (and every plan over it falls back to row execution). One
+/// below `u32::MAX` so a code never collides with the kernels' `MAX`
+/// "empty slot" sentinel.
+pub const DEFAULT_DICT_LIMIT: usize = (u32::MAX - 1) as usize;
+
+/// Largest integer key span (`max - min + 1`) the direct-index join
+/// kernel will allocate an array for; wider spans use the hash kernel.
+const DIRECT_SPAN_LIMIT: i128 = 1 << 22;
+
+/// Sentinel row id / code meaning "no entry".
+const NONE_U32: u32 = u32::MAX;
+
+/// One encoded column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ColumnData {
+    /// An `INTEGER` column: values flat, validity in the bitmap (NULL
+    /// slots hold 0 and must never be read).
+    Int {
+        /// One `i64` per row.
+        values: Vec<i64>,
+        /// Per-row NULL flags.
+        nulls: NullBitmap,
+    },
+    /// A `VARCHAR` column, dictionary-encoded. The dictionary is sorted
+    /// ascending, so codes are dense *and order-preserving*: every
+    /// comparison against a literal becomes a code-range test.
+    Str {
+        /// One dictionary code per row (NULL slots hold 0).
+        codes: Vec<u32>,
+        /// Per-row NULL flags.
+        nulls: NullBitmap,
+        /// Sorted distinct non-NULL values; `codes[r]` indexes here.
+        dict: Vec<String>,
+    },
+}
+
+/// All columns of one encoded table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableColumns {
+    rows: usize,
+    cols: Vec<ColumnData>,
+}
+
+impl TableColumns {
+    /// Encoded row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column `c`'s encoded data.
+    pub fn column(&self, c: usize) -> &ColumnData {
+        &self.cols[c]
+    }
+
+    /// Decode one cell back to a [`Value`] (late materialization).
+    pub fn value_at(&self, c: usize, r: usize) -> Value {
+        match &self.cols[c] {
+            ColumnData::Int { values, nulls } => {
+                if nulls.is_null(r) {
+                    Value::Null
+                } else {
+                    Value::Int(values[r])
+                }
+            }
+            ColumnData::Str { codes, nulls, dict } => {
+                if nulls.is_null(r) {
+                    Value::Null
+                } else {
+                    Value::Str(dict[codes[r] as usize].clone())
+                }
+            }
+        }
+    }
+}
+
+/// A table reference plus a selection vector of qualifying row ids —
+/// the unit the vectorized filter kernel produces and refines. Filters
+/// shrink `sel`; they never copy rows.
+#[derive(Debug)]
+pub struct ColumnBatch<'a> {
+    /// The encoded table the selection indexes into.
+    pub table: &'a TableColumns,
+    /// Qualifying row ids, ascending.
+    pub sel: Vec<u32>,
+}
+
+/// Column-wise encodings of every encodable table of one database
+/// snapshot, keyed by table name.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ColumnStore {
+    tables: HashMap<TableName, TableColumns>,
+    catalog_version: u64,
+}
+
+impl ColumnStore {
+    /// Encode every table of `db` (skipping any that cannot be encoded:
+    /// non-scalar column types, row counts beyond `u32`, or string
+    /// dictionaries beyond [`DEFAULT_DICT_LIMIT`]).
+    pub fn build(db: &Database) -> ColumnStore {
+        ColumnStore::build_with_dict_limit(db, DEFAULT_DICT_LIMIT)
+    }
+
+    /// Like [`ColumnStore::build`] with an explicit dictionary-size
+    /// guard: a string column with more than `limit` distinct values
+    /// leaves its whole table un-encoded (queries over it fall back to
+    /// the row executor). Exposed for tests; production use is
+    /// [`DEFAULT_DICT_LIMIT`], the `u32` code-space guard.
+    pub fn build_with_dict_limit(db: &Database, limit: usize) -> ColumnStore {
+        let limit = limit.min(DEFAULT_DICT_LIMIT);
+        let mut tables = HashMap::new();
+        for schema in db.catalog().tables() {
+            let Ok(rows) = db.rows(&schema.name) else {
+                continue;
+            };
+            if let Some(tc) = encode_table(schema, rows, limit) {
+                tables.insert(schema.name.clone(), tc);
+            }
+        }
+        ColumnStore {
+            tables,
+            catalog_version: db.version(),
+        }
+    }
+
+    /// The encoding of `name`, if the table was encodable.
+    pub fn table(&self, name: &TableName) -> Option<&TableColumns> {
+        self.tables.get(name)
+    }
+
+    /// The catalog version the store was built against; a mismatch with
+    /// the live database means the encoding is stale.
+    pub fn catalog_version(&self) -> u64 {
+        self.catalog_version
+    }
+
+    /// Number of encoded tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Whether no table could be encoded.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+fn encode_table(schema: &TableSchema, rows: &[Row], limit: usize) -> Option<TableColumns> {
+    let nrows = rows.len();
+    if nrows > NONE_U32 as usize {
+        return None;
+    }
+    let mut cols = Vec::with_capacity(schema.arity());
+    for (c, def) in schema.columns.iter().enumerate() {
+        match def.data_type {
+            DataType::Int => {
+                let mut values = Vec::with_capacity(nrows);
+                let mut nulls = NullBitmap::with_capacity(nrows);
+                for row in rows {
+                    match &row[c] {
+                        Value::Null => {
+                            values.push(0);
+                            nulls.push(true);
+                        }
+                        Value::Int(i) => {
+                            values.push(*i);
+                            nulls.push(false);
+                        }
+                        _ => return None,
+                    }
+                }
+                cols.push(ColumnData::Int { values, nulls });
+            }
+            DataType::Str => {
+                let mut set: BTreeSet<&str> = BTreeSet::new();
+                for row in rows {
+                    match &row[c] {
+                        Value::Null => {}
+                        Value::Str(s) => {
+                            set.insert(s);
+                        }
+                        _ => return None,
+                    }
+                }
+                if set.len() > limit {
+                    return None;
+                }
+                let dict: Vec<String> = set.into_iter().map(str::to_string).collect();
+                let mut codes = Vec::with_capacity(nrows);
+                let mut nulls = NullBitmap::with_capacity(nrows);
+                for row in rows {
+                    match &row[c] {
+                        Value::Null => {
+                            codes.push(0);
+                            nulls.push(true);
+                        }
+                        Value::Str(s) => {
+                            let code = dict
+                                .binary_search(s)
+                                .expect("dictionary built from these rows");
+                            codes.push(code as u32);
+                            nulls.push(false);
+                        }
+                        _ => return None,
+                    }
+                }
+                cols.push(ColumnData::Str { codes, nulls, dict });
+            }
+            _ => return None,
+        }
+    }
+    Some(TableColumns { rows: nrows, cols })
+}
+
+// --- vectorizable predicates -------------------------------------------
+
+/// A table-local conjunct compiled against one encoded table. All six
+/// comparison operators are supported on both column types: integer
+/// comparisons run on the flat values, string comparisons become
+/// code-range tests because each dictionary is sorted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Pred {
+    /// `col ⋄ literal` on an integer column.
+    IntCmp { col: usize, op: CmpOp, lit: i64 },
+    /// Row qualifies iff non-NULL and `lo <= code < hi` (xor `negate`,
+    /// which still never admits NULL rows — `WHERE` is false-interpreted).
+    StrRange {
+        col: usize,
+        lo: u32,
+        hi: u32,
+        negate: bool,
+    },
+    /// Never matches (comparison against a NULL literal is unknown).
+    Never,
+}
+
+fn flip_op(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Eq => CmpOp::Eq,
+        CmpOp::Ne => CmpOp::Ne,
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+    }
+}
+
+/// Compile one conjunct into a vectorizable predicate over the table
+/// occupying `range`, or `None` when the shape is not covered (the
+/// caller then falls back to row execution).
+fn compile_pred(c: &BoundExpr, range: &std::ops::Range<usize>, tc: &TableColumns) -> Option<Pred> {
+    let BoundExpr::Cmp { op, left, right } = c else {
+        return None;
+    };
+    let (attr, lit, op) = match (left, right) {
+        (BScalar::Attr(a), BScalar::Literal(v)) if a.is_local() => (a, v, *op),
+        (BScalar::Literal(v), BScalar::Attr(a)) if a.is_local() => (a, v, flip_op(*op)),
+        _ => return None,
+    };
+    if !range.contains(&attr.idx) {
+        return None;
+    }
+    let col = attr.idx - range.start;
+    if lit.is_null() {
+        return Some(Pred::Never);
+    }
+    match (tc.column(col), lit) {
+        (ColumnData::Int { .. }, Value::Int(i)) => Some(Pred::IntCmp { col, op, lit: *i }),
+        (ColumnData::Str { dict, .. }, Value::Str(s)) => {
+            // First dictionary position not below the literal; the code
+            // ranges below follow from the dictionary being sorted.
+            let pos = dict.partition_point(|d| d.as_str() < s.as_str()) as u32;
+            let hit = u32::from(dict.get(pos as usize).is_some_and(|d| d == s));
+            let len = dict.len() as u32;
+            let (lo, hi, negate) = match op {
+                CmpOp::Eq => (pos, pos + hit, false),
+                CmpOp::Ne => (pos, pos + hit, true),
+                CmpOp::Lt => (0, pos, false),
+                CmpOp::Le => (0, pos + hit, false),
+                CmpOp::Gt => (pos + hit, len, false),
+                CmpOp::Ge => (pos, len, false),
+            };
+            Some(Pred::StrRange {
+                col,
+                lo,
+                hi,
+                negate,
+            })
+        }
+        _ => None,
+    }
+}
+
+fn eval_pred(p: &Pred, tc: &TableColumns, r: usize) -> bool {
+    match p {
+        Pred::Never => false,
+        Pred::IntCmp { col, op, lit } => match tc.column(*col) {
+            ColumnData::Int { values, nulls } => {
+                if nulls.is_null(r) {
+                    return false;
+                }
+                let v = values[r];
+                match op {
+                    CmpOp::Eq => v == *lit,
+                    CmpOp::Ne => v != *lit,
+                    CmpOp::Lt => v < *lit,
+                    CmpOp::Le => v <= *lit,
+                    CmpOp::Gt => v > *lit,
+                    CmpOp::Ge => v >= *lit,
+                }
+            }
+            ColumnData::Str { .. } => false,
+        },
+        Pred::StrRange {
+            col,
+            lo,
+            hi,
+            negate,
+        } => match tc.column(*col) {
+            ColumnData::Str { codes, nulls, .. } => {
+                if nulls.is_null(r) {
+                    return false;
+                }
+                let c = codes[r];
+                (*lo <= c && c < *hi) != *negate
+            }
+            ColumnData::Int { .. } => false,
+        },
+    }
+}
+
+/// Vectorized filter: chunk the table into column morsels, build each
+/// chunk's identity selection, then refine it predicate by predicate —
+/// rows are never copied, only the selection shrinks. One `vector_ops`
+/// per (predicate, chunk); `morsels` counts the chunks when parallel.
+fn filter_table(
+    tc: &TableColumns,
+    preds: &[Pred],
+    deg: usize,
+    stats: &mut ExecStats,
+) -> Result<Vec<u32>> {
+    let nchunks = tc.rows.div_ceil(MORSEL_SIZE);
+    let parts = run_tasks(deg, nchunks, |i| {
+        let start = i * MORSEL_SIZE;
+        let end = ((i + 1) * MORSEL_SIZE).min(tc.rows);
+        let mut sel: Vec<u32> = (start as u32..end as u32).collect();
+        for p in preds {
+            sel.retain(|&r| eval_pred(p, tc, r as usize));
+        }
+        Ok(sel)
+    })?;
+    stats.vector_ops += (nchunks * preds.len().max(1)) as u64;
+    if deg > 1 {
+        stats.morsels += nchunks as u64;
+    }
+    Ok(parts.into_iter().flatten().collect())
+}
+
+// --- join kernels ------------------------------------------------------
+
+/// One resolved equi-join key of a step: where the probe side reads its
+/// value (`slot` into the tuple of placed row ids, then `probe_col` of
+/// that table) and which build-side column it must equal.
+#[derive(Debug, Clone, Copy)]
+struct ResolvedKey {
+    slot: usize,
+    probe_col: usize,
+    build_col: usize,
+}
+
+/// A key with its per-step probe/build column data. For string keys,
+/// `trans` maps probe-dictionary codes into the build dictionary
+/// (`NONE_U32` = the probe string does not occur on the build side), so
+/// both kernels compare codes in *build* space — translated once per
+/// distinct probe value, not once per row.
+struct KeyAt<'a> {
+    slot: usize,
+    probe: &'a ColumnData,
+    build: &'a ColumnData,
+    trans: Option<Vec<u32>>,
+}
+
+enum ProbeKey {
+    /// NULL key component: the probe row can never match (`WHERE =`),
+    /// and is skipped without counting, like the row kernels.
+    Null,
+    /// The probe string does not exist in the build dictionary: a
+    /// counted probe that is guaranteed to miss.
+    NoMatch,
+    /// Comparable key in build space.
+    Key(u64),
+}
+
+fn translation(probe_dict: &[String], build_dict: &[String]) -> Vec<u32> {
+    probe_dict
+        .iter()
+        .map(|s| match build_dict.binary_search(s) {
+            Ok(i) => i as u32,
+            Err(_) => NONE_U32,
+        })
+        .collect()
+}
+
+impl KeyAt<'_> {
+    fn probe_key(&self, r: u32) -> ProbeKey {
+        let r = r as usize;
+        match self.probe {
+            ColumnData::Int { values, nulls } => {
+                if nulls.is_null(r) {
+                    ProbeKey::Null
+                } else {
+                    ProbeKey::Key(values[r] as u64)
+                }
+            }
+            ColumnData::Str { codes, nulls, .. } => {
+                if nulls.is_null(r) {
+                    return ProbeKey::Null;
+                }
+                let trans = self.trans.as_ref().expect("string key has translation");
+                match trans[codes[r] as usize] {
+                    NONE_U32 => ProbeKey::NoMatch,
+                    c => ProbeKey::Key(c as u64),
+                }
+            }
+        }
+    }
+
+    fn build_key(&self, r: u32) -> Option<u64> {
+        let r = r as usize;
+        match self.build {
+            ColumnData::Int { values, nulls } => (!nulls.is_null(r)).then(|| values[r] as u64),
+            ColumnData::Str { codes, nulls, .. } => (!nulls.is_null(r)).then(|| codes[r] as u64),
+        }
+    }
+}
+
+/// Direct-index table for a unique single-key build side: key → build
+/// row id, no hashing. Dictionary codes index straight into `index`;
+/// integer keys index by offset from the observed minimum.
+enum Direct {
+    Str {
+        index: Vec<u32>,
+    },
+    Int {
+        base: i64,
+        max: i64,
+        index: Vec<u32>,
+    },
+}
+
+/// Build the direct-index table over the (filtered) build side, or
+/// `None` when an integer key's span is too wide to tabulate — the
+/// caller then uses the hash kernel instead.
+fn build_direct(key: &KeyAt<'_>, build_sel: &[u32]) -> Option<Direct> {
+    match key.build {
+        ColumnData::Str { codes, nulls, dict } => {
+            let mut index = vec![NONE_U32; dict.len()];
+            for &r in build_sel {
+                if !nulls.is_null(r as usize) {
+                    index[codes[r as usize] as usize] = r;
+                }
+            }
+            Some(Direct::Str { index })
+        }
+        ColumnData::Int { values, nulls } => {
+            let mut lo = i64::MAX;
+            let mut hi = i64::MIN;
+            for &r in build_sel {
+                if !nulls.is_null(r as usize) {
+                    let v = values[r as usize];
+                    lo = lo.min(v);
+                    hi = hi.max(v);
+                }
+            }
+            if lo > hi {
+                // Empty build side: every probe misses.
+                return Some(Direct::Int {
+                    base: 0,
+                    max: -1,
+                    index: Vec::new(),
+                });
+            }
+            let span = hi as i128 - lo as i128 + 1;
+            if span > DIRECT_SPAN_LIMIT {
+                return None;
+            }
+            let mut index = vec![NONE_U32; span as usize];
+            for &r in build_sel {
+                if !nulls.is_null(r as usize) {
+                    index[(values[r as usize] - lo) as usize] = r;
+                }
+            }
+            Some(Direct::Int {
+                base: lo,
+                max: hi,
+                index,
+            })
+        }
+    }
+}
+
+fn direct_lookup(d: &Direct, key: u64) -> u32 {
+    match d {
+        Direct::Str { index } => index.get(key as usize).copied().unwrap_or(NONE_U32),
+        Direct::Int { base, max, index } => {
+            let v = key as i64;
+            if v < *base || v > *max {
+                NONE_U32
+            } else {
+                index[(v - base) as usize]
+            }
+        }
+    }
+}
+
+// --- the columnar block executor ---------------------------------------
+
+/// Execute one planned block entirely on the columnar kernels, or
+/// return `None` when anything about the block is not covered — a
+/// missing/stale table encoding, an uncompilable conjunct, a keyless or
+/// non-hash join step — in which case the caller falls back to the row
+/// executor with no counters touched.
+pub(crate) fn exec_block(
+    ex: &mut Executor<'_>,
+    store: &ColumnStore,
+    spec: &BoundSpec,
+    bp: &BlockPlan,
+) -> Result<Option<Vec<Row>>> {
+    let n = spec.from.len();
+
+    // Freshness: the catalog must not have moved since the encoding was
+    // built, and every scanned table must hold exactly the encoded rows
+    // (INSERT does not bump the catalog version, so stale codes are
+    // caught here by row count).
+    if store.catalog_version != ex.db.version() {
+        return Ok(None);
+    }
+    let mut tables: Vec<&TableColumns> = Vec::with_capacity(n);
+    for ft in &spec.from {
+        match store.table(&ft.schema.name) {
+            Some(tc) if tc.rows == ex.db.row_count(&ft.schema.name)? => tables.push(tc),
+            _ => return Ok(None),
+        }
+    }
+    if bp.joins.iter().any(|j| j.method != JoinMethod::Hash) {
+        return Ok(None);
+    }
+
+    // Assign conjuncts to planned levels, exactly like the row
+    // executor's planned pipeline.
+    let mut pos = vec![0usize; n];
+    for (k, &t) in bp.order.iter().enumerate() {
+        pos[t] = k;
+    }
+    let mut levels: Vec<Vec<&BoundExpr>> = vec![Vec::new(); n];
+    if let Some(pred) = &spec.predicate {
+        for c in pred.conjuncts() {
+            if contains_subquery(c) {
+                return Ok(None);
+            }
+            let mut level = 0usize;
+            let mut probe = c.clone();
+            map_all_attr_refs(&mut probe, &mut |depth, a| {
+                if a.up == depth {
+                    let owner = spec
+                        .from
+                        .iter()
+                        .position(|ft| ft.attr_range().contains(&a.idx));
+                    if let Some(at) = owner {
+                        level = level.max(pos[at]);
+                    }
+                }
+            });
+            levels[level].push(c);
+        }
+    }
+
+    // Validate the whole block before touching any counter, so a
+    // fallback never leaves half-counted work behind.
+    let range0 = spec.from[bp.order[0]].attr_range();
+    let tc0 = tables[bp.order[0]];
+    let mut preds0 = Vec::with_capacity(levels[0].len());
+    for c in &levels[0] {
+        match compile_pred(c, &range0, tc0) {
+            Some(p) => preds0.push(p),
+            None => return Ok(None),
+        }
+    }
+    let mut steps: Vec<(Vec<Pred>, Vec<ResolvedKey>)> = Vec::with_capacity(n.saturating_sub(1));
+    let mut placed_ranges = vec![range0];
+    for k in 1..n {
+        let table = &spec.from[bp.order[k]];
+        let tc = tables[bp.order[k]];
+        let range = table.attr_range();
+        let mut preds = Vec::new();
+        let mut keys = Vec::new();
+        for c in &levels[k] {
+            let placed = |idx: usize| placed_ranges.iter().any(|r| r.contains(&idx));
+            if let Some((built, new)) = equi_join_key(c, &range, &placed) {
+                let Some(from_pos) = spec
+                    .from
+                    .iter()
+                    .position(|ft| ft.attr_range().contains(&built))
+                else {
+                    return Ok(None);
+                };
+                let rk = ResolvedKey {
+                    slot: pos[from_pos],
+                    probe_col: built - spec.from[from_pos].attr_range().start,
+                    build_col: new - range.start,
+                };
+                // Kernel keys compare codes, so both sides must carry
+                // the same physical encoding.
+                let same_kind = matches!(
+                    (
+                        tables[bp.order[rk.slot]].column(rk.probe_col),
+                        tc.column(rk.build_col)
+                    ),
+                    (ColumnData::Int { .. }, ColumnData::Int { .. })
+                        | (ColumnData::Str { .. }, ColumnData::Str { .. })
+                );
+                if !same_kind {
+                    return Ok(None);
+                }
+                keys.push(rk);
+            } else if let Some(p) = compile_pred(c, &range, tc) {
+                preds.push(p);
+            } else {
+                return Ok(None);
+            }
+        }
+        if keys.is_empty() {
+            return Ok(None);
+        }
+        placed_ranges.push(range);
+        steps.push((preds, keys));
+    }
+    let mut proj: Vec<(usize, usize)> = Vec::with_capacity(spec.projection.len());
+    for p in &spec.projection {
+        let Some(from_pos) = spec
+            .from
+            .iter()
+            .position(|ft| ft.attr_range().contains(&p.attr))
+        else {
+            return Ok(None);
+        };
+        proj.push((
+            pos[from_pos],
+            p.attr - spec.from[from_pos].attr_range().start,
+        ));
+    }
+
+    // --- execution -----------------------------------------------------
+
+    // Level 0: vectorized filtered scan → selection vector, no copies.
+    let scan = ColumnBatch {
+        table: tc0,
+        sel: filter_table(tc0, &preds0, bp.scan_deg.max(1), &mut ex.stats)?,
+    };
+    ex.record(bp.scan, scan.sel.len());
+
+    // Tuples of row ids, flat with one slot per placed table.
+    let mut stride = 1usize;
+    let mut tuples: Vec<u32> = scan.sel;
+
+    for (k, (preds, rkeys)) in steps.iter().enumerate() {
+        let step = bp.joins[k];
+        let tcb = tables[bp.order[k + 1]];
+        let deg = step.deg.max(1);
+        let build = ColumnBatch {
+            table: tcb,
+            sel: filter_table(tcb, preds, deg, &mut ex.stats)?,
+        };
+        let keys: Vec<KeyAt<'_>> = rkeys
+            .iter()
+            .map(|rk| {
+                let probe = tables[bp.order[rk.slot]].column(rk.probe_col);
+                let build_col = tcb.column(rk.build_col);
+                let trans = match (probe, build_col) {
+                    (ColumnData::Str { dict: pd, .. }, ColumnData::Str { dict: bd, .. }) => {
+                        Some(translation(pd, bd))
+                    }
+                    _ => None,
+                };
+                KeyAt {
+                    slot: rk.slot,
+                    probe,
+                    build: build_col,
+                    trans,
+                }
+            })
+            .collect();
+
+        let unique = ex.opts.unique_kernels && step.unique;
+        let direct = if unique && keys.len() == 1 {
+            build_direct(&keys[0], &build.sel)
+        } else {
+            None
+        };
+
+        let ntuples = tuples.len().checked_div(stride).unwrap_or(0);
+        let nchunks = ntuples.div_ceil(MORSEL_SIZE);
+        let next: Vec<(Vec<u32>, u64, u64)> = if let Some(direct) = &direct {
+            // Direct-index unique kernel: zero hash operations, one
+            // array load (= one probe step) per probe.
+            run_tasks(deg, nchunks, |i| {
+                let lo = i * MORSEL_SIZE;
+                let hi = ((i + 1) * MORSEL_SIZE).min(ntuples);
+                let mut out = Vec::new();
+                let mut probes = 0u64;
+                for t in lo..hi {
+                    let tup = &tuples[t * stride..(t + 1) * stride];
+                    let key = match keys[0].probe_key(tup[keys[0].slot]) {
+                        ProbeKey::Null => continue,
+                        ProbeKey::NoMatch => {
+                            probes += 1;
+                            continue;
+                        }
+                        ProbeKey::Key(k) => k,
+                    };
+                    probes += 1;
+                    let m = direct_lookup(direct, key);
+                    if m != NONE_U32 {
+                        out.extend_from_slice(tup);
+                        out.push(m);
+                    }
+                }
+                Ok((out, 0u64, probes))
+            })?
+        } else {
+            // Hash kernel over build-space key codes. Unique steps keep
+            // the single-slot accounting of the row unique kernel.
+            ex.stats.hash_joins += 1;
+            let mut map: HashMap<Vec<u64>, Vec<u32>> = HashMap::new();
+            'build: for &r in &build.sel {
+                let mut key = Vec::with_capacity(keys.len());
+                for ka in &keys {
+                    match ka.build_key(r) {
+                        Some(c) => key.push(c),
+                        None => continue 'build,
+                    }
+                }
+                map.entry(key).or_default().push(r);
+            }
+            run_tasks(deg, nchunks, |i| {
+                let lo = i * MORSEL_SIZE;
+                let hi = ((i + 1) * MORSEL_SIZE).min(ntuples);
+                let mut out = Vec::new();
+                let mut hash_probes = 0u64;
+                let mut probe_steps = 0u64;
+                'probe: for t in lo..hi {
+                    let tup = &tuples[t * stride..(t + 1) * stride];
+                    let mut key = Vec::with_capacity(keys.len());
+                    let mut dead = false;
+                    for ka in &keys {
+                        match ka.probe_key(tup[ka.slot]) {
+                            ProbeKey::Null => continue 'probe,
+                            ProbeKey::NoMatch => dead = true,
+                            ProbeKey::Key(k) => key.push(k),
+                        }
+                    }
+                    hash_probes += 1;
+                    if dead {
+                        probe_steps += 1;
+                        continue;
+                    }
+                    match map.get(&key) {
+                        Some(ms) => {
+                            probe_steps += if unique { 1 } else { ms.len() as u64 + 1 };
+                            for &m in ms {
+                                out.extend_from_slice(tup);
+                                out.push(m);
+                            }
+                        }
+                        None => probe_steps += 1,
+                    }
+                }
+                Ok((out, hash_probes, probe_steps))
+            })?
+        };
+        ex.stats.vector_ops += nchunks as u64;
+        if deg > 1 {
+            ex.stats.morsels += nchunks as u64;
+        }
+        stride += 1;
+        let mut joined = Vec::new();
+        for (rows, hash_probes, probe_steps) in next {
+            ex.stats.hash_probes += hash_probes;
+            ex.stats.probe_steps += probe_steps;
+            joined.extend(rows);
+        }
+        tuples = joined;
+        ex.record(step.id, tuples.len() / stride);
+    }
+
+    // Projection over code tuples (still no materialization).
+    let ntuples = tuples.len() / stride;
+    ex.record(bp.project, ntuples);
+
+    // Distinct on encoded keys: per projected column a (null, code/value)
+    // word pair, exact under `=̇` because codes within one column are
+    // injective. Blocks the optimizer proved duplicate-free carry no
+    // distinct step and skip this entirely.
+    if let Some(d) = bp.distinct {
+        let mut seen: HashSet<Vec<u64>> = HashSet::with_capacity(ntuples);
+        let mut kept: Vec<u32> = Vec::new();
+        for t in 0..ntuples {
+            let tup = &tuples[t * stride..(t + 1) * stride];
+            let mut key = Vec::with_capacity(proj.len() * 2);
+            for &(slot, col) in &proj {
+                let tc = tables[bp.order[slot]];
+                let r = tup[slot] as usize;
+                match tc.column(col) {
+                    ColumnData::Int { values, nulls } => {
+                        if nulls.is_null(r) {
+                            key.extend([1, 0]);
+                        } else {
+                            key.extend([0, values[r] as u64]);
+                        }
+                    }
+                    ColumnData::Str { codes, nulls, .. } => {
+                        if nulls.is_null(r) {
+                            key.extend([1, 0]);
+                        } else {
+                            key.extend([0, codes[r] as u64]);
+                        }
+                    }
+                }
+            }
+            ex.stats.hash_probes += 1;
+            if seen.insert(key) {
+                kept.extend_from_slice(tup);
+            }
+        }
+        ex.stats.vector_ops += ntuples.div_ceil(MORSEL_SIZE) as u64;
+        tuples = kept;
+        ex.record(d.id, tuples.len() / stride);
+    }
+
+    // Late materialization: only final output tuples become `Value`s.
+    let ntuples = tuples.len() / stride;
+    let mut rows = Vec::with_capacity(ntuples);
+    for t in 0..ntuples {
+        let tup = &tuples[t * stride..(t + 1) * stride];
+        rows.push(
+            proj.iter()
+                .map(|&(slot, col)| tables[bp.order[slot]].value_at(col, tup[slot] as usize))
+                .collect::<Row>(),
+        );
+    }
+    ex.stats.vector_ops += ntuples.div_ceil(MORSEL_SIZE) as u64;
+    ex.stats.materialized_rows += ntuples as u64;
+    Ok(Some(rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniq_catalog::sample::supplier_database;
+
+    fn store() -> (Database, ColumnStore) {
+        let db = supplier_database().unwrap();
+        let cs = ColumnStore::build(&db);
+        (db, cs)
+    }
+
+    #[test]
+    fn encoding_roundtrips_every_cell() {
+        let (db, cs) = store();
+        for schema in db.catalog().tables() {
+            let tc = cs.table(&schema.name).expect("sample tables all encode");
+            let rows = db.rows(&schema.name).unwrap();
+            assert_eq!(tc.rows(), rows.len());
+            for (r, row) in rows.iter().enumerate() {
+                for (c, v) in row.iter().enumerate() {
+                    assert_eq!(&tc.value_at(c, r), v, "{}[{r}][{c}]", schema.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dictionaries_are_sorted_and_dense() {
+        let (db, cs) = store();
+        for schema in db.catalog().tables() {
+            let tc = cs.table(&schema.name).unwrap();
+            for c in 0..schema.arity() {
+                if let ColumnData::Str { codes, nulls, dict } = tc.column(c) {
+                    assert!(dict.windows(2).all(|w| w[0] < w[1]), "sorted, distinct");
+                    for (r, &code) in codes.iter().enumerate() {
+                        if !nulls.is_null(r) {
+                            assert!((code as usize) < dict.len());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_table_and_all_null_column_encode() {
+        let mut db = supplier_database().unwrap();
+        db.run_script(
+            "CREATE TABLE EMPTYT (A INTEGER, B VARCHAR);
+             CREATE TABLE ALLN (A INTEGER, B VARCHAR);
+             INSERT INTO ALLN VALUES (NULL, NULL), (NULL, NULL);",
+        )
+        .unwrap();
+        let cs = ColumnStore::build(&db);
+        let empty = cs.table(&"EMPTYT".into()).unwrap();
+        assert_eq!(empty.rows(), 0);
+        let alln = cs.table(&"ALLN".into()).unwrap();
+        assert_eq!(alln.rows(), 2);
+        match alln.column(1) {
+            ColumnData::Str { dict, nulls, .. } => {
+                assert!(dict.is_empty(), "all-NULL column has an empty dictionary");
+                assert_eq!(nulls.count_nulls(), 2);
+            }
+            _ => panic!("B is a string column"),
+        }
+        assert_eq!(alln.value_at(0, 0), Value::Null);
+        assert_eq!(alln.value_at(1, 1), Value::Null);
+    }
+
+    #[test]
+    fn dict_limit_guard_leaves_table_unencoded() {
+        let (db, _) = store();
+        // SUPPLIER.SNAME has 5 distinct names; a limit of 2 must refuse
+        // the table (u32 code-space guard path) while tables whose
+        // string columns fit stay encoded.
+        let cs = ColumnStore::build_with_dict_limit(&db, 2);
+        assert!(cs.table(&"SUPPLIER".into()).is_none());
+        let full = ColumnStore::build(&db);
+        assert!(full.table(&"SUPPLIER".into()).is_some());
+        assert_eq!(full.catalog_version(), db.version());
+    }
+
+    fn tiny_str_table() -> TableColumns {
+        // Values: ["b", NULL, "d", "a", "d"] → dict [a, b, d].
+        let mut nulls = NullBitmap::new();
+        for is_null in [false, true, false, false, false] {
+            nulls.push(is_null);
+        }
+        TableColumns {
+            rows: 5,
+            cols: vec![ColumnData::Str {
+                codes: vec![1, 0, 2, 0, 2],
+                nulls,
+                dict: vec!["a".into(), "b".into(), "d".into()],
+            }],
+        }
+    }
+
+    #[test]
+    fn string_predicates_compile_to_code_ranges() {
+        use uniq_plan::AttrRef;
+        let tc = tiny_str_table();
+        let pred = |op: CmpOp, lit: &str| BoundExpr::Cmp {
+            op,
+            left: BScalar::Attr(AttrRef::local(0)),
+            right: BScalar::Literal(Value::Str(lit.into())),
+        };
+        let rows_matching =
+            |p: &Pred| -> Vec<usize> { (0..5).filter(|&r| eval_pred(p, &tc, r)).collect() };
+        // "c" is absent from the dictionary: Eq matches nothing, Ne
+        // matches every non-NULL row, ranges split around its position.
+        let eq = compile_pred(&pred(CmpOp::Eq, "c"), &(0..1), &tc).unwrap();
+        assert_eq!(rows_matching(&eq), Vec::<usize>::new());
+        let ne = compile_pred(&pred(CmpOp::Ne, "c"), &(0..1), &tc).unwrap();
+        assert_eq!(rows_matching(&ne), vec![0, 2, 3, 4]);
+        let lt = compile_pred(&pred(CmpOp::Lt, "c"), &(0..1), &tc).unwrap();
+        assert_eq!(rows_matching(&lt), vec![0, 3]);
+        let ge = compile_pred(&pred(CmpOp::Ge, "c"), &(0..1), &tc).unwrap();
+        assert_eq!(rows_matching(&ge), vec![2, 4]);
+        // Present literal: all six operators, NULL row never qualifies.
+        let le = compile_pred(&pred(CmpOp::Le, "b"), &(0..1), &tc).unwrap();
+        assert_eq!(rows_matching(&le), vec![0, 3]);
+        let gt = compile_pred(&pred(CmpOp::Gt, "b"), &(0..1), &tc).unwrap();
+        assert_eq!(rows_matching(&gt), vec![2, 4]);
+        let eq_b = compile_pred(&pred(CmpOp::Eq, "b"), &(0..1), &tc).unwrap();
+        assert_eq!(rows_matching(&eq_b), vec![0]);
+        let ne_b = compile_pred(&pred(CmpOp::Ne, "b"), &(0..1), &tc).unwrap();
+        assert_eq!(rows_matching(&ne_b), vec![2, 3, 4]);
+        // NULL literal compiles to the never-matching predicate.
+        let never = compile_pred(
+            &BoundExpr::Cmp {
+                op: CmpOp::Eq,
+                left: BScalar::Attr(AttrRef::local(0)),
+                right: BScalar::Literal(Value::Null),
+            },
+            &(0..1),
+            &tc,
+        )
+        .unwrap();
+        assert_eq!(never, Pred::Never);
+        assert_eq!(rows_matching(&never), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn filter_kernel_counts_chunks_not_rows() {
+        let tc = tiny_str_table();
+        let mut stats = ExecStats::new();
+        let sel = filter_table(&tc, &[], 1, &mut stats).unwrap();
+        assert_eq!(sel, vec![0, 1, 2, 3, 4]);
+        assert_eq!(stats.vector_ops, 1, "one chunk, identity kernel");
+        assert_eq!(stats.morsels, 0, "serial filter dispatches no morsels");
+        assert_eq!(stats.rows_scanned, 0, "columnar scans count no rows");
+    }
+
+    #[test]
+    fn translation_maps_shared_strings_only() {
+        let probe = vec!["a".to_string(), "c".to_string(), "d".to_string()];
+        let build = vec!["b".to_string(), "c".to_string()];
+        assert_eq!(translation(&probe, &build), vec![NONE_U32, 1, NONE_U32]);
+    }
+
+    #[test]
+    fn direct_index_int_guards_wide_spans() {
+        let mut nulls = NullBitmap::new();
+        nulls.push(false);
+        nulls.push(false);
+        let wide = ColumnData::Int {
+            values: vec![0, i64::MAX / 2],
+            nulls: nulls.clone(),
+        };
+        let key = KeyAt {
+            slot: 0,
+            probe: &wide,
+            build: &wide,
+            trans: None,
+        };
+        assert!(build_direct(&key, &[0, 1]).is_none(), "span too wide");
+        let narrow = ColumnData::Int {
+            values: vec![7, 9],
+            nulls,
+        };
+        let key = KeyAt {
+            slot: 0,
+            probe: &narrow,
+            build: &narrow,
+            trans: None,
+        };
+        let d = build_direct(&key, &[0, 1]).unwrap();
+        assert_eq!(direct_lookup(&d, 7), 0);
+        assert_eq!(direct_lookup(&d, 8), NONE_U32);
+        assert_eq!(direct_lookup(&d, 9), 1);
+        assert_eq!(direct_lookup(&d, 100), NONE_U32, "outside span misses");
+    }
+}

@@ -56,6 +56,12 @@ pub struct Executor<'a> {
     pub(crate) db: &'a Database,
     pub(crate) hostvars: &'a HostVars,
     pub(crate) opts: ExecOptions,
+    /// Columnar encodings of the database, when the session built them
+    /// (see [`crate::columnar::ColumnStore`]). Blocks the planner marked
+    /// columnar execute on the vectorized kernels when the store is
+    /// fresh; everything else (and every run without a store) uses the
+    /// row pipeline below, which remains the oracle.
+    columns: Option<&'a crate::columnar::ColumnStore>,
     /// Work counters, accumulated across the whole run.
     pub stats: ExecStats,
     /// Per-operator output counts, parallel to the physical plan's
@@ -70,9 +76,21 @@ impl<'a> Executor<'a> {
             db,
             hostvars,
             opts,
+            columns: None,
             stats: ExecStats::new(),
             actuals: Vec::new(),
         }
+    }
+
+    /// Attach a columnar store for this run. Only blocks whose
+    /// [`BlockPlan::columnar`] flag is set consult it, and only after
+    /// the store proves fresh against the live database.
+    pub fn with_columns(
+        mut self,
+        columns: Option<&'a crate::columnar::ColumnStore>,
+    ) -> Executor<'a> {
+        self.columns = columns;
+        self
     }
 
     /// Execute a query, returning its result rows. Physical strategies
@@ -106,7 +124,7 @@ impl<'a> Executor<'a> {
         &self.actuals
     }
 
-    fn record(&mut self, id: usize, count: usize) {
+    pub(crate) fn record(&mut self, id: usize, count: usize) {
         if let Some(slot) = self.actuals.get_mut(id) {
             *slot = count as u64;
         }
@@ -195,6 +213,17 @@ impl<'a> Executor<'a> {
         outer: &[Vec<Value>],
         plan: Option<&BlockPlan>,
     ) -> Result<Vec<Row>> {
+        // Columnar fast path: only for top-level blocks the planner
+        // marked columnar, and only when the store covers the block and
+        // is fresh — `exec_block` returning `None` means "not covered",
+        // and the row pipeline below handles the block as always.
+        if let (Some(bp), Some(store)) = (plan, self.columns) {
+            if bp.columnar && outer.is_empty() && plan_matches(bp, spec) {
+                if let Some(rows) = crate::columnar::exec_block(self, store, spec, bp)? {
+                    return Ok(rows);
+                }
+            }
+        }
         let product = self.block_rows(spec, outer, plan)?;
         let mut rows: Vec<Row> = product
             .into_iter()
@@ -836,8 +865,9 @@ pub(crate) fn classify_step_conjuncts<'e>(
 
 /// Is this conjunct `built_attr = new_attr` (either direction) linking an
 /// already-bound attribute (per `is_placed`) to the table occupying
-/// `range`?
-fn equi_join_key(
+/// `range`? (Shared with the columnar kernels, which resolve the same
+/// keys against encoded columns.)
+pub(crate) fn equi_join_key(
     c: &BoundExpr,
     range: &std::ops::Range<usize>,
     is_placed: &dyn Fn(usize) -> bool,
@@ -874,7 +904,7 @@ fn plan_matches(bp: &BlockPlan, spec: &BoundSpec) -> bool {
         .all(|&t| t < n && !std::mem::replace(&mut seen[t], true))
 }
 
-fn contains_subquery(e: &BoundExpr) -> bool {
+pub(crate) fn contains_subquery(e: &BoundExpr) -> bool {
     match e {
         BoundExpr::Exists { .. } | BoundExpr::InSubquery { .. } => true,
         BoundExpr::And(a, b) | BoundExpr::Or(a, b) => contains_subquery(a) || contains_subquery(b),

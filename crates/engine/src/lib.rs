@@ -21,7 +21,13 @@
 //! subquery to a join, §5.2), falling back to nested loops. Every
 //! operator maintains [`stats::ExecStats`] counters so experiments can
 //! report *work* (rows scanned, comparisons, probes) as well as time.
+//!
+//! The [`columnar`] module adds a vectorized execution path over
+//! dictionary-encoded column storage for the block shapes the cost
+//! planner proves covered; the row executor above remains the default
+//! and the correctness oracle it is property-tested against.
 
+pub mod columnar;
 pub mod exec;
 pub mod explain;
 pub mod parallel;
@@ -30,6 +36,7 @@ pub mod session;
 pub mod setops;
 pub mod stats;
 
+pub use columnar::{ColumnBatch, ColumnData, ColumnStore, TableColumns, DEFAULT_DICT_LIMIT};
 pub use exec::{ExecOptions, Executor};
 pub use explain::{explain, explain_with_trace, render_trace};
 pub use parallel::MORSEL_SIZE;

@@ -54,8 +54,10 @@ pub const MORSEL_SIZE: usize = 1024;
 /// Run `count` tasks on up to `degree` scoped workers, gathering results
 /// in task-index order (the deterministic-output guarantee). Workers
 /// claim task indices off a shared atomic cursor; the first error aborts
-/// the remaining tasks and is returned.
-fn run_tasks<T, F>(degree: usize, count: usize, task: F) -> Result<Vec<T>>
+/// the remaining tasks and is returned. Shared with the columnar kernels
+/// in [`crate::columnar`], which hand out column-chunk morsels through
+/// the same scheduler.
+pub(crate) fn run_tasks<T, F>(degree: usize, count: usize, task: F) -> Result<Vec<T>>
 where
     T: Send,
     F: Fn(usize) -> Result<T> + Sync,

@@ -167,14 +167,32 @@ impl PlanCache {
         self.shard_capacity * SHARDS
     }
 
+    /// Hash a canonicalized query text once. Callers that probe the
+    /// cache repeatedly (or under several option tags) should compute
+    /// this interned hash a single time and combine it with each tag via
+    /// [`PlanCache::fingerprint_with`] — re-hashing the full SQL text on
+    /// every probe is the cost this split removes.
+    pub fn sql_hash(canonical: &str) -> u64 {
+        uniq_types::fnv64(canonical.as_bytes())
+    }
+
+    /// Combine an interned [`PlanCache::sql_hash`] with an options tag
+    /// into a cache fingerprint. O(1): two 64-bit words through FNV,
+    /// independent of the query text's length.
+    pub fn fingerprint_with(sql_hash: u64, options_tag: u64) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_u64(options_tag).write_u64(sql_hash);
+        h.finish()
+    }
+
     /// The fingerprint of a canonicalized query under an options tag.
     /// `canonical` should come from printing the parsed AST (so textual
     /// noise — whitespace, case of keywords — has been normalized away),
     /// and `options_tag` distinguishes optimizer configurations.
+    /// Equivalent to `fingerprint_with(sql_hash(canonical), options_tag)`;
+    /// prefer the split form when the same text is probed more than once.
     pub fn fingerprint(canonical: &str, options_tag: u64) -> u64 {
-        let mut h = Fnv64::new();
-        h.write_u64(options_tag).write(canonical.as_bytes());
-        h.finish()
+        PlanCache::fingerprint_with(PlanCache::sql_hash(canonical), options_tag)
     }
 
     fn shard(&self, fingerprint: u64) -> &RwLock<HashMap<u64, Entry>> {
@@ -385,6 +403,22 @@ mod tests {
         let a = PlanCache::fingerprint("SELECT 1", 0);
         let b = PlanCache::fingerprint("SELECT 1", 1);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn interned_sql_hash_matches_direct_fingerprint() {
+        // The split form (hash the text once, mix each tag in O(1))
+        // must agree with the one-shot fingerprint for every tag.
+        let text = "SELECT S.SNO FROM SUPPLIER S WHERE S.SCITY = 'Toronto'";
+        let h = PlanCache::sql_hash(text);
+        for tag in [0, 1, 7, u64::MAX] {
+            assert_eq!(
+                PlanCache::fingerprint_with(h, tag),
+                PlanCache::fingerprint(text, tag)
+            );
+        }
+        // Different texts intern to different hashes.
+        assert_ne!(h, PlanCache::sql_hash("SELECT 1"));
     }
 
     #[test]

@@ -63,6 +63,12 @@ pub struct Session {
     /// Statistics collected by [`Session::analyze`], consumed by the
     /// cost-based planner.
     stats: Option<Arc<Statistics>>,
+    /// Dictionary-encoded column store built by [`Session::analyze`]
+    /// when the planner's columnar option is on; consulted by the
+    /// executor for blocks the planner licensed `exec=columnar`. Built
+    /// once per analyze — the executor verifies freshness per query and
+    /// falls back to rows when the store has gone stale.
+    columns: Option<Arc<crate::columnar::ColumnStore>>,
     /// Bumped on every [`Session::analyze`]; mixed into plan
     /// fingerprints so plans chosen under old statistics are recompiled.
     stats_epoch: u64,
@@ -83,6 +89,7 @@ impl Session {
             planner: PlannerOptions::default(),
             cache: Arc::new(PlanCache::default()),
             stats: None,
+            columns: None,
             stats_epoch: 0,
         }
     }
@@ -93,11 +100,29 @@ impl Session {
     pub fn analyze(&mut self) {
         self.stats = Some(Arc::new(Statistics::collect(&self.db)));
         self.stats_epoch += 1;
+        // Rebuild the column store from the same snapshot the statistics
+        // were collected from, so the two stay in step.
+        self.columns = self
+            .planner
+            .columnar
+            .then(|| Arc::new(crate::columnar::ColumnStore::build(&self.db)));
     }
 
     /// Enable cost-based physical planning, collecting statistics first.
     pub fn with_cost_based(mut self) -> Session {
         self.planner.cost_based = true;
+        self.analyze();
+        self
+    }
+
+    /// Enable the vectorized columnar execution path (implies cost-based
+    /// planning — columnar licensing is a planner decision), building
+    /// the dictionary-encoded column store alongside the statistics. The
+    /// row executor still serves every block the planner does not prove
+    /// covered, and every covered block whose encoding has gone stale.
+    pub fn with_columnar(mut self) -> Session {
+        self.planner.cost_based = true;
+        self.planner.columnar = true;
         self.analyze();
         self
     }
@@ -202,11 +227,14 @@ impl Session {
         let canonical = ast.to_string();
         timings.parse_ns = elapsed_ns(t);
 
-        let fingerprint = PlanCache::fingerprint(&canonical, self.options_tag());
+        // Hash the canonical text once; the tag mixes in O(1).
+        let sql_hash = PlanCache::sql_hash(&canonical);
+        let fingerprint = PlanCache::fingerprint_with(sql_hash, self.options_tag());
         let version = self.db.version();
         if let Some(plan) = self.cache.get(fingerprint, &canonical, version) {
             let t = Instant::now();
-            let mut executor = Executor::new(&self.db, hostvars, self.exec);
+            let mut executor =
+                Executor::new(&self.db, hostvars, self.exec).with_columns(self.columns.as_deref());
             let rows = executor.run_with_plan(&plan.query, plan.physical.as_deref())?;
             timings.execute_ns = elapsed_ns(t);
             let cards = plan
@@ -247,7 +275,8 @@ impl Session {
         );
 
         let t = Instant::now();
-        let mut executor = Executor::new(&self.db, hostvars, self.exec);
+        let mut executor =
+            Executor::new(&self.db, hostvars, self.exec).with_columns(self.columns.as_deref());
         let rows = executor.run_with_plan(&outcome.query, physical.as_deref())?;
         timings.execute_ns = elapsed_ns(t);
         let cards = physical
@@ -314,7 +343,8 @@ impl Session {
             return String::new();
         };
         let hostvars = HostVars::new();
-        let mut executor = Executor::new(&self.db, &hostvars, self.exec);
+        let mut executor =
+            Executor::new(&self.db, &hostvars, self.exec).with_columns(self.columns.as_deref());
         let actuals = executor
             .run_with_plan(query, Some(plan))
             .ok()
@@ -334,7 +364,8 @@ impl Session {
         let physical = self.plan_physical(&outcome.query);
         timings.optimize_ns = elapsed_ns(t);
         let t = Instant::now();
-        let mut executor = Executor::new(&self.db, hostvars, self.exec);
+        let mut executor =
+            Executor::new(&self.db, hostvars, self.exec).with_columns(self.columns.as_deref());
         let rows = executor.run_with_plan(&outcome.query, physical.as_deref())?;
         timings.execute_ns = elapsed_ns(t);
         let cards = physical
@@ -711,6 +742,129 @@ mod tests {
             .unwrap();
         assert!(out.contains("Cost-based plan (est/act rows):"), "{out}");
         assert!(out.contains("act=?"), "unbound host variable: {out}");
+    }
+
+    #[test]
+    fn columnar_rows_match_static_execution() {
+        let s = Session::sample().unwrap();
+        let c = s.clone().with_columnar();
+        for sql in [
+            // Covered: keyed joins, literal filters, DISTINCT.
+            "SELECT DISTINCT P.COLOR, S.SCITY FROM PARTS P, SUPPLIER S \
+             WHERE P.SNO = S.SNO AND P.COLOR = 'RED'",
+            "SELECT S.SNO, S.SNAME FROM SUPPLIER S WHERE S.SCITY = 'Toronto'",
+            "SELECT P.PNO, S.SCITY, A.ACITY FROM PARTS P, SUPPLIER S, AGENTS A \
+             WHERE P.SNO = S.SNO AND S.SNO = A.SNO AND P.COLOR = 'RED'",
+            // Uncovered shapes exercise the row fallback.
+            "SELECT S.SNO FROM SUPPLIER S WHERE S.SNO = 1 OR S.SNO = 2",
+            "SELECT S.SNO FROM SUPPLIER S WHERE EXISTS \
+             (SELECT * FROM PARTS P WHERE P.SNO = S.SNO)",
+            "SELECT S.SNO, A.ANO FROM SUPPLIER S, AGENTS A",
+            // Set operations run rowwise over columnar block outputs.
+            "SELECT S.SNO FROM SUPPLIER S INTERSECT SELECT A.SNO FROM AGENTS A",
+        ] {
+            let stat = s.query(sql).unwrap();
+            let col = c.query(sql).unwrap();
+            assert_eq!(
+                multiset(&stat.rows),
+                multiset(&col.rows),
+                "columnar result diverged for {sql}"
+            );
+        }
+    }
+
+    #[test]
+    fn columnar_session_counts_vector_ops_not_scans() {
+        let c = Session::sample().unwrap().with_columnar();
+        let out = c
+            .query(
+                "SELECT DISTINCT P.COLOR, S.SCITY FROM PARTS P, SUPPLIER S \
+                 WHERE P.SNO = S.SNO AND P.COLOR = 'RED'",
+            )
+            .unwrap();
+        assert!(out.stats.vector_ops > 0, "{:?}", out.stats);
+        assert_eq!(out.stats.rows_scanned, 0, "no row-at-a-time scan");
+        assert_eq!(
+            out.stats.materialized_rows,
+            out.rows.len() as u64,
+            "only the final output is materialized"
+        );
+        // The key-covered SUPPLIER join runs on the direct-index kernel:
+        // a join-only query performs zero hash probes (DISTINCT would
+        // add its own, so probe without it).
+        let joined = c
+            .query(
+                "SELECT P.PNO, S.SCITY FROM PARTS P, SUPPLIER S \
+                 WHERE P.SNO = S.SNO AND P.COLOR = 'RED'",
+            )
+            .unwrap();
+        assert_eq!(joined.stats.hash_probes, 0, "{:?}", joined.stats);
+        assert!(joined.stats.probe_steps > 0, "{:?}", joined.stats);
+        // A static session never touches the vectorized kernels.
+        let s = Session::sample().unwrap();
+        let plain = s.query("SELECT S.SNO FROM SUPPLIER S").unwrap();
+        assert_eq!(plain.stats.vector_ops, 0);
+    }
+
+    #[test]
+    fn stale_column_store_falls_back_until_reanalyzed() {
+        let mut c = Session::sample().unwrap().with_columnar();
+        let sql = "SELECT DISTINCT P.COLOR, S.SCITY FROM PARTS P, SUPPLIER S \
+                   WHERE P.SNO = S.SNO AND P.COLOR = 'RED'";
+        assert!(c.query(sql).unwrap().stats.vector_ops > 0);
+        // INSERT does not bump the catalog version: the cached plan
+        // still serves, but the executor detects the row-count drift and
+        // answers from the row path — stale codes are never read.
+        c.run_script("INSERT INTO PARTS VALUES (4, 15, 'rod', 107, 'RED');")
+            .unwrap();
+        let stale = c.query(sql).unwrap();
+        assert_eq!(stale.stats.vector_ops, 0, "stale store must not serve");
+        assert!(stale.stats.rows_scanned > 0);
+        assert!(
+            stale
+                .rows
+                .iter()
+                .any(|r| r[1] == Value::str("Toronto") && r[0] == Value::str("RED")),
+            "fallback sees the new row: {:?}",
+            stale.rows
+        );
+        // Re-analyze rebuilds the store; the columnar path resumes.
+        c.analyze();
+        let fresh = c.query(sql).unwrap();
+        assert!(fresh.stats.vector_ops > 0);
+        assert_eq!(multiset(&stale.rows), multiset(&fresh.rows));
+    }
+
+    #[test]
+    fn explain_renders_columnar_markers() {
+        let c = Session::sample().unwrap().with_columnar();
+        let out = c
+            .explain(
+                "SELECT DISTINCT P.COLOR, S.SCITY FROM PARTS P, SUPPLIER S \
+                 WHERE P.SNO = S.SNO AND P.COLOR = 'RED'",
+            )
+            .unwrap();
+        assert!(out.contains("exec=columnar"), "{out}");
+        assert!(out.contains("enc=dict"), "{out}");
+        let plain = c
+            .explain("SELECT S.SNO FROM SUPPLIER S WHERE S.SNO = 1 OR S.SNO = 2")
+            .unwrap();
+        assert!(!plain.contains("exec=columnar"), "{plain}");
+        assert!(!plain.contains("enc=dict"), "{plain}");
+    }
+
+    #[test]
+    fn columnar_and_row_sessions_do_not_share_plans() {
+        let row = Session::sample().unwrap().with_cost_based();
+        let mut col = row.clone(); // shares the cache
+        col.planner.columnar = true;
+        col.analyze();
+        let sql = "SELECT S.SNO FROM SUPPLIER S WHERE S.SCITY = 'Toronto'";
+        row.query(sql).unwrap();
+        assert!(
+            !col.query(sql).unwrap().cache_hit,
+            "columnar license must not leak into row sessions"
+        );
     }
 
     #[test]

@@ -35,6 +35,17 @@ pub struct ExecStats {
     /// Morsels (scan ranges and partition tasks) dispatched to parallel
     /// workers; zero on the serial path.
     pub morsels: u64,
+    /// Vectorized kernel invocations on the columnar path: one per
+    /// (kernel, column chunk) pair, regardless of how many rows the
+    /// chunk holds. This is the columnar analogue of per-row operator
+    /// dispatch — the whole point of vectorization is that this counter
+    /// grows with `rows / MORSEL_SIZE` where the row path's
+    /// `rows_scanned` grows with `rows`.
+    pub vector_ops: u64,
+    /// Rows converted back from column codes to `Value` tuples by late
+    /// materialization. Only query output is ever materialized; counted
+    /// here so E18 can charge the columnar path for that final copy.
+    pub materialized_rows: u64,
 }
 
 impl ExecStats {
@@ -62,6 +73,8 @@ impl ExecStats {
             subquery_evals,
             hash_joins,
             morsels,
+            vector_ops,
+            materialized_rows,
         } = *other;
         self.rows_scanned += rows_scanned;
         self.rows_output += rows_output;
@@ -73,6 +86,8 @@ impl ExecStats {
         self.subquery_evals += subquery_evals;
         self.hash_joins += hash_joins;
         self.morsels += morsels;
+        self.vector_ops += vector_ops;
+        self.materialized_rows += materialized_rows;
     }
 }
 
@@ -145,6 +160,8 @@ mod tests {
             hash_probes: 5,
             probe_steps: 7,
             morsels: 3,
+            vector_ops: 6,
+            materialized_rows: 8,
             ..ExecStats::new()
         };
         a.merge(&b);
@@ -153,6 +170,8 @@ mod tests {
         assert_eq!(a.hash_probes, 5);
         assert_eq!(a.probe_steps, 7);
         assert_eq!(a.morsels, 3);
+        assert_eq!(a.vector_ops, 6);
+        assert_eq!(a.materialized_rows, 8);
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! A compact null bitmap for columnar storage.
+//!
+//! Columnar tables (see `uniq-engine`'s `columnar` module) store one
+//! validity bit per row per column instead of a `Value::Null` variant
+//! per cell. The bitmap is append-only: it is built once when a column
+//! is encoded and never mutated afterwards, so it needs no interior
+//! mutability and no capacity negotiation — `push` during the encode
+//! pass, `is_null` during kernel execution.
+
+/// One bit per row: `true` means the row's value in this column is
+/// SQL `NULL`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NullBitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl NullBitmap {
+    /// An empty bitmap.
+    pub fn new() -> NullBitmap {
+        NullBitmap::default()
+    }
+
+    /// An empty bitmap with room for `rows` bits.
+    pub fn with_capacity(rows: usize) -> NullBitmap {
+        NullBitmap {
+            words: Vec::with_capacity(rows.div_ceil(64)),
+            len: 0,
+        }
+    }
+
+    /// Append one row's validity (`true` = NULL).
+    pub fn push(&mut self, is_null: bool) {
+        let bit = self.len % 64;
+        if bit == 0 {
+            self.words.push(0);
+        }
+        if is_null {
+            *self.words.last_mut().expect("word pushed above") |= 1u64 << bit;
+        }
+        self.len += 1;
+    }
+
+    /// Whether row `row` is NULL. Out-of-range rows read as non-null so
+    /// kernels can probe with unchecked selection indexes.
+    pub fn is_null(&self, row: usize) -> bool {
+        match self.words.get(row / 64) {
+            Some(word) => row < self.len && (word >> (row % 64)) & 1 == 1,
+            None => false,
+        }
+    }
+
+    /// Number of rows recorded.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no rows have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of NULL rows.
+    pub fn count_nulls(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_bits_across_word_boundaries() {
+        let mut b = NullBitmap::with_capacity(130);
+        for i in 0..130 {
+            b.push(i % 3 == 0);
+        }
+        assert_eq!(b.len(), 130);
+        assert!(!b.is_empty());
+        for i in 0..130 {
+            assert_eq!(b.is_null(i), i % 3 == 0, "bit {i}");
+        }
+        assert_eq!(b.count_nulls(), (0..130).filter(|i| i % 3 == 0).count());
+    }
+
+    #[test]
+    fn out_of_range_reads_as_valid() {
+        let mut b = NullBitmap::new();
+        assert!(b.is_empty());
+        assert!(!b.is_null(0));
+        assert!(!b.is_null(1000));
+        b.push(true);
+        assert!(b.is_null(0));
+        assert!(!b.is_null(1));
+        assert!(!b.is_null(64));
+    }
+
+    #[test]
+    fn all_null_and_all_valid_extremes() {
+        let mut nulls = NullBitmap::new();
+        let mut valid = NullBitmap::new();
+        for _ in 0..100 {
+            nulls.push(true);
+            valid.push(false);
+        }
+        assert_eq!(nulls.count_nulls(), 100);
+        assert_eq!(valid.count_nulls(), 0);
+    }
+}

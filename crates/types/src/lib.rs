@@ -17,12 +17,14 @@
 //!   by the parser, catalog, planner and analyzers.
 //! * [`Error`] — the workspace-wide error type.
 
+pub mod bitmap;
 pub mod error;
 pub mod hash;
 pub mod ident;
 pub mod tri;
 pub mod value;
 
+pub use bitmap::NullBitmap;
 pub use error::{Error, Result};
 pub use hash::{fnv64, Fnv64};
 pub use ident::{ColRef, ColumnName, HostVarName, TableName};

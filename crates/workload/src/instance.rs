@@ -9,6 +9,7 @@
 
 use crate::rng::SplitMix64;
 use uniq_catalog::Database;
+use uniq_engine::Session;
 use uniq_types::{Result, Value};
 
 /// Generate a random valid instance with roughly the requested row
@@ -85,6 +86,27 @@ pub fn random_instance(
     Ok(db)
 }
 
+/// A row-oracle / columnar session pair over the *same* random
+/// instance: the first is the serial row executor (the correctness
+/// oracle), the second runs cost-based columnar execution at the given
+/// parallel degree over a dictionary-encoded copy of the instance. The
+/// fixture every columnar agreement property test starts from.
+pub fn columnar_session_pair(
+    seed: u64,
+    suppliers: usize,
+    parts: usize,
+    agents: usize,
+    degree: usize,
+) -> Result<(Session, Session)> {
+    let db = random_instance(seed, suppliers, parts, agents)?;
+    let oracle = Session::new(db.clone());
+    let mut columnar = Session::new(db);
+    if degree > 1 {
+        columnar = columnar.with_degree(degree);
+    }
+    Ok((oracle, columnar.with_columnar()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,6 +132,22 @@ mod tests {
             a.rows(&"PARTS".into()).unwrap(),
             b.rows(&"PARTS".into()).unwrap()
         );
+    }
+
+    #[test]
+    fn columnar_pair_shares_the_instance_and_licenses_columnar() {
+        let (oracle, columnar) = columnar_session_pair(11, 10, 20, 10, 1).unwrap();
+        let sql = "SELECT DISTINCT P.COLOR, S.SCITY FROM PARTS P, SUPPLIER S \
+                   WHERE P.SNO = S.SNO AND P.COLOR = 'RED'";
+        let a = oracle.query(sql).unwrap();
+        let b = columnar.query(sql).unwrap();
+        let sort = |mut rows: Vec<Vec<Value>>| {
+            rows.sort_by(|x, y| format!("{x:?}").cmp(&format!("{y:?}")));
+            rows
+        };
+        assert_eq!(sort(a.rows), sort(b.rows));
+        assert_eq!(a.stats.vector_ops, 0, "oracle stays on the row path");
+        assert!(b.stats.vector_ops > 0, "pair must exercise the kernels");
     }
 
     #[test]

@@ -13,4 +13,4 @@ pub mod rng;
 pub use corpus::{generate_corpus, CorpusQuery, CorpusStats};
 pub use driver::{run_batch, BatchOptions, BatchReport};
 pub use gen::{scaled_database, scaled_schema, ScaleConfig};
-pub use instance::random_instance;
+pub use instance::{columnar_session_pair, random_instance};

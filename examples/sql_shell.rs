@@ -10,6 +10,7 @@
 //! \explain SQL               show the rewrite trace and physical plan
 //! \profile rel|nav|off       choose the optimizer profile
 //! \analyze                   collect statistics, enable cost-based planning
+//! \columnar                  build the column store, license vectorized kernels
 //! \q                         quit
 //! ```
 
@@ -26,7 +27,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut out = std::io::stdout();
 
     println!("uniqueness SQL shell — Figure 1 supplier database loaded.");
-    println!("Type SQL, or \\d, \\set NAME value, \\profile rel|nav|off, \\analyze, \\q.");
+    println!(
+        "Type SQL, or \\d, \\set NAME value, \\profile rel|nav|off, \\analyze, \\columnar, \\q."
+    );
     loop {
         print!("sql> ");
         out.flush()?;
@@ -79,6 +82,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                         stats.len()
                     );
                 }
+                Some("columnar") => {
+                    session.planner.cost_based = true;
+                    session.planner.columnar = true;
+                    session.analyze();
+                    println!(
+                        "  column store built; vectorized execution licensed \
+                         (row path still serves uncovered shapes)"
+                    );
+                }
                 Some("profile") => match words.next() {
                     Some("rel") => {
                         session.optimizer = OptimizerOptions::relational();
@@ -121,8 +133,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
                     println!("{}", cells.join(" | "));
                 }
+                let vec_note = if result.stats.vector_ops > 0 {
+                    format!(", {} vector op(s)", result.stats.vector_ops)
+                } else {
+                    String::new()
+                };
                 println!(
-                    "({} rows; {} scanned, {} sort(s), {} subquery eval(s))",
+                    "({} rows; {} scanned, {} sort(s), {} subquery eval(s){vec_note})",
                     result.rows.len(),
                     result.stats.rows_scanned,
                     result.stats.sorts,

@@ -1,0 +1,194 @@
+//! Columnar/row agreement for the vectorized executor (E18).
+//!
+//! The row executor is the oracle: for every statement, the columnar
+//! session must return the oracle's multiset (no ORDER BY appears here,
+//! so row order is unconstrained by contract and both sides are sorted
+//! with the null-aware tuple comparator before comparison).
+//!
+//! Coverage:
+//! * a fixed *covered* statement list with at least one case per
+//!   vectorized kernel — filter (int and string ranges, NULL literal),
+//!   projection, hash and unique joins (two- and three-way), DISTINCT,
+//!   INTERSECT, EXCEPT;
+//! * a fixed *fallback* list of shapes the planner must refuse to
+//!   license (OR, BETWEEN, subqueries, Cartesian products, same-table
+//!   comparisons), which must run on the row path and still agree;
+//! * property tests over random database instances × degrees 1–4.
+
+use proptest::prelude::*;
+use uniqueness::engine::Session;
+use uniqueness::types::value::tuple_null_cmp;
+use uniqueness::types::Value;
+use uniqueness::workload::columnar_session_pair;
+
+/// Statements the planner licenses for columnar execution, with at
+/// least one per kernel: filter, project, join, DISTINCT, set ops.
+fn covered_statements() -> Vec<&'static str> {
+    vec![
+        // filter kernels: int ranges, string equality and ranges, a
+        // nullable column, and a NULL literal (the empty code range)
+        "SELECT S.SNO, S.SNAME FROM SUPPLIER S WHERE S.SCITY = 'Toronto'",
+        "SELECT P.PNO, P.COLOR FROM PARTS P WHERE P.PNO > 2",
+        "SELECT S.SNO FROM SUPPLIER S WHERE S.SCITY >= 'New York'",
+        "SELECT P.PNO FROM PARTS P WHERE P.COLOR <> 'GREEN' AND P.PNO <= 4",
+        "SELECT S.SNO FROM SUPPLIER S WHERE S.BUDGET > 2",
+        "SELECT S.SNO FROM SUPPLIER S WHERE S.SNAME = NULL",
+        // projection with late materialization
+        "SELECT P.PNAME, P.COLOR FROM PARTS P WHERE P.SNO = 1",
+        // hash and direct-index unique joins, two- and three-way
+        "SELECT P.PNO, S.SCITY FROM PARTS P, SUPPLIER S WHERE P.SNO = S.SNO",
+        "SELECT P.PNO, S.SCITY FROM PARTS P, SUPPLIER S \
+         WHERE P.SNO = S.SNO AND P.COLOR = 'RED'",
+        "SELECT S.SNO, P.PNO, A.ANO FROM SUPPLIER S, PARTS P, AGENTS A \
+         WHERE S.SNO = P.SNO AND S.SNO = A.SNO",
+        // DISTINCT kernel, single- and multi-table
+        "SELECT DISTINCT S.SCITY FROM SUPPLIER S",
+        "SELECT DISTINCT P.COLOR, S.SCITY FROM PARTS P, SUPPLIER S \
+         WHERE P.SNO = S.SNO",
+        // INTERSECT evaluates each block through the kernels
+        "SELECT ALL S.SNO FROM SUPPLIER S \
+         INTERSECT SELECT ALL A.SNO FROM AGENTS A",
+    ]
+}
+
+/// Shapes the planner must *not* license: they exercise the documented
+/// fallback to the row executor, which remains the oracle.
+fn fallback_statements() -> Vec<&'static str> {
+    vec![
+        "SELECT P.PNO FROM PARTS P WHERE P.COLOR = 'RED' OR P.PNO = 1",
+        "SELECT P.PNO FROM PARTS P WHERE P.PNO BETWEEN 1 AND 3",
+        "SELECT S.SNO, A.ANO FROM SUPPLIER S, AGENTS A",
+        "SELECT P.PNO FROM PARTS P WHERE P.PNO = P.SNO",
+    ]
+}
+
+/// Shapes whose path depends on what the optimizer rewrites them into
+/// (an EXISTS may become a licensed join; an EXCEPT stays on rows):
+/// agreement is the contract, the path is the optimizer's choice.
+fn rewrite_dependent_statements() -> Vec<&'static str> {
+    vec![
+        "SELECT S.SNO FROM SUPPLIER S WHERE EXISTS \
+         (SELECT * FROM PARTS P WHERE P.SNO = S.SNO)",
+        "SELECT P.PNO FROM PARTS P WHERE P.SNO IN \
+         (SELECT S.SNO FROM SUPPLIER S WHERE S.SCITY = 'Toronto')",
+        "SELECT ALL P.SNO FROM PARTS P \
+         EXCEPT SELECT ALL A.SNO FROM AGENTS A WHERE A.ACITY = 'Ottawa'",
+    ]
+}
+
+/// Run `sql` and sort the result into a canonical multiset.
+fn sorted_rows(session: &Session, sql: &str) -> Vec<Vec<Value>> {
+    let mut rows = session
+        .query(sql)
+        .unwrap_or_else(|e| panic!("{sql}: {e}"))
+        .rows;
+    rows.sort_by(|a, b| tuple_null_cmp(a, b).unwrap());
+    rows
+}
+
+fn assert_agreement(oracle: &Session, columnar: &Session, statements: &[&str], label: &str) {
+    for sql in statements {
+        assert_eq!(
+            sorted_rows(columnar, sql),
+            sorted_rows(oracle, sql),
+            "{label}: multiset differs for {sql}"
+        );
+    }
+}
+
+/// CI fast lane: every covered statement agrees with the oracle AND
+/// actually runs through the vectorized kernels (vector_ops > 0), so a
+/// silent fallback cannot masquerade as kernel coverage.
+#[test]
+fn covered_statements_agree_and_use_the_kernels() {
+    let (oracle, columnar) = columnar_session_pair(42, 30, 60, 30, 1).unwrap();
+    for sql in covered_statements() {
+        assert_eq!(
+            sorted_rows(&columnar, sql),
+            sorted_rows(&oracle, sql),
+            "covered: multiset differs for {sql}"
+        );
+        let out = columnar.query(sql).unwrap();
+        assert!(out.stats.vector_ops > 0, "row-path fallback for {sql}");
+        assert_eq!(out.stats.rows_scanned, 0, "row scan leaked into {sql}");
+    }
+}
+
+/// CI fast lane: unlicensed shapes stay on the row path and agree.
+#[test]
+fn fallback_statements_agree_on_the_row_path() {
+    let (oracle, columnar) = columnar_session_pair(42, 30, 60, 30, 1).unwrap();
+    for sql in fallback_statements() {
+        assert_eq!(
+            sorted_rows(&columnar, sql),
+            sorted_rows(&oracle, sql),
+            "fallback: multiset differs for {sql}"
+        );
+        let out = columnar.query(sql).unwrap();
+        assert_eq!(out.stats.vector_ops, 0, "kernels ran for fallback {sql}");
+    }
+    assert_agreement(
+        &oracle,
+        &columnar,
+        &rewrite_dependent_statements(),
+        "rewrite-dependent",
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random instances × degrees 1–4: the columnar session returns the
+    /// row oracle's multiset for every covered and fallback statement.
+    #[test]
+    fn columnar_matches_row_oracle_on_random_instances(
+        seed in 0u64..1_000,
+        degree in 1usize..5,
+        suppliers in 5usize..40,
+        parts in 5usize..80,
+    ) {
+        let (oracle, columnar) =
+            columnar_session_pair(seed, suppliers, parts, suppliers, degree).unwrap();
+        let statements: Vec<&str> = covered_statements()
+            .into_iter()
+            .chain(fallback_statements())
+            .chain(rewrite_dependent_statements())
+            .collect();
+        for sql in &statements {
+            prop_assert_eq!(
+                sorted_rows(&columnar, sql),
+                sorted_rows(&oracle, sql),
+                "degree {} differs for {}", degree, sql
+            );
+        }
+    }
+
+    /// Mutation after analyze: an INSERT makes the column store stale,
+    /// so covered statements must transparently fall back to the row
+    /// path — and still agree with an oracle that sees the new row.
+    #[test]
+    fn stale_store_falls_back_and_still_agrees(
+        seed in 0u64..1_000,
+        degree in 1usize..5,
+    ) {
+        let (mut oracle, mut columnar) = columnar_session_pair(seed, 20, 40, 20, degree).unwrap();
+        // SNO 21 lies outside the generator's 1..=20 domain, so the
+        // insert can never clash with an existing candidate-key value.
+        let insert = "INSERT INTO SUPPLIER VALUES (21, 'Late', 'Toronto', 3, 'Active');";
+        oracle.run_script(insert).unwrap();
+        columnar.run_script(insert).unwrap();
+        for sql in covered_statements() {
+            prop_assert_eq!(
+                sorted_rows(&columnar, sql),
+                sorted_rows(&oracle, sql),
+                "stale store differs for {}", sql
+            );
+            // Staleness is detected per table: only blocks that touch
+            // the mutated SUPPLIER table must abandon the kernels.
+            if sql.contains("SUPPLIER") {
+                let out = columnar.query(sql).unwrap();
+                prop_assert_eq!(out.stats.vector_ops, 0, "stale store still vectorized {}", sql);
+            }
+        }
+    }
+}
