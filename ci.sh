@@ -32,6 +32,13 @@ cargo test -q -p uniq-engine columnar
 cargo test -q -p uniqueness --test columnar_agreement
 cargo test -q -p uniq-bench e18
 
+echo "==> fast lane: secondary indexes (sarg extraction, index paths, agreement)"
+cargo test -q -p uniq-cost sarg
+cargo test -q -p uniq-catalog index
+cargo test -q -p uniq-engine index
+cargo test -q -p uniqueness --test index_agreement
+cargo test -q -p uniq-bench e19
+
 echo "==> fast lane: parallel/serial agreement at a 2-worker degree"
 # --test-threads=1 keeps the 2-worker morsel pools from oversubscribing
 # the CI host, so the lane's timing stays predictable.

@@ -11,8 +11,9 @@ use std::time::Duration;
 use uniq_bench::baseline::optimize_root_restart;
 use uniq_bench::{
     e15_exists_chain, e15_union_chain, e16_contenders, e16_corpus, e17_corpus, e18_contenders,
-    e18_corpus, e18_work, fmt_duration, median_time, scaled_session, total_work, E17_UNIQUE_JOIN,
-    E18_JOIN_DISTINCT, E18_UNIQUE_PROBE, E2_QUERY, E4_QUERY, E5_QUERY,
+    e18_corpus, e18_work, e19_contenders, e19_corpus, e19_point_lookups, e19_work, fmt_duration,
+    median_time, scaled_session, total_work, E17_UNIQUE_JOIN, E18_JOIN_DISTINCT, E18_UNIQUE_PROBE,
+    E19_INDEX_JOIN, E2_QUERY, E4_QUERY, E5_QUERY,
 };
 use uniqueness::core::algorithm1::{algorithm1, Algorithm1Options};
 use uniqueness::core::analysis::unique_projection;
@@ -135,12 +136,112 @@ fn main() {
     if want("e18") {
         e18_columnar_execution(&mut metrics);
     }
+    if want("e19") {
+        e19_index_access(&mut metrics);
+    }
 
     if !metrics.rows.is_empty() {
-        let path = "BENCH_E18.json";
+        let path = "BENCH_E19.json";
         std::fs::write(path, metrics.to_json()).expect("write metric rows");
         println!("\nwrote {} metric row(s) to {path}", metrics.rows.len());
     }
+}
+
+/// E19 — persistent secondary indexes: the same cost-based row executor
+/// over the same 2,400-supplier data, with and without the benchmark
+/// index set. Asserts multiset identity on every query, a ≥10× summed
+/// work-unit saving for the indexed plans, and that every unique-index
+/// point lookup records exactly one probe step (the guaranteed one-row
+/// lookup a declared-unique index licenses).
+fn e19_index_access(m: &mut Metrics) {
+    header("E19", "secondary indexes: sargable scans + unique probes");
+    let contenders = e19_contenders();
+    let full = &contenders[0].1;
+    let ix = &contenders[1].1;
+
+    let sorted = |session: &Session, sql: &str| {
+        let out = session.query(sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
+        let mut rows = out.rows;
+        rows.sort_by(|a, b| uniqueness::types::value::tuple_null_cmp(a, b).unwrap());
+        (rows, out.stats)
+    };
+
+    let corpus = e19_corpus();
+    println!(
+        "corpus: {} point lookups + 1 index join over a 2,400-supplier \
+         database; indexed multisets identical to the full-scan plans on \
+         every one",
+        corpus.len() - 1
+    );
+    println!(
+        "\n{:<44} {:>10} {:>10} {:>7}",
+        "query", "full work", "ix work", "ratio"
+    );
+    let (mut full_work, mut ix_work) = (0u64, 0u64);
+    for sql in &corpus {
+        let (want, f) = sorted(full, sql);
+        let (got, i) = sorted(ix, sql);
+        assert_eq!(got, want, "indexed multiset differs for {sql}");
+        let (fw, iw) = (e19_work(&f), e19_work(&i));
+        full_work += fw;
+        ix_work += iw;
+        let head: String = sql.chars().take(44).collect();
+        println!(
+            "{:<44} {:>10} {:>10} {:>6.1}x",
+            head,
+            fw,
+            iw,
+            fw as f64 / iw.max(1) as f64
+        );
+    }
+    m.push(
+        "E19",
+        "corpus_multiset_identical",
+        corpus.len() as f64,
+        true,
+    );
+    let ratio = full_work as f64 / ix_work.max(1) as f64;
+    m.push("E19", "full_scan_work", full_work as f64, false);
+    m.push("E19", "indexed_work", ix_work as f64, false);
+    m.push("E19", "work_ratio", ratio, true);
+    assert!(
+        10 * ix_work <= full_work,
+        "indexed work {ix_work} not 10x under full-scan work {full_work}"
+    );
+    println!("\nindexed plans do {ratio:.1}x fewer work units (bar: >= 10x)");
+
+    // Unique probes: one probe_steps unit each, by construction.
+    let lookups = e19_point_lookups();
+    for sql in &lookups {
+        let (_, stats) = sorted(ix, sql);
+        assert_eq!(
+            stats.probe_steps, 1,
+            "{sql}: unique probe must cost exactly one step, got {stats:?}"
+        );
+        assert_eq!(stats.ix_probes, 1, "{sql}: {stats:?}");
+    }
+    m.push("E19", "unique_probe_steps_each", 1.0, true);
+    println!(
+        "every one of the {} unique-index point lookups cost exactly one \
+         probe step (guaranteed one-row lookup)",
+        lookups.len()
+    );
+
+    let explain = ix.explain(E19_INDEX_JOIN).expect("explain");
+    let scan = explain
+        .lines()
+        .find(|l| l.contains("ixscan("))
+        .expect("ixscan line");
+    let join = explain
+        .lines()
+        .find(|l| l.contains("ixjoin("))
+        .expect("ixjoin line");
+    println!(
+        "\nEXPLAIN access paths:\n  {}\n  {}",
+        scan.trim(),
+        join.trim()
+    );
+    assert!(join.contains("unique=yes"), "{explain}");
 }
 
 /// E18 — columnar storage + vectorized, uniqueness-aware kernels: work

@@ -50,6 +50,19 @@ impl Catalog {
         self.tables.contains_key(name)
     }
 
+    /// Mutable access to a schema (index registration).
+    pub(crate) fn table_mut(&mut self, name: &TableName) -> Result<&mut TableSchema> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| Error::UnknownTable(name.to_string()))
+    }
+
+    /// The table owning a secondary index of this name, if any. Index
+    /// names share one namespace across the whole database.
+    pub fn index_owner(&self, index: &str) -> Option<&TableSchema> {
+        self.tables.values().find(|t| t.index(index).is_some())
+    }
+
     /// Iterate over all schemas in name order.
     pub fn tables(&self) -> impl Iterator<Item = &TableSchema> {
         self.tables.values()

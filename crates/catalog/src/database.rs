@@ -7,14 +7,70 @@
 //! load in linear-log time.
 
 use crate::catalog::Catalog;
-use crate::table::TableSchema;
+use crate::table::{IndexDef, TableSchema};
 use crate::validate;
-use std::collections::BTreeMap;
-use uniq_sql::{Insert, Statement};
+use std::collections::{BTreeMap, HashMap};
+use std::ops::Bound;
+use uniq_sql::{CreateIndex, IndexKindAst, Insert, Statement};
 use uniq_types::{Error, Result, TableName, Value};
 
 /// One stored row.
 pub type Row = Vec<Value>;
+
+/// One persistent secondary index structure: key tuple → positions of
+/// every row carrying that key (a unique index stores one position per
+/// tuple by construction; uniqueness itself is enforced through the
+/// candidate-key machinery the index registers).
+#[derive(Debug, Clone)]
+enum SecondaryIndex {
+    /// Point probes only, O(1).
+    Hash(HashMap<Vec<Value>, Vec<usize>>),
+    /// Ordered (`BTreeMap` under `Value`'s canonical order, whose
+    /// `Equal` coincides with `=̇`): point probes and range scans.
+    Tree(BTreeMap<Vec<Value>, Vec<usize>>),
+}
+
+impl SecondaryIndex {
+    fn empty(ordered: bool) -> SecondaryIndex {
+        if ordered {
+            SecondaryIndex::Tree(BTreeMap::new())
+        } else {
+            SecondaryIndex::Hash(HashMap::new())
+        }
+    }
+
+    fn add(&mut self, key: Vec<Value>, pos: usize) {
+        match self {
+            SecondaryIndex::Hash(m) => m.entry(key).or_default().push(pos),
+            SecondaryIndex::Tree(m) => m.entry(key).or_default().push(pos),
+        }
+    }
+
+    fn get(&self, key: &[Value]) -> &[usize] {
+        match self {
+            SecondaryIndex::Hash(m) => m.get(key),
+            SecondaryIndex::Tree(m) => m.get(key),
+        }
+        .map(|v| v.as_slice())
+        .unwrap_or(&[])
+    }
+
+    fn clear(&mut self) {
+        match self {
+            SecondaryIndex::Hash(m) => m.clear(),
+            SecondaryIndex::Tree(m) => m.clear(),
+        }
+    }
+
+    fn entries(&self) -> Vec<(Vec<Value>, Vec<usize>)> {
+        let mut out: Vec<(Vec<Value>, Vec<usize>)> = match self {
+            SecondaryIndex::Hash(m) => m.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
+            SecondaryIndex::Tree(m) => m.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
+        };
+        out.sort_by(|(a, _), (b, _)| a.cmp(b));
+        out
+    }
+}
 
 #[derive(Debug, Clone, Default)]
 struct TableData {
@@ -22,6 +78,9 @@ struct TableData {
     /// One index per candidate key, parallel to
     /// `TableSchema::candidate_keys()` order: key tuple → row position.
     key_indexes: Vec<BTreeMap<Vec<Value>, usize>>,
+    /// One structure per secondary index, parallel to
+    /// `TableSchema::indexes` order.
+    secondary: Vec<SecondaryIndex>,
 }
 
 /// A catalog together with table instances. Every row admitted through
@@ -52,9 +111,11 @@ impl Database {
     }
 
     /// The monotonic catalog version, bumped by every schema-affecting
-    /// mutation (`CREATE TABLE`, `truncate`). Compiled plans reference
-    /// only schema — never row data — so plain `INSERT`s leave the
-    /// version unchanged; the plan cache uses this to decide whether a
+    /// mutation (`CREATE TABLE`, `CREATE INDEX`, `truncate`). Compiled
+    /// plans reference schema *and* the index set — never row data — so
+    /// plain `INSERT`s leave the version unchanged, while `CREATE INDEX`
+    /// must bump it so cached full-scan plans re-plan and can pick up the
+    /// new access path; the plan cache uses this to decide whether a
     /// cached plan is still valid.
     pub fn version(&self) -> u64 {
         self.version
@@ -105,10 +166,194 @@ impl Database {
             TableData {
                 rows: Vec::new(),
                 key_indexes: vec![BTreeMap::new(); n_keys],
+                secondary: Vec::new(),
             },
         );
         self.version += 1;
         Ok(())
+    }
+
+    /// Apply a parsed `CREATE [UNIQUE] INDEX`: validate, backfill the
+    /// structure from the existing rows, register the metadata and bump
+    /// the catalog version (cached plans must re-plan to see the new
+    /// access path).
+    ///
+    /// A unique index declares its column set a candidate key — the new
+    /// uniqueness source feeding Algorithm 1 — so backfill rejects the
+    /// statement with the *same* violation error a declared key produces
+    /// when existing rows already duplicate a key value, and subsequent
+    /// `INSERT`s enforce it exactly like a declared `UNIQUE` constraint
+    /// (null-as-special-value semantics included).
+    pub fn create_index(&mut self, ast: &CreateIndex) -> Result<()> {
+        let schema = self.catalog.table(&ast.table)?;
+        if let Some(owner) = self.catalog.index_owner(&ast.name) {
+            return Err(Error::bind(format!(
+                "index {} already exists on table {}",
+                ast.name, owner.name
+            )));
+        }
+        let columns: Vec<usize> = ast
+            .columns
+            .iter()
+            .map(|c| schema.column_position(c))
+            .collect::<Result<_>>()?;
+        for (i, c) in columns.iter().enumerate() {
+            if columns[..i].contains(c) {
+                return Err(Error::bind(format!(
+                    "duplicate column {} in index {}",
+                    schema.columns[*c].name, ast.name
+                )));
+            }
+        }
+        let def = IndexDef {
+            name: ast.name.clone(),
+            columns,
+            unique: ast.unique,
+            ordered: ast.kind == IndexKindAst::BTree,
+        };
+
+        // Backfill from the stored rows before mutating anything, so a
+        // failed CREATE INDEX leaves the database untouched.
+        let data = self
+            .data
+            .get(&ast.table)
+            .ok_or_else(|| Error::UnknownTable(ast.table.to_string()))?;
+        let mut sec = SecondaryIndex::empty(def.ordered);
+        for (pos, row) in data.rows.iter().enumerate() {
+            sec.add(key_tuple(&def.columns, row), pos);
+        }
+        let mut sorted = def.columns.clone();
+        sorted.sort_unstable();
+        let needs_key = def.unique && !schema.candidate_keys().any(|k| k.columns == sorted);
+        let mut key_index: BTreeMap<Vec<Value>, usize> = BTreeMap::new();
+        if needs_key {
+            for (pos, row) in data.rows.iter().enumerate() {
+                if key_index.insert(key_tuple(&sorted, row), pos).is_some() {
+                    let desc: Vec<String> = sorted
+                        .iter()
+                        .map(|&i| format!("{}={}", schema.columns[i].name, row[i]))
+                        .collect();
+                    return Err(Error::ConstraintViolation {
+                        table: ast.table.to_string(),
+                        message: format!("unique key violation on ({})", desc.join(", ")),
+                    });
+                }
+            }
+        }
+
+        let appended = self.catalog.table_mut(&ast.table)?.add_index(def);
+        debug_assert_eq!(appended, needs_key);
+        let data = self.data.get_mut(&ast.table).expect("checked above");
+        data.secondary.push(sec);
+        if needs_key {
+            data.key_indexes.push(key_index);
+        }
+        self.version += 1;
+        Ok(())
+    }
+
+    /// Positions of the rows whose index key equals `key` (point probe).
+    /// A probe containing `NULL` matches nothing: no SQL comparison
+    /// predicate is *true* of `NULL`, so a sargable probe cannot reach
+    /// null-keyed entries.
+    pub fn index_probe(&self, table: &TableName, index: &str, key: &[Value]) -> Result<&[usize]> {
+        let (_, sec) = self.secondary_index(table, index)?;
+        if key.iter().any(|v| v.is_null()) {
+            return Ok(&[]);
+        }
+        Ok(sec.get(key))
+    }
+
+    /// Positions of the rows whose index key starts with `prefix`
+    /// (point-bound columns) and whose next component lies in
+    /// `[low, high]` — the sargable range-scan primitive. With both
+    /// bounds unbounded this is a prefix probe (trailing columns
+    /// unconstrained, so null-keyed suffixes *do* match). Range scans
+    /// need an ordered index; hash indexes answer point probes only.
+    pub fn index_range(
+        &self,
+        table: &TableName,
+        index: &str,
+        prefix: &[Value],
+        low: Bound<&Value>,
+        high: Bound<&Value>,
+    ) -> Result<Vec<usize>> {
+        let (def, sec) = self.secondary_index(table, index)?;
+        if prefix.iter().any(|v| v.is_null()) {
+            return Ok(Vec::new());
+        }
+        if prefix.len() >= def.columns.len() {
+            return Ok(sec.get(prefix).to_vec());
+        }
+        let tree = match sec {
+            SecondaryIndex::Tree(t) => t,
+            SecondaryIndex::Hash(_) => {
+                return Err(Error::internal(format!(
+                    "index {index} is a hash index: prefix and range scans need USING BTREE"
+                )))
+            }
+        };
+        let mut out = Vec::new();
+        // Every stored key is longer than `prefix`, and a shorter vector
+        // sorts before all its extensions, so the range starts exactly at
+        // the prefix group.
+        for (key, positions) in tree.range((Bound::Included(prefix.to_vec()), Bound::Unbounded)) {
+            if !key.starts_with(prefix) {
+                break;
+            }
+            let c = &key[prefix.len()];
+            if c.is_null() {
+                // NULL satisfies a bound never, an unconstrained scan
+                // always; canonical order puts it first in the group.
+                if !(matches!(low, Bound::Unbounded) && matches!(high, Bound::Unbounded)) {
+                    continue;
+                }
+            } else {
+                match high {
+                    // Keys in one prefix group ascend by this component
+                    // (NULLs first), so the first overshoot ends the scan.
+                    Bound::Included(v) if c > v => break,
+                    Bound::Excluded(v) if c >= v => break,
+                    _ => {}
+                }
+                match low {
+                    Bound::Included(v) if c < v => continue,
+                    Bound::Excluded(v) if c <= v => continue,
+                    _ => {}
+                }
+            }
+            out.extend_from_slice(positions);
+        }
+        Ok(out)
+    }
+
+    /// The full contents of a secondary index in canonical key order —
+    /// the rebuild-agreement oracle for property tests.
+    pub fn index_entries(
+        &self,
+        table: &TableName,
+        index: &str,
+    ) -> Result<Vec<(Vec<Value>, Vec<usize>)>> {
+        let (_, sec) = self.secondary_index(table, index)?;
+        Ok(sec.entries())
+    }
+
+    fn secondary_index(
+        &self,
+        table: &TableName,
+        index: &str,
+    ) -> Result<(&IndexDef, &SecondaryIndex)> {
+        let schema = self.catalog.table(table)?;
+        let i = schema
+            .indexes
+            .iter()
+            .position(|ix| ix.name == index)
+            .ok_or_else(|| Error::internal(format!("no index {index} on {table}")))?;
+        let data = self
+            .data
+            .get(table)
+            .ok_or_else(|| Error::UnknownTable(table.to_string()))?;
+        Ok((&schema.indexes[i], &data.secondary[i]))
     }
 
     /// Insert one row after full validation (shape, checks, keys, FKs).
@@ -172,10 +417,20 @@ impl Database {
             }
         }
 
+        // Incremental maintenance of the secondary indexes (uniqueness
+        // was already enforced above through the registered keys).
+        let secondary_tuples: Vec<Vec<Value>> = schema
+            .indexes
+            .iter()
+            .map(|ix| key_tuple(&ix.columns, &row))
+            .collect();
         let data = self.data.get_mut(table).expect("checked above");
         let pos = data.rows.len();
         for (index, tuple) in data.key_indexes.iter_mut().zip(tuples) {
             index.insert(tuple, pos);
+        }
+        for (sec, tuple) in data.secondary.iter_mut().zip(secondary_tuples) {
+            sec.add(tuple, pos);
         }
         data.rows.push(row);
         Ok(())
@@ -228,6 +483,9 @@ impl Database {
         for (key, index) in schema.candidate_keys().zip(data.key_indexes.iter_mut()) {
             index.entry(key_tuple(&key.columns, &row)).or_insert(pos);
         }
+        for (ix, sec) in schema.indexes.iter().zip(data.secondary.iter_mut()) {
+            sec.add(key_tuple(&ix.columns, &row), pos);
+        }
         data.rows.push(row);
         Ok(())
     }
@@ -278,17 +536,22 @@ impl Database {
                 for idx in &mut d.key_indexes {
                     idx.clear();
                 }
+                for sec in &mut d.secondary {
+                    sec.clear();
+                }
             })
             .ok_or_else(|| Error::UnknownTable(table.to_string()))?;
         self.version += 1;
         Ok(())
     }
 
-    /// Apply a parsed statement: `CREATE TABLE` or `INSERT`.
-    /// Queries are rejected here — they go through the planner/executor.
+    /// Apply a parsed statement: `CREATE TABLE`, `CREATE INDEX` or
+    /// `INSERT`. Queries are rejected here — they go through the
+    /// planner/executor.
     pub fn apply(&mut self, stmt: &Statement) -> Result<()> {
         match stmt {
             Statement::CreateTable(ct) => self.create_table(TableSchema::from_ast(ct)?),
+            Statement::CreateIndex(ci) => self.create_index(ci),
             Statement::Insert(ins) => self.apply_insert(ins),
             Statement::Query(_) => Err(Error::internal(
                 "queries are executed by uniq-engine, not Database::apply",
@@ -514,6 +777,240 @@ mod tests {
         );
         db.truncate(&"T".into()).unwrap();
         assert!(db.version() > v1);
+    }
+
+    #[test]
+    fn create_index_backfills_and_maintains() {
+        let mut db = Database::new();
+        db.run_script(
+            "CREATE TABLE T (A INTEGER, B VARCHAR, PRIMARY KEY (A));
+             INSERT INTO T VALUES (1, 'x'), (2, 'y'), (3, 'x');
+             CREATE INDEX IDX_B ON T (B);",
+        )
+        .unwrap();
+        let t = "T".into();
+        assert_eq!(
+            db.index_probe(&t, "IDX_B", &[Value::str("x")]).unwrap(),
+            &[0, 2]
+        );
+        // Incremental maintenance on later inserts.
+        db.run_script("INSERT INTO T VALUES (4, 'x');").unwrap();
+        assert_eq!(
+            db.index_probe(&t, "IDX_B", &[Value::str("x")]).unwrap(),
+            &[0, 2, 3]
+        );
+        assert!(db
+            .index_probe(&t, "IDX_B", &[Value::str("z")])
+            .unwrap()
+            .is_empty());
+        // NULL probes match nothing.
+        assert!(db
+            .index_probe(&t, "IDX_B", &[Value::Null])
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn unique_index_registers_key_and_enforces() {
+        let mut db = Database::new();
+        db.run_script(
+            "CREATE TABLE T (A INTEGER, B INTEGER, PRIMARY KEY (A));
+             INSERT INTO T VALUES (1, 10);
+             CREATE UNIQUE INDEX IDX_B ON T (B);",
+        )
+        .unwrap();
+        let t: TableName = "T".into();
+        // The index registered a candidate key Algorithm 1 can use.
+        let schema = db.catalog().table(&t).unwrap();
+        assert_eq!(schema.candidate_keys().count(), 2);
+        assert_eq!(
+            schema.key_index_name(schema.candidate_keys().nth(1).unwrap()),
+            Some("IDX_B")
+        );
+        // The violation error matches a declared UNIQUE constraint's.
+        let err = db
+            .insert(&t, vec![Value::Int(2), Value::Int(10)])
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("unique key violation on (B=10)"),
+            "{err}"
+        );
+        // Null-as-special-value: at most one NULL key.
+        db.insert(&t, vec![Value::Int(3), Value::Null]).unwrap();
+        assert!(db.insert(&t, vec![Value::Int(4), Value::Null]).is_err());
+    }
+
+    #[test]
+    fn unique_index_backfill_rejects_existing_duplicates() {
+        let mut db = Database::new();
+        db.run_script(
+            "CREATE TABLE T (A INTEGER, B INTEGER, PRIMARY KEY (A));
+             INSERT INTO T VALUES (1, 10), (2, 10);",
+        )
+        .unwrap();
+        let err = db
+            .run_script("CREATE UNIQUE INDEX IDX_B ON T (B);")
+            .unwrap_err();
+        assert!(err.to_string().contains("unique key violation"), "{err}");
+        // Failed DDL leaves no trace.
+        let schema = db.catalog().table(&"T".into()).unwrap();
+        assert!(schema.indexes.is_empty());
+        assert_eq!(schema.candidate_keys().count(), 1);
+        db.insert(&"T".into(), vec![Value::Int(3), Value::Int(10)])
+            .unwrap();
+    }
+
+    #[test]
+    fn index_range_scans_ordered_index() {
+        let mut db = Database::new();
+        db.run_script(
+            "CREATE TABLE T (A INTEGER, B INTEGER, PRIMARY KEY (A));
+             INSERT INTO T VALUES (1, 5), (2, 7), (3, 9), (4, NULL), (5, 7);
+             CREATE INDEX IDX_B ON T (B);",
+        )
+        .unwrap();
+        let t: TableName = "T".into();
+        let range = |low: Bound<&Value>, high: Bound<&Value>| {
+            db.index_range(&t, "IDX_B", &[], low, high).unwrap()
+        };
+        assert_eq!(
+            range(
+                Bound::Included(&Value::Int(6)),
+                Bound::Included(&Value::Int(9))
+            ),
+            vec![1, 4, 2]
+        );
+        assert_eq!(
+            range(Bound::Excluded(&Value::Int(7)), Bound::Unbounded),
+            vec![2]
+        );
+        assert_eq!(
+            range(Bound::Unbounded, Bound::Excluded(&Value::Int(7))),
+            vec![0]
+        );
+        // Bounded scans never reach NULL keys; an unconstrained prefix
+        // scan (here: the whole index) does.
+        assert_eq!(
+            range(Bound::Unbounded, Bound::Unbounded),
+            vec![3, 0, 1, 4, 2]
+        );
+    }
+
+    #[test]
+    fn index_prefix_probe_on_composite_index() {
+        let mut db = Database::new();
+        db.run_script(
+            "CREATE TABLE T (A INTEGER, B INTEGER, C INTEGER, PRIMARY KEY (A));
+             INSERT INTO T VALUES (1, 7, 1), (2, 7, 5), (3, 8, 1), (4, 7, NULL);
+             CREATE INDEX IDX_BC ON T (B, C);",
+        )
+        .unwrap();
+        let t: TableName = "T".into();
+        // Prefix probe: B = 7, C unconstrained (NULL C rows match).
+        assert_eq!(
+            db.index_range(
+                &t,
+                "IDX_BC",
+                &[Value::Int(7)],
+                Bound::Unbounded,
+                Bound::Unbounded
+            )
+            .unwrap(),
+            vec![3, 0, 1]
+        );
+        // Prefix + range on the next component.
+        assert_eq!(
+            db.index_range(
+                &t,
+                "IDX_BC",
+                &[Value::Int(7)],
+                Bound::Included(&Value::Int(2)),
+                Bound::Unbounded
+            )
+            .unwrap(),
+            vec![1]
+        );
+    }
+
+    #[test]
+    fn hash_index_probes_but_rejects_ranges() {
+        let mut db = Database::new();
+        db.run_script(
+            "CREATE TABLE T (A INTEGER, B INTEGER, PRIMARY KEY (A));
+             INSERT INTO T VALUES (1, 5), (2, 7);
+             CREATE INDEX IDX_B ON T (B) USING HASH;",
+        )
+        .unwrap();
+        let t: TableName = "T".into();
+        assert_eq!(db.index_probe(&t, "IDX_B", &[Value::Int(7)]).unwrap(), &[1]);
+        assert!(db
+            .index_range(
+                &t,
+                "IDX_B",
+                &[],
+                Bound::Included(&Value::Int(5)),
+                Bound::Unbounded
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn duplicate_index_name_rejected_across_tables() {
+        let mut db = Database::new();
+        db.run_script(
+            "CREATE TABLE T (A INTEGER); CREATE TABLE U (A INTEGER);
+             CREATE INDEX IDX ON T (A);",
+        )
+        .unwrap();
+        let err = db.run_script("CREATE INDEX IDX ON U (A);").unwrap_err();
+        assert!(err.to_string().contains("already exists"), "{err}");
+        assert!(db.run_script("CREATE INDEX IDX2 ON U (A);").is_ok());
+    }
+
+    #[test]
+    fn create_index_bumps_catalog_version() {
+        let mut db = Database::new();
+        db.run_script("CREATE TABLE T (A INTEGER);").unwrap();
+        let v = db.version();
+        db.run_script("CREATE INDEX IDX_A ON T (A);").unwrap();
+        assert!(
+            db.version() > v,
+            "CREATE INDEX must invalidate cached plans"
+        );
+    }
+
+    #[test]
+    fn unique_index_on_existing_key_adds_no_duplicate_key() {
+        let mut db = Database::new();
+        db.run_script(
+            "CREATE TABLE T (A INTEGER, PRIMARY KEY (A));
+             INSERT INTO T VALUES (1);
+             CREATE UNIQUE INDEX IDX_A ON T (A);",
+        )
+        .unwrap();
+        let schema = db.catalog().table(&"T".into()).unwrap();
+        assert_eq!(schema.candidate_keys().count(), 1, "key already declared");
+        assert_eq!(schema.indexes.len(), 1);
+        // Enforcement still single-sourced through the primary key.
+        assert!(db.insert(&"T".into(), vec![Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn index_entries_match_a_from_scratch_rebuild() {
+        let mut db = Database::new();
+        db.run_script(
+            "CREATE TABLE T (A INTEGER, B VARCHAR, PRIMARY KEY (A));
+             CREATE INDEX IDX_B ON T (B);
+             INSERT INTO T VALUES (1, 'x'), (2, 'y'), (3, 'x'), (4, NULL);",
+        )
+        .unwrap();
+        let t: TableName = "T".into();
+        let mut rebuilt: BTreeMap<Vec<Value>, Vec<usize>> = BTreeMap::new();
+        for (pos, row) in db.rows(&t).unwrap().iter().enumerate() {
+            rebuilt.entry(vec![row[1].clone()]).or_default().push(pos);
+        }
+        let want: Vec<(Vec<Value>, Vec<usize>)> = rebuilt.into_iter().collect();
+        assert_eq!(db.index_entries(&t, "IDX_B").unwrap(), want);
     }
 
     #[test]

@@ -27,4 +27,4 @@ pub mod validate;
 
 pub use catalog::Catalog;
 pub use database::{Database, Row};
-pub use table::{ColumnDef, ForeignKey, Key, TableConstraint, TableSchema};
+pub use table::{ColumnDef, ForeignKey, IndexDef, Key, TableConstraint, TableSchema};

@@ -43,6 +43,25 @@ pub struct ForeignKey {
     pub parent_columns: Vec<ColumnName>,
 }
 
+/// A persistent secondary index in resolved (position-based) form.
+///
+/// `columns` keeps declaration order (the probe-key prefix order), unlike
+/// [`Key::columns`] which is sorted: an index on `(B, A)` probes by `B`
+/// first. A unique index additionally registers a candidate [`Key`] on the
+/// schema, making it a uniqueness source for the paper's analyses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexDef {
+    /// The index's name (unique across the database).
+    pub name: String,
+    /// Indexed column positions in declaration order.
+    pub columns: Vec<usize>,
+    /// At most one row per key value (null-as-special-value semantics).
+    pub unique: bool,
+    /// Ordered (`BTreeMap`-backed) index supporting range scans; `false`
+    /// means a hash index supporting point probes only.
+    pub ordered: bool,
+}
+
 /// A table constraint in resolved (position-based) form.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TableConstraint {
@@ -64,6 +83,8 @@ pub struct TableSchema {
     pub columns: Vec<ColumnDef>,
     /// All constraints, keys first.
     pub constraints: Vec<TableConstraint>,
+    /// Persistent secondary indexes, in creation order.
+    pub indexes: Vec<IndexDef>,
 }
 
 impl TableSchema {
@@ -170,6 +191,7 @@ impl TableSchema {
             name: ast.name.clone(),
             columns,
             constraints,
+            indexes: Vec::new(),
         })
     }
 
@@ -222,6 +244,49 @@ impl TableSchema {
     /// precondition shared by all three of the paper's theorems.
     pub fn has_key(&self) -> bool {
         self.candidate_keys().next().is_some()
+    }
+
+    /// Look up a secondary index by name.
+    pub fn index(&self, name: &str) -> Option<&IndexDef> {
+        self.indexes.iter().find(|ix| ix.name == name)
+    }
+
+    /// Register a secondary index on this schema. A unique index also
+    /// registers its column set as a candidate key (the paper's new
+    /// uniqueness source); the return value reports whether a *new* key
+    /// was appended to `constraints`, so storage can extend its
+    /// key-enforcement structures in lockstep.
+    pub fn add_index(&mut self, def: IndexDef) -> bool {
+        let mut appended = false;
+        if def.unique {
+            let mut sorted = def.columns.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            if !self.candidate_keys().any(|k| k.columns == sorted) {
+                self.constraints.push(TableConstraint::Key(Key {
+                    columns: sorted,
+                    primary: false,
+                }));
+                appended = true;
+            }
+        }
+        self.indexes.push(def);
+        appended
+    }
+
+    /// The name of a unique index declaring exactly this candidate key,
+    /// if one exists — lets uniqueness justifications cite the index
+    /// (`CREATE UNIQUE INDEX`) that supplied the key.
+    pub fn key_index_name(&self, key: &Key) -> Option<&str> {
+        self.indexes.iter().find_map(|ix| {
+            if !ix.unique {
+                return None;
+            }
+            let mut sorted = ix.columns.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            (sorted == key.columns).then_some(ix.name.as_str())
+        })
     }
 }
 

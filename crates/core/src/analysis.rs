@@ -133,7 +133,7 @@ pub fn unique_projection(spec: &BoundSpec) -> UniquenessReport {
     let fds = derived_fds(spec, false);
     let proj: AttrSet = spec.projection.iter().map(|p| p.attr).collect();
     let closure = fds.closure_of(&proj);
-    key_cover_report(spec, &closure, "projection")
+    key_cover_report(spec, &proj, &closure, "projection")
 }
 
 /// Theorem 2's single-tuple condition: evaluated per outer row (correlated
@@ -157,17 +157,29 @@ pub fn single_tuple_condition(sub: &BoundSpec) -> UniquenessReport {
         }
     }
     let fds = derived_fds(sub, true);
-    let closure = fds.closure_of(&AttrSet::new());
-    key_cover_report(sub, &closure, "correlation/constant bindings")
+    let seed = AttrSet::new();
+    let closure = fds.closure_of(&seed);
+    key_cover_report(sub, &seed, &closure, "correlation/constant bindings")
 }
 
-fn key_cover_report(spec: &BoundSpec, closure: &AttrSet, source: &str) -> UniquenessReport {
+fn key_cover_report(
+    spec: &BoundSpec,
+    seed: &AttrSet,
+    closure: &AttrSet,
+    source: &str,
+) -> UniquenessReport {
     let mut covered: Vec<String> = Vec::new();
     for t in &spec.from {
+        // Prefer a covered key lying directly in the seed set (the most
+        // direct evidence) over one reached only through closure steps.
+        let in_set = |set: &AttrSet, k: &&uniq_catalog::Key| {
+            k.columns.iter().all(|&c| set.contains(t.offset + c))
+        };
         let key = t
             .schema
             .candidate_keys()
-            .find(|k| k.columns.iter().all(|&c| closure.contains(t.offset + c)));
+            .find(|k| in_set(seed, k))
+            .or_else(|| t.schema.candidate_keys().find(|k| in_set(closure, k)));
         match key {
             Some(k) => {
                 let cols: Vec<String> = k
@@ -175,7 +187,13 @@ fn key_cover_report(spec: &BoundSpec, closure: &AttrSet, source: &str) -> Unique
                     .iter()
                     .map(|&c| t.schema.columns[c].name.to_string())
                     .collect();
-                covered.push(format!("{}({})", t.binding, cols.join(", ")));
+                // Name the CREATE UNIQUE INDEX that supplied the key, so
+                // the justification records the uniqueness source.
+                let via = match t.schema.key_index_name(k) {
+                    Some(ix) => format!(" [unique index {ix}]"),
+                    None => String::new(),
+                };
+                covered.push(format!("{}({}){via}", t.binding, cols.join(", ")));
             }
             None => {
                 return UniquenessReport {
@@ -246,6 +264,24 @@ mod tests {
              WHERE P.OEM-PNO = :OEM AND S.SNO = P.SNO",
         ));
         assert!(r.unique, "{}", r.reason);
+    }
+
+    #[test]
+    fn unique_index_key_is_named_in_the_reason() {
+        use uniq_sql::{parse_statement, Statement};
+        let mut db = supplier_schema().unwrap();
+        match parse_statement("CREATE UNIQUE INDEX IDX_SNAME ON SUPPLIER (SNAME)").unwrap() {
+            Statement::CreateIndex(ci) => db.create_index(&ci).unwrap(),
+            _ => unreachable!(),
+        }
+        let bound = bind_query(
+            db.catalog(),
+            &parse_query("SELECT DISTINCT S.SNAME FROM SUPPLIER S").unwrap(),
+        )
+        .unwrap();
+        let r = unique_projection(bound.as_spec().unwrap());
+        assert!(r.unique, "{}", r.reason);
+        assert!(r.reason.contains("unique index IDX_SNAME"), "{}", r.reason);
     }
 
     #[test]

@@ -24,6 +24,10 @@
 //! * [`physical`] — the physical-plan IR the executor consumes, with an
 //!   operator registry carrying estimates so `EXPLAIN` can print
 //!   `est=… act=…` per operator.
+//! * [`sarg`] — sargability analysis matching `WHERE` conjuncts to
+//!   secondary indexes: point/range extraction for `IxScan` access
+//!   paths and probe-key derivation for `IxJoin` steps, shared with the
+//!   executor's run-time re-verification.
 //! * [`card`] — per-operator estimated-vs-actual reports and q-error
 //!   aggregation for batch runs.
 //!
@@ -36,13 +40,15 @@ pub mod card;
 pub mod estimate;
 pub mod physical;
 pub mod planner;
+pub mod sarg;
 pub mod stats;
 
 pub use card::{CardReport, CardRow, QErrorStats};
 pub use estimate::Estimator;
 pub use physical::{
-    BlockPlan, Degree, DistinctMethod, DistinctStep, JoinMethod, JoinStep, OpId, OpInfo, PhysNode,
-    PhysicalPlan,
+    BlockPlan, Degree, DistinctMethod, DistinctStep, IxProbeInfo, IxScanInfo, JoinMethod, JoinStep,
+    OpId, OpInfo, PhysNode, PhysicalPlan,
 };
 pub use planner::{plan_query, PlannerOptions};
+pub use sarg::{find_index_probe, find_index_sarg, IndexProbe, IndexSarg, ProbeSource};
 pub use stats::{ColumnStats, Statistics, TableStats};

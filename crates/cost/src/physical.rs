@@ -79,11 +79,41 @@ pub struct OpInfo {
     pub deg: usize,
 }
 
+/// A planned index access path for a block's initial scan. Like
+/// [`BlockPlan::columnar`], this is a **license, not a promise**: the
+/// executor re-derives the sarg from the spec and the live catalog at
+/// run time, and falls back to the full filtered scan when the
+/// re-derivation disagrees (index dropped by a table re-creation, a
+/// stale cached plan, a shape the kernels cannot serve).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IxScanInfo {
+    /// Name of the index to probe.
+    pub index: String,
+    /// Unique index, fully point-bound: at most one row — the scan
+    /// estimate is the hard bound 1, not a guess.
+    pub unique: bool,
+    /// Display fragment for `EXPLAIN`, e.g. `SNO=3,PNO>=2`.
+    pub sarg: String,
+}
+
+/// A planned index-nested-loop probe for one join step (same license
+/// semantics as [`IxScanInfo`]: the executor re-derives and falls back
+/// to [`JoinStep::method`] on disagreement).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IxProbeInfo {
+    /// Name of the index to probe, once per outer partial.
+    pub index: String,
+    /// Unique index: every probe is a guaranteed one-row lookup costing
+    /// exactly one probe step.
+    pub unique: bool,
+}
+
 /// One pipeline join step (the table it introduces is
 /// `order[position + 1]` of the owning [`BlockPlan`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JoinStep {
-    /// Physical join strategy for this step.
+    /// Physical join strategy for this step (the fallback when an
+    /// index probe in `ix` fails run-time re-verification).
     pub method: JoinMethod,
     /// Operator slot.
     pub id: OpId,
@@ -94,6 +124,10 @@ pub struct JoinStep {
     /// parallel executor may use the unique-key hash kernel (no bucket
     /// chains, probe stops at the first match).
     pub unique: bool,
+    /// Probe a secondary index per outer partial instead of building a
+    /// hash table, when the planner found one covering the join keys
+    /// and build cost dominates.
+    pub ix: Option<IxProbeInfo>,
 }
 
 /// The duplicate-elimination step of a `SELECT DISTINCT` block.
@@ -130,6 +164,10 @@ pub struct BlockPlan {
     /// at runtime and falls back to row execution if the encoding is
     /// missing or stale — the flag is a license, not a promise.
     pub columnar: bool,
+    /// Serve the initial scan through a secondary index instead of a
+    /// full table scan (rendered as `ixscan(name, sarg)` on the scan
+    /// line; same license semantics as `columnar`).
+    pub ixscan: Option<IxScanInfo>,
 }
 
 /// A node of the physical plan, structurally parallel to the bound
@@ -221,10 +259,24 @@ impl PhysicalPlan {
                 // static EXPLAIN: the last join on top, the initial
                 // scan at the bottom.
                 for step in block.joins.iter().rev() {
-                    self.line(step.id, depth + 1, actuals, out);
+                    let suffix = match &step.ix {
+                        Some(ix) => format!(
+                            " ixjoin({}) unique={}",
+                            ix.index,
+                            if ix.unique { "yes" } else { "no" }
+                        ),
+                        None => String::new(),
+                    };
+                    self.line_sfx(step.id, depth + 1, actuals, &suffix, out);
                 }
-                let suffix = if block.columnar { " exec=columnar" } else { "" };
-                self.line_sfx(block.scan, depth + 1, actuals, suffix, out);
+                let mut suffix = String::new();
+                if let Some(ix) = &block.ixscan {
+                    suffix.push_str(&format!(" ixscan({}, {})", ix.index, ix.sarg));
+                }
+                if block.columnar {
+                    suffix.push_str(" exec=columnar");
+                }
+                self.line_sfx(block.scan, depth + 1, actuals, &suffix, out);
             }
             PhysNode::SetOp {
                 id, left, right, ..
@@ -275,6 +327,7 @@ mod tests {
                     id: 1,
                     deg: 2,
                     unique: true,
+                    ix: None,
                 }],
                 project: 2,
                 distinct: Some(DistinctStep {
@@ -283,6 +336,7 @@ mod tests {
                     deg: 1,
                 }),
                 columnar: false,
+                ixscan: None,
             }),
             ops: vec![
                 OpInfo {
@@ -349,6 +403,31 @@ mod tests {
         let rendered = plan.render(0, Some(&[5, 6, 6, 4]));
         assert!(
             rendered.contains("Scan SUPPLIER AS S est=5 act=5 exec=columnar"),
+            "{rendered}"
+        );
+    }
+
+    #[test]
+    fn index_operators_render_their_markers() {
+        let mut plan = tiny_plan();
+        if let PhysNode::Block(b) = &mut plan.root {
+            b.ixscan = Some(IxScanInfo {
+                index: "IDX_SNO".into(),
+                unique: true,
+                sarg: "SNO=3".into(),
+            });
+            b.joins[0].ix = Some(IxProbeInfo {
+                index: "IDX_PARTS".into(),
+                unique: true,
+            });
+        }
+        let rendered = plan.render(0, None);
+        assert!(
+            rendered.contains("Scan SUPPLIER AS S est=5 act=? ixscan(IDX_SNO, SNO=3)"),
+            "{rendered}"
+        );
+        assert!(
+            rendered.contains("ixjoin(IDX_PARTS) unique=yes"),
             "{rendered}"
         );
     }

@@ -234,17 +234,48 @@ impl Planner<'_> {
             } else {
                 JoinMethod::Hash
             };
-            let table = &spec.from[next];
-            let kind = match (method, has_keys) {
-                (JoinMethod::NestedLoop, _) => "NestedLoop",
-                (JoinMethod::Hash, true) => "HashJoin",
-                (JoinMethod::Hash, false) => "CrossJoin",
-            };
-            // Degree amortized against the step's own work estimate.
-            let deg = self.op_degree(match method {
-                JoinMethod::NestedLoop => nl_cost,
-                JoinMethod::Hash => hash_cost,
+            // Index-nested-loop probe: one index probe per outer partial
+            // plus the emitted rows, no build pass at all. Preferred
+            // over a hash join whenever the build cost dominates (the
+            // probed table never gets scanned), and promoted to a
+            // guaranteed one-row lookup when the index is unique.
+            let step_conjuncts: Vec<&BoundExpr> = conjuncts
+                .iter()
+                .zip(&owners)
+                .zip(&applied)
+                .filter(|((_, o), done)| {
+                    !**done && o.iter().all(|x| placed.contains(x) || *x == next)
+                })
+                .map(|((c, _), _)| *c)
+                .collect();
+            let probe = crate::sarg::find_index_probe(spec, next, &step_conjuncts, &|idx| {
+                table_of(spec, idx).is_some_and(|t| placed.contains(&t))
             });
+            let mut step_est = step_est;
+            if probe.as_ref().is_some_and(|p| p.unique) {
+                // Each probe of a unique index matches at most one row.
+                step_est = step_est.min(cur);
+            }
+            let ix_cost = cur + step_est;
+            let use_ix = probe.is_some() && ix_cost < hash_cost && ix_cost < nl_cost;
+            let table = &spec.from[next];
+            let kind = match (use_ix, method, has_keys) {
+                (true, _, _) => "IxJoin",
+                (false, JoinMethod::NestedLoop, _) => "NestedLoop",
+                (false, JoinMethod::Hash, true) => "HashJoin",
+                (false, JoinMethod::Hash, false) => "CrossJoin",
+            };
+            // Degree amortized against the step's own work estimate;
+            // index probes run serially (each probe is a point lookup —
+            // there is no build side to partition).
+            let deg = if use_ix {
+                1
+            } else {
+                self.op_degree(match method {
+                    JoinMethod::NestedLoop => nl_cost,
+                    JoinMethod::Hash => hash_cost,
+                })
+            };
             let id = self.op(
                 format!(
                     "{kind} with Scan {} AS {}",
@@ -253,13 +284,21 @@ impl Planner<'_> {
                 step_est,
                 deg,
             );
+            let ix = use_ix.then(|| {
+                let p = probe.as_ref().expect("use_ix implies a probe");
+                crate::physical::IxProbeInfo {
+                    index: p.index.clone(),
+                    unique: p.unique,
+                }
+            });
             joins.push(JoinStep {
                 method,
                 id,
                 deg,
                 unique: covered && method == JoinMethod::Hash,
+                ix,
             });
-            columnar = columnar && has_keys && method == JoinMethod::Hash;
+            columnar = columnar && !use_ix && has_keys && method == JoinMethod::Hash;
             placed.insert(next);
             order.push(next);
             cur = step_est;
@@ -277,9 +316,41 @@ impl Planner<'_> {
         }
 
         let t0 = &spec.from[order[0]];
-        let scan_est = self.filtered_rows(spec, order[0], &conjuncts, &owners, raw[order[0]]);
+        let mut scan_est = self.filtered_rows(spec, order[0], &conjuncts, &owners, raw[order[0]]);
+        // Sargable index on the first table: serve the scan by a point
+        // probe / range scan instead of reading every row. A unique
+        // fully-bound probe returns at most one row — a hard bound the
+        // estimate adopts — and any index access is licensed only when
+        // it beats the full scan's work.
+        let scan_conjuncts: Vec<&BoundExpr> = conjuncts
+            .iter()
+            .zip(&owners)
+            .filter(|(_, o)| o.iter().all(|&x| x == order[0]))
+            .map(|(c, _)| *c)
+            .collect();
+        let mut ixscan = None;
+        if let Some(s) = crate::sarg::find_index_sarg(spec, order[0], &scan_conjuncts) {
+            if s.unique {
+                scan_est = scan_est.min(1.0);
+            }
+            if scan_est + 1.0 < raw[order[0]] {
+                ixscan = Some(crate::physical::IxScanInfo {
+                    index: s.index,
+                    unique: s.unique,
+                    sarg: s.desc,
+                });
+            }
+        }
+        // Index scans are point lookups — nothing to morselize — and
+        // the columnar kernels read full column vectors, so an index
+        // block stays on the serial row path.
+        columnar = columnar && ixscan.is_none();
         // A scan's work is the raw table, whatever the filter keeps.
-        let scan_deg = self.op_degree(raw[order[0]]);
+        let scan_deg = if ixscan.is_some() {
+            1
+        } else {
+            self.op_degree(raw[order[0]])
+        };
         // Columnar scans over a table with string columns read
         // dictionary codes, not the strings themselves.
         let enc = if columnar
@@ -337,6 +408,7 @@ impl Planner<'_> {
                 project,
                 distinct,
                 columnar,
+                ixscan,
             },
             final_est,
         )
@@ -786,6 +858,94 @@ mod tests {
         // keeps the block columnar when it is the only predicate.
         let (p, _) = plan_columnar("SELECT S.SNO FROM SUPPLIER S WHERE S.SNAME = NULL");
         assert!(block(&p).columnar, "NULL literal compiles to Never");
+    }
+
+    fn indexed_supplier_db() -> uniq_catalog::Database {
+        let mut db = supplier_database().unwrap();
+        db.run_script(
+            "CREATE UNIQUE INDEX IDX_S_SNO ON SUPPLIER (SNO);
+             CREATE INDEX IDX_P_COLOR ON PARTS (COLOR);",
+        )
+        .unwrap();
+        db
+    }
+
+    fn plan_on(db: &uniq_catalog::Database, sql: &str) -> PhysicalPlan {
+        let stats = Statistics::collect(db);
+        let q = bind_query(db.catalog(), &parse_query(sql).unwrap()).unwrap();
+        plan_query(&q, &stats, PlannerOptions::default())
+    }
+
+    #[test]
+    fn sargable_point_scan_becomes_an_ixscan_with_the_hard_bound() {
+        let db = indexed_supplier_db();
+        let p = plan_on(&db, "SELECT S.SNAME FROM SUPPLIER S WHERE S.SNO = 3");
+        let b = block(&p);
+        let ix = b.ixscan.as_ref().expect("unique point probe licensed");
+        assert_eq!(ix.index, "IDX_S_SNO");
+        assert!(ix.unique);
+        assert_eq!(
+            p.ops[b.scan].est, 1,
+            "unique probe estimate is the hard bound 1"
+        );
+        assert_eq!(b.scan_deg, 1, "point lookups have nothing to morselize");
+        assert!(p.render(0, None).contains("ixscan(IDX_S_SNO, SNO=3)"));
+        // Without a sargable conjunct the scan stays full.
+        let p2 = plan_on(&db, "SELECT S.SNAME FROM SUPPLIER S");
+        assert!(block(&p2).ixscan.is_none());
+    }
+
+    #[test]
+    fn key_join_prefers_the_index_probe_when_build_cost_dominates() {
+        let db = indexed_supplier_db();
+        let p = plan_on(
+            &db,
+            "SELECT P.PNO FROM SUPPLIER S, PARTS P \
+             WHERE S.SNO = P.SNO AND P.COLOR = 'RED'",
+        );
+        let b = block(&p);
+        // PARTS (filtered smaller) scans first; SUPPLIER joins in by a
+        // probe of its unique index instead of building a hash table.
+        assert_eq!(b.order[0], 1, "PARTS first");
+        let ix = b.joins[0].ix.as_ref().expect("index probe licensed");
+        assert_eq!(ix.index, "IDX_S_SNO");
+        assert!(ix.unique);
+        assert_eq!(b.joins[0].deg, 1);
+        assert!(p.ops[b.joins[0].id]
+            .label
+            .contains("IxJoin with Scan SUPPLIER"));
+        assert!(p.render(0, None).contains("ixjoin(IDX_S_SNO) unique=yes"));
+        // The same query without indexes keeps the hash join.
+        let plain = supplier_database().unwrap();
+        let p2 = plan_on(
+            &plain,
+            "SELECT P.PNO FROM SUPPLIER S, PARTS P \
+             WHERE S.SNO = P.SNO AND P.COLOR = 'RED'",
+        );
+        assert!(block(&p2).joins[0].ix.is_none());
+    }
+
+    #[test]
+    fn index_operators_revoke_the_columnar_license() {
+        let db = indexed_supplier_db();
+        let stats = Statistics::collect(&db);
+        let sql = "SELECT S.SNO FROM SUPPLIER S, PARTS P \
+                   WHERE S.SNO = P.SNO AND P.COLOR = 'RED'";
+        let q = bind_query(db.catalog(), &parse_query(sql).unwrap()).unwrap();
+        let opts = PlannerOptions {
+            columnar: true,
+            ..PlannerOptions::default()
+        };
+        let p = plan_query(&q, &stats, opts);
+        let b = block(&p);
+        assert!(
+            b.ixscan.is_some() || b.joins.iter().any(|j| j.ix.is_some()),
+            "an index operator should be chosen here"
+        );
+        assert!(
+            !b.columnar,
+            "index access paths run on the serial row pipeline"
+        );
     }
 
     #[test]

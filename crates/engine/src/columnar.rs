@@ -712,7 +712,7 @@ pub(crate) fn exec_block(
     let mut tuples: Vec<u32> = scan.sel;
 
     for (k, (preds, rkeys)) in steps.iter().enumerate() {
-        let step = bp.joins[k];
+        let step = &bp.joins[k];
         let tcb = tables[bp.order[k + 1]];
         let deg = step.deg.max(1);
         let build = ColumnBatch {

@@ -17,7 +17,10 @@ use crate::setops::{combine_setop, distinct};
 use crate::stats::{Degree, DistinctMethod, ExecStats, JoinMethod};
 use std::collections::HashMap;
 use uniq_catalog::{Database, Row};
-use uniq_cost::{BlockPlan, PhysNode, PhysicalPlan};
+use uniq_cost::{
+    find_index_probe, find_index_sarg, BlockPlan, IndexProbe, IxScanInfo, PhysNode, PhysicalPlan,
+    ProbeSource,
+};
 use uniq_plan::{AttrRef, BScalar, BoundExpr, BoundQuery, BoundSpec, FromTable, HostVars};
 use uniq_sql::CmpOp;
 use uniq_types::{Error, Result, Tri, Value};
@@ -584,8 +587,18 @@ impl<'a> Executor<'a> {
         // (non-empty outer scopes) stays serial per worker.
         let t0 = &spec.from[bp.order[0]];
         let scan_deg = if outer.is_empty() { bp.scan_deg } else { 1 };
+        // Planned index access path: re-derive the sarg and serve the
+        // scan from the index when the license still holds.
+        let ix_rows = match &bp.ixscan {
+            Some(info) if scan_deg <= 1 => {
+                self.ix_scan(spec, bp.order[0], &levels[0], info, outer)?
+            }
+            _ => None,
+        };
         let mut partials: Vec<Row>;
-        if scan_deg > 1 {
+        if let Some(rows) = ix_rows {
+            partials = rows;
+        } else if scan_deg > 1 {
             let (rows, s) =
                 crate::parallel::par_scan(self, t0, &levels[0], outer, arity, scan_deg)?;
             self.stats.merge(&s);
@@ -610,10 +623,27 @@ impl<'a> Executor<'a> {
 
         let mut placed: Vec<std::ops::Range<usize>> = vec![t0.attr_range()];
         for (k, &t) in bp.order.iter().enumerate().skip(1) {
-            let step = bp.joins[k - 1];
+            let step = &bp.joins[k - 1];
             let table = &spec.from[t];
             let range = table.attr_range();
             let deg = if outer.is_empty() { step.deg } else { 1 };
+            // Planned index-nested-loop probe: the plan names the index,
+            // but the probe key is re-derived here and checked against
+            // the live catalog — on any disagreement the step falls
+            // back to its planned join method below.
+            let probe = match &step.ix {
+                Some(info) if deg <= 1 => find_index_probe(spec, t, &levels[k], &|idx| {
+                    placed.iter().any(|r| r.contains(&idx))
+                })
+                .filter(|p| p.index == info.index && self.index_fresh(table, &p.index)),
+                _ => None,
+            };
+            if let Some(p) = probe {
+                partials = self.ix_join_step(table, outer, partials, &levels[k], &p)?;
+                placed.push(range);
+                self.record(step.id, partials.len());
+                continue;
+            }
             match step.method {
                 JoinMethod::NestedLoop if deg > 1 => {
                     let (next, s) = crate::parallel::par_nl_step(
@@ -669,6 +699,175 @@ impl<'a> Executor<'a> {
             self.record(step.id, partials.len());
         }
         Ok(partials)
+    }
+
+    // --- index access paths ----------------------------------------------
+
+    /// Does the live catalog still carry exactly the index definition
+    /// this spec was bound (and planned) against? Guards every planned
+    /// index access: a cached plan can outlive a table re-creation.
+    fn index_fresh(&self, table: &FromTable, index: &str) -> bool {
+        let planned = table.schema.index(index);
+        let live = self
+            .db
+            .catalog()
+            .table(&table.schema.name)
+            .ok()
+            .and_then(|s| s.index(index));
+        planned.is_some() && planned == live
+    }
+
+    /// Serve a block's initial scan through a planned secondary index.
+    ///
+    /// The plan's [`IxScanInfo`] is a license, not a promise: the sarg
+    /// is re-derived from the spec and checked against the live catalog
+    /// before any probe. `Ok(None)` means the license no longer holds —
+    /// the caller runs the ordinary full filtered scan, so a dropped or
+    /// re-shaped index costs speed, never rows. Every conjunct of the
+    /// level is still evaluated over the returned rows; the index only
+    /// narrows which rows are visited.
+    fn ix_scan(
+        &mut self,
+        spec: &BoundSpec,
+        t: usize,
+        conjuncts: &[&BoundExpr],
+        info: &IxScanInfo,
+        outer: &[Vec<Value>],
+    ) -> Result<Option<Vec<Row>>> {
+        let Some(sarg) = find_index_sarg(spec, t, conjuncts) else {
+            return Ok(None);
+        };
+        let table = &spec.from[t];
+        if sarg.index != info.index || !self.index_fresh(table, &sarg.index) {
+            return Ok(None);
+        }
+        let Some(def) = table.schema.index(&sarg.index) else {
+            return Ok(None);
+        };
+        let full_point = sarg.full_point(def);
+        let unique = sarg.unique;
+
+        // Resolve the probe scalars (host variables bind now). A NULL
+        // component never satisfies `=` or a range bound: empty scan.
+        let mut prefix = Vec::with_capacity(sarg.prefix.len());
+        for s in &sarg.prefix {
+            let v = self.scalar(s, outer, &[])?;
+            if v.is_null() {
+                return Ok(Some(Vec::new()));
+            }
+            prefix.push(v);
+        }
+        let resolve_bound = |s: &Option<(uniq_plan::BScalar, bool)>| -> Result<_> {
+            Ok(match s {
+                Some((s, inc)) => {
+                    let v = self.scalar(s, outer, &[])?;
+                    if v.is_null() {
+                        None // `col >= NULL` is unknown for every row
+                    } else {
+                        Some((v, *inc))
+                    }
+                }
+                None => None,
+            })
+        };
+        let low = resolve_bound(&sarg.low)?;
+        let high = resolve_bound(&sarg.high)?;
+        if (sarg.low.is_some() && low.is_none()) || (sarg.high.is_some() && high.is_none()) {
+            return Ok(Some(Vec::new()));
+        }
+        fn as_bound(b: &Option<(Value, bool)>) -> std::ops::Bound<&Value> {
+            match b {
+                Some((v, true)) => std::ops::Bound::Included(v),
+                Some((v, false)) => std::ops::Bound::Excluded(v),
+                None => std::ops::Bound::Unbounded,
+            }
+        }
+
+        let db = self.db;
+        let name = &table.schema.name;
+        let positions: Vec<usize> = if full_point {
+            db.index_probe(name, &sarg.index, &prefix)?.to_vec()
+        } else {
+            db.index_range(name, &sarg.index, &prefix, as_bound(&low), as_bound(&high))?
+        };
+        self.stats.ix_probes += 1;
+        // A unique fully-bound probe is a guaranteed one-row lookup:
+        // exactly one probe step. Anything else walks its postings.
+        self.stats.probe_steps += if unique {
+            1
+        } else {
+            positions.len() as u64 + 1
+        };
+
+        let rows = db.rows(name)?;
+        let mut scratch = vec![Value::Null; spec.product_arity()];
+        let mut out = Vec::new();
+        'rows: for &p in &positions {
+            let row = &rows[p];
+            self.stats.rows_scanned += 1;
+            scratch[table.offset..table.offset + row.len()].clone_from_slice(row);
+            for c in conjuncts {
+                if !self.eval(c, outer, &scratch)?.false_interpreted() {
+                    continue 'rows;
+                }
+            }
+            out.push(scratch.clone());
+        }
+        Ok(Some(out))
+    }
+
+    /// One index-nested-loop join step: probe the named index once per
+    /// outer partial — key assembled from already-bound attributes and
+    /// constants — and join the matched rows. The probed table is never
+    /// scanned and no hash table is built; a unique index makes every
+    /// probe a guaranteed one-row lookup costing exactly one probe
+    /// step. All level conjuncts are re-evaluated over the combined
+    /// tuples, so the probe can only skip work, never change results.
+    fn ix_join_step(
+        &mut self,
+        table: &FromTable,
+        outer: &[Vec<Value>],
+        partials: Vec<Row>,
+        conjuncts: &[&BoundExpr],
+        probe: &IndexProbe,
+    ) -> Result<Vec<Row>> {
+        let range = table.attr_range();
+        let db = self.db;
+        let name = &table.schema.name;
+        let rows = db.rows(name)?;
+        let mut next = Vec::new();
+        'probe: for partial in &partials {
+            let mut key = Vec::with_capacity(probe.sources.len());
+            for src in &probe.sources {
+                let v = match src {
+                    ProbeSource::Outer(idx) => partial[*idx].clone(),
+                    ProbeSource::Const(s) => self.scalar(s, outer, partial)?,
+                };
+                if v.is_null() {
+                    continue 'probe; // `=` never matches NULL
+                }
+                key.push(v);
+            }
+            self.stats.ix_probes += 1;
+            let positions = db.index_probe(name, &probe.index, &key)?;
+            self.stats.probe_steps += if probe.unique {
+                1
+            } else {
+                positions.len() as u64 + 1
+            };
+            'matches: for &p in positions {
+                let row = &rows[p];
+                let mut tuple = partial.clone();
+                tuple[range.start..range.end].clone_from_slice(row);
+                for c in conjuncts {
+                    if !self.eval(c, outer, &tuple)?.false_interpreted() {
+                        continue 'matches;
+                    }
+                }
+                next.push(tuple);
+            }
+        }
+        Ok(next)
     }
 
     // --- expression evaluation -------------------------------------------
@@ -1195,5 +1394,107 @@ mod tests {
     fn select_all_retains_duplicates() {
         let rows = run("SELECT ALL P.COLOR FROM PARTS P WHERE P.COLOR = 'RED'");
         assert_eq!(rows.len(), 4);
+    }
+
+    fn indexed_supplier_db() -> Database {
+        let mut db = supplier_database().unwrap();
+        db.run_script(
+            "CREATE UNIQUE INDEX IDX_S_SNO ON SUPPLIER (SNO);
+             CREATE INDEX IDX_P_COLOR ON PARTS (COLOR);",
+        )
+        .unwrap();
+        db
+    }
+
+    fn cost_plan(db: &Database, q: &BoundQuery) -> PhysicalPlan {
+        let stats = uniq_cost::Statistics::collect(db);
+        uniq_cost::plan_query(q, &stats, uniq_cost::PlannerOptions::default())
+    }
+
+    #[test]
+    fn planned_index_paths_agree_with_the_oracle_and_save_work() {
+        let db = indexed_supplier_db();
+        let sql = "SELECT S.SNAME, P.PNO FROM SUPPLIER S, PARTS P \
+                   WHERE S.SNO = P.SNO AND P.COLOR = 'RED'";
+        let q = bind_query(db.catalog(), &parse_query(sql).unwrap()).unwrap();
+        let plan = cost_plan(&db, &q);
+        let hv = HostVars::new();
+        let mut via_ix = Executor::new(&db, &hv, ExecOptions::default());
+        let ix_rows = via_ix.run_with_plan(&q, Some(&plan)).unwrap();
+        let mut oracle = Executor::new(&db, &hv, ExecOptions::default());
+        let expect = oracle.run(&q).unwrap();
+        assert_eq!(sorted(ix_rows), sorted(expect));
+        // 1 ixscan probe of IDX_P_COLOR + one IxJoin probe per red part.
+        assert_eq!(via_ix.stats.ix_probes, 5, "{:?}", via_ix.stats);
+        // Unique probes cost exactly one step each; the color postings
+        // walk costs its 4 matches + 1.
+        assert_eq!(via_ix.stats.probe_steps, 4 + (4 + 1));
+        assert!(
+            via_ix.stats.rows_scanned < oracle.stats.rows_scanned,
+            "index paths must visit fewer rows ({} vs {})",
+            via_ix.stats.rows_scanned,
+            oracle.stats.rows_scanned
+        );
+        assert_eq!(via_ix.stats.hash_joins, 0, "no build side at all");
+    }
+
+    #[test]
+    fn unique_point_ixscan_reads_one_row() {
+        let db = indexed_supplier_db();
+        let q = bind_query(
+            db.catalog(),
+            &parse_query("SELECT S.SNAME FROM SUPPLIER S WHERE S.SNO = 3").unwrap(),
+        )
+        .unwrap();
+        let plan = cost_plan(&db, &q);
+        let hv = HostVars::new();
+        let mut ex = Executor::new(&db, &hv, ExecOptions::default());
+        let rows = ex.run_with_plan(&q, Some(&plan)).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(ex.stats.ix_probes, 1);
+        assert_eq!(ex.stats.probe_steps, 1, "guaranteed one-row lookup");
+        assert_eq!(ex.stats.rows_scanned, 1, "only the matched row is read");
+    }
+
+    #[test]
+    fn stale_index_license_falls_back_to_the_full_scan() {
+        // Bind and plan against an indexed catalog…
+        let db = indexed_supplier_db();
+        let sql = "SELECT S.SNAME FROM SUPPLIER S WHERE S.SNO = 3";
+        let q = bind_query(db.catalog(), &parse_query(sql).unwrap()).unwrap();
+        let plan = cost_plan(&db, &q);
+        let PhysNode::Block(b) = &plan.root else {
+            panic!("expected block")
+        };
+        assert!(b.ixscan.is_some(), "plan must carry the index license");
+        // …then execute against a database without the index: run-time
+        // re-verification fails and the full scan answers, correctly.
+        let plain = supplier_database().unwrap();
+        let hv = HostVars::new();
+        let mut ex = Executor::new(&plain, &hv, ExecOptions::default());
+        let rows = ex.run_with_plan(&q, Some(&plan)).unwrap();
+        let mut oracle = Executor::new(&plain, &hv, ExecOptions::default());
+        assert_eq!(rows, oracle.run(&q).unwrap());
+        assert_eq!(ex.stats.ix_probes, 0, "fallback never touches an index");
+        assert_eq!(ex.stats.rows_scanned, 5, "full scan of SUPPLIER");
+    }
+
+    #[test]
+    fn host_variable_probes_resolve_at_execution() {
+        let db = indexed_supplier_db();
+        let q = bind_query(
+            db.catalog(),
+            &parse_query("SELECT S.SNAME FROM SUPPLIER S WHERE S.SNO = :N").unwrap(),
+        )
+        .unwrap();
+        let plan = cost_plan(&db, &q);
+        for n in [1i64, 3, 99] {
+            let hv = HostVars::new().with("N", n);
+            let mut ex = Executor::new(&db, &hv, ExecOptions::default());
+            let rows = ex.run_with_plan(&q, Some(&plan)).unwrap();
+            let mut oracle = Executor::new(&db, &hv, ExecOptions::default());
+            assert_eq!(rows, oracle.run(&q).unwrap(), "N = {n}");
+            assert_eq!(ex.stats.ix_probes, 1);
+        }
     }
 }

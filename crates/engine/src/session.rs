@@ -552,6 +552,41 @@ mod tests {
     }
 
     #[test]
+    fn create_index_replans_cached_queries_onto_the_index() {
+        let mut s = Session::sample().unwrap().with_cost_based();
+        let sql = "SELECT S.SNAME FROM SUPPLIER S WHERE S.SNO = 3";
+        let before = s.query(sql).unwrap();
+        assert_eq!(before.stats.ix_probes, 0, "no index exists yet");
+        assert!(s.query(sql).unwrap().cache_hit);
+        s.run_script("CREATE UNIQUE INDEX IDX_S_SNO ON SUPPLIER (SNO);")
+            .unwrap();
+        let after = s.query(sql).unwrap();
+        assert!(!after.cache_hit, "CREATE INDEX must force a re-plan");
+        assert_eq!(after.rows, before.rows);
+        assert_eq!(after.stats.ix_probes, 1, "re-plan adopted the index");
+        assert_eq!(after.stats.rows_scanned, 1, "one-row unique lookup");
+        assert!(s.explain(sql).unwrap().contains("ixscan(IDX_S_SNO"));
+    }
+
+    #[test]
+    fn cached_index_plan_sees_rows_inserted_later() {
+        // INSERT maintains secondary indexes but leaves the catalog
+        // version alone, so the cached IxScan plan keeps serving — and
+        // must find the new row through the live index.
+        let mut s = Session::sample().unwrap().with_cost_based();
+        s.run_script("CREATE INDEX IDX_S_NAME ON SUPPLIER (SNAME);")
+            .unwrap();
+        let sql = "SELECT S.SNO FROM SUPPLIER S WHERE S.SNAME = 'Carver'";
+        assert_eq!(s.query(sql).unwrap().rows.len(), 0);
+        s.run_script("INSERT INTO SUPPLIER VALUES (9, 'Carver', 'Toronto', 100, 'Active');")
+            .unwrap();
+        let out = s.query(sql).unwrap();
+        assert!(out.cache_hit, "plain INSERT does not invalidate plans");
+        assert_eq!(out.rows, vec![vec![Value::Int(9)]]);
+        assert!(out.stats.ix_probes >= 1, "served through the index");
+    }
+
+    #[test]
     fn different_optimizer_options_do_not_share_plans() {
         let relational = Session::sample().unwrap();
         let mut navigational = relational.clone(); // shares the cache

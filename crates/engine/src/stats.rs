@@ -28,6 +28,13 @@ pub struct ExecStats {
     /// while the unique-key kernel costs exactly one step per probe
     /// (single slot, first-match exit, no chain to finish).
     pub probe_steps: u64,
+    /// Secondary-index probes: one per `IxScan` access and one per
+    /// outer partial of an `IxJoin` step. The work they cost lands in
+    /// `probe_steps` (exactly one step for a unique index — guaranteed
+    /// single-row lookup — otherwise one per matched position plus the
+    /// end-of-postings check); this counter just says how often the
+    /// index was consulted.
+    pub ix_probes: u64,
     /// Correlated subquery evaluations (one per outer row tested).
     pub subquery_evals: u64,
     /// Hash joins executed.
@@ -70,6 +77,7 @@ impl ExecStats {
             sorts,
             hash_probes,
             probe_steps,
+            ix_probes,
             subquery_evals,
             hash_joins,
             morsels,
@@ -83,6 +91,7 @@ impl ExecStats {
         self.sorts += sorts;
         self.hash_probes += hash_probes;
         self.probe_steps += probe_steps;
+        self.ix_probes += ix_probes;
         self.subquery_evals += subquery_evals;
         self.hash_joins += hash_joins;
         self.morsels += morsels;

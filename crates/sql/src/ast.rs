@@ -12,6 +12,8 @@ use uniq_types::{ColRef, ColumnName, DataType, HostVarName, TableName, Value};
 pub enum Statement {
     /// `CREATE TABLE …`.
     CreateTable(CreateTable),
+    /// `CREATE [UNIQUE] INDEX …`.
+    CreateIndex(CreateIndex),
     /// `INSERT INTO …`.
     Insert(Insert),
     /// A query (specification or set-operator expression).
@@ -66,6 +68,36 @@ pub enum TableConstraintAst {
         /// parent.
         parent_columns: Vec<ColumnName>,
     },
+}
+
+/// `CREATE [UNIQUE] INDEX name ON table (cols) [USING HASH | USING BTREE]`.
+///
+/// A persistent secondary index. `UNIQUE` declares the indexed columns a
+/// candidate key of the table (with the paper's §2.1 null-as-special-value
+/// semantics), which makes the index a new *source of uniqueness* for
+/// Algorithm 1 in addition to a physical access path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateIndex {
+    /// The index's name (shared namespace across the database).
+    pub name: String,
+    /// The indexed table.
+    pub table: TableName,
+    /// Indexed columns, in declaration order (the probe-key prefix order).
+    pub columns: Vec<ColumnName>,
+    /// `UNIQUE` was specified: at most one row per key value.
+    pub unique: bool,
+    /// The physical structure backing the index.
+    pub kind: IndexKindAst,
+}
+
+/// The physical structure of a secondary index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexKindAst {
+    /// Ordered index (`USING BTREE`, the default): supports point probes
+    /// and range scans.
+    BTree,
+    /// Hash index (`USING HASH`): point probes only.
+    Hash,
 }
 
 /// `INSERT INTO table [(cols)] VALUES (…), (…)…`.

@@ -97,6 +97,11 @@ pub const KEYWORDS: &[&str] = &[
     "FALSE",
     "FOREIGN",
     "REFERENCES",
+    "INDEX",
+    "ON",
+    "USING",
+    "HASH",
+    "BTREE",
 ];
 
 fn keyword_of(word: &str) -> Option<&'static str> {

@@ -3,7 +3,9 @@
 //! Grammar (paper §2):
 //!
 //! ```text
-//! statement   := create_table | insert | query
+//! statement   := create_table | create_index | insert | query
+//! create_index:= CREATE [UNIQUE] INDEX name ON table '(' column (',' column)* ')'
+//!                [USING (HASH | BTREE)]
 //! query       := spec (set_op [ALL] spec)*        -- left associative
 //! spec        := SELECT [ALL|DISTINCT] projection FROM table_ref (',' table_ref)*
 //!                [WHERE condition]
@@ -173,12 +175,45 @@ impl Parser {
 
     fn statement(&mut self) -> Result<Statement> {
         if self.at_kw("CREATE") {
-            Ok(Statement::CreateTable(self.create_table()?))
+            match self.peek2() {
+                TokenKind::Keyword("UNIQUE") | TokenKind::Keyword("INDEX") => {
+                    Ok(Statement::CreateIndex(self.create_index()?))
+                }
+                _ => Ok(Statement::CreateTable(self.create_table()?)),
+            }
         } else if self.at_kw("INSERT") {
             Ok(Statement::Insert(self.insert()?))
         } else {
             Ok(Statement::Query(self.query()?))
         }
+    }
+
+    fn create_index(&mut self) -> Result<CreateIndex> {
+        self.expect_kw("CREATE")?;
+        let unique = self.eat_kw("UNIQUE");
+        self.expect_kw("INDEX")?;
+        let name = self.ident("index name")?;
+        self.expect_kw("ON")?;
+        let table = self.ident("table name")?.into();
+        let columns = self.column_name_list()?;
+        let kind = if self.eat_kw("USING") {
+            if self.eat_kw("HASH") {
+                IndexKindAst::Hash
+            } else if self.eat_kw("BTREE") {
+                IndexKindAst::BTree
+            } else {
+                return Err(self.unexpected("HASH or BTREE"));
+            }
+        } else {
+            IndexKindAst::BTree
+        };
+        Ok(CreateIndex {
+            name,
+            table,
+            columns,
+            unique,
+            kind,
+        })
     }
 
     fn create_table(&mut self) -> Result<CreateTable> {
@@ -641,6 +676,38 @@ mod tests {
             Projection::Star => panic!("expected explicit projection"),
         }
         assert!(spec.where_clause.is_some());
+    }
+
+    #[test]
+    fn parses_create_index() {
+        let s = parse_statement("create unique index IDX_OEM on PARTS (OEM-PNO)").unwrap();
+        match s {
+            Statement::CreateIndex(ci) => {
+                assert_eq!(ci.name, "IDX_OEM");
+                assert_eq!(ci.table, "PARTS".into());
+                assert_eq!(ci.columns, vec!["OEM-PNO".into()]);
+                assert!(ci.unique);
+                assert_eq!(ci.kind, IndexKindAst::BTree);
+            }
+            other => panic!("expected CREATE INDEX, got {other:?}"),
+        }
+        let s = parse_statement("CREATE INDEX I ON T (A, B) USING HASH").unwrap();
+        match s {
+            Statement::CreateIndex(ci) => {
+                assert!(!ci.unique);
+                assert_eq!(ci.columns.len(), 2);
+                assert_eq!(ci.kind, IndexKindAst::Hash);
+            }
+            other => panic!("expected CREATE INDEX, got {other:?}"),
+        }
+        // CREATE TABLE still dispatches through the same keyword.
+        assert!(matches!(
+            parse_statement("CREATE TABLE T (A INTEGER)").unwrap(),
+            Statement::CreateTable(_)
+        ));
+        // Malformed shapes fail cleanly.
+        assert!(parse_statement("CREATE INDEX I ON T (A) USING ROPE").is_err());
+        assert!(parse_statement("CREATE UNIQUE INDEX I T (A)").is_err());
     }
 
     #[test]

@@ -12,9 +12,27 @@ impl fmt::Display for Statement {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Statement::CreateTable(ct) => ct.fmt(f),
+            Statement::CreateIndex(ci) => ci.fmt(f),
             Statement::Insert(i) => i.fmt(f),
             Statement::Query(q) => q.fmt(f),
         }
+    }
+}
+
+impl fmt::Display for CreateIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CREATE {}INDEX {} ON {} ({})",
+            if self.unique { "UNIQUE " } else { "" },
+            self.name,
+            self.table,
+            join(&self.columns, ", ")
+        )?;
+        if self.kind == IndexKindAst::Hash {
+            f.write_str(" USING HASH")?;
+        }
+        Ok(())
     }
 }
 
@@ -324,6 +342,25 @@ mod tests {
         let s1 = parse_statement(sql).unwrap();
         let s2 = parse_statement(&s1.to_string()).unwrap();
         assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn create_index_roundtrips() {
+        // Parse → print → parse must be a fixpoint for the index DDL in
+        // every shape: unique/plain, single/multi column, hash/btree.
+        for sql in [
+            "CREATE UNIQUE INDEX IDX_SNO ON SUPPLIER (SNO)",
+            "CREATE INDEX IDX_COLOR ON PARTS (COLOR)",
+            "CREATE INDEX IDX_SP ON PARTS (SNO, PNO)",
+            "CREATE UNIQUE INDEX IDX_OEM ON PARTS (OEM-PNO) USING HASH",
+            "create index idx_city on supplier (scity) using btree",
+        ] {
+            let s1 = parse_statement(sql).unwrap();
+            let printed = s1.to_string();
+            let s2 = parse_statement(&printed)
+                .unwrap_or_else(|e| panic!("printed DDL failed to parse: {printed}\nerror: {e}"));
+            assert_eq!(s1, s2, "round-trip changed the AST for: {printed}");
+        }
     }
 
     #[test]

@@ -114,6 +114,20 @@ pub fn scaled_database(config: &ScaleConfig) -> Result<Database> {
     Ok(db)
 }
 
+/// The benchmark index set: a unique index on the supplier key (every
+/// probe is a guaranteed one-row lookup) and a non-unique ordered index
+/// on the part color (sargable point and range scans). These are the two
+/// access paths E19 contrasts with full-scan plans.
+pub const INDEX_DDL: &str = "CREATE UNIQUE INDEX IDX_S_SNO ON SUPPLIER (SNO);
+     CREATE INDEX IDX_P_COLOR ON PARTS (COLOR);";
+
+/// A scaled database with the benchmark secondary indexes built.
+pub fn indexed_database(config: &ScaleConfig) -> Result<Database> {
+    let mut db = scaled_database(config)?;
+    db.run_script(INDEX_DDL)?;
+    Ok(db)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,6 +144,24 @@ mod tests {
         assert_eq!(db.row_count(&"SUPPLIER".into()).unwrap(), 50);
         assert_eq!(db.row_count(&"PARTS".into()).unwrap(), 200);
         assert_eq!(db.row_count(&"AGENTS".into()).unwrap(), 100);
+    }
+
+    #[test]
+    fn indexed_database_carries_the_benchmark_indexes() {
+        let cfg = ScaleConfig {
+            suppliers: 20,
+            ..Default::default()
+        };
+        let db = indexed_database(&cfg).unwrap();
+        let supplier = db.catalog().table(&"SUPPLIER".into()).unwrap();
+        let sno = supplier.index("IDX_S_SNO").unwrap();
+        assert!(sno.unique, "supplier key index registers as unique");
+        assert!(db
+            .catalog()
+            .table(&"PARTS".into())
+            .unwrap()
+            .index("IDX_P_COLOR")
+            .is_some());
     }
 
     #[test]

@@ -12,5 +12,5 @@ pub mod rng;
 
 pub use corpus::{generate_corpus, CorpusQuery, CorpusStats};
 pub use driver::{run_batch, BatchOptions, BatchReport};
-pub use gen::{scaled_database, scaled_schema, ScaleConfig};
+pub use gen::{indexed_database, scaled_database, scaled_schema, ScaleConfig, INDEX_DDL};
 pub use instance::{columnar_session_pair, random_instance};
