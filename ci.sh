@@ -39,6 +39,10 @@ cargo test -q -p uniq-engine index
 cargo test -q -p uniqueness --test index_agreement
 cargo test -q -p uniq-bench e19
 
+echo "==> fast lane: U-semiring proof checker (soundness + adversarial corpus)"
+cargo test -q -p uniq-proof
+cargo test -q -p uniqueness --test proof_soundness
+
 echo "==> fast lane: parallel/serial agreement at a 2-worker degree"
 # --test-threads=1 keeps the 2-worker morsel pools from oversubscribing
 # the CI host, so the lane's timing stays predictable.

@@ -14,7 +14,7 @@
 //! strategy alone.
 
 use uniqueness::core::pipeline::{OptimizerOptions, RewriteStep};
-use uniqueness::core::rules::{RewriteRule, RuleContext, RuleStats};
+use uniqueness::core::rules::{ProofStatus, RewriteRule, RuleContext, RuleStats};
 use uniqueness::core::unbind::unbind_query;
 use uniqueness::plan::BoundQuery;
 
@@ -61,8 +61,11 @@ pub fn optimize_root_restart(options: &OptimizerOptions, query: &BoundQuery) -> 
                     rule,
                     theorem,
                     why,
+                    proof: ProofStatus::default(),
                     sql_before: render(&current),
                     sql_after: render(&next),
+                    before: current.clone(),
+                    after: next.clone(),
                 });
                 current = next;
             }
@@ -87,7 +90,7 @@ fn apply_first(
 ) -> Option<(BoundQuery, &'static str, &'static str, String)> {
     for rule in rules {
         if let Some((next, j)) = cx.try_rule(rule.as_ref(), node) {
-            return Some((next, rule.name(), j.theorem, j.detail));
+            return Some((next, rule.name(), j.theorem(), j.detail()));
         }
     }
     if let BoundQuery::SetOp {

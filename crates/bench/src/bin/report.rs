@@ -11,9 +11,10 @@ use std::time::Duration;
 use uniq_bench::baseline::optimize_root_restart;
 use uniq_bench::{
     e15_exists_chain, e15_union_chain, e16_contenders, e16_corpus, e17_corpus, e18_contenders,
-    e18_corpus, e18_work, e19_contenders, e19_corpus, e19_point_lookups, e19_work, fmt_duration,
-    median_time, scaled_session, total_work, E17_UNIQUE_JOIN, E18_JOIN_DISTINCT, E18_UNIQUE_PROBE,
-    E19_INDEX_JOIN, E2_QUERY, E4_QUERY, E5_QUERY,
+    e18_corpus, e18_work, e19_contenders, e19_corpus, e19_point_lookups, e19_work, e20_corpus,
+    fmt_duration, median_time, scaled_session, total_work, E17_UNIQUE_JOIN, E18_JOIN_DISTINCT,
+    E18_UNIQUE_PROBE, E19_INDEX_JOIN, E20_PUSHDOWN_BLOCKED, E20_PUSHDOWN_OK, E20_UNION_BOUND,
+    E2_QUERY, E4_QUERY, E5_QUERY,
 };
 use uniqueness::core::algorithm1::{algorithm1, Algorithm1Options};
 use uniqueness::core::analysis::unique_projection;
@@ -139,12 +140,151 @@ fn main() {
     if want("e19") {
         e19_index_access(&mut metrics);
     }
+    if want("e20") {
+        e20_proof_checker(&mut metrics);
+    }
 
     if !metrics.rows.is_empty() {
-        let path = "BENCH_E19.json";
+        let path = "BENCH_E20.json";
         std::fs::write(path, metrics.to_json()).expect("write metric rows");
         println!("\nwrote {} metric row(s) to {path}", metrics.rows.len());
     }
+}
+
+/// E20 — the U-semiring proof checker over the standard rewrite corpus:
+/// per-rule proved/unknown counts and checker time under both optimizer
+/// profiles. Asserts (1) at least 80% of fired steps carry a symbolic
+/// proof, (2) the proof-gated DISTINCT pushdown fires exactly when its
+/// FD precondition holds, and (3) the Chen–Schneider UNION bound caps a
+/// distinct UNION plan strictly below the additive operand estimate.
+fn e20_proof_checker(m: &mut Metrics) {
+    header(
+        "E20",
+        "proof-carrying rewrites: checker coverage + UNION bounds",
+    );
+    let db = uniqueness::catalog::sample::supplier_database().expect("sample database");
+    let corpus = e20_corpus();
+    println!(
+        "corpus: {} statements, both optimizer profiles\n",
+        corpus.len()
+    );
+
+    // Per-rule accumulation across every optimize() call.
+    let mut per_rule: HashMap<String, (u64, u64, u64)> = HashMap::new();
+    for options in [
+        OptimizerOptions::relational(),
+        OptimizerOptions::navigational(),
+    ] {
+        let optimizer = Optimizer::new(options);
+        for sql in &corpus {
+            let bound = bind_query(db.catalog(), &parse_query(sql).expect("parse")).expect("bind");
+            let outcome = optimizer.optimize(&bound);
+            for rs in &outcome.trace.rule_stats {
+                let slot = per_rule.entry(rs.rule.clone()).or_default();
+                slot.0 += rs.fires;
+                slot.1 += rs.proved;
+                slot.2 += rs.proof_nanos;
+            }
+        }
+    }
+
+    println!(
+        "{:<22} {:>7} {:>7} {:>8} {:>12}",
+        "rule", "fired", "proved", "unknown", "checker time"
+    );
+    let (mut fired, mut proved, mut checker_ns) = (0u64, 0u64, 0u64);
+    let mut rules: Vec<_> = per_rule.iter().filter(|(_, v)| v.0 > 0).collect();
+    rules.sort_by(|a, b| b.1 .0.cmp(&a.1 .0).then(a.0.cmp(b.0)));
+    for (rule, (f, p, ns)) in rules {
+        println!(
+            "{:<22} {:>7} {:>7} {:>8} {:>12}",
+            rule,
+            f,
+            p,
+            f - p,
+            fmt_duration(Duration::from_nanos(*ns))
+        );
+        m.push("E20", &format!("fired_{rule}"), *f as f64, false);
+        m.push("E20", &format!("proved_{rule}"), *p as f64, false);
+        fired += f;
+        proved += p;
+        checker_ns += ns;
+    }
+    let pct = 100.0 * proved as f64 / fired as f64;
+    println!(
+        "\ntotal: {proved}/{fired} fired steps proved ({pct:.1}%), checker time {}",
+        fmt_duration(Duration::from_nanos(checker_ns))
+    );
+    assert!(
+        proved * 5 >= fired * 4,
+        "proved fraction below the 80% bar: {proved}/{fired}"
+    );
+    m.push("E20", "steps_fired", fired as f64, false);
+    m.push("E20", "steps_proved", proved as f64, true);
+    m.push("E20", "proved_pct", pct, true);
+    m.push("E20", "checker_ns", checker_ns as f64, false);
+
+    // Proof-gated DISTINCT pushdown: fires exactly under the FD
+    // precondition, and only with a Proved justification.
+    let optimizer = Optimizer::new(OptimizerOptions::navigational());
+    let fires = |sql: &str| {
+        let bound = bind_query(db.catalog(), &parse_query(sql).expect("parse")).expect("bind");
+        let outcome = optimizer.optimize(&bound);
+        outcome
+            .trace
+            .steps
+            .iter()
+            .find(|s| s.rule == "distinct-pushdown")
+            .map(|s| s.proof.is_proved())
+    };
+    assert_eq!(
+        fires(E20_PUSHDOWN_OK),
+        Some(true),
+        "pushdown must fire (proved) when the projection covers the kept key"
+    );
+    assert_eq!(
+        fires(E20_PUSHDOWN_BLOCKED),
+        None,
+        "pushdown must refuse a non-key projection"
+    );
+    println!("DISTINCT pushdown: fires proved on the key-covered shape, refused otherwise");
+    m.push("E20", "pushdown_gated", 1.0, true);
+
+    // UNION-aware hard bound: the distinct UNION estimate is capped by
+    // the merged domains, strictly below the additive operand sum.
+    let stats = uniqueness::cost::Statistics::collect(&db);
+    let bound =
+        bind_query(db.catalog(), &parse_query(E20_UNION_BOUND).expect("parse")).expect("bind");
+    let plan = uniqueness::cost::plan_query(
+        &bound,
+        &stats,
+        uniqueness::cost::PlannerOptions {
+            cost_based: true,
+            ..Default::default()
+        },
+    );
+    let uniqueness::cost::PhysNode::SetOp {
+        id, left, right, ..
+    } = &plan.root
+    else {
+        panic!("expected a set-operation root");
+    };
+    let node_est = |n: &uniqueness::cost::PhysNode| match n {
+        uniqueness::cost::PhysNode::Block(b) => plan.ops[b.project].est,
+        uniqueness::cost::PhysNode::SetOp { id, .. } => plan.ops[*id].est,
+    };
+    let additive = node_est(left) + node_est(right);
+    let capped = plan.ops[*id].est;
+    println!(
+        "UNION bound: operands sum to {additive}, distinct UNION capped at {capped} \
+         (merged city domains)"
+    );
+    assert!(
+        capped < additive,
+        "UNION cap {capped} not strictly tighter than additive {additive}"
+    );
+    m.push("E20", "union_additive_est", additive as f64, false);
+    m.push("E20", "union_capped_est", capped as f64, true);
 }
 
 /// E19 — persistent secondary indexes: the same cost-based row executor

@@ -320,6 +320,70 @@ pub fn e19_work(stats: &ExecStats) -> u64 {
     e18_work(stats)
 }
 
+/// The E20 standard rewrite corpus: hand-written shapes that fire all
+/// seven rules under the two optimizer profiles, plus a slice of the
+/// generated corpus — the population over which the proof checker's
+/// proved fraction is measured.
+pub fn e20_corpus() -> Vec<String> {
+    let mut corpus: Vec<String> = [
+        // Theorem 1: DISTINCT over a key-projecting join.
+        "SELECT DISTINCT S.SNO, P.PNO, P.PNAME FROM SUPPLIER S, PARTS P \
+         WHERE S.SNO = P.SNO AND P.COLOR = 'RED'",
+        // Theorem 2 / Corollary 1: EXISTS merges.
+        "SELECT ALL S.SNO, S.SNAME FROM SUPPLIER S WHERE EXISTS \
+         (SELECT * FROM PARTS P WHERE S.SNO = P.SNO AND P.PNO = 2)",
+        "SELECT ALL S.SNO FROM SUPPLIER S WHERE EXISTS \
+         (SELECT * FROM PARTS P WHERE P.SNO = S.SNO AND P.COLOR = 'RED')",
+        // Theorem 3 / Corollary 2: set-operation lowerings.
+        "SELECT ALL S.SNO FROM SUPPLIER S WHERE S.SCITY = 'Toronto' INTERSECT \
+         SELECT ALL A.SNO FROM AGENTS A WHERE A.ACITY = 'Ottawa' OR A.ACITY = 'Hull'",
+        "SELECT ALL S.SNO FROM SUPPLIER S EXCEPT \
+         SELECT ALL A.SNO FROM AGENTS A WHERE A.ACITY = 'Ottawa'",
+        // §7: join elimination via the FK inclusion dependency.
+        "SELECT ALL P.PNO, P.PNAME FROM SUPPLIER S, PARTS P WHERE S.SNO = P.SNO",
+        // §6: join → subquery (navigational profile).
+        "SELECT ALL S.SNO, S.SNAME, S.SCITY, S.BUDGET, S.STATUS \
+         FROM SUPPLIER S, PARTS P WHERE S.SNO = P.SNO AND P.PNO = 2",
+        // Proof-gated DISTINCT pushdown (navigational profile).
+        E20_PUSHDOWN_OK,
+        // Cascades and multi-site firings.
+        "SELECT DISTINCT S.SNO, S.SNAME FROM SUPPLIER S WHERE EXISTS \
+         (SELECT * FROM PARTS P WHERE P.SNO = S.SNO AND P.PNO = 1) AND EXISTS \
+         (SELECT * FROM AGENTS A WHERE A.SNO = S.SNO AND A.ANO = 2)",
+        "SELECT DISTINCT S.SNO FROM SUPPLIER S WHERE S.SCITY = 'Toronto' \
+         UNION ALL SELECT DISTINCT S.SNO FROM SUPPLIER S WHERE S.SCITY = 'Ottawa'",
+    ]
+    .into_iter()
+    .map(String::from)
+    .collect();
+    for seed in [5u64, 23, 41] {
+        corpus.extend(
+            generate_corpus(seed, 6, 0)
+                .expect("corpus generation")
+                .into_iter()
+                .map(|q| q.sql),
+        );
+    }
+    corpus
+}
+
+/// The E20 DISTINCT-pushdown pair: the first satisfies the rule's FD
+/// precondition (the remaining projection covers the `SUPPLIER` key,
+/// so eliding the `DISTINCT` is provable), the second projects a
+/// non-key column and must be refused — the checker, not the rule,
+/// makes that call.
+pub const E20_PUSHDOWN_OK: &str =
+    "SELECT DISTINCT S.SNO, S.SNAME FROM SUPPLIER S, PARTS P WHERE S.SNO = P.SNO";
+/// See [`E20_PUSHDOWN_OK`].
+pub const E20_PUSHDOWN_BLOCKED: &str =
+    "SELECT DISTINCT S.SCITY FROM SUPPLIER S, PARTS P WHERE S.SNO = P.SNO";
+
+/// The E20 UNION bound demo: neither operand block is duplicate-free,
+/// yet the distinct `UNION` is hard-bounded by its merged city domains
+/// — strictly tighter than the additive operand estimate.
+pub const E20_UNION_BOUND: &str =
+    "SELECT S.SCITY FROM SUPPLIER S UNION SELECT A.ACITY FROM AGENTS A";
+
 /// Format a `Duration` compactly for tables.
 pub fn fmt_duration(d: Duration) -> String {
     let micros = d.as_micros();

@@ -13,11 +13,15 @@
 //!   redundant-`DISTINCT` removal (Theorem 1), subquery → join (Theorem 2
 //!   and Corollary 1), `INTERSECT [ALL]` → `EXISTS` (Theorem 3 and
 //!   Corollary 2), `EXCEPT [ALL]` → `NOT EXISTS` (the extension the paper
-//!   mentions but elides for space), and join → subquery for navigational
-//!   back-ends (§6).
+//!   mentions but elides for space), join → subquery for navigational
+//!   back-ends (§6), and the proof-gated `DISTINCT` pushdown (Corollary 1
+//!   read right-to-left, fired only on a symbolic proof).
 //! * [`rules`] — the rule engine: the [`rules::RewriteRule`] trait every
 //!   rewrite implements and the [`rules::RuleContext`] (uniqueness memo +
-//!   per-rule stats) the driver threads through every invocation.
+//!   per-rule stats + the `uniq-proof` equivalence checker) the driver
+//!   threads through every invocation. Every fired step carries a
+//!   [`rules::ProofStatus`]: symbolically `Proved`, or `PropertyTested`
+//!   by the execution-equivalence oracle.
 //! * [`pipeline`] — an [`pipeline::Optimizer`] that drives a registry of
 //!   rules to fixpoint over a bound query with a single bottom-up
 //!   traversal per pass, and reports each step in both prose and
@@ -40,5 +44,5 @@ pub mod unbind;
 pub use algorithm1::{algorithm1, Algorithm1Options, Algorithm1Outcome};
 pub use analysis::{derived_fds, single_tuple_condition, unique_projection, UniquenessReport};
 pub use pipeline::{OptimizeOutcome, Optimizer, OptimizerOptions, RewriteStep, RewriteTrace};
-pub use rules::{Justification, RewriteRule, RuleContext, RuleStats};
+pub use rules::{Justification, ProofStatus, RewriteRule, RuleContext, RuleStats};
 pub use unbind::unbind_query;

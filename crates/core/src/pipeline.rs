@@ -26,10 +26,10 @@
 
 use crate::rewrite::distinct::UniquenessTest;
 use crate::rewrite::{
-    DistinctRemoval, ExceptToNotExists, IntersectToExists, JoinElimination, JoinToSubquery,
-    SubqueryToJoin,
+    DistinctPushdown, DistinctRemoval, ExceptToNotExists, IntersectToExists, JoinElimination,
+    JoinToSubquery, SubqueryToJoin,
 };
-use crate::rules::{RewriteRule, RuleContext, RuleStats};
+use crate::rules::{ProofStatus, RewriteRule, RuleContext, RuleStats};
 use crate::unbind::unbind_query;
 use uniq_plan::BoundQuery;
 
@@ -47,6 +47,14 @@ pub struct OptimizerOptions {
     /// Rule 6: §7 join elimination via foreign keys (future-work
     /// extension).
     pub join_elimination: bool,
+    /// Rule 7: push a `DISTINCT` through a key-covered join, demoting
+    /// the unprojected side to an `EXISTS` semijoin and eliding the
+    /// `DISTINCT` (Corollary 1 read right-to-left). Fires only when the
+    /// symbolic checker proves the pair equivalent. Off in the
+    /// relational profile — it is the exact inverse of
+    /// [`subquery_to_join`](OptimizerOptions::subquery_to_join)'s
+    /// Corollary 1 case and the two would cycle.
+    pub distinct_pushdown: bool,
     /// Which uniqueness test(s) rules may consult.
     pub test: UniquenessTest,
     /// Upper bound on total rule firings (defensive; the rules are
@@ -63,6 +71,7 @@ impl OptimizerOptions {
             setops_to_exists: true,
             join_to_subquery: false,
             join_elimination: true,
+            distinct_pushdown: false,
             test: UniquenessTest::Both,
             max_steps: 32,
         }
@@ -76,6 +85,7 @@ impl OptimizerOptions {
             setops_to_exists: true,
             join_to_subquery: true,
             join_elimination: true,
+            distinct_pushdown: true,
             test: UniquenessTest::Both,
             max_steps: 32,
         }
@@ -89,6 +99,7 @@ impl OptimizerOptions {
             setops_to_exists: false,
             join_to_subquery: false,
             join_elimination: false,
+            distinct_pushdown: false,
             test: UniquenessTest::Both,
             max_steps: 0,
         }
@@ -97,6 +108,12 @@ impl OptimizerOptions {
     /// Select the uniqueness test (builder style).
     pub fn with_test(mut self, test: UniquenessTest) -> OptimizerOptions {
         self.test = test;
+        self
+    }
+
+    /// Toggle the proof-gated `DISTINCT` pushdown (builder style).
+    pub fn with_distinct_pushdown(mut self, on: bool) -> OptimizerOptions {
+        self.distinct_pushdown = on;
         self
     }
 
@@ -113,6 +130,9 @@ impl OptimizerOptions {
         }
         if self.join_elimination {
             rules.push(Box::new(JoinElimination));
+        }
+        if self.distinct_pushdown {
+            rules.push(Box::new(DistinctPushdown));
         }
         if self.subquery_to_join {
             rules.push(Box::new(SubqueryToJoin));
@@ -134,7 +154,7 @@ impl Default for OptimizerOptions {
 }
 
 /// One applied rewrite.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RewriteStep {
     /// Short rule identifier (`"distinct-removal"`, …).
     pub rule: &'static str,
@@ -142,6 +162,16 @@ pub struct RewriteStep {
     pub theorem: &'static str,
     /// Prose justification naming the licensing theorem.
     pub why: String,
+    /// Symbolically proved equivalent, or relying on the property-test
+    /// oracle. Set by the driver (or by a proof-gated rule) at fire
+    /// time.
+    pub proof: ProofStatus,
+    /// The rewritten subtree before this step, in bound form — the
+    /// exact node the rule saw, retained so equivalence tooling needs
+    /// no re-parse.
+    pub before: BoundQuery,
+    /// The rewritten subtree after this step, in bound form.
+    pub after: BoundQuery,
     /// The full query before this step, rendered as SQL.
     pub sql_before: String,
     /// The full query after this step, rendered as SQL.
@@ -152,7 +182,7 @@ pub struct RewriteStep {
 /// the per-rule counters, and the fixpoint shape (passes, memo hits).
 /// This is the object that travels up through the engine session, the
 /// plan cache, `EXPLAIN`, the batch driver, and the bench report.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RewriteTrace {
     /// Every step applied, in order (empty = nothing fired).
     pub steps: Vec<RewriteStep>,
@@ -327,10 +357,21 @@ impl Optimizer {
             }
             for rule in &self.rules {
                 if let Some((next, justification)) = cx.try_rule(rule.as_ref(), &node) {
+                    // Every fired step gets a proof status: keep one a
+                    // proof-gated rule attached, otherwise run the
+                    // symbolic checker on the before/after pair now.
+                    let justification = if justification.proof().is_some_and(|p| p.is_proved()) {
+                        cx.tally_proved(rule.name());
+                        justification
+                    } else {
+                        let status = cx.prove_step(rule.name(), &node, &next);
+                        justification.with_proof(status)
+                    };
                     steps.push(RewriteStep {
                         rule: rule.name(),
-                        theorem: justification.theorem,
-                        why: justification.detail,
+                        theorem: justification.theorem(),
+                        why: justification.detail(),
+                        proof: justification.proof().cloned().unwrap_or_default(),
                         sql_before: wrap_sql(
                             render(&node),
                             matches!(node, BoundQuery::SetOp { .. }),
@@ -339,6 +380,8 @@ impl Optimizer {
                             render(&next),
                             matches!(next, BoundQuery::SetOp { .. }),
                         ),
+                        before: node,
+                        after: next.clone(),
                     });
                     node = next;
                     continue 'quiesce;

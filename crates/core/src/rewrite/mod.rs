@@ -15,11 +15,13 @@
 
 pub mod distinct;
 pub mod join_elim;
+pub mod pushdown;
 pub mod setops;
 pub mod subquery;
 pub mod util;
 
 pub use distinct::{remove_redundant_distinct, DistinctRemoval, UniquenessMemo};
 pub use join_elim::{eliminate_join, JoinElimination};
+pub use pushdown::{push_down_distinct, DistinctPushdown};
 pub use setops::{except_to_not_exists, intersect_to_exists, ExceptToNotExists, IntersectToExists};
 pub use subquery::{join_to_subquery, subquery_to_join, JoinToSubquery, SubqueryToJoin};

@@ -27,32 +27,9 @@
 use crate::rewrite::distinct::{UniquenessMemo, UniquenessTest};
 use std::time::Instant;
 use uniq_plan::{BoundQuery, BoundSpec};
+use uniq_proof::check_equiv;
 
-/// Why a rule fired: the licensing theorem plus a prose explanation.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Justification {
-    /// The theorem/corollary/section that licenses this firing.
-    pub theorem: &'static str,
-    /// Prose detail (names the theorem again, plus the side conditions
-    /// that were verified).
-    pub detail: String,
-}
-
-impl Justification {
-    /// A justification citing `theorem`, explained by `detail`.
-    pub fn new(theorem: &'static str, detail: impl Into<String>) -> Justification {
-        Justification {
-            theorem,
-            detail: detail.into(),
-        }
-    }
-}
-
-impl std::fmt::Display for Justification {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.detail)
-    }
-}
+pub use uniq_proof::{Justification, ProofStatus};
 
 /// A semantic rewrite rule. See the module docs for the contract.
 ///
@@ -101,6 +78,12 @@ pub struct RuleStats {
     pub fires: u64,
     /// Uniqueness-test verdicts the rule consulted (memoized or not).
     pub uniqueness_tests: u64,
+    /// Fired steps whose before/after pair the symbolic equivalence
+    /// checker proved (the rest fall back to the property-test oracle).
+    pub proved: u64,
+    /// Wall-clock nanoseconds spent inside the equivalence checker on
+    /// this rule's steps.
+    pub proof_nanos: u64,
     /// Wall-clock nanoseconds spent inside the rule (side-condition
     /// checks included; uniqueness tests it triggered included).
     pub nanos: u64,
@@ -113,6 +96,8 @@ impl RuleStats {
         self.attempts += other.attempts;
         self.fires += other.fires;
         self.uniqueness_tests += other.uniqueness_tests;
+        self.proved += other.proved;
+        self.proof_nanos += other.proof_nanos;
         self.nanos += other.nanos;
     }
 }
@@ -158,6 +143,47 @@ impl RuleContext {
             ..RuleStats::default()
         });
         self.stats.len() - 1
+    }
+
+    /// Run the symbolic equivalence checker on a fired step's
+    /// before/after pair, attributing the checker time — and a `proved`
+    /// tally on success — to `rule`. Called by the fixpoint driver once
+    /// per step whose justification does not already carry a proof.
+    pub fn prove_step(
+        &mut self,
+        rule: &str,
+        before: &BoundQuery,
+        after: &BoundQuery,
+    ) -> ProofStatus {
+        let slot = self.register(rule);
+        let started = Instant::now();
+        let status = check_equiv(before, after).into_status();
+        let stats = &mut self.stats[slot];
+        stats.proof_nanos += started.elapsed().as_nanos() as u64;
+        stats.proved += u64::from(status.is_proved());
+        status
+    }
+
+    /// In-rule variant of [`RuleContext::prove_step`]: check a
+    /// *prospective* rewrite, attributed to the rule currently being
+    /// attempted. Proof-gated rules (DISTINCT pushdown) call this to
+    /// decide whether to fire at all; only the checker time is recorded
+    /// here — the `proved` tally is kept by the driver, which counts
+    /// each *fired* step exactly once.
+    pub fn prove(&mut self, before: &BoundQuery, after: &BoundQuery) -> ProofStatus {
+        let started = Instant::now();
+        let status = check_equiv(before, after).into_status();
+        if let Some(i) = self.current {
+            self.stats[i].proof_nanos += started.elapsed().as_nanos() as u64;
+        }
+        status
+    }
+
+    /// Tally a fired step that already carries a `Proved` status (the
+    /// rule ran the checker itself as its firing gate).
+    pub fn tally_proved(&mut self, rule: &str) {
+        let slot = self.register(rule);
+        self.stats[slot].proved += 1;
     }
 
     /// Memoized "is this block's result provably duplicate-free?",
@@ -288,6 +314,8 @@ mod tests {
             attempts: 1,
             fires: 1,
             uniqueness_tests: 2,
+            proved: 1,
+            proof_nanos: 7,
             nanos: 10,
         };
         a.absorb(&RuleStats {
@@ -295,11 +323,14 @@ mod tests {
             attempts: 3,
             fires: 0,
             uniqueness_tests: 1,
+            proved: 0,
+            proof_nanos: 3,
             nanos: 5,
         });
         assert_eq!(
             (a.attempts, a.fires, a.uniqueness_tests, a.nanos),
             (4, 1, 3, 15)
         );
+        assert_eq!((a.proved, a.proof_nanos), (1, 10));
     }
 }

@@ -23,8 +23,8 @@
 
 use crate::stats::{ColumnStats, Statistics};
 use uniq_core::rewrite::distinct::{is_provably_unique, UniquenessTest};
-use uniq_plan::{BScalar, BoundExpr, BoundSpec};
-use uniq_sql::CmpOp;
+use uniq_plan::{BScalar, BoundExpr, BoundQuery, BoundSpec};
+use uniq_sql::{CmpOp, SetOp};
 use uniq_types::TableName;
 
 /// Rows assumed for a table with no collected statistics.
@@ -170,6 +170,98 @@ impl<'a> Estimator<'a> {
         is_provably_unique(spec, UniquenessTest::Both)?;
         Some(self.projection_domain(spec))
     }
+
+    /// Per-output-column active-domain sizes of a whole query tree —
+    /// the SPJU extension of [`Estimator::projection_domain`]. A block
+    /// contributes its projected columns' stored domains; a set
+    /// operation combines the operands' domains column-wise: a `UNION`
+    /// output value comes from either side (`dom_l + dom_r` is an upper
+    /// bound on the merged value set), an `INTERSECT` value from both
+    /// (`min`), an `EXCEPT` value only from the left. `ALL` never
+    /// changes the domains — only how many copies of each value
+    /// survive.
+    pub fn output_domains(&self, query: &BoundQuery) -> Vec<f64> {
+        match query {
+            BoundQuery::Spec(spec) => spec
+                .projection
+                .iter()
+                .map(|p| self.attr_domain(spec, p.attr))
+                .collect(),
+            BoundQuery::SetOp {
+                op, left, right, ..
+            } => {
+                let l = self.output_domains(left);
+                let r = self.output_domains(right);
+                l.iter()
+                    .zip(&r)
+                    .map(|(a, b)| match op {
+                        SetOp::Union => a + b,
+                        SetOp::Intersect => a.min(*b),
+                        SetOp::Except => *a,
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// The uniqueness-derived **hard** upper bound on a whole query
+    /// tree's output cardinality, `UNION`-aware (Chen–Schneider SPJU
+    /// bounds). Every arm is provable, never a guess:
+    ///
+    /// * a block is bounded when it is duplicate-free — declared
+    ///   `DISTINCT` or proved by [`Estimator::unique_output_bound`] —
+    ///   by the product of its projected domains;
+    /// * `UNION ALL` concatenates: the sum of the operand bounds, when
+    ///   both exist;
+    /// * `UNION` (distinct) is duplicate-free *by definition*: bounded
+    ///   by the product of its column-wise merged domains even when
+    ///   neither operand has a bound of its own, and by the operand sum
+    ///   when both do;
+    /// * `INTERSECT [ALL]` emits `min(j, k)` copies per value: any
+    ///   operand's bound caps it, plus the domain product when distinct;
+    /// * `EXCEPT [ALL]` emits at most the left operand, plus the domain
+    ///   product when distinct.
+    pub fn query_hard_bound(&self, query: &BoundQuery) -> Option<f64> {
+        match query {
+            BoundQuery::Spec(spec) => {
+                if spec.distinct == uniq_sql::Distinct::Distinct {
+                    Some(self.projection_domain(spec))
+                } else {
+                    self.unique_output_bound(spec)
+                }
+            }
+            BoundQuery::SetOp {
+                op,
+                all,
+                left,
+                right,
+            } => {
+                let lb = self.query_hard_bound(left);
+                let rb = self.query_hard_bound(right);
+                let domains: f64 = self.output_domains(query).iter().product();
+                match (op, all) {
+                    (SetOp::Union, true) => Some(lb? + rb?),
+                    (SetOp::Union, false) => Some(match (lb, rb) {
+                        (Some(l), Some(r)) => (l + r).min(domains),
+                        _ => domains,
+                    }),
+                    (SetOp::Intersect, all) => {
+                        let side = match (lb, rb) {
+                            (Some(l), Some(r)) => Some(l.min(r)),
+                            (one, None) | (None, one) => one,
+                        };
+                        if *all {
+                            side
+                        } else {
+                            Some(side.map_or(domains, |s| s.min(domains)))
+                        }
+                    }
+                    (SetOp::Except, true) => lb,
+                    (SetOp::Except, false) => Some(lb.map_or(domains, |l| l.min(domains))),
+                }
+            }
+        }
+    }
 }
 
 /// The product-attribute index a scalar reads, when it is an attribute
@@ -278,5 +370,91 @@ mod tests {
         let stats = Statistics::default();
         let est = Estimator::new(&stats);
         assert_eq!(est.table_rows(&"GHOST".into()), DEFAULT_TABLE_ROWS);
+    }
+
+    #[test]
+    fn union_domains_merge_columnwise() {
+        // SCITY: 3 distinct cities; ACITY: 4. The merged UNION domain
+        // is their sum.
+        let (stats, q) =
+            spec_of("SELECT S.SCITY FROM SUPPLIER S UNION SELECT A.ACITY FROM AGENTS A");
+        let est = Estimator::new(&stats);
+        assert_eq!(est.output_domains(&q), vec![7.0]);
+        let BoundQuery::SetOp { left, right, .. } = &q else {
+            panic!("expected setop");
+        };
+        assert_eq!(est.output_domains(left), vec![3.0]);
+        assert_eq!(est.output_domains(right), vec![4.0]);
+    }
+
+    #[test]
+    fn distinct_union_is_bounded_even_with_unbounded_operands() {
+        // Neither operand block is distinct or provably unique, so
+        // neither has a bound of its own — but UNION deduplicates, so
+        // the merged domain product bounds the whole tree.
+        let (stats, q) =
+            spec_of("SELECT S.SCITY FROM SUPPLIER S UNION SELECT A.ACITY FROM AGENTS A");
+        let est = Estimator::new(&stats);
+        let BoundQuery::SetOp { left, .. } = &q else {
+            panic!("expected setop");
+        };
+        assert!(est.query_hard_bound(left).is_none());
+        assert_eq!(est.query_hard_bound(&q), Some(7.0));
+    }
+
+    #[test]
+    fn union_all_needs_both_operand_bounds() {
+        // UNION ALL concatenates — no dedup, so the domain product does
+        // not apply and the bound exists only when both operands have
+        // one (here: both blocks declared DISTINCT, bounded by their
+        // projected domains 3 and 4).
+        let (stats, q) =
+            spec_of("SELECT S.SCITY FROM SUPPLIER S UNION ALL SELECT A.ACITY FROM AGENTS A");
+        let est = Estimator::new(&stats);
+        assert!(est.query_hard_bound(&q).is_none());
+        let (stats2, q2) = spec_of(
+            "SELECT DISTINCT S.SCITY FROM SUPPLIER S \
+             UNION ALL SELECT DISTINCT A.ACITY FROM AGENTS A",
+        );
+        let est2 = Estimator::new(&stats2);
+        assert_eq!(est2.query_hard_bound(&q2), Some(7.0));
+    }
+
+    #[test]
+    fn intersect_and_except_bounds_follow_their_semantics() {
+        // INTERSECT over SNO: min domain is AGENTS' 4 distinct SNOs.
+        let (stats, q) =
+            spec_of("SELECT S.SNO FROM SUPPLIER S INTERSECT SELECT A.SNO FROM AGENTS A");
+        let est = Estimator::new(&stats);
+        assert_eq!(est.query_hard_bound(&q), Some(4.0));
+        // EXCEPT keeps the left domain (SUPPLIER's 5 SNOs).
+        let (stats2, q2) =
+            spec_of("SELECT S.SNO FROM SUPPLIER S EXCEPT SELECT A.SNO FROM AGENTS A");
+        let est2 = Estimator::new(&stats2);
+        assert_eq!(est2.query_hard_bound(&q2), Some(5.0));
+        // EXCEPT ALL: bag semantics — only a left-operand bound carries
+        // through. A key projection on the left has one (5)…
+        let (stats3, q3) =
+            spec_of("SELECT S.SNO FROM SUPPLIER S EXCEPT ALL SELECT A.SNO FROM AGENTS A");
+        let est3 = Estimator::new(&stats3);
+        assert_eq!(est3.query_hard_bound(&q3), Some(5.0));
+        // …a non-key projection has none, and EXCEPT ALL adds nothing.
+        let (stats4, q4) =
+            spec_of("SELECT S.SCITY FROM SUPPLIER S EXCEPT ALL SELECT A.ACITY FROM AGENTS A");
+        let est4 = Estimator::new(&stats4);
+        assert!(est4.query_hard_bound(&q4).is_none());
+    }
+
+    #[test]
+    fn provably_unique_block_is_bounded_without_a_distinct() {
+        // SELECT S.SNO projects the key: duplicate-free without any
+        // DISTINCT, so the block itself carries a hard bound.
+        let (stats, q) = spec_of("SELECT S.SNO FROM SUPPLIER S");
+        let est = Estimator::new(&stats);
+        assert_eq!(est.query_hard_bound(&q), Some(5.0));
+        // A non-key projection has no bound.
+        let (stats2, q2) = spec_of("SELECT S.SCITY FROM SUPPLIER S");
+        let est2 = Estimator::new(&stats2);
+        assert!(est2.query_hard_bound(&q2).is_none());
     }
 }

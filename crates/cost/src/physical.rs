@@ -15,6 +15,8 @@
 //! compatibility) so the planner can be expressed without depending on
 //! the executor.
 
+use uniq_proof::Justification;
+
 /// How duplicate elimination is performed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum DistinctMethod {
@@ -79,35 +81,6 @@ pub struct OpInfo {
     pub deg: usize,
 }
 
-/// A planned index access path for a block's initial scan. Like
-/// [`BlockPlan::columnar`], this is a **license, not a promise**: the
-/// executor re-derives the sarg from the spec and the live catalog at
-/// run time, and falls back to the full filtered scan when the
-/// re-derivation disagrees (index dropped by a table re-creation, a
-/// stale cached plan, a shape the kernels cannot serve).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct IxScanInfo {
-    /// Name of the index to probe.
-    pub index: String,
-    /// Unique index, fully point-bound: at most one row — the scan
-    /// estimate is the hard bound 1, not a guess.
-    pub unique: bool,
-    /// Display fragment for `EXPLAIN`, e.g. `SNO=3,PNO>=2`.
-    pub sarg: String,
-}
-
-/// A planned index-nested-loop probe for one join step (same license
-/// semantics as [`IxScanInfo`]: the executor re-derives and falls back
-/// to [`JoinStep::method`] on disagreement).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct IxProbeInfo {
-    /// Name of the index to probe, once per outer partial.
-    pub index: String,
-    /// Unique index: every probe is a guaranteed one-row lookup costing
-    /// exactly one probe step.
-    pub unique: bool,
-}
-
 /// One pipeline join step (the table it introduces is
 /// `order[position + 1]` of the owning [`BlockPlan`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -126,8 +99,12 @@ pub struct JoinStep {
     pub unique: bool,
     /// Probe a secondary index per outer partial instead of building a
     /// hash table, when the planner found one covering the join keys
-    /// and build cost dominates.
-    pub ix: Option<IxProbeInfo>,
+    /// and build cost dominates. Carried as a
+    /// [`Justification::IndexAccess`] license (no sarg): like
+    /// [`BlockPlan::columnar`] it is a **license, not a promise** — the
+    /// executor re-derives the probe from the spec and live catalog and
+    /// falls back to [`JoinStep::method`] on disagreement.
+    pub ix: Option<Justification>,
 }
 
 /// The duplicate-elimination step of a `SELECT DISTINCT` block.
@@ -166,8 +143,12 @@ pub struct BlockPlan {
     pub columnar: bool,
     /// Serve the initial scan through a secondary index instead of a
     /// full table scan (rendered as `ixscan(name, sarg)` on the scan
-    /// line; same license semantics as `columnar`).
-    pub ixscan: Option<IxScanInfo>,
+    /// line; same license semantics as `columnar`). Carried as a
+    /// [`Justification::IndexAccess`] license with a sarg display
+    /// fragment; a *unique*, fully point-bound index makes the scan
+    /// estimate the hard bound 1, not a guess — and declares the
+    /// candidate key the `uniq-proof` checker takes as an axiom.
+    pub ixscan: Option<Justification>,
 }
 
 /// A node of the physical plan, structurally parallel to the bound
@@ -262,8 +243,8 @@ impl PhysicalPlan {
                     let suffix = match &step.ix {
                         Some(ix) => format!(
                             " ixjoin({}) unique={}",
-                            ix.index,
-                            if ix.unique { "yes" } else { "no" }
+                            ix.index().unwrap_or("?"),
+                            if ix.is_unique_index() { "yes" } else { "no" }
                         ),
                         None => String::new(),
                     };
@@ -271,7 +252,11 @@ impl PhysicalPlan {
                 }
                 let mut suffix = String::new();
                 if let Some(ix) = &block.ixscan {
-                    suffix.push_str(&format!(" ixscan({}, {})", ix.index, ix.sarg));
+                    suffix.push_str(&format!(
+                        " ixscan({}, {})",
+                        ix.index().unwrap_or("?"),
+                        ix.sarg().unwrap_or("")
+                    ));
                 }
                 if block.columnar {
                     suffix.push_str(" exec=columnar");
@@ -411,15 +396,8 @@ mod tests {
     fn index_operators_render_their_markers() {
         let mut plan = tiny_plan();
         if let PhysNode::Block(b) = &mut plan.root {
-            b.ixscan = Some(IxScanInfo {
-                index: "IDX_SNO".into(),
-                unique: true,
-                sarg: "SNO=3".into(),
-            });
-            b.joins[0].ix = Some(IxProbeInfo {
-                index: "IDX_PARTS".into(),
-                unique: true,
-            });
+            b.ixscan = Some(Justification::ix_scan("IDX_SNO", true, "SNO=3"));
+            b.joins[0].ix = Some(Justification::ix_join("IDX_PARTS", true));
         }
         let rendered = plan.render(0, None);
         assert!(

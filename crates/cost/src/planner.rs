@@ -117,13 +117,19 @@ impl Planner<'_> {
             } => {
                 let (l, l_est) = self.plan_node(left);
                 let (r, r_est) = self.plan_node(right);
-                let est = match op {
+                let mut est = match op {
                     SetOp::Union => l_est + r_est,
                     // INTERSECT [ALL] emits min(j,k) copies per tuple.
                     SetOp::Intersect => l_est.min(r_est),
                     // EXCEPT [ALL] emits at most the left input.
                     SetOp::Except => l_est,
                 };
+                // UNION-aware hard cap: a distinct set operation can
+                // never emit more than its merged output domains admit,
+                // whatever the operand estimates say.
+                if let Some(bound) = self.est.query_hard_bound(query) {
+                    est = est.min(bound);
+                }
                 let concat = *op == SetOp::Union && *all;
                 // Hash counting costs n probes; sort-merge costs about
                 // n·log₂n comparisons — hash wins beyond tiny inputs.
@@ -286,10 +292,7 @@ impl Planner<'_> {
             );
             let ix = use_ix.then(|| {
                 let p = probe.as_ref().expect("use_ix implies a probe");
-                crate::physical::IxProbeInfo {
-                    index: p.index.clone(),
-                    unique: p.unique,
-                }
+                uniq_proof::Justification::ix_join(&p.index, p.unique)
             });
             joins.push(JoinStep {
                 method,
@@ -334,11 +337,9 @@ impl Planner<'_> {
                 scan_est = scan_est.min(1.0);
             }
             if scan_est + 1.0 < raw[order[0]] {
-                ixscan = Some(crate::physical::IxScanInfo {
-                    index: s.index,
-                    unique: s.unique,
-                    sarg: s.desc,
-                });
+                ixscan = Some(uniq_proof::Justification::ix_scan(
+                    &s.index, s.unique, &s.desc,
+                ));
             }
         }
         // Index scans are point lookups — nothing to morselize — and
@@ -723,8 +724,29 @@ mod tests {
         };
         assert_eq!(*method, DistinctMethod::Hash);
         assert!(p.ops[*id].label.contains("Intersect [hash-count]"));
-        // INTERSECT emits at most the smaller side.
-        assert_eq!(p.ops[*id].est, 5);
+        // INTERSECT emits at most the smaller side (5 rows each way),
+        // tightened by the hard domain cap: a distinct intersection over
+        // SNO can emit at most min(dom) = 4 distinct values.
+        assert_eq!(p.ops[*id].est, 4);
+    }
+
+    #[test]
+    fn union_estimate_is_capped_by_the_merged_domains() {
+        // Operand estimates sum to 10 (5 suppliers + 5 agents), but a
+        // distinct UNION over the city columns can emit at most
+        // dom(SCITY) + dom(ACITY) = 3 + 4 = 7 rows — the Chen–Schneider
+        // hard bound is strictly tighter than the additive estimate.
+        let (p, _) = plan("SELECT S.SCITY FROM SUPPLIER S UNION SELECT A.ACITY FROM AGENTS A");
+        let PhysNode::SetOp { id, .. } = &p.root else {
+            panic!("expected setop root");
+        };
+        assert_eq!(p.ops[*id].est, 7);
+        // UNION ALL has no dedup: the additive estimate stands.
+        let (p2, _) = plan("SELECT S.SCITY FROM SUPPLIER S UNION ALL SELECT A.ACITY FROM AGENTS A");
+        let PhysNode::SetOp { id: id2, .. } = &p2.root else {
+            panic!("expected setop root");
+        };
+        assert_eq!(p2.ops[*id2].est, 10);
     }
 
     #[test]
@@ -882,8 +904,8 @@ mod tests {
         let p = plan_on(&db, "SELECT S.SNAME FROM SUPPLIER S WHERE S.SNO = 3");
         let b = block(&p);
         let ix = b.ixscan.as_ref().expect("unique point probe licensed");
-        assert_eq!(ix.index, "IDX_S_SNO");
-        assert!(ix.unique);
+        assert_eq!(ix.index(), Some("IDX_S_SNO"));
+        assert!(ix.is_unique_index());
         assert_eq!(
             p.ops[b.scan].est, 1,
             "unique probe estimate is the hard bound 1"
@@ -908,8 +930,8 @@ mod tests {
         // probe of its unique index instead of building a hash table.
         assert_eq!(b.order[0], 1, "PARTS first");
         let ix = b.joins[0].ix.as_ref().expect("index probe licensed");
-        assert_eq!(ix.index, "IDX_S_SNO");
-        assert!(ix.unique);
+        assert_eq!(ix.index(), Some("IDX_S_SNO"));
+        assert!(ix.is_unique_index());
         assert_eq!(b.joins[0].deg, 1);
         assert!(p.ops[b.joins[0].id]
             .label

@@ -6,8 +6,9 @@
 //! on an ordered index — bounds the column following the point-bound
 //! prefix (`<`, `<=`, `>`, `>=`, or a non-negated `BETWEEN`). The
 //! extraction here is shared by the planner (to *choose* an
-//! [`IxScanInfo`](crate::physical::IxScanInfo) /
-//! [`IxProbeInfo`](crate::physical::IxProbeInfo)) and by the executor
+//! `IxScan`/`IxJoin` license — a
+//! [`Justification::IndexAccess`](uniq_proof::Justification)) and by the
+//! executor
 //! (to *re-derive* the probe at run time against the live catalog: the
 //! plan's index annotation is a license, not a promise — if the
 //! re-derivation disagrees with the plan, the executor falls back to

@@ -18,8 +18,8 @@ use crate::stats::{Degree, DistinctMethod, ExecStats, JoinMethod};
 use std::collections::HashMap;
 use uniq_catalog::{Database, Row};
 use uniq_cost::{
-    find_index_probe, find_index_sarg, BlockPlan, IndexProbe, IxScanInfo, PhysNode, PhysicalPlan,
-    ProbeSource,
+    find_index_probe, find_index_sarg, BlockPlan, IndexProbe, Justification, PhysNode,
+    PhysicalPlan, ProbeSource,
 };
 use uniq_plan::{AttrRef, BScalar, BoundExpr, BoundQuery, BoundSpec, FromTable, HostVars};
 use uniq_sql::CmpOp;
@@ -635,7 +635,9 @@ impl<'a> Executor<'a> {
                 Some(info) if deg <= 1 => find_index_probe(spec, t, &levels[k], &|idx| {
                     placed.iter().any(|r| r.contains(&idx))
                 })
-                .filter(|p| p.index == info.index && self.index_fresh(table, &p.index)),
+                .filter(|p| {
+                    Some(p.index.as_str()) == info.index() && self.index_fresh(table, &p.index)
+                }),
                 _ => None,
             };
             if let Some(p) = probe {
@@ -719,7 +721,8 @@ impl<'a> Executor<'a> {
 
     /// Serve a block's initial scan through a planned secondary index.
     ///
-    /// The plan's [`IxScanInfo`] is a license, not a promise: the sarg
+    /// The plan's [`Justification::IndexAccess`] is a license, not a
+    /// promise: the sarg
     /// is re-derived from the spec and checked against the live catalog
     /// before any probe. `Ok(None)` means the license no longer holds —
     /// the caller runs the ordinary full filtered scan, so a dropped or
@@ -731,14 +734,14 @@ impl<'a> Executor<'a> {
         spec: &BoundSpec,
         t: usize,
         conjuncts: &[&BoundExpr],
-        info: &IxScanInfo,
+        info: &Justification,
         outer: &[Vec<Value>],
     ) -> Result<Option<Vec<Row>>> {
         let Some(sarg) = find_index_sarg(spec, t, conjuncts) else {
             return Ok(None);
         };
         let table = &spec.from[t];
-        if sarg.index != info.index || !self.index_fresh(table, &sarg.index) {
+        if Some(sarg.index.as_str()) != info.index() || !self.index_fresh(table, &sarg.index) {
             return Ok(None);
         }
         let Some(def) = table.schema.index(&sarg.index) else {

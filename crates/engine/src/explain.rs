@@ -40,7 +40,13 @@ pub fn render_trace(trace: &RewriteTrace) -> String {
             trace.uniqueness_tests_memoized
         ));
         for (i, step) in trace.steps.iter().enumerate() {
-            out.push_str(&format!("  {}. {} [{}]\n", i + 1, step.rule, step.theorem));
+            out.push_str(&format!(
+                "  {}. {} [{}] proof={}\n",
+                i + 1,
+                step.rule,
+                step.theorem,
+                step.proof.marker()
+            ));
             out.push_str(&format!("     before: {}\n", step.sql_before));
             out.push_str(&format!("     after:  {}\n", step.sql_after));
             out.push_str(&format!("     why: {}\n", step.why));
@@ -329,7 +335,10 @@ mod tests {
         )
         .optimize(&q);
         let text = explain_with_trace(&outcome.trace, &outcome.query, &ExecOptions::default());
-        assert!(text.contains("distinct-removal [Theorem 1]"), "{text}");
+        assert!(
+            text.contains("distinct-removal [Theorem 1] proof=✓"),
+            "{text}"
+        );
         assert!(text.contains("before: SELECT DISTINCT"), "{text}");
         assert!(text.contains("after:  SELECT ALL"), "{text}");
         assert!(text.contains("Rule stats"), "{text}");

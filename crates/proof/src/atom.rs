@@ -1,0 +1,480 @@
+//! Canonical predicate atoms.
+//!
+//! The checker compares two query blocks by comparing their predicates
+//! *as sorted multisets of canonical atoms* under a candidate variable
+//! bijection. [`PAtom`] is a normal form for [`BoundExpr`] that erases
+//! the differences equivalent rewrites are allowed to introduce:
+//!
+//! - symmetric comparisons (`=`, `<>`) sort their operands; `>`/`>=`
+//!   normalize to `<`/`<=` with swapped operands;
+//! - `AND`/`OR` chains flatten, sort, and deduplicate (idempotence);
+//! - `NOT` pushes through comparisons (sound in three-valued logic:
+//!   both sides map `unknown → unknown`) and through the two-valued
+//!   `IS NULL` / `EXISTS` / `IN` forms;
+//! - the null-aware equality `x =̇ y` is recognized in both of its
+//!   legal spellings: the explicit
+//!   `(x IS NULL AND y IS NULL) OR x = y` disjunction, and a plain
+//!   `x = y` **when both columns are declared `NOT NULL`** (the only
+//!   situation where `=` and `=̇` coincide) — both become
+//!   [`PAtom::NullEq`]. A rewrite that emits a plain `=` on a nullable
+//!   column does *not* canonicalize to `NullEq` and therefore cannot be
+//!   proved equivalent to a set operation's `=̇` pairing;
+//! - subqueries under `EXISTS` drop their projection and `DISTINCT`
+//!   flag (neither affects `EXISTS` truth); subqueries under `IN` drop
+//!   only the flag.
+//!
+//! Every erasure above is an equivalence, so two blocks whose canonical
+//! atoms differ are simply `Unknown` — never wrongly proved.
+
+use uniq_plan::{BScalar, BoundExpr, BoundSpec};
+use uniq_sql::CmpOp;
+
+/// A canonical scalar operand. Attribute indices are in the space of
+/// the block being *matched against* (the canonicalizer applies the
+/// candidate variable bijection's attribute map on the fly).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PScalar {
+    /// A column reference: `up` block levels out, position `idx`.
+    Attr {
+        /// Blocks to walk outwards (0 = the atom's own block).
+        up: usize,
+        /// Flat attribute position in that block.
+        idx: usize,
+    },
+    /// A literal, encoded canonically.
+    Lit(String),
+    /// A host variable, by name.
+    Host(String),
+}
+
+/// Comparison operators surviving canonicalization (`>`/`>=` normalize
+/// away). Encoded as ordered codes so atoms sort.
+pub const OP_EQ: u8 = 0;
+/// `<>`.
+pub const OP_NE: u8 = 1;
+/// `<`.
+pub const OP_LT: u8 = 2;
+/// `<=`.
+pub const OP_LE: u8 = 3;
+
+/// A canonical predicate atom. Ordered so atom lists can be sorted and
+/// compared as multisets.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PAtom {
+    /// Null-aware equality `x =̇ y` (operands sorted).
+    NullEq(PScalar, PScalar),
+    /// `left op right` after operator normalization.
+    Cmp {
+        /// One of [`OP_EQ`], [`OP_NE`], [`OP_LT`], [`OP_LE`].
+        op: u8,
+        /// Left operand.
+        left: PScalar,
+        /// Right operand.
+        right: PScalar,
+    },
+    /// `scalar [NOT] BETWEEN low AND high`.
+    Between {
+        /// Tested operand.
+        scalar: PScalar,
+        /// Lower bound.
+        low: PScalar,
+        /// Upper bound.
+        high: PScalar,
+        /// `NOT BETWEEN`.
+        negated: bool,
+    },
+    /// `scalar [NOT] IN (list…)` (list sorted).
+    InList {
+        /// Tested operand.
+        scalar: PScalar,
+        /// List elements.
+        list: Vec<PScalar>,
+        /// `NOT IN`.
+        negated: bool,
+    },
+    /// `scalar IS [NOT] NULL`.
+    IsNull {
+        /// Tested operand.
+        scalar: PScalar,
+        /// `IS NOT NULL`.
+        negated: bool,
+    },
+    /// `[NOT] EXISTS (subquery)`.
+    Exists {
+        /// `NOT EXISTS`.
+        negated: bool,
+        /// Canonical subquery block.
+        sub: PBlock,
+    },
+    /// `scalar [NOT] IN (subquery)`.
+    InSub {
+        /// Tested operand.
+        scalar: PScalar,
+        /// `NOT IN`.
+        negated: bool,
+        /// Canonical subquery block.
+        sub: PBlock,
+    },
+    /// Conjunction (flattened, sorted, deduplicated).
+    And(Vec<PAtom>),
+    /// Disjunction (flattened, sorted, deduplicated).
+    Or(Vec<PAtom>),
+    /// Negation (only of `And`/`Or`/`NullEq`; all other negations
+    /// push inside).
+    Not(Box<PAtom>),
+}
+
+/// A canonical subquery block: tables in `FROM` order (by schema name),
+/// sorted conjunct atoms, and — for `IN` subqueries only — the
+/// projected scalar.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct PBlock {
+    /// Schema names of the `FROM` tables, in declaration order.
+    pub tables: Vec<String>,
+    /// Sorted, deduplicated canonical conjuncts.
+    pub atoms: Vec<PAtom>,
+    /// Projected scalars (`EXISTS` blocks erase these).
+    pub proj: Vec<PScalar>,
+}
+
+/// Canonicalizes expressions of one root block, optionally rewriting
+/// that block's attribute positions through a bijection's map.
+pub struct Canonicalizer<'a> {
+    /// Enclosing blocks, root first; the last entry is the block whose
+    /// expressions are currently being walked.
+    stack: Vec<&'a BoundSpec>,
+    /// Attribute map for references resolving to the *root* block
+    /// (`map[idx]` = position in the space being matched against).
+    map: Option<&'a [usize]>,
+}
+
+impl<'a> Canonicalizer<'a> {
+    /// A canonicalizer rooted at `root`. `map`, when present, rewrites
+    /// every reference that resolves to `root` into the peer block's
+    /// attribute space.
+    pub fn new(root: &'a BoundSpec, map: Option<&'a [usize]>) -> Canonicalizer<'a> {
+        Canonicalizer {
+            stack: vec![root],
+            map,
+        }
+    }
+
+    /// Canonicalize the root block's top-level conjuncts (sorted,
+    /// deduplicated).
+    pub fn conjuncts(&mut self) -> Vec<PAtom> {
+        let root: &'a BoundSpec = self.stack[0];
+        let mut atoms: Vec<PAtom> = match &root.predicate {
+            Some(p) => p.conjuncts().into_iter().map(|c| self.expr(c)).collect(),
+            None => Vec::new(),
+        };
+        atoms.sort();
+        atoms.dedup();
+        atoms
+    }
+
+    /// Canonicalize the root block's projection (scalar + output name
+    /// per item, in order — projection order is output column order).
+    pub fn projection(&mut self) -> Vec<(PScalar, String)> {
+        self.stack[0]
+            .projection
+            .iter()
+            .map(|p| {
+                let idx = match self.map {
+                    Some(m) => m[p.attr],
+                    None => p.attr,
+                };
+                (PScalar::Attr { up: 0, idx }, p.name.to_string())
+            })
+            .collect()
+    }
+
+    fn scalar(&self, s: &BScalar) -> PScalar {
+        match s {
+            BScalar::Attr(a) => {
+                let depth = self.stack.len() - 1;
+                let idx = if a.up == depth {
+                    // Resolves to the root block: apply the bijection.
+                    match self.map {
+                        Some(m) => m[a.idx],
+                        None => a.idx,
+                    }
+                } else {
+                    a.idx
+                };
+                PScalar::Attr { up: a.up, idx }
+            }
+            BScalar::Literal(v) => PScalar::Lit(format!("{v:?}")),
+            BScalar::HostVar(h) => PScalar::Host(h.to_string()),
+        }
+    }
+
+    /// Whether a scalar is an attribute declared `NOT NULL` (resolved
+    /// against the *original* block stack, before any remapping —
+    /// nullability is a schema property and survives the bijection).
+    fn non_nullable_attr(&self, s: &BScalar) -> bool {
+        let BScalar::Attr(a) = s else { return false };
+        let depth = self.stack.len() - 1;
+        if a.up > depth {
+            return false; // escapes the root: unknown, stay conservative
+        }
+        let block = self.stack[depth - a.up];
+        match block.attr_owner(a.idx) {
+            Some((t, c)) => !t.schema.columns[c].nullable,
+            None => false,
+        }
+    }
+
+    fn sub_block(&mut self, sub: &'a BoundSpec, keep_proj: bool) -> PBlock {
+        self.stack.push(sub);
+        let mut atoms: Vec<PAtom> = match &sub.predicate {
+            Some(p) => p.conjuncts().into_iter().map(|c| self.expr(c)).collect(),
+            None => Vec::new(),
+        };
+        atoms.sort();
+        atoms.dedup();
+        let proj = if keep_proj {
+            sub.projection
+                .iter()
+                .map(|p| self.scalar(&BScalar::Attr(uniq_plan::AttrRef::local(p.attr))))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        self.stack.pop();
+        PBlock {
+            tables: sub.from.iter().map(|t| t.schema.name.to_string()).collect(),
+            atoms,
+            proj,
+        }
+    }
+
+    /// Canonicalize one (sub)expression of the current block.
+    pub fn expr(&mut self, e: &'a BoundExpr) -> PAtom {
+        match e {
+            BoundExpr::Cmp { op, left, right } => self.cmp(*op, left, right),
+            BoundExpr::Between {
+                scalar,
+                low,
+                high,
+                negated,
+            } => PAtom::Between {
+                scalar: self.scalar(scalar),
+                low: self.scalar(low),
+                high: self.scalar(high),
+                negated: *negated,
+            },
+            BoundExpr::InList {
+                scalar,
+                list,
+                negated,
+            } => {
+                let mut list: Vec<PScalar> = list.iter().map(|s| self.scalar(s)).collect();
+                list.sort();
+                list.dedup();
+                PAtom::InList {
+                    scalar: self.scalar(scalar),
+                    list,
+                    negated: *negated,
+                }
+            }
+            BoundExpr::IsNull { scalar, negated } => PAtom::IsNull {
+                scalar: self.scalar(scalar),
+                negated: *negated,
+            },
+            BoundExpr::Exists { negated, subquery } => PAtom::Exists {
+                negated: *negated,
+                sub: self.sub_block(subquery, false),
+            },
+            BoundExpr::InSubquery {
+                scalar,
+                subquery,
+                negated,
+            } => PAtom::InSub {
+                scalar: self.scalar(scalar),
+                negated: *negated,
+                sub: self.sub_block(subquery, true),
+            },
+            BoundExpr::And(a, b) => {
+                let mut kids = Vec::new();
+                flatten_and(self.expr(a), &mut kids);
+                flatten_and(self.expr(b), &mut kids);
+                norm_nary(kids, true)
+            }
+            BoundExpr::Or(a, b) => {
+                let mut kids = Vec::new();
+                flatten_or(self.expr(a), &mut kids);
+                flatten_or(self.expr(b), &mut kids);
+                norm_nary(kids, false)
+            }
+            BoundExpr::Not(x) => negate(self.expr(x)),
+        }
+    }
+
+    fn cmp(&self, op: CmpOp, left: &BScalar, right: &BScalar) -> PAtom {
+        // Normalize direction: a > b ≡ b < a, a >= b ≡ b <= a.
+        let (op, l, r) = match op {
+            CmpOp::Gt => (OP_LT, right, left),
+            CmpOp::Ge => (OP_LE, right, left),
+            CmpOp::Lt => (OP_LT, left, right),
+            CmpOp::Le => (OP_LE, left, right),
+            CmpOp::Eq => (OP_EQ, left, right),
+            CmpOp::Ne => (OP_NE, left, right),
+        };
+        let (mut cl, mut cr) = (self.scalar(l), self.scalar(r));
+        if (op == OP_EQ || op == OP_NE) && cl > cr {
+            std::mem::swap(&mut cl, &mut cr);
+        }
+        // On two NOT NULL columns `=` and the null-aware `=̇` coincide.
+        if op == OP_EQ && self.non_nullable_attr(l) && self.non_nullable_attr(r) {
+            return PAtom::NullEq(cl, cr);
+        }
+        PAtom::Cmp {
+            op,
+            left: cl,
+            right: cr,
+        }
+    }
+}
+
+fn flatten_and(a: PAtom, out: &mut Vec<PAtom>) {
+    match a {
+        PAtom::And(kids) => out.extend(kids),
+        other => out.push(other),
+    }
+}
+
+fn flatten_or(a: PAtom, out: &mut Vec<PAtom>) {
+    match a {
+        PAtom::Or(kids) => out.extend(kids),
+        other => out.push(other),
+    }
+}
+
+/// Sort + dedup an n-ary chain; unwrap singletons; recognize the
+/// explicit `=̇` spelling on disjunctions.
+fn norm_nary(mut kids: Vec<PAtom>, conj: bool) -> PAtom {
+    kids.sort();
+    kids.dedup();
+    if kids.len() == 1 {
+        return kids.pop().expect("non-empty");
+    }
+    if !conj {
+        if let Some(ne) = match_null_eq(&kids) {
+            return ne;
+        }
+        return PAtom::Or(kids);
+    }
+    PAtom::And(kids)
+}
+
+/// Recognize `(x IS NULL AND y IS NULL) OR x = y` — the explicit
+/// spelling of `x =̇ y` — among sorted disjuncts.
+fn match_null_eq(kids: &[PAtom]) -> Option<PAtom> {
+    if kids.len() != 2 {
+        return None;
+    }
+    let mut nulls: Option<(&PScalar, &PScalar)> = None;
+    let mut eqs: Option<(&PScalar, &PScalar)> = None;
+    for k in kids {
+        match k {
+            PAtom::And(two) => {
+                if let [PAtom::IsNull {
+                    scalar: x,
+                    negated: false,
+                }, PAtom::IsNull {
+                    scalar: y,
+                    negated: false,
+                }] = two.as_slice()
+                {
+                    nulls = Some((x, y));
+                }
+            }
+            PAtom::Cmp {
+                op: OP_EQ,
+                left,
+                right,
+            } => eqs = Some((left, right)),
+            PAtom::NullEq(left, right) => eqs = Some((left, right)),
+            _ => {}
+        }
+    }
+    let ((nx, ny), (ex, ey)) = (nulls?, eqs?);
+    // Both pair lists are sorted, so compare positionally.
+    if nx == ex && ny == ey {
+        return Some(PAtom::NullEq(ex.clone(), ey.clone()));
+    }
+    None
+}
+
+/// Push a negation inside. Sound in three-valued logic: every folded
+/// pair maps `unknown` to `unknown` on both sides, and `IS NULL`,
+/// `EXISTS`, and `[NOT] IN` carry their negation as a flag by SQL
+/// definition.
+fn negate(a: PAtom) -> PAtom {
+    match a {
+        PAtom::Cmp { op, left, right } => {
+            let (op, left, right) = match op {
+                OP_EQ => (OP_NE, left, right),
+                OP_NE => (OP_EQ, left, right),
+                OP_LT => (OP_LE, right, left),
+                _ => (OP_LT, right, left),
+            };
+            let (mut left, mut right) = (left, right);
+            if (op == OP_EQ || op == OP_NE) && left > right {
+                std::mem::swap(&mut left, &mut right);
+            }
+            PAtom::Cmp { op, left, right }
+        }
+        PAtom::Between {
+            scalar,
+            low,
+            high,
+            negated,
+        } => PAtom::Between {
+            scalar,
+            low,
+            high,
+            negated: !negated,
+        },
+        PAtom::InList {
+            scalar,
+            list,
+            negated,
+        } => PAtom::InList {
+            scalar,
+            list,
+            negated: !negated,
+        },
+        PAtom::IsNull { scalar, negated } => PAtom::IsNull {
+            scalar,
+            negated: !negated,
+        },
+        PAtom::Exists { negated, sub } => PAtom::Exists {
+            negated: !negated,
+            sub,
+        },
+        PAtom::InSub {
+            scalar,
+            negated,
+            sub,
+        } => PAtom::InSub {
+            scalar,
+            negated: !negated,
+            sub,
+        },
+        PAtom::Not(inner) => *inner,
+        other => PAtom::Not(Box::new(other)),
+    }
+}
+
+/// Canonicalize `spec`'s top-level conjuncts under an optional root
+/// attribute map.
+pub fn canon_conjuncts(spec: &BoundSpec, map: Option<&[usize]>) -> Vec<PAtom> {
+    Canonicalizer::new(spec, map).conjuncts()
+}
+
+/// Canonicalize `spec`'s projection under an optional root attribute
+/// map.
+pub fn canon_projection(spec: &BoundSpec, map: Option<&[usize]>) -> Vec<(PScalar, String)> {
+    Canonicalizer::new(spec, map).projection()
+}

@@ -1,0 +1,1007 @@
+//! The equivalence decision procedure.
+//!
+//! A bound query denotes a U-semiring expression: a block is a sum over
+//! tuple variables (one per `FROM` table) of a product of predicate
+//! atoms, an `EXISTS` conjunct is a squashed factor `‖…‖`, and a
+//! `DISTINCT` flag squashes the whole sum. The checker decides
+//! `⟦before⟧ = ⟦after⟧` by normalizing both sides to canonical atoms
+//! ([`crate::atom`]) and applying a small set of proof strategies whose
+//! side conditions are discharged from the axiom set
+//! ([`crate::axioms`]):
+//!
+//! 1. **Variable renaming** — a table-respecting bijection between the
+//!    tuple variables maps one side's atoms, semijoin factors, and
+//!    projection exactly onto the other's.
+//! 2. **Squash elimination** (Theorem 1) — same as 1 but the squash
+//!    flags differ; the unsquashed side must be provably duplicate-free
+//!    (projection closure covers a key of every variable).
+//! 3. **Semijoin absorption** (Theorem 2 / Corollary 1) — one side
+//!    carries `‖Σ_s Q‖` as an `EXISTS` factor, the other inlines the
+//!    subquery's variables into its product. Sound unconditionally when
+//!    both sides are squashed; under bag semantics when the subquery is
+//!    single-tuple per outer binding; across a squash change when the
+//!    appropriate side is duplicate-free.
+//! 4. **Inclusion dependency** (§7) — one side joins an extra variable
+//!    whose only contribution is a declared-FK equality onto a
+//!    candidate key with `NOT NULL` referencing columns: the factor
+//!    `Σ_p Π [p.k = c.f]` is identically 1.
+//! 5. **Set-operation lowering** (Theorem 3 / Corollary 2) —
+//!    `INTERSECT`/`EXCEPT` against the `[NOT] EXISTS` form with the
+//!    null-aware `=̇` pairing of the operands' projections.
+//! 6. **Congruence** — set operations with identical operator and
+//!    `ALL` flag and pairwise-proved operands (operand order may swap
+//!    for the commutative `UNION`/`INTERSECT`).
+//!
+//! The procedure is sound and incomplete: every `Proved` is a theorem,
+//! and anything it cannot close — including every bag-vs-set trap,
+//! `UNION` vs `UNION ALL`, and `=` vs `=̇` on nullable columns — is
+//! `Unknown`, never a false positive.
+
+use crate::atom::{canon_conjuncts, canon_projection};
+use crate::axioms::{projection_covers_keys, single_tuple};
+use crate::justify::ProofStatus;
+use uniq_plan::{AttrRef, BScalar, BoundExpr, BoundQuery, BoundSpec, FromTable, ProjItem};
+use uniq_sql::{CmpOp, Distinct, SetOp};
+
+/// Backtracking bound on the variable-bijection search.
+const MAX_VARS: usize = 6;
+
+/// The checker's answer. `Proved` is a soundness claim; `Unknown` is an
+/// honest shrug (the step falls back to the property-test oracle).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Equivalence was derived from the axioms.
+    Proved {
+        /// The strategy that closed the goal.
+        strategy: &'static str,
+        /// The axioms used.
+        detail: String,
+    },
+    /// The checker could not decide (it never guesses).
+    Unknown {
+        /// The first obstruction met.
+        reason: String,
+    },
+}
+
+impl Verdict {
+    /// True for [`Verdict::Proved`].
+    pub fn is_proved(&self) -> bool {
+        matches!(self, Verdict::Proved { .. })
+    }
+
+    /// Downgrade into the trace-facing [`ProofStatus`].
+    pub fn into_status(self) -> ProofStatus {
+        match self {
+            Verdict::Proved { strategy, detail } => ProofStatus::Proved { strategy, detail },
+            Verdict::Unknown { reason } => ProofStatus::PropertyTested { reason },
+        }
+    }
+}
+
+fn proved(strategy: &'static str, detail: impl Into<String>) -> Verdict {
+    Verdict::Proved {
+        strategy,
+        detail: detail.into(),
+    }
+}
+
+fn unknown(reason: impl Into<String>) -> Verdict {
+    Verdict::Unknown {
+        reason: reason.into(),
+    }
+}
+
+/// Decide whether `before` and `after` provably denote the same
+/// multiset function. Axioms (keys, unique indexes, foreign keys,
+/// nullability) are read from the table schemas embedded in the bound
+/// trees themselves.
+pub fn check_equiv(before: &BoundQuery, after: &BoundQuery) -> Verdict {
+    match (before, after) {
+        (BoundQuery::Spec(b), BoundQuery::Spec(a)) => check_spec(b, a),
+        (BoundQuery::SetOp { .. }, BoundQuery::SetOp { .. }) => check_setops(before, after),
+        (BoundQuery::SetOp { .. }, BoundQuery::Spec(a)) => check_lowering(before, a),
+        (BoundQuery::Spec(b), BoundQuery::SetOp { .. }) => check_lowering(after, b),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reference visitors (depth-aware; local twins of core's utilities —
+// this crate audits `uniq-core`, so it shares no code with it).
+
+fn visit_scalar(sc: &BScalar, depth: usize, f: &mut impl FnMut(usize, AttrRef)) {
+    if let BScalar::Attr(a) = sc {
+        f(depth, *a);
+    }
+}
+
+/// Visit every attribute reference in `e`, reporting the subquery
+/// nesting depth it was seen at (0 = `e`'s own block).
+fn visit_refs(e: &BoundExpr, depth: usize, f: &mut impl FnMut(usize, AttrRef)) {
+    match e {
+        BoundExpr::Cmp { left, right, .. } => {
+            visit_scalar(left, depth, f);
+            visit_scalar(right, depth, f);
+        }
+        BoundExpr::Between {
+            scalar, low, high, ..
+        } => {
+            visit_scalar(scalar, depth, f);
+            visit_scalar(low, depth, f);
+            visit_scalar(high, depth, f);
+        }
+        BoundExpr::InList { scalar, list, .. } => {
+            visit_scalar(scalar, depth, f);
+            for item in list {
+                visit_scalar(item, depth, f);
+            }
+        }
+        BoundExpr::IsNull { scalar, .. } => visit_scalar(scalar, depth, f),
+        BoundExpr::Exists { subquery, .. } => {
+            if let Some(p) = &subquery.predicate {
+                visit_refs(p, depth + 1, f);
+            }
+        }
+        BoundExpr::InSubquery {
+            scalar, subquery, ..
+        } => {
+            visit_scalar(scalar, depth, f);
+            if let Some(p) = &subquery.predicate {
+                visit_refs(p, depth + 1, f);
+            }
+        }
+        BoundExpr::And(a, b) | BoundExpr::Or(a, b) => {
+            visit_refs(a, depth, f);
+            visit_refs(b, depth, f);
+        }
+        BoundExpr::Not(a) => visit_refs(a, depth, f),
+    }
+}
+
+fn map_scalar(sc: &mut BScalar, depth: usize, f: &mut impl FnMut(usize, &mut AttrRef)) {
+    if let BScalar::Attr(a) = sc {
+        f(depth, a);
+    }
+}
+
+/// Rewrite every attribute reference in `e` in place, reporting the
+/// subquery nesting depth alongside.
+fn map_refs(e: &mut BoundExpr, depth: usize, f: &mut impl FnMut(usize, &mut AttrRef)) {
+    match e {
+        BoundExpr::Cmp { left, right, .. } => {
+            map_scalar(left, depth, f);
+            map_scalar(right, depth, f);
+        }
+        BoundExpr::Between {
+            scalar, low, high, ..
+        } => {
+            map_scalar(scalar, depth, f);
+            map_scalar(low, depth, f);
+            map_scalar(high, depth, f);
+        }
+        BoundExpr::InList { scalar, list, .. } => {
+            map_scalar(scalar, depth, f);
+            for item in list {
+                map_scalar(item, depth, f);
+            }
+        }
+        BoundExpr::IsNull { scalar, .. } => map_scalar(scalar, depth, f),
+        BoundExpr::Exists { subquery, .. } => {
+            if let Some(p) = &mut subquery.predicate {
+                map_refs(p, depth + 1, f);
+            }
+        }
+        BoundExpr::InSubquery {
+            scalar, subquery, ..
+        } => {
+            map_scalar(scalar, depth, f);
+            if let Some(p) = &mut subquery.predicate {
+                map_refs(p, depth + 1, f);
+            }
+        }
+        BoundExpr::And(a, b) | BoundExpr::Or(a, b) => {
+            map_refs(a, depth, f);
+            map_refs(b, depth, f);
+        }
+        BoundExpr::Not(a) => map_refs(a, depth, f),
+    }
+}
+
+fn cloned_conjuncts(spec: &BoundSpec) -> Vec<BoundExpr> {
+    match &spec.predicate {
+        Some(p) => p.conjuncts().into_iter().cloned().collect(),
+        None => Vec::new(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Variable bijection search.
+
+/// Find a table-respecting bijection `σ : vars(b) → vars(a)` under
+/// which `b`'s canonical atoms and projection equal `a`'s. Squash
+/// (`DISTINCT`) flags are *not* compared — callers judge them.
+fn find_iso(b: &BoundSpec, a: &BoundSpec) -> Option<Vec<usize>> {
+    let n = b.from.len();
+    if a.from.len() != n || n > MAX_VARS || b.projection.len() != a.projection.len() {
+        return None;
+    }
+    let a_atoms = canon_conjuncts(a, None);
+    let a_proj = canon_projection(a, None);
+    let mut assign = vec![usize::MAX; n];
+    let mut used = vec![false; n];
+    fn rec(
+        i: usize,
+        b: &BoundSpec,
+        a: &BoundSpec,
+        assign: &mut Vec<usize>,
+        used: &mut Vec<bool>,
+        a_atoms: &[crate::atom::PAtom],
+        a_proj: &[(crate::atom::PScalar, String)],
+    ) -> bool {
+        let n = b.from.len();
+        if i == n {
+            let mut map = vec![0usize; b.product_arity()];
+            for (bi, &ai) in assign.iter().enumerate() {
+                let (bt, at) = (&b.from[bi], &a.from[ai]);
+                for c in 0..bt.schema.arity() {
+                    map[bt.offset + c] = at.offset + c;
+                }
+            }
+            return canon_conjuncts(b, Some(&map)) == a_atoms
+                && canon_projection(b, Some(&map)) == a_proj;
+        }
+        for j in 0..n {
+            if used[j]
+                || b.from[i].schema.name != a.from[j].schema.name
+                || b.from[i].schema.arity() != a.from[j].schema.arity()
+            {
+                continue;
+            }
+            assign[i] = j;
+            used[j] = true;
+            if rec(i + 1, b, a, assign, used, a_atoms, a_proj) {
+                return true;
+            }
+            used[j] = false;
+        }
+        false
+    }
+    rec(0, b, a, &mut assign, &mut used, &a_atoms, &a_proj).then_some(assign)
+}
+
+// ---------------------------------------------------------------------
+// Single-block strategies.
+
+fn check_spec(b: &BoundSpec, a: &BoundSpec) -> Verdict {
+    if find_iso(b, a).is_some() {
+        return judge_flags(b, a);
+    }
+    if let Some(v) = try_absorb(b, a) {
+        return v;
+    }
+    if let Some(v) = try_absorb(a, b) {
+        return v;
+    }
+    if let Some(v) = try_fk_elim(b, a) {
+        return v;
+    }
+    if let Some(v) = try_fk_elim(a, b) {
+        return v;
+    }
+    unknown("no strategy applies (variable bijection, semijoin absorption, inclusion dependency)")
+}
+
+/// Same atoms under a bijection; judge the squash flags.
+fn judge_flags(b: &BoundSpec, a: &BoundSpec) -> Verdict {
+    match (b.distinct, a.distinct) {
+        (Distinct::All, Distinct::All) | (Distinct::Distinct, Distinct::Distinct) => proved(
+            "variable renaming",
+            "blocks are isomorphic up to tuple-variable renaming",
+        ),
+        (Distinct::Distinct, Distinct::All) => squash_elim(a),
+        (Distinct::All, Distinct::Distinct) => squash_elim(b),
+    }
+}
+
+/// `‖e‖ = e` when `e` is provably duplicate-free (Theorem 1).
+fn squash_elim(unsquashed: &BoundSpec) -> Verdict {
+    let d = projection_covers_keys(unsquashed);
+    if d.holds {
+        proved("squash elimination (Theorem 1)", d.detail)
+    } else {
+        unknown(d.detail)
+    }
+}
+
+/// Inline the subquery of the `idx`-th conjunct (a positive `EXISTS`)
+/// into `x`'s product: sub tables append after `x`'s, sub conjuncts
+/// hoist with their references shifted into the merged space.
+fn merge_exists(x: &BoundSpec, idx: usize) -> BoundSpec {
+    let conj = cloned_conjuncts(x);
+    let BoundExpr::Exists { subquery, .. } = &conj[idx] else {
+        unreachable!("caller checked the conjunct is EXISTS");
+    };
+    let sub = subquery.as_ref();
+    let offset = x.product_arity();
+    let mut from = x.from.clone();
+    for t in &sub.from {
+        from.push(FromTable {
+            binding: t.binding.clone(),
+            schema: t.schema.clone(),
+            offset: t.offset + offset,
+        });
+    }
+    let mut preds: Vec<BoundExpr> = conj
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != idx)
+        .map(|(_, c)| c.clone())
+        .collect();
+    if let Some(p) = &sub.predicate {
+        for c in p.conjuncts() {
+            let mut c = c.clone();
+            map_refs(&mut c, 0, &mut |d, a| {
+                if a.up == d {
+                    // Local to the dissolved subquery: shift into the
+                    // merged product.
+                    a.idx += offset;
+                } else if a.up > d {
+                    // Pointed above the dissolved block: one level
+                    // closer now.
+                    a.up -= 1;
+                }
+            });
+            preds.push(c);
+        }
+    }
+    BoundSpec {
+        distinct: x.distinct,
+        from,
+        predicate: BoundExpr::conjoin(preds),
+        projection: x.projection.clone(),
+    }
+}
+
+/// Absorption: `x` carries a positive `EXISTS` factor whose inlined
+/// form matches `y`.
+fn try_absorb(x: &BoundSpec, y: &BoundSpec) -> Option<Verdict> {
+    if x.from.len() >= y.from.len() {
+        return None;
+    }
+    let conj: Vec<&BoundExpr> = match &x.predicate {
+        Some(p) => p.conjuncts(),
+        None => return None,
+    };
+    for (i, c) in conj.iter().enumerate() {
+        let BoundExpr::Exists {
+            negated: false,
+            subquery,
+        } = c
+        else {
+            continue;
+        };
+        let merged = merge_exists(x, i);
+        if merged.from.len() != y.from.len() || find_iso(&merged, y).is_none() {
+            continue;
+        }
+        let verdict = match (x.distinct, y.distinct) {
+            // ‖Σ_o P·‖Σ_s Q‖‖ = ‖Σ_o Σ_s P·Q‖ unconditionally: both
+            // squashes test bare existence.
+            (Distinct::Distinct, Distinct::Distinct) => Some(proved(
+                "squash absorption",
+                "both sides squashed; EXISTS inlines into the product",
+            )),
+            // Σ_o P·‖Σ_s Q‖ = Σ_o Σ_s P·Q needs Σ_s Q ≤ 1 per outer
+            // binding.
+            (Distinct::All, Distinct::All) => {
+                let d = single_tuple(subquery);
+                d.holds
+                    .then(|| proved("semijoin absorption (Theorem 2)", d.detail))
+            }
+            // Σ_o P·‖Σ_s Q‖ = ‖Σ_o Σ_s P·Q‖ needs the semijoin side
+            // duplicate-free (then both sides are 0/1 with the same
+            // support) — Corollary 1, and the license of the DISTINCT
+            // pushdown rewrite.
+            (Distinct::All, Distinct::Distinct) => {
+                let d = projection_covers_keys(x);
+                d.holds
+                    .then(|| proved("duplicate-free semijoin (Corollary 1)", d.detail))
+            }
+            // ‖Σ_o P·‖Σ_s Q‖‖ = Σ_o Σ_s P·Q needs the *merged* side
+            // duplicate-free.
+            (Distinct::Distinct, Distinct::All) => {
+                let d = projection_covers_keys(y);
+                d.holds
+                    .then(|| proved("squash absorption + squash elimination", d.detail))
+            }
+        };
+        if let Some(v) = verdict {
+            return Some(v);
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------
+// Inclusion-dependency (foreign-key) elimination.
+
+fn mentions_locally(e: &BoundExpr, range: &std::ops::Range<usize>) -> bool {
+    let mut hit = false;
+    e.visit_local_attrs(&mut |i| {
+        if range.contains(&i) {
+            hit = true;
+        }
+    });
+    hit
+}
+
+fn mentioned_from_subquery(e: &BoundExpr, range: &std::ops::Range<usize>) -> bool {
+    let mut hit = false;
+    visit_refs(e, 0, &mut |d, a| {
+        if d > 0 && a.up == d && range.contains(&a.idx) {
+            hit = true;
+        }
+    });
+    hit
+}
+
+/// `big` joins one extra variable `p` whose every mention is an
+/// equality pairing a candidate key of `p` with declared-FK columns of
+/// a single child variable; removing `p` yields `small`. The factor
+/// `Σ_p Π [p.k =̇ c.f]` is identically 1: the FK guarantees at least
+/// one match (and `NOT NULL` referencing columns rule out null probes),
+/// the key at most one.
+fn try_fk_elim(big: &BoundSpec, small: &BoundSpec) -> Option<Verdict> {
+    if big.from.len() != small.from.len() + 1 || big.distinct != small.distinct {
+        return None;
+    }
+    let conj = cloned_conjuncts(big);
+    'parents: for p_idx in 0..big.from.len() {
+        let parent = &big.from[p_idx];
+        let range = parent.attr_range();
+        if big.projection.iter().any(|pi| range.contains(&pi.attr)) {
+            continue;
+        }
+        let mut pairs: Vec<(usize, usize)> = Vec::new(); // (parent col, other attr)
+        let mut kept: Vec<BoundExpr> = Vec::new();
+        for c in &conj {
+            if mentioned_from_subquery(c, &range) {
+                continue 'parents;
+            }
+            if !mentions_locally(c, &range) {
+                kept.push(c.clone());
+                continue;
+            }
+            let BoundExpr::Cmp {
+                op: CmpOp::Eq,
+                left: BScalar::Attr(l),
+                right: BScalar::Attr(r),
+            } = c
+            else {
+                continue 'parents;
+            };
+            if !l.is_local() || !r.is_local() {
+                continue 'parents;
+            }
+            let (p, o) = if range.contains(&l.idx) {
+                (l.idx, r.idx)
+            } else {
+                (r.idx, l.idx)
+            };
+            if range.contains(&o) {
+                continue 'parents; // parent-internal equality
+            }
+            pairs.push((p - parent.offset, o));
+        }
+        if pairs.is_empty() {
+            continue;
+        }
+        // All partner columns must live in one child variable.
+        let child = match big.attr_owner(pairs[0].1) {
+            Some((t, _)) => t,
+            None => continue,
+        };
+        if pairs.iter().any(|(_, o)| !child.attr_range().contains(o)) {
+            continue;
+        }
+        let mut query_pairs: Vec<(usize, usize)> =
+            pairs.iter().map(|(p, o)| (*p, o - child.offset)).collect();
+        query_pairs.sort_unstable();
+        query_pairs.dedup();
+        // A declared FK of the child must match the pairing exactly,
+        // target a candidate key of the parent, and have NOT NULL
+        // referencing columns.
+        let licensed = child.schema.foreign_keys().any(|fk| {
+            if fk.parent != parent.schema.name {
+                return false;
+            }
+            let Ok(pcols) = fk
+                .parent_columns
+                .iter()
+                .map(|pc| parent.schema.column_position(pc))
+                .collect::<Result<Vec<usize>, _>>()
+            else {
+                return false;
+            };
+            let mut declared: Vec<(usize, usize)> = pcols
+                .iter()
+                .zip(&fk.columns)
+                .map(|(p, c)| (*p, *c))
+                .collect();
+            declared.sort_unstable();
+            if declared != query_pairs {
+                return false;
+            }
+            let mut sorted = pcols;
+            sorted.sort_unstable();
+            parent.schema.candidate_keys().any(|k| k.columns == sorted)
+                && fk
+                    .columns
+                    .iter()
+                    .all(|c| !child.schema.columns[*c].nullable)
+        });
+        if !licensed {
+            continue;
+        }
+        // Build `big` without the parent variable and match.
+        let arity = parent.schema.arity();
+        let cut = parent.offset;
+        let shift = |idx: usize| if idx >= cut + arity { idx - arity } else { idx };
+        let from: Vec<FromTable> = big
+            .from
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != p_idx)
+            .map(|(_, t)| FromTable {
+                binding: t.binding.clone(),
+                schema: t.schema.clone(),
+                offset: shift(t.offset),
+            })
+            .collect();
+        let preds: Vec<BoundExpr> = kept
+            .into_iter()
+            .map(|mut c| {
+                map_refs(&mut c, 0, &mut |d, a| {
+                    if a.up == d {
+                        a.idx = shift(a.idx);
+                    }
+                });
+                c
+            })
+            .collect();
+        let reduced = BoundSpec {
+            distinct: big.distinct,
+            from,
+            predicate: BoundExpr::conjoin(preds),
+            projection: big
+                .projection
+                .iter()
+                .map(|pi| ProjItem {
+                    attr: shift(pi.attr),
+                    name: pi.name.clone(),
+                })
+                .collect(),
+        };
+        if find_iso(&reduced, small).is_some() {
+            return Some(proved(
+                "inclusion dependency (§7 join elimination)",
+                format!(
+                    "FK {}→{} onto a candidate key, referencing columns NOT NULL",
+                    child.binding, parent.binding
+                ),
+            ));
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------
+// Set operations.
+
+fn check_setops(b: &BoundQuery, a: &BoundQuery) -> Verdict {
+    let (
+        BoundQuery::SetOp {
+            op: bo,
+            all: ball,
+            left: bl,
+            right: br,
+        },
+        BoundQuery::SetOp {
+            op: ao,
+            all: aall,
+            left: al,
+            right: ar,
+        },
+    ) = (b, a)
+    else {
+        unreachable!("caller matched SetOp");
+    };
+    if bo != ao || ball != aall {
+        return unknown("set operations differ in operator or ALL");
+    }
+    let pair = |l1: &BoundQuery, l2: &BoundQuery, r1: &BoundQuery, r2: &BoundQuery| match (
+        check_equiv(l1, l2),
+        check_equiv(r1, r2),
+    ) {
+        (Verdict::Proved { .. }, Verdict::Proved { .. }) => {
+            Some(proved("congruence", "both operands proved equivalent"))
+        }
+        _ => None,
+    };
+    if let Some(v) = pair(bl, al, br, ar) {
+        return v;
+    }
+    // UNION and INTERSECT commute (under both ALL and DISTINCT).
+    if matches!(bo, SetOp::Union | SetOp::Intersect) {
+        if let Some(v) = pair(bl, ar, br, al) {
+            return v;
+        }
+    }
+    unknown("operand pair not proved equivalent")
+}
+
+/// `INTERSECT`/`EXCEPT` vs its `[NOT] EXISTS` lowering.
+fn check_lowering(setop: &BoundQuery, spec: &BoundSpec) -> Verdict {
+    let BoundQuery::SetOp {
+        op,
+        all,
+        left,
+        right,
+    } = setop
+    else {
+        unreachable!("caller matched SetOp");
+    };
+    let (Some(lb), Some(rb)) = (left.as_spec(), right.as_spec()) else {
+        return unknown("set-operation operands are not single blocks");
+    };
+    match op {
+        SetOp::Union => unknown("no lowering rule for UNION"),
+        SetOp::Intersect => {
+            for (lead, other) in [(lb, rb), (rb, lb)] {
+                if let Some(v) = match_lowered(lead, other, false, *all, spec) {
+                    return v;
+                }
+            }
+            unknown("EXISTS form does not match INTERSECT with either operand as lead")
+        }
+        SetOp::Except => match_lowered(lb, rb, true, *all, spec).unwrap_or_else(|| {
+            unknown("NOT EXISTS form does not match EXCEPT with the left operand as lead")
+        }),
+    }
+}
+
+/// `x =̇ y` in its explicit spelling (the canonicalizer collapses both
+/// legal spellings to the same atom).
+fn dotted_eq(outer_attr: usize, inner_attr: usize) -> BoundExpr {
+    let o = BScalar::Attr(AttrRef {
+        up: 1,
+        idx: outer_attr,
+    });
+    let i = BScalar::Attr(AttrRef::local(inner_attr));
+    BoundExpr::or(
+        BoundExpr::and(
+            BoundExpr::IsNull {
+                scalar: o.clone(),
+                negated: false,
+            },
+            BoundExpr::IsNull {
+                scalar: i.clone(),
+                negated: false,
+            },
+        ),
+        BoundExpr::Cmp {
+            op: CmpOp::Eq,
+            left: o,
+            right: i,
+        },
+    )
+}
+
+/// Match `spec` against `lead + [NOT] EXISTS(other ∧ π-pairwise =̇)`
+/// and judge the multiplicity conditions.
+fn match_lowered(
+    lead: &BoundSpec,
+    other: &BoundSpec,
+    negated: bool,
+    all: bool,
+    spec: &BoundSpec,
+) -> Option<Verdict> {
+    if lead.projection.len() != other.projection.len() {
+        return None;
+    }
+    let mut sub = other.clone();
+    let mut sub_conj = cloned_conjuncts(other);
+    for (lo, li) in lead.projection.iter().zip(&other.projection) {
+        sub_conj.push(dotted_eq(lo.attr, li.attr));
+    }
+    sub.predicate = BoundExpr::conjoin(sub_conj);
+    let mut expected = lead.clone();
+    let mut conj = cloned_conjuncts(lead);
+    conj.push(BoundExpr::Exists {
+        negated,
+        subquery: Box::new(sub),
+    });
+    expected.predicate = BoundExpr::conjoin(conj);
+    find_iso(&expected, spec)?;
+    // Multiplicities. Lead L, other R (counting =̇-equal tuples):
+    //   INTERSECT          ‖L‖·‖R‖        INTERSECT ALL  min(L, R)
+    //   EXCEPT             ‖L‖·(1−‖R‖)    EXCEPT ALL     max(L−R, 0)
+    // The lowered form denotes  sq?( L·‖R‖ )  resp.  sq?( L·(1−‖R‖) ).
+    // With L ∈ {0,1} (duplicate-free lead) every pair above coincides;
+    // for the DISTINCT operators an outer squash alone also suffices.
+    let lead_df: Option<String> = if lead.distinct == Distinct::Distinct {
+        Some("lead operand declared DISTINCT".to_string())
+    } else {
+        let d = projection_covers_keys(lead);
+        d.holds.then_some(d.detail)
+    };
+    let strategy = match (negated, all) {
+        (false, false) => "set-intersection lowering (Theorem 3)",
+        (false, true) => "set-intersection lowering (Corollary 2)",
+        (true, false) => "set-difference lowering (Theorem 3)",
+        (true, true) => "set-difference lowering (Corollary 2)",
+    };
+    if !all && spec.distinct == Distinct::Distinct {
+        return Some(proved(
+            strategy,
+            "outer squash restores set semantics; operands pair by =̇",
+        ));
+    }
+    lead_df.map(|d| proved(strategy, format!("duplicate-free lead: {d}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniq_catalog::sample::supplier_schema;
+    use uniq_plan::bind_query;
+    use uniq_sql::parse_query;
+
+    fn bind(sql: &str) -> BoundQuery {
+        let db = supplier_schema().unwrap();
+        bind_query(db.catalog(), &parse_query(sql).unwrap()).unwrap()
+    }
+
+    fn check(before: &str, after: &str) -> Verdict {
+        check_equiv(&bind(before), &bind(after))
+    }
+
+    fn assert_proved(before: &str, after: &str, strategy_frag: &str) {
+        match check(before, after) {
+            Verdict::Proved { strategy, detail } => assert!(
+                strategy.contains(strategy_frag),
+                "proved by {strategy} ({detail}), wanted strategy containing {strategy_frag:?}"
+            ),
+            Verdict::Unknown { reason } => {
+                panic!("expected Proved({strategy_frag}), got Unknown: {reason}")
+            }
+        }
+    }
+
+    fn assert_unknown(before: &str, after: &str) {
+        let v = check(before, after);
+        assert!(!v.is_proved(), "expected Unknown, got {v:?}");
+    }
+
+    #[test]
+    fn variable_renaming_is_an_isomorphism() {
+        assert_proved(
+            "SELECT S.SNO, S.SNAME FROM SUPPLIER S WHERE S.SCITY = 'Toronto'",
+            "SELECT X.SNO, X.SNAME FROM SUPPLIER X WHERE X.SCITY = 'Toronto'",
+            "variable renaming",
+        );
+        // Join order and binding names are erased too.
+        assert_proved(
+            "SELECT DISTINCT S.SNAME FROM SUPPLIER S, PARTS P WHERE S.SNO = P.SNO",
+            "SELECT DISTINCT T.SNAME FROM PARTS Q, SUPPLIER T WHERE Q.SNO = T.SNO",
+            "variable renaming",
+        );
+    }
+
+    #[test]
+    fn distinct_removal_needs_a_covered_key() {
+        // Theorem 1: projection covers SUPPLIER's key.
+        assert_proved(
+            "SELECT DISTINCT S.SNO, S.SNAME FROM SUPPLIER S",
+            "SELECT S.SNO, S.SNAME FROM SUPPLIER S",
+            "squash elimination",
+        );
+        // ... and is symmetric in argument order.
+        assert_proved(
+            "SELECT S.SNO, S.SNAME FROM SUPPLIER S",
+            "SELECT DISTINCT S.SNO, S.SNAME FROM SUPPLIER S",
+            "squash elimination",
+        );
+        // Bag-vs-set trap: SNAME alone covers no key.
+        assert_unknown(
+            "SELECT DISTINCT S.SNAME FROM SUPPLIER S",
+            "SELECT S.SNAME FROM SUPPLIER S",
+        );
+    }
+
+    #[test]
+    fn type1_equalities_extend_the_projection_closure() {
+        // SNO = 3 makes SNO constant, so any projection covers the key.
+        assert_proved(
+            "SELECT DISTINCT S.SNAME FROM SUPPLIER S WHERE S.SNO = 3",
+            "SELECT S.SNAME FROM SUPPLIER S WHERE S.SNO = 3",
+            "squash elimination",
+        );
+        // ... but not under a disjunction (the equality is no longer a
+        // singleton CNF clause).
+        assert_unknown(
+            "SELECT DISTINCT S.SNAME FROM SUPPLIER S WHERE S.SNO = 3 OR S.SCITY = 'Hull'",
+            "SELECT S.SNAME FROM SUPPLIER S WHERE S.SNO = 3 OR S.SCITY = 'Hull'",
+        );
+    }
+
+    #[test]
+    fn unique_index_key_alone_licenses_a_proof() {
+        // A key declared only via CREATE UNIQUE INDEX feeds the axiom
+        // set exactly like a declared constraint — and the proof detail
+        // names the index.
+        let mut db = supplier_schema().unwrap();
+        db.run_script("CREATE UNIQUE INDEX IX_SNAME ON SUPPLIER (SNAME)")
+            .unwrap();
+        let bind = |sql: &str| bind_query(db.catalog(), &parse_query(sql).unwrap()).unwrap();
+        let before = bind("SELECT DISTINCT S.SNAME FROM SUPPLIER S");
+        let after = bind("SELECT S.SNAME FROM SUPPLIER S");
+        match check_equiv(&before, &after) {
+            Verdict::Proved { strategy, detail } => {
+                assert_eq!(strategy, "squash elimination (Theorem 1)");
+                assert!(detail.contains("IX_SNAME"), "{detail}");
+            }
+            Verdict::Unknown { reason } => panic!("expected Proved: {reason}"),
+        }
+    }
+
+    #[test]
+    fn theorem_2_absorption_needs_a_single_tuple_subquery() {
+        // The correlated PARTS probe binds its full key (SNO from the
+        // correlation, PNO from the constant), so EXISTS ⇔ join even
+        // under bag semantics.
+        assert_proved(
+            "SELECT S.SNAME FROM SUPPLIER S \
+             WHERE EXISTS (SELECT P.PNO FROM PARTS P WHERE P.SNO = S.SNO AND P.PNO = 10)",
+            "SELECT S.SNAME FROM SUPPLIER S, PARTS P WHERE S.SNO = P.SNO AND P.PNO = 10",
+            "Theorem 2",
+        );
+        // Without PNO bound the subquery may yield several tuples:
+        // the pair is NOT equivalent under bag semantics.
+        assert_unknown(
+            "SELECT S.SNAME FROM SUPPLIER S \
+             WHERE EXISTS (SELECT P.PNO FROM PARTS P WHERE P.SNO = S.SNO)",
+            "SELECT S.SNAME FROM SUPPLIER S, PARTS P WHERE S.SNO = P.SNO",
+        );
+    }
+
+    #[test]
+    fn corollary_1_absorption_covers_distinct_pushdown() {
+        // DISTINCT join vs undistinct semijoin: sound because the
+        // semijoin side's projection covers SUPPLIER's key. This is
+        // exactly the DISTINCT-pushdown rewrite's proof obligation.
+        assert_proved(
+            "SELECT DISTINCT S.SNO, S.SNAME FROM SUPPLIER S, PARTS P WHERE S.SNO = P.SNO",
+            "SELECT S.SNO, S.SNAME FROM SUPPLIER S \
+             WHERE EXISTS (SELECT P.PNO FROM PARTS P WHERE P.SNO = S.SNO)",
+            "Corollary 1",
+        );
+        // Non-key projection: pushing DISTINCT into a semijoin would
+        // change multiplicities. Never proved.
+        assert_unknown(
+            "SELECT DISTINCT S.SCITY FROM SUPPLIER S, PARTS P WHERE S.SNO = P.SNO",
+            "SELECT S.SCITY FROM SUPPLIER S \
+             WHERE EXISTS (SELECT P.PNO FROM PARTS P WHERE P.SNO = S.SNO)",
+        );
+    }
+
+    #[test]
+    fn squash_absorption_when_both_sides_are_squashed() {
+        assert_proved(
+            "SELECT DISTINCT S.SCITY FROM SUPPLIER S, PARTS P WHERE S.SNO = P.SNO",
+            "SELECT DISTINCT S.SCITY FROM SUPPLIER S \
+             WHERE EXISTS (SELECT P.PNO FROM PARTS P WHERE P.SNO = S.SNO)",
+            "squash absorption",
+        );
+    }
+
+    #[test]
+    fn fk_join_elimination_needs_the_declared_fk() {
+        // PARTS.SNO → SUPPLIER.SNO, NOT NULL, onto the parent key.
+        assert_proved(
+            "SELECT P.PNO, P.PNAME FROM PARTS P, SUPPLIER S WHERE P.SNO = S.SNO",
+            "SELECT P.PNO, P.PNAME FROM PARTS P",
+            "inclusion dependency",
+        );
+        // Reverse direction: suppliers without parts would be lost;
+        // there is no FK SUPPLIER → PARTS. Never proved.
+        assert_unknown(
+            "SELECT S.SNAME FROM SUPPLIER S, PARTS P WHERE S.SNO = P.SNO",
+            "SELECT S.SNAME FROM SUPPLIER S",
+        );
+        // Extra predicate on the parent defeats the elimination.
+        assert_unknown(
+            "SELECT P.PNO FROM PARTS P, SUPPLIER S WHERE P.SNO = S.SNO AND S.BUDGET > 0",
+            "SELECT P.PNO FROM PARTS P",
+        );
+    }
+
+    #[test]
+    fn intersect_lowering_is_proved_with_the_null_aware_pairing() {
+        assert_proved(
+            "SELECT S.SCITY FROM SUPPLIER S INTERSECT SELECT A.ACITY FROM AGENTS A",
+            "SELECT DISTINCT S.SCITY FROM SUPPLIER S \
+             WHERE EXISTS (SELECT A.ACITY FROM AGENTS A \
+                           WHERE (S.SCITY IS NULL AND A.ACITY IS NULL) OR S.SCITY = A.ACITY)",
+            "set-intersection lowering",
+        );
+        // A plain `=` pairing on nullable columns is NOT the =̇ the set
+        // operation uses: NULL cities would be dropped. Never proved.
+        assert_unknown(
+            "SELECT S.SCITY FROM SUPPLIER S INTERSECT SELECT A.ACITY FROM AGENTS A",
+            "SELECT DISTINCT S.SCITY FROM SUPPLIER S \
+             WHERE EXISTS (SELECT A.ACITY FROM AGENTS A WHERE S.SCITY = A.ACITY)",
+        );
+    }
+
+    #[test]
+    fn except_lowering_and_its_operand_order_trap() {
+        let lowered = "SELECT DISTINCT S.SCITY FROM SUPPLIER S \
+             WHERE NOT EXISTS (SELECT A.ACITY FROM AGENTS A \
+                               WHERE (S.SCITY IS NULL AND A.ACITY IS NULL) OR S.SCITY = A.ACITY)";
+        assert_proved(
+            "SELECT S.SCITY FROM SUPPLIER S EXCEPT SELECT A.ACITY FROM AGENTS A",
+            lowered,
+            "set-difference lowering",
+        );
+        // EXCEPT does not commute: the swapped operands must not match
+        // the same lowered form.
+        assert_unknown(
+            "SELECT A.ACITY FROM AGENTS A EXCEPT SELECT S.SCITY FROM SUPPLIER S",
+            lowered,
+        );
+    }
+
+    #[test]
+    fn union_has_no_lowering_and_all_flags_never_mix() {
+        assert_unknown(
+            "SELECT S.SCITY FROM SUPPLIER S UNION SELECT A.ACITY FROM AGENTS A",
+            "SELECT DISTINCT S.SCITY FROM SUPPLIER S",
+        );
+        // UNION vs UNION ALL is the classic bag-vs-set trap.
+        assert_unknown(
+            "SELECT S.SCITY FROM SUPPLIER S UNION SELECT A.ACITY FROM AGENTS A",
+            "SELECT S.SCITY FROM SUPPLIER S UNION ALL SELECT A.ACITY FROM AGENTS A",
+        );
+    }
+
+    #[test]
+    fn setop_congruence_commutes_union_but_not_except() {
+        assert_proved(
+            "SELECT S.SCITY FROM SUPPLIER S UNION SELECT A.ACITY FROM AGENTS A",
+            "SELECT A.ACITY FROM AGENTS A UNION SELECT S.SCITY FROM SUPPLIER S",
+            "congruence",
+        );
+        assert_unknown(
+            "SELECT S.SCITY FROM SUPPLIER S EXCEPT SELECT A.ACITY FROM AGENTS A",
+            "SELECT A.ACITY FROM AGENTS A EXCEPT SELECT S.SCITY FROM SUPPLIER S",
+        );
+    }
+
+    #[test]
+    fn verdict_downgrades_into_proof_status() {
+        let v = check(
+            "SELECT DISTINCT S.SNO FROM SUPPLIER S",
+            "SELECT S.SNO FROM SUPPLIER S",
+        );
+        assert!(v.is_proved());
+        assert!(v.into_status().is_proved());
+        let u = unknown("why not");
+        assert_eq!(
+            u.into_status(),
+            ProofStatus::PropertyTested {
+                reason: "why not".into()
+            }
+        );
+    }
+}

@@ -38,6 +38,7 @@
 //! | [`catalog`] | schemas, keys, `CHECK`s, validated storage |
 //! | [`plan`] | binder, bound algebra, CNF/DNF normalization |
 //! | [`fd`] | FD sets, closure, candidate keys |
+//! | [`proof`] | U-semiring symbolic equivalence checker |
 //! | [`core`] | Algorithm 1, FD uniqueness test, rewrite rules |
 //! | [`cost`] | statistics, cardinality estimator, cost-based planner |
 //! | [`engine`] | executor, set operations, [`engine::Session`] |
@@ -53,6 +54,7 @@ pub use uniq_fd as fd;
 pub use uniq_ims as ims;
 pub use uniq_oodb as oodb;
 pub use uniq_plan as plan;
+pub use uniq_proof as proof;
 pub use uniq_sql as sql;
 pub use uniq_types as types;
 pub use uniq_workload as workload;
