@@ -1,0 +1,23 @@
+use uniqueness::plan::bind_query;
+use uniqueness::proof::check_equiv;
+use uniqueness::sql::parse_query;
+use uniqueness::catalog::sample::supplier_schema;
+
+#[test]
+fn review_lowering_soundness_probe() {
+    let db = supplier_schema().unwrap();
+    let bind = |sql: &str| bind_query(db.catalog(), &parse_query(sql).unwrap()).unwrap();
+    // lead declared DISTINCT on a non-key projection; lowered spec NOT distinct.
+    let before = bind("SELECT DISTINCT S.SCITY FROM SUPPLIER S INTERSECT ALL SELECT A.ACITY FROM AGENTS A");
+    let after = bind(
+        "SELECT S.SCITY FROM SUPPLIER S WHERE EXISTS \
+         (SELECT A.ACITY FROM AGENTS A WHERE (S.SCITY IS NULL AND A.ACITY IS NULL) OR S.SCITY = A.ACITY)",
+    );
+    let v = check_equiv(&before, &after);
+    eprintln!("INTERSECT ALL probe verdict: {v:?}");
+    // also the plain INTERSECT (distinct) vs non-distinct lowered spec
+    let before2 = bind("SELECT DISTINCT S.SCITY FROM SUPPLIER S INTERSECT SELECT A.ACITY FROM AGENTS A");
+    let v2 = check_equiv(&before2, &after);
+    eprintln!("INTERSECT probe verdict: {v2:?}");
+    panic!("show output");
+}
