@@ -48,6 +48,49 @@ echo "==> fast lane: parallel/serial agreement at a 2-worker degree"
 # the CI host, so the lane's timing stays predictable.
 cargo test -q -p uniqueness --test parallel_agreement -- --test-threads=1
 
+echo "==> fast lane: wire codec + server end-to-end tests"
+cargo test -q -p uniq-server
+
+echo "==> fast lane: uniqd multi-client smoke test (loopback, ephemeral port)"
+# Spawn the daemon on port 0, parse the actual port from its banner,
+# then hammer it with a writer and two readers concurrently. The hard
+# timeout guards CI against a wedged daemon; everything is loopback.
+cargo build -q -p uniq-server --bins
+SMOKE_LOG="$(mktemp)"
+./target/debug/uniqd --port 0 > "$SMOKE_LOG" &
+UNIQD_PID=$!
+trap 'kill "$UNIQD_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 1 50); do
+    grep -q "uniqd listening on" "$SMOKE_LOG" && break
+    sleep 0.1
+done
+UNIQD_ADDR="$(sed -n 's/^uniqd listening on //p' "$SMOKE_LOG")"
+if [ -z "$UNIQD_ADDR" ]; then
+    echo "error: uniqd never printed its listen address" >&2
+    exit 1
+fi
+CLI=./target/debug/uniq-cli
+timeout 60 "$CLI" --addr "$UNIQD_ADDR" \
+    -e "INSERT INTO SUPPLIER VALUES (401, 'Smoke', 'Toronto', 7, 'Active');" &
+WRITER=$!
+for i in 1 2; do
+    timeout 60 "$CLI" --addr "$UNIQD_ADDR" \
+        -e "SELECT S.SNO, S.SNAME FROM SUPPLIER S WHERE S.SCITY = 'Toronto'" \
+        > /dev/null &
+    eval "READER$i=\$!"
+done
+wait "$WRITER" "$READER1" "$READER2"
+# The write must be visible to a fresh snapshot, with a proof-carrying
+# EXPLAIN served over the same wire.
+timeout 60 "$CLI" --addr "$UNIQD_ADDR" \
+    -e "SELECT S.SNAME FROM SUPPLIER S WHERE S.SNO = 401" | grep -q Smoke
+timeout 60 "$CLI" --addr "$UNIQD_ADDR" --explain \
+    "SELECT DISTINCT S.SNO, P.PNO FROM SUPPLIER S, PARTS P WHERE S.SNO = P.SNO" \
+    | grep -q "proof=✓"
+kill "$UNIQD_PID" 2>/dev/null || true
+trap - EXIT
+rm -f "$SMOKE_LOG"
+
 echo "==> cargo build --release"
 cargo build --release
 

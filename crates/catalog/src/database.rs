@@ -11,6 +11,7 @@ use crate::table::{IndexDef, TableSchema};
 use crate::validate;
 use std::collections::{BTreeMap, HashMap};
 use std::ops::Bound;
+use std::sync::Arc;
 use uniq_sql::{CreateIndex, IndexKindAst, Insert, Statement};
 use uniq_types::{Error, Result, TableName, Value};
 
@@ -87,10 +88,16 @@ struct TableData {
 /// [`Database::insert`] satisfies all declared constraints (shape, type,
 /// `CHECK`s, key uniqueness with `=̇` semantics, foreign keys), so
 /// instances are always *valid* in the paper's sense.
+///
+/// Table contents sit behind per-table [`Arc`]s, so `Database::clone` is
+/// a *structural-sharing* copy: it duplicates only the catalog and the
+/// table map, not the rows. A mutation on a clone copies just the
+/// touched table's storage (copy-on-write via [`Arc::make_mut`]) — the
+/// primitive the MVCC snapshot chain in [`crate::snapshot`] is built on.
 #[derive(Debug, Clone, Default)]
 pub struct Database {
     catalog: Catalog,
-    data: BTreeMap<TableName, TableData>,
+    data: BTreeMap<TableName, Arc<TableData>>,
     /// Monotonic schema version; see [`Database::version`].
     version: u64,
 }
@@ -163,11 +170,11 @@ impl Database {
         self.catalog.create_table(schema)?;
         self.data.insert(
             name,
-            TableData {
+            Arc::new(TableData {
                 rows: Vec::new(),
                 key_indexes: vec![BTreeMap::new(); n_keys],
                 secondary: Vec::new(),
-            },
+            }),
         );
         self.version += 1;
         Ok(())
@@ -243,7 +250,7 @@ impl Database {
 
         let appended = self.catalog.table_mut(&ast.table)?.add_index(def);
         debug_assert_eq!(appended, needs_key);
-        let data = self.data.get_mut(&ast.table).expect("checked above");
+        let data = Arc::make_mut(self.data.get_mut(&ast.table).expect("checked above"));
         data.secondary.push(sec);
         if needs_key {
             data.key_indexes.push(key_index);
@@ -424,7 +431,7 @@ impl Database {
             .iter()
             .map(|ix| key_tuple(&ix.columns, &row))
             .collect();
-        let data = self.data.get_mut(table).expect("checked above");
+        let data = Arc::make_mut(self.data.get_mut(table).expect("checked above"));
         let pos = data.rows.len();
         for (index, tuple) in data.key_indexes.iter_mut().zip(tuples) {
             index.insert(tuple, pos);
@@ -475,10 +482,11 @@ impl Database {
     /// the *first* row for any duplicated key value.
     pub fn insert_unchecked(&mut self, table: &TableName, row: Row) -> Result<()> {
         let schema = self.catalog.table(table)?.clone();
-        let data = self
-            .data
-            .get_mut(table)
-            .ok_or_else(|| Error::UnknownTable(table.to_string()))?;
+        let data = Arc::make_mut(
+            self.data
+                .get_mut(table)
+                .ok_or_else(|| Error::UnknownTable(table.to_string()))?,
+        );
         let pos = data.rows.len();
         for (key, index) in schema.candidate_keys().zip(data.key_indexes.iter_mut()) {
             index.entry(key_tuple(&key.columns, &row)).or_insert(pos);
@@ -527,10 +535,25 @@ impl Database {
         self.rows(table).map(|r| r.len())
     }
 
+    /// Do `self` and `other` share the *same* underlying storage for
+    /// `table` (same `Arc`, not merely equal contents)? This is the
+    /// observable face of copy-on-write cloning: after `let b =
+    /// a.clone()`, every table shares storage; after a write to one
+    /// table of `b`, only that table's storage diverges. Used by the
+    /// MVCC snapshot tests to prove writes clone nothing they did not
+    /// touch.
+    pub fn shares_storage(&self, other: &Database, table: &TableName) -> bool {
+        match (self.data.get(table), other.data.get(table)) {
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+
     /// Remove all rows of a table (schema stays).
     pub fn truncate(&mut self, table: &TableName) -> Result<()> {
         self.data
             .get_mut(table)
+            .map(Arc::make_mut)
             .map(|d| {
                 d.rows.clear();
                 for idx in &mut d.key_indexes {

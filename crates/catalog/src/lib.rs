@@ -22,9 +22,11 @@
 pub mod catalog;
 pub mod database;
 pub mod sample;
+pub mod snapshot;
 pub mod table;
 pub mod validate;
 
 pub use catalog::Catalog;
 pub use database::{Database, Row};
+pub use snapshot::SnapshotStore;
 pub use table::{ColumnDef, ForeignKey, IndexDef, Key, TableConstraint, TableSchema};

@@ -34,6 +34,7 @@ pub mod parallel;
 pub mod plancache;
 pub mod session;
 pub mod setops;
+pub mod shared;
 pub mod stats;
 
 pub use columnar::{ColumnBatch, ColumnData, ColumnStore, TableColumns, DEFAULT_DICT_LIMIT};
@@ -42,5 +43,6 @@ pub use explain::{explain, explain_with_trace, render_trace};
 pub use parallel::MORSEL_SIZE;
 pub use plancache::{CacheStats, CachedPlan, PlanCache};
 pub use session::{QueryOutput, Session};
+pub use shared::{EngineStats, SharedEngine, SharedSession};
 pub use stats::{Degree, DistinctMethod, ExecStats, JoinMethod, StageTimings};
 pub use uniq_cost::{CardReport, PhysicalPlan, PlannerOptions, QErrorStats, Statistics};

@@ -1,0 +1,502 @@
+//! Multi-client serving: sessions over MVCC snapshots with one shared
+//! plan cache.
+//!
+//! [`Session`](crate::Session) owns its [`Database`] — good for a
+//! single-threaded driver, useless for a daemon where writers and
+//! readers interleave. [`SharedEngine`] replaces the owned database
+//! with a [`SnapshotStore`]:
+//!
+//! * every query pins the head snapshot **once** at query start and
+//!   executes against that `Arc<Database>` — a consistent catalog +
+//!   rows + indexes + statistics view, with no lock held while the
+//!   query runs;
+//! * DDL/DML goes through [`SharedEngine::execute`], which publishes a
+//!   new snapshot copy-on-write (see [`uniq_catalog::snapshot`]);
+//! * all connections share one process-wide sharded [`PlanCache`]. The
+//!   fingerprint already covers the catalog version and the options
+//!   tag, so a plan compiled by one connection serves every other —
+//!   and `CREATE TABLE` / `CREATE INDEX` invalidate lazily exactly as
+//!   in the single-session engine. Plain `INSERT` leaves the catalog
+//!   version alone, so cached plans keep serving across snapshots; the
+//!   executor re-verifies index freshness against the pinned snapshot
+//!   on every run.
+//!
+//! [`SharedSession`] is the per-connection view: it borrows the engine
+//! and adds a per-connection query counter, which the server's `Stats`
+//! frame reports.
+
+use crate::exec::{ExecOptions, Executor};
+use crate::plancache::{CacheStats, CachedPlan, PlanCache};
+use crate::session::QueryOutput;
+use crate::stats::StageTimings;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+use uniq_catalog::{Database, SnapshotStore};
+use uniq_core::pipeline::{Optimizer, OptimizerOptions};
+use uniq_cost::{plan_query, PhysicalPlan, PlannerOptions, Statistics};
+use uniq_plan::{bind_query, BoundQuery, HostVars};
+use uniq_sql::{parse_statement, Statement};
+use uniq_types::{fnv64, Error, Result};
+
+/// Statistics state: collected from one snapshot, stamped with an epoch
+/// that is mixed into plan fingerprints (re-`ANALYZE` recompiles plans).
+#[derive(Debug, Default)]
+struct StatsState {
+    stats: Option<Arc<Statistics>>,
+    epoch: u64,
+}
+
+/// A process-wide engine: MVCC snapshot chain + shared plan cache +
+/// one fixed optimizer/executor configuration for every connection.
+#[derive(Debug)]
+pub struct SharedEngine {
+    store: SnapshotStore,
+    cache: Arc<PlanCache>,
+    /// Rewrite configuration (identical for all connections, so plans
+    /// are shareable by construction).
+    pub optimizer: OptimizerOptions,
+    /// Static executor strategies.
+    pub exec: ExecOptions,
+    /// Cost-based planner configuration; physical planning activates
+    /// once [`SharedEngine::analyze`] has collected statistics.
+    pub planner: PlannerOptions,
+    stats: RwLock<StatsState>,
+    queries: AtomicU64,
+}
+
+/// One counter row of a [`SharedEngine`] stats report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Plan-cache counters, process-wide.
+    pub cache: CacheStats,
+    /// Snapshots published since the engine started (chain depth).
+    pub snapshot_depth: u64,
+    /// Queries served across all connections.
+    pub queries_total: u64,
+    /// Statistics epoch (0 = never analyzed).
+    pub stats_epoch: u64,
+}
+
+impl SharedEngine {
+    /// An engine seeded with `db`, default relational optimization and a
+    /// default-capacity shared plan cache.
+    pub fn new(db: Database) -> SharedEngine {
+        SharedEngine {
+            store: SnapshotStore::new(db),
+            cache: Arc::new(PlanCache::default()),
+            optimizer: OptimizerOptions::relational(),
+            exec: ExecOptions::default(),
+            planner: PlannerOptions::default(),
+            stats: RwLock::new(StatsState::default()),
+            queries: AtomicU64::new(0),
+        }
+    }
+
+    /// Engine over the paper's populated Figure 1 database.
+    pub fn sample() -> Result<SharedEngine> {
+        Ok(SharedEngine::new(uniq_catalog::sample::supplier_database()?))
+    }
+
+    /// The snapshot store (for tests and admission logic).
+    pub fn store(&self) -> &SnapshotStore {
+        &self.store
+    }
+
+    /// The shared plan cache.
+    pub fn cache(&self) -> &Arc<PlanCache> {
+        &self.cache
+    }
+
+    /// Pin the current head snapshot.
+    pub fn snapshot(&self) -> Arc<Database> {
+        self.store.snapshot()
+    }
+
+    /// Apply a DDL/DML script copy-on-write and publish one new
+    /// snapshot (atomic: a failure publishes nothing). Returns the
+    /// number of statements applied.
+    pub fn execute(&self, sql: &str) -> Result<usize> {
+        self.store.run_script(sql)
+    }
+
+    /// Collect statistics from the current head snapshot and bump the
+    /// statistics epoch. Cost-based physical planning is active from
+    /// the next query on; plans compiled under older statistics are
+    /// recompiled lazily (the epoch is part of the fingerprint).
+    pub fn analyze(&self) {
+        let snap = self.snapshot();
+        let collected = Arc::new(Statistics::collect(&snap));
+        let mut state = self.stats.write().expect("stats lock poisoned");
+        state.stats = Some(collected);
+        state.epoch += 1;
+    }
+
+    /// Counter snapshot for the `Stats` frame.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            cache: self.cache.stats(),
+            snapshot_depth: self.store.depth(),
+            queries_total: self.queries.load(Ordering::Relaxed),
+            stats_epoch: self.stats.read().expect("stats lock poisoned").epoch,
+        }
+    }
+
+    /// The fingerprint tag: optimizer + executor + planner knobs and the
+    /// statistics epoch, exactly like
+    /// [`Session`](crate::Session)'s — differently configured engines
+    /// (or epochs) never share plans.
+    fn options_tag(&self, epoch: u64) -> u64 {
+        fnv64(
+            format!(
+                "{:?}|{:?}|{:?}|{}",
+                self.optimizer, self.exec, self.planner, epoch
+            )
+            .as_bytes(),
+        )
+    }
+
+    fn stats_state(&self) -> (Option<Arc<Statistics>>, u64) {
+        let state = self.stats.read().expect("stats lock poisoned");
+        (state.stats.clone(), state.epoch)
+    }
+
+    fn plan_physical(
+        &self,
+        query: &BoundQuery,
+        stats: Option<&Arc<Statistics>>,
+    ) -> Option<Arc<PhysicalPlan>> {
+        let stats = stats?;
+        let mut planner = self.planner;
+        planner.cost_based = true;
+        Some(Arc::new(plan_query(query, stats, planner)))
+    }
+
+    /// Parse, plan (through the shared cache) and execute `sql` against
+    /// a snapshot pinned at entry. The serving path mirrors
+    /// [`Session::query_with`](crate::Session::query_with); the only
+    /// difference is *which* database the plan runs on — always the
+    /// snapshot pinned here, never a moving head.
+    pub fn query_with(&self, sql: &str, hostvars: &HostVars) -> Result<QueryOutput> {
+        let mut timings = StageTimings::new();
+
+        let t = Instant::now();
+        let stmt = parse_statement(sql)?;
+        let Statement::Query(ast) = stmt else {
+            return Err(Error::internal(
+                "SharedEngine::query executes queries; use execute for DDL/DML",
+            ));
+        };
+        let canonical = ast.to_string();
+        timings.parse_ns = t.elapsed().as_nanos() as u64;
+
+        // Pin the snapshot ONCE; everything below — cache validity,
+        // binding, physical planning, execution — sees this version.
+        let snap = self.snapshot();
+        let (stats, epoch) = self.stats_state();
+        self.queries.fetch_add(1, Ordering::Relaxed);
+
+        let sql_hash = PlanCache::sql_hash(&canonical);
+        let fingerprint = PlanCache::fingerprint_with(sql_hash, self.options_tag(epoch));
+        let version = snap.version();
+        if let Some(plan) = self.cache.get(fingerprint, &canonical, version) {
+            let t = Instant::now();
+            let mut executor = Executor::new(&snap, hostvars, self.exec);
+            let rows = executor.run_with_plan(&plan.query, plan.physical.as_deref())?;
+            timings.execute_ns = t.elapsed().as_nanos() as u64;
+            let cards = plan
+                .physical
+                .as_deref()
+                .map(|p| p.card_report(executor.actuals()));
+            return Ok(QueryOutput {
+                columns: plan.columns.clone(),
+                rows,
+                trace: plan.trace.clone(),
+                stats: executor.stats,
+                timings,
+                cache_hit: true,
+                cards,
+            });
+        }
+
+        let t = Instant::now();
+        let bound = bind_query(snap.catalog(), &ast)?;
+        timings.bind_ns = t.elapsed().as_nanos() as u64;
+
+        let t = Instant::now();
+        let outcome = Optimizer::new(self.optimizer).optimize(&bound);
+        let physical = self.plan_physical(&outcome.query, stats.as_ref());
+        timings.optimize_ns = t.elapsed().as_nanos() as u64;
+
+        let columns = outcome.query.output_names();
+        self.cache.insert(
+            fingerprint,
+            &canonical,
+            version,
+            CachedPlan {
+                query: outcome.query.clone(),
+                trace: outcome.trace.clone(),
+                columns: columns.clone(),
+                physical: physical.clone(),
+            },
+        );
+
+        let t = Instant::now();
+        let mut executor = Executor::new(&snap, hostvars, self.exec);
+        let rows = executor.run_with_plan(&outcome.query, physical.as_deref())?;
+        timings.execute_ns = t.elapsed().as_nanos() as u64;
+        let cards = physical
+            .as_deref()
+            .map(|p| p.card_report(executor.actuals()));
+        Ok(QueryOutput {
+            columns,
+            rows,
+            trace: outcome.trace,
+            stats: executor.stats,
+            timings,
+            cache_hit: false,
+            cards,
+        })
+    }
+
+    /// [`SharedEngine::query_with`] with no host variables.
+    pub fn query(&self, sql: &str) -> Result<QueryOutput> {
+        self.query_with(sql, &HostVars::new())
+    }
+
+    /// `EXPLAIN` against a pinned snapshot, through the shared cache —
+    /// same trace sections as [`Session::explain`](crate::Session::explain).
+    pub fn explain(&self, sql: &str) -> Result<String> {
+        let stmt = parse_statement(sql)?;
+        let Statement::Query(ast) = stmt else {
+            return Err(Error::internal("EXPLAIN applies to queries only"));
+        };
+        let canonical = ast.to_string();
+        let snap = self.snapshot();
+        let (stats, epoch) = self.stats_state();
+        let fingerprint = PlanCache::fingerprint(&canonical, self.options_tag(epoch));
+        let version = snap.version();
+        if let Some(plan) = self.cache.get(fingerprint, &canonical, version) {
+            let body = crate::explain::explain_with_trace(&plan.trace, &plan.query, &self.exec);
+            return Ok(format!("Plan: cached\n{body}"));
+        }
+        let bound = bind_query(snap.catalog(), &ast)?;
+        let outcome = Optimizer::new(self.optimizer).optimize(&bound);
+        let physical = self.plan_physical(&outcome.query, stats.as_ref());
+        let columns = outcome.query.output_names();
+        self.cache.insert(
+            fingerprint,
+            &canonical,
+            version,
+            CachedPlan {
+                query: outcome.query.clone(),
+                trace: outcome.trace.clone(),
+                columns,
+                physical: physical.clone(),
+            },
+        );
+        let body = crate::explain::explain_with_trace(&outcome.trace, &outcome.query, &self.exec);
+        Ok(format!("Plan: compiled\n{body}"))
+    }
+}
+
+/// A per-connection handle on a [`SharedEngine`]: same serving path,
+/// plus a private query counter for the `Stats` frame.
+#[derive(Debug)]
+pub struct SharedSession {
+    engine: Arc<SharedEngine>,
+    queries: AtomicU64,
+}
+
+impl SharedSession {
+    /// A new connection-scoped session on `engine`.
+    pub fn new(engine: Arc<SharedEngine>) -> SharedSession {
+        SharedSession {
+            engine,
+            queries: AtomicU64::new(0),
+        }
+    }
+
+    /// The engine this session serves from.
+    pub fn engine(&self) -> &Arc<SharedEngine> {
+        &self.engine
+    }
+
+    /// Queries this connection has served.
+    pub fn queries_served(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+
+    /// Query against a snapshot pinned at entry (shared plan cache).
+    pub fn query(&self, sql: &str) -> Result<QueryOutput> {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.engine.query(sql)
+    }
+
+    /// Query with host variables.
+    pub fn query_with(&self, sql: &str, hostvars: &HostVars) -> Result<QueryOutput> {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.engine.query_with(sql, hostvars)
+    }
+
+    /// Apply DDL/DML, publishing a new snapshot.
+    pub fn execute(&self, sql: &str) -> Result<usize> {
+        self.engine.execute(sql)
+    }
+
+    /// `EXPLAIN` through the shared cache.
+    pub fn explain(&self, sql: &str) -> Result<String> {
+        self.engine.explain(sql)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniq_types::Value;
+
+    #[test]
+    fn queries_run_against_a_pinned_snapshot() {
+        let engine = SharedEngine::sample().unwrap();
+        let before = engine.query("SELECT S.SNO FROM SUPPLIER S").unwrap();
+        engine
+            .execute("INSERT INTO SUPPLIER VALUES (9, 'Carver', 'Toronto', 100, 'Active');")
+            .unwrap();
+        let after = engine.query("SELECT S.SNO FROM SUPPLIER S").unwrap();
+        assert_eq!(after.rows.len(), before.rows.len() + 1);
+        assert!(after.cache_hit, "INSERT must not invalidate the plan");
+    }
+
+    #[test]
+    fn two_sessions_share_one_plan_cache() {
+        let engine = Arc::new(SharedEngine::sample().unwrap());
+        let a = SharedSession::new(Arc::clone(&engine));
+        let b = SharedSession::new(Arc::clone(&engine));
+        let sql = "SELECT DISTINCT S.SNO, P.PNO FROM SUPPLIER S, PARTS P \
+                   WHERE S.SNO = P.SNO AND P.COLOR = 'RED'";
+        assert!(!a.query(sql).unwrap().cache_hit);
+        assert!(
+            b.query(sql).unwrap().cache_hit,
+            "plan compiled by one connection serves the other"
+        );
+        let stats = engine.stats();
+        assert_eq!((stats.cache.hits, stats.cache.misses), (1, 1));
+        assert!(stats.cache.hit_rate() > 0.0);
+        assert_eq!((a.queries_served(), b.queries_served()), (1, 1));
+        assert_eq!(stats.queries_total, 2);
+    }
+
+    #[test]
+    fn ddl_invalidates_shared_plans_for_everyone() {
+        let engine = Arc::new(SharedEngine::sample().unwrap());
+        let reader = SharedSession::new(Arc::clone(&engine));
+        let writer = SharedSession::new(Arc::clone(&engine));
+        let sql = "SELECT S.SNO FROM SUPPLIER S";
+        reader.query(sql).unwrap();
+        assert!(reader.query(sql).unwrap().cache_hit);
+        writer
+            .execute("CREATE TABLE Z (A INTEGER, PRIMARY KEY (A));")
+            .unwrap();
+        assert!(
+            !reader.query(sql).unwrap().cache_hit,
+            "schema change invalidates across connections"
+        );
+    }
+
+    #[test]
+    fn analyze_activates_cost_based_planning() {
+        let engine = SharedEngine::sample().unwrap();
+        let sql = "SELECT DISTINCT S.SNO FROM SUPPLIER S, PARTS P WHERE S.SNO = P.SNO";
+        assert!(engine.query(sql).unwrap().cards.is_none());
+        engine.analyze();
+        let out = engine.query(sql).unwrap();
+        assert!(!out.cache_hit, "epoch bump recompiles the plan");
+        assert!(out.cards.is_some(), "physical planning is active");
+        assert_eq!(engine.stats().stats_epoch, 1);
+    }
+
+    #[test]
+    fn failed_writes_leave_the_head_serving() {
+        let engine = SharedEngine::sample().unwrap();
+        let err = engine
+            .execute("INSERT INTO SUPPLIER VALUES (1, 'Dup', 'Toronto', 1, 'Active');")
+            .unwrap_err();
+        assert!(err.to_string().contains("key violation"), "{err}");
+        assert_eq!(
+            engine
+                .query("SELECT S.SNO FROM SUPPLIER S")
+                .unwrap()
+                .rows
+                .len(),
+            5,
+            "head unchanged after the failed insert"
+        );
+    }
+
+    #[test]
+    fn concurrent_readers_and_writer_agree() {
+        let engine = Arc::new(SharedEngine::sample().unwrap());
+        std::thread::scope(|scope| {
+            let w = Arc::clone(&engine);
+            let writer = scope.spawn(move || {
+                for i in 0..30i64 {
+                    w.execute(&format!(
+                        "INSERT INTO SUPPLIER VALUES ({}, 'W{}', 'Toronto', 1, 'Active');",
+                        100 + i,
+                        i
+                    ))
+                    .unwrap();
+                }
+            });
+            for _ in 0..4 {
+                let r = Arc::clone(&engine);
+                scope.spawn(move || {
+                    let session = SharedSession::new(r);
+                    for _ in 0..50 {
+                        let out = session
+                            .query("SELECT S.SNO, S.SNAME FROM SUPPLIER S")
+                            .unwrap();
+                        assert!(out.rows.len() >= 5 && out.rows.len() <= 35);
+                        // Within one query, the snapshot is consistent:
+                        // every row has both columns bound.
+                        assert!(out.rows.iter().all(|r| r.len() == 2));
+                    }
+                });
+            }
+            writer.join().unwrap();
+        });
+        let fin = engine.query("SELECT S.SNO FROM SUPPLIER S").unwrap();
+        assert_eq!(fin.rows.len(), 35);
+        assert_eq!(engine.stats().snapshot_depth, 30);
+    }
+
+    #[test]
+    fn explain_over_shared_engine_shows_proofs() {
+        let engine = SharedEngine::sample().unwrap();
+        let out = engine
+            .explain(
+                "SELECT DISTINCT S.SNO, P.PNO, P.PNAME FROM SUPPLIER S, PARTS P \
+                 WHERE S.SNO = P.SNO AND P.COLOR = 'RED'",
+            )
+            .unwrap();
+        assert!(out.starts_with("Plan: compiled"), "{out}");
+        assert!(out.contains("distinct-removal"), "{out}");
+        assert!(out.contains("proof=✓"), "{out}");
+    }
+
+    #[test]
+    fn hostvars_bind_per_execution_on_the_shared_path() {
+        let engine = Arc::new(SharedEngine::sample().unwrap());
+        let s = SharedSession::new(engine);
+        let sql = "SELECT S.SNO FROM SUPPLIER S WHERE S.SCITY = :CITY";
+        let a = s
+            .query_with(sql, &HostVars::new().with("CITY", "Toronto"))
+            .unwrap();
+        let b = s
+            .query_with(sql, &HostVars::new().with("CITY", "Chicago"))
+            .unwrap();
+        assert!(!a.cache_hit && b.cache_hit);
+        assert_ne!(a.rows, b.rows);
+        assert!(a.rows.contains(&vec![Value::Int(1)]));
+    }
+}

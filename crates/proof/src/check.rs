@@ -723,18 +723,21 @@ fn match_lowered(
     });
     expected.predicate = BoundExpr::conjoin(conj);
     find_iso(&expected, spec)?;
-    // Multiplicities. Lead L, other R (counting =̇-equal tuples):
-    //   INTERSECT          ‖L‖·‖R‖        INTERSECT ALL  min(L, R)
-    //   EXCEPT             ‖L‖·(1−‖R‖)    EXCEPT ALL     max(L−R, 0)
+    // Multiplicities. Lead body L (its *bag* multiplicity — the iso
+    // search never compares squash flags, so the lowered block's body
+    // is the lead's body without the lead's own DISTINCT), other R
+    // (counting =̇-equal tuples):
+    //   INTERSECT          ‖L‖·‖R‖        INTERSECT ALL  min(sq?L, R)
+    //   EXCEPT             ‖L‖·(1−‖R‖)    EXCEPT ALL     max(sq?L−R, 0)
     // The lowered form denotes  sq?( L·‖R‖ )  resp.  sq?( L·(1−‖R‖) ).
-    // With L ∈ {0,1} (duplicate-free lead) every pair above coincides;
-    // for the DISTINCT operators an outer squash alone also suffices.
-    let lead_df: Option<String> = if lead.distinct == Distinct::Distinct {
-        Some("lead operand declared DISTINCT".to_string())
-    } else {
-        let d = projection_covers_keys(lead);
-        d.holds.then_some(d.detail)
-    };
+    // Three sound coincidences:
+    //   * DISTINCT operators with a squashed lowered block — the outer
+    //     squash restores set semantics whatever L is;
+    //   * L ∈ {0,1} *by key coverage* — the body itself is
+    //     duplicate-free, so sq is the identity everywhere;
+    //   * a lead that is duplicate-free only by its declared DISTINCT
+    //     lends nothing to a lowered block that dropped the squash —
+    //     it counts only when the lowered block keeps it.
     let strategy = match (negated, all) {
         (false, false) => "set-intersection lowering (Theorem 3)",
         (false, true) => "set-intersection lowering (Corollary 2)",
@@ -747,7 +750,20 @@ fn match_lowered(
             "outer squash restores set semantics; operands pair by =̇",
         ));
     }
-    lead_df.map(|d| proved(strategy, format!("duplicate-free lead: {d}")))
+    let key_df = projection_covers_keys(lead);
+    if key_df.holds {
+        return Some(proved(
+            strategy,
+            format!("duplicate-free lead: {}", key_df.detail),
+        ));
+    }
+    if lead.distinct == Distinct::Distinct && spec.distinct == Distinct::Distinct {
+        return Some(proved(
+            strategy,
+            "duplicate-free lead: declared DISTINCT, and the lowered block keeps the squash",
+        ));
+    }
+    None
 }
 
 #[cfg(test)]

@@ -1,0 +1,99 @@
+//! `uniq-cli` — a one-shot client for `uniqd`.
+//!
+//! ```text
+//! uniq-cli [--addr HOST:PORT] -e SQL        # SELECT … or DDL/DML
+//! uniq-cli [--addr HOST:PORT] --explain SQL # rendered plan + proofs
+//! uniq-cli [--addr HOST:PORT] --analyze     # collect statistics
+//! uniq-cli [--addr HOST:PORT] --stats       # server counters
+//! ```
+//!
+//! `-e` routes on the first keyword: `SELECT` goes over the `Query`
+//! frame (rows print tab-separated), anything else over `Exec`. Exits
+//! nonzero when the server answers with an `Error` frame.
+
+use uniq_server::Client;
+use uniq_types::Value;
+
+fn usage() -> ! {
+    eprintln!("usage: uniq-cli [--addr HOST:PORT] (-e SQL | --explain SQL | --analyze | --stats)");
+    std::process::exit(2);
+}
+
+enum Action {
+    Eval(String),
+    Explain(String),
+    Analyze,
+    Stats,
+}
+
+fn render(v: &Value) -> String {
+    match v {
+        Value::Null => "NULL".into(),
+        Value::Int(i) => i.to_string(),
+        Value::Str(s) => s.clone(),
+        Value::Bool(b) => b.to_string(),
+    }
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:4141".to_string();
+    let mut action = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = args.next().unwrap_or_else(|| usage()),
+            "-e" => action = Some(Action::Eval(args.next().unwrap_or_else(|| usage()))),
+            "--explain" => action = Some(Action::Explain(args.next().unwrap_or_else(|| usage()))),
+            "--analyze" => action = Some(Action::Analyze),
+            "--stats" => action = Some(Action::Stats),
+            _ => usage(),
+        }
+    }
+    let Some(action) = action else { usage() };
+
+    let mut client = match Client::connect(&addr) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("uniq-cli: cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let outcome = match action {
+        Action::Eval(sql) => {
+            let is_select = sql.trim_start().to_ascii_uppercase().starts_with("SELECT");
+            if is_select {
+                client.query(&sql).map(|reply| {
+                    println!("{}", reply.columns.join("\t"));
+                    for row in &reply.rows {
+                        let cells: Vec<String> = row.iter().map(render).collect();
+                        println!("{}", cells.join("\t"));
+                    }
+                    eprintln!(
+                        "({} row(s), plan {})",
+                        reply.rows.len(),
+                        if reply.cache_hit {
+                            "cached"
+                        } else {
+                            "compiled"
+                        }
+                    );
+                })
+            } else {
+                client.exec(&sql).map(|ack| println!("{ack}"))
+            }
+        }
+        Action::Explain(sql) => client.explain(&sql).map(|text| println!("{text}")),
+        Action::Analyze => client.analyze().map(|ack| println!("{ack}")),
+        Action::Stats => client.stats().map(|entries| {
+            for (name, value) in entries {
+                println!("{name}\t{value}");
+            }
+        }),
+    };
+
+    if let Err(e) = outcome {
+        eprintln!("uniq-cli: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,73 @@
+//! `uniqd` — the uniqueness-engine daemon.
+//!
+//! ```text
+//! uniqd [--port N] [--empty] [--max-conns N]
+//! ```
+//!
+//! Binds `127.0.0.1:<port>` (default 4141; `--port 0` picks an
+//! ephemeral port) and serves the wire protocol until killed. By
+//! default the database is the paper's Figure 1 supplier instance;
+//! `--empty` starts blank so clients build their own schema over the
+//! wire. Loopback only: this is a research daemon, not a hardened one.
+
+use std::sync::Arc;
+use uniq_engine::SharedEngine;
+use uniq_server::{Server, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!("usage: uniqd [--port N] [--empty] [--max-conns N]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut port: u16 = 4141;
+    let mut empty = false;
+    let mut config = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--port" => {
+                port = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--max-conns" => {
+                config.max_connections = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--empty" => empty = true,
+            _ => usage(),
+        }
+    }
+
+    let engine = if empty {
+        SharedEngine::new(uniq_catalog::Database::new())
+    } else {
+        match SharedEngine::sample() {
+            Ok(engine) => engine,
+            Err(e) => {
+                eprintln!("uniqd: failed to build sample database: {e}");
+                std::process::exit(1);
+            }
+        }
+    };
+
+    let server = match Server::start(Arc::new(engine), ("127.0.0.1", port), config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("uniqd: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    // The port line is the startup handshake scripts parse (ci.sh grabs
+    // the ephemeral port from it), so keep its shape stable.
+    println!("uniqd listening on {}", server.local_addr());
+
+    // Serve until killed.
+    loop {
+        std::thread::park();
+    }
+}

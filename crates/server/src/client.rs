@@ -1,0 +1,143 @@
+//! A blocking client for the `uniqd` wire protocol.
+//!
+//! One [`Client`] is one connection (and therefore one server-side
+//! session sharing the process-wide plan cache with every other
+//! connection). Requests are strictly request/response; `Query`
+//! responses stream in and are reassembled into a [`QueryReply`].
+
+use crate::wire::{Frame, WireError};
+use std::net::{TcpStream, ToSocketAddrs};
+use uniq_types::Value;
+
+/// A failed client call.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport or protocol failure.
+    Wire(WireError),
+    /// The server answered with an `Error` frame (SQL error, admission
+    /// refusal, …).
+    Server(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Wire(e) => write!(f, "{e}"),
+            ClientError::Server(msg) => write!(f, "server error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> ClientError {
+        ClientError::Wire(e)
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Wire(WireError::Io(e))
+    }
+}
+
+fn unexpected(frame: &Frame) -> ClientError {
+    ClientError::Wire(WireError::Protocol(format!(
+        "unexpected response frame {frame:?}"
+    )))
+}
+
+/// A reassembled `Query` response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryReply {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// All result rows (row batches concatenated).
+    pub rows: Vec<Vec<Value>>,
+    /// Whether the server served the plan from its shared cache.
+    pub cache_hit: bool,
+}
+
+/// One connection to a running `uniqd`.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect to `addr` (e.g. `127.0.0.1:4141`).
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client { stream })
+    }
+
+    fn call(&mut self, request: &Frame) -> Result<Frame, ClientError> {
+        request.write_to(&mut self.stream)?;
+        self.read()
+    }
+
+    fn read(&mut self) -> Result<Frame, ClientError> {
+        let frame = Frame::read_from(&mut self.stream)?;
+        if let Frame::Error { message } = frame {
+            return Err(ClientError::Server(message));
+        }
+        Ok(frame)
+    }
+
+    /// Run a `SELECT`, collecting the streamed row batches.
+    pub fn query(&mut self, sql: &str) -> Result<QueryReply, ClientError> {
+        let frame = self.call(&Frame::Query { sql: sql.into() })?;
+        let Frame::RowHeader { columns, cache_hit } = frame else {
+            return Err(unexpected(&frame));
+        };
+        let mut rows = Vec::new();
+        loop {
+            let frame = self.read()?;
+            let Frame::RowBatch { rows: batch, last } = frame else {
+                return Err(unexpected(&frame));
+            };
+            rows.extend(batch);
+            if last {
+                break;
+            }
+        }
+        Ok(QueryReply {
+            columns,
+            rows,
+            cache_hit,
+        })
+    }
+
+    /// `EXPLAIN` a query, returning the rendered plan + proof trace.
+    pub fn explain(&mut self, sql: &str) -> Result<String, ClientError> {
+        match self.call(&Frame::Explain { sql: sql.into() })? {
+            Frame::Explained { text } => Ok(text),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Run a DDL/DML script; the server publishes one MVCC snapshot.
+    pub fn exec(&mut self, sql: &str) -> Result<String, ClientError> {
+        match self.call(&Frame::Exec { sql: sql.into() })? {
+            Frame::Ack { message } => Ok(message),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Collect statistics server-side (enables cost-based planning).
+    pub fn analyze(&mut self) -> Result<String, ClientError> {
+        match self.call(&Frame::Analyze)? {
+            Frame::Ack { message } => Ok(message),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetch the server's named counters.
+    pub fn stats(&mut self) -> Result<Vec<(String, i64)>, ClientError> {
+        match self.call(&Frame::Stats)? {
+            Frame::StatsReply { entries } => Ok(entries),
+            other => Err(unexpected(&other)),
+        }
+    }
+}

@@ -1,0 +1,380 @@
+//! The daemon: thread-per-connection serving over a [`SharedEngine`].
+//!
+//! Concurrency shape:
+//!
+//! * an **accept thread** admits TCP connections against a counting
+//!   semaphore ([`ServerConfig::max_connections`]); at capacity the
+//!   connection gets an `Error` frame and is closed immediately —
+//!   admission control, not an unbounded queue;
+//! * each admitted connection gets a **handler thread** (reads request
+//!   frames, serves them from a per-connection
+//!   [`SharedSession`]) and a **writer thread** fed through a *bounded*
+//!   channel ([`ServerConfig::write_queue`] frames) — a slow client
+//!   eventually blocks its own handler, never the engine or other
+//!   connections (backpressure);
+//! * query results stream as `RowBatch` frames of
+//!   [`ServerConfig::batch_rows`] rows, bounding peak frame size.
+//!
+//! Error policy: SQL errors answer with an `Error` frame and keep the
+//! connection; *protocol* errors (bad opcode, oversized frame) answer
+//! with an `Error` frame and close it — once framing is broken the
+//! stream cannot be trusted.
+
+use crate::wire::{Frame, WireError, DEFAULT_BATCH_ROWS};
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use uniq_engine::{SharedEngine, SharedSession};
+
+/// Daemon tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Connections served concurrently; further clients are refused
+    /// with an `Error` frame.
+    pub max_connections: usize,
+    /// Encoded frames buffered per connection before the handler
+    /// blocks (backpressure on slow clients).
+    pub write_queue: usize,
+    /// Rows per `RowBatch` response frame.
+    pub batch_rows: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            max_connections: 32,
+            write_queue: 8,
+            batch_rows: DEFAULT_BATCH_ROWS,
+        }
+    }
+}
+
+struct ServerState {
+    engine: Arc<SharedEngine>,
+    config: ServerConfig,
+    /// Connections currently inside the admission semaphore.
+    active: AtomicUsize,
+    /// Connections admitted over the server's lifetime.
+    served: AtomicU64,
+    /// Connections refused at capacity.
+    refused: AtomicU64,
+}
+
+impl ServerState {
+    /// Try to enter the admission semaphore.
+    fn admit(&self) -> bool {
+        let mut current = self.active.load(Ordering::Relaxed);
+        loop {
+            if current >= self.config.max_connections {
+                self.refused.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+            match self.active.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.served.fetch_add(1, Ordering::Relaxed);
+                    return true;
+                }
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    fn leave(&self) {
+        self.active.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// A running daemon. Dropping it shuts the accept loop down; handler
+/// threads finish serving their current connection and exit on client
+/// EOF.
+pub struct Server {
+    state: Arc<ServerState>,
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` (port 0 picks an ephemeral port) and start the
+    /// accept loop over `engine`.
+    pub fn start(
+        engine: Arc<SharedEngine>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(ServerState {
+            engine,
+            config,
+            active: AtomicUsize::new(0),
+            served: AtomicU64::new(0),
+            refused: AtomicU64::new(0),
+        });
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let state = Arc::clone(&state);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let state = Arc::clone(&state);
+                    std::thread::spawn(move || handle_connection(state, stream));
+                }
+            })
+        };
+        Ok(Server {
+            state,
+            addr,
+            shutdown,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (useful with ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The engine this server serves.
+    pub fn engine(&self) -> &Arc<SharedEngine> {
+        &self.state.engine
+    }
+
+    /// Stop accepting connections and join the accept thread. In-flight
+    /// connections drain on their own threads.
+    pub fn shutdown(&mut self) {
+        if self.accept.is_none() {
+            return;
+        }
+        self.shutdown.store(true, Ordering::Release);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Send one frame through the bounded writer queue; `false` when the
+/// writer is gone (client hung up).
+fn send(tx: &SyncSender<Vec<u8>>, frame: &Frame) -> bool {
+    tx.send(frame.encode()).is_ok()
+}
+
+fn handle_connection(state: Arc<ServerState>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    // All responses go through this bounded queue: the handler blocks
+    // when `write_queue` frames are already in flight to a slow client.
+    let (tx, rx) = sync_channel::<Vec<u8>>(state.config.write_queue);
+    let writer = std::thread::spawn(move || {
+        let mut out = write_half;
+        while let Ok(bytes) = rx.recv() {
+            if out.write_all(&bytes).is_err() {
+                break;
+            }
+        }
+        let _ = out.flush();
+    });
+
+    if !state.admit() {
+        send(
+            &tx,
+            &Frame::Error {
+                message: "server at capacity, connection refused".into(),
+            },
+        );
+        drop(tx);
+        let _ = writer.join();
+        return;
+    }
+
+    let session = SharedSession::new(Arc::clone(&state.engine));
+    let mut read_half = &stream;
+    loop {
+        match Frame::read_from(&mut read_half) {
+            Ok(frame) => {
+                if !serve_frame(&state, &session, frame, &tx) {
+                    break;
+                }
+            }
+            // Client EOF or transport failure: nothing to answer.
+            Err(WireError::Io(_)) => break,
+            // Broken framing: report, then close — the stream position
+            // is no longer trustworthy.
+            Err(WireError::Protocol(message)) => {
+                send(&tx, &Frame::Error { message });
+                break;
+            }
+        }
+    }
+    drop(tx);
+    let _ = writer.join();
+    state.leave();
+}
+
+/// Serve one request frame; `false` ends the connection.
+fn serve_frame(
+    state: &ServerState,
+    session: &SharedSession,
+    frame: Frame,
+    tx: &SyncSender<Vec<u8>>,
+) -> bool {
+    match frame {
+        Frame::Query { sql } => match session.query(&sql) {
+            Ok(out) => {
+                let header = Frame::RowHeader {
+                    columns: out.columns.iter().map(|c| c.to_string()).collect(),
+                    cache_hit: out.cache_hit,
+                };
+                if !send(tx, &header) {
+                    return false;
+                }
+                stream_rows(out.rows, state.config.batch_rows, tx)
+            }
+            Err(e) => send(
+                tx,
+                &Frame::Error {
+                    message: e.to_string(),
+                },
+            ),
+        },
+        Frame::Explain { sql } => match session.explain(&sql) {
+            Ok(text) => send(tx, &Frame::Explained { text }),
+            Err(e) => send(
+                tx,
+                &Frame::Error {
+                    message: e.to_string(),
+                },
+            ),
+        },
+        Frame::Exec { sql } => match session.execute(&sql) {
+            Ok(n) => send(
+                tx,
+                &Frame::Ack {
+                    message: format!("ok: {n} statement(s) applied"),
+                },
+            ),
+            Err(e) => send(
+                tx,
+                &Frame::Error {
+                    message: e.to_string(),
+                },
+            ),
+        },
+        Frame::Analyze => {
+            session.engine().analyze();
+            send(
+                tx,
+                &Frame::Ack {
+                    message: "ok: statistics collected".into(),
+                },
+            )
+        }
+        Frame::Stats => {
+            let engine = session.engine().stats();
+            let entries = vec![
+                ("cache.hits".to_string(), engine.cache.hits as i64),
+                ("cache.misses".to_string(), engine.cache.misses as i64),
+                (
+                    "cache.insertions".to_string(),
+                    engine.cache.insertions as i64,
+                ),
+                ("cache.evictions".to_string(), engine.cache.evictions as i64),
+                (
+                    "cache.invalidations".to_string(),
+                    engine.cache.invalidations as i64,
+                ),
+                (
+                    "cache.hit_rate_bp".to_string(),
+                    (engine.cache.hit_rate() * 10_000.0) as i64,
+                ),
+                ("snapshot.depth".to_string(), engine.snapshot_depth as i64),
+                ("stats.epoch".to_string(), engine.stats_epoch as i64),
+                ("queries.total".to_string(), engine.queries_total as i64),
+                (
+                    "queries.connection".to_string(),
+                    session.queries_served() as i64,
+                ),
+                (
+                    "connections.active".to_string(),
+                    state.active.load(Ordering::Relaxed) as i64,
+                ),
+                (
+                    "connections.served".to_string(),
+                    state.served.load(Ordering::Relaxed) as i64,
+                ),
+                (
+                    "connections.refused".to_string(),
+                    state.refused.load(Ordering::Relaxed) as i64,
+                ),
+            ];
+            send(tx, &Frame::StatsReply { entries })
+        }
+        // A client must never send response opcodes.
+        Frame::RowHeader { .. }
+        | Frame::RowBatch { .. }
+        | Frame::Explained { .. }
+        | Frame::Ack { .. }
+        | Frame::StatsReply { .. }
+        | Frame::Error { .. } => {
+            send(
+                tx,
+                &Frame::Error {
+                    message: "response frame sent by client".into(),
+                },
+            );
+            false
+        }
+    }
+}
+
+/// Stream `rows` as `RowBatch` frames; always at least one batch, the
+/// final one flagged `last`.
+fn stream_rows(
+    rows: Vec<Vec<uniq_types::Value>>,
+    batch_rows: usize,
+    tx: &SyncSender<Vec<u8>>,
+) -> bool {
+    let batch_rows = batch_rows.max(1);
+    if rows.is_empty() {
+        return send(
+            tx,
+            &Frame::RowBatch {
+                rows: vec![],
+                last: true,
+            },
+        );
+    }
+    let mut iter = rows.chunks(batch_rows).peekable();
+    while let Some(chunk) = iter.next() {
+        let frame = Frame::RowBatch {
+            rows: chunk.to_vec(),
+            last: iter.peek().is_none(),
+        };
+        if !send(tx, &frame) {
+            return false;
+        }
+    }
+    true
+}

@@ -1,0 +1,446 @@
+//! The wire protocol: small length-prefixed binary frames.
+//!
+//! Every frame is `[u32 LE body length][opcode u8][payload]`. The
+//! length covers opcode + payload, and is capped at [`MAX_FRAME`]; a
+//! peer declaring more is rejected *before* any allocation, so a
+//! hostile or corrupt length prefix can neither OOM nor hang the
+//! server. Payload primitives:
+//!
+//! | type   | encoding                                             |
+//! |--------|------------------------------------------------------|
+//! | `u8`   | one byte                                             |
+//! | `u32`  | 4 bytes LE                                           |
+//! | `i64`  | 8 bytes LE                                           |
+//! | string | `u32` byte length + UTF-8 bytes                      |
+//! | value  | tag `0`=NULL, `1`=INT + i64, `2`=STR + string, `3`=BOOL + u8 |
+//! | row    | `u32` arity + values                                 |
+//!
+//! Decoding is total: truncated input, oversized lengths, unknown
+//! opcodes or tags, non-UTF-8 strings and trailing garbage all come
+//! back as [`WireError`], never a panic (the codec proptests assert
+//! this over random and mutated byte strings).
+
+use std::io::{Read, Write};
+use uniq_types::Value;
+
+/// Hard cap on a frame body (opcode + payload): 16 MiB.
+pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// Rows per [`Frame::RowBatch`] the server emits (bounds peak frame
+/// size and lets clients stream large results).
+pub const DEFAULT_BATCH_ROWS: usize = 256;
+
+/// A protocol or transport failure.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying stream failed (includes clean EOF mid-frame).
+    Io(std::io::Error),
+    /// The bytes violate the protocol: bad opcode, bad tag, oversized
+    /// or short length, invalid UTF-8, trailing garbage.
+    Protocol(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "io: {e}"),
+            WireError::Protocol(msg) => write!(f, "protocol: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> WireError {
+        WireError::Io(e)
+    }
+}
+
+fn protocol(msg: impl Into<String>) -> WireError {
+    WireError::Protocol(msg.into())
+}
+
+/// Everything that travels between `uniq-cli` and `uniqd`. Requests
+/// carry opcodes `0x01..=0x05`; responses `0x81..=0x85` and `0xFF`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Run a `SELECT`, stream back `RowHeader` + `RowBatch`es.
+    Query { sql: String },
+    /// `EXPLAIN` a query; answered with `Explained`.
+    Explain { sql: String },
+    /// Run a DDL/DML script (publishes one MVCC snapshot); `Ack`ed.
+    Exec { sql: String },
+    /// Collect statistics server-side (enables cost-based planning).
+    Analyze,
+    /// Ask for server counters; answered with `StatsReply`.
+    Stats,
+    /// First response to `Query`: output columns + plan-cache verdict.
+    RowHeader {
+        columns: Vec<String>,
+        cache_hit: bool,
+    },
+    /// A chunk of result rows; `last` marks the final chunk.
+    RowBatch { rows: Vec<Vec<Value>>, last: bool },
+    /// The rendered `EXPLAIN` text.
+    Explained { text: String },
+    /// Success acknowledgement for `Exec` / `Analyze`.
+    Ack { message: String },
+    /// Named counters (cache hits, snapshot depth, …).
+    StatsReply { entries: Vec<(String, i64)> },
+    /// Any failure: SQL errors, protocol violations, admission refusal.
+    Error { message: String },
+}
+
+impl Frame {
+    fn opcode(&self) -> u8 {
+        match self {
+            Frame::Query { .. } => 0x01,
+            Frame::Explain { .. } => 0x02,
+            Frame::Exec { .. } => 0x03,
+            Frame::Analyze => 0x04,
+            Frame::Stats => 0x05,
+            Frame::RowHeader { .. } => 0x81,
+            Frame::RowBatch { .. } => 0x82,
+            Frame::Explained { .. } => 0x83,
+            Frame::Ack { .. } => 0x84,
+            Frame::StatsReply { .. } => 0x85,
+            Frame::Error { .. } => 0xFF,
+        }
+    }
+
+    /// Encode into a self-delimiting byte string (length prefix
+    /// included). Infallible: frames are built from valid Rust values.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = vec![self.opcode()];
+        match self {
+            Frame::Query { sql } | Frame::Explain { sql } | Frame::Exec { sql } => {
+                put_str(&mut body, sql);
+            }
+            Frame::Analyze | Frame::Stats => {}
+            Frame::RowHeader { columns, cache_hit } => {
+                put_u32(&mut body, columns.len() as u32);
+                for c in columns {
+                    put_str(&mut body, c);
+                }
+                body.push(u8::from(*cache_hit));
+            }
+            Frame::RowBatch { rows, last } => {
+                put_u32(&mut body, rows.len() as u32);
+                for row in rows {
+                    put_u32(&mut body, row.len() as u32);
+                    for v in row {
+                        put_value(&mut body, v);
+                    }
+                }
+                body.push(u8::from(*last));
+            }
+            Frame::Explained { text } | Frame::Ack { message: text } => put_str(&mut body, text),
+            Frame::StatsReply { entries } => {
+                put_u32(&mut body, entries.len() as u32);
+                for (name, value) in entries {
+                    put_str(&mut body, name);
+                    body.extend_from_slice(&value.to_le_bytes());
+                }
+            }
+            Frame::Error { message } => put_str(&mut body, message),
+        }
+        let mut out = Vec::with_capacity(4 + body.len());
+        out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Decode one frame body (opcode + payload, length prefix already
+    /// stripped). Rejects trailing bytes: a frame is exactly its
+    /// declared length.
+    pub fn decode(body: &[u8]) -> Result<Frame, WireError> {
+        let mut cur = Cursor { buf: body, pos: 0 };
+        let op = cur.u8()?;
+        let frame = match op {
+            0x01 => Frame::Query { sql: cur.string()? },
+            0x02 => Frame::Explain { sql: cur.string()? },
+            0x03 => Frame::Exec { sql: cur.string()? },
+            0x04 => Frame::Analyze,
+            0x05 => Frame::Stats,
+            0x81 => {
+                let n = cur.u32()? as usize;
+                let mut columns = Vec::new();
+                for _ in 0..n {
+                    columns.push(cur.string()?);
+                }
+                let cache_hit = cur.boolean()?;
+                Frame::RowHeader { columns, cache_hit }
+            }
+            0x82 => {
+                let n = cur.u32()? as usize;
+                let mut rows = Vec::new();
+                for _ in 0..n {
+                    let arity = cur.u32()? as usize;
+                    let mut row = Vec::new();
+                    for _ in 0..arity {
+                        row.push(cur.value()?);
+                    }
+                    rows.push(row);
+                }
+                let last = cur.boolean()?;
+                Frame::RowBatch { rows, last }
+            }
+            0x83 => Frame::Explained {
+                text: cur.string()?,
+            },
+            0x84 => Frame::Ack {
+                message: cur.string()?,
+            },
+            0x85 => {
+                let n = cur.u32()? as usize;
+                let mut entries = Vec::new();
+                for _ in 0..n {
+                    let name = cur.string()?;
+                    let value = cur.i64()?;
+                    entries.push((name, value));
+                }
+                Frame::StatsReply { entries }
+            }
+            0xFF => Frame::Error {
+                message: cur.string()?,
+            },
+            other => return Err(protocol(format!("unknown opcode 0x{other:02x}"))),
+        };
+        if cur.pos != body.len() {
+            return Err(protocol(format!(
+                "{} trailing byte(s) after frame",
+                body.len() - cur.pos
+            )));
+        }
+        Ok(frame)
+    }
+
+    /// Write one frame to `w` (single `write_all`, so a frame is never
+    /// interleaved with another writer's bytes).
+    pub fn write_to(&self, w: &mut impl Write) -> Result<(), WireError> {
+        w.write_all(&self.encode())?;
+        Ok(())
+    }
+
+    /// Read one frame from `r`. An oversized declared length is
+    /// rejected before any payload allocation.
+    pub fn read_from(r: &mut impl Read) -> Result<Frame, WireError> {
+        let mut len = [0u8; 4];
+        r.read_exact(&mut len)?;
+        let len = u32::from_le_bytes(len);
+        if len == 0 {
+            return Err(protocol("empty frame"));
+        }
+        if len > MAX_FRAME {
+            return Err(protocol(format!(
+                "declared frame length {len} exceeds cap {MAX_FRAME}"
+            )));
+        }
+        let mut body = vec![0u8; len as usize];
+        r.read_exact(&mut body)?;
+        Frame::decode(&body)
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => out.push(0),
+        Value::Int(i) => {
+            out.push(1);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(2);
+            put_str(out, s);
+        }
+        Value::Bool(b) => {
+            out.push(3);
+            out.push(u8::from(*b));
+        }
+    }
+}
+
+/// A bounds-checked reader over a frame body.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], WireError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.buf.len())
+            .ok_or_else(|| protocol("frame body truncated"))?;
+        let bytes = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(bytes)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn boolean(&mut self) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(protocol(format!("invalid boolean byte {other}"))),
+        }
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Result<i64, WireError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| protocol("string is not UTF-8"))
+    }
+
+    fn value(&mut self) -> Result<Value, WireError> {
+        match self.u8()? {
+            0 => Ok(Value::Null),
+            1 => Ok(Value::Int(self.i64()?)),
+            2 => Ok(Value::Str(self.string()?)),
+            3 => Ok(Value::Bool(self.boolean()?)),
+            other => Err(protocol(format!("unknown value tag {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(frame: Frame) {
+        let bytes = frame.encode();
+        let mut r = &bytes[..];
+        let back = Frame::read_from(&mut r).unwrap();
+        assert_eq!(back, frame);
+        assert!(r.is_empty(), "whole encoding consumed");
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        roundtrip(Frame::Query {
+            sql: "SELECT S.SNO FROM SUPPLIER S".into(),
+        });
+        roundtrip(Frame::Explain { sql: "".into() });
+        roundtrip(Frame::Exec {
+            sql: "INSERT INTO T VALUES (1);".into(),
+        });
+        roundtrip(Frame::Analyze);
+        roundtrip(Frame::Stats);
+        roundtrip(Frame::RowHeader {
+            columns: vec!["SNO".into(), "SNAME".into()],
+            cache_hit: true,
+        });
+        roundtrip(Frame::RowBatch {
+            rows: vec![
+                vec![Value::Int(1), Value::Str("Acme".into())],
+                vec![Value::Null, Value::Bool(false)],
+            ],
+            last: true,
+        });
+        roundtrip(Frame::RowBatch {
+            rows: vec![],
+            last: false,
+        });
+        roundtrip(Frame::Explained {
+            text: "Plan: compiled\n…".into(),
+        });
+        roundtrip(Frame::Ack {
+            message: "ok".into(),
+        });
+        roundtrip(Frame::StatsReply {
+            entries: vec![("cache.hits".into(), 17), ("depth".into(), -1)],
+        });
+        roundtrip(Frame::Error {
+            message: "unknown table Q".into(),
+        });
+    }
+
+    #[test]
+    fn truncated_length_prefix_is_io_error() {
+        let mut r: &[u8] = &[0x05, 0x00];
+        match Frame::read_from(&mut r) {
+            Err(WireError::Io(e)) => {
+                assert_eq!(e.kind(), std::io::ErrorKind::UnexpectedEof)
+            }
+            other => panic!("expected EOF, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_declared_length_is_rejected_before_allocation() {
+        let mut bytes = (MAX_FRAME + 1).to_le_bytes().to_vec();
+        bytes.push(0x01);
+        let mut r = &bytes[..];
+        match Frame::read_from(&mut r) {
+            Err(WireError::Protocol(msg)) => assert!(msg.contains("exceeds cap"), "{msg}"),
+            other => panic!("expected protocol error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_opcode_is_a_protocol_error() {
+        let body = [0x42u8];
+        match Frame::decode(&body) {
+            Err(WireError::Protocol(msg)) => assert!(msg.contains("unknown opcode"), "{msg}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn inner_length_cannot_escape_the_body() {
+        // Query frame whose string claims 1000 bytes but carries 2.
+        let mut body = vec![0x01];
+        body.extend_from_slice(&1000u32.to_le_bytes());
+        body.extend_from_slice(b"ab");
+        match Frame::decode(&body) {
+            Err(WireError::Protocol(msg)) => assert!(msg.contains("truncated"), "{msg}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = Frame::Analyze.encode();
+        // Splice an extra byte into the body and fix the length.
+        bytes.push(0x00);
+        let len = (bytes.len() - 4) as u32;
+        bytes[..4].copy_from_slice(&len.to_le_bytes());
+        let mut r = &bytes[..];
+        match Frame::read_from(&mut r) {
+            Err(WireError::Protocol(msg)) => assert!(msg.contains("trailing"), "{msg}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_frame_is_rejected() {
+        let bytes = 0u32.to_le_bytes();
+        let mut r = &bytes[..];
+        assert!(matches!(
+            Frame::read_from(&mut r),
+            Err(WireError::Protocol(_))
+        ));
+    }
+}

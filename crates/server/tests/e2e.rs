@@ -1,0 +1,273 @@
+//! End-to-end tests: a real `Server` on an ephemeral loopback port,
+//! real `Client`s over TCP.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use uniq_engine::SharedEngine;
+use uniq_server::{Client, ClientError, Frame, Server, ServerConfig, WireError, MAX_FRAME};
+use uniq_types::Value;
+
+fn sample_server(config: ServerConfig) -> Server {
+    let engine = Arc::new(SharedEngine::sample().unwrap());
+    Server::start(engine, ("127.0.0.1", 0), config).unwrap()
+}
+
+#[test]
+fn query_roundtrip_over_the_wire() {
+    let server = sample_server(ServerConfig::default());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let reply = client
+        .query("SELECT S.SNO, S.SNAME FROM SUPPLIER S WHERE S.SCITY = 'Toronto'")
+        .unwrap();
+    assert_eq!(reply.columns, vec!["SNO".to_string(), "SNAME".to_string()]);
+    assert_eq!(reply.rows.len(), 2);
+    assert!(reply
+        .rows
+        .contains(&vec![Value::Int(1), Value::Str("Acme".into())]));
+    assert!(!reply.cache_hit);
+}
+
+#[test]
+fn plans_are_shared_across_connections() {
+    let server = sample_server(ServerConfig::default());
+    let sql = "SELECT DISTINCT S.SNO, P.PNO FROM SUPPLIER S, PARTS P \
+               WHERE S.SNO = P.SNO AND P.COLOR = 'RED'";
+    let mut first = Client::connect(server.local_addr()).unwrap();
+    assert!(!first.query(sql).unwrap().cache_hit);
+    // A *different* connection gets the plan the first one compiled.
+    let mut second = Client::connect(server.local_addr()).unwrap();
+    assert!(second.query(sql).unwrap().cache_hit);
+    let stats = second.stats().unwrap();
+    let get = |name: &str| {
+        stats
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("missing stat {name}"))
+            .1
+    };
+    assert!(get("cache.hits") >= 1);
+    assert!(get("cache.hit_rate_bp") > 0, "shared hit rate > 0");
+    assert_eq!(get("connections.active"), 2);
+    assert!(get("connections.served") >= 2);
+}
+
+#[test]
+fn writes_publish_snapshots_readers_see_on_next_query() {
+    let server = sample_server(ServerConfig::default());
+    let mut writer = Client::connect(server.local_addr()).unwrap();
+    let mut reader = Client::connect(server.local_addr()).unwrap();
+    let sql = "SELECT S.SNO FROM SUPPLIER S";
+    assert_eq!(reader.query(sql).unwrap().rows.len(), 5);
+    let ack = writer
+        .exec("INSERT INTO SUPPLIER VALUES (9, 'Carver', 'Toronto', 100, 'Active');")
+        .unwrap();
+    assert!(ack.contains("1 statement"), "{ack}");
+    let after = reader.query(sql).unwrap();
+    assert_eq!(after.rows.len(), 6, "fresh snapshot sees the write");
+    assert!(after.cache_hit, "INSERT does not invalidate cached plans");
+    let depth = writer
+        .stats()
+        .unwrap()
+        .into_iter()
+        .find(|(n, _)| n == "snapshot.depth")
+        .unwrap()
+        .1;
+    assert_eq!(depth, 1);
+}
+
+#[test]
+fn explain_over_the_wire_carries_proofs() {
+    let server = sample_server(ServerConfig::default());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let text = client
+        .explain(
+            "SELECT DISTINCT S.SNO, P.PNO, P.PNAME FROM SUPPLIER S, PARTS P \
+             WHERE S.SNO = P.SNO AND P.COLOR = 'RED'",
+        )
+        .unwrap();
+    assert!(text.contains("distinct-removal"), "{text}");
+    assert!(text.contains("proof=✓"), "{text}");
+}
+
+#[test]
+fn sql_errors_keep_the_connection_usable() {
+    let server = sample_server(ServerConfig::default());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    match client.query("SELECT Q.X FROM NO_SUCH_TABLE Q") {
+        Err(ClientError::Server(msg)) => assert!(msg.contains("NO_SUCH_TABLE"), "{msg}"),
+        other => panic!("expected server error, got {other:?}"),
+    }
+    // Same connection still serves.
+    assert_eq!(
+        client
+            .query("SELECT S.SNO FROM SUPPLIER S")
+            .unwrap()
+            .rows
+            .len(),
+        5
+    );
+    // Failed DDL answers with the engine's message, connection intact.
+    assert!(matches!(
+        client.exec("INSERT INTO SUPPLIER VALUES (1, 'Dup', 'Toronto', 1, 'Active');"),
+        Err(ClientError::Server(_))
+    ));
+    assert!(client.analyze().unwrap().contains("statistics"));
+}
+
+#[test]
+fn large_results_stream_in_batches() {
+    let engine = Arc::new(SharedEngine::new(uniq_catalog::Database::new()));
+    engine
+        .execute("CREATE TABLE N (A INTEGER, PRIMARY KEY (A));")
+        .unwrap();
+    let values: Vec<String> = (0..100).map(|i| format!("({i})")).collect();
+    engine
+        .execute(&format!("INSERT INTO N VALUES {};", values.join(", ")))
+        .unwrap();
+    // batch_rows=7 forces 15 RowBatch frames for 100 rows.
+    let config = ServerConfig {
+        batch_rows: 7,
+        ..ServerConfig::default()
+    };
+    let server = Server::start(engine, ("127.0.0.1", 0), config).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let reply = client.query("SELECT N.A FROM N").unwrap();
+    assert_eq!(reply.rows.len(), 100, "all batches reassembled");
+}
+
+#[test]
+fn admission_refuses_connections_over_capacity() {
+    let config = ServerConfig {
+        max_connections: 1,
+        ..ServerConfig::default()
+    };
+    let server = sample_server(config);
+    let mut admitted = Client::connect(server.local_addr()).unwrap();
+    admitted.query("SELECT S.SNO FROM SUPPLIER S").unwrap();
+    // Second connection: refused with an Error frame, no request needed.
+    let mut raw = TcpStream::connect(server.local_addr()).unwrap();
+    match Frame::read_from(&mut raw) {
+        Ok(Frame::Error { message }) => assert!(message.contains("capacity"), "{message}"),
+        other => panic!("expected refusal, got {other:?}"),
+    }
+    drop(raw);
+    // The admitted connection is unaffected...
+    admitted.query("SELECT S.SNO FROM SUPPLIER S").unwrap();
+    drop(admitted);
+    // ...and once it leaves, the slot frees up (poll briefly: the
+    // server notices the EOF asynchronously).
+    let mut ok = false;
+    for _ in 0..100 {
+        let mut retry = match Client::connect(server.local_addr()) {
+            Ok(c) => c,
+            Err(_) => continue,
+        };
+        if retry.query("SELECT S.SNO FROM SUPPLIER S").is_ok() {
+            ok = true;
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert!(ok, "slot was never released");
+}
+
+#[test]
+fn oversized_frame_gets_protocol_error_then_close() {
+    let server = sample_server(ServerConfig::default());
+    let mut raw = TcpStream::connect(server.local_addr()).unwrap();
+    raw.write_all(&(MAX_FRAME + 1).to_le_bytes()).unwrap();
+    match Frame::read_from(&mut raw) {
+        Ok(Frame::Error { message }) => assert!(message.contains("exceeds cap"), "{message}"),
+        other => panic!("expected protocol error frame, got {other:?}"),
+    }
+    // Connection is closed after a framing violation.
+    let mut buf = [0u8; 1];
+    assert_eq!(raw.read(&mut buf).unwrap(), 0, "server closed the stream");
+}
+
+#[test]
+fn unknown_opcode_gets_protocol_error() {
+    let server = sample_server(ServerConfig::default());
+    let mut raw = TcpStream::connect(server.local_addr()).unwrap();
+    raw.write_all(&1u32.to_le_bytes()).unwrap();
+    raw.write_all(&[0x7E]).unwrap();
+    match Frame::read_from(&mut raw) {
+        Ok(Frame::Error { message }) => assert!(message.contains("unknown opcode"), "{message}"),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn response_opcode_from_client_is_rejected() {
+    let server = sample_server(ServerConfig::default());
+    let mut raw = TcpStream::connect(server.local_addr()).unwrap();
+    Frame::Ack {
+        message: "i am not a server".into(),
+    }
+    .write_to(&mut raw)
+    .unwrap();
+    match Frame::read_from(&mut raw) {
+        Ok(Frame::Error { message }) => {
+            assert!(message.contains("response frame"), "{message}")
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn truncated_request_just_closes() {
+    // A client that dies mid-frame must not wedge a handler thread in a
+    // visible way: the next connection still gets served.
+    let server = sample_server(ServerConfig::default());
+    {
+        let mut raw = TcpStream::connect(server.local_addr()).unwrap();
+        raw.write_all(&100u32.to_le_bytes()).unwrap();
+        raw.write_all(&[0x01, 0x02]).unwrap(); // 98 bytes never arrive
+    } // dropped: EOF mid-frame on the server side
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    assert_eq!(
+        client
+            .query("SELECT S.SNO FROM SUPPLIER S")
+            .unwrap()
+            .rows
+            .len(),
+        5
+    );
+}
+
+#[test]
+fn analyze_enables_cost_based_plans_for_every_connection() {
+    let server = sample_server(ServerConfig::default());
+    let mut a = Client::connect(server.local_addr()).unwrap();
+    let mut b = Client::connect(server.local_addr()).unwrap();
+    a.analyze().unwrap();
+    let text = b
+        .explain("SELECT DISTINCT S.SNO FROM SUPPLIER S, PARTS P WHERE S.SNO = P.SNO")
+        .unwrap();
+    assert!(
+        text.contains("Physical plan"),
+        "cost-based planning active across connections: {text}"
+    );
+}
+
+#[test]
+fn wire_error_is_not_a_server_refusal() {
+    // ClientError::Server is reserved for Error frames; a vanished
+    // server surfaces as a Wire error.
+    let server = sample_server(ServerConfig::default());
+    let addr = server.local_addr();
+    drop(server);
+    match Client::connect(addr) {
+        Err(ClientError::Wire(WireError::Io(_))) => {}
+        Ok(mut c) => {
+            // The listener may accept queued connections during
+            // shutdown; the next call must fail with a Wire error.
+            assert!(matches!(
+                c.query("SELECT S.SNO FROM SUPPLIER S"),
+                Err(ClientError::Wire(_))
+            ));
+        }
+        Err(other) => panic!("expected wire error, got {other:?}"),
+    }
+}

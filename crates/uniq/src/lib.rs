@@ -44,6 +44,7 @@
 //! | [`engine`] | executor, set operations, [`engine::Session`] |
 //! | [`ims`] | HIDAM/DL-I simulator and the Example 10 gateway |
 //! | [`oodb`] | pointer-based object store, Example 11 strategies |
+//! | [`server`] | wire protocol, `uniqd` daemon, `uniq-cli` client |
 //! | [`workload`] | scaled data, random instances, labelled corpus |
 
 pub use uniq_catalog as catalog;
@@ -55,6 +56,7 @@ pub use uniq_ims as ims;
 pub use uniq_oodb as oodb;
 pub use uniq_plan as plan;
 pub use uniq_proof as proof;
+pub use uniq_server as server;
 pub use uniq_sql as sql;
 pub use uniq_types as types;
 pub use uniq_workload as workload;

@@ -1,0 +1,170 @@
+//! Client-driver mode: the batch loop of [`crate::driver`], but over
+//! TCP against a running `uniqd`.
+//!
+//! Where [`run_batch`](crate::driver::run_batch) exercises a
+//! [`Session`](uniq_engine::Session) in-process, [`run_client_batch`]
+//! opens `clients` real connections and fans the corpus over them from
+//! one shared atomic cursor — the full served path: frame encode →
+//! TCP → per-connection session → shared plan cache → MVCC snapshot →
+//! row batches back. Experiment E21 uses it to compare multi-client
+//! QPS against the in-process serial driver.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+use uniq_server::Client;
+
+/// Aggregated outcome of one client-driver run.
+#[derive(Debug, Clone, Default)]
+pub struct ClientBatchReport {
+    /// Statements sent (successfully answered or not).
+    pub queries: u64,
+    /// Statements answered with an `Error` frame or a transport error.
+    pub errors: u64,
+    /// First error message observed, if any.
+    pub first_error: Option<String>,
+    /// Total result rows received over the wire.
+    pub rows: u64,
+    /// Replies whose `RowHeader` carried `cache_hit` — the *server's*
+    /// shared plan cache, observed end-to-end.
+    pub cache_hits: u64,
+    /// Elapsed wall-clock for the whole run.
+    pub elapsed: Duration,
+    /// Concurrent client connections used.
+    pub clients: usize,
+}
+
+impl ClientBatchReport {
+    /// Statements per second of elapsed wall-clock.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.queries as f64 / secs
+        }
+    }
+
+    /// Server-side cache hits as a fraction of sent statements.
+    pub fn hit_rate(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.queries as f64
+        }
+    }
+}
+
+/// Fan `queries` over `clients` concurrent connections to the daemon
+/// at `addr`. Each worker owns one connection (one server-side
+/// session); statements are claimed from a shared cursor, so fast
+/// connections take more work. A worker that cannot connect reports
+/// every statement it would have run as an error rather than silently
+/// shrinking the load.
+pub fn run_client_batch(addr: &str, queries: &[String], clients: usize) -> ClientBatchReport {
+    let clients = clients.max(1).min(queries.len().max(1));
+    let cursor = AtomicUsize::new(0);
+    let report = Mutex::new(ClientBatchReport {
+        clients,
+        ..ClientBatchReport::default()
+    });
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..clients {
+            scope.spawn(|| {
+                let mut tally = ClientBatchReport::default();
+                let mut client = match Client::connect(addr) {
+                    Ok(client) => Some(client),
+                    Err(e) => {
+                        tally.first_error = Some(format!("connect {addr}: {e}"));
+                        None
+                    }
+                };
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(sql) = queries.get(i) else { break };
+                    tally.queries += 1;
+                    let Some(client) = client.as_mut() else {
+                        tally.errors += 1;
+                        continue;
+                    };
+                    match client.query(sql) {
+                        Ok(reply) => {
+                            tally.rows += reply.rows.len() as u64;
+                            tally.cache_hits += u64::from(reply.cache_hit);
+                        }
+                        Err(e) => {
+                            tally.errors += 1;
+                            tally
+                                .first_error
+                                .get_or_insert_with(|| format!("{sql}: {e}"));
+                        }
+                    }
+                }
+                let mut report = report.lock().expect("client report poisoned");
+                report.queries += tally.queries;
+                report.errors += tally.errors;
+                report.rows += tally.rows;
+                report.cache_hits += tally.cache_hits;
+                if report.first_error.is_none() {
+                    report.first_error = tally.first_error;
+                }
+            });
+        }
+    });
+
+    let mut report = report.into_inner().expect("client report poisoned");
+    report.elapsed = start.elapsed();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use uniq_engine::SharedEngine;
+    use uniq_server::{Server, ServerConfig};
+
+    fn corpus(reps: usize) -> Vec<String> {
+        let distinct = [
+            "SELECT DISTINCT S.SNO, P.PNO FROM SUPPLIER S, PARTS P \
+             WHERE S.SNO = P.SNO AND P.COLOR = 'RED'",
+            "SELECT S.SNO FROM SUPPLIER S WHERE EXISTS \
+             (SELECT * FROM PARTS P WHERE P.SNO = S.SNO)",
+            "SELECT S.SNO FROM SUPPLIER S WHERE S.SCITY = 'Toronto'",
+        ];
+        (0..reps)
+            .flat_map(|_| distinct.iter().map(|s| s.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn client_batch_drives_a_live_server() {
+        let engine = Arc::new(SharedEngine::sample().unwrap());
+        let server = Server::start(engine, ("127.0.0.1", 0), ServerConfig::default()).unwrap();
+        let addr = server.local_addr().to_string();
+        let report = run_client_batch(&addr, &corpus(10), 4);
+        assert_eq!(report.queries, 30);
+        assert_eq!(report.errors, 0, "{:?}", report.first_error);
+        assert!(report.rows > 0);
+        // 3 distinct statements; at most one compile per (statement,
+        // racing connection) — the shared cache serves the rest.
+        assert!(report.cache_hits >= 30 - 3 * 4, "{report:?}");
+        assert!(report.hit_rate() > 0.0);
+        assert!(report.throughput() > 0.0);
+    }
+
+    #[test]
+    fn unreachable_server_counts_errors_not_panics() {
+        // Reserve a port, then close it so nothing is listening.
+        let addr = {
+            let sock = std::net::TcpListener::bind(("127.0.0.1", 0)).unwrap();
+            sock.local_addr().unwrap().to_string()
+        };
+        let report = run_client_batch(&addr, &corpus(2), 2);
+        assert_eq!(report.queries, 6);
+        assert_eq!(report.errors, 6);
+        assert!(report.first_error.unwrap().contains("connect"));
+    }
+}

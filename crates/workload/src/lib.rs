@@ -4,12 +4,14 @@
 //! Everything is deterministic given a seed, so experiments and property
 //! tests are reproducible run to run.
 
+pub mod client_driver;
 pub mod corpus;
 pub mod driver;
 pub mod gen;
 pub mod instance;
 pub mod rng;
 
+pub use client_driver::{run_client_batch, ClientBatchReport};
 pub use corpus::{generate_corpus, CorpusQuery, CorpusStats};
 pub use driver::{run_batch, BatchOptions, BatchReport};
 pub use gen::{indexed_database, scaled_database, scaled_schema, ScaleConfig, INDEX_DDL};

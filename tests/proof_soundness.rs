@@ -81,6 +81,22 @@ const INEQUIVALENT_PAIRS: &[(&str, &str, &str)] = &[
          (SELECT * FROM PARTS Q WHERE Q.OEM-PNO = P.OEM-PNO)",
     ),
     (
+        "INTERSECT ALL lowered to EXISTS without restoring the lead DISTINCT",
+        "SELECT DISTINCT S.SCITY FROM SUPPLIER S INTERSECT ALL \
+         SELECT A.ACITY FROM AGENTS A",
+        "SELECT S.SCITY FROM SUPPLIER S WHERE EXISTS \
+         (SELECT A.ACITY FROM AGENTS A \
+          WHERE (S.SCITY IS NULL AND A.ACITY IS NULL) OR S.SCITY = A.ACITY)",
+    ),
+    (
+        "INTERSECT lowered to EXISTS without deduplicating the lead block",
+        "SELECT DISTINCT S.SCITY FROM SUPPLIER S INTERSECT \
+         SELECT A.ACITY FROM AGENTS A",
+        "SELECT S.SCITY FROM SUPPLIER S WHERE EXISTS \
+         (SELECT A.ACITY FROM AGENTS A \
+          WHERE (S.SCITY IS NULL AND A.ACITY IS NULL) OR S.SCITY = A.ACITY)",
+    ),
+    (
         "different table scanned behind the same output name",
         "SELECT ALL S.SNO FROM SUPPLIER S",
         "SELECT ALL A.SNO FROM AGENTS A",
@@ -136,14 +152,17 @@ fn inequivalent_pairs_are_never_proved() {
 
 /// Corpus self-certification: every pair really is inequivalent — the
 /// two queries produce different multisets on at least one of the
-/// randomized instances. Guards the suite against rotting into
-/// accidentally-equivalent pairs that assert nothing.
+/// instances (three randomized ones plus the Figure 1 sample database,
+/// whose overlapping supplier/agent cities witness the set-operation
+/// pairs the random city pools cannot). Guards the suite against
+/// rotting into accidentally-equivalent pairs that assert nothing.
 #[test]
 fn the_adversarial_corpus_is_genuinely_inequivalent() {
-    let instances: Vec<_> = [11u64, 47, 90]
+    let mut instances: Vec<_> = [11u64, 47, 90]
         .iter()
         .map(|&seed| random_instance(seed, 10, 24, 10).unwrap())
         .collect();
+    instances.push(uniqueness::catalog::sample::supplier_database().unwrap());
     for (label, before, after) in INEQUIVALENT_PAIRS {
         let witnessed = instances.iter().any(|db| {
             let b = bind_query(db.catalog(), &parse_query(before).unwrap()).unwrap();
