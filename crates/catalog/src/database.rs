@@ -549,6 +549,31 @@ impl Database {
         }
     }
 
+    /// The rows `newer` appended to `table` since `self`, if that delta
+    /// can be extracted soundly:
+    ///
+    /// * shared storage (`Arc::ptr_eq`) ⇒ `Some(&[])` in O(1), no row
+    ///   comparison — the pointer-equality fast path for untouched
+    ///   tables;
+    /// * equal catalog versions with `newer` at least as long ⇒ the
+    ///   suffix `&newer.rows[self.len..]`. Plain `INSERT`s are the only
+    ///   mutation that leaves the version unchanged (`truncate` and all
+    ///   DDL bump it), so equal versions guarantee insert-only growth
+    ///   and the suffix *is* the delta;
+    /// * anything else (version changed, table missing, shrunk rows) ⇒
+    ///   `None` — the caller must fall back to a full recompute.
+    pub fn table_delta<'a>(&self, newer: &'a Database, table: &TableName) -> Option<&'a [Row]> {
+        let old = self.data.get(table)?;
+        let new = newer.data.get(table)?;
+        if Arc::ptr_eq(old, new) {
+            return Some(&[]);
+        }
+        if self.version == newer.version && new.rows.len() >= old.rows.len() {
+            return Some(&new.rows[old.rows.len()..]);
+        }
+        None
+    }
+
     /// Remove all rows of a table (schema stays).
     pub fn truncate(&mut self, table: &TableName) -> Result<()> {
         self.data
@@ -1054,5 +1079,46 @@ mod tests {
             "indexed insert too slow: {:?}",
             t.elapsed()
         );
+    }
+
+    #[test]
+    fn table_delta_extracts_insert_suffixes() {
+        let mut old = Database::new();
+        old.run_script(
+            "CREATE TABLE T (A INTEGER, PRIMARY KEY (A));
+             CREATE TABLE U (B INTEGER, PRIMARY KEY (B));
+             INSERT INTO T VALUES (1), (2);",
+        )
+        .unwrap();
+        let mut new = old.clone();
+        new.run_script("INSERT INTO T VALUES (3), (4);").unwrap();
+        // Touched table: the delta is exactly the appended suffix.
+        assert_eq!(
+            old.table_delta(&new, &"T".into()).unwrap(),
+            &[vec![Value::Int(3)], vec![Value::Int(4)]]
+        );
+        // Untouched table: shared Arc, empty delta without comparing rows.
+        assert!(old.shares_storage(&new, &"U".into()));
+        assert_eq!(old.table_delta(&new, &"U".into()).unwrap(), &[] as &[Row]);
+        // Self-delta is always empty.
+        assert_eq!(new.table_delta(&new, &"T".into()).unwrap(), &[] as &[Row]);
+    }
+
+    #[test]
+    fn table_delta_refuses_non_insert_histories() {
+        let mut old = Database::new();
+        old.run_script("CREATE TABLE T (A INTEGER, PRIMARY KEY (A)); INSERT INTO T VALUES (1);")
+            .unwrap();
+        // truncate bumps the version: a shrunken table is not a delta.
+        let mut truncated = old.clone();
+        truncated.truncate(&"T".into()).unwrap();
+        assert_eq!(old.table_delta(&truncated, &"T".into()), None);
+        // DDL bumps the version too, even though T's rows only grew.
+        let mut ddl = old.clone();
+        ddl.run_script("CREATE TABLE W (C INTEGER); INSERT INTO T VALUES (2);")
+            .unwrap();
+        assert_eq!(old.table_delta(&ddl, &"T".into()), None);
+        // Unknown table on either side.
+        assert_eq!(old.table_delta(&ddl, &"MISSING".into()), None);
     }
 }

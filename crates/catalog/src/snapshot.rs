@@ -26,6 +26,7 @@
 //! `RwLock` write lock), and readers never block writers.
 
 use crate::database::Database;
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use uniq_sql::Statement;
@@ -41,15 +42,23 @@ pub struct SnapshotStore {
     write: Mutex<()>,
     /// Snapshots published after the seed (the chain's depth).
     published: AtomicU64,
+    /// Retained snapshots, oldest first; the back is always the head.
+    /// Garbage-collected on every publish: dead *prefixes* — entries no
+    /// reader or subscriber pins anymore — are truncated, so sustained
+    /// writes with no pins keep the chain at O(1) length while one
+    /// pinned old snapshot keeps exactly its suffix reachable.
+    chain: Mutex<VecDeque<Arc<Database>>>,
 }
 
 impl SnapshotStore {
     /// A store seeded with `db` as the first snapshot.
     pub fn new(db: Database) -> SnapshotStore {
+        let seed = Arc::new(db);
         SnapshotStore {
-            head: RwLock::new(Arc::new(db)),
+            head: RwLock::new(Arc::clone(&seed)),
             write: Mutex::new(()),
             published: AtomicU64::new(0),
+            chain: Mutex::new(VecDeque::from([seed])),
         }
     }
 
@@ -87,6 +96,14 @@ impl SnapshotStore {
         Ok(n)
     }
 
+    /// Number of snapshots the store itself still retains (the GC'd
+    /// chain length, head included). Bounded by `1 +` the number of
+    /// publishes since the oldest still-pinned snapshot; `1` when
+    /// nothing old is pinned.
+    pub fn live_chain_len(&self) -> usize {
+        self.chain.lock().expect("snapshot chain poisoned").len()
+    }
+
     /// The writer protocol: clone the head structurally, mutate the
     /// clone, publish on success.
     fn write_with(&self, mutate: impl FnOnce(&mut Database) -> Result<()>) -> Result<()> {
@@ -95,9 +112,25 @@ impl SnapshotStore {
         // storage, so this is O(#tables), not O(rows).
         let mut scratch = (*self.snapshot()).clone();
         mutate(&mut scratch)?;
-        let mut head = self.head.write().expect("snapshot head poisoned");
-        *head = Arc::new(scratch);
+        let published = Arc::new(scratch);
+        {
+            let mut head = self.head.write().expect("snapshot head poisoned");
+            *head = Arc::clone(&published);
+        }
         self.published.fetch_add(1, Ordering::Relaxed);
+        let mut chain = self.chain.lock().expect("snapshot chain poisoned");
+        chain.push_back(published);
+        // Truncate the dead prefix: a front entry whose only owner is
+        // the chain itself can never be read again (snapshot() only
+        // hands out the head). Stop at the first pinned entry — a
+        // pinned snapshot must keep reconstruction from it possible.
+        while chain.len() > 1 {
+            let front = chain.front().expect("non-empty chain");
+            if Arc::strong_count(front) > 1 {
+                break;
+            }
+            chain.pop_front();
+        }
         Ok(())
     }
 }
@@ -226,6 +259,42 @@ mod tests {
         });
         assert_eq!(store.snapshot().row_count(&"T".into()).unwrap(), 100);
         assert_eq!(store.depth(), 50);
+    }
+
+    #[test]
+    fn chain_gc_keeps_depth_bounded_under_sustained_writes() {
+        let store = seeded();
+        assert_eq!(store.live_chain_len(), 1, "seed only");
+        for i in 3..203i64 {
+            store
+                .run_script(&format!("INSERT INTO T VALUES ({i});"))
+                .unwrap();
+            assert!(
+                store.live_chain_len() <= 2,
+                "unpinned chain grew to {} after {} writes",
+                store.live_chain_len(),
+                i - 2
+            );
+        }
+        assert_eq!(store.depth(), 200, "every publish counted");
+        assert_eq!(store.live_chain_len(), 1, "only the head survives GC");
+    }
+
+    #[test]
+    fn pinned_snapshot_holds_its_suffix_until_dropped() {
+        let store = seeded();
+        let pinned = store.snapshot();
+        for i in 3..13i64 {
+            store
+                .run_script(&format!("INSERT INTO T VALUES ({i});"))
+                .unwrap();
+        }
+        // The pin sits at the front: prefix truncation cannot pass it.
+        assert_eq!(store.live_chain_len(), 11, "pin retains its suffix");
+        drop(pinned);
+        // The next publish collects the whole dead prefix at once.
+        store.run_script("INSERT INTO T VALUES (99);").unwrap();
+        assert_eq!(store.live_chain_len(), 1, "drop + publish collapses it");
     }
 
     #[test]

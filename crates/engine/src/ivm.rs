@@ -1,0 +1,1097 @@
+//! Incremental view maintenance over MVCC snapshots — the paper's
+//! uniqueness analysis cashed in as an *update-time* optimization.
+//!
+//! A subscribed query is kept materialized between snapshots. When the
+//! store publishes a new head, [`MaterializedView::maintain`] extracts
+//! per-table insert deltas ([`Database::table_delta`]: untouched tables
+//! cost one pointer comparison) and evaluates only the *delta* of the
+//! query — the telescoping sum
+//!
+//! ```text
+//! ΔQ = Σᵢ Q(T₁ⁿᵉʷ, …, Tᵢ₋₁ⁿᵉʷ, ΔTᵢ, Tᵢ₊₁ᵒˡᵈ, …, Tₙᵒˡᵈ)
+//! ```
+//!
+//! so per-write work scales with `|Δ|`, not table size. Three tiers,
+//! in decreasing strength of what the catalog lets us prove:
+//!
+//! * **Set** (refcount-free fast path): licensed only when Algorithm 1
+//!   (`unique_projection`) *and* the U-semiring checker
+//!   ([`uniq_proof::check_equiv`]) certify the block duplicate-free.
+//!   With every result multiplicity 0/1, the state is a plain
+//!   [`HashSet`] — no reference counts — and each delta derivation is
+//!   a genuinely new view row. The [`ProofStatus`] that granted the
+//!   license is recorded on the view.
+//! * **Counting** (honest fallback): subquery-free blocks and set
+//!   operations keep signed multiplicity maps per node;
+//!   `INTERSECT`/`EXCEPT`/`UNION` deltas difference the SQL2
+//!   `output_count` across the child update, which is how an
+//!   insert-only base can still *delete* view rows under `EXCEPT`.
+//! * **Recompute**: anything with subqueries (possibly non-monotone)
+//!   re-runs the query and diffs multisets — correct by construction,
+//!   with the full cost booked to the view's counters.
+//!
+//! License-not-promise: the tier is chosen at subscribe time but
+//! re-verified on every round — a catalog version change (DDL,
+//! `TRUNCATE`) makes `maintain` demand a rebuild instead of trusting
+//! the stale proof, and key-probe shortcuts consult the *live*
+//! snapshot's catalog exactly like the executor's `index_fresh` check.
+
+use crate::exec::{equi_join_key, ExecOptions, Executor};
+use crate::setops::output_count;
+use crate::stats::ExecStats;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use uniq_catalog::{Database, Row};
+use uniq_core::analysis::unique_projection;
+use uniq_plan::{BoundExpr, BoundQuery, BoundSpec, HostVars};
+use uniq_proof::{check_equiv, ProofStatus};
+use uniq_sql::{Distinct, SetOp};
+use uniq_types::{ColumnName, Error, Result, TableName, Value};
+
+/// One maintenance round's net effect on a view, rows sorted in
+/// `Value`'s canonical order so pushed frames are deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ViewDelta {
+    /// Rows that entered the view (with multiplicity, for `ALL` views).
+    pub inserted: Vec<Row>,
+    /// Rows that left the view — non-empty only for `EXCEPT` shapes
+    /// and subquery fallbacks; insert-only bases cannot shrink a
+    /// monotone query.
+    pub deleted: Vec<Row>,
+}
+
+impl ViewDelta {
+    /// No net change?
+    pub fn is_empty(&self) -> bool {
+        self.inserted.is_empty() && self.deleted.is_empty()
+    }
+
+    /// Total rows changed (insertions plus deletions).
+    pub fn len(&self) -> usize {
+        self.inserted.len() + self.deleted.len()
+    }
+}
+
+/// Which maintenance tier a view runs on (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaintenanceMode {
+    /// Refcount-free `HashSet` state; requires the 0/1-multiplicity
+    /// license from Algorithm 1 + the proof checker.
+    Set,
+    /// Signed multiplicity maps per query node.
+    Counting,
+    /// Full re-evaluation + multiset diff.
+    Recompute,
+}
+
+impl MaintenanceMode {
+    /// Lowercase tag for wire frames and EXPLAIN.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            MaintenanceMode::Set => "set",
+            MaintenanceMode::Counting => "counting",
+            MaintenanceMode::Recompute => "recompute",
+        }
+    }
+}
+
+/// What [`MaterializedView::maintain`] decided about one publish.
+#[derive(Debug)]
+pub enum MaintainOutcome {
+    /// The head is the view's base (or shares every table): no work.
+    Unchanged,
+    /// Delta maintenance ran; the delta may still be empty (filtered
+    /// inserts). `work` is this round's cost alone.
+    Delta {
+        /// Net view change.
+        delta: ViewDelta,
+        /// Counters for this round only (also merged into the view).
+        work: ExecStats,
+    },
+    /// The catalog changed under the view — the license and the bound
+    /// tree are stale. The owner must re-bind, re-license and rebuild.
+    NeedsRebuild,
+}
+
+/// The per-node incremental state of a counting-tier view.
+#[derive(Debug)]
+enum NodeState {
+    /// A block: multiset of *pre-distinct* projected rows. The
+    /// node's output applies the block's own `DISTINCT` on top.
+    Spec {
+        spec: BoundSpec,
+        counts: HashMap<Row, i64>,
+    },
+    /// A set operation over two child states, caching each child's
+    /// output multiset so `output_count` can be differenced.
+    SetOp {
+        op: SetOp,
+        all: bool,
+        left: Box<NodeState>,
+        right: Box<NodeState>,
+        lcounts: HashMap<Row, i64>,
+        rcounts: HashMap<Row, i64>,
+    },
+}
+
+/// A subscribed query kept incrementally materialized.
+#[derive(Debug)]
+pub struct MaterializedView {
+    /// Canonical SQL (the subscribe key, re-bound on rebuilds).
+    sql: String,
+    /// The optimized bound tree the delta operators interpret.
+    query: BoundQuery,
+    columns: Vec<ColumnName>,
+    mode: MaintenanceMode,
+    /// The proof that granted the tier: `Proved` on the set fast path,
+    /// `PropertyTested` (with the obstruction) on the fallbacks.
+    license: ProofStatus,
+    state: ViewState,
+    /// The snapshot the state is consistent with.
+    base: Arc<Database>,
+    exec: ExecOptions,
+    /// Cumulative maintenance work since subscribe.
+    stats: ExecStats,
+}
+
+#[derive(Debug)]
+enum ViewState {
+    Set(HashSet<Row>),
+    Counting(NodeState),
+    Full(HashMap<Row, i64>),
+}
+
+/// Sort rows in `Value`'s canonical total order (refines `=̇`).
+fn sort_canonical(rows: &mut [Row]) {
+    rows.sort();
+}
+
+/// Expand a signed multiset into its non-negative rows.
+fn expand(counts: &HashMap<Row, i64>) -> Vec<Row> {
+    let mut out = Vec::new();
+    for (row, &n) in counts {
+        for _ in 0..n.max(0) {
+            out.push(row.clone());
+        }
+    }
+    out
+}
+
+/// Diff `after − before` as a signed multiset.
+fn multiset_diff(before: &HashMap<Row, i64>, after: &HashMap<Row, i64>) -> HashMap<Row, i64> {
+    let mut delta: HashMap<Row, i64> = HashMap::new();
+    for (row, &n) in after {
+        let change = n - before.get(row).copied().unwrap_or(0);
+        if change != 0 {
+            delta.insert(row.clone(), change);
+        }
+    }
+    for (row, &n) in before {
+        if !after.contains_key(row) && n != 0 {
+            delta.insert(row.clone(), -n);
+        }
+    }
+    delta
+}
+
+/// Turn a signed output delta into a sorted [`ViewDelta`].
+fn signed_to_delta(signed: HashMap<Row, i64>) -> ViewDelta {
+    let mut delta = ViewDelta::default();
+    for (row, n) in signed {
+        if n > 0 {
+            for _ in 0..n {
+                delta.inserted.push(row.clone());
+            }
+        } else {
+            for _ in 0..-n {
+                delta.deleted.push(row.clone());
+            }
+        }
+    }
+    sort_canonical(&mut delta.inserted);
+    sort_canonical(&mut delta.deleted);
+    delta
+}
+
+/// Multiset-diff two row collections into a [`ViewDelta`] (used when a
+/// view is rebuilt after DDL and the old/new states must be reconciled
+/// for subscribers).
+pub(crate) fn diff_rows(before: Vec<Row>, after: Vec<Row>) -> ViewDelta {
+    signed_to_delta(multiset_diff(&count_rows(before), &count_rows(after)))
+}
+
+fn count_rows(rows: Vec<Row>) -> HashMap<Row, i64> {
+    let mut counts: HashMap<Row, i64> = HashMap::new();
+    for row in rows {
+        *counts.entry(row).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Does any predicate in the tree contain a subquery? Subqueries make
+/// the query potentially non-monotone (`NOT EXISTS`), and their
+/// evaluation consults whole tables — both disqualify delta tiers.
+fn query_has_subquery(query: &BoundQuery) -> bool {
+    fn expr_has(e: &BoundExpr) -> bool {
+        match e {
+            BoundExpr::Exists { .. } | BoundExpr::InSubquery { .. } => true,
+            BoundExpr::And(a, b) | BoundExpr::Or(a, b) => expr_has(a) || expr_has(b),
+            BoundExpr::Not(a) => expr_has(a),
+            _ => false,
+        }
+    }
+    match query {
+        BoundQuery::Spec(spec) => spec.predicate.as_ref().is_some_and(expr_has),
+        BoundQuery::SetOp { left, right, .. } => {
+            query_has_subquery(left) || query_has_subquery(right)
+        }
+    }
+}
+
+/// Every base table the query reads, tree-wide — `FROM` lists *and*
+/// predicate subqueries (a `NOT EXISTS` view changes when the inner
+/// table grows, even though it is not in any `FROM`). Duplicates kept:
+/// self-joins read the table once per occurrence.
+pub fn base_tables(query: &BoundQuery) -> Vec<TableName> {
+    fn expr(e: &BoundExpr, out: &mut Vec<TableName>) {
+        match e {
+            BoundExpr::Exists { subquery, .. } | BoundExpr::InSubquery { subquery, .. } => {
+                spec(subquery, out)
+            }
+            BoundExpr::And(a, b) | BoundExpr::Or(a, b) => {
+                expr(a, out);
+                expr(b, out);
+            }
+            BoundExpr::Not(a) => expr(a, out),
+            _ => {}
+        }
+    }
+    fn spec(s: &BoundSpec, out: &mut Vec<TableName>) {
+        for ft in &s.from {
+            out.push(ft.schema.name.clone());
+        }
+        if let Some(p) = &s.predicate {
+            expr(p, out);
+        }
+    }
+    fn go(query: &BoundQuery, out: &mut Vec<TableName>) {
+        match query {
+            BoundQuery::Spec(s) => spec(s, out),
+            BoundQuery::SetOp { left, right, .. } => {
+                go(left, out);
+                go(right, out);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    go(query, &mut out);
+    out
+}
+
+/// Decide the maintenance tier for an optimized query, returning the
+/// mode together with the [`ProofStatus`] that justifies it.
+///
+/// The set fast path demands *both* certificates: Algorithm 1's FD
+/// closure must cover a candidate key of every table (so the block is
+/// duplicate-free), and the symbolic checker must prove
+/// `π_Dist(block) ≡ π_All(block)` from the schema axioms. Either one
+/// alone falling short downgrades to counting — the license is a
+/// theorem or it is not granted.
+pub fn license_view(query: &BoundQuery) -> (MaintenanceMode, ProofStatus) {
+    if query_has_subquery(query) {
+        return (
+            MaintenanceMode::Recompute,
+            ProofStatus::PropertyTested {
+                reason: "subquery in predicate: delta evaluation unavailable".into(),
+            },
+        );
+    }
+    if let BoundQuery::Spec(spec) = query {
+        let report = unique_projection(spec);
+        if report.unique {
+            let mut as_distinct = (**spec).clone();
+            as_distinct.distinct = Distinct::Distinct;
+            let mut as_all = (**spec).clone();
+            as_all.distinct = Distinct::All;
+            let verdict = check_equiv(
+                &BoundQuery::Spec(Box::new(as_distinct)),
+                &BoundQuery::Spec(Box::new(as_all)),
+            );
+            if verdict.is_proved() {
+                return (MaintenanceMode::Set, verdict.into_status());
+            }
+            return (
+                MaintenanceMode::Counting,
+                verdict.into_status(), // honest: Algorithm 1 said yes, the checker could not
+            );
+        }
+        return (
+            MaintenanceMode::Counting,
+            ProofStatus::PropertyTested {
+                reason: report.reason,
+            },
+        );
+    }
+    (
+        MaintenanceMode::Counting,
+        ProofStatus::PropertyTested {
+            reason: "set operation: counting maintenance".into(),
+        },
+    )
+}
+
+/// Run `query` (as bound) against `db`, booking work into `stats`.
+fn run_query(
+    query: &BoundQuery,
+    db: &Database,
+    exec: ExecOptions,
+    stats: &mut ExecStats,
+) -> Result<Vec<Row>> {
+    let hostvars = HostVars::new();
+    let mut executor = Executor::new(db, &hostvars, exec);
+    let rows = executor.run(query)?;
+    stats.merge(&executor.stats);
+    Ok(rows)
+}
+
+impl NodeState {
+    /// Materialize the initial state bottom-up from `db`.
+    fn init(
+        query: &BoundQuery,
+        db: &Database,
+        exec: ExecOptions,
+        stats: &mut ExecStats,
+    ) -> Result<NodeState> {
+        match query {
+            BoundQuery::Spec(spec) => {
+                // The node tracks the *pre-distinct* multiset; its
+                // output applies the block's DISTINCT on read.
+                let mut as_all = (**spec).clone();
+                as_all.distinct = Distinct::All;
+                let rows = run_query(&BoundQuery::Spec(Box::new(as_all)), db, exec, stats)?;
+                Ok(NodeState::Spec {
+                    spec: (**spec).clone(),
+                    counts: count_rows(rows),
+                })
+            }
+            BoundQuery::SetOp {
+                op,
+                all,
+                left,
+                right,
+            } => {
+                let lstate = NodeState::init(left, db, exec, stats)?;
+                let rstate = NodeState::init(right, db, exec, stats)?;
+                let lcounts = lstate.output();
+                let rcounts = rstate.output();
+                Ok(NodeState::SetOp {
+                    op: *op,
+                    all: *all,
+                    left: Box::new(lstate),
+                    right: Box::new(rstate),
+                    lcounts,
+                    rcounts,
+                })
+            }
+        }
+    }
+
+    /// The node's current output multiset.
+    fn output(&self) -> HashMap<Row, i64> {
+        match self {
+            NodeState::Spec { spec, counts } => match spec.distinct {
+                Distinct::All => counts.clone(),
+                Distinct::Distinct => counts
+                    .iter()
+                    .filter(|(_, &n)| n > 0)
+                    .map(|(row, _)| (row.clone(), 1))
+                    .collect(),
+            },
+            NodeState::SetOp {
+                op,
+                all,
+                lcounts,
+                rcounts,
+                ..
+            } => {
+                let mut out = HashMap::new();
+                for row in lcounts.keys().chain(rcounts.keys()) {
+                    if out.contains_key(row) {
+                        continue;
+                    }
+                    let j = lcounts.get(row).copied().unwrap_or(0).max(0) as usize;
+                    let k = rcounts.get(row).copied().unwrap_or(0).max(0) as usize;
+                    let n = output_count(*op, *all, j, k);
+                    if n > 0 {
+                        out.insert(row.clone(), n as i64);
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Apply one publish's base deltas, updating internal counts and
+    /// returning the signed *output* delta of this node.
+    fn delta(
+        &mut self,
+        old: &Database,
+        new: &Database,
+        exec: ExecOptions,
+        stats: &mut ExecStats,
+    ) -> Result<HashMap<Row, i64>> {
+        match self {
+            NodeState::Spec { spec, counts } => {
+                let derivations = spec_delta(spec, old, new, exec, stats)?;
+                let mut out: HashMap<Row, i64> = HashMap::new();
+                for row in derivations {
+                    let n = counts.entry(row.clone()).or_insert(0);
+                    *n += 1;
+                    // A subquery-free block is monotone: derivations
+                    // only ever add. DISTINCT emits on the 0→1 edge.
+                    let emits = match spec.distinct {
+                        Distinct::All => 1,
+                        Distinct::Distinct => i64::from(*n == 1),
+                    };
+                    if emits > 0 {
+                        *out.entry(row).or_insert(0) += emits;
+                    }
+                }
+                Ok(out)
+            }
+            NodeState::SetOp {
+                op,
+                all,
+                left,
+                right,
+                lcounts,
+                rcounts,
+            } => {
+                let ldelta = left.delta(old, new, exec, stats)?;
+                let rdelta = right.delta(old, new, exec, stats)?;
+                let mut out: HashMap<Row, i64> = HashMap::new();
+                for row in ldelta.keys().chain(rdelta.keys()) {
+                    if out.contains_key(row) {
+                        continue;
+                    }
+                    let j0 = lcounts.get(row).copied().unwrap_or(0);
+                    let k0 = rcounts.get(row).copied().unwrap_or(0);
+                    let j1 = j0 + ldelta.get(row).copied().unwrap_or(0);
+                    let k1 = k0 + rdelta.get(row).copied().unwrap_or(0);
+                    let before = output_count(*op, *all, j0.max(0) as usize, k0.max(0) as usize);
+                    let after = output_count(*op, *all, j1.max(0) as usize, k1.max(0) as usize);
+                    let change = after as i64 - before as i64;
+                    if change != 0 {
+                        out.insert(row.clone(), change);
+                    }
+                }
+                for (row, d) in ldelta {
+                    *lcounts.entry(row).or_insert(0) += d;
+                }
+                for (row, d) in rdelta {
+                    *rcounts.entry(row).or_insert(0) += d;
+                }
+                Ok(out)
+            }
+        }
+    }
+}
+
+/// Evaluate the delta of a subquery-free block between two adjacent
+/// snapshots: the multiset of *new derivations* of projected rows.
+///
+/// The telescoping sum runs one pass per table with a non-empty delta:
+/// partial tuples start from that table's delta rows and are extended
+/// across the remaining tables — earlier tables from the *new*
+/// snapshot, later ones from the *old* — so no derivation is counted
+/// twice. Each extension step prefers a candidate-key probe
+/// (`lookup_by_key`, one `probe_step`) when the placed equi-join keys
+/// cover a key of the table being joined *in the live catalog*; the
+/// honest fallback is a nested-loop scan with every row booked.
+fn spec_delta(
+    spec: &BoundSpec,
+    old: &Database,
+    new: &Database,
+    exec: ExecOptions,
+    stats: &mut ExecStats,
+) -> Result<Vec<Row>> {
+    let n = spec.from.len();
+    let conjuncts: Vec<BoundExpr> = spec
+        .predicate
+        .as_ref()
+        .map(|p| p.conjuncts().into_iter().cloned().collect())
+        .unwrap_or_default();
+    let hostvars = HostVars::new();
+    let mut evaluator = Executor::new(new, &hostvars, exec);
+    let mut out = Vec::new();
+
+    // Extract every table's delta up front; a table can appear several
+    // times in FROM (self-join), and each occurrence telescopes.
+    let mut deltas: Vec<&[Row]> = Vec::with_capacity(n);
+    for ft in &spec.from {
+        let delta = old
+            .table_delta(new, &ft.schema.name)
+            .ok_or_else(|| Error::internal("snapshot pair is not insert-only"))?;
+        deltas.push(delta);
+    }
+
+    for i in 0..n {
+        if deltas[i].is_empty() {
+            continue;
+        }
+        stats.delta_rows += deltas[i].len() as u64;
+        let arity = spec.product_arity();
+        let range_i = spec.from[i].attr_range();
+        // Partial tuples: full-width, Null where a table is unplaced.
+        let mut partials: Vec<Row> = Vec::with_capacity(deltas[i].len());
+        for row in deltas[i] {
+            let mut tuple = vec![Value::Null; arity];
+            tuple[range_i.clone()].clone_from_slice(row);
+            partials.push(tuple);
+        }
+        let mut placed: Vec<bool> = vec![false; n];
+        placed[i] = true;
+        let mut applied: Vec<bool> = vec![false; conjuncts.len()];
+        apply_covered(
+            &conjuncts,
+            &mut applied,
+            spec,
+            &placed,
+            &mut partials,
+            &mut evaluator,
+        )?;
+        // Extend over the remaining tables in FROM order; the
+        // telescoping convention picks which snapshot each reads.
+        for j in (0..n).filter(|&j| j != i) {
+            if partials.is_empty() {
+                break;
+            }
+            let db: &Database = if j < i { new } else { old };
+            partials = extend_over(spec, j, db, &conjuncts, &placed, partials, stats)?;
+            placed[j] = true;
+            apply_covered(
+                &conjuncts,
+                &mut applied,
+                spec,
+                &placed,
+                &mut partials,
+                &mut evaluator,
+            )?;
+        }
+        for tuple in partials {
+            out.push(
+                spec.projection
+                    .iter()
+                    .map(|p| tuple[p.attr].clone())
+                    .collect(),
+            );
+        }
+    }
+    stats.merge(&evaluator.stats);
+    Ok(out)
+}
+
+/// Evaluate (once) every conjunct newly covered by the placed tables,
+/// dropping partial tuples the predicate does not definitely accept.
+fn apply_covered(
+    conjuncts: &[BoundExpr],
+    applied: &mut [bool],
+    spec: &BoundSpec,
+    placed: &[bool],
+    partials: &mut Vec<Row>,
+    evaluator: &mut Executor<'_>,
+) -> Result<()> {
+    for (c, done) in conjuncts.iter().zip(applied.iter_mut()) {
+        if *done {
+            continue;
+        }
+        let mut covered = true;
+        c.visit_local_attrs(&mut |idx| {
+            if let Some((ft, _)) = spec.attr_owner(idx) {
+                let t = spec
+                    .from
+                    .iter()
+                    .position(|f| f.offset == ft.offset)
+                    .unwrap_or(usize::MAX);
+                if t == usize::MAX || !placed[t] {
+                    covered = false;
+                }
+            }
+        });
+        if !covered {
+            continue;
+        }
+        *done = true;
+        let mut kept = Vec::with_capacity(partials.len());
+        for tuple in partials.drain(..) {
+            // False-interpreted (⌊·⌋): Unknown rejects, as in the executor.
+            if evaluator.eval(c, &[], &tuple)?.false_interpreted() {
+                kept.push(tuple);
+            }
+        }
+        *partials = kept;
+    }
+    Ok(())
+}
+
+/// Join the partial tuples with table `j` read from `db`: candidate-key
+/// probe when the placed equi-join keys cover a key in `db`'s *live*
+/// catalog, nested-loop scan otherwise.
+fn extend_over(
+    spec: &BoundSpec,
+    j: usize,
+    db: &Database,
+    conjuncts: &[BoundExpr],
+    placed: &[bool],
+    partials: Vec<Row>,
+    stats: &mut ExecStats,
+) -> Result<Vec<Row>> {
+    let ft = &spec.from[j];
+    let range = ft.attr_range();
+    let is_placed = |idx: usize| {
+        spec.attr_owner(idx)
+            .and_then(|(owner, _)| spec.from.iter().position(|f| f.offset == owner.offset))
+            .is_some_and(|t| placed[t])
+    };
+    // Equi-join pairs (placed attr, column of table j) available now.
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    for c in conjuncts {
+        if let Some((built, new_attr)) = equi_join_key(c, &range, &is_placed) {
+            pairs.push((built, new_attr - range.start));
+        }
+    }
+    // License-not-promise: the probe key must be a candidate key of the
+    // *live* table, not of the schema snapshot bound into the plan.
+    let probe_key = db.catalog().table(&ft.schema.name).ok().and_then(|live| {
+        live.candidate_keys()
+            .find(|k| {
+                k.columns
+                    .iter()
+                    .all(|c| pairs.iter().any(|&(_, col)| col == *c))
+            })
+            .map(|k| k.columns.clone())
+    });
+    let mut out = Vec::new();
+    match probe_key {
+        Some(key_columns) => {
+            for tuple in partials {
+                let key_values: Vec<Value> = key_columns
+                    .iter()
+                    .map(|col| {
+                        let built = pairs
+                            .iter()
+                            .find(|&&(_, c)| c == *col)
+                            .map(|&(b, _)| b)
+                            .expect("probe key covered by pairs");
+                        tuple[built].clone()
+                    })
+                    .collect();
+                stats.ix_probes += 1;
+                stats.probe_steps += 1;
+                // A NULL key value matches nothing under `=` (the probe
+                // implements plain equality, and `=̇` never reaches
+                // join conjuncts produced by the binder).
+                if key_values.iter().any(Value::is_null) {
+                    continue;
+                }
+                if let Some(row) = db.lookup_by_key(&ft.schema.name, &key_columns, &key_values)? {
+                    let mut extended = tuple;
+                    extended[range.clone()].clone_from_slice(row);
+                    out.push(extended);
+                }
+            }
+        }
+        None => {
+            let rows = db.rows(&ft.schema.name)?;
+            for tuple in partials {
+                stats.rows_scanned += rows.len() as u64;
+                'rows: for row in rows {
+                    // Pre-filter on the equi pairs before cloning; the
+                    // full conjuncts re-run after placement anyway.
+                    for &(built, col) in &pairs {
+                        let l = &tuple[built];
+                        let r = &row[col];
+                        if l.is_null() || r.is_null() || l != r {
+                            continue 'rows;
+                        }
+                    }
+                    let mut extended = tuple.clone();
+                    extended[range.clone()].clone_from_slice(row);
+                    out.push(extended);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+impl MaterializedView {
+    /// Materialize `query` against `base` and pick its maintenance
+    /// tier. `sql` is the canonical text (kept for rebuilds and
+    /// EXPLAIN); `columns` the output header.
+    pub fn new(
+        sql: String,
+        query: BoundQuery,
+        columns: Vec<ColumnName>,
+        base: Arc<Database>,
+        exec: ExecOptions,
+    ) -> Result<MaterializedView> {
+        let (mode, license) = license_view(&query);
+        let mut stats = ExecStats::new();
+        let state = match mode {
+            MaintenanceMode::Set => {
+                let rows = run_query(&query, &base, exec, &mut stats)?;
+                let set: HashSet<Row> = rows.into_iter().collect();
+                ViewState::Set(set)
+            }
+            MaintenanceMode::Counting => {
+                ViewState::Counting(NodeState::init(&query, &base, exec, &mut stats)?)
+            }
+            MaintenanceMode::Recompute => {
+                let rows = run_query(&query, &base, exec, &mut stats)?;
+                ViewState::Full(count_rows(rows))
+            }
+        };
+        Ok(MaterializedView {
+            sql,
+            query,
+            columns,
+            mode,
+            license,
+            state,
+            base,
+            exec,
+            stats,
+        })
+    }
+
+    /// The canonical SQL this view materializes.
+    pub fn sql(&self) -> &str {
+        &self.sql
+    }
+
+    /// Output column names.
+    pub fn columns(&self) -> &[ColumnName] {
+        &self.columns
+    }
+
+    /// The maintenance tier in force.
+    pub fn mode(&self) -> MaintenanceMode {
+        self.mode
+    }
+
+    /// The proof that granted (or refused) the refcount-free tier.
+    pub fn license(&self) -> &ProofStatus {
+        &self.license
+    }
+
+    /// Cumulative maintenance work since subscribe (initial
+    /// materialization included).
+    pub fn work(&self) -> ExecStats {
+        self.stats
+    }
+
+    /// The snapshot the state is consistent with.
+    pub fn base(&self) -> &Arc<Database> {
+        &self.base
+    }
+
+    /// Every base table the view reads (subquery tables included).
+    pub fn tables(&self) -> Vec<TableName> {
+        base_tables(&self.query)
+    }
+
+    /// The view's current contents as a multiset, canonically sorted.
+    pub fn rows(&self) -> Vec<Row> {
+        let mut rows = match &self.state {
+            ViewState::Set(set) => set.iter().cloned().collect(),
+            ViewState::Counting(node) => expand(&node.output()),
+            ViewState::Full(counts) => expand(counts),
+        };
+        sort_canonical(&mut rows);
+        rows
+    }
+
+    /// Advance the view from its base snapshot to `head`, returning the
+    /// net change. O(1) when every table is untouched; O(|Δ|) on the
+    /// delta tiers; a catalog version change demands a rebuild instead
+    /// (the bound tree and its license no longer describe the head).
+    pub fn maintain(&mut self, head: &Arc<Database>) -> Result<MaintainOutcome> {
+        if Arc::ptr_eq(&self.base, head) {
+            return Ok(MaintainOutcome::Unchanged);
+        }
+        if self.base.version() != head.version() {
+            return Ok(MaintainOutcome::NeedsRebuild);
+        }
+        // Pointer-equality fast path: every table untouched ⇒ no work.
+        let tables = base_tables(&self.query);
+        if tables.iter().all(|t| self.base.shares_storage(head, t)) {
+            self.base = Arc::clone(head);
+            return Ok(MaintainOutcome::Unchanged);
+        }
+        let mut work = ExecStats::new();
+        let delta = match &mut self.state {
+            ViewState::Set(set) => {
+                let BoundQuery::Spec(spec) = &self.query else {
+                    return Err(Error::internal("set-tier view must be a single block"));
+                };
+                let derivations = spec_delta(spec, &self.base, head, self.exec, &mut work)?;
+                let mut inserted = Vec::new();
+                for row in derivations {
+                    // Under a valid 0/1 license every new derivation is
+                    // a new view row; a collision would mean the proof
+                    // was wrong, so it is surfaced loudly in debug.
+                    let fresh = set.insert(row.clone());
+                    debug_assert!(fresh, "0/1-multiplicity license violated for {row:?}");
+                    if fresh {
+                        inserted.push(row);
+                    }
+                }
+                sort_canonical(&mut inserted);
+                ViewDelta {
+                    inserted,
+                    deleted: Vec::new(),
+                }
+            }
+            ViewState::Counting(node) => {
+                let signed = node.delta(&self.base, head, self.exec, &mut work)?;
+                signed_to_delta(signed)
+            }
+            ViewState::Full(counts) => {
+                let rows = run_query(&self.query, head, self.exec, &mut work)?;
+                let after = count_rows(rows);
+                let signed = multiset_diff(counts, &after);
+                *counts = after;
+                signed_to_delta(signed)
+            }
+        };
+        work.view_updates += delta.len() as u64;
+        self.stats.merge(&work);
+        self.base = Arc::clone(head);
+        Ok(MaintainOutcome::Delta { delta, work })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniq_core::pipeline::{Optimizer, OptimizerOptions};
+    use uniq_plan::bind_query;
+    use uniq_sql::{parse_statement, Statement};
+
+    fn bind(db: &Database, sql: &str) -> (BoundQuery, Vec<ColumnName>) {
+        let Statement::Query(ast) = parse_statement(sql).unwrap() else {
+            panic!("not a query");
+        };
+        let bound = bind_query(db.catalog(), &ast).unwrap();
+        let outcome = Optimizer::new(OptimizerOptions::relational()).optimize(&bound);
+        let columns = outcome.query.output_names();
+        (outcome.query, columns)
+    }
+
+    fn view(db: &Arc<Database>, sql: &str) -> MaterializedView {
+        let (query, columns) = bind(db, sql);
+        MaterializedView::new(
+            sql.to_string(),
+            query,
+            columns,
+            Arc::clone(db),
+            ExecOptions::default(),
+        )
+        .unwrap()
+    }
+
+    fn sample() -> Arc<Database> {
+        Arc::new(uniq_catalog::sample::supplier_database().unwrap())
+    }
+
+    fn advance(db: &Arc<Database>, script: &str) -> Arc<Database> {
+        let mut next = (**db).clone();
+        next.run_script(script).unwrap();
+        Arc::new(next)
+    }
+
+    fn oracle(db: &Database, sql: &str) -> Vec<Row> {
+        let (query, _) = bind(db, sql);
+        let mut stats = ExecStats::new();
+        let mut rows = run_query(&query, db, ExecOptions::default(), &mut stats).unwrap();
+        rows.sort();
+        rows
+    }
+
+    #[test]
+    fn key_covered_join_gets_the_set_license() {
+        let db = sample();
+        let v = view(
+            &db,
+            "SELECT DISTINCT S.SNO, P.PNO FROM SUPPLIER S, PARTS P WHERE S.SNO = P.SNO",
+        );
+        assert_eq!(v.mode(), MaintenanceMode::Set);
+        assert!(v.license().is_proved(), "license is a theorem");
+        assert_eq!(v.license().marker(), "✓");
+    }
+
+    #[test]
+    fn non_unique_projection_falls_back_to_counting() {
+        let db = sample();
+        let v = view(&db, "SELECT S.SCITY FROM SUPPLIER S");
+        assert_eq!(v.mode(), MaintenanceMode::Counting);
+        assert!(!v.license().is_proved());
+    }
+
+    #[test]
+    fn subqueries_force_recompute() {
+        let db = sample();
+        let v = view(
+            &db,
+            "SELECT S.SNO FROM SUPPLIER S WHERE NOT EXISTS \
+             (SELECT P.PNO FROM PARTS P WHERE P.SNO = S.SNO)",
+        );
+        assert_eq!(v.mode(), MaintenanceMode::Recompute);
+    }
+
+    #[test]
+    fn set_tier_maintains_by_key_probe() {
+        let db = sample();
+        let sql = "SELECT DISTINCT S.SNO, P.PNO FROM SUPPLIER S, PARTS P WHERE S.SNO = P.SNO";
+        let mut v = view(&db, sql);
+        let before = v.rows();
+        let head = advance(
+            &db,
+            "INSERT INTO PARTS VALUES (1, 77, 'gasket', 120, 'RED');",
+        );
+        let MaintainOutcome::Delta { delta, work } = v.maintain(&head).unwrap() else {
+            panic!("expected a delta");
+        };
+        assert_eq!(delta.inserted, vec![vec![Value::Int(1), Value::Int(77)]]);
+        assert!(delta.deleted.is_empty());
+        assert_eq!(work.delta_rows, 1, "one delta row consumed");
+        assert!(work.probe_steps >= 1, "supplier side probed by key");
+        assert_eq!(
+            work.rows_scanned, 0,
+            "no table scan on the key-probe path: {work:?}"
+        );
+        assert!(before.len() + 1 == v.rows().len());
+        assert_eq!(v.rows(), oracle(&head, sql));
+    }
+
+    #[test]
+    fn untouched_tables_cost_one_pointer_compare() {
+        let db = sample();
+        let sql = "SELECT DISTINCT S.SNO, P.PNO FROM SUPPLIER S, PARTS P WHERE S.SNO = P.SNO";
+        let mut v = view(&db, sql);
+        // AGENTS is not in the view: its insert must be a no-op round.
+        let head = advance(&db, "INSERT INTO AGENTS VALUES (1, 9, 'Zed', 'Ottawa');");
+        assert!(matches!(
+            v.maintain(&head).unwrap(),
+            MaintainOutcome::Unchanged
+        ));
+        assert_eq!(v.base().version(), head.version());
+    }
+
+    #[test]
+    fn ddl_demands_a_rebuild() {
+        let db = sample();
+        let mut v = view(&db, "SELECT DISTINCT S.SNO FROM SUPPLIER S");
+        let head = advance(&db, "CREATE TABLE Z (A INTEGER, PRIMARY KEY (A));");
+        assert!(matches!(
+            v.maintain(&head).unwrap(),
+            MaintainOutcome::NeedsRebuild
+        ));
+    }
+
+    #[test]
+    fn counting_tier_tracks_distinct_transitions() {
+        let db = sample();
+        let sql = "SELECT DISTINCT S.SNAME FROM SUPPLIER S";
+        let mut v = view(&db, sql);
+        assert_eq!(v.mode(), MaintenanceMode::Counting);
+        // A third 'Acme': no new distinct name.
+        let head = advance(
+            &db,
+            "INSERT INTO SUPPLIER VALUES (9, 'Acme', 'Toronto', 1, 'Active');",
+        );
+        let MaintainOutcome::Delta { delta, .. } = v.maintain(&head).unwrap() else {
+            panic!("expected a delta round");
+        };
+        assert!(delta.is_empty(), "duplicate name adds nothing: {delta:?}");
+        // A genuinely new name crosses the 0→1 edge.
+        let head2 = advance(
+            &head,
+            "INSERT INTO SUPPLIER VALUES (10, 'Zeta', 'Chicago', 1, 'Active');",
+        );
+        let MaintainOutcome::Delta { delta, .. } = v.maintain(&head2).unwrap() else {
+            panic!("expected a delta round");
+        };
+        assert_eq!(delta.inserted, vec![vec![Value::Str("Zeta".into())]]);
+        assert_eq!(v.rows(), oracle(&head2, sql));
+    }
+
+    #[test]
+    fn except_view_can_delete_under_insert_only_bases() {
+        let db = sample();
+        let sql = "SELECT S.SNO FROM SUPPLIER S EXCEPT SELECT P.SNO FROM PARTS P";
+        // Bind without optimizing: the rewrite pipeline may turn EXCEPT
+        // into an anti-join subquery (Recompute tier); the raw set-op
+        // tree exercises the counting delta operators.
+        let Statement::Query(ast) = parse_statement(sql).unwrap() else {
+            panic!();
+        };
+        let bound = bind_query(db.catalog(), &ast).unwrap();
+        let columns = bound.output_names();
+        let mut v = MaterializedView::new(
+            sql.to_string(),
+            bound,
+            columns,
+            Arc::clone(&db),
+            ExecOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(v.mode(), MaintenanceMode::Counting);
+        let survivors = v.rows();
+        assert!(!survivors.is_empty(), "some supplier ships nothing");
+        let lone = survivors[0][0].clone();
+        let Value::Int(sno) = lone else { panic!() };
+        let head = advance(
+            &db,
+            &format!("INSERT INTO PARTS VALUES ({sno}, 90, 'new', 121, 'BLUE');"),
+        );
+        let MaintainOutcome::Delta { delta, .. } = v.maintain(&head).unwrap() else {
+            panic!("expected a delta round");
+        };
+        assert_eq!(delta.deleted, vec![vec![Value::Int(sno)]]);
+        assert_eq!(v.rows(), oracle(&head, sql));
+    }
+
+    #[test]
+    fn recompute_tier_agrees_with_oracle() {
+        let db = sample();
+        let sql = "SELECT S.SNO FROM SUPPLIER S WHERE NOT EXISTS \
+                   (SELECT P.PNO FROM PARTS P WHERE P.SNO = S.SNO)";
+        let mut v = view(&db, sql);
+        let head = advance(&db, "INSERT INTO PARTS VALUES (5, 91, 'new', 122, 'BLUE');");
+        match v.maintain(&head).unwrap() {
+            MaintainOutcome::Delta { .. } | MaintainOutcome::Unchanged => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(v.rows(), oracle(&head, sql));
+    }
+
+    #[test]
+    fn self_join_deltas_telescope_without_double_counting() {
+        let db = sample();
+        // Pairs of parts shipped by the same supplier (self-join).
+        let sql = "SELECT P.PNO, Q.PNO FROM PARTS P, PARTS Q \
+                   WHERE P.SNO = Q.SNO AND P.PNO < Q.PNO";
+        let mut v = view(&db, sql);
+        let head = advance(
+            &db,
+            "INSERT INTO PARTS VALUES (1, 78, 'bolt', 123, 'RED'); \
+             INSERT INTO PARTS VALUES (1, 79, 'nut', 124, 'BLUE');",
+        );
+        let MaintainOutcome::Delta { .. } = v.maintain(&head).unwrap() else {
+            panic!("expected a delta round");
+        };
+        assert_eq!(v.rows(), oracle(&head, sql));
+    }
+}

@@ -30,6 +30,7 @@
 pub mod columnar;
 pub mod exec;
 pub mod explain;
+pub mod ivm;
 pub mod parallel;
 pub mod plancache;
 pub mod session;
@@ -40,9 +41,12 @@ pub mod stats;
 pub use columnar::{ColumnBatch, ColumnData, ColumnStore, TableColumns, DEFAULT_DICT_LIMIT};
 pub use exec::{ExecOptions, Executor};
 pub use explain::{explain, explain_with_trace, render_trace};
+pub use ivm::{MaintainOutcome, MaintenanceMode, MaterializedView, ViewDelta};
 pub use parallel::MORSEL_SIZE;
 pub use plancache::{CacheStats, CachedPlan, PlanCache};
 pub use session::{QueryOutput, Session};
-pub use shared::{EngineStats, SharedEngine, SharedSession};
+pub use shared::{
+    EngineStats, SharedEngine, SharedSession, Subscription, SubscriptionSink, SubscriptionStats,
+};
 pub use stats::{Degree, DistinctMethod, ExecStats, JoinMethod, StageTimings};
 pub use uniq_cost::{CardReport, PhysicalPlan, PlannerOptions, QErrorStats, Statistics};

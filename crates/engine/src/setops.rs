@@ -84,8 +84,10 @@ pub fn combine_setop(
 }
 
 /// How many copies of a tuple appear in the result given its
-/// multiplicities `j` (left) and `k` (right)?
-fn output_count(op: SetOp, all: bool, j: usize, k: usize) -> usize {
+/// multiplicities `j` (left) and `k` (right)? (Shared with the
+/// incremental view maintenance operators in [`crate::ivm`], which
+/// difference this function across a delta to get signed view updates.)
+pub(crate) fn output_count(op: SetOp, all: bool, j: usize, k: usize) -> usize {
     match (op, all) {
         // SQL2 §2.2: INTERSECT ALL → min, EXCEPT ALL → max(j − k, 0).
         (SetOp::Intersect, true) => j.min(k),

@@ -26,18 +26,20 @@
 //! frame reports.
 
 use crate::exec::{ExecOptions, Executor};
+use crate::ivm::{self, MaintainOutcome, MaintenanceMode, MaterializedView, ViewDelta};
 use crate::plancache::{CacheStats, CachedPlan, PlanCache};
 use crate::session::QueryOutput;
-use crate::stats::StageTimings;
+use crate::stats::{ExecStats, StageTimings};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
-use uniq_catalog::{Database, SnapshotStore};
+use uniq_catalog::{Database, Row, SnapshotStore};
 use uniq_core::pipeline::{Optimizer, OptimizerOptions};
 use uniq_cost::{plan_query, PhysicalPlan, PlannerOptions, Statistics};
 use uniq_plan::{bind_query, BoundQuery, HostVars};
+use uniq_proof::ProofStatus;
 use uniq_sql::{parse_statement, Statement};
-use uniq_types::{fnv64, Error, Result};
+use uniq_types::{fnv64, ColumnName, Error, Result};
 
 /// Statistics state: collected from one snapshot, stamped with an epoch
 /// that is mixed into plan fingerprints (re-`ANALYZE` recompiles plans).
@@ -45,6 +47,67 @@ use uniq_types::{fnv64, Error, Result};
 struct StatsState {
     stats: Option<Arc<Statistics>>,
     epoch: u64,
+}
+
+/// The callback a subscriber registers: called with the subscription id
+/// and each non-empty [`ViewDelta`] after a publish. Returning `false`
+/// drops the subscription (a slow or vanished consumer must never stall
+/// maintenance for everyone else).
+pub type SubscriptionSink = Box<dyn Fn(u64, &ViewDelta) -> bool + Send + Sync>;
+
+/// What [`SharedEngine::subscribe`] hands back: the subscription id,
+/// the view's header + initial contents, and the tier/license the
+/// maintenance engine granted.
+pub struct Subscription {
+    /// Registry id (pass to [`SharedEngine::unsubscribe`]).
+    pub id: u64,
+    /// Output column names.
+    pub columns: Vec<ColumnName>,
+    /// The view's initial contents, canonically sorted.
+    pub rows: Vec<Row>,
+    /// The maintenance tier in force.
+    pub mode: MaintenanceMode,
+    /// The proof that granted (or refused) the refcount-free tier.
+    pub license: ProofStatus,
+}
+
+struct SubEntry {
+    id: u64,
+    view: MaterializedView,
+    sink: SubscriptionSink,
+    /// Set by [`SharedEngine::analyze`] (and on maintenance errors):
+    /// the view is rebuilt from scratch on the next round, exactly as
+    /// the plan cache lazily recompiles on an epoch bump.
+    stale: bool,
+}
+
+#[derive(Default)]
+struct SubState {
+    entries: Vec<SubEntry>,
+    next_id: u64,
+    deltas_pushed: u64,
+    delta_rows: u64,
+    view_updates: u64,
+    rows_saved: u64,
+    dropped: u64,
+}
+
+/// Subscription counters for the stats report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SubscriptionStats {
+    /// Currently registered subscriptions.
+    pub active: u64,
+    /// Non-empty deltas pushed to sinks.
+    pub deltas_pushed: u64,
+    /// Base-table delta rows consumed by maintenance.
+    pub delta_rows: u64,
+    /// View rows changed (insertions + deletions) across all rounds.
+    pub view_updates: u64,
+    /// Cumulative base rows a per-publish full recompute would have
+    /// scanned minus what delta maintenance actually touched.
+    pub rows_saved: u64,
+    /// Subscriptions dropped because their sink refused a delta.
+    pub dropped: u64,
 }
 
 /// A process-wide engine: MVCC snapshot chain + shared plan cache +
@@ -63,6 +126,16 @@ pub struct SharedEngine {
     pub planner: PlannerOptions,
     stats: RwLock<StatsState>,
     queries: AtomicU64,
+    subs: Mutex<SubState>,
+}
+
+impl std::fmt::Debug for SubState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SubState")
+            .field("entries", &self.entries.len())
+            .field("next_id", &self.next_id)
+            .finish()
+    }
 }
 
 /// One counter row of a [`SharedEngine`] stats report.
@@ -76,6 +149,8 @@ pub struct EngineStats {
     pub queries_total: u64,
     /// Statistics epoch (0 = never analyzed).
     pub stats_epoch: u64,
+    /// Subscription / incremental-view-maintenance counters.
+    pub subs: SubscriptionStats,
 }
 
 impl SharedEngine {
@@ -90,6 +165,7 @@ impl SharedEngine {
             planner: PlannerOptions::default(),
             stats: RwLock::new(StatsState::default()),
             queries: AtomicU64::new(0),
+            subs: Mutex::new(SubState::default()),
         }
     }
 
@@ -114,31 +190,55 @@ impl SharedEngine {
     }
 
     /// Apply a DDL/DML script copy-on-write and publish one new
-    /// snapshot (atomic: a failure publishes nothing). Returns the
-    /// number of statements applied.
+    /// snapshot (atomic: a failure publishes nothing), then run one
+    /// incremental maintenance round so every subscription sees the
+    /// write. Returns the number of statements applied.
     pub fn execute(&self, sql: &str) -> Result<usize> {
-        self.store.run_script(sql)
+        let applied = self.store.run_script(sql)?;
+        self.maintain_subscriptions();
+        Ok(applied)
     }
 
     /// Collect statistics from the current head snapshot and bump the
     /// statistics epoch. Cost-based physical planning is active from
     /// the next query on; plans compiled under older statistics are
     /// recompiled lazily (the epoch is part of the fingerprint).
+    /// Subscriptions are invalidated the same lazy way: every view is
+    /// marked stale and rebuilt (re-bound, re-licensed) on its next
+    /// maintenance round.
     pub fn analyze(&self) {
         let snap = self.snapshot();
         let collected = Arc::new(Statistics::collect(&snap));
-        let mut state = self.stats.write().expect("stats lock poisoned");
-        state.stats = Some(collected);
-        state.epoch += 1;
+        {
+            let mut state = self.stats.write().expect("stats lock poisoned");
+            state.stats = Some(collected);
+            state.epoch += 1;
+        }
+        let mut subs = self.subs.lock().expect("subs lock poisoned");
+        for entry in &mut subs.entries {
+            entry.stale = true;
+        }
     }
 
     /// Counter snapshot for the `Stats` frame.
     pub fn stats(&self) -> EngineStats {
+        let subs = {
+            let s = self.subs.lock().expect("subs lock poisoned");
+            SubscriptionStats {
+                active: s.entries.len() as u64,
+                deltas_pushed: s.deltas_pushed,
+                delta_rows: s.delta_rows,
+                view_updates: s.view_updates,
+                rows_saved: s.rows_saved,
+                dropped: s.dropped,
+            }
+        };
         EngineStats {
             cache: self.cache.stats(),
             snapshot_depth: self.store.depth(),
             queries_total: self.queries.load(Ordering::Relaxed),
             stats_epoch: self.stats.read().expect("stats lock poisoned").epoch,
+            subs,
         }
     }
 
@@ -170,6 +270,146 @@ impl SharedEngine {
         let mut planner = self.planner;
         planner.cost_based = true;
         Some(Arc::new(plan_query(query, stats, planner)))
+    }
+
+    /// Bind, optimize, license and materialize `sql` as a view over the
+    /// current head snapshot.
+    fn build_view(&self, sql: &str) -> Result<MaterializedView> {
+        let stmt = parse_statement(sql)?;
+        let Statement::Query(ast) = stmt else {
+            return Err(Error::internal("SUBSCRIBE applies to queries only"));
+        };
+        let canonical = ast.to_string();
+        let snap = self.snapshot();
+        let bound = bind_query(snap.catalog(), &ast)?;
+        let outcome = Optimizer::new(self.optimizer).optimize(&bound);
+        let columns = outcome.query.output_names();
+        MaterializedView::new(canonical, outcome.query, columns, snap, self.exec)
+    }
+
+    /// Register `sql` as a live subscription: the query is optimized,
+    /// licensed (set tier only with Algorithm 1 + proof-checker
+    /// certificates), materialized against the head snapshot, and from
+    /// then on maintained incrementally after every publish. `sink`
+    /// receives each non-empty delta; returning `false` unsubscribes.
+    pub fn subscribe(&self, sql: &str, sink: SubscriptionSink) -> Result<Subscription> {
+        let view = self.build_view(sql)?;
+        let mut subs = self.subs.lock().expect("subs lock poisoned");
+        subs.next_id += 1;
+        let id = subs.next_id;
+        let reply = Subscription {
+            id,
+            columns: view.columns().to_vec(),
+            rows: view.rows(),
+            mode: view.mode(),
+            license: view.license().clone(),
+        };
+        subs.entries.push(SubEntry {
+            id,
+            view,
+            sink,
+            stale: false,
+        });
+        Ok(reply)
+    }
+
+    /// Remove a subscription. Returns whether the id was registered.
+    pub fn unsubscribe(&self, id: u64) -> bool {
+        let mut subs = self.subs.lock().expect("subs lock poisoned");
+        let before = subs.entries.len();
+        subs.entries.retain(|e| e.id != id);
+        subs.entries.len() != before
+    }
+
+    /// A registered view's current contents (tests and tooling).
+    pub fn subscription_rows(&self, id: u64) -> Option<Vec<Row>> {
+        let subs = self.subs.lock().expect("subs lock poisoned");
+        subs.entries
+            .iter()
+            .find(|e| e.id == id)
+            .map(|e| e.view.rows())
+    }
+
+    /// A registered view's cumulative maintenance work.
+    pub fn subscription_work(&self, id: u64) -> Option<ExecStats> {
+        let subs = self.subs.lock().expect("subs lock poisoned");
+        subs.entries
+            .iter()
+            .find(|e| e.id == id)
+            .map(|e| e.view.work())
+    }
+
+    /// One maintenance round: advance every registered view from its
+    /// base snapshot to the current head and push non-empty deltas.
+    /// Views the catalog moved under (DDL) or that were marked stale by
+    /// `ANALYZE` are rebuilt — re-bound and re-licensed against the
+    /// live catalog — and the reconciliation delta is pushed. A sink
+    /// that refuses a delta drops its subscription on the spot.
+    fn maintain_subscriptions(&self) {
+        let head = self.snapshot();
+        let mut subs = self.subs.lock().expect("subs lock poisoned");
+        let state = &mut *subs;
+        let mut dropped: Vec<u64> = Vec::new();
+        for entry in &mut state.entries {
+            let outcome = if entry.stale {
+                MaintainOutcome::NeedsRebuild
+            } else {
+                match entry.view.maintain(&head) {
+                    Ok(outcome) => outcome,
+                    // A maintenance error (e.g. a snapshot pair that is
+                    // not insert-only) is never fatal: rebuild.
+                    Err(_) => MaintainOutcome::NeedsRebuild,
+                }
+            };
+            let delta = match outcome {
+                MaintainOutcome::Unchanged => continue,
+                MaintainOutcome::Delta { delta, work } => {
+                    state.delta_rows += work.delta_rows;
+                    state.view_updates += work.view_updates;
+                    // What a per-publish full recompute would have
+                    // scanned, minus what delta maintenance touched.
+                    let naive: u64 = entry
+                        .view
+                        .tables()
+                        .iter()
+                        .map(|t| head.row_count(t).unwrap_or(0) as u64)
+                        .sum();
+                    let touched = work.rows_scanned + work.delta_rows + work.probe_steps;
+                    state.rows_saved += naive.saturating_sub(touched);
+                    delta
+                }
+                MaintainOutcome::NeedsRebuild => {
+                    let before = entry.view.rows();
+                    match self.build_view(entry.view.sql()) {
+                        Ok(rebuilt) => {
+                            entry.view = rebuilt;
+                            entry.stale = false;
+                            let after = entry.view.rows();
+                            let delta = ivm::diff_rows(before, after);
+                            state.view_updates += delta.len() as u64;
+                            delta
+                        }
+                        Err(_) => {
+                            // The view's SQL no longer binds (table
+                            // dropped by a future DDL form): drop it.
+                            dropped.push(entry.id);
+                            continue;
+                        }
+                    }
+                }
+            };
+            if delta.is_empty() {
+                continue;
+            }
+            state.deltas_pushed += 1;
+            if !(entry.sink)(entry.id, &delta) {
+                dropped.push(entry.id);
+            }
+        }
+        if !dropped.is_empty() {
+            state.dropped += dropped.len() as u64;
+            state.entries.retain(|e| !dropped.contains(&e.id));
+        }
     }
 
     /// Parse, plan (through the shared cache) and execute `sql` against
@@ -276,9 +516,10 @@ impl SharedEngine {
         let (stats, epoch) = self.stats_state();
         let fingerprint = PlanCache::fingerprint(&canonical, self.options_tag(epoch));
         let version = snap.version();
+        let note = self.subscription_note(&canonical);
         if let Some(plan) = self.cache.get(fingerprint, &canonical, version) {
             let body = crate::explain::explain_with_trace(&plan.trace, &plan.query, &self.exec);
-            return Ok(format!("Plan: cached\n{body}"));
+            return Ok(format!("Plan: cached\n{body}{note}"));
         }
         let bound = bind_query(snap.catalog(), &ast)?;
         let outcome = Optimizer::new(self.optimizer).optimize(&bound);
@@ -296,7 +537,29 @@ impl SharedEngine {
             },
         );
         let body = crate::explain::explain_with_trace(&outcome.trace, &outcome.query, &self.exec);
-        Ok(format!("Plan: compiled\n{body}"))
+        Ok(format!("Plan: compiled\n{body}{note}"))
+    }
+
+    /// A trailing `EXPLAIN` section when the query text is also a live
+    /// subscription: tier, license marker, and the view's cumulative
+    /// `delta_rows` / `view_updates` counters.
+    fn subscription_note(&self, canonical: &str) -> String {
+        let subs = self.subs.lock().expect("subs lock poisoned");
+        subs.entries
+            .iter()
+            .find(|e| e.view.sql() == canonical)
+            .map(|e| {
+                let work = e.view.work();
+                format!(
+                    "\nSubscription: id={} mode={} proof={} delta_rows={} view_updates={}",
+                    e.id,
+                    e.view.mode().tag(),
+                    e.view.license().marker(),
+                    work.delta_rows,
+                    work.view_updates,
+                )
+            })
+            .unwrap_or_default()
     }
 }
 
@@ -482,6 +745,140 @@ mod tests {
         assert!(out.starts_with("Plan: compiled"), "{out}");
         assert!(out.contains("distinct-removal"), "{out}");
         assert!(out.contains("proof=✓"), "{out}");
+    }
+
+    fn collecting_sink() -> (SubscriptionSink, Arc<Mutex<Vec<ViewDelta>>>) {
+        let log: Arc<Mutex<Vec<ViewDelta>>> = Arc::new(Mutex::new(Vec::new()));
+        let writer = Arc::clone(&log);
+        let sink: SubscriptionSink = Box::new(move |_, delta| {
+            writer.lock().unwrap().push(delta.clone());
+            true
+        });
+        (sink, log)
+    }
+
+    #[test]
+    fn subscriptions_receive_deltas_after_writes() {
+        let engine = SharedEngine::sample().unwrap();
+        let (sink, log) = collecting_sink();
+        let sub = engine
+            .subscribe(
+                "SELECT DISTINCT S.SNO, P.PNO FROM SUPPLIER S, PARTS P WHERE S.SNO = P.SNO",
+                sink,
+            )
+            .unwrap();
+        assert_eq!(sub.mode, MaintenanceMode::Set);
+        assert!(sub.license.is_proved());
+        assert_eq!(
+            sub.columns,
+            vec!["SNO".into(), "PNO".into()] as Vec<ColumnName>
+        );
+        let initial = sub.rows.len();
+        engine
+            .execute("INSERT INTO PARTS VALUES (2, 77, 'gasket', 150, 'RED');")
+            .unwrap();
+        let deltas = log.lock().unwrap().clone();
+        assert_eq!(deltas.len(), 1, "one publish, one push");
+        assert_eq!(
+            deltas[0].inserted,
+            vec![vec![Value::Int(2), Value::Int(77)]]
+        );
+        assert_eq!(engine.subscription_rows(sub.id).unwrap().len(), initial + 1);
+        let stats = engine.stats().subs;
+        assert_eq!(stats.active, 1);
+        assert_eq!(stats.deltas_pushed, 1);
+        assert!(stats.delta_rows >= 1);
+        assert!(stats.view_updates >= 1);
+        assert!(engine.unsubscribe(sub.id));
+        assert!(!engine.unsubscribe(sub.id), "already gone");
+        assert_eq!(engine.stats().subs.active, 0);
+    }
+
+    #[test]
+    fn ddl_rebuilds_views_and_analyze_marks_them_stale() {
+        let engine = SharedEngine::sample().unwrap();
+        let (sink, log) = collecting_sink();
+        let sub = engine
+            .subscribe("SELECT DISTINCT S.SNO FROM SUPPLIER S", sink)
+            .unwrap();
+        // DDL bumps the catalog version: the view must be rebuilt, and
+        // a rebuild with unchanged contents pushes nothing.
+        engine
+            .execute("CREATE TABLE Z (A INTEGER, PRIMARY KEY (A));")
+            .unwrap();
+        assert!(log.lock().unwrap().is_empty(), "no spurious delta");
+        // The rebuilt view still maintains incrementally.
+        engine
+            .execute("INSERT INTO SUPPLIER VALUES (9, 'Nine', 'Toronto', 1, 'Active');")
+            .unwrap();
+        assert_eq!(log.lock().unwrap().len(), 1);
+        engine.analyze();
+        engine
+            .execute("INSERT INTO SUPPLIER VALUES (10, 'Ten', 'Chicago', 1, 'Active');")
+            .unwrap();
+        assert_eq!(log.lock().unwrap().len(), 2, "stale view still serves");
+        assert_eq!(
+            engine.subscription_rows(sub.id).unwrap().len(),
+            7,
+            "5 seed + 2 inserted suppliers"
+        );
+    }
+
+    #[test]
+    fn refusing_sink_drops_the_subscription() {
+        let engine = SharedEngine::sample().unwrap();
+        let sink: SubscriptionSink = Box::new(|_, _| false);
+        engine
+            .subscribe("SELECT DISTINCT S.SNO FROM SUPPLIER S", sink)
+            .unwrap();
+        assert_eq!(engine.stats().subs.active, 1);
+        engine
+            .execute("INSERT INTO SUPPLIER VALUES (9, 'Nine', 'Toronto', 1, 'Active');")
+            .unwrap();
+        let stats = engine.stats().subs;
+        assert_eq!(stats.active, 0, "refused delta unsubscribes");
+        assert_eq!(stats.dropped, 1);
+    }
+
+    #[test]
+    fn explain_surfaces_the_subscription_license() {
+        let engine = SharedEngine::sample().unwrap();
+        let sql = "SELECT DISTINCT S.SNO, P.PNO FROM SUPPLIER S, PARTS P WHERE S.SNO = P.SNO";
+        let sink: SubscriptionSink = Box::new(|_, _| true);
+        engine.subscribe(sql, sink).unwrap();
+        engine
+            .execute("INSERT INTO PARTS VALUES (3, 88, 'pin', 151, 'BLUE');")
+            .unwrap();
+        let text = engine.explain(sql).unwrap();
+        assert!(
+            text.contains("Subscription: id=1 mode=set proof=✓"),
+            "{text}"
+        );
+        assert!(text.contains("delta_rows=1"), "{text}");
+        assert!(text.contains("view_updates=1"), "{text}");
+    }
+
+    #[test]
+    fn maintenance_work_scales_with_delta_not_table() {
+        let engine = SharedEngine::sample().unwrap();
+        let (sink, _log) = collecting_sink();
+        let sub = engine
+            .subscribe(
+                "SELECT DISTINCT S.SNO, P.PNO FROM SUPPLIER S, PARTS P WHERE S.SNO = P.SNO",
+                sink,
+            )
+            .unwrap();
+        let after_init = engine.subscription_work(sub.id).unwrap();
+        engine
+            .execute("INSERT INTO PARTS VALUES (4, 60, 'rod', 152, 'RED');")
+            .unwrap();
+        let after_round = engine.subscription_work(sub.id).unwrap();
+        assert_eq!(after_round.delta_rows - after_init.delta_rows, 1);
+        assert_eq!(
+            after_round.rows_scanned, after_init.rows_scanned,
+            "key-probe round scans no table"
+        );
+        assert!(engine.stats().subs.rows_saved > 0);
     }
 
     #[test]

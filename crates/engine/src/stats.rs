@@ -53,6 +53,12 @@ pub struct ExecStats {
     /// materialization. Only query output is ever materialized; counted
     /// here so E18 can charge the columnar path for that final copy.
     pub materialized_rows: u64,
+    /// Base-table delta rows consumed by incremental view maintenance —
+    /// the `|Δ|` that O(Δ) subscription maintenance is linear in.
+    pub delta_rows: u64,
+    /// Net view changes (insertions plus deletions) emitted by
+    /// incremental view maintenance rounds.
+    pub view_updates: u64,
 }
 
 impl ExecStats {
@@ -83,6 +89,8 @@ impl ExecStats {
             morsels,
             vector_ops,
             materialized_rows,
+            delta_rows,
+            view_updates,
         } = *other;
         self.rows_scanned += rows_scanned;
         self.rows_output += rows_output;
@@ -97,6 +105,8 @@ impl ExecStats {
         self.morsels += morsels;
         self.vector_ops += vector_ops;
         self.materialized_rows += materialized_rows;
+        self.delta_rows += delta_rows;
+        self.view_updates += view_updates;
     }
 }
 
@@ -171,6 +181,8 @@ mod tests {
             morsels: 3,
             vector_ops: 6,
             materialized_rows: 8,
+            delta_rows: 4,
+            view_updates: 2,
             ..ExecStats::new()
         };
         a.merge(&b);
@@ -181,6 +193,8 @@ mod tests {
         assert_eq!(a.morsels, 3);
         assert_eq!(a.vector_ops, 6);
         assert_eq!(a.materialized_rows, 8);
+        assert_eq!(a.delta_rows, 4);
+        assert_eq!(a.view_updates, 2);
     }
 
     #[test]

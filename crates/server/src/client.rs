@@ -2,11 +2,21 @@
 //!
 //! One [`Client`] is one connection (and therefore one server-side
 //! session sharing the process-wide plan cache with every other
-//! connection). Requests are strictly request/response; `Query`
-//! responses stream in and are reassembled into a [`QueryReply`].
+//! connection). Requests are request/response; `Query` responses
+//! stream in and are reassembled into a [`QueryReply`].
+//!
+//! The one asynchronous wrinkle is subscriptions: after
+//! [`Client::subscribe`], the server pushes `ViewDelta` frames
+//! whenever *any* connection's write changes the subscribed view —
+//! including in the middle of this connection's own request/response
+//! exchanges. Every read therefore tolerates an interleaved
+//! `ViewDelta`, parking it in a pending queue that
+//! [`Client::recv_delta`] drains.
 
 use crate::wire::{Frame, WireError};
+use std::collections::VecDeque;
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 use uniq_types::Value;
 
 /// A failed client call.
@@ -59,9 +69,41 @@ pub struct QueryReply {
     pub cache_hit: bool,
 }
 
+/// A reassembled `Subscribe` response: the registry id, the view's
+/// header and initial contents, and the maintenance tier + proof
+/// marker the server granted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubscribeReply {
+    /// Registry id; quote it to [`Client::unsubscribe`] and match it
+    /// against [`DeltaEvent::id`].
+    pub id: u64,
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// The view's initial contents.
+    pub rows: Vec<Vec<Value>>,
+    /// Maintenance tier: `set`, `counting` or `recompute`.
+    pub mode: String,
+    /// Proof marker that licensed (or refused) the refcount-free tier.
+    pub proof: String,
+}
+
+/// One pushed maintenance round for a subscribed view.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaEvent {
+    /// Which subscription this delta belongs to.
+    pub id: u64,
+    /// Rows that entered the view.
+    pub inserted: Vec<Vec<Value>>,
+    /// Rows that left the view.
+    pub deleted: Vec<Vec<Value>>,
+}
+
 /// One connection to a running `uniqd`.
 pub struct Client {
     stream: TcpStream,
+    /// `ViewDelta` pushes that arrived while awaiting a solicited
+    /// response, in arrival order.
+    pending: VecDeque<DeltaEvent>,
 }
 
 impl Client {
@@ -69,7 +111,10 @@ impl Client {
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
         let stream = TcpStream::connect(addr)?;
         let _ = stream.set_nodelay(true);
-        Ok(Client { stream })
+        Ok(Client {
+            stream,
+            pending: VecDeque::new(),
+        })
     }
 
     fn call(&mut self, request: &Frame) -> Result<Frame, ClientError> {
@@ -77,12 +122,25 @@ impl Client {
         self.read()
     }
 
+    /// Read the next *solicited* frame, parking any interleaved
+    /// `ViewDelta` pushes in the pending queue.
     fn read(&mut self) -> Result<Frame, ClientError> {
-        let frame = Frame::read_from(&mut self.stream)?;
-        if let Frame::Error { message } = frame {
-            return Err(ClientError::Server(message));
+        loop {
+            let frame = Frame::read_from(&mut self.stream)?;
+            match frame {
+                Frame::Error { message } => return Err(ClientError::Server(message)),
+                Frame::ViewDelta {
+                    id,
+                    inserted,
+                    deleted,
+                } => self.pending.push_back(DeltaEvent {
+                    id,
+                    inserted,
+                    deleted,
+                }),
+                other => return Ok(other),
+            }
         }
-        Ok(frame)
     }
 
     /// Run a `SELECT`, collecting the streamed row batches.
@@ -138,6 +196,88 @@ impl Client {
         match self.call(&Frame::Stats)? {
             Frame::StatsReply { entries } => Ok(entries),
             other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Register an incrementally maintained view over `sql`. The reply
+    /// carries the initial contents; subsequent changes arrive as
+    /// pushed deltas, received via [`Client::recv_delta`].
+    pub fn subscribe(&mut self, sql: &str) -> Result<SubscribeReply, ClientError> {
+        let frame = self.call(&Frame::Subscribe { sql: sql.into() })?;
+        let Frame::Subscribed {
+            id,
+            columns,
+            mode,
+            proof,
+        } = frame
+        else {
+            return Err(unexpected(&frame));
+        };
+        let mut rows = Vec::new();
+        loop {
+            let frame = self.read()?;
+            let Frame::RowBatch { rows: batch, last } = frame else {
+                return Err(unexpected(&frame));
+            };
+            rows.extend(batch);
+            if last {
+                break;
+            }
+        }
+        Ok(SubscribeReply {
+            id,
+            columns,
+            rows,
+            mode,
+            proof,
+        })
+    }
+
+    /// Drop a subscription by id.
+    pub fn unsubscribe(&mut self, id: u64) -> Result<String, ClientError> {
+        match self.call(&Frame::Unsubscribe { id })? {
+            Frame::Ack { message } => Ok(message),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Wait up to `timeout` for the next pushed delta. Returns
+    /// `Ok(None)` when none arrives in time — an expected outcome
+    /// while the subscribed view is quiet, not an error. (A timeout
+    /// that fires mid-frame leaves the stream desynchronized; treat
+    /// that `Io` error as fatal to the connection, as with any
+    /// transport failure.)
+    pub fn recv_delta(&mut self, timeout: Duration) -> Result<Option<DeltaEvent>, ClientError> {
+        if let Some(event) = self.pending.pop_front() {
+            return Ok(Some(event));
+        }
+        // A zero Duration means "no timeout" to the socket API; clamp
+        // to the smallest real deadline instead.
+        self.stream
+            .set_read_timeout(Some(timeout.max(Duration::from_millis(1))))?;
+        let result = Frame::read_from(&mut self.stream);
+        self.stream.set_read_timeout(None)?;
+        match result {
+            Ok(Frame::ViewDelta {
+                id,
+                inserted,
+                deleted,
+            }) => Ok(Some(DeltaEvent {
+                id,
+                inserted,
+                deleted,
+            })),
+            Ok(Frame::Error { message }) => Err(ClientError::Server(message)),
+            Ok(other) => Err(unexpected(&other)),
+            Err(WireError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                Ok(None)
+            }
+            Err(e) => Err(e.into()),
         }
     }
 }

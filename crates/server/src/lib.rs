@@ -4,7 +4,8 @@
 //! *served* system, three layers deep:
 //!
 //! 1. [`wire`] — a small length-prefixed binary protocol (`Query`,
-//!    `Explain`, `Exec`, `Analyze`, `Stats`, streamed row batches)
+//!    `Explain`, `Exec`, `Analyze`, `Stats`, `Subscribe` /
+//!    `Unsubscribe`, streamed row batches, pushed `ViewDelta`s)
 //!    over std TCP, hand-rolled because the repo builds fully offline.
 //! 2. MVCC snapshots — provided by
 //!    [`uniq_catalog::snapshot::SnapshotStore`] and
@@ -23,6 +24,6 @@ pub mod client;
 pub mod server;
 pub mod wire;
 
-pub use client::{Client, ClientError, QueryReply};
+pub use client::{Client, ClientError, DeltaEvent, QueryReply, SubscribeReply};
 pub use server::{Server, ServerConfig};
 pub use wire::{Frame, WireError, DEFAULT_BATCH_ROWS, MAX_FRAME};

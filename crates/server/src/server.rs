@@ -29,6 +29,10 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use uniq_engine::{SharedEngine, SharedSession};
 
+/// Per-connection subscription bookkeeping: the registry ids this
+/// connection opened, so they can be torn down when it closes.
+type SubIds = Vec<u64>;
+
 /// Daemon tuning knobs.
 #[derive(Debug, Clone, Copy)]
 pub struct ServerConfig {
@@ -210,11 +214,12 @@ fn handle_connection(state: Arc<ServerState>, stream: TcpStream) {
     }
 
     let session = SharedSession::new(Arc::clone(&state.engine));
+    let mut subs: SubIds = Vec::new();
     let mut read_half = &stream;
     loop {
         match Frame::read_from(&mut read_half) {
             Ok(frame) => {
-                if !serve_frame(&state, &session, frame, &tx) {
+                if !serve_frame(&state, &session, frame, &tx, &mut subs) {
                     break;
                 }
             }
@@ -228,6 +233,11 @@ fn handle_connection(state: Arc<ServerState>, stream: TcpStream) {
             }
         }
     }
+    // A closed connection can receive no more pushes; drop its
+    // subscriptions (ids already dropped server-side are ignored).
+    for id in subs {
+        state.engine.unsubscribe(id);
+    }
     drop(tx);
     let _ = writer.join();
     state.leave();
@@ -239,6 +249,7 @@ fn serve_frame(
     session: &SharedSession,
     frame: Frame,
     tx: &SyncSender<Vec<u8>>,
+    subs: &mut SubIds,
 ) -> bool {
     match frame {
         Frame::Query { sql } => match session.query(&sql) {
@@ -291,6 +302,61 @@ fn serve_frame(
                 },
             )
         }
+        Frame::Subscribe { sql } => {
+            // Deltas ride this connection's writer queue. The sink must
+            // never block the publishing engine, so it uses `try_send`:
+            // a full queue (slow or wedged subscriber) refuses the
+            // delta, and the registry drops the subscription rather
+            // than let it silently miss updates.
+            let push = tx.clone();
+            let sink = Box::new(move |id: u64, delta: &uniq_engine::ViewDelta| {
+                let frame = Frame::ViewDelta {
+                    id,
+                    inserted: delta.inserted.clone(),
+                    deleted: delta.deleted.clone(),
+                };
+                push.try_send(frame.encode()).is_ok()
+            });
+            match session.engine().subscribe(&sql, sink) {
+                Ok(sub) => {
+                    subs.push(sub.id);
+                    let header = Frame::Subscribed {
+                        id: sub.id,
+                        columns: sub.columns.iter().map(|c| c.to_string()).collect(),
+                        mode: sub.mode.tag().to_string(),
+                        proof: sub.license.marker().to_string(),
+                    };
+                    if !send(tx, &header) {
+                        return false;
+                    }
+                    stream_rows(sub.rows, state.config.batch_rows, tx)
+                }
+                Err(e) => send(
+                    tx,
+                    &Frame::Error {
+                        message: e.to_string(),
+                    },
+                ),
+            }
+        }
+        Frame::Unsubscribe { id } => {
+            subs.retain(|&sid| sid != id);
+            if session.engine().unsubscribe(id) {
+                send(
+                    tx,
+                    &Frame::Ack {
+                        message: format!("ok: subscription {id} dropped"),
+                    },
+                )
+            } else {
+                send(
+                    tx,
+                    &Frame::Error {
+                        message: format!("unknown subscription id {id}"),
+                    },
+                )
+            }
+        }
         Frame::Stats => {
             let engine = session.engine().stats();
             let entries = vec![
@@ -328,6 +394,18 @@ fn serve_frame(
                     "connections.refused".to_string(),
                     state.refused.load(Ordering::Relaxed) as i64,
                 ),
+                ("subs.active".to_string(), engine.subs.active as i64),
+                (
+                    "subs.deltas_pushed".to_string(),
+                    engine.subs.deltas_pushed as i64,
+                ),
+                ("subs.delta_rows".to_string(), engine.subs.delta_rows as i64),
+                (
+                    "subs.view_updates".to_string(),
+                    engine.subs.view_updates as i64,
+                ),
+                ("subs.rows_saved".to_string(), engine.subs.rows_saved as i64),
+                ("subs.dropped".to_string(), engine.subs.dropped as i64),
             ];
             send(tx, &Frame::StatsReply { entries })
         }
@@ -337,6 +415,8 @@ fn serve_frame(
         | Frame::Explained { .. }
         | Frame::Ack { .. }
         | Frame::StatsReply { .. }
+        | Frame::Subscribed { .. }
+        | Frame::ViewDelta { .. }
         | Frame::Error { .. } => {
             send(
                 tx,

@@ -10,6 +10,7 @@
 //! |--------|------------------------------------------------------|
 //! | `u8`   | one byte                                             |
 //! | `u32`  | 4 bytes LE                                           |
+//! | `u64`  | 8 bytes LE                                           |
 //! | `i64`  | 8 bytes LE                                           |
 //! | string | `u32` byte length + UTF-8 bytes                      |
 //! | value  | tag `0`=NULL, `1`=INT + i64, `2`=STR + string, `3`=BOOL + u8 |
@@ -62,7 +63,7 @@ fn protocol(msg: impl Into<String>) -> WireError {
 }
 
 /// Everything that travels between `uniq-cli` and `uniqd`. Requests
-/// carry opcodes `0x01..=0x05`; responses `0x81..=0x85` and `0xFF`.
+/// carry opcodes `0x01..=0x07`; responses `0x81..=0x87` and `0xFF`.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
     /// Run a `SELECT`, stream back `RowHeader` + `RowBatch`es.
@@ -75,6 +76,12 @@ pub enum Frame {
     Analyze,
     /// Ask for server counters; answered with `StatsReply`.
     Stats,
+    /// Register an incrementally maintained view; answered with
+    /// `Subscribed` + a `RowBatch` stream of the initial contents,
+    /// then asynchronous `ViewDelta` pushes as writers publish.
+    Subscribe { sql: String },
+    /// Drop a subscription by registry id; `Ack`ed.
+    Unsubscribe { id: u64 },
     /// First response to `Query`: output columns + plan-cache verdict.
     RowHeader {
         columns: Vec<String>,
@@ -88,6 +95,24 @@ pub enum Frame {
     Ack { message: String },
     /// Named counters (cache hits, snapshot depth, …).
     StatsReply { entries: Vec<(String, i64)> },
+    /// First response to `Subscribe`: the registry id, the view's
+    /// output columns, its maintenance tier (`set` / `counting` /
+    /// `recompute`) and the proof marker that licensed (or refused)
+    /// the refcount-free tier. Initial rows follow as `RowBatch`es.
+    Subscribed {
+        id: u64,
+        columns: Vec<String>,
+        mode: String,
+        proof: String,
+    },
+    /// Asynchronous push: one maintenance round's net change to a
+    /// subscribed view. May arrive between any request/response pair —
+    /// clients must buffer it while awaiting a solicited response.
+    ViewDelta {
+        id: u64,
+        inserted: Vec<Vec<Value>>,
+        deleted: Vec<Vec<Value>>,
+    },
     /// Any failure: SQL errors, protocol violations, admission refusal.
     Error { message: String },
 }
@@ -100,11 +125,15 @@ impl Frame {
             Frame::Exec { .. } => 0x03,
             Frame::Analyze => 0x04,
             Frame::Stats => 0x05,
+            Frame::Subscribe { .. } => 0x06,
+            Frame::Unsubscribe { .. } => 0x07,
             Frame::RowHeader { .. } => 0x81,
             Frame::RowBatch { .. } => 0x82,
             Frame::Explained { .. } => 0x83,
             Frame::Ack { .. } => 0x84,
             Frame::StatsReply { .. } => 0x85,
+            Frame::Subscribed { .. } => 0x86,
+            Frame::ViewDelta { .. } => 0x87,
             Frame::Error { .. } => 0xFF,
         }
     }
@@ -114,10 +143,37 @@ impl Frame {
     pub fn encode(&self) -> Vec<u8> {
         let mut body = vec![self.opcode()];
         match self {
-            Frame::Query { sql } | Frame::Explain { sql } | Frame::Exec { sql } => {
+            Frame::Query { sql }
+            | Frame::Explain { sql }
+            | Frame::Exec { sql }
+            | Frame::Subscribe { sql } => {
                 put_str(&mut body, sql);
             }
             Frame::Analyze | Frame::Stats => {}
+            Frame::Unsubscribe { id } => put_u64(&mut body, *id),
+            Frame::Subscribed {
+                id,
+                columns,
+                mode,
+                proof,
+            } => {
+                put_u64(&mut body, *id);
+                put_u32(&mut body, columns.len() as u32);
+                for c in columns {
+                    put_str(&mut body, c);
+                }
+                put_str(&mut body, mode);
+                put_str(&mut body, proof);
+            }
+            Frame::ViewDelta {
+                id,
+                inserted,
+                deleted,
+            } => {
+                put_u64(&mut body, *id);
+                put_rows(&mut body, inserted);
+                put_rows(&mut body, deleted);
+            }
             Frame::RowHeader { columns, cache_hit } => {
                 put_u32(&mut body, columns.len() as u32);
                 for c in columns {
@@ -126,13 +182,7 @@ impl Frame {
                 body.push(u8::from(*cache_hit));
             }
             Frame::RowBatch { rows, last } => {
-                put_u32(&mut body, rows.len() as u32);
-                for row in rows {
-                    put_u32(&mut body, row.len() as u32);
-                    for v in row {
-                        put_value(&mut body, v);
-                    }
-                }
+                put_rows(&mut body, rows);
                 body.push(u8::from(*last));
             }
             Frame::Explained { text } | Frame::Ack { message: text } => put_str(&mut body, text),
@@ -163,6 +213,8 @@ impl Frame {
             0x03 => Frame::Exec { sql: cur.string()? },
             0x04 => Frame::Analyze,
             0x05 => Frame::Stats,
+            0x06 => Frame::Subscribe { sql: cur.string()? },
+            0x07 => Frame::Unsubscribe { id: cur.u64()? },
             0x81 => {
                 let n = cur.u32()? as usize;
                 let mut columns = Vec::new();
@@ -173,16 +225,7 @@ impl Frame {
                 Frame::RowHeader { columns, cache_hit }
             }
             0x82 => {
-                let n = cur.u32()? as usize;
-                let mut rows = Vec::new();
-                for _ in 0..n {
-                    let arity = cur.u32()? as usize;
-                    let mut row = Vec::new();
-                    for _ in 0..arity {
-                        row.push(cur.value()?);
-                    }
-                    rows.push(row);
-                }
+                let rows = cur.rows()?;
                 let last = cur.boolean()?;
                 Frame::RowBatch { rows, last }
             }
@@ -201,6 +244,32 @@ impl Frame {
                     entries.push((name, value));
                 }
                 Frame::StatsReply { entries }
+            }
+            0x86 => {
+                let id = cur.u64()?;
+                let n = cur.u32()? as usize;
+                let mut columns = Vec::new();
+                for _ in 0..n {
+                    columns.push(cur.string()?);
+                }
+                let mode = cur.string()?;
+                let proof = cur.string()?;
+                Frame::Subscribed {
+                    id,
+                    columns,
+                    mode,
+                    proof,
+                }
+            }
+            0x87 => {
+                let id = cur.u64()?;
+                let inserted = cur.rows()?;
+                let deleted = cur.rows()?;
+                Frame::ViewDelta {
+                    id,
+                    inserted,
+                    deleted,
+                }
             }
             0xFF => Frame::Error {
                 message: cur.string()?,
@@ -245,6 +314,20 @@ impl Frame {
 
 fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_rows(out: &mut Vec<u8>, rows: &[Vec<Value>]) {
+    put_u32(out, rows.len() as u32);
+    for row in rows {
+        put_u32(out, row.len() as u32);
+        for v in row {
+            put_value(out, v);
+        }
+    }
 }
 
 fn put_str(out: &mut Vec<u8>, s: &str) {
@@ -306,6 +389,24 @@ impl Cursor<'_> {
 
     fn i64(&mut self) -> Result<i64, WireError> {
         Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn rows(&mut self) -> Result<Vec<Vec<Value>>, WireError> {
+        let n = self.u32()? as usize;
+        let mut rows = Vec::new();
+        for _ in 0..n {
+            let arity = self.u32()? as usize;
+            let mut row = Vec::new();
+            for _ in 0..arity {
+                row.push(self.value()?);
+            }
+            rows.push(row);
+        }
+        Ok(rows)
     }
 
     fn string(&mut self) -> Result<String, WireError> {
@@ -375,6 +476,42 @@ mod tests {
         roundtrip(Frame::Error {
             message: "unknown table Q".into(),
         });
+        roundtrip(Frame::Subscribe {
+            sql: "SELECT DISTINCT S.SNO FROM SUPPLIER S".into(),
+        });
+        roundtrip(Frame::Unsubscribe { id: u64::MAX });
+        roundtrip(Frame::Subscribed {
+            id: 3,
+            columns: vec!["SNO".into(), "PNO".into()],
+            mode: "set".into(),
+            proof: "✓".into(),
+        });
+        roundtrip(Frame::ViewDelta {
+            id: 3,
+            inserted: vec![vec![Value::Int(7), Value::Str("x".into())]],
+            deleted: vec![],
+        });
+        roundtrip(Frame::ViewDelta {
+            id: 0,
+            inserted: vec![],
+            deleted: vec![vec![Value::Null], vec![Value::Bool(true)]],
+        });
+    }
+
+    #[test]
+    fn view_delta_trailing_bytes_are_rejected() {
+        let mut body = Frame::ViewDelta {
+            id: 1,
+            inserted: vec![],
+            deleted: vec![],
+        }
+        .encode()[4..]
+            .to_vec();
+        body.push(0x00);
+        match Frame::decode(&body) {
+            Err(WireError::Protocol(msg)) => assert!(msg.contains("trailing"), "{msg}"),
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

@@ -50,8 +50,15 @@ impl Mix {
         }
     }
 
+    fn rows(&mut self) -> Vec<Vec<Value>> {
+        let arity = self.below(5);
+        (0..self.below(8))
+            .map(|_| (0..arity).map(|_| self.value()).collect())
+            .collect()
+    }
+
     fn frame(&mut self) -> Frame {
-        match self.below(11) {
+        match self.below(15) {
             0 => Frame::Query { sql: self.string() },
             1 => Frame::Explain { sql: self.string() },
             2 => Frame::Exec { sql: self.string() },
@@ -61,15 +68,10 @@ impl Mix {
                 columns: (0..self.below(6)).map(|_| self.string()).collect(),
                 cache_hit: self.next().is_multiple_of(2),
             },
-            6 => {
-                let arity = self.below(5);
-                Frame::RowBatch {
-                    rows: (0..self.below(8))
-                        .map(|_| (0..arity).map(|_| self.value()).collect())
-                        .collect(),
-                    last: self.next().is_multiple_of(2),
-                }
-            }
+            6 => Frame::RowBatch {
+                rows: self.rows(),
+                last: self.next().is_multiple_of(2),
+            },
             7 => Frame::Explained {
                 text: self.string(),
             },
@@ -80,6 +82,19 @@ impl Mix {
                 entries: (0..self.below(6))
                     .map(|_| (self.string(), self.next() as i64))
                     .collect(),
+            },
+            10 => Frame::Subscribe { sql: self.string() },
+            11 => Frame::Unsubscribe { id: self.next() },
+            12 => Frame::Subscribed {
+                id: self.next(),
+                columns: (0..self.below(6)).map(|_| self.string()).collect(),
+                mode: self.string(),
+                proof: self.string(),
+            },
+            13 => Frame::ViewDelta {
+                id: self.next(),
+                inserted: self.rows(),
+                deleted: self.rows(),
             },
             _ => Frame::Error {
                 message: self.string(),
