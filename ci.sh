@@ -48,6 +48,11 @@ echo "==> fast lane: parallel/serial agreement at a 2-worker degree"
 # the CI host, so the lane's timing stays predictable.
 cargo test -q -p uniqueness --test parallel_agreement -- --test-threads=1
 
+echo "==> fast lane: aggregation / Top-K (elision kernels + agreement suite)"
+cargo test -q -p uniq-engine agg
+cargo test -q -p uniqueness --test agg_agreement
+cargo test -q -p uniq-bench e23
+
 echo "==> fast lane: wire codec + server end-to-end tests"
 cargo test -q -p uniq-server
 
@@ -87,6 +92,11 @@ timeout 60 "$CLI" --addr "$UNIQD_ADDR" \
 timeout 60 "$CLI" --addr "$UNIQD_ADDR" --explain \
     "SELECT DISTINCT S.SNO, P.PNO FROM SUPPLIER S, PARTS P WHERE S.SNO = P.SNO" \
     | grep -q "proof=✓"
+# Aggregation round-trip over the wire: with the smoke INSERT above,
+# Toronto has the most suppliers, so the top GROUP BY row names it.
+timeout 60 "$CLI" --addr "$UNIQD_ADDR" \
+    -e "SELECT S.SCITY, COUNT(*) AS N FROM SUPPLIER S GROUP BY S.SCITY ORDER BY N DESC LIMIT 1" \
+    | grep -q "Toronto"
 echo "==> fast lane: subscription deltas over the wire (one writer, two subscribers)"
 # Two subscribers register the same set-tier view, a writer inserts one
 # PARTS row, and both must receive the pushed ViewDelta before their

@@ -588,6 +588,52 @@ mod tests {
     }
 
     #[test]
+    fn e23_elisions_agree_and_cut_work_five_x() {
+        let cfg = ScaleConfig {
+            suppliers: 300,
+            parts_per_supplier: 2,
+            agents_per_supplier: 1,
+            ..Default::default()
+        };
+        let db = scaled_database(&cfg).unwrap();
+        let index = "CREATE INDEX IDX_S_BUDGET_SNO ON SUPPLIER (BUDGET, SNO);";
+        let mut fast = Session::new(db.clone());
+        fast.run_script(index).unwrap();
+        let mut naive = Session::new(db).with_agg_elision(false);
+        naive.run_script(index).unwrap();
+        // Key-covered GROUP BY and COUNT(DISTINCT key): zero hash ops
+        // on the elided session, >= 5x fewer than the oracle's.
+        for sql in [
+            "SELECT S.SNO, COUNT(*) AS N, SUM(S.BUDGET) AS B FROM SUPPLIER S GROUP BY S.SNO",
+            "SELECT COUNT(DISTINCT S.SNO) AS N FROM SUPPLIER S",
+        ] {
+            let (want, ns) = sorted_rows(&naive, sql);
+            let (got, fs) = sorted_rows(&fast, sql);
+            assert_eq!(got, want, "elided multiset differs for {sql}");
+            assert_eq!(fs.hash_probes, 0, "{sql}: {fs:?}");
+            assert!(
+                ns.hash_probes >= 5 * fs.hash_probes.max(1),
+                "{sql}: {} vs {}",
+                ns.hash_probes,
+                fs.hash_probes
+            );
+        }
+        // Early-stopping Top-K: k rows examined, no sort, same rows.
+        let topk = "SELECT S.SNO, S.BUDGET FROM SUPPLIER S ORDER BY S.BUDGET, S.SNO LIMIT 5";
+        let base = naive.query(topk).unwrap();
+        let out = fast.query(topk).unwrap();
+        assert_eq!(out.rows, base.rows);
+        assert_eq!(out.stats.early_stops, 1, "{:?}", out.stats);
+        assert_eq!(out.stats.sorts, 0);
+        assert!(
+            base.stats.rows_scanned >= 5 * out.stats.topk_rows_examined.max(1),
+            "{:?} vs {:?}",
+            base.stats,
+            out.stats
+        );
+    }
+
+    #[test]
     fn duration_formatting() {
         assert_eq!(fmt_duration(Duration::from_micros(12)), "12µs");
         assert_eq!(fmt_duration(Duration::from_micros(1_500)), "1.50ms");

@@ -33,6 +33,7 @@
 //! * [`unbind`] — lowers a bound query back to AST so every rewrite can be
 //!   printed as a concrete SQL statement.
 
+pub mod agg;
 pub mod algorithm1;
 pub mod analysis;
 pub mod pipeline;
@@ -41,6 +42,7 @@ pub mod rules;
 pub mod theorem1;
 pub mod unbind;
 
+pub use agg::{optimize_output, COUNT_DISTINCT_RULE, GROUP_ELISION_RULE};
 pub use algorithm1::{algorithm1, Algorithm1Options, Algorithm1Outcome};
 pub use analysis::{derived_fds, single_tuple_condition, unique_projection, UniquenessReport};
 pub use pipeline::{OptimizeOutcome, Optimizer, OptimizerOptions, RewriteStep, RewriteTrace};

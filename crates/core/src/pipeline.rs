@@ -55,6 +55,10 @@ pub struct OptimizerOptions {
     /// [`subquery_to_join`](OptimizerOptions::subquery_to_join)'s
     /// Corollary 1 case and the two would cycle.
     pub distinct_pushdown: bool,
+    /// Aggregate elisions (`crate::agg`): key-covered `GROUP BY` becomes
+    /// a no-op grouping and `COUNT(DISTINCT e)` over a duplicate-free
+    /// block degrades to `COUNT(e)`. Both fire only on a symbolic proof.
+    pub agg_elision: bool,
     /// Which uniqueness test(s) rules may consult.
     pub test: UniquenessTest,
     /// Upper bound on total rule firings (defensive; the rules are
@@ -72,6 +76,7 @@ impl OptimizerOptions {
             join_to_subquery: false,
             join_elimination: true,
             distinct_pushdown: false,
+            agg_elision: true,
             test: UniquenessTest::Both,
             max_steps: 32,
         }
@@ -86,6 +91,7 @@ impl OptimizerOptions {
             join_to_subquery: true,
             join_elimination: true,
             distinct_pushdown: true,
+            agg_elision: true,
             test: UniquenessTest::Both,
             max_steps: 32,
         }
@@ -100,6 +106,7 @@ impl OptimizerOptions {
             join_to_subquery: false,
             join_elimination: false,
             distinct_pushdown: false,
+            agg_elision: false,
             test: UniquenessTest::Both,
             max_steps: 0,
         }

@@ -46,10 +46,10 @@ pub mod stats;
 pub use card::{CardReport, CardRow, QErrorStats};
 pub use estimate::Estimator;
 pub use physical::{
-    BlockPlan, Degree, DistinctMethod, DistinctStep, JoinMethod, JoinStep, OpId, OpInfo, PhysNode,
-    PhysicalPlan,
+    BlockPlan, Degree, DistinctMethod, DistinctStep, JoinMethod, JoinStep, OpId, OpInfo, OutputOp,
+    PhysNode, PhysicalPlan,
 };
-pub use planner::{plan_query, PlannerOptions};
+pub use planner::{early_stop_license, plan_output, plan_query, PlannerOptions};
 pub use sarg::{find_index_probe, find_index_sarg, IndexProbe, IndexSarg, ProbeSource};
 pub use stats::{ColumnStats, Statistics, TableStats};
 pub use uniq_proof::{Justification, ProofStatus};

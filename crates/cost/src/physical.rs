@@ -172,11 +172,68 @@ pub enum PhysNode {
     },
 }
 
+/// An output-shaping operator applied above the plan root: aggregation,
+/// ordering, or a row cut. Stored in execution order (the aggregate
+/// consumes the body first, the limit cuts last); rendered top-down in
+/// reverse, above the body tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OutputOp {
+    /// `GROUP BY` + aggregate evaluation over the body rows.
+    Agg {
+        /// Operator slot.
+        id: OpId,
+        /// Workers for the partial-aggregate pass (1 = serial).
+        deg: usize,
+        /// Proof-gated: the grouping columns were proved duplicate-free
+        /// over the body, so every row is its own group — the executor
+        /// skips the hash aggregate and computes aggregates per row in
+        /// one pass (rendered as ` group-elided`).
+        group_elided: bool,
+        /// Proof-gated: at least one `COUNT(DISTINCT e)` was degraded
+        /// to `COUNT(e)` because `(group keys, e)` was proved
+        /// duplicate-free (rendered as ` count-distinct-elided`).
+        count_distinct_elided: bool,
+    },
+    /// `ORDER BY` sort over the output rows. Absent when an early-stop
+    /// license on the [`OutputOp::Limit`] serves the order from an
+    /// ordered index instead.
+    Sort {
+        /// Operator slot.
+        id: OpId,
+    },
+    /// `LIMIT k` row cut.
+    Limit {
+        /// Operator slot.
+        id: OpId,
+        /// License: the `ORDER BY` columns are an ascending prefix of
+        /// an ordered (B-tree) index on the block's single table, so
+        /// the executor may walk the index in order and **stop after k
+        /// emitted rows** instead of materializing and sorting the full
+        /// table (rendered as ` early-stop(index)`). Same semantics as
+        /// [`BlockPlan::ixscan`]: a license, not a promise — the
+        /// executor re-verifies against the live catalog and falls
+        /// back to scan + sort + limit on disagreement.
+        early_stop: Option<Justification>,
+    },
+}
+
+impl OutputOp {
+    /// The operator's slot in [`PhysicalPlan::ops`].
+    pub fn id(&self) -> OpId {
+        match self {
+            OutputOp::Agg { id, .. } | OutputOp::Sort { id } | OutputOp::Limit { id, .. } => *id,
+        }
+    }
+}
+
 /// A complete physical plan: the choice tree plus the operator registry.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PhysicalPlan {
     /// Root of the plan tree.
     pub root: PhysNode,
+    /// Output-shaping operators above the root, in execution order
+    /// (empty for a plain `SELECT` without `ORDER BY`/`LIMIT`).
+    pub output: Vec<OutputOp>,
     /// Flat operator registry, indexed by [`OpId`].
     pub ops: Vec<OpInfo>,
 }
@@ -187,6 +244,33 @@ impl PhysicalPlan {
     /// e.g. the query needs host variables that EXPLAIN cannot bind).
     pub fn render(&self, depth: usize, actuals: Option<&[u64]>) -> String {
         let mut out = String::new();
+        let mut depth = depth;
+        // Output operators top-down: the last-applied (limit) first.
+        for op in self.output.iter().rev() {
+            let suffix = match op {
+                OutputOp::Agg {
+                    group_elided,
+                    count_distinct_elided,
+                    ..
+                } => {
+                    let mut s = String::new();
+                    if *group_elided {
+                        s.push_str(" group-elided");
+                    }
+                    if *count_distinct_elided {
+                        s.push_str(" count-distinct-elided");
+                    }
+                    s
+                }
+                OutputOp::Sort { .. } => String::new(),
+                OutputOp::Limit { early_stop, .. } => match early_stop {
+                    Some(ix) => format!(" early-stop({})", ix.index().unwrap_or("?")),
+                    None => String::new(),
+                },
+            };
+            self.line_sfx(op.id(), depth, actuals, &suffix, &mut out);
+            depth += 1;
+        }
         self.render_node(&self.root, depth, actuals, &mut out);
         out
     }
@@ -323,6 +407,7 @@ mod tests {
                 columnar: false,
                 ixscan: None,
             }),
+            output: Vec::new(),
             ops: vec![
                 OpInfo {
                     label: "Scan SUPPLIER AS S".into(),
@@ -406,6 +491,71 @@ mod tests {
         );
         assert!(
             rendered.contains("ixjoin(IDX_PARTS) unique=yes"),
+            "{rendered}"
+        );
+    }
+
+    #[test]
+    fn output_operators_render_above_the_body_with_their_markers() {
+        let mut plan = tiny_plan();
+        plan.ops.push(OpInfo {
+            label: "Aggregate [S.SNO, COUNT(*)]".into(),
+            est: 4,
+            deg: 1,
+        });
+        plan.ops.push(OpInfo {
+            label: "Sort [S.SNO]".into(),
+            est: 4,
+            deg: 1,
+        });
+        plan.ops.push(OpInfo {
+            label: "Limit 2".into(),
+            est: 2,
+            deg: 1,
+        });
+        plan.output = vec![
+            OutputOp::Agg {
+                id: 4,
+                deg: 1,
+                group_elided: true,
+                count_distinct_elided: true,
+            },
+            OutputOp::Sort { id: 5 },
+            OutputOp::Limit {
+                id: 6,
+                early_stop: None,
+            },
+        ];
+        let rendered = plan.render(0, None);
+        let lines: Vec<&str> = rendered.lines().collect();
+        // Limit on top, then sort, then the aggregate, then the body.
+        assert!(lines[0].starts_with("Limit 2"), "{rendered}");
+        assert!(
+            lines[1].trim_start().starts_with("Sort [S.SNO]"),
+            "{rendered}"
+        );
+        assert!(
+            lines[2]
+                .trim_start()
+                .starts_with("Aggregate [S.SNO, COUNT(*)]"),
+            "{rendered}"
+        );
+        assert!(
+            lines[2].contains("group-elided") && lines[2].contains("count-distinct-elided"),
+            "{rendered}"
+        );
+        assert!(
+            lines[3].trim_start().starts_with("HashDistinct"),
+            "{rendered}"
+        );
+        // An early-stop license renders its index on the limit line.
+        plan.output = vec![OutputOp::Limit {
+            id: 6,
+            early_stop: Some(Justification::ix_scan("IDX_SNO", true, "SNO")),
+        }];
+        let rendered = plan.render(0, None);
+        assert!(
+            rendered.contains("Limit 2 est=2 act=? early-stop(IDX_SNO)"),
             "{rendered}"
         );
     }

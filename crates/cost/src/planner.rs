@@ -24,12 +24,12 @@
 
 use crate::estimate::Estimator;
 use crate::physical::{
-    BlockPlan, Degree, DistinctMethod, DistinctStep, JoinMethod, JoinStep, OpId, OpInfo, PhysNode,
-    PhysicalPlan,
+    BlockPlan, Degree, DistinctMethod, DistinctStep, JoinMethod, JoinStep, OpId, OpInfo, OutputOp,
+    PhysNode, PhysicalPlan,
 };
 use crate::stats::Statistics;
 use std::collections::BTreeSet;
-use uniq_plan::{AttrRef, BScalar, BoundExpr, BoundQuery, BoundSpec};
+use uniq_plan::{AttrRef, BScalar, BoundAggItem, BoundExpr, BoundOutput, BoundQuery, BoundSpec};
 use uniq_sql::{CmpOp, SetOp};
 
 /// Per-morsel dispatch overhead expressed in row-work units: adding a
@@ -69,8 +69,169 @@ pub fn plan_query(query: &BoundQuery, stats: &Statistics, options: PlannerOption
     let (root, _) = planner.plan_node(query);
     PhysicalPlan {
         root,
+        output: Vec::new(),
         ops: planner.ops,
     }
+}
+
+/// Plan a full (optimizer-rewritten) query — body plus aggregation /
+/// `ORDER BY` / `LIMIT` output operators — against collected statistics.
+///
+/// Output-operator estimates carry the uniqueness-derived hard bounds:
+/// an aggregate can emit at most `min(input, Π dom(group col))` groups
+/// — and *exactly* its input when the grouping was proof-elided (every
+/// row is its own group); a limit emits at most `k`. When the `ORDER
+/// BY` columns are an ascending prefix of an ordered index on a plain
+/// single-table block, the sort is dropped entirely and the limit
+/// carries an early-stop license: the executor walks the index in order
+/// and stops after `k` emitted rows.
+pub fn plan_output(
+    output: &BoundOutput,
+    stats: &Statistics,
+    options: PlannerOptions,
+) -> PhysicalPlan {
+    let mut planner = Planner {
+        est: Estimator::new(stats),
+        ops: Vec::new(),
+        max_deg: options.degree.resolve(),
+        columnar: options.columnar,
+    };
+    let (root, body_est) = planner.plan_node(&output.body);
+    let mut est = body_est;
+    let mut out_ops: Vec<OutputOp> = Vec::new();
+
+    if let Some(agg) = &output.agg {
+        // Group-count hard bound: the distinct group tuples cannot
+        // exceed the product of the grouping columns' active domains.
+        // A proof-elided grouping emits exactly its input; an empty
+        // group set produces the one global group even on empty input.
+        est = if agg.group_count == 0 {
+            1.0
+        } else if agg.group_elided {
+            body_est
+        } else {
+            let dom = output
+                .body
+                .as_spec()
+                .map(|spec| {
+                    (0..agg.group_count)
+                        .map(|p| planner.est.attr_domain(spec, spec.projection[p].attr))
+                        .product::<f64>()
+                })
+                .unwrap_or(f64::INFINITY);
+            body_est.min(dom)
+        };
+        let cols: Vec<String> = agg
+            .items
+            .iter()
+            .map(|item| agg_item_label(output, item))
+            .collect();
+        // The aggregate touches every input row once, elided or not —
+        // that work amortizes the parallel partial-aggregate pass.
+        let deg = planner.op_degree(body_est);
+        let id = planner.op(format!("Aggregate [{}]", cols.join(", ")), est, deg);
+        out_ops.push(OutputOp::Agg {
+            id,
+            deg,
+            group_elided: agg.group_elided,
+            count_distinct_elided: agg.count_distinct_elided,
+        });
+    }
+
+    let early_stop = early_stop_license(output);
+    if !output.order_by.is_empty() && early_stop.is_none() {
+        let names = output.output_names();
+        let cols: Vec<String> = output
+            .order_by
+            .iter()
+            .map(|(p, desc)| format!("{}{}", names[*p], if *desc { " DESC" } else { "" }))
+            .collect();
+        let id = planner.op(format!("Sort [{}]", cols.join(", ")), est, 1);
+        out_ops.push(OutputOp::Sort { id });
+    }
+
+    if let Some(k) = output.limit {
+        est = est.min(k as f64);
+        let id = planner.op(format!("Limit {k}"), est, 1);
+        out_ops.push(OutputOp::Limit { id, early_stop });
+    }
+
+    PhysicalPlan {
+        root,
+        output: out_ops,
+        ops: planner.ops,
+    }
+}
+
+/// Display label of one aggregate output item, e.g. `SNO`,
+/// `COUNT(DISTINCT S.SNO)`, `SUM(P.WEIGHT)`, `COUNT(*)`.
+fn agg_item_label(output: &BoundOutput, item: &BoundAggItem) -> String {
+    match item {
+        BoundAggItem::Group { name, .. } => name.to_string(),
+        BoundAggItem::Agg {
+            func,
+            distinct,
+            arg,
+            ..
+        } => {
+            let arg_s = match (arg, output.body.as_spec()) {
+                (Some(p), Some(spec)) => spec.attr_name(spec.projection[*p].attr),
+                (None, _) => "*".into(),
+                (Some(_), None) => "?".into(),
+            };
+            format!(
+                "{}({}{arg_s})",
+                func.name(),
+                if *distinct { "DISTINCT " } else { "" }
+            )
+        }
+    }
+}
+
+/// License the `ORDER BY key-prefix LIMIT k` early stop: the output is
+/// a plain (no aggregate, `SELECT ALL`) single-table block, every
+/// `ORDER BY` column is ascending, and the ordered columns form a
+/// prefix of an ordered (B-tree) index's column list — walking that
+/// index in canonical order (`NULL`s first, matching the engine's total
+/// order) yields rows already sorted, so the scan may stop as soon as
+/// `k` rows pass the residual filter.
+///
+/// Public because the license is re-derived: the executor calls this
+/// again at run time against the (possibly newer) bound schema and only
+/// takes the early-stop path when the re-derivation still names the
+/// planned index — a cached plan can outlive an index drop.
+pub fn early_stop_license(output: &BoundOutput) -> Option<uniq_proof::Justification> {
+    output.limit?;
+    if output.agg.is_some() || output.order_by.is_empty() {
+        return None;
+    }
+    let spec = output.body.as_spec()?;
+    if spec.distinct != uniq_sql::Distinct::All || spec.from.len() != 1 {
+        return None;
+    }
+    if output.order_by.iter().any(|(_, desc)| *desc) {
+        return None;
+    }
+    let table = &spec.from[0];
+    let range = table.attr_range();
+    let mut cols = Vec::new();
+    for (p, _) in &output.order_by {
+        let attr = spec.projection.get(*p)?.attr;
+        if !range.contains(&attr) {
+            return None;
+        }
+        cols.push(attr - range.start);
+    }
+    table.schema.indexes.iter().find_map(|def| {
+        (def.ordered && def.columns.len() >= cols.len() && def.columns[..cols.len()] == cols[..])
+            .then(|| {
+                let desc: Vec<&str> = cols
+                    .iter()
+                    .map(|&c| table.schema.columns[c].name.as_str())
+                    .collect();
+                uniq_proof::Justification::ix_scan(&def.name, def.unique, desc.join(","))
+            })
+    })
 }
 
 struct Planner<'a> {

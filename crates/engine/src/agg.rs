@@ -1,0 +1,549 @@
+//! Row-path aggregation: hash grouping, the key-elided one-pass, and
+//! morsel-parallel partial aggregation.
+//!
+//! The binder lowers an aggregate query onto a `SELECT ALL` body whose
+//! projection lays grouping columns first (positions `0 ..
+//! group_count`) followed by the aggregate argument columns, so this
+//! module only ever sees plain rows. Three execution shapes:
+//!
+//! * **Hash grouping** — one table probe per input row (`hash_probes`
+//!   and `probe_steps` book one each, like the join kernels), groups
+//!   kept in first-appearance order so output is deterministic. A
+//!   global aggregate (no `GROUP BY`) folds into its single group
+//!   without hashing, so the only hash work it can book is the
+//!   distinct-set insert each un-elided `COUNT(DISTINCT)` argument
+//!   pays — exactly the work the count-distinct elision removes.
+//! * **Key-elided one-pass** — when the optimizer proved the group
+//!   keys duplicate-free ([`BoundAgg::group_elided`]), every row is its
+//!   own group: each row is initialized, updated and finalized locally,
+//!   with *zero* hash operations. This is the gap experiment E23
+//!   measures against the hash path.
+//! * **Morsel-parallel partials** — rows are chunked into
+//!   [`MORSEL_SIZE`] morsels, each worker aggregates its morsel into a
+//!   partial table, and the partials merge serially in task order
+//!   (every `AggState` merge is associative: counts add, distinct
+//!   sets union, extrema fold). The elided one-pass parallelizes
+//!   embarrassingly — no merge at all.
+//!
+//! Semantics (SQL): aggregates ignore `NULL` arguments; `COUNT(*)`
+//! counts rows; `SUM`/`MIN`/`MAX`/`AVG` of no (non-null) rows is
+//! `NULL` while `COUNT` is 0; `AVG` is the truncating integer mean;
+//! grouping treats `NULL`s as equal (`=̇`, which is exactly the derived
+//! `Eq` on [`Value`]); integer overflow wraps.
+
+use crate::parallel::{run_tasks, MORSEL_SIZE};
+use crate::stats::ExecStats;
+use std::collections::{HashMap, HashSet};
+use uniq_catalog::Row;
+use uniq_plan::{BoundAgg, BoundAggItem};
+use uniq_sql::AggFunc;
+use uniq_types::{Result, Value};
+
+/// Running state of one aggregate item over one group.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum AggState {
+    /// `COUNT(*)` / `COUNT(e)`: rows (with a non-null argument) seen.
+    Count(i64),
+    /// `COUNT(DISTINCT e)`: distinct non-null argument values seen.
+    /// The whole point of the count-distinct elision is never to build
+    /// this set when uniqueness already proves it redundant.
+    CountDistinct(HashSet<Value>),
+    /// `SUM(e)`: wrapping sum, `NULL` until a non-null argument arrives.
+    Sum { sum: i64, seen: bool },
+    /// `MIN(e)` under the non-null order (`NULL` arguments ignored).
+    Min(Option<Value>),
+    /// `MAX(e)` under the non-null order (`NULL` arguments ignored).
+    Max(Option<Value>),
+    /// `AVG(e)`: truncating integer mean of the non-null arguments.
+    Avg { sum: i64, n: i64 },
+    /// Placeholder for a grouping item (its value lives in the key).
+    Group,
+}
+
+/// Fresh per-group states, one per output item (grouping items get the
+/// inert [`AggState::Group`] placeholder so states stay index-aligned
+/// with `agg.items`).
+pub(crate) fn init_states(agg: &BoundAgg) -> Vec<AggState> {
+    agg.items
+        .iter()
+        .map(|item| match item {
+            BoundAggItem::Group { .. } => AggState::Group,
+            BoundAggItem::Agg { func, distinct, .. } => match func {
+                AggFunc::Count if *distinct => AggState::CountDistinct(HashSet::new()),
+                AggFunc::Count => AggState::Count(0),
+                AggFunc::Sum => AggState::Sum {
+                    sum: 0,
+                    seen: false,
+                },
+                AggFunc::Min => AggState::Min(None),
+                AggFunc::Max => AggState::Max(None),
+                AggFunc::Avg => AggState::Avg { sum: 0, n: 0 },
+            },
+        })
+        .collect()
+}
+
+/// Fold one body row into the group's states. `get(p)` reads position
+/// `p` of the body projection — a closure so the columnar path can
+/// decode argument cells lazily instead of materializing whole rows.
+///
+/// Returns the number of distinct-set probes performed (one per
+/// non-null `COUNT(DISTINCT)` argument), so callers can book the work
+/// the count-distinct elision avoids.
+pub(crate) fn update_states(
+    states: &mut [AggState],
+    agg: &BoundAgg,
+    get: &mut dyn FnMut(usize) -> Value,
+) -> Result<u64> {
+    let mut set_probes = 0;
+    for (st, item) in states.iter_mut().zip(&agg.items) {
+        let BoundAggItem::Agg { arg, .. } = item else {
+            continue;
+        };
+        let v = arg.map(&mut *get);
+        match st {
+            AggState::Group => {}
+            AggState::Count(n) => match &v {
+                Some(Value::Null) => {}
+                _ => *n += 1,
+            },
+            AggState::CountDistinct(set) => {
+                if let Some(v) = v {
+                    if !v.is_null() {
+                        set_probes += 1;
+                        set.insert(v);
+                    }
+                }
+            }
+            AggState::Sum { sum, seen } => {
+                if let Some(v) = v {
+                    if !v.is_null() {
+                        *sum = sum.wrapping_add(v.as_int()?);
+                        *seen = true;
+                    }
+                }
+            }
+            AggState::Min(cur) => {
+                if let Some(v) = v {
+                    if !v.is_null() {
+                        fold_extremum(cur, v, true)?;
+                    }
+                }
+            }
+            AggState::Max(cur) => {
+                if let Some(v) = v {
+                    if !v.is_null() {
+                        fold_extremum(cur, v, false)?;
+                    }
+                }
+            }
+            AggState::Avg { sum, n } => {
+                if let Some(v) = v {
+                    if !v.is_null() {
+                        *sum = sum.wrapping_add(v.as_int()?);
+                        *n += 1;
+                    }
+                }
+            }
+        }
+    }
+    Ok(set_probes)
+}
+
+/// Merge another partial's states into this group's (associative and
+/// commutative, so morsel partials may fold in any order).
+pub(crate) fn merge_states(into: &mut [AggState], from: Vec<AggState>) -> Result<()> {
+    for (dst, src) in into.iter_mut().zip(from) {
+        match (dst, src) {
+            (AggState::Group, AggState::Group) => {}
+            (AggState::Count(a), AggState::Count(b)) => *a += b,
+            (AggState::CountDistinct(a), AggState::CountDistinct(b)) => a.extend(b),
+            (
+                AggState::Sum { sum, seen },
+                AggState::Sum {
+                    sum: s2,
+                    seen: seen2,
+                },
+            ) => {
+                *sum = sum.wrapping_add(s2);
+                *seen |= seen2;
+            }
+            (AggState::Min(a), AggState::Min(b)) => {
+                if let Some(v) = b {
+                    fold_extremum(a, v, true)?;
+                }
+            }
+            (AggState::Max(a), AggState::Max(b)) => {
+                if let Some(v) = b {
+                    fold_extremum(a, v, false)?;
+                }
+            }
+            (AggState::Avg { sum, n }, AggState::Avg { sum: s2, n: n2 }) => {
+                *sum = sum.wrapping_add(s2);
+                *n += n2;
+            }
+            _ => unreachable!("partials initialized from the same BoundAgg"),
+        }
+    }
+    Ok(())
+}
+
+/// Keep the smaller (`want_less`) or larger non-null value.
+fn fold_extremum(cur: &mut Option<Value>, v: Value, want_less: bool) -> Result<()> {
+    let replace = match cur.as_ref() {
+        Some(c) => {
+            let o = v.null_cmp(c)?;
+            if want_less {
+                o.is_lt()
+            } else {
+                o.is_gt()
+            }
+        }
+        None => true,
+    };
+    if replace {
+        *cur = Some(v);
+    }
+    Ok(())
+}
+
+/// Final value of one state.
+pub(crate) fn finalize_state(st: AggState) -> Value {
+    match st {
+        AggState::Group => Value::Null,
+        AggState::Count(n) => Value::Int(n),
+        AggState::CountDistinct(set) => Value::Int(set.len() as i64),
+        AggState::Sum { sum, seen } => {
+            if seen {
+                Value::Int(sum)
+            } else {
+                Value::Null
+            }
+        }
+        AggState::Min(v) | AggState::Max(v) => v.unwrap_or(Value::Null),
+        AggState::Avg { sum, n } => {
+            if n > 0 {
+                Value::Int(sum / n)
+            } else {
+                Value::Null
+            }
+        }
+    }
+}
+
+/// One finished group → one output row, items in `SELECT`-list order:
+/// grouping items read the key, aggregate items finalize their state.
+fn output_row(agg: &BoundAgg, key: &[Value], states: Vec<AggState>) -> Row {
+    agg.items
+        .iter()
+        .zip(states)
+        .map(|(item, st)| match item {
+            BoundAggItem::Group { pos, .. } => key[*pos].clone(),
+            BoundAggItem::Agg { .. } => finalize_state(st),
+        })
+        .collect()
+}
+
+/// A partial aggregation table: groups in first-appearance order (the
+/// index map makes probes O(1) while keeping output deterministic).
+struct Partial {
+    index: HashMap<Vec<Value>, usize>,
+    groups: Vec<(Vec<Value>, Vec<AggState>)>,
+    hash_probes: u64,
+    probe_steps: u64,
+}
+
+impl Partial {
+    fn new() -> Partial {
+        Partial {
+            index: HashMap::new(),
+            groups: Vec::new(),
+            hash_probes: 0,
+            probe_steps: 0,
+        }
+    }
+
+    fn absorb_row(&mut self, agg: &BoundAgg, row: &Row) -> Result<()> {
+        let slot = if agg.group_count == 0 {
+            // Global aggregate: one group, no key, nothing to hash.
+            if self.groups.is_empty() {
+                self.groups.push((Vec::new(), init_states(agg)));
+            }
+            0
+        } else {
+            let key: Vec<Value> = row[..agg.group_count].to_vec();
+            self.hash_probes += 1;
+            self.probe_steps += 1;
+            match self.index.get(&key) {
+                Some(&i) => i,
+                None => {
+                    let i = self.groups.len();
+                    self.index.insert(key.clone(), i);
+                    self.groups.push((key, init_states(agg)));
+                    i
+                }
+            }
+        };
+        let set_probes = update_states(&mut self.groups[slot].1, agg, &mut |p| row[p].clone())?;
+        self.hash_probes += set_probes;
+        self.probe_steps += set_probes;
+        Ok(())
+    }
+
+    fn absorb_partial(&mut self, other: Partial) -> Result<()> {
+        for (key, states) in other.groups {
+            self.hash_probes += 1;
+            self.probe_steps += 1;
+            match self.index.get(&key) {
+                Some(&i) => merge_states(&mut self.groups[i].1, states)?,
+                None => {
+                    let i = self.groups.len();
+                    self.index.insert(key.clone(), i);
+                    self.groups.push((key, states));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Aggregate the body's rows. `deg > 1` runs morsel-parallel partial
+/// aggregation; the proof-elided grouping takes the zero-hash one-pass.
+pub(crate) fn aggregate_rows(
+    agg: &BoundAgg,
+    rows: Vec<Row>,
+    deg: usize,
+    stats: &mut ExecStats,
+) -> Result<Vec<Row>> {
+    stats.agg_rows += rows.len() as u64;
+
+    // Key-elided one-pass: every row is its own group, no hash table.
+    // (An un-elided `COUNT(DISTINCT)` item still books its set probes.)
+    if agg.group_elided && agg.group_count > 0 {
+        let one = |row: &Row| -> Result<(Row, u64)> {
+            let mut states = init_states(agg);
+            let set_probes = update_states(&mut states, agg, &mut |p| row[p].clone())?;
+            Ok((output_row(agg, &row[..agg.group_count], states), set_probes))
+        };
+        let out: Vec<(Row, u64)> = if deg > 1 && rows.len() > MORSEL_SIZE {
+            let nchunks = rows.len().div_ceil(MORSEL_SIZE);
+            let parts = run_tasks(deg, nchunks, |i| {
+                let lo = i * MORSEL_SIZE;
+                let hi = ((i + 1) * MORSEL_SIZE).min(rows.len());
+                rows[lo..hi]
+                    .iter()
+                    .map(one)
+                    .collect::<Result<Vec<(Row, u64)>>>()
+            })?;
+            stats.morsels += nchunks as u64;
+            parts.into_iter().flatten().collect()
+        } else {
+            rows.iter().map(one).collect::<Result<_>>()?
+        };
+        let set_probes: u64 = out.iter().map(|(_, p)| p).sum();
+        stats.hash_probes += set_probes;
+        stats.probe_steps += set_probes;
+        return Ok(out.into_iter().map(|(row, _)| row).collect());
+    }
+
+    // Hash grouping, morsel-parallel partials when the degree allows.
+    let mut table = if deg > 1 && rows.len() > MORSEL_SIZE {
+        let nchunks = rows.len().div_ceil(MORSEL_SIZE);
+        let parts = run_tasks(deg, nchunks, |i| {
+            let lo = i * MORSEL_SIZE;
+            let hi = ((i + 1) * MORSEL_SIZE).min(rows.len());
+            let mut p = Partial::new();
+            for row in &rows[lo..hi] {
+                p.absorb_row(agg, row)?;
+            }
+            Ok(p)
+        })?;
+        stats.morsels += nchunks as u64;
+        let mut table = Partial::new();
+        for p in parts {
+            let (hp, ps) = (p.hash_probes, p.probe_steps);
+            table.absorb_partial(p)?;
+            table.hash_probes += hp;
+            table.probe_steps += ps;
+        }
+        table
+    } else {
+        let mut table = Partial::new();
+        for row in &rows {
+            table.absorb_row(agg, row)?;
+        }
+        table
+    };
+    // A global aggregate (no GROUP BY) yields its one group even over
+    // empty input — `SELECT COUNT(*) FROM empty` is 0, not no rows.
+    if agg.group_count == 0 && table.groups.is_empty() {
+        table.groups.push((Vec::new(), init_states(agg)));
+    }
+    stats.hash_probes += table.hash_probes;
+    stats.probe_steps += table.probe_steps;
+    Ok(table
+        .groups
+        .into_iter()
+        .map(|(key, states)| output_row(agg, &key, states))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniq_types::ColumnName;
+
+    fn agg_of(group_count: usize, items: Vec<BoundAggItem>) -> BoundAgg {
+        BoundAgg {
+            group_count,
+            items,
+            group_elided: false,
+            count_distinct_elided: false,
+        }
+    }
+
+    fn item(func: AggFunc, distinct: bool, arg: Option<usize>) -> BoundAggItem {
+        BoundAggItem::Agg {
+            func,
+            distinct,
+            arg,
+            name: ColumnName::from("A"),
+        }
+    }
+
+    fn group(pos: usize) -> BoundAggItem {
+        BoundAggItem::Group {
+            pos,
+            name: ColumnName::from("G"),
+        }
+    }
+
+    fn int(i: i64) -> Value {
+        Value::Int(i)
+    }
+
+    #[test]
+    fn global_aggregates_over_rows_and_empty_input() {
+        let agg = agg_of(
+            0,
+            vec![
+                item(AggFunc::Count, false, None),
+                item(AggFunc::Count, false, Some(0)),
+                item(AggFunc::Sum, false, Some(0)),
+                item(AggFunc::Min, false, Some(0)),
+                item(AggFunc::Max, false, Some(0)),
+                item(AggFunc::Avg, false, Some(0)),
+            ],
+        );
+        let rows = vec![vec![int(3)], vec![Value::Null], vec![int(8)]];
+        let mut stats = ExecStats::new();
+        let out = aggregate_rows(&agg, rows, 1, &mut stats).unwrap();
+        // COUNT(*)=3 counts the NULL row; every other aggregate skips it.
+        assert_eq!(
+            out,
+            vec![vec![int(3), int(2), int(11), int(3), int(8), int(5)]]
+        );
+        assert_eq!(stats.agg_rows, 3);
+        assert_eq!(stats.hash_probes, 0, "the single global group never hashes");
+
+        let empty = aggregate_rows(&agg, Vec::new(), 1, &mut ExecStats::new()).unwrap();
+        assert_eq!(
+            empty,
+            vec![vec![
+                int(0),
+                int(0),
+                Value::Null,
+                Value::Null,
+                Value::Null,
+                Value::Null
+            ]],
+            "global aggregate yields one group even on empty input"
+        );
+    }
+
+    #[test]
+    fn grouping_treats_nulls_as_equal_and_keeps_first_appearance_order() {
+        let agg = agg_of(1, vec![group(0), item(AggFunc::Count, false, None)]);
+        let rows = vec![
+            vec![int(1), int(0)],
+            vec![Value::Null, int(0)],
+            vec![int(1), int(0)],
+            vec![Value::Null, int(0)],
+        ];
+        let out = aggregate_rows(&agg, rows, 1, &mut ExecStats::new()).unwrap();
+        assert_eq!(
+            out,
+            vec![vec![int(1), int(2)], vec![Value::Null, int(2)]],
+            "NULL group keys coalesce; groups appear in input order"
+        );
+    }
+
+    #[test]
+    fn count_distinct_ignores_nulls_and_duplicates() {
+        let agg = agg_of(
+            0,
+            vec![
+                item(AggFunc::Count, true, Some(0)),
+                item(AggFunc::Count, false, Some(0)),
+            ],
+        );
+        let rows = vec![vec![int(5)], vec![int(5)], vec![Value::Null], vec![int(7)]];
+        let out = aggregate_rows(&agg, rows, 1, &mut ExecStats::new()).unwrap();
+        assert_eq!(out, vec![vec![int(2), int(3)]]);
+    }
+
+    #[test]
+    fn elided_one_pass_matches_hash_grouping_with_zero_hash_ops() {
+        // Group column is row-unique, so the elided path must agree.
+        let rows: Vec<Row> = (0..10).map(|i| vec![int(i), int(i * 2)]).collect();
+        let items = vec![
+            group(0),
+            item(AggFunc::Sum, false, Some(1)),
+            item(AggFunc::Count, false, None),
+        ];
+        let hash = agg_of(1, items.clone());
+        let mut elided = agg_of(1, items);
+        elided.group_elided = true;
+
+        let mut hs = ExecStats::new();
+        let h = aggregate_rows(&hash, rows.clone(), 1, &mut hs).unwrap();
+        let mut es = ExecStats::new();
+        let e = aggregate_rows(&elided, rows, 1, &mut es).unwrap();
+        assert_eq!(h, e);
+        assert!(hs.hash_probes == 10 && hs.probe_steps == 10);
+        assert_eq!(es.hash_probes, 0, "elided grouping performs no hash ops");
+        assert_eq!(es.probe_steps, 0);
+        assert_eq!(es.agg_rows, 10);
+    }
+
+    #[test]
+    fn parallel_partials_agree_with_serial() {
+        // Enough rows for several morsels; a low-cardinality group key
+        // forces real cross-morsel merging of every state kind.
+        let rows: Vec<Row> = (0..5000)
+            .map(|i| vec![int(i % 7), int(i), int(i % 13)])
+            .collect();
+        let agg = agg_of(
+            1,
+            vec![
+                group(0),
+                item(AggFunc::Count, false, None),
+                item(AggFunc::Count, true, Some(2)),
+                item(AggFunc::Sum, false, Some(1)),
+                item(AggFunc::Min, false, Some(1)),
+                item(AggFunc::Max, false, Some(1)),
+                item(AggFunc::Avg, false, Some(1)),
+            ],
+        );
+        let serial = aggregate_rows(&agg, rows.clone(), 1, &mut ExecStats::new()).unwrap();
+        let mut ps = ExecStats::new();
+        let mut par = aggregate_rows(&agg, rows, 4, &mut ps).unwrap();
+        assert!(ps.morsels >= 2, "parallel run dispatched morsels");
+        // Partial merge order may permute groups; compare as sets.
+        let mut s = serial.clone();
+        let key = |r: &Row| format!("{r:?}");
+        s.sort_by_key(&key);
+        par.sort_by_key(&key);
+        assert_eq!(s, par);
+    }
+}

@@ -36,13 +36,14 @@
 //! morsels (`crate::parallel::run_tasks`); each (kernel, chunk) pair
 //! counts one `vector_ops`, the columnar analogue of per-row dispatch.
 
+use crate::agg::{finalize_state, init_states, update_states, AggState};
 use crate::exec::{contains_subquery, equi_join_key, map_all_attr_refs, Executor};
 use crate::parallel::{run_tasks, MORSEL_SIZE};
 use crate::stats::ExecStats;
 use std::collections::{BTreeSet, HashMap, HashSet};
 use uniq_catalog::{Database, Row, TableSchema};
 use uniq_cost::{BlockPlan, JoinMethod};
-use uniq_plan::{BScalar, BoundExpr, BoundSpec};
+use uniq_plan::{BScalar, BoundAgg, BoundAggItem, BoundExpr, BoundSpec};
 use uniq_sql::CmpOp;
 use uniq_types::{DataType, NullBitmap, Result, TableName, Value};
 
@@ -563,6 +564,69 @@ fn direct_lookup(d: &Direct, key: u64) -> u32 {
 
 // --- the columnar block executor ---------------------------------------
 
+/// The code-space result of one planned block: joined row-id tuples
+/// plus the projection mapping — everything a consumer needs either to
+/// late-materialize output rows ([`exec_block`]) or to aggregate on
+/// dictionary codes without materializing at all ([`exec_block_agg`]).
+struct BlockTuples<'a> {
+    /// Encoded tables by pipeline slot (`ordered[slot]` is the table
+    /// occupying tuple slot `slot`).
+    ordered: Vec<&'a TableColumns>,
+    /// Projection items as (tuple slot, table-local column).
+    proj: Vec<(usize, usize)>,
+    /// Flat row-id tuples, `stride` slots each.
+    tuples: Vec<u32>,
+    /// Slots per tuple (= tables placed).
+    stride: usize,
+}
+
+impl BlockTuples<'_> {
+    fn len(&self) -> usize {
+        self.tuples.len() / self.stride
+    }
+
+    fn tup(&self, t: usize) -> &[u32] {
+        &self.tuples[t * self.stride..(t + 1) * self.stride]
+    }
+
+    /// Decode projection position `p` of tuple `t` (late
+    /// materialization — one cell, not a row).
+    fn value(&self, t: usize, p: usize) -> Value {
+        let (slot, col) = self.proj[p];
+        self.ordered[slot].value_at(col, self.tup(t)[slot] as usize)
+    }
+
+    /// Encoded key of the first `n` projection positions of tuple `t`:
+    /// per column a (null, code/value) word pair — exact under `=̇`
+    /// because codes within one column are injective. This is the
+    /// dictionary-coded group key: strings group by `u32` code, never
+    /// by string compare.
+    fn key_words(&self, t: usize, n: usize) -> Vec<u64> {
+        let tup = self.tup(t);
+        let mut key = Vec::with_capacity(n * 2);
+        for &(slot, col) in &self.proj[..n] {
+            let r = tup[slot] as usize;
+            match self.ordered[slot].column(col) {
+                ColumnData::Int { values, nulls } => {
+                    if nulls.is_null(r) {
+                        key.extend([1, 0]);
+                    } else {
+                        key.extend([0, values[r] as u64]);
+                    }
+                }
+                ColumnData::Str { codes, nulls, .. } => {
+                    if nulls.is_null(r) {
+                        key.extend([1, 0]);
+                    } else {
+                        key.extend([0, codes[r] as u64]);
+                    }
+                }
+            }
+        }
+        key
+    }
+}
+
 /// Execute one planned block entirely on the columnar kernels, or
 /// return `None` when anything about the block is not covered — a
 /// missing/stale table encoding, an uncompilable conjunct, a keyless or
@@ -574,6 +638,115 @@ pub(crate) fn exec_block(
     spec: &BoundSpec,
     bp: &BlockPlan,
 ) -> Result<Option<Vec<Row>>> {
+    let Some(bt) = exec_block_tuples(ex, store, spec, bp)? else {
+        return Ok(None);
+    };
+    // Late materialization: only final output tuples become `Value`s.
+    let ntuples = bt.len();
+    let mut rows = Vec::with_capacity(ntuples);
+    for t in 0..ntuples {
+        rows.push((0..bt.proj.len()).map(|p| bt.value(t, p)).collect::<Row>());
+    }
+    ex.stats.vector_ops += ntuples.div_ceil(MORSEL_SIZE) as u64;
+    ex.stats.materialized_rows += ntuples as u64;
+    Ok(Some(rows))
+}
+
+/// Aggregate one planned block on the columnar kernels: group keys stay
+/// dictionary codes end-to-end (a `(null, code)` word pair per grouping
+/// column), and only aggregate *argument* cells and the surviving group
+/// representatives are ever decoded. A proof-elided grouping takes the
+/// zero-hash one-pass here too. `None` falls back to row execution
+/// exactly like [`exec_block`].
+pub(crate) fn exec_block_agg(
+    ex: &mut Executor<'_>,
+    store: &ColumnStore,
+    spec: &BoundSpec,
+    bp: &BlockPlan,
+    agg: &BoundAgg,
+) -> Result<Option<Vec<Row>>> {
+    let Some(bt) = exec_block_tuples(ex, store, spec, bp)? else {
+        return Ok(None);
+    };
+    let ntuples = bt.len();
+    ex.stats.agg_rows += ntuples as u64;
+    let item_value =
+        |bt: &BlockTuples<'_>, rep: usize, item: &BoundAggItem, st: AggState| match item {
+            BoundAggItem::Group { pos, .. } => bt.value(rep, *pos),
+            BoundAggItem::Agg { .. } => finalize_state(st),
+        };
+
+    let out: Vec<Row> = if agg.group_elided && agg.group_count > 0 {
+        // Key-elided one-pass: every tuple is its own group, no hashing.
+        let mut rows = Vec::with_capacity(ntuples);
+        for t in 0..ntuples {
+            let mut states = init_states(agg);
+            let set_probes = update_states(&mut states, agg, &mut |p| bt.value(t, p))?;
+            ex.stats.hash_probes += set_probes;
+            ex.stats.probe_steps += set_probes;
+            rows.push(
+                agg.items
+                    .iter()
+                    .zip(states)
+                    .map(|(item, st)| item_value(&bt, t, item, st))
+                    .collect::<Row>(),
+            );
+        }
+        rows
+    } else {
+        // Hash grouping on encoded key words; each group remembers a
+        // representative tuple so grouping columns decode exactly once.
+        let mut index: HashMap<Vec<u64>, usize> = HashMap::new();
+        let mut groups: Vec<(usize, Vec<AggState>)> = Vec::new();
+        for t in 0..ntuples {
+            let slot = if agg.group_count == 0 {
+                // Global aggregate: one group, no key, nothing to hash.
+                if groups.is_empty() {
+                    groups.push((t, init_states(agg)));
+                }
+                0
+            } else {
+                let key = bt.key_words(t, agg.group_count);
+                ex.stats.hash_probes += 1;
+                ex.stats.probe_steps += 1;
+                *index.entry(key).or_insert_with(|| {
+                    groups.push((t, init_states(agg)));
+                    groups.len() - 1
+                })
+            };
+            let set_probes = update_states(&mut groups[slot].1, agg, &mut |p| bt.value(t, p))?;
+            ex.stats.hash_probes += set_probes;
+            ex.stats.probe_steps += set_probes;
+        }
+        // The global aggregate's one group exists even over empty input
+        // (no grouping items, so the representative is never read).
+        if agg.group_count == 0 && groups.is_empty() {
+            groups.push((0, init_states(agg)));
+        }
+        groups
+            .into_iter()
+            .map(|(rep, states)| {
+                agg.items
+                    .iter()
+                    .zip(states)
+                    .map(|(item, st)| item_value(&bt, rep, item, st))
+                    .collect::<Row>()
+            })
+            .collect()
+    };
+    ex.stats.vector_ops += ntuples.div_ceil(MORSEL_SIZE) as u64;
+    ex.stats.materialized_rows += out.len() as u64;
+    Ok(Some(out))
+}
+
+/// The shared block pipeline in code space: validate coverage, then
+/// scan → join → (planned distinct), returning joined row-id tuples.
+fn exec_block_tuples<'a>(
+    ex: &mut Executor<'_>,
+    store: &'a ColumnStore,
+    spec: &BoundSpec,
+    bp: &BlockPlan,
+) -> Result<Option<BlockTuples<'a>>> {
     let n = spec.from.len();
 
     // Freshness: the catalog must not have moved since the encoding was
@@ -845,60 +1018,31 @@ pub(crate) fn exec_block(
     let ntuples = tuples.len() / stride;
     ex.record(bp.project, ntuples);
 
-    // Distinct on encoded keys: per projected column a (null, code/value)
-    // word pair, exact under `=̇` because codes within one column are
-    // injective. Blocks the optimizer proved duplicate-free carry no
-    // distinct step and skip this entirely.
+    let mut bt = BlockTuples {
+        ordered: bp.order.iter().map(|&t| tables[t]).collect(),
+        proj,
+        tuples,
+        stride,
+    };
+
+    // Distinct on encoded keys, exact under `=̇` (see
+    // [`BlockTuples::key_words`]). Blocks the optimizer proved
+    // duplicate-free carry no distinct step and skip this entirely.
     if let Some(d) = bp.distinct {
         let mut seen: HashSet<Vec<u64>> = HashSet::with_capacity(ntuples);
         let mut kept: Vec<u32> = Vec::new();
         for t in 0..ntuples {
-            let tup = &tuples[t * stride..(t + 1) * stride];
-            let mut key = Vec::with_capacity(proj.len() * 2);
-            for &(slot, col) in &proj {
-                let tc = tables[bp.order[slot]];
-                let r = tup[slot] as usize;
-                match tc.column(col) {
-                    ColumnData::Int { values, nulls } => {
-                        if nulls.is_null(r) {
-                            key.extend([1, 0]);
-                        } else {
-                            key.extend([0, values[r] as u64]);
-                        }
-                    }
-                    ColumnData::Str { codes, nulls, .. } => {
-                        if nulls.is_null(r) {
-                            key.extend([1, 0]);
-                        } else {
-                            key.extend([0, codes[r] as u64]);
-                        }
-                    }
-                }
-            }
             ex.stats.hash_probes += 1;
-            if seen.insert(key) {
-                kept.extend_from_slice(tup);
+            if seen.insert(bt.key_words(t, bt.proj.len())) {
+                kept.extend_from_slice(bt.tup(t));
             }
         }
         ex.stats.vector_ops += ntuples.div_ceil(MORSEL_SIZE) as u64;
-        tuples = kept;
-        ex.record(d.id, tuples.len() / stride);
+        bt.tuples = kept;
+        ex.record(d.id, bt.len());
     }
 
-    // Late materialization: only final output tuples become `Value`s.
-    let ntuples = tuples.len() / stride;
-    let mut rows = Vec::with_capacity(ntuples);
-    for t in 0..ntuples {
-        let tup = &tuples[t * stride..(t + 1) * stride];
-        rows.push(
-            proj.iter()
-                .map(|&(slot, col)| tables[bp.order[slot]].value_at(col, tup[slot] as usize))
-                .collect::<Row>(),
-        );
-    }
-    ex.stats.vector_ops += ntuples.div_ceil(MORSEL_SIZE) as u64;
-    ex.stats.materialized_rows += ntuples as u64;
-    Ok(Some(rows))
+    Ok(Some(bt))
 }
 
 #[cfg(test)]

@@ -18,10 +18,12 @@ use crate::stats::{Degree, DistinctMethod, ExecStats, JoinMethod};
 use std::collections::HashMap;
 use uniq_catalog::{Database, Row};
 use uniq_cost::{
-    find_index_probe, find_index_sarg, BlockPlan, IndexProbe, Justification, PhysNode,
+    find_index_probe, find_index_sarg, BlockPlan, IndexProbe, Justification, OutputOp, PhysNode,
     PhysicalPlan, ProbeSource,
 };
-use uniq_plan::{AttrRef, BScalar, BoundExpr, BoundQuery, BoundSpec, FromTable, HostVars};
+use uniq_plan::{
+    AttrRef, BScalar, BoundExpr, BoundOutput, BoundQuery, BoundSpec, FromTable, HostVars,
+};
 use uniq_sql::CmpOp;
 use uniq_types::{Error, Result, Tri, Value};
 
@@ -41,6 +43,11 @@ pub struct ExecOptions {
     /// keys cover one of its candidate keys (no bucket chains, probe
     /// stops at the first match). Off = always chain (ablation).
     pub unique_kernels: bool,
+    /// Allow `ORDER BY key-prefix LIMIT k` queries to walk an ordered
+    /// index and stop after `k` emitted rows instead of scanning,
+    /// sorting and truncating. Off = always scan + sort (the oracle the
+    /// early-stopping path is tested against, and the E23 baseline).
+    pub early_stop: bool,
 }
 
 impl Default for ExecOptions {
@@ -50,6 +57,7 @@ impl Default for ExecOptions {
             join: JoinMethod::default(),
             degree: Degree::Serial,
             unique_kernels: true,
+            early_stop: true,
         }
     }
 }
@@ -118,6 +126,211 @@ impl<'a> Executor<'a> {
         let rows = self.exec_query(query, &[], plan.map(|p| &p.root))?;
         self.stats.rows_output += rows.len() as u64;
         Ok(rows)
+    }
+
+    /// Execute a full query — body plus aggregation / `ORDER BY` /
+    /// `LIMIT` output clauses — optionally under a physical plan whose
+    /// [`OutputOp`]s get their actual
+    /// cardinalities recorded.
+    ///
+    /// Fast paths, in order:
+    ///
+    /// 1. **Early-stop Top-K** — a plain `ORDER BY key-prefix LIMIT k`
+    ///    whose license re-derives against the live catalog walks the
+    ///    ordered index and stops after `k` emitted rows (books
+    ///    `early_stops` / `topk_rows_examined`).
+    /// 2. **Columnar aggregation** — an aggregate over a block the
+    ///    planner marked columnar groups on dictionary codes without
+    ///    materializing body rows.
+    /// 3. **Row aggregation** — hash grouping, or the proof-elided
+    ///    zero-hash one-pass, morsel-parallel above one morsel.
+    ///
+    /// Then sort (engine total order, `NULL`s first) and limit.
+    pub fn run_output(
+        &mut self,
+        output: &BoundOutput,
+        plan: Option<&PhysicalPlan>,
+    ) -> Result<Vec<Row>> {
+        if let Some(plain) = output.as_plain() {
+            return self.run_with_plan(plain, plan);
+        }
+        if let Some(p) = plan {
+            self.actuals = vec![0; p.ops.len()];
+        }
+
+        // Early-stop Top-K. The license is re-derived from the bound
+        // output (cheap — pure catalog inspection) rather than trusted
+        // from the plan, and `early_stop_topk` still verifies the
+        // named index against the live catalog before probing.
+        if self.opts.early_stop {
+            if let (Some(k), Some(license)) = (output.limit, uniq_cost::early_stop_license(output))
+            {
+                if let Some(rows) = self.early_stop_topk(output, &license, k)? {
+                    if let Some(p) = plan {
+                        for op in &p.output {
+                            if let OutputOp::Limit { id, .. } = op {
+                                self.record(*id, rows.len());
+                            }
+                        }
+                    }
+                    self.stats.rows_output += rows.len() as u64;
+                    return Ok(rows);
+                }
+            }
+        }
+
+        let mut rows = None;
+        if let Some(agg) = &output.agg {
+            // Columnar aggregate: dictionary-coded group keys, no body
+            // materialization. Same coverage gate as the plain path.
+            if let (Some(spec), Some(store), Some(p)) = (output.body.as_spec(), self.columns, plan)
+            {
+                if let PhysNode::Block(bp) = &p.root {
+                    if bp.columnar && plan_matches(bp, spec) {
+                        rows = crate::columnar::exec_block_agg(self, store, spec, bp, agg)?;
+                    }
+                }
+            }
+            if rows.is_none() {
+                let body = self.exec_query(&output.body, &[], plan.map(|p| &p.root))?;
+                let deg = plan
+                    .and_then(|p| {
+                        p.output.iter().find_map(|op| match op {
+                            OutputOp::Agg { deg, .. } => Some(*deg),
+                            _ => None,
+                        })
+                    })
+                    .unwrap_or_else(|| self.static_degree(&[]));
+                rows = Some(crate::agg::aggregate_rows(agg, body, deg, &mut self.stats)?);
+            }
+        }
+        let mut rows = match rows {
+            Some(r) => r,
+            None => self.exec_query(&output.body, &[], plan.map(|p| &p.root))?,
+        };
+        if output.agg.is_some() {
+            if let Some(p) = plan {
+                for op in &p.output {
+                    if let OutputOp::Agg { id, .. } = op {
+                        self.record(*id, rows.len());
+                    }
+                }
+            }
+        }
+
+        if !output.order_by.is_empty() {
+            self.sort_rows(&mut rows, &output.order_by)?;
+            if let Some(p) = plan {
+                for op in &p.output {
+                    if let OutputOp::Sort { id } = op {
+                        self.record(*id, rows.len());
+                    }
+                }
+            }
+        }
+
+        if let Some(k) = output.limit {
+            rows.truncate(k.min(usize::MAX as u64) as usize);
+            if let Some(p) = plan {
+                for op in &p.output {
+                    if let OutputOp::Limit { id, .. } = op {
+                        self.record(*id, rows.len());
+                    }
+                }
+            }
+        }
+
+        self.stats.rows_output += rows.len() as u64;
+        Ok(rows)
+    }
+
+    /// Serve `ORDER BY key-prefix LIMIT k` by walking the licensed
+    /// ordered index in canonical key order (`NULL`s first — exactly
+    /// the engine's sort order) and stopping as soon as `k` rows pass
+    /// the residual filter. `Ok(None)` means the license no longer
+    /// holds against the live catalog: the caller scans, sorts and
+    /// truncates instead, so a dropped index costs speed, never rows.
+    fn early_stop_topk(
+        &mut self,
+        output: &BoundOutput,
+        license: &Justification,
+        k: u64,
+    ) -> Result<Option<Vec<Row>>> {
+        let Some(spec) = output.body.as_spec() else {
+            return Ok(None);
+        };
+        let table = &spec.from[0];
+        let Some(index) = license.index() else {
+            return Ok(None);
+        };
+        if !self.index_fresh(table, index) {
+            return Ok(None);
+        }
+        let db = self.db;
+        let ids = db.index_range(
+            &table.schema.name,
+            index,
+            &[],
+            std::ops::Bound::Unbounded,
+            std::ops::Bound::Unbounded,
+        )?;
+        self.stats.ix_probes += 1;
+        let all = db.rows(&table.schema.name)?;
+        let mut out: Vec<Row> = Vec::new();
+        let mut examined = 0u64;
+        for &r in &ids {
+            let tuple = &all[r];
+            examined += 1;
+            self.stats.rows_scanned += 1;
+            if let Some(pred) = &spec.predicate {
+                if self.eval(pred, &[], tuple)? != Tri::True {
+                    continue;
+                }
+            }
+            out.push(
+                spec.projection
+                    .iter()
+                    .map(|p| tuple[p.attr].clone())
+                    .collect(),
+            );
+            if out.len() as u64 >= k {
+                break;
+            }
+        }
+        self.stats.topk_rows_examined += examined;
+        if (examined as usize) < ids.len() {
+            self.stats.early_stops += 1;
+        }
+        Ok(Some(out))
+    }
+
+    /// Stable sort by the output positions in `order` under the engine
+    /// total order (`NULL`s first), booking sort work like the
+    /// duplicate-elimination sorts do.
+    fn sort_rows(&mut self, rows: &mut [Row], order: &[(usize, bool)]) -> Result<()> {
+        self.stats.sorts += 1;
+        self.stats.rows_sorted += rows.len() as u64;
+        let mut cmps = 0u64;
+        let mut err = None;
+        rows.sort_by(|a, b| {
+            cmps += 1;
+            for &(p, desc) in order {
+                match a[p].null_cmp(&b[p]) {
+                    Ok(std::cmp::Ordering::Equal) => continue,
+                    Ok(o) => return if desc { o.reverse() } else { o },
+                    Err(e) => {
+                        err.get_or_insert(e);
+                        return std::cmp::Ordering::Equal;
+                    }
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        self.stats.sort_comparisons += cmps;
+        match err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     /// Measured per-operator output cardinalities of the last

@@ -10,7 +10,7 @@
 use crate::exec::ExecOptions;
 use crate::stats::{DistinctMethod, JoinMethod};
 use uniq_core::pipeline::RewriteTrace;
-use uniq_plan::{BScalar, BoundExpr, BoundQuery, BoundSpec};
+use uniq_plan::{BScalar, BoundExpr, BoundOutput, BoundQuery, BoundSpec};
 use uniq_sql::{CmpOp, Distinct, SetOp};
 
 /// Render the physical plan as an indented tree, one operator per line.
@@ -70,14 +70,82 @@ pub fn render_trace(trace: &RewriteTrace) -> String {
 }
 
 /// Render the full `EXPLAIN`: rewrite trace, then the physical plan for
-/// the (already optimized) query.
-pub fn explain_with_trace(trace: &RewriteTrace, query: &BoundQuery, opts: &ExecOptions) -> String {
+/// the (already optimized) query — output stage (`Limit` / `Sort` /
+/// `Aggregate`, with the uniqueness-elision markers) above the body.
+pub fn explain_with_trace(
+    trace: &RewriteTrace,
+    output: &BoundOutput,
+    opts: &ExecOptions,
+) -> String {
     let mut out = render_trace(trace);
     out.push_str("Physical plan:\n");
     let mut plan = String::new();
-    explain_query(query, opts, 1, &mut plan);
+    let depth = explain_output_ops(output, opts, 1, &mut plan);
+    explain_query(&output.body, opts, depth, &mut plan);
     out.push_str(&plan);
     out
+}
+
+/// Render the output operators above the body, mirroring the decisions
+/// [`Executor::run_output`](crate::Executor::run_output) makes: a
+/// `Limit` under a re-derivable early-stop license absorbs the `Sort`
+/// (the ordered index serves the order), and elided aggregations carry
+/// their proof markers. Returns the body's indentation depth.
+fn explain_output_ops(
+    output: &BoundOutput,
+    opts: &ExecOptions,
+    mut depth: usize,
+    out: &mut String,
+) -> usize {
+    let license = if opts.early_stop {
+        uniq_cost::early_stop_license(output)
+    } else {
+        None
+    };
+    if let Some(k) = output.limit {
+        indent(out, depth);
+        match license.as_ref().and_then(|lic| lic.index()) {
+            Some(index) => out.push_str(&format!("Limit {k} early-stop({index})\n")),
+            None => out.push_str(&format!("Limit {k}\n")),
+        }
+        depth += 1;
+    }
+    if !output.order_by.is_empty() && license.is_none() {
+        indent(out, depth);
+        let names = output.output_names();
+        let cols: Vec<String> = output
+            .order_by
+            .iter()
+            .map(|&(pos, desc)| {
+                let name = names
+                    .get(pos)
+                    .map(|c| c.to_string())
+                    .unwrap_or_else(|| format!("#{pos}"));
+                if desc {
+                    format!("{name} DESC")
+                } else {
+                    name
+                }
+            })
+            .collect();
+        out.push_str(&format!("Sort [{}]\n", cols.join(", ")));
+        depth += 1;
+    }
+    if let Some(agg) = &output.agg {
+        indent(out, depth);
+        let items: Vec<String> = agg.items.iter().map(|i| i.name().to_string()).collect();
+        out.push_str(&format!("Aggregate [{}]", items.join(", ")));
+        if agg.group_elided {
+            out.push_str(" group-elided");
+        }
+        if agg.count_distinct_elided {
+            out.push_str(" count-distinct-elided");
+        }
+        out.push_str(&deg_suffix(opts));
+        out.push('\n');
+        depth += 1;
+    }
+    depth
 }
 
 fn fmt_ns(ns: u64) -> String {
@@ -334,7 +402,11 @@ mod tests {
             uniq_core::pipeline::OptimizerOptions::relational(),
         )
         .optimize(&q);
-        let text = explain_with_trace(&outcome.trace, &outcome.query, &ExecOptions::default());
+        let text = explain_with_trace(
+            &outcome.trace,
+            &BoundOutput::plain(outcome.query),
+            &ExecOptions::default(),
+        );
         assert!(
             text.contains("distinct-removal [Theorem 1] proof=✓"),
             "{text}"
@@ -344,6 +416,41 @@ mod tests {
         assert!(text.contains("Rule stats"), "{text}");
         assert!(text.contains("Physical plan:"), "{text}");
         assert!(text.contains("Scan SUPPLIER AS S"), "{text}");
+    }
+
+    fn output_plan(sql: &str, opts: ExecOptions) -> String {
+        let db = supplier_schema().unwrap();
+        let ast = uniq_sql::parse_full_query(sql).unwrap();
+        let bound = uniq_plan::bind_output(db.catalog(), &ast).unwrap();
+        let optimizer = uniq_core::pipeline::Optimizer::new(
+            uniq_core::pipeline::OptimizerOptions::relational(),
+        );
+        let (output, trace) = uniq_core::optimize_output(&optimizer, &bound);
+        explain_with_trace(&trace, &output, &opts)
+    }
+
+    #[test]
+    fn aggregate_sort_limit_render_above_the_body() {
+        let p = output_plan(
+            "SELECT S.SCITY, COUNT(*) AS N FROM SUPPLIER S \
+             GROUP BY S.SCITY ORDER BY N DESC LIMIT 3",
+            ExecOptions::default(),
+        );
+        let limit = p.find("Limit 3").expect(&p);
+        let sort = p.find("Sort [N DESC]").expect(&p);
+        let agg = p.find("Aggregate [SCITY, N]").expect(&p);
+        let scan = p.find("Scan SUPPLIER AS S").expect(&p);
+        assert!(limit < sort && sort < agg && agg < scan, "{p}");
+        assert!(!p.contains("group-elided"), "SCITY is no key: {p}");
+    }
+
+    #[test]
+    fn key_covered_group_by_renders_the_elision_marker() {
+        let p = output_plan(
+            "SELECT S.SNO, COUNT(*) AS N FROM SUPPLIER S GROUP BY S.SNO",
+            ExecOptions::default(),
+        );
+        assert!(p.contains("Aggregate [SNO, N] group-elided"), "{p}");
     }
 
     #[test]

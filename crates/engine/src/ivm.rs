@@ -43,7 +43,7 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use uniq_catalog::{Database, Row};
 use uniq_core::analysis::unique_projection;
-use uniq_plan::{BoundExpr, BoundQuery, BoundSpec, HostVars};
+use uniq_plan::{BoundExpr, BoundOutput, BoundQuery, BoundSpec, HostVars};
 use uniq_proof::{check_equiv, ProofStatus};
 use uniq_sql::{Distinct, SetOp};
 use uniq_types::{ColumnName, Error, Result, TableName, Value};
@@ -139,8 +139,11 @@ enum NodeState {
 pub struct MaterializedView {
     /// Canonical SQL (the subscribe key, re-bound on rebuilds).
     sql: String,
-    /// The optimized bound tree the delta operators interpret.
-    query: BoundQuery,
+    /// The optimized bound output (body + aggregation / `ORDER BY` /
+    /// `LIMIT` clauses) the delta operators interpret. The delta tiers
+    /// require a plain body; anything with output clauses runs on the
+    /// recompute tier.
+    query: BoundOutput,
     columns: Vec<ColumnName>,
     mode: MaintenanceMode,
     /// The proof that granted the tier: `Proved` on the set fast path,
@@ -297,7 +300,26 @@ pub fn base_tables(query: &BoundQuery) -> Vec<TableName> {
 /// `π_Dist(block) ≡ π_All(block)` from the schema axioms. Either one
 /// alone falling short downgrades to counting — the license is a
 /// theorem or it is not granted.
-pub fn license_view(query: &BoundQuery) -> (MaintenanceMode, ProofStatus) {
+///
+/// Aggregation / `ORDER BY` / `LIMIT` outputs route to the honest
+/// recompute tier: an insert can *change* an existing aggregate row
+/// (not just add one), which the insert-only delta operators cannot
+/// express. Incremental aggregate maintenance (differencing per-group
+/// partial states) is a ROADMAP follow-up.
+pub fn license_view(query: &BoundOutput) -> (MaintenanceMode, ProofStatus) {
+    if query.as_plain().is_none() {
+        return (
+            MaintenanceMode::Recompute,
+            ProofStatus::PropertyTested {
+                reason: "aggregate/order/limit output: recompute maintenance".into(),
+            },
+        );
+    }
+    license_body(&query.body)
+}
+
+/// [`license_view`] for a plain query body.
+fn license_body(query: &BoundQuery) -> (MaintenanceMode, ProofStatus) {
     if query_has_subquery(query) {
         return (
             MaintenanceMode::Recompute,
@@ -350,6 +372,21 @@ fn run_query(
     let hostvars = HostVars::new();
     let mut executor = Executor::new(db, &hostvars, exec);
     let rows = executor.run(query)?;
+    stats.merge(&executor.stats);
+    Ok(rows)
+}
+
+/// [`run_query`] for a full output (aggregation / `ORDER BY` / `LIMIT`
+/// included) — the recompute tier's evaluator.
+fn run_output_query(
+    query: &BoundOutput,
+    db: &Database,
+    exec: ExecOptions,
+    stats: &mut ExecStats,
+) -> Result<Vec<Row>> {
+    let hostvars = HostVars::new();
+    let mut executor = Executor::new(db, &hostvars, exec);
+    let rows = executor.run_output(query, None)?;
     stats.merge(&executor.stats);
     Ok(rows)
 }
@@ -731,24 +768,26 @@ impl MaterializedView {
     /// EXPLAIN); `columns` the output header.
     pub fn new(
         sql: String,
-        query: BoundQuery,
+        query: BoundOutput,
         columns: Vec<ColumnName>,
         base: Arc<Database>,
         exec: ExecOptions,
     ) -> Result<MaterializedView> {
         let (mode, license) = license_view(&query);
         let mut stats = ExecStats::new();
+        // The delta tiers are only ever granted for plain outputs, so
+        // they may read `query.body` as the whole query.
         let state = match mode {
             MaintenanceMode::Set => {
-                let rows = run_query(&query, &base, exec, &mut stats)?;
+                let rows = run_query(&query.body, &base, exec, &mut stats)?;
                 let set: HashSet<Row> = rows.into_iter().collect();
                 ViewState::Set(set)
             }
             MaintenanceMode::Counting => {
-                ViewState::Counting(NodeState::init(&query, &base, exec, &mut stats)?)
+                ViewState::Counting(NodeState::init(&query.body, &base, exec, &mut stats)?)
             }
             MaintenanceMode::Recompute => {
-                let rows = run_query(&query, &base, exec, &mut stats)?;
+                let rows = run_output_query(&query, &base, exec, &mut stats)?;
                 ViewState::Full(count_rows(rows))
             }
         };
@@ -798,7 +837,7 @@ impl MaterializedView {
 
     /// Every base table the view reads (subquery tables included).
     pub fn tables(&self) -> Vec<TableName> {
-        base_tables(&self.query)
+        base_tables(&self.query.body)
     }
 
     /// The view's current contents as a multiset, canonically sorted.
@@ -824,7 +863,7 @@ impl MaterializedView {
             return Ok(MaintainOutcome::NeedsRebuild);
         }
         // Pointer-equality fast path: every table untouched ⇒ no work.
-        let tables = base_tables(&self.query);
+        let tables = base_tables(&self.query.body);
         if tables.iter().all(|t| self.base.shares_storage(head, t)) {
             self.base = Arc::clone(head);
             return Ok(MaintainOutcome::Unchanged);
@@ -832,7 +871,7 @@ impl MaterializedView {
         let mut work = ExecStats::new();
         let delta = match &mut self.state {
             ViewState::Set(set) => {
-                let BoundQuery::Spec(spec) = &self.query else {
+                let BoundQuery::Spec(spec) = &self.query.body else {
                     return Err(Error::internal("set-tier view must be a single block"));
                 };
                 let derivations = spec_delta(spec, &self.base, head, self.exec, &mut work)?;
@@ -858,7 +897,7 @@ impl MaterializedView {
                 signed_to_delta(signed)
             }
             ViewState::Full(counts) => {
-                let rows = run_query(&self.query, head, self.exec, &mut work)?;
+                let rows = run_output_query(&self.query, head, self.exec, &mut work)?;
                 let after = count_rows(rows);
                 let signed = multiset_diff(counts, &after);
                 *counts = after;
@@ -875,18 +914,20 @@ impl MaterializedView {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use uniq_core::optimize_output;
     use uniq_core::pipeline::{Optimizer, OptimizerOptions};
-    use uniq_plan::bind_query;
+    use uniq_plan::bind_output;
     use uniq_sql::{parse_statement, Statement};
 
-    fn bind(db: &Database, sql: &str) -> (BoundQuery, Vec<ColumnName>) {
+    fn bind(db: &Database, sql: &str) -> (BoundOutput, Vec<ColumnName>) {
         let Statement::Query(ast) = parse_statement(sql).unwrap() else {
             panic!("not a query");
         };
-        let bound = bind_query(db.catalog(), &ast).unwrap();
-        let outcome = Optimizer::new(OptimizerOptions::relational()).optimize(&bound);
-        let columns = outcome.query.output_names();
-        (outcome.query, columns)
+        let bound = bind_output(db.catalog(), &ast).unwrap();
+        let (query, _trace) =
+            optimize_output(&Optimizer::new(OptimizerOptions::relational()), &bound);
+        let columns = query.output_names();
+        (query, columns)
     }
 
     fn view(db: &Arc<Database>, sql: &str) -> MaterializedView {
@@ -914,7 +955,7 @@ mod tests {
     fn oracle(db: &Database, sql: &str) -> Vec<Row> {
         let (query, _) = bind(db, sql);
         let mut stats = ExecStats::new();
-        let mut rows = run_query(&query, db, ExecOptions::default(), &mut stats).unwrap();
+        let mut rows = run_output_query(&query, db, ExecOptions::default(), &mut stats).unwrap();
         rows.sort();
         rows
     }
@@ -1037,7 +1078,7 @@ mod tests {
         let Statement::Query(ast) = parse_statement(sql).unwrap() else {
             panic!();
         };
-        let bound = bind_query(db.catalog(), &ast).unwrap();
+        let bound = bind_output(db.catalog(), &ast).unwrap();
         let columns = bound.output_names();
         let mut v = MaterializedView::new(
             sql.to_string(),
@@ -1060,6 +1101,33 @@ mod tests {
             panic!("expected a delta round");
         };
         assert_eq!(delta.deleted, vec![vec![Value::Int(sno)]]);
+        assert_eq!(v.rows(), oracle(&head, sql));
+    }
+
+    #[test]
+    fn aggregate_views_route_to_recompute_and_diff_honestly() {
+        let db = sample();
+        let sql = "SELECT S.SCITY, COUNT(*) AS N FROM SUPPLIER S GROUP BY S.SCITY";
+        let mut v = view(&db, sql);
+        assert_eq!(v.mode(), MaintenanceMode::Recompute);
+        assert!(!v.license().is_proved());
+        let ProofStatus::PropertyTested { reason } = v.license() else {
+            panic!("expected the recompute obstruction");
+        };
+        assert!(reason.contains("aggregate/order/limit"), "{reason}");
+        let before = v.rows();
+        let head = advance(
+            &db,
+            "INSERT INTO SUPPLIER VALUES (9, 'Nine', 'Toronto', 1, 'Active');",
+        );
+        let MaintainOutcome::Delta { delta, .. } = v.maintain(&head).unwrap() else {
+            panic!("expected a delta round");
+        };
+        // Toronto's count row is *replaced*: one delete + one insert —
+        // the shape the insert-only delta tiers cannot express.
+        assert_eq!(delta.deleted.len(), 1, "{delta:?}");
+        assert_eq!(delta.inserted.len(), 1, "{delta:?}");
+        assert_ne!(v.rows(), before);
         assert_eq!(v.rows(), oracle(&head, sql));
     }
 

@@ -25,8 +25,13 @@
 //! The [`columnar`] module adds a vectorized execution path over
 //! dictionary-encoded column storage for the block shapes the cost
 //! planner proves covered; the row executor above remains the default
-//! and the correctness oracle it is property-tested against.
+//! and the correctness oracle it is property-tested against. The
+//! [`agg`] module supplies the aggregation / `ORDER BY` / `LIMIT`
+//! output stage over either path, with the uniqueness elisions
+//! (key-covered `GROUP BY`, `COUNT(DISTINCT)` degradation, early-stop
+//! Top-K) that experiment E23 measures.
 
+pub mod agg;
 pub mod columnar;
 pub mod exec;
 pub mod explain;

@@ -5,8 +5,8 @@
 //! CNF→DNF uniqueness tests, even when the same query text arrives over
 //! and over. This module amortizes that work the way production engines
 //! do: a map from a *normalized query fingerprint* to the optimized
-//! [`BoundQuery`] plus its rewrite trace, shared by every thread serving
-//! the session.
+//! [`BoundOutput`] plus its rewrite trace, shared by every thread
+//! serving the session.
 //!
 //! **Keying.** The fingerprint is the FNV-1a hash
 //! ([`uniq_types::hash`]) of the canonical printed form of the parsed
@@ -38,7 +38,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
 use uniq_core::pipeline::RewriteTrace;
-use uniq_plan::BoundQuery;
+use uniq_plan::BoundOutput;
 use uniq_types::{ColumnName, Fnv64};
 
 /// Number of independently locked shards.
@@ -50,8 +50,9 @@ pub const DEFAULT_CAPACITY: usize = 1024;
 /// A compiled, optimized query ready to execute.
 #[derive(Debug, Clone)]
 pub struct CachedPlan {
-    /// The optimized query.
-    pub query: BoundQuery,
+    /// The optimized query: body plus aggregation / `ORDER BY` /
+    /// `LIMIT` output clauses (empty for the paper's §2 subset).
+    pub query: BoundOutput,
     /// The rewrite trace the optimizer produced when compiling it —
     /// steps, per-rule stats and fixpoint shape, served verbatim on
     /// every hit so `EXPLAIN` can show what compilation did.
@@ -323,7 +324,7 @@ mod tests {
         // A minimal bound query to stand in for a real plan.
         let db = uniq_catalog::sample::supplier_database().unwrap();
         let ast = uniq_sql::parse_query("SELECT S.SNO FROM SUPPLIER S").unwrap();
-        let query = uniq_plan::bind_query(db.catalog(), &ast).unwrap();
+        let query = BoundOutput::plain(uniq_plan::bind_query(db.catalog(), &ast).unwrap());
         CachedPlan {
             columns: query.output_names(),
             query,

@@ -12,9 +12,10 @@ use crate::stats::{Degree, ExecStats, StageTimings};
 use std::sync::Arc;
 use std::time::Instant;
 use uniq_catalog::{Database, Row};
+use uniq_core::optimize_output;
 use uniq_core::pipeline::{Optimizer, OptimizerOptions, RewriteTrace};
-use uniq_cost::{plan_query, CardReport, PhysicalPlan, PlannerOptions, Statistics};
-use uniq_plan::{bind_query, BoundQuery, HostVars};
+use uniq_cost::{plan_output, CardReport, PhysicalPlan, PlannerOptions, Statistics};
+use uniq_plan::{bind_output, BoundOutput, BoundQuery, HostVars};
 use uniq_sql::{parse_statement, Statement};
 use uniq_types::{fnv64, ColumnName, Error, Result};
 
@@ -134,12 +135,12 @@ impl Session {
 
     /// Plan the physical execution of an optimized query, when the
     /// session is cost-based and has statistics.
-    fn plan_physical(&self, query: &BoundQuery) -> Option<Arc<PhysicalPlan>> {
+    fn plan_physical(&self, output: &BoundOutput) -> Option<Arc<PhysicalPlan>> {
         if !self.planner.cost_based {
             return None;
         }
         let stats = self.stats.as_ref()?;
-        Some(Arc::new(plan_query(query, stats, self.planner)))
+        Some(Arc::new(plan_output(output, stats, self.planner)))
     }
 
     /// Enable morsel-driven parallel execution with one worker per
@@ -157,6 +158,20 @@ impl Session {
     fn with_exec_degree(mut self, degree: Degree) -> Session {
         self.exec.degree = degree;
         self.planner.degree = degree;
+        self
+    }
+
+    /// Toggle the uniqueness-powered aggregation / Top-K fast paths:
+    /// the proof-gated `GROUP BY` key elision and `COUNT(DISTINCT)`
+    /// degradation rewrites, and the early-stopping ordered-index
+    /// `ORDER BY … LIMIT k` walk. `with_agg_elision(false)` is the
+    /// un-elided oracle the agreement tests and experiment E23 compare
+    /// against — same answers, hash/sort work paid in full. Both knobs
+    /// are fingerprinted, so elided and un-elided sessions never share
+    /// cached plans.
+    pub fn with_agg_elision(mut self, on: bool) -> Session {
+        self.optimizer.agg_elision = on;
+        self.exec.early_stop = on;
         self
     }
 
@@ -235,7 +250,7 @@ impl Session {
             let t = Instant::now();
             let mut executor =
                 Executor::new(&self.db, hostvars, self.exec).with_columns(self.columns.as_deref());
-            let rows = executor.run_with_plan(&plan.query, plan.physical.as_deref())?;
+            let rows = executor.run_output(&plan.query, plan.physical.as_deref())?;
             timings.execute_ns = elapsed_ns(t);
             let cards = plan
                 .physical
@@ -253,22 +268,22 @@ impl Session {
         }
 
         let t = Instant::now();
-        let bound = bind_query(self.db.catalog(), &ast)?;
+        let bound = bind_output(self.db.catalog(), &ast)?;
         timings.bind_ns = elapsed_ns(t);
 
         let t = Instant::now();
-        let outcome = Optimizer::new(self.optimizer).optimize(&bound);
-        let physical = self.plan_physical(&outcome.query);
+        let (query, trace) = optimize_output(&Optimizer::new(self.optimizer), &bound);
+        let physical = self.plan_physical(&query);
         timings.optimize_ns = elapsed_ns(t);
 
-        let columns = outcome.query.output_names();
+        let columns = query.output_names();
         self.cache.insert(
             fingerprint,
             &canonical,
             version,
             CachedPlan {
-                query: outcome.query.clone(),
-                trace: outcome.trace.clone(),
+                query: query.clone(),
+                trace: trace.clone(),
                 columns: columns.clone(),
                 physical: physical.clone(),
             },
@@ -277,7 +292,7 @@ impl Session {
         let t = Instant::now();
         let mut executor =
             Executor::new(&self.db, hostvars, self.exec).with_columns(self.columns.as_deref());
-        let rows = executor.run_with_plan(&outcome.query, physical.as_deref())?;
+        let rows = executor.run_output(&query, physical.as_deref())?;
         timings.execute_ns = elapsed_ns(t);
         let cards = physical
             .as_deref()
@@ -285,7 +300,7 @@ impl Session {
         Ok(QueryOutput {
             columns,
             rows,
-            trace: outcome.trace,
+            trace,
             stats: executor.stats,
             timings,
             cache_hit: false,
@@ -313,23 +328,23 @@ impl Session {
             let cost = self.explain_cost_section(&plan.query, plan.physical.as_deref());
             return Ok(format!("Plan: cached\n{body}{cost}"));
         }
-        let bound = bind_query(self.db.catalog(), &ast)?;
-        let outcome = Optimizer::new(self.optimizer).optimize(&bound);
-        let physical = self.plan_physical(&outcome.query);
-        let columns = outcome.query.output_names();
+        let bound = bind_output(self.db.catalog(), &ast)?;
+        let (query, trace) = optimize_output(&Optimizer::new(self.optimizer), &bound);
+        let physical = self.plan_physical(&query);
+        let columns = query.output_names();
         self.cache.insert(
             fingerprint,
             &canonical,
             version,
             CachedPlan {
-                query: outcome.query.clone(),
-                trace: outcome.trace.clone(),
+                query: query.clone(),
+                trace: trace.clone(),
                 columns,
                 physical: physical.clone(),
             },
         );
-        let body = crate::explain::explain_with_trace(&outcome.trace, &outcome.query, &self.exec);
-        let cost = self.explain_cost_section(&outcome.query, physical.as_deref());
+        let body = crate::explain::explain_with_trace(&trace, &query, &self.exec);
+        let cost = self.explain_cost_section(&query, physical.as_deref());
         Ok(format!("Plan: compiled\n{body}{cost}"))
     }
 
@@ -338,7 +353,7 @@ impl Session {
     /// executing the plan; `EXPLAIN` binds no host variables, so a query
     /// that needs them renders `act=?` instead. Empty when the session
     /// has no cost-based plan for the query.
-    fn explain_cost_section(&self, query: &BoundQuery, physical: Option<&PhysicalPlan>) -> String {
+    fn explain_cost_section(&self, query: &BoundOutput, physical: Option<&PhysicalPlan>) -> String {
         let Some(plan) = physical else {
             return String::new();
         };
@@ -346,7 +361,7 @@ impl Session {
         let mut executor =
             Executor::new(&self.db, &hostvars, self.exec).with_columns(self.columns.as_deref());
         let actuals = executor
-            .run_with_plan(query, Some(plan))
+            .run_output(query, Some(plan))
             .ok()
             .map(|_| executor.actuals().to_vec());
         format!(
@@ -361,18 +376,19 @@ impl Session {
         let mut timings = StageTimings::new();
         let t = Instant::now();
         let outcome = Optimizer::new(self.optimizer).optimize(bound);
-        let physical = self.plan_physical(&outcome.query);
+        let query = BoundOutput::plain(outcome.query);
+        let physical = self.plan_physical(&query);
         timings.optimize_ns = elapsed_ns(t);
         let t = Instant::now();
         let mut executor =
             Executor::new(&self.db, hostvars, self.exec).with_columns(self.columns.as_deref());
-        let rows = executor.run_with_plan(&outcome.query, physical.as_deref())?;
+        let rows = executor.run_output(&query, physical.as_deref())?;
         timings.execute_ns = elapsed_ns(t);
         let cards = physical
             .as_deref()
             .map(|p| p.card_report(executor.actuals()));
         Ok(QueryOutput {
-            columns: outcome.query.output_names(),
+            columns: query.output_names(),
             rows,
             trace: outcome.trace,
             stats: executor.stats,
@@ -382,7 +398,9 @@ impl Session {
         })
     }
 
-    /// Execute without any rewriting (baseline for experiments).
+    /// Execute without any rewriting and with the early-stopping Top-K
+    /// path off (baseline for experiments: every hash op and sort
+    /// comparison the elisions avoid is paid here in full).
     pub fn query_unoptimized(&self, sql: &str, hostvars: &HostVars) -> Result<QueryOutput> {
         let mut timings = StageTimings::new();
         let t = Instant::now();
@@ -392,11 +410,15 @@ impl Session {
         };
         timings.parse_ns = elapsed_ns(t);
         let t = Instant::now();
-        let bound = bind_query(self.db.catalog(), &ast)?;
+        let bound = bind_output(self.db.catalog(), &ast)?;
         timings.bind_ns = elapsed_ns(t);
         let t = Instant::now();
-        let mut executor = Executor::new(&self.db, hostvars, self.exec);
-        let rows = executor.run(&bound)?;
+        let exec = ExecOptions {
+            early_stop: false,
+            ..self.exec
+        };
+        let mut executor = Executor::new(&self.db, hostvars, exec);
+        let rows = executor.run_output(&bound, None)?;
         timings.execute_ns = elapsed_ns(t);
         Ok(QueryOutput {
             columns: bound.output_names(),
@@ -914,5 +936,167 @@ mod tests {
         assert!(!opt.trace.steps.is_empty());
         assert_eq!(multiset(&opt.rows), multiset(&base.rows));
         assert_eq!(opt.rows, vec![vec![Value::Int(1)]]);
+    }
+
+    #[test]
+    fn group_by_round_trip_matches_unoptimized() {
+        let s = Session::sample().unwrap();
+        let sql = "SELECT S.SCITY, COUNT(*) AS N, SUM(S.BUDGET) AS B \
+                   FROM SUPPLIER S GROUP BY S.SCITY ORDER BY S.SCITY";
+        let opt = s.query(sql).unwrap();
+        let base = s.query_unoptimized(sql, &HostVars::new()).unwrap();
+        assert_eq!(opt.rows, base.rows, "ORDER BY pins the row order");
+        assert_eq!(
+            opt.rows,
+            vec![
+                vec![Value::str("Chicago"), Value::Int(2), Value::Int(2000)],
+                vec![Value::str("New York"), Value::Int(1), Value::Int(500)],
+                vec![Value::str("Toronto"), Value::Int(2), Value::Int(1300)],
+            ]
+        );
+        let names: Vec<String> = opt.columns.iter().map(|c| c.to_string()).collect();
+        assert_eq!(names, ["SCITY", "N", "B"]);
+    }
+
+    #[test]
+    fn key_covered_group_by_skips_every_hash_op() {
+        let s = Session::sample().unwrap();
+        let sql = "SELECT S.SNO, COUNT(*) AS N FROM SUPPLIER S GROUP BY S.SNO";
+        let opt = s.query(sql).unwrap();
+        assert_eq!(opt.rows.len(), 5, "one group per key value");
+        assert!(opt.rows.iter().all(|r| r[1] == Value::Int(1)));
+        assert!(
+            opt.trace
+                .steps
+                .iter()
+                .any(|st| st.rule == "group-by-key-elision"),
+            "elision must be proof-carrying: {:?}",
+            opt.trace.steps
+        );
+        assert_eq!(opt.stats.hash_probes, 0, "elided grouping hashes nothing");
+        let base = s.query_unoptimized(sql, &HostVars::new()).unwrap();
+        assert_eq!(multiset(&opt.rows), multiset(&base.rows));
+        assert!(
+            base.stats.hash_probes >= 5,
+            "the naive plan pays one probe per row: {:?}",
+            base.stats
+        );
+    }
+
+    #[test]
+    fn count_distinct_over_a_key_degrades_to_plain_count() {
+        let s = Session::sample().unwrap();
+        let sql = "SELECT COUNT(DISTINCT S.SNO) AS N FROM SUPPLIER S";
+        let opt = s.query(sql).unwrap();
+        assert_eq!(opt.rows, vec![vec![Value::Int(5)]]);
+        assert!(
+            opt.trace
+                .steps
+                .iter()
+                .any(|st| st.rule == "count-distinct-elision"),
+            "{:?}",
+            opt.trace.steps
+        );
+        let base = s.query_unoptimized(sql, &HostVars::new()).unwrap();
+        assert_eq!(opt.rows, base.rows);
+        assert!(
+            base.stats.hash_probes > opt.stats.hash_probes,
+            "naive COUNT(DISTINCT) pays distinct-set probes: {:?} vs {:?}",
+            base.stats,
+            opt.stats
+        );
+    }
+
+    #[test]
+    fn order_by_index_prefix_limit_stops_early() {
+        let mut s = Session::sample().unwrap();
+        s.run_script("CREATE INDEX IDX_S_BUDGET ON SUPPLIER (BUDGET);")
+            .unwrap();
+        let sql = "SELECT S.SNO, S.BUDGET FROM SUPPLIER S ORDER BY S.BUDGET LIMIT 2";
+        let opt = s.query(sql).unwrap();
+        assert_eq!(
+            opt.rows,
+            vec![
+                vec![Value::Int(5), Value::Int(0)],
+                vec![Value::Int(4), Value::Int(300)],
+            ]
+        );
+        assert_eq!(opt.stats.early_stops, 1, "{:?}", opt.stats);
+        assert_eq!(opt.stats.sorts, 0, "the index serves the order");
+        assert_eq!(opt.stats.topk_rows_examined, 2, "stopped after k rows");
+        // The un-elided oracle scans and sorts everything, same answer.
+        let oracle = s.clone().with_agg_elision(false);
+        let base = oracle.query(sql).unwrap();
+        assert_eq!(base.rows, opt.rows);
+        assert_eq!(base.stats.early_stops, 0);
+        assert!(base.stats.sorts >= 1, "{:?}", base.stats);
+        assert!(base.stats.rows_scanned >= 5, "full scan under the sort");
+    }
+
+    #[test]
+    fn explain_marks_early_stop_and_absorbs_the_sort() {
+        let mut s = Session::sample().unwrap();
+        s.run_script("CREATE INDEX IDX_S_BUDGET ON SUPPLIER (BUDGET);")
+            .unwrap();
+        let sql = "SELECT S.SNO, S.BUDGET FROM SUPPLIER S ORDER BY S.BUDGET LIMIT 2";
+        let on = s.explain(sql).unwrap();
+        assert!(on.contains("Limit 2 early-stop(IDX_S_BUDGET)"), "{on}");
+        assert!(!on.contains("Sort ["), "the index serves the order: {on}");
+        let off = s.clone().with_agg_elision(false);
+        let plain = off.explain(sql).unwrap();
+        assert!(plain.contains("Limit 2\n"), "{plain}");
+        assert!(plain.contains("Sort [BUDGET]"), "{plain}");
+        assert!(!plain.contains("early-stop"), "{plain}");
+    }
+
+    #[test]
+    fn elided_and_unelided_sessions_do_not_share_plans() {
+        let s = Session::sample().unwrap();
+        let oracle = s.clone().with_agg_elision(false); // shares the cache
+        let sql = "SELECT S.SNO, COUNT(*) AS N FROM SUPPLIER S GROUP BY S.SNO";
+        assert!(!s.query(sql).unwrap().cache_hit);
+        assert!(
+            !oracle.query(sql).unwrap().cache_hit,
+            "an elided plan must never serve the oracle session"
+        );
+        assert!(s.query(sql).unwrap().cache_hit, "each keeps its own entry");
+        assert!(oracle.query(sql).unwrap().cache_hit);
+    }
+
+    #[test]
+    fn cost_based_explain_annotates_output_operators() {
+        let s = Session::sample().unwrap().with_cost_based();
+        let sql = "SELECT S.SCITY, COUNT(*) AS N FROM SUPPLIER S \
+                   GROUP BY S.SCITY ORDER BY N DESC LIMIT 2";
+        let out = s.explain(sql).unwrap();
+        let section = out
+            .split("Cost-based plan (est/act rows):")
+            .nth(1)
+            .expect("cost section present");
+        for needle in ["Aggregate [SCITY, COUNT(*)]", "Sort [N DESC]", "Limit 2"] {
+            let line = section
+                .lines()
+                .find(|l| l.contains(needle))
+                .unwrap_or_else(|| panic!("missing {needle} in {section}"));
+            assert!(line.contains("est="), "{line}");
+            assert!(line.contains("act="), "{line}");
+        }
+    }
+
+    #[test]
+    fn columnar_aggregates_match_the_row_path() {
+        let s = Session::sample().unwrap();
+        let c = s.clone().with_columnar();
+        for sql in [
+            "SELECT S.SCITY, COUNT(*) AS N, MAX(S.BUDGET) AS M \
+             FROM SUPPLIER S GROUP BY S.SCITY",
+            "SELECT P.COLOR, COUNT(DISTINCT P.PNAME) AS N \
+             FROM PARTS P GROUP BY P.COLOR",
+            "SELECT AVG(S.BUDGET) AS A, MIN(S.SNO) AS LO FROM SUPPLIER S",
+        ] {
+            let row = s.query(sql).unwrap();
+            let col = c.query(sql).unwrap();
+            assert_eq!(multiset(&row.rows), multiset(&col.rows), "{sql}");
+        }
     }
 }

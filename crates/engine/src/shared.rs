@@ -34,9 +34,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 use uniq_catalog::{Database, Row, SnapshotStore};
+use uniq_core::optimize_output;
 use uniq_core::pipeline::{Optimizer, OptimizerOptions};
-use uniq_cost::{plan_query, PhysicalPlan, PlannerOptions, Statistics};
-use uniq_plan::{bind_query, BoundQuery, HostVars};
+use uniq_cost::{plan_output, PhysicalPlan, PlannerOptions, Statistics};
+use uniq_plan::{bind_output, BoundOutput, HostVars};
 use uniq_proof::ProofStatus;
 use uniq_sql::{parse_statement, Statement};
 use uniq_types::{fnv64, ColumnName, Error, Result};
@@ -263,13 +264,13 @@ impl SharedEngine {
 
     fn plan_physical(
         &self,
-        query: &BoundQuery,
+        query: &BoundOutput,
         stats: Option<&Arc<Statistics>>,
     ) -> Option<Arc<PhysicalPlan>> {
         let stats = stats?;
         let mut planner = self.planner;
         planner.cost_based = true;
-        Some(Arc::new(plan_query(query, stats, planner)))
+        Some(Arc::new(plan_output(query, stats, planner)))
     }
 
     /// Bind, optimize, license and materialize `sql` as a view over the
@@ -281,10 +282,10 @@ impl SharedEngine {
         };
         let canonical = ast.to_string();
         let snap = self.snapshot();
-        let bound = bind_query(snap.catalog(), &ast)?;
-        let outcome = Optimizer::new(self.optimizer).optimize(&bound);
-        let columns = outcome.query.output_names();
-        MaterializedView::new(canonical, outcome.query, columns, snap, self.exec)
+        let bound = bind_output(snap.catalog(), &ast)?;
+        let (query, _trace) = optimize_output(&Optimizer::new(self.optimizer), &bound);
+        let columns = query.output_names();
+        MaterializedView::new(canonical, query, columns, snap, self.exec)
     }
 
     /// Register `sql` as a live subscription: the query is optimized,
@@ -442,7 +443,7 @@ impl SharedEngine {
         if let Some(plan) = self.cache.get(fingerprint, &canonical, version) {
             let t = Instant::now();
             let mut executor = Executor::new(&snap, hostvars, self.exec);
-            let rows = executor.run_with_plan(&plan.query, plan.physical.as_deref())?;
+            let rows = executor.run_output(&plan.query, plan.physical.as_deref())?;
             timings.execute_ns = t.elapsed().as_nanos() as u64;
             let cards = plan
                 .physical
@@ -460,22 +461,22 @@ impl SharedEngine {
         }
 
         let t = Instant::now();
-        let bound = bind_query(snap.catalog(), &ast)?;
+        let bound = bind_output(snap.catalog(), &ast)?;
         timings.bind_ns = t.elapsed().as_nanos() as u64;
 
         let t = Instant::now();
-        let outcome = Optimizer::new(self.optimizer).optimize(&bound);
-        let physical = self.plan_physical(&outcome.query, stats.as_ref());
+        let (query, trace) = optimize_output(&Optimizer::new(self.optimizer), &bound);
+        let physical = self.plan_physical(&query, stats.as_ref());
         timings.optimize_ns = t.elapsed().as_nanos() as u64;
 
-        let columns = outcome.query.output_names();
+        let columns = query.output_names();
         self.cache.insert(
             fingerprint,
             &canonical,
             version,
             CachedPlan {
-                query: outcome.query.clone(),
-                trace: outcome.trace.clone(),
+                query: query.clone(),
+                trace: trace.clone(),
                 columns: columns.clone(),
                 physical: physical.clone(),
             },
@@ -483,7 +484,7 @@ impl SharedEngine {
 
         let t = Instant::now();
         let mut executor = Executor::new(&snap, hostvars, self.exec);
-        let rows = executor.run_with_plan(&outcome.query, physical.as_deref())?;
+        let rows = executor.run_output(&query, physical.as_deref())?;
         timings.execute_ns = t.elapsed().as_nanos() as u64;
         let cards = physical
             .as_deref()
@@ -491,7 +492,7 @@ impl SharedEngine {
         Ok(QueryOutput {
             columns,
             rows,
-            trace: outcome.trace,
+            trace,
             stats: executor.stats,
             timings,
             cache_hit: false,
@@ -521,22 +522,22 @@ impl SharedEngine {
             let body = crate::explain::explain_with_trace(&plan.trace, &plan.query, &self.exec);
             return Ok(format!("Plan: cached\n{body}{note}"));
         }
-        let bound = bind_query(snap.catalog(), &ast)?;
-        let outcome = Optimizer::new(self.optimizer).optimize(&bound);
-        let physical = self.plan_physical(&outcome.query, stats.as_ref());
-        let columns = outcome.query.output_names();
+        let bound = bind_output(snap.catalog(), &ast)?;
+        let (query, trace) = optimize_output(&Optimizer::new(self.optimizer), &bound);
+        let physical = self.plan_physical(&query, stats.as_ref());
+        let columns = query.output_names();
         self.cache.insert(
             fingerprint,
             &canonical,
             version,
             CachedPlan {
-                query: outcome.query.clone(),
-                trace: outcome.trace.clone(),
+                query: query.clone(),
+                trace: trace.clone(),
                 columns,
                 physical: physical.clone(),
             },
         );
-        let body = crate::explain::explain_with_trace(&outcome.trace, &outcome.query, &self.exec);
+        let body = crate::explain::explain_with_trace(&trace, &query, &self.exec);
         Ok(format!("Plan: compiled\n{body}{note}"))
     }
 
@@ -792,6 +793,41 @@ mod tests {
         assert!(engine.unsubscribe(sub.id));
         assert!(!engine.unsubscribe(sub.id), "already gone");
         assert_eq!(engine.stats().subs.active, 0);
+    }
+
+    #[test]
+    fn aggregate_subscriptions_recompute_and_diff() {
+        let engine = SharedEngine::sample().unwrap();
+        let (sink, log) = collecting_sink();
+        let sub = engine
+            .subscribe(
+                "SELECT S.SCITY, COUNT(*) AS N FROM SUPPLIER S GROUP BY S.SCITY",
+                sink,
+            )
+            .unwrap();
+        assert_eq!(sub.mode, MaintenanceMode::Recompute);
+        assert!(
+            !sub.license.is_proved(),
+            "the obstruction is honest, not a proof"
+        );
+        assert_eq!(sub.rows.len(), 3, "three cities in the seed data");
+        engine
+            .execute("INSERT INTO SUPPLIER VALUES (9, 'Niner', 'Toronto', 50, 'Active');")
+            .unwrap();
+        // The insert *replaces* Toronto's count row — one delete plus
+        // one insert, the shape insert-only delta plans cannot express.
+        let deltas = log.lock().unwrap().clone();
+        assert_eq!(deltas.len(), 1, "one publish, one push");
+        assert_eq!(
+            deltas[0].deleted,
+            vec![vec![Value::str("Toronto"), Value::Int(2)]]
+        );
+        assert_eq!(
+            deltas[0].inserted,
+            vec![vec![Value::str("Toronto"), Value::Int(3)]]
+        );
+        let rows = engine.subscription_rows(sub.id).unwrap();
+        assert!(rows.contains(&vec![Value::str("Toronto"), Value::Int(3)]));
     }
 
     #[test]

@@ -59,6 +59,20 @@ pub struct ExecStats {
     /// Net view changes (insertions plus deletions) emitted by
     /// incremental view maintenance rounds.
     pub view_updates: u64,
+    /// Rows fed into an aggregate operator (hash or elided). Hash
+    /// grouping additionally books one `hash_probes` per row, and every
+    /// un-elided `COUNT(DISTINCT)` argument books one more per
+    /// distinct-set insert; the key-elided one-pass and the global
+    /// (no `GROUP BY`) single group book zero — the gaps E23 measures.
+    pub agg_rows: u64,
+    /// Early terminations taken: an `ORDER BY key-prefix LIMIT k` query
+    /// served from an ordered index that stopped before exhausting the
+    /// table.
+    pub early_stops: u64,
+    /// Rows examined by an early-stopping Top-K index scan before it
+    /// cut off — the "rows-examined ≈ k" proof E23 asserts against the
+    /// full table size.
+    pub topk_rows_examined: u64,
 }
 
 impl ExecStats {
@@ -91,6 +105,9 @@ impl ExecStats {
             materialized_rows,
             delta_rows,
             view_updates,
+            agg_rows,
+            early_stops,
+            topk_rows_examined,
         } = *other;
         self.rows_scanned += rows_scanned;
         self.rows_output += rows_output;
@@ -107,6 +124,9 @@ impl ExecStats {
         self.materialized_rows += materialized_rows;
         self.delta_rows += delta_rows;
         self.view_updates += view_updates;
+        self.agg_rows += agg_rows;
+        self.early_stops += early_stops;
+        self.topk_rows_examined += topk_rows_examined;
     }
 }
 
@@ -183,6 +203,9 @@ mod tests {
             materialized_rows: 8,
             delta_rows: 4,
             view_updates: 2,
+            agg_rows: 9,
+            early_stops: 1,
+            topk_rows_examined: 12,
             ..ExecStats::new()
         };
         a.merge(&b);
@@ -195,6 +218,9 @@ mod tests {
         assert_eq!(a.materialized_rows, 8);
         assert_eq!(a.delta_rows, 4);
         assert_eq!(a.view_updates, 2);
+        assert_eq!(a.agg_rows, 9);
+        assert_eq!(a.early_stops, 1);
+        assert_eq!(a.topk_rows_examined, 12);
     }
 
     #[test]

@@ -10,13 +10,35 @@
 
 use crate::bound::*;
 use uniq_catalog::Catalog;
-use uniq_sql::{Expr, Projection, QueryExpr, QuerySpec, Scalar, SetOp};
+use uniq_sql::{
+    AggFunc, AggItemKind, AggSpec, Distinct, Expr, Projection, Query, QueryBody, QueryExpr,
+    QuerySpec, Scalar, SelectItem, SetOp,
+};
 use uniq_types::{ColRef, DataType, Error, Result};
 
 /// Bind a parsed query against a catalog.
 pub fn bind_query(catalog: &Catalog, query: &QueryExpr) -> Result<BoundQuery> {
     let binder = Binder { catalog };
     binder.query(query, &mut Vec::new())
+}
+
+/// Bind a full query (body + aggregation + ORDER BY / LIMIT).
+pub fn bind_output(catalog: &Catalog, query: &Query) -> Result<BoundOutput> {
+    let binder = Binder { catalog };
+    let (body, agg) = match &query.body {
+        QueryBody::Plain(e) => (binder.query(e, &mut Vec::new())?, None),
+        QueryBody::Agg(spec) => {
+            let (body, agg) = binder.agg(spec)?;
+            (body, Some(agg))
+        }
+    };
+    let order_by = bind_order_by(&query.order_by, &body, agg.as_ref())?;
+    Ok(BoundOutput {
+        body,
+        agg,
+        order_by,
+        limit: query.limit,
+    })
 }
 
 struct Binder<'a> {
@@ -142,6 +164,100 @@ impl<'a> Binder<'a> {
             predicate,
             projection,
         })
+    }
+
+    /// Bind an aggregate specification by lowering it onto an ordinary
+    /// `SELECT ALL` block whose projection lays out the grouping columns
+    /// first, then one column per aggregate argument.
+    fn agg(&self, a: &AggSpec) -> Result<(BoundQuery, BoundAgg)> {
+        let group_count = a.group_by.len();
+        let mut inner_items: Vec<SelectItem> = a
+            .group_by
+            .iter()
+            .map(|c| SelectItem {
+                col: c.clone(),
+                alias: None,
+            })
+            .collect();
+        // Aggregate argument positions, keyed by SELECT-list index.
+        let mut arg_pos: Vec<Option<usize>> = Vec::with_capacity(a.items.len());
+        for item in &a.items {
+            match &item.kind {
+                AggItemKind::Agg(call) if call.arg.is_some() => {
+                    arg_pos.push(Some(inner_items.len()));
+                    inner_items.push(SelectItem {
+                        col: call.arg.clone().unwrap(),
+                        alias: None,
+                    });
+                }
+                _ => arg_pos.push(None),
+            }
+        }
+        // `SELECT COUNT(*) FROM …` with no groups or arguments: project *
+        // so the block has ordinary shape; COUNT(*) only counts rows.
+        let projection = if inner_items.is_empty() {
+            Projection::Star
+        } else {
+            Projection::Columns(inner_items)
+        };
+        let inner = QuerySpec {
+            distinct: Distinct::All,
+            projection,
+            from: a.from.clone(),
+            where_clause: a.where_clause.clone(),
+        };
+        let bound = self.spec(&inner, &mut Vec::new())?;
+        let types = bound.output_types();
+
+        let mut items = Vec::with_capacity(a.items.len());
+        for (i, item) in a.items.iter().enumerate() {
+            match &item.kind {
+                AggItemKind::Group(col) => {
+                    let attr = resolve_in_block(&bound.from, col)?
+                        .ok_or_else(|| Error::bind(format!("unknown column {col}")))?;
+                    let pos = (0..group_count)
+                        .find(|&j| bound.projection[j].attr == attr)
+                        .ok_or_else(|| {
+                            Error::bind(format!("SELECT column {col} must appear in GROUP BY"))
+                        })?;
+                    let name = item.alias.clone().unwrap_or_else(|| col.column.clone());
+                    items.push(BoundAggItem::Group { pos, name });
+                }
+                AggItemKind::Agg(call) => {
+                    let arg = arg_pos[i];
+                    if let Some(p) = arg {
+                        if matches!(call.func, AggFunc::Sum | AggFunc::Avg)
+                            && types[p] != DataType::Int
+                        {
+                            return Err(Error::bind(format!(
+                                "{} requires an INTEGER argument, got {}",
+                                call.func.name(),
+                                types[p]
+                            )));
+                        }
+                    }
+                    let name = item
+                        .alias
+                        .clone()
+                        .unwrap_or_else(|| call.func.name().into());
+                    items.push(BoundAggItem::Agg {
+                        func: call.func,
+                        distinct: call.distinct,
+                        arg,
+                        name,
+                    });
+                }
+            }
+        }
+        Ok((
+            BoundQuery::Spec(Box::new(bound)),
+            BoundAgg {
+                group_count,
+                items,
+                group_elided: false,
+                count_distinct_elided: false,
+            },
+        ))
     }
 
     fn expr(&self, e: &Expr, scopes: &mut ScopeStack) -> Result<BoundExpr> {
@@ -314,6 +430,89 @@ fn check_comparable(l: &BScalar, r: &BScalar, scopes: &ScopeStack) -> Result<()>
     Ok(())
 }
 
+/// Resolve `ORDER BY` items to output column positions.
+fn bind_order_by(
+    items: &[uniq_sql::OrderItem],
+    body: &BoundQuery,
+    agg: Option<&BoundAgg>,
+) -> Result<Vec<(usize, bool)>> {
+    let names = match agg {
+        Some(a) => a.items.iter().map(|i| i.name().clone()).collect::<Vec<_>>(),
+        None => body.output_names(),
+    };
+    let mut out = Vec::with_capacity(items.len());
+    for item in items {
+        let pos = if item.col.qualifier.is_none() {
+            let matches: Vec<usize> = names
+                .iter()
+                .enumerate()
+                .filter(|(_, n)| **n == item.col.column)
+                .map(|(i, _)| i)
+                .collect();
+            match matches[..] {
+                [one] => one,
+                [] => {
+                    return Err(Error::bind(format!(
+                        "ORDER BY column {} is not in the select list",
+                        item.col
+                    )))
+                }
+                _ => {
+                    return Err(Error::bind(format!(
+                        "ambiguous ORDER BY column {}",
+                        item.col
+                    )))
+                }
+            }
+        } else {
+            resolve_qualified_order(&item.col, body, agg)?
+        };
+        out.push((pos, item.desc));
+    }
+    Ok(out)
+}
+
+/// Resolve a table-qualified `ORDER BY` column to its output position.
+fn resolve_qualified_order(
+    col: &ColRef,
+    body: &BoundQuery,
+    agg: Option<&BoundAgg>,
+) -> Result<usize> {
+    let spec = body.as_spec().ok_or_else(|| {
+        Error::bind(format!(
+            "qualified ORDER BY column {col} cannot address a set operation; use the output name"
+        ))
+    })?;
+    let attr = resolve_in_block(&spec.from, col)?
+        .ok_or_else(|| Error::bind(format!("unknown column {col} in ORDER BY")))?;
+    match agg {
+        None => spec
+            .projection
+            .iter()
+            .position(|p| p.attr == attr)
+            .ok_or_else(|| {
+                Error::bind(format!(
+                    "ORDER BY column {col} must appear in the select list"
+                ))
+            }),
+        Some(a) => {
+            // Only grouping columns are addressable by table-qualified
+            // name; aggregate results are addressed by alias.
+            a.items
+                .iter()
+                .position(|it| {
+                    matches!(it, BoundAggItem::Group { pos, .. }
+                             if spec.projection[*pos].attr == attr)
+                })
+                .ok_or_else(|| {
+                    Error::bind(format!(
+                        "ORDER BY column {col} must be a grouping column in the select list"
+                    ))
+                })
+        }
+    }
+}
+
 fn output_types(q: &BoundQuery) -> Vec<DataType> {
     match q {
         BoundQuery::Spec(s) => s.output_types(),
@@ -449,5 +648,110 @@ mod tests {
     fn host_variable_comparisons_are_untyped() {
         // Host variables have no declared type; binding must succeed.
         assert!(bind("SELECT S.SNO FROM SUPPLIER S WHERE S.SNAME = :NAME").is_ok());
+    }
+
+    fn bind_full(sql: &str) -> Result<BoundOutput> {
+        let db = supplier_schema().unwrap();
+        bind_output(db.catalog(), &uniq_sql::parse_full_query(sql).unwrap())
+    }
+
+    #[test]
+    fn binds_group_by_aggregate() {
+        let out = bind_full(
+            "SELECT S.SCITY, COUNT(*), SUM(S.BUDGET) AS TOTAL \
+             FROM SUPPLIER S GROUP BY S.SCITY",
+        )
+        .unwrap();
+        let agg = out.agg.as_ref().unwrap();
+        assert_eq!(agg.group_count, 1);
+        assert!(!agg.group_elided);
+        // Body projection: group col first, then the SUM argument.
+        let spec = out.body.as_spec().unwrap();
+        assert_eq!(spec.distinct, Distinct::All);
+        assert_eq!(spec.projection.len(), 2);
+        assert_eq!(spec.attr_name(spec.projection[0].attr), "S.SCITY");
+        assert_eq!(spec.attr_name(spec.projection[1].attr), "S.BUDGET");
+        assert_eq!(
+            out.output_names()
+                .iter()
+                .map(|n| n.as_str().to_string())
+                .collect::<Vec<_>>(),
+            vec!["SCITY", "COUNT", "TOTAL"]
+        );
+        match &agg.items[2] {
+            BoundAggItem::Agg { func, arg, .. } => {
+                assert_eq!(*func, AggFunc::Sum);
+                assert_eq!(*arg, Some(1));
+            }
+            other => panic!("expected SUM item, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn global_count_star_binds_with_star_body() {
+        let out = bind_full("SELECT COUNT(*) FROM SUPPLIER S").unwrap();
+        let agg = out.agg.as_ref().unwrap();
+        assert_eq!(agg.group_count, 0);
+        assert!(matches!(
+            agg.items[0],
+            BoundAggItem::Agg {
+                func: AggFunc::Count,
+                arg: None,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn ungrouped_select_column_is_rejected() {
+        let err =
+            bind_full("SELECT S.SNAME, COUNT(*) FROM SUPPLIER S GROUP BY S.SCITY").unwrap_err();
+        assert!(err.to_string().contains("GROUP BY"), "{err}");
+    }
+
+    #[test]
+    fn sum_over_string_is_rejected() {
+        let err = bind_full("SELECT SUM(S.SNAME) FROM SUPPLIER S").unwrap_err();
+        assert!(err.to_string().contains("INTEGER"), "{err}");
+        // MIN/MAX over strings are fine.
+        assert!(bind_full("SELECT MIN(S.SNAME) FROM SUPPLIER S").is_ok());
+    }
+
+    #[test]
+    fn order_by_resolves_output_names_and_qualified_columns() {
+        let out =
+            bind_full("SELECT S.SNO, S.SNAME FROM SUPPLIER S ORDER BY SNAME DESC, S.SNO LIMIT 5")
+                .unwrap();
+        assert_eq!(out.order_by, vec![(1, true), (0, false)]);
+        assert_eq!(out.limit, Some(5));
+        // Aliased aggregate output is addressable by alias.
+        let out = bind_full(
+            "SELECT S.SCITY, COUNT(*) AS N FROM SUPPLIER S GROUP BY S.SCITY ORDER BY N DESC",
+        )
+        .unwrap();
+        assert_eq!(out.order_by, vec![(1, true)]);
+        // Qualified group column.
+        let out =
+            bind_full("SELECT S.SCITY, COUNT(*) FROM SUPPLIER S GROUP BY S.SCITY ORDER BY S.SCITY")
+                .unwrap();
+        assert_eq!(out.order_by, vec![(0, false)]);
+    }
+
+    #[test]
+    fn order_by_outside_select_list_is_rejected() {
+        assert!(bind_full("SELECT S.SNO FROM SUPPLIER S ORDER BY SNAME").is_err());
+        assert!(bind_full("SELECT S.SNO FROM SUPPLIER S ORDER BY S.SNAME").is_err());
+        // Aggregate results cannot be addressed by table-qualified name.
+        assert!(bind_full(
+            "SELECT S.SCITY, COUNT(*) FROM SUPPLIER S GROUP BY S.SCITY ORDER BY S.BUDGET"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn plain_queries_bind_to_plain_output() {
+        let out = bind_full("SELECT S.SNO FROM SUPPLIER S").unwrap();
+        assert!(out.as_plain().is_some());
+        assert_eq!(out.output_arity(), 1);
     }
 }

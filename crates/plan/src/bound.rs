@@ -9,7 +9,7 @@
 //! [`AttrRef::up`].
 
 use uniq_catalog::TableSchema;
-use uniq_sql::{CmpOp, Distinct, SetOp};
+use uniq_sql::{AggFunc, CmpOp, Distinct, SetOp};
 use uniq_types::{ColumnName, DataType, HostVarName, TableName, Value};
 
 /// A resolved attribute reference.
@@ -346,9 +346,139 @@ impl BoundQuery {
     }
 }
 
+/// One output item of an aggregation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoundAggItem {
+    /// A grouping column, projected through.
+    Group {
+        /// Position within the body's projection (always `< group_count`).
+        pos: usize,
+        /// Output column name.
+        name: ColumnName,
+    },
+    /// An aggregate function over the group's rows.
+    Agg {
+        /// The aggregate function.
+        func: AggFunc,
+        /// `COUNT(DISTINCT …)` — counts distinct non-null argument values.
+        distinct: bool,
+        /// Argument position within the body's projection;
+        /// `None` for `COUNT(*)`.
+        arg: Option<usize>,
+        /// Output column name.
+        name: ColumnName,
+    },
+}
+
+impl BoundAggItem {
+    /// The item's output column name.
+    pub fn name(&self) -> &ColumnName {
+        match self {
+            BoundAggItem::Group { name, .. } | BoundAggItem::Agg { name, .. } => name,
+        }
+    }
+}
+
+/// A bound aggregation over a query body.
+///
+/// The body is an ordinary [`BoundQuery`] (always `SELECT ALL` over a
+/// single block) whose projection lays out the grouping columns first —
+/// positions `0 .. group_count` — followed by the aggregate argument
+/// columns. Grouping treats `NULL`s as equal (SQL `GROUP BY` semantics);
+/// aggregates ignore `NULL` arguments; with an empty group set the query
+/// produces exactly one global group even on empty input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundAgg {
+    /// Number of grouping columns (the body projection's leading columns).
+    pub group_count: usize,
+    /// Output items in `SELECT`-list order.
+    pub items: Vec<BoundAggItem>,
+    /// Uniqueness elision: the group keys cover a candidate key of the
+    /// body, so every row is its own group — the executor skips the hash
+    /// table and computes aggregates per-row in one pass. Set only by the
+    /// proof-gated rewrite in `uniq-core`.
+    pub group_elided: bool,
+    /// Uniqueness elision: at least one `COUNT(DISTINCT e)` item was
+    /// degraded to `COUNT(e)` (its `distinct` flag cleared) because
+    /// `(group keys, e)` was proved duplicate-free over the body. Set
+    /// only by the proof-gated rewrite in `uniq-core`; recorded so
+    /// `EXPLAIN` can mark the plan.
+    pub count_distinct_elided: bool,
+}
+
+/// A fully bound query: body plus aggregation / ordering / limit output
+/// clauses. The paper's §2 subset is the `agg: None, order_by: [],
+/// limit: None` case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundOutput {
+    /// The bound body (for aggregates: the lowered `SELECT ALL` block).
+    pub body: BoundQuery,
+    /// Aggregation over the body, if any.
+    pub agg: Option<BoundAgg>,
+    /// `ORDER BY` as (output column position, descending) pairs. Positions
+    /// index the aggregate output when `agg` is present, the body's
+    /// projection otherwise. Comparison uses the engine's total order
+    /// (`NULL`s first), matching B-tree canonical key order.
+    pub order_by: Vec<(usize, bool)>,
+    /// `LIMIT k`, if any.
+    pub limit: Option<u64>,
+}
+
+impl BoundOutput {
+    /// Wrap a plain bound query with no output clauses.
+    pub fn plain(body: BoundQuery) -> BoundOutput {
+        BoundOutput {
+            body,
+            agg: None,
+            order_by: Vec::new(),
+            limit: None,
+        }
+    }
+
+    /// The bare body if there are no output clauses at all.
+    pub fn as_plain(&self) -> Option<&BoundQuery> {
+        (self.agg.is_none() && self.order_by.is_empty() && self.limit.is_none())
+            .then_some(&self.body)
+    }
+
+    /// Number of output columns.
+    pub fn output_arity(&self) -> usize {
+        match &self.agg {
+            Some(a) => a.items.len(),
+            None => self.body.output_arity(),
+        }
+    }
+
+    /// Output column names.
+    pub fn output_names(&self) -> Vec<ColumnName> {
+        match &self.agg {
+            Some(a) => a.items.iter().map(|i| i.name().clone()).collect(),
+            None => self.body.output_names(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bound_output_plain_accessors() {
+        let spec = BoundSpec {
+            distinct: Distinct::All,
+            from: Vec::new(),
+            predicate: None,
+            projection: Vec::new(),
+        };
+        let out = BoundOutput::plain(BoundQuery::Spec(Box::new(spec)));
+        assert!(out.as_plain().is_some());
+        assert_eq!(out.output_arity(), 0);
+        let limited = BoundOutput {
+            limit: Some(3),
+            ..out
+        };
+        assert!(limited.as_plain().is_none());
+    }
 
     #[test]
     fn conjuncts_flatten_nested_and() {

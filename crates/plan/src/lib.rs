@@ -18,6 +18,9 @@ pub mod bound;
 pub mod hostvars;
 pub mod norm;
 
-pub use binder::bind_query;
-pub use bound::{AttrRef, BScalar, BoundExpr, BoundQuery, BoundSpec, FromTable, ProjItem};
+pub use binder::{bind_output, bind_query};
+pub use bound::{
+    AttrRef, BScalar, BoundAgg, BoundAggItem, BoundExpr, BoundOutput, BoundQuery, BoundSpec,
+    FromTable, ProjItem,
+};
 pub use hostvars::HostVars;

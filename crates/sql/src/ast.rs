@@ -16,8 +16,9 @@ pub enum Statement {
     CreateIndex(CreateIndex),
     /// `INSERT INTO …`.
     Insert(Insert),
-    /// A query (specification or set-operator expression).
-    Query(QueryExpr),
+    /// A query (specification or set-operator expression), optionally
+    /// aggregated, ordered, and limited.
+    Query(Query),
 }
 
 /// `CREATE TABLE name (columns…, constraints…)`.
@@ -109,6 +110,145 @@ pub struct Insert {
     pub columns: Option<Vec<ColumnName>>,
     /// Rows of literal values.
     pub rows: Vec<Vec<Value>>,
+}
+
+/// A full query: a body (plain SPJ/set-op expression, or an aggregate
+/// specification) with optional `ORDER BY` and `LIMIT` output clauses.
+///
+/// The paper's §2 subset is exactly the `body: Plain, order_by: [],
+/// limit: None` corner; everything the rewrite pipeline and the proof
+/// checker consume stays a [`QueryExpr`]. Aggregation and ordering are
+/// *output operators* layered on top of a block, which is why they live
+/// in a wrapper instead of inside [`QuerySpec`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// The producing body.
+    pub body: QueryBody,
+    /// `ORDER BY` items, outermost sort first. Empty = no ordering.
+    pub order_by: Vec<OrderItem>,
+    /// `LIMIT k`.
+    pub limit: Option<u64>,
+}
+
+impl Query {
+    /// Wrap a plain query expression (no aggregation/ordering/limit).
+    pub fn plain(expr: QueryExpr) -> Query {
+        Query {
+            body: QueryBody::Plain(expr),
+            order_by: Vec::new(),
+            limit: None,
+        }
+    }
+
+    /// The bare query expression, when this query is exactly the paper's
+    /// subset: a plain body with no `ORDER BY` and no `LIMIT`.
+    pub fn as_plain(&self) -> Option<&QueryExpr> {
+        match &self.body {
+            QueryBody::Plain(e) if self.order_by.is_empty() && self.limit.is_none() => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// The producing body of a [`Query`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryBody {
+    /// A plain specification or set-operator expression (paper §2).
+    Plain(QueryExpr),
+    /// An aggregate specification (`GROUP BY` / aggregate functions).
+    Agg(Box<AggSpec>),
+}
+
+/// `SELECT items FROM … [WHERE …] [GROUP BY cols]` — a select block whose
+/// projection mixes grouping columns and aggregate calls.
+///
+/// Lowering: the binder projects the grouping columns plus every
+/// aggregate argument out of an ordinary `SELECT ALL` block and layers
+/// the aggregation on top, so the whole SPJ machinery (rewrites, cost
+/// model, all three executors) applies to the input block unchanged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggSpec {
+    /// The output items, in `SELECT`-list order.
+    pub items: Vec<AggItem>,
+    /// `FROM` items (Cartesian product of the named tables).
+    pub from: Vec<TableRef>,
+    /// Optional `WHERE` search condition (applied before grouping).
+    pub where_clause: Option<Expr>,
+    /// `GROUP BY` columns. Empty = one global group (even for an empty
+    /// input: `COUNT` is then 0 and every other aggregate `NULL`).
+    pub group_by: Vec<ColRef>,
+}
+
+/// One item of an aggregate projection list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggItem {
+    /// A grouping column or an aggregate call.
+    pub kind: AggItemKind,
+    /// Optional `AS alias`.
+    pub alias: Option<ColumnName>,
+}
+
+/// The two kinds of aggregate-projection item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggItemKind {
+    /// A grouping column (must appear in `GROUP BY`).
+    Group(ColRef),
+    /// An aggregate function call.
+    Agg(AggCall),
+}
+
+/// An aggregate function call: `COUNT(*)`, `COUNT(DISTINCT e)`,
+/// `SUM(e)`, `MIN(e)`, `MAX(e)`, `AVG(e)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggCall {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// `DISTINCT` inside the call (`COUNT(DISTINCT e)`). The
+    /// uniqueness-powered elision rewrites this to `false` when the
+    /// argument is proven duplicate-free per group.
+    pub distinct: bool,
+    /// The argument column; `None` is `COUNT(*)`.
+    pub arg: Option<ColRef>,
+}
+
+/// The aggregate functions of the extended surface. All of them ignore
+/// `NULL` arguments (`COUNT(*)` counts rows); `AVG` over `INTEGER` is
+/// the truncating integer mean, consistent across every executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// `COUNT(e)` / `COUNT(*)`.
+    Count,
+    /// `SUM(e)` (integer argument).
+    Sum,
+    /// `MIN(e)`.
+    Min,
+    /// `MAX(e)`.
+    Max,
+    /// `AVG(e)` (integer argument, truncating).
+    Avg,
+}
+
+impl AggFunc {
+    /// Canonical keyword spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+            AggFunc::Avg => "AVG",
+        }
+    }
+}
+
+/// One `ORDER BY` item: an output column reference plus direction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    /// The referenced column: an output column name/alias, optionally
+    /// qualified to disambiguate (`S.SNO`).
+    pub col: ColRef,
+    /// `DESC` (the default is `ASC`).
+    pub desc: bool,
 }
 
 /// A query: one specification, or two queries joined by a set operator.

@@ -102,6 +102,17 @@ pub const KEYWORDS: &[&str] = &[
     "USING",
     "HASH",
     "BTREE",
+    "GROUP",
+    "BY",
+    "ORDER",
+    "LIMIT",
+    "ASC",
+    "DESC",
+    "COUNT",
+    "SUM",
+    "MIN",
+    "MAX",
+    "AVG",
 ];
 
 fn keyword_of(word: &str) -> Option<&'static str> {

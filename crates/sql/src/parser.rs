@@ -3,9 +3,17 @@
 //! Grammar (paper §2):
 //!
 //! ```text
-//! statement   := create_table | create_index | insert | query
+//! statement   := create_table | create_index | insert | full_query
 //! create_index:= CREATE [UNIQUE] INDEX name ON table '(' column (',' column)* ')'
 //!                [USING (HASH | BTREE)]
+//! full_query  := (query | agg_spec) [ORDER BY order_item (',' order_item)*]
+//!                [LIMIT k]
+//! agg_spec    := SELECT agg_item (',' agg_item)* FROM table_ref (',' table_ref)*
+//!                [WHERE condition] [GROUP BY col_ref (',' col_ref)*]
+//! agg_item    := (col_ref | agg_call) [AS alias]
+//! agg_call    := COUNT '(' '*' ')' | COUNT '(' [DISTINCT] col_ref ')'
+//!              | (SUM|MIN|MAX|AVG) '(' col_ref ')'
+//! order_item  := col_ref [ASC | DESC]
 //! query       := spec (set_op [ALL] spec)*        -- left associative
 //! spec        := SELECT [ALL|DISTINCT] projection FROM table_ref (',' table_ref)*
 //!                [WHERE condition]
@@ -53,9 +61,34 @@ pub fn parse_statements(input: &str) -> Result<Vec<Statement>> {
 }
 
 /// Parse a query (specification or set-operator expression).
+///
+/// This is the paper's §2 subset entry point: aggregates, `GROUP BY`,
+/// `ORDER BY` and `LIMIT` are rejected here — callers that accept the full
+/// surface use [`parse_full_query`].
 pub fn parse_query(input: &str) -> Result<QueryExpr> {
     let mut p = Parser::new(input)?;
-    let q = p.query()?;
+    let q = p.full_query()?;
+    p.expect_end()?;
+    match q {
+        Query {
+            body: QueryBody::Plain(e),
+            order_by,
+            limit,
+        } if order_by.is_empty() && limit.is_none() => Ok(e),
+        _ => Err(Error::Parse {
+            pos: 0,
+            message: "aggregates, GROUP BY, ORDER BY and LIMIT are not allowed here \
+                      (use the full-query entry point)"
+                .into(),
+        }),
+    }
+}
+
+/// Parse a full query: plain or aggregate body plus optional `ORDER BY` /
+/// `LIMIT` clauses.
+pub fn parse_full_query(input: &str) -> Result<Query> {
+    let mut p = Parser::new(input)?;
+    let q = p.full_query()?;
     p.expect_end()?;
     Ok(q)
 }
@@ -184,7 +217,7 @@ impl Parser {
         } else if self.at_kw("INSERT") {
             Ok(Statement::Insert(self.insert()?))
         } else {
-            Ok(Statement::Query(self.query()?))
+            Ok(Statement::Query(self.full_query()?))
         }
     }
 
@@ -391,8 +424,189 @@ impl Parser {
 
     // ---- queries ---------------------------------------------------------
 
+    /// Full query: a plain or aggregate body plus ORDER BY / LIMIT tail.
+    fn full_query(&mut self) -> Result<Query> {
+        let body = self.query_body()?;
+        let order_by = if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            let mut items = vec![self.order_item()?];
+            while self.eat(&TokenKind::Comma) {
+                items.push(self.order_item()?);
+            }
+            items
+        } else {
+            Vec::new()
+        };
+        let limit = if self.eat_kw("LIMIT") {
+            match self.bump() {
+                TokenKind::Int(v) if v >= 0 => Some(v as u64),
+                _ => {
+                    self.i = self.i.saturating_sub(1);
+                    return Err(self.unexpected("non-negative LIMIT count"));
+                }
+            }
+        } else {
+            None
+        };
+        Ok(Query {
+            body,
+            order_by,
+            limit,
+        })
+    }
+
+    fn order_item(&mut self) -> Result<OrderItem> {
+        let col = self.col_ref()?;
+        let desc = if self.eat_kw("DESC") {
+            true
+        } else {
+            self.eat_kw("ASC");
+            false
+        };
+        Ok(OrderItem { col, desc })
+    }
+
+    fn query_body(&mut self) -> Result<QueryBody> {
+        // A parenthesized head can only start a plain set-op expression.
+        if self.at(&TokenKind::LParen) {
+            return Ok(QueryBody::Plain(self.query()?));
+        }
+        if self.select_list_has_aggregate() {
+            return Ok(QueryBody::Agg(Box::new(self.agg_spec()?)));
+        }
+        let save = self.i;
+        let first = self.query_spec()?;
+        if self.at_kw("GROUP") {
+            // `SELECT g FROM t ... GROUP BY g` with no aggregate calls:
+            // re-parse the block through the aggregate grammar.
+            self.i = save;
+            return Ok(QueryBody::Agg(Box::new(self.agg_spec()?)));
+        }
+        Ok(QueryBody::Plain(self.query_rest(QueryExpr::spec(first))?))
+    }
+
+    /// Token-level lookahead: does the SELECT list ahead of FROM contain an
+    /// aggregate function call? (Select lists contain no other parentheses,
+    /// so scanning to FROM is exact.)
+    fn select_list_has_aggregate(&self) -> bool {
+        let mut j = self.i;
+        loop {
+            match &self.tokens[j].kind {
+                TokenKind::Keyword("FROM") | TokenKind::Eof => return false,
+                TokenKind::Keyword("COUNT" | "SUM" | "MIN" | "MAX" | "AVG") => return true,
+                _ => j += 1,
+            }
+        }
+    }
+
+    fn agg_spec(&mut self) -> Result<AggSpec> {
+        self.expect_kw("SELECT")?;
+        if self.at_kw("DISTINCT") {
+            return Err(Error::Parse {
+                pos: self.pos(),
+                message: "SELECT DISTINCT cannot be combined with aggregates or GROUP BY".into(),
+            });
+        }
+        self.eat_kw("ALL");
+        if self.at(&TokenKind::Star) {
+            return Err(Error::Parse {
+                pos: self.pos(),
+                message: "SELECT * cannot be combined with aggregates or GROUP BY".into(),
+            });
+        }
+        let mut items = Vec::new();
+        loop {
+            let kind = if let Some(func) = self.agg_func_at() {
+                AggItemKind::Agg(self.agg_call(func)?)
+            } else {
+                AggItemKind::Group(self.col_ref()?)
+            };
+            let alias = if self.eat_kw("AS") {
+                Some(self.ident("alias")?.into())
+            } else {
+                None
+            };
+            items.push(AggItem { kind, alias });
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect_kw("FROM")?;
+        let from = self.table_refs()?;
+        let where_clause = if self.eat_kw("WHERE") {
+            Some(self.condition()?)
+        } else {
+            None
+        };
+        let group_by = if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            let mut cols = vec![self.col_ref()?];
+            while self.eat(&TokenKind::Comma) {
+                cols.push(self.col_ref()?);
+            }
+            cols
+        } else {
+            Vec::new()
+        };
+        Ok(AggSpec {
+            items,
+            from,
+            where_clause,
+            group_by,
+        })
+    }
+
+    fn agg_func_at(&self) -> Option<AggFunc> {
+        let func = match self.peek() {
+            TokenKind::Keyword("COUNT") => AggFunc::Count,
+            TokenKind::Keyword("SUM") => AggFunc::Sum,
+            TokenKind::Keyword("MIN") => AggFunc::Min,
+            TokenKind::Keyword("MAX") => AggFunc::Max,
+            TokenKind::Keyword("AVG") => AggFunc::Avg,
+            _ => return None,
+        };
+        matches!(self.peek2(), TokenKind::LParen).then_some(func)
+    }
+
+    fn agg_call(&mut self, func: AggFunc) -> Result<AggCall> {
+        self.bump(); // the function keyword
+        self.expect(&TokenKind::LParen, "'('")?;
+        if self.eat(&TokenKind::Star) {
+            if func != AggFunc::Count {
+                return Err(Error::Parse {
+                    pos: self.pos(),
+                    message: format!("{}(*) is not supported; only COUNT(*)", func.name()),
+                });
+            }
+            self.expect(&TokenKind::RParen, "')'")?;
+            return Ok(AggCall {
+                func,
+                distinct: false,
+                arg: None,
+            });
+        }
+        let distinct = self.eat_kw("DISTINCT");
+        if distinct && func != AggFunc::Count {
+            return Err(Error::Parse {
+                pos: self.pos(),
+                message: format!("DISTINCT inside {} is not supported", func.name()),
+            });
+        }
+        let arg = self.col_ref()?;
+        self.expect(&TokenKind::RParen, "')'")?;
+        Ok(AggCall {
+            func,
+            distinct,
+            arg: Some(arg),
+        })
+    }
+
     fn query(&mut self) -> Result<QueryExpr> {
-        let mut left = self.query_primary()?;
+        let left = self.query_primary()?;
+        self.query_rest(left)
+    }
+
+    fn query_rest(&mut self, mut left: QueryExpr) -> Result<QueryExpr> {
         loop {
             let op = if self.at_kw("INTERSECT") {
                 SetOp::Intersect
@@ -454,6 +668,21 @@ impl Parser {
             Projection::Columns(items)
         };
         self.expect_kw("FROM")?;
+        let from = self.table_refs()?;
+        let where_clause = if self.eat_kw("WHERE") {
+            Some(self.condition()?)
+        } else {
+            None
+        };
+        Ok(QuerySpec {
+            distinct,
+            projection,
+            from,
+            where_clause,
+        })
+    }
+
+    fn table_refs(&mut self) -> Result<Vec<TableRef>> {
         let mut from = Vec::new();
         loop {
             let table = self.ident("table name")?.into();
@@ -472,17 +701,7 @@ impl Parser {
                 break;
             }
         }
-        let where_clause = if self.eat_kw("WHERE") {
-            Some(self.condition()?)
-        } else {
-            None
-        };
-        Ok(QuerySpec {
-            distinct,
-            projection,
-            from,
-            where_clause,
-        })
+        Ok(from)
     }
 
     fn col_ref(&mut self) -> Result<ColRef> {
@@ -897,6 +1116,137 @@ mod tests {
         )
         .unwrap();
         assert_eq!(ss.len(), 3);
+    }
+
+    #[test]
+    fn parses_group_by_aggregates() {
+        let q = parse_full_query(
+            "SELECT S.SCITY, COUNT(*), SUM(S.BUDGET) AS TOTAL \
+             FROM SUPPLIER S WHERE S.STATUS = 'Active' GROUP BY S.SCITY",
+        )
+        .unwrap();
+        let QueryBody::Agg(agg) = &q.body else {
+            panic!("expected aggregate body");
+        };
+        assert_eq!(agg.items.len(), 3);
+        assert!(matches!(agg.items[0].kind, AggItemKind::Group(_)));
+        match &agg.items[1].kind {
+            AggItemKind::Agg(c) => {
+                assert_eq!(c.func, AggFunc::Count);
+                assert!(c.arg.is_none());
+            }
+            other => panic!("expected COUNT(*), got {other:?}"),
+        }
+        match &agg.items[2].kind {
+            AggItemKind::Agg(c) => {
+                assert_eq!(c.func, AggFunc::Sum);
+                assert!(c.arg.is_some());
+            }
+            other => panic!("expected SUM, got {other:?}"),
+        }
+        assert_eq!(agg.items[2].alias, Some("TOTAL".into()));
+        assert_eq!(agg.group_by.len(), 1);
+        assert!(agg.where_clause.is_some());
+        assert!(q.order_by.is_empty());
+        assert_eq!(q.limit, None);
+    }
+
+    #[test]
+    fn parses_count_distinct() {
+        let q = parse_full_query("SELECT COUNT(DISTINCT P.SNO) FROM PARTS P").unwrap();
+        let QueryBody::Agg(agg) = &q.body else {
+            panic!("expected aggregate body");
+        };
+        match &agg.items[0].kind {
+            AggItemKind::Agg(c) => {
+                assert_eq!(c.func, AggFunc::Count);
+                assert!(c.distinct);
+            }
+            other => panic!("expected COUNT(DISTINCT ..), got {other:?}"),
+        }
+        // Global aggregate: empty group set.
+        assert!(agg.group_by.is_empty());
+    }
+
+    #[test]
+    fn group_by_without_aggregate_calls_is_an_aggregate_body() {
+        let q = parse_full_query("SELECT S.SCITY FROM SUPPLIER S GROUP BY S.SCITY").unwrap();
+        let QueryBody::Agg(agg) = &q.body else {
+            panic!("expected aggregate body");
+        };
+        assert!(matches!(agg.items[0].kind, AggItemKind::Group(_)));
+        assert_eq!(agg.group_by, vec![ColRef::qualified("S", "SCITY")]);
+    }
+
+    #[test]
+    fn parses_order_by_limit() {
+        let q = parse_full_query(
+            "SELECT ALL S.SNO, S.SNAME FROM SUPPLIER S ORDER BY S.SNO, S.SNAME DESC LIMIT 10",
+        )
+        .unwrap();
+        assert!(matches!(q.body, QueryBody::Plain(_)));
+        assert_eq!(q.order_by.len(), 2);
+        assert!(!q.order_by[0].desc);
+        assert!(q.order_by[1].desc);
+        assert_eq!(q.limit, Some(10));
+        // ASC is accepted and is the default.
+        let q = parse_full_query("SELECT A FROM T ORDER BY A ASC LIMIT 0").unwrap();
+        assert!(!q.order_by[0].desc);
+        assert_eq!(q.limit, Some(0));
+    }
+
+    #[test]
+    fn order_by_limit_apply_to_set_operations() {
+        let q =
+            parse_full_query("SELECT A FROM T UNION SELECT A FROM U ORDER BY A LIMIT 3").unwrap();
+        match &q.body {
+            QueryBody::Plain(QueryExpr::SetOp { op, .. }) => assert_eq!(*op, SetOp::Union),
+            other => panic!("expected set operation, got {other:?}"),
+        }
+        assert_eq!(q.order_by.len(), 1);
+        assert_eq!(q.limit, Some(3));
+    }
+
+    #[test]
+    fn plain_entry_point_rejects_aggregate_syntax() {
+        assert!(parse_query("SELECT COUNT(*) FROM T").is_err());
+        assert!(parse_query("SELECT A FROM T GROUP BY A").is_err());
+        assert!(parse_query("SELECT A FROM T ORDER BY A").is_err());
+        assert!(parse_query("SELECT A FROM T LIMIT 5").is_err());
+        // The same texts parse through the full entry point.
+        assert!(parse_full_query("SELECT COUNT(*) FROM T").is_ok());
+        assert!(parse_full_query("SELECT A FROM T LIMIT 5").is_ok());
+    }
+
+    #[test]
+    fn rejects_malformed_aggregates() {
+        // SUM(*) and DISTINCT inside non-COUNT aggregates.
+        assert!(parse_full_query("SELECT SUM(*) FROM T").is_err());
+        assert!(parse_full_query("SELECT SUM(DISTINCT A) FROM T").is_err());
+        // DISTINCT / * select lists cannot be combined with aggregation.
+        assert!(parse_full_query("SELECT DISTINCT COUNT(A) FROM T").is_err());
+        assert!(parse_full_query("SELECT DISTINCT A FROM T GROUP BY A").is_err());
+        assert!(parse_full_query("SELECT * FROM T GROUP BY A").is_err());
+        // LIMIT needs a non-negative integer.
+        assert!(parse_full_query("SELECT A FROM T LIMIT -1").is_err());
+        assert!(parse_full_query("SELECT A FROM T LIMIT B").is_err());
+        // GROUP without BY.
+        assert!(parse_full_query("SELECT A FROM T GROUP A").is_err());
+    }
+
+    #[test]
+    fn statement_entry_accepts_full_queries() {
+        let s =
+            parse_statement("SELECT S.SCITY, COUNT(*) FROM SUPPLIER S GROUP BY S.SCITY").unwrap();
+        match s {
+            Statement::Query(q) => assert!(matches!(q.body, QueryBody::Agg(_))),
+            other => panic!("expected query, got {other:?}"),
+        }
+        let s = parse_statement("SELECT * FROM T").unwrap();
+        match s {
+            Statement::Query(q) => assert!(q.as_plain().is_some()),
+            other => panic!("expected query, got {other:?}"),
+        }
     }
 
     #[test]

@@ -94,6 +94,106 @@ impl fmt::Display for Insert {
     }
 }
 
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.body.fmt(f)?;
+        if !self.order_by.is_empty() {
+            f.write_str(" ORDER BY ")?;
+            for (i, o) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                o.fmt(f)?;
+            }
+        }
+        if let Some(k) = self.limit {
+            write!(f, " LIMIT {k}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for QueryBody {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryBody::Plain(e) => e.fmt(f),
+            QueryBody::Agg(a) => a.fmt(f),
+        }
+    }
+}
+
+impl fmt::Display for OrderItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.col.fmt(f)?;
+        if self.desc {
+            f.write_str(" DESC")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for AggSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SELECT ")?;
+        for (i, item) in self.items.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            item.fmt(f)?;
+        }
+        f.write_str(" FROM ")?;
+        for (i, t) in self.from.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{}", t.table)?;
+            if let Some(a) = &t.alias {
+                write!(f, " {a}")?;
+            }
+        }
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        if !self.group_by.is_empty() {
+            write!(f, " GROUP BY {}", join(&self.group_by, ", "))?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for AggItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            AggItemKind::Group(c) => c.fmt(f)?,
+            AggItemKind::Agg(c) => c.fmt(f)?,
+        }
+        if let Some(a) = &self.alias {
+            write!(f, " AS {a}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for AggCall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.arg {
+            None => write!(f, "{}(*)", self.func.name()),
+            Some(arg) => write!(
+                f,
+                "{}({}{arg})",
+                self.func.name(),
+                if self.distinct { "DISTINCT " } else { "" }
+            ),
+        }
+    }
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 impl fmt::Display for QueryExpr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -289,7 +389,7 @@ fn join<T: fmt::Display>(items: &[T], sep: &str) -> String {
 
 #[cfg(test)]
 mod tests {
-    use crate::parser::{parse_expr, parse_query, parse_statement};
+    use crate::parser::{parse_expr, parse_full_query, parse_query, parse_statement};
 
     /// Parse → print → parse must be a fixpoint.
     fn roundtrip_query(sql: &str) {
@@ -315,6 +415,30 @@ mod tests {
             "SELECT A FROM T EXCEPT SELECT A FROM U EXCEPT ALL SELECT A FROM V",
         ] {
             roundtrip_query(sql);
+        }
+    }
+
+    #[test]
+    fn roundtrips_full_queries() {
+        // Parse → print → parse must be a fixpoint for the aggregate /
+        // ordering surface too: the printed text is the plan-cache key.
+        for sql in [
+            "SELECT S.SCITY, COUNT(*) FROM SUPPLIER S GROUP BY S.SCITY",
+            "SELECT COUNT(DISTINCT P.SNO) AS N FROM PARTS P WHERE P.COLOR = 'RED'",
+            "SELECT S.SCITY, SUM(S.BUDGET) AS TOTAL, MIN(S.SNO), MAX(S.SNO), AVG(S.BUDGET) \
+             FROM SUPPLIER S GROUP BY S.SCITY",
+            "SELECT S.SCITY FROM SUPPLIER S GROUP BY S.SCITY",
+            "SELECT ALL S.SNO, S.SNAME FROM SUPPLIER S ORDER BY S.SNO LIMIT 10",
+            "SELECT A FROM T ORDER BY A DESC, B LIMIT 0",
+            "SELECT A FROM T UNION SELECT A FROM U ORDER BY A LIMIT 3",
+            "SELECT S.SCITY, COUNT(*) FROM SUPPLIER S GROUP BY S.SCITY ORDER BY S.SCITY \
+             LIMIT 2",
+        ] {
+            let q1 = parse_full_query(sql).unwrap();
+            let printed = q1.to_string();
+            let q2 = parse_full_query(&printed)
+                .unwrap_or_else(|e| panic!("printed SQL failed to parse: {printed}\nerror: {e}"));
+            assert_eq!(q1, q2, "round-trip changed the AST for: {printed}");
         }
     }
 
